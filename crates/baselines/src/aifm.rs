@@ -1,0 +1,84 @@
+//! The AIFM model (paper §8.2, Figure 12).
+//!
+//! "After sending a remote memory request, AIFM uses Shenango to free the
+//! core and allow other threads to swap in. The original thread is
+//! scheduled again when the data is ready." The per-access price is
+//! therefore a green-thread yield + reschedule round trip plus AIFM's
+//! remoteable-pointer bookkeeping (dereference scope, hotness tracking) —
+//! small object reads (8 B) are dominated by that overhead, which is how
+//! Cowbird ends up an order of magnitude (up to 71×) faster on Fig. 12's
+//! uniform 8-byte-read workload.
+
+use crate::model::Testbed;
+
+/// AIFM's per-access cost parameters (CloudLab xl170 deployment).
+#[derive(Clone, Copy, Debug)]
+pub struct AifmModel {
+    /// Yield + reschedule through the Shenango runtime per remote miss, ns.
+    pub yield_resched_ns: f64,
+    /// Remoteable-pointer bookkeeping per dereference (barrier, hotness,
+    /// dereference scope), ns.
+    pub pointer_overhead_ns: f64,
+    /// RPC processing on the dedicated AIFM remote agent, which caps
+    /// aggregate miss throughput, MOPS.
+    pub agent_mops: f64,
+}
+
+impl AifmModel {
+    pub fn paper() -> AifmModel {
+        AifmModel {
+            yield_resched_ns: 1_900.0,
+            pointer_overhead_ns: 700.0,
+            agent_mops: 4.5,
+        }
+    }
+
+    /// Throughput of `threads` threads doing uniform remote reads of small
+    /// objects with `app_ns` of per-op application logic, MOPS.
+    pub fn throughput_mops(&self, threads: u32, app_ns: f64, tb: &Testbed) -> f64 {
+        let per_op = app_ns + self.yield_resched_ns + self.pointer_overhead_ns;
+        let cpu_rate = tb.cpu.capacity(threads) / per_op * 1e3;
+        cpu_rate.min(self.agent_mops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{throughput_mops, Comm, Testbed};
+    use simnet::cpu::CpuSpec;
+
+    fn xl170() -> Testbed {
+        let mut tb = Testbed::paper();
+        // The AIFM comparison runs on CloudLab xl170 (10C/20T, 25 Gbps).
+        tb.cpu = CpuSpec::xl170();
+        tb.net.bandwidth_gbps = 25.0;
+        tb
+    }
+
+    #[test]
+    fn cowbird_is_an_order_of_magnitude_faster() {
+        // Fig. 12: "an order of magnitude (up to 71x) higher throughput
+        // across thread counts".
+        let aifm = AifmModel::paper();
+        let tb = xl170();
+        let app = 50.0; // a bare 8-byte object read loop
+        for t in [1u32, 2, 4, 8, 16] {
+            let a = aifm.throughput_mops(t, app, &tb);
+            let c = throughput_mops(Comm::Cowbird, t, app, 1.0, 8, &tb, 0);
+            let ratio = c / a;
+            assert!(ratio > 8.0, "threads {t}: ratio {ratio:.1}");
+            assert!(ratio < 100.0, "threads {t}: ratio {ratio:.1}");
+        }
+    }
+
+    #[test]
+    fn aifm_saturates_at_its_agent() {
+        let aifm = AifmModel::paper();
+        let tb = xl170();
+        let t16 = aifm.throughput_mops(16, 50.0, &tb);
+        let t32 = aifm.throughput_mops(32, 50.0, &tb);
+        assert!(t16 <= aifm.agent_mops + 1e-9);
+        assert!((t32 - t16).abs() < 0.5, "flat at the agent cap");
+    }
+}

@@ -1,0 +1,33 @@
+//! # baselines — the comparison systems of the paper's evaluation
+//!
+//! Every Cowbird result is relative to something: two-sided and one-sided
+//! RDMA (sync and async), local memory, a SATA SSD (FASTER's default
+//! storage), Redy (batched-RPC disaggregation with dedicated I/O cores) and
+//! AIFM (green-thread yield-on-miss disaggregation). This crate provides:
+//!
+//! * [`model`] — the calibrated compute-side cost/throughput model used by
+//!   the figure-regeneration experiments. Simulating 16 threads × millions
+//!   of operations × 6 systems × dozens of configurations at packet level
+//!   would dominate `cargo bench` runtime, so throughput figures come from
+//!   this closed-form model (every constant documented against the paper or
+//!   the hardware datasheet), while latency figures and protocol validation
+//!   run packet-level on `simnet` (see [`sim_client`] and the
+//!   `cowbird-engine` crate). EXPERIMENTS.md records the methodology.
+//! * [`sim_client`] — a packet-level RDMA client node (sync/async one-sided
+//!   reads) for the latency experiment (Fig. 13) and model cross-validation.
+//! * [`ssd`] — SATA SSD parameters (FASTER's default IDevice backing).
+//! * [`redy`] — the Redy model: request batching plus pinned I/O threads
+//!   that steal cores from the application (Fig. 11).
+//! * [`aifm`] — the AIFM model: per-miss green-thread yield/reschedule cost
+//!   (Fig. 12).
+
+pub mod aifm;
+pub mod model;
+pub mod redy;
+pub mod sim_client;
+pub mod ssd;
+
+pub use aifm::AifmModel;
+pub use model::{Comm, NetParams, Testbed};
+pub use redy::RedyModel;
+pub use ssd::SsdModel;

@@ -1,0 +1,360 @@
+//! The calibrated throughput/cost model for the paper's communication
+//! primitives.
+//!
+//! ## Methodology
+//!
+//! The evaluation figures sweep {6 systems} × {4 record sizes} × {5 thread
+//! counts} × {millions of operations}. Packet-level simulation of every cell
+//! is possible but wasteful — per-op compute cost, not queueing dynamics,
+//! decides these curves (the paper's whole point is that the CPU cost of
+//! *calling* the communication library dominates). So throughput is
+//! computed from a closed-form model with three ingredients:
+//!
+//! 1. **Per-operation CPU time** on the compute node, from
+//!    [`rdma::CostModel`] (calibrated to the paper's Figure 2 `rdtsc`
+//!    breakdown);
+//! 2. **Blocked time** for synchronous primitives (a network RTT of
+//!    busy-polling per op);
+//! 3. **System-wide rate caps**: link bandwidth, NIC small-message rate,
+//!    and the offload engine's per-request message budget (which is what
+//!    response batching buys back — the "Cowbird (batching disabled)"
+//!    series).
+//!
+//! Thread scaling applies [`simnet::CpuSpec`]'s hyper-threading dilation
+//! (the testbed's Xeon 4110 has 8 cores / 16 HW threads, which is why every
+//! curve in the paper flattens past 8 threads).
+//!
+//! The latency experiment (Fig. 13) and the protocol tests run packet-level
+//! on `simnet` instead; `tests/` cross-validates this model's sync-RDMA
+//! point against the packet-level simulation.
+
+use rdma::cost::CostModel;
+use simnet::cpu::CpuSpec;
+
+/// Network and device rate parameters of the testbed.
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// Link rate, Gbps (testbed: 100 Gbps ConnectX-5).
+    pub bandwidth_gbps: f64,
+    /// One-sided RDMA read round-trip (request + response through the
+    /// switch), nanoseconds. In-rack RoCE with NIC processing: ~3.6 µs.
+    pub rtt_ns: f64,
+    /// Extra turnaround for a two-sided RPC (pool CPU dequeues, posts its
+    /// own write), nanoseconds.
+    pub two_sided_turnaround_ns: f64,
+    /// NIC small-message rate cap, million messages/s (CX-5 class NICs
+    /// sustain ~20-30 M msg/s without batching).
+    pub nic_msg_mops: f64,
+    /// Offload-engine request rate with response batching, MOPS.
+    pub engine_batch_mops: f64,
+    /// Offload-engine request rate without batching (every request pays
+    /// its own compute-NIC write + bookkeeping message), MOPS.
+    pub engine_nobatch_mops: f64,
+}
+
+impl NetParams {
+    /// The paper's testbed (§7).
+    pub fn testbed() -> NetParams {
+        NetParams {
+            bandwidth_gbps: 100.0,
+            rtt_ns: 3_600.0,
+            two_sided_turnaround_ns: 1_700.0,
+            nic_msg_mops: 26.0,
+            engine_batch_mops: 75.0,
+            engine_nobatch_mops: 24.0,
+        }
+    }
+
+    /// Payload-goodput cap for a record size, MOPS (headers included at the
+    /// RoCE per-packet overhead).
+    pub fn bandwidth_cap_mops(&self, record_size: u32) -> f64 {
+        let wire = record_size as f64 + rdma::wire::OUTER_OVERHEAD as f64 + 12.0;
+        self.bandwidth_gbps * 1e9 / 8.0 / wire / 1e6
+    }
+}
+
+/// The full testbed description.
+#[derive(Clone, Copy, Debug)]
+pub struct Testbed {
+    pub cpu: CpuSpec,
+    pub cost: CostModel,
+    pub net: NetParams,
+}
+
+impl Testbed {
+    /// §7: Xeon Silver 4110 (8C/16T), ConnectX-5 100 Gbps, Tofino switch.
+    pub fn paper() -> Testbed {
+        Testbed {
+            cpu: CpuSpec::xeon_4110(),
+            cost: CostModel::paper_defaults(),
+            net: NetParams::testbed(),
+        }
+    }
+}
+
+/// A communication primitive for reaching remote memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Comm {
+    /// No remote memory at all — the upper bound.
+    LocalMemory,
+    /// Two-sided RDMA RPC, blocking per op.
+    TwoSidedSync,
+    /// One-sided RDMA read, blocking per op.
+    OneSidedSync,
+    /// One-sided RDMA with post/poll separated and `batch` ops in flight.
+    OneSidedAsync { batch: usize },
+    /// Cowbird with engine response batching disabled.
+    CowbirdNoBatch,
+    /// Cowbird (the full system).
+    Cowbird,
+}
+
+impl Comm {
+    /// All series of Figures 1 and 8, in plot order.
+    pub fn figure8_series() -> [Comm; 6] {
+        [
+            Comm::TwoSidedSync,
+            Comm::OneSidedSync,
+            Comm::OneSidedAsync { batch: 100 },
+            Comm::CowbirdNoBatch,
+            Comm::Cowbird,
+            Comm::LocalMemory,
+        ]
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Comm::LocalMemory => "Local memory",
+            Comm::TwoSidedSync => "Two-sided RDMA (sync)",
+            Comm::OneSidedSync => "One-sided RDMA (sync)",
+            Comm::OneSidedAsync { .. } => "One-sided RDMA (async)",
+            Comm::CowbirdNoBatch => "Cowbird (batching disabled)",
+            Comm::Cowbird => "Cowbird",
+        }
+    }
+
+    /// Compute-node CPU consumed per remote operation, nanoseconds.
+    ///
+    /// Asynchronous primitives amortize their completion checks over the
+    /// entries each call returns (`ibv_poll_cq` and Cowbird's `poll_wait`
+    /// both drain batches); synchronous ones pay the full post+poll plus
+    /// busy-poll for the RTT (counted in [`Comm::per_op_block_ns`]).
+    pub fn per_op_cpu_ns(&self, cost: &CostModel) -> f64 {
+        let post = cost.rdma_post().nanos() as f64;
+        let poll = cost.rdma_poll().nanos() as f64;
+        match self {
+            Comm::LocalMemory => 0.0,
+            // Sync: one post, poll spins until the data returns (the spin
+            // itself is in per_op_block_ns; the final successful poll here).
+            Comm::TwoSidedSync => post + poll,
+            Comm::OneSidedSync => post + poll,
+            // Async: poll calls return ~2 completions each under load.
+            Comm::OneSidedAsync { .. } => post + poll / 2.0,
+            // Cowbird: a ring append; poll_wait amortizes its counter read
+            // over the completions it reaps (~8 per call under load).
+            Comm::CowbirdNoBatch | Comm::Cowbird => {
+                cost.cowbird_post().nanos() as f64 + cost.cowbird_poll().nanos() as f64 / 8.0
+            }
+        }
+    }
+
+    /// Time the calling thread is *blocked* (busy-polling) per remote op,
+    /// nanoseconds. Zero for asynchronous primitives.
+    pub fn per_op_block_ns(&self, net: &NetParams) -> f64 {
+        match self {
+            Comm::TwoSidedSync => net.rtt_ns + net.two_sided_turnaround_ns,
+            Comm::OneSidedSync => net.rtt_ns,
+            _ => 0.0,
+        }
+    }
+
+    /// System-wide throughput cap, MOPS (infinite when not applicable).
+    pub fn rate_cap_mops(&self, net: &NetParams, record_size: u32) -> f64 {
+        let bw = net.bandwidth_cap_mops(record_size);
+        match self {
+            Comm::LocalMemory => f64::INFINITY,
+            Comm::TwoSidedSync | Comm::OneSidedSync => bw,
+            Comm::OneSidedAsync { .. } => bw.min(net.nic_msg_mops),
+            Comm::CowbirdNoBatch => bw.min(net.engine_nobatch_mops),
+            Comm::Cowbird => bw.min(net.engine_batch_mops),
+        }
+    }
+
+    /// Is this a Cowbird variant?
+    pub fn is_cowbird(&self) -> bool {
+        matches!(self, Comm::Cowbird | Comm::CowbirdNoBatch)
+    }
+}
+
+/// Throughput of `threads` application threads performing ops that cost
+/// `app_ns` of application CPU each, where a `remote_fraction` of ops also
+/// pays the communication cost of `comm`. Returns MOPS.
+///
+/// `reserved_hw_threads` models helper threads pinned to cores (Redy's I/O
+/// threads); pass 0 otherwise.
+pub fn throughput_mops(
+    comm: Comm,
+    threads: u32,
+    app_ns: f64,
+    remote_fraction: f64,
+    record_size: u32,
+    tb: &Testbed,
+    reserved_hw_threads: u32,
+) -> f64 {
+    if threads == 0 {
+        return 0.0;
+    }
+    let per_op_ns = app_ns
+        + remote_fraction
+            * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
+    // Aggregate compute capacity in core-equivalents, shared with any
+    // reserved helper threads.
+    let capacity = if reserved_hw_threads == 0 {
+        tb.cpu.capacity(threads)
+    } else {
+        let total = tb.cpu.capacity(threads + reserved_hw_threads);
+        total * threads as f64 / (threads + reserved_hw_threads) as f64
+    };
+    let cpu_rate_mops = capacity / per_op_ns * 1e3; // 1e9 ns/s / 1e6 ops -> 1e3
+    let cap = if remote_fraction > 0.0 {
+        // The cap applies to remote ops; local ops ride free.
+        comm.rate_cap_mops(&tb.net, record_size) / remote_fraction
+    } else {
+        f64::INFINITY
+    };
+    cpu_rate_mops.min(cap)
+}
+
+/// The Fig. 10 metric: fraction of execution time spent inside the
+/// communication library.
+pub fn communication_ratio(
+    comm: Comm,
+    app_ns: f64,
+    remote_fraction: f64,
+    tb: &Testbed,
+) -> f64 {
+    let comm_ns =
+        remote_fraction * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
+    let total = app_ns + comm_ns;
+    if total == 0.0 {
+        0.0
+    } else {
+        comm_ns / total
+    }
+}
+
+/// Application CPU per hash-probe op for a record size (§8.1 model): fixed
+/// index/probe logic plus a per-byte copy/checksum term.
+pub fn hash_probe_app_ns(record_size: u32) -> f64 {
+    140.0 + 0.25 * record_size as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb() -> Testbed {
+        Testbed::paper()
+    }
+
+    #[test]
+    fn figure1_ordering_holds() {
+        // Fig. 1/8: sync << async << cowbird-nobatch <= cowbird <= local.
+        let tb = tb();
+        let app = hash_probe_app_ns(256);
+        let t = |c: Comm| throughput_mops(c, 4, app, 0.95, 256, &tb, 0);
+        let two_sync = t(Comm::TwoSidedSync);
+        let one_sync = t(Comm::OneSidedSync);
+        let async_ = t(Comm::OneSidedAsync { batch: 100 });
+        let nobatch = t(Comm::CowbirdNoBatch);
+        let cowbird = t(Comm::Cowbird);
+        let local = t(Comm::LocalMemory);
+        assert!(two_sync < one_sync, "{two_sync} vs {one_sync}");
+        assert!(one_sync < async_ / 5.0, "sync an order of magnitude below async");
+        assert!(async_ < nobatch);
+        assert!(nobatch <= cowbird);
+        assert!(cowbird <= local);
+    }
+
+    #[test]
+    fn cowbird_within_tens_of_percent_of_local() {
+        // §8.1: "closes the gap between local and remote memory performance
+        // (within 11.4%)" — our calibration keeps it under 20% off-cap.
+        let tb = tb();
+        for rs in [8u32, 64] {
+            let app = hash_probe_app_ns(rs);
+            let local = throughput_mops(Comm::LocalMemory, 16, app, 0.95, rs, &tb, 0);
+            let cb = throughput_mops(Comm::Cowbird, 16, app, 0.95, rs, &tb, 0);
+            let gap = (local - cb) / local;
+            assert!(gap < 0.20, "record {rs}: gap {gap:.3}");
+            assert!(gap > 0.0);
+        }
+    }
+
+    #[test]
+    fn cowbird_speedup_over_async_rdma_is_several_x() {
+        // §1: "up to 3.5x compared to RDMA-only communication".
+        let tb = tb();
+        let app = hash_probe_app_ns(8);
+        let async_ = throughput_mops(Comm::OneSidedAsync { batch: 100 }, 16, app, 0.95, 8, &tb, 0);
+        let cb = throughput_mops(Comm::Cowbird, 16, app, 0.95, 8, &tb, 0);
+        let speedup = cb / async_;
+        assert!(speedup > 2.5 && speedup < 5.0, "speedup {speedup:.2}");
+    }
+
+    #[test]
+    fn large_records_hit_bandwidth_wall() {
+        // Fig. 8c/d: with 16 threads and >=256 B records, Cowbird reaches
+        // the dashed bandwidth bound.
+        let tb = tb();
+        for rs in [256u32, 512] {
+            let app = hash_probe_app_ns(rs);
+            let cb = throughput_mops(Comm::Cowbird, 16, app, 0.95, rs, &tb, 0);
+            let cap = tb.net.bandwidth_cap_mops(rs) / 0.95;
+            assert!((cb - cap).abs() / cap < 0.01, "record {rs}: {cb} vs cap {cap}");
+            // Local memory is NOT bandwidth-capped.
+            let local = throughput_mops(Comm::LocalMemory, 16, app, 0.95, rs, &tb, 0);
+            assert!(local > cap);
+        }
+    }
+
+    #[test]
+    fn sync_comm_ratio_above_80_percent_cowbird_below_20() {
+        // Fig. 10's headline numbers.
+        let tb = tb();
+        let app = 600.0; // FASTER-ish per-op logic
+        let sync = communication_ratio(Comm::OneSidedSync, app, 0.9, &tb);
+        let cb = communication_ratio(Comm::Cowbird, app, 0.9, &tb);
+        assert!(sync > 0.8, "sync ratio {sync}");
+        assert!(cb < 0.2, "cowbird ratio {cb}");
+    }
+
+    #[test]
+    fn scaling_flattens_past_physical_cores() {
+        let tb = tb();
+        let app = hash_probe_app_ns(8);
+        let t8 = throughput_mops(Comm::Cowbird, 8, app, 0.95, 8, &tb, 0);
+        let t16 = throughput_mops(Comm::Cowbird, 16, app, 0.95, 8, &tb, 0);
+        let t4 = throughput_mops(Comm::Cowbird, 4, app, 0.95, 8, &tb, 0);
+        // Nearly linear up to 8; sublinear 8 -> 16.
+        assert!((t8 / t4 - 2.0).abs() < 0.05);
+        assert!(t16 / t8 > 1.1 && t16 / t8 < 1.4, "ratio {}", t16 / t8);
+    }
+
+    #[test]
+    fn reserved_threads_reduce_throughput() {
+        let tb = tb();
+        let app = hash_probe_app_ns(64);
+        let alone = throughput_mops(Comm::Cowbird, 8, app, 0.9, 64, &tb, 0);
+        let crowded = throughput_mops(Comm::Cowbird, 8, app, 0.9, 64, &tb, 8);
+        assert!(crowded < alone * 0.7, "{crowded} vs {alone}");
+    }
+
+    #[test]
+    fn bandwidth_cap_math() {
+        let net = NetParams::testbed();
+        // 512 B + 62 overhead + 12 BTH = 586 B -> 100e9/8/586 ~ 21.3 MOPS.
+        let cap = net.bandwidth_cap_mops(512);
+        assert!((cap - 21.33).abs() < 0.5, "cap {cap}");
+    }
+}

@@ -1,0 +1,125 @@
+//! The Redy model (paper §8.2, Figure 11).
+//!
+//! "Redy ... batches user requests and sends them to the memory server
+//! through RDMA connections ... In optimizing performance, Redy spawns
+//! extra I/O threads that are pinned to physical cores on the compute node
+//! for batching requests and processing completions. [...] even when we
+//! allocate 8 cores to FASTER, the remaining cores are not sufficient for
+//! Redy to achieve its optimal performance."
+//!
+//! Two effects matter:
+//!
+//! 1. the application still pays a hand-off cost per request (enqueue into
+//!    the I/O thread's batch, check for its completion) — cheaper than raw
+//!    verbs but far from free;
+//! 2. the pinned I/O threads occupy hardware threads the application
+//!    needs, and each I/O thread has a finite request rate; once the
+//!    machine runs out of cores, adding application threads *hurts*.
+
+use simnet::cpu::CpuSpec;
+
+use crate::model::Testbed;
+
+/// Redy's configuration and cost parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct RedyModel {
+    /// Application-side CPU per request hand-off (enqueue + completion
+    /// check through shared-memory queues with the I/O thread).
+    pub handoff_ns: f64,
+    /// Requests per second one pinned I/O thread sustains (it still pays
+    /// the full verb costs, amortized over batches).
+    pub io_thread_mops: f64,
+    /// I/O threads Redy pins for `app_threads` application threads
+    /// (roughly one per two application threads, minimum one).
+    pub io_threads_per_app_pair: bool,
+}
+
+impl RedyModel {
+    pub fn paper() -> RedyModel {
+        RedyModel {
+            handoff_ns: 180.0,
+            io_thread_mops: 2.2,
+            io_threads_per_app_pair: true,
+        }
+    }
+
+    /// Pinned I/O threads for a given application thread count.
+    pub fn io_threads(&self, app_threads: u32) -> u32 {
+        if self.io_threads_per_app_pair {
+            app_threads.div_ceil(2).max(1)
+        } else {
+            1
+        }
+    }
+
+    /// End-to-end FASTER-on-Redy throughput, MOPS.
+    pub fn throughput_mops(
+        &self,
+        app_threads: u32,
+        app_ns: f64,
+        remote_fraction: f64,
+        tb: &Testbed,
+    ) -> f64 {
+        if app_threads == 0 {
+            return 0.0;
+        }
+        let io = self.io_threads(app_threads);
+        let per_op = app_ns + remote_fraction * self.handoff_ns;
+        let capacity = app_capacity(&tb.cpu, app_threads, io);
+        let app_rate = capacity / per_op * 1e3;
+        // I/O threads themselves get dilated when the machine oversubscribes.
+        let io_capacity = io_capacity(&tb.cpu, app_threads, io);
+        let io_rate = io_capacity * self.io_thread_mops / remote_fraction.max(1e-9);
+        app_rate.min(io_rate)
+    }
+}
+
+fn app_capacity(cpu: &CpuSpec, app: u32, io: u32) -> f64 {
+    let total = cpu.capacity(app + io);
+    total * app as f64 / (app + io) as f64
+}
+
+fn io_capacity(cpu: &CpuSpec, app: u32, io: u32) -> f64 {
+    let total = cpu.capacity(app + io);
+    (total * io as f64 / (app + io) as f64).min(io as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_thread_count_scales_with_app_threads() {
+        let m = RedyModel::paper();
+        assert_eq!(m.io_threads(1), 1);
+        assert_eq!(m.io_threads(2), 1);
+        assert_eq!(m.io_threads(8), 4);
+        assert_eq!(m.io_threads(16), 8);
+    }
+
+    #[test]
+    fn redy_runs_out_of_cores_past_eight_threads() {
+        // Fig. 11: Redy's curve flattens (or dips) past 8 application
+        // threads because app + I/O threads exceed the machine.
+        let m = RedyModel::paper();
+        let tb = Testbed::paper();
+        let t8 = m.throughput_mops(8, 1200.0, 0.8, &tb);
+        let t16 = m.throughput_mops(16, 1200.0, 0.8, &tb);
+        let gain = t16 / t8;
+        assert!(gain < 1.15, "Redy must stop scaling, gain {gain:.2}");
+    }
+
+    #[test]
+    fn cowbird_beats_redy_at_scale() {
+        // §1: "1.6x versus Redy".
+        let m = RedyModel::paper();
+        let tb = Testbed::paper();
+        let app = 1200.0;
+        let rf = 0.8;
+        let redy = m.throughput_mops(16, app, rf, &tb);
+        let cowbird =
+            crate::model::throughput_mops(crate::model::Comm::Cowbird, 16, app, rf, 64, &tb, 0);
+        let adv = cowbird / redy;
+        assert!(adv > 1.3 && adv < 2.5, "advantage {adv:.2}");
+    }
+}

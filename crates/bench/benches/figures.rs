@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper and prints them.
+//!
+//! Run all:            cargo bench --bench figures
+//! Run one artifact:   cargo bench --bench figures -- fig08
+//! (matches on the artifact id, case-insensitive)
+
+use experiments::experiments;
+
+fn main() {
+    let filter: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let start = std::time::Instant::now();
+    let tables = experiments::all();
+    let mut shown = 0;
+    for t in &tables {
+        let key = t.id.to_lowercase().replace(' ', "").replace("figure", "fig");
+        if filter.is_empty() || filter.iter().any(|f| key.contains(f)) {
+            println!("{t}");
+            shown += 1;
+        }
+    }
+    eprintln!(
+        "[{} artifact(s) regenerated in {:.1}s]",
+        shown,
+        start.elapsed().as_secs_f64()
+    );
+}

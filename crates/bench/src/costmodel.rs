@@ -1,0 +1,95 @@
+//! Cloud pricing (paper Table 1 and §2.2) and the cost-efficiency argument.
+//!
+//! "With spot instances, the cost can be reduced by up to 90 %, which makes
+//! even small improvements to compute-node CPU utilization worth it,
+//! especially if these instances can handle multiple compute nodes
+//! simultaneously. Some cloud platforms like GCP further provide pure spot
+//! CPUs with even lower prices: $0.009638 per vCPU-hour."
+
+/// One cloud VM price point (4 vCPUs, 16 GB — Table 1's shape).
+#[derive(Clone, Copy, Debug)]
+pub struct VmPrice {
+    pub provider: &'static str,
+    pub instance: &'static str,
+    pub on_demand_per_hour: f64,
+    pub spot_per_hour: f64,
+}
+
+impl VmPrice {
+    /// Fractional savings of spot over on-demand.
+    pub fn spot_discount(&self) -> f64 {
+        1.0 - self.spot_per_hour / self.on_demand_per_hour
+    }
+}
+
+/// Table 1's rows (prices as of 2023-07-24, per the paper).
+pub fn table1_prices() -> [VmPrice; 3] {
+    [
+        VmPrice {
+            provider: "GCP",
+            instance: "c3-standard-4",
+            on_demand_per_hour: 0.257,
+            spot_per_hour: 0.059,
+        },
+        VmPrice {
+            provider: "AWS",
+            instance: "m5.xlarge",
+            on_demand_per_hour: 0.192,
+            spot_per_hour: 0.049,
+        },
+        VmPrice {
+            provider: "Azure",
+            instance: "D4s-v3",
+            on_demand_per_hour: 0.236,
+            spot_per_hour: 0.023,
+        },
+    ]
+}
+
+/// GCP's pure spot vCPU price quoted in §2.2, $/vCPU-hour.
+pub const GCP_SPOT_VCPU_HOUR: f64 = 0.009638;
+
+/// Dollar cost per billion offloaded operations when a spot engine core
+/// sustains `engine_mops` and costs `vcpu_hour_price`.
+pub fn engine_cost_per_gop(engine_mops: f64, vcpu_hour_price: f64) -> f64 {
+    let ops_per_hour = engine_mops * 1e6 * 3600.0;
+    vcpu_hour_price / ops_per_hour * 1e9
+}
+
+/// Dollar value of compute-node CPU freed per hour: `freed_cores`
+/// on-demand cores at `on_demand_4vcpu_hour` (a 4-vCPU bundle price).
+pub fn freed_cpu_value_per_hour(freed_cores: f64, on_demand_4vcpu_hour: f64) -> f64 {
+    freed_cores * on_demand_4vcpu_hour / 4.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discounts_match_paper_claim() {
+        // "the cost can be reduced by up to 90%".
+        let prices = table1_prices();
+        let max = prices
+            .iter()
+            .map(|p| p.spot_discount())
+            .fold(0.0f64, f64::max);
+        assert!(max > 0.89, "max discount {max}");
+        for p in prices {
+            assert!(p.spot_discount() > 0.7, "{}: {}", p.provider, p.spot_discount());
+        }
+    }
+
+    #[test]
+    fn offload_is_cheaper_than_the_cpu_it_frees() {
+        // One spot core running the engine at ~2 MOPS versus the on-demand
+        // compute cores Cowbird frees: the economics the paper argues.
+        let engine_cost = engine_cost_per_gop(2.0, GCP_SPOT_VCPU_HOUR);
+        // Freeing even half a core of on-demand GCP compute...
+        let freed_value = freed_cpu_value_per_hour(0.5, 0.257);
+        // ...pays for hours of engine time per hour.
+        let engine_cost_per_hour = GCP_SPOT_VCPU_HOUR;
+        assert!(freed_value > 3.0 * engine_cost_per_hour);
+        assert!(engine_cost < 0.01, "cost per Gop {engine_cost}");
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 1: hash-index probe of 256-byte elements in remote memory,
+//! normalized to local-memory performance, for 1/2/4 application threads.
+
+use baselines::model::{hash_probe_app_ns, throughput_mops, Comm, Testbed};
+
+use crate::report::{fnum, Table};
+
+pub fn run() -> Table {
+    let tb = Testbed::paper();
+    let record = 256u32;
+    let app = hash_probe_app_ns(record);
+    let remote = 0.95;
+    let mut t = Table::new(
+        "Figure 1",
+        "Hash-index probe throughput, 256 B records, normalized to local memory",
+        &["system", "1 thread", "2 threads", "4 threads"],
+    )
+    .with_paper_note(
+        "sync RDMA ~0.05x, async ~0.3x, Cowbird-no-batch below Cowbird, Cowbird ~1.0x of local",
+    );
+    let threads = [1u32, 2, 4];
+    let locals: Vec<f64> = threads
+        .iter()
+        .map(|&n| throughput_mops(Comm::LocalMemory, n, app, remote, record, &tb, 0))
+        .collect();
+    for comm in Comm::figure8_series() {
+        let mut row = vec![comm.label().to_string()];
+        for (i, &n) in threads.iter().enumerate() {
+            let mops = throughput_mops(comm, n, app, remote, record, &tb, 0);
+            row.push(fnum(mops / locals[i]));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_and_ordering() {
+        let t = run();
+        // Local memory is 1.0 by construction.
+        for col in ["1 thread", "2 threads", "4 threads"] {
+            assert_eq!(t.cell_f64("Local memory", col), Some(1.0));
+            let sync = t.cell_f64("One-sided RDMA (sync)", col).unwrap();
+            let async_ = t.cell_f64("One-sided RDMA (async)", col).unwrap();
+            let cowbird = t.cell_f64("Cowbird", col).unwrap();
+            assert!(sync < 0.1, "sync {sync}");
+            assert!(async_ > sync && async_ < cowbird);
+            assert!(cowbird > 0.75 && cowbird <= 1.0, "cowbird {cowbird}");
+        }
+    }
+}

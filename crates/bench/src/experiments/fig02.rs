@@ -1,0 +1,68 @@
+//! Figure 2: compute-side CPU time breakdown of a single read — Cowbird
+//! versus asynchronous one-sided RDMA (post: lock/doorbell/WQE; poll:
+//! lock/CQE).
+
+use rdma::cost::CostModel;
+
+use crate::report::Table;
+
+pub fn run() -> Table {
+    let m = CostModel::paper_defaults();
+    let mut t = Table::new(
+        "Figure 2",
+        "CPU time of one read on the compute node (ns)",
+        &["system", "subtask", "ns", "cumulative ns"],
+    )
+    .with_paper_note(
+        "RDMA total ~650 ns dominated by lock/doorbell/fence costs; Cowbird an order of magnitude lower",
+    );
+    let mut cum = 0u64;
+    for (task, ns) in [
+        ("post: lock", m.post_lock_ns),
+        ("post: doorbell", m.post_doorbell_ns),
+        ("post: wqe", m.post_wqe_ns),
+        ("poll: lock", m.poll_lock_ns),
+        ("poll: cqe", m.poll_cqe_ns),
+    ] {
+        cum += ns;
+        t.push_row(vec![
+            "RDMA (async one-sided)".into(),
+            task.into(),
+            ns.to_string(),
+            cum.to_string(),
+        ]);
+    }
+    let mut cum = 0u64;
+    for (task, ns) in [
+        ("Cowbird post", m.cowbird_post_ns),
+        ("Cowbird poll", m.cowbird_poll_ns),
+    ] {
+        cum += ns;
+        t.push_row(vec!["Cowbird".into(), task.into(), ns.to_string(), cum.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_keep_the_order_of_magnitude_gap() {
+        let t = run();
+        let rdma_total: u64 = t
+            .rows
+            .iter()
+            .filter(|r| r[0].starts_with("RDMA"))
+            .map(|r| r[2].parse::<u64>().unwrap())
+            .sum();
+        let cowbird_total: u64 = t
+            .rows
+            .iter()
+            .filter(|r| r[0] == "Cowbird")
+            .map(|r| r[2].parse::<u64>().unwrap())
+            .sum();
+        assert!(rdma_total >= 600);
+        assert!(rdma_total / cowbird_total >= 10);
+    }
+}

@@ -1,0 +1,94 @@
+//! Figure 8 (a–d): hash-table throughput backed by disaggregated memory —
+//! six systems, record sizes 8/64/256/512 B, 1–16 application threads,
+//! with the bandwidth upper bound marked for the large records.
+
+use baselines::model::{hash_probe_app_ns, throughput_mops, Comm, Testbed};
+use workloads::hashtable::HashTableSpec;
+
+use crate::report::{fnum, Table};
+
+const THREADS: [u32; 5] = [1, 2, 4, 8, 16];
+
+pub fn run() -> Vec<Table> {
+    [8u32, 64, 256, 512]
+        .iter()
+        .enumerate()
+        .map(|(i, &rs)| sub_figure(char::from(b'a' + i as u8), rs))
+        .collect()
+}
+
+fn sub_figure(letter: char, record_size: u32) -> Table {
+    let tb = Testbed::paper();
+    let spec = HashTableSpec::paper(record_size);
+    let app = hash_probe_app_ns(record_size);
+    let remote = 1.0 - spec.local_fraction;
+    let mut t = Table::new(
+        &format!("Figure 8{letter}"),
+        &format!("Hash table MOPS, {record_size} B records, {} % remote", (remote * 100.0) as u32),
+        &["system", "1", "2", "4", "8", "16"],
+    )
+    .with_paper_note(match record_size {
+        8 => "Cowbird within ~11% of local; 3.5x over async RDMA; sync an order of magnitude down",
+        64 => "same ordering as 8 B with slightly lower absolute MOPS",
+        256 => "Cowbird reaches the dashed bandwidth bound at high thread counts",
+        _ => "bandwidth bound ~21 MOPS dominates every remote system at 16 threads",
+    });
+    for comm in Comm::figure8_series() {
+        let mut row = vec![comm.label().to_string()];
+        for &n in &THREADS {
+            row.push(fnum(throughput_mops(comm, n, app, remote, record_size, &tb, 0)));
+        }
+        t.push_row(row);
+    }
+    // The dashed bandwidth upper bound of Fig. 8c/d.
+    let mut bound = vec!["Bandwidth bound".to_string()];
+    for _ in THREADS {
+        bound.push(fnum(tb.net.bandwidth_cap_mops(record_size) / remote));
+    }
+    t.push_row(bound);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_subfigures_with_all_series() {
+        let figs = run();
+        assert_eq!(figs.len(), 4);
+        for f in &figs {
+            assert_eq!(f.rows.len(), 7); // 6 systems + bound
+        }
+    }
+
+    #[test]
+    fn small_records_cowbird_tracks_local() {
+        let figs = run();
+        let a = &figs[0];
+        let local = a.cell_f64("Local memory", "16").unwrap();
+        let cowbird = a.cell_f64("Cowbird", "16").unwrap();
+        assert!(cowbird / local > 0.8, "{cowbird}/{local}");
+    }
+
+    #[test]
+    fn large_records_capped_at_bandwidth() {
+        let figs = run();
+        let d = &figs[3];
+        let cowbird = d.cell_f64("Cowbird", "16").unwrap();
+        let bound = d.cell_f64("Bandwidth bound", "16").unwrap();
+        assert!((cowbird - bound).abs() / bound < 0.02);
+        // Local memory exceeds the network bound.
+        assert!(d.cell_f64("Local memory", "16").unwrap() > bound);
+    }
+
+    #[test]
+    fn async_an_order_of_magnitude_over_sync() {
+        let figs = run();
+        for f in &figs {
+            let sync = f.cell_f64("One-sided RDMA (sync)", "4").unwrap();
+            let async_ = f.cell_f64("One-sided RDMA (async)", "4").unwrap();
+            assert!(async_ / sync > 4.0, "{}: {async_}/{sync}", f.id);
+        }
+    }
+}

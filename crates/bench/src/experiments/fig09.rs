@@ -1,0 +1,165 @@
+//! Figure 9 (a–b): FASTER on YCSB (Zipfian θ=0.99) with six storage
+//! backends, for 64 B and 512 B values.
+//!
+//! ## FASTER operation model
+//!
+//! Per-op application cost = index lookup + log access + IDevice dispatch
+//! (`FASTER_APP_NS`) plus a cross-thread coordination term that grows with
+//! the thread count (`COORD_NS_PER_THREAD`) — the paper notes "the
+//! end-to-end performance bottleneck becomes FASTER's cross-thread
+//! coordination in IDevice" at high thread counts.
+//!
+//! The storage-hit fraction comes from the configured residency: the hybrid
+//! log keeps 5 GB of 18 GB (small values) or 24 GB (large) in memory, and
+//! the YCSB keys are scrambled, so the resident set is an effectively
+//! uniform sample of the key space — the miss ratio ≈ 1 − resident
+//! fraction ("This configuration ensures that most operations are serviced
+//! by the storage layer").
+
+use baselines::model::{throughput_mops, Comm, Testbed};
+use baselines::ssd::SsdModel;
+use workloads::ycsb::YcsbSpec;
+
+use crate::report::{fnum, Table};
+
+pub const THREADS: [u32; 5] = [1, 2, 4, 8, 16];
+/// FASTER per-op CPU: hash-index lookup, hybrid-log address resolution,
+/// record copy, IDevice bookkeeping.
+pub const FASTER_APP_NS: f64 = 500.0;
+/// Cross-thread coordination in the shared IDevice completion path.
+pub const COORD_NS_PER_THREAD: f64 = 6.0;
+/// Local in-memory bytes (5 GB, §8.1).
+pub const LOCAL_BYTES: f64 = 5e9;
+
+/// Fraction of operations serviced by the storage layer for a database.
+pub fn storage_fraction(spec: &YcsbSpec) -> f64 {
+    (1.0 - LOCAL_BYTES / spec.total_bytes() as f64).clamp(0.0, 1.0)
+}
+
+/// Per-op FASTER application cost at a thread count.
+pub fn faster_app_ns(threads: u32) -> f64 {
+    FASTER_APP_NS + COORD_NS_PER_THREAD * threads as f64
+}
+
+/// The six Figure 9 backends.
+pub fn backends() -> [(&'static str, Backend); 6] {
+    [
+        ("SSD", Backend::Ssd),
+        ("One-sided RDMA (sync)", Backend::Comm(Comm::OneSidedSync)),
+        (
+            "One-sided RDMA (async)",
+            Backend::Comm(Comm::OneSidedAsync { batch: 100 }),
+        ),
+        // Cowbird-P4 performs no response batching but its message budget
+        // does not bind at FASTER rates — the paper finds the two variants
+        // "achieve similar performance across different workloads".
+        ("Cowbird-P4", Backend::Comm(Comm::CowbirdNoBatch)),
+        ("Cowbird-Spot", Backend::Comm(Comm::Cowbird)),
+        ("Local memory", Backend::Comm(Comm::LocalMemory)),
+    ]
+}
+
+#[derive(Clone, Copy)]
+pub enum Backend {
+    Ssd,
+    Comm(Comm),
+}
+
+/// FASTER throughput for a backend, MOPS.
+pub fn faster_mops(backend: Backend, threads: u32, spec: &YcsbSpec, tb: &Testbed) -> f64 {
+    let sf = storage_fraction(spec);
+    let app = faster_app_ns(threads);
+    match backend {
+        Backend::Ssd => SsdModel::testbed().throughput_mops(threads, app, sf, spec.record_size(), &tb.cpu),
+        Backend::Comm(c) => throughput_mops(c, threads, app, sf, spec.record_size(), tb, 0),
+    }
+}
+
+pub fn run() -> Vec<Table> {
+    vec![
+        sub_figure('a', YcsbSpec::paper_small()),
+        sub_figure('b', YcsbSpec::paper_large()),
+    ]
+}
+
+fn sub_figure(letter: char, spec: YcsbSpec) -> Table {
+    let tb = Testbed::paper();
+    let mut t = Table::new(
+        &format!("Figure 9{letter}"),
+        &format!(
+            "FASTER YCSB (Zipf 0.99) MOPS, {} B values, {} M records",
+            spec.value_size,
+            spec.records / 1_000_000
+        ),
+        &["backend", "1", "2", "4", "8", "16"],
+    )
+    .with_paper_note(
+        "remote memory >= 2.3x over SSD; Cowbird 12-84x over SSD, within 8% of local, up to 40% over async RDMA",
+    );
+    for (label, backend) in backends() {
+        let mut row = vec![label.to_string()];
+        for &n in &THREADS {
+            row.push(fnum(faster_mops(backend, n, &spec, &tb)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_ratios_hold() {
+        for f in run() {
+            let ssd = f.cell_f64("SSD", "16").unwrap();
+            let sync = f.cell_f64("One-sided RDMA (sync)", "16").unwrap();
+            let cowbird = f.cell_f64("Cowbird-Spot", "16").unwrap();
+            let local = f.cell_f64("Local memory", "16").unwrap();
+            // "utilizing remote memory for FASTER is at least 2.3x faster
+            // than SSDs"
+            assert!(sync / ssd > 1.5, "{}: sync {sync} ssd {ssd}", f.id);
+            // "the speedup with Cowbird ranges from 12x to 84x" (over SSD)
+            let speedup = cowbird / ssd;
+            assert!((10.0..100.0).contains(&speedup), "{}: {speedup}", f.id);
+            // "Cowbird is consistently within 8% of local memory"
+            let gap = (local - cowbird) / local;
+            assert!(gap < 0.10, "{}: gap {gap}", f.id);
+        }
+    }
+
+    #[test]
+    fn p4_and_spot_are_similar() {
+        for f in run() {
+            for col in ["1", "4", "16"] {
+                let p4 = f.cell_f64("Cowbird-P4", col).unwrap();
+                let spot = f.cell_f64("Cowbird-Spot", col).unwrap();
+                assert!((p4 - spot).abs() / spot < 0.05, "{}: {p4} vs {spot}", f.id);
+            }
+        }
+    }
+
+    #[test]
+    fn cowbird_beats_async_most_at_low_threads() {
+        // "the relative overhead of asynchronous one-sided RDMA reduces
+        // with higher thread counts".
+        let f = &run()[0];
+        let adv = |col: &str| {
+            f.cell_f64("Cowbird-Spot", col).unwrap()
+                / f.cell_f64("One-sided RDMA (async)", col).unwrap()
+        };
+        let adv1 = adv("1");
+        let adv16 = adv("16");
+        assert!(adv1 > adv16, "{adv1} vs {adv16}");
+        assert!(adv1 > 1.2 && adv1 < 1.8, "up to ~60%: {adv1}");
+    }
+
+    #[test]
+    fn storage_fraction_matches_configuration() {
+        let small = storage_fraction(&YcsbSpec::paper_small());
+        let large = storage_fraction(&YcsbSpec::paper_large());
+        assert!((small - (1.0 - 5.0 / 18.0)).abs() < 0.01, "{small}");
+        assert!(large > small, "larger DB -> more storage hits");
+    }
+}

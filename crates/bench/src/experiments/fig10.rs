@@ -1,0 +1,64 @@
+//! Figure 10 (a–b): the communication ratio — "time spent in the
+//! communication library over the total execution time of the application"
+//! — for FASTER with each remote-memory backend.
+
+use baselines::model::{communication_ratio, Comm, Testbed};
+use workloads::ycsb::YcsbSpec;
+
+use crate::experiments::fig09::{faster_app_ns, storage_fraction, THREADS};
+use crate::report::{fnum, Table};
+
+pub fn run() -> Vec<Table> {
+    vec![
+        sub_figure('a', YcsbSpec::paper_small()),
+        sub_figure('b', YcsbSpec::paper_large()),
+    ]
+}
+
+fn sub_figure(letter: char, spec: YcsbSpec) -> Table {
+    let tb = Testbed::paper();
+    let sf = storage_fraction(&spec);
+    let mut t = Table::new(
+        &format!("Figure 10{letter}"),
+        &format!("Communication ratio, {} B values", spec.value_size),
+        &["backend", "1", "2", "4", "8", "16"],
+    )
+    .with_paper_note(
+        "sync RDMA spends >80% of time in communication; Cowbird consistently <20%",
+    );
+    let series = [
+        ("One-sided RDMA (sync)", Comm::OneSidedSync),
+        ("One-sided RDMA (async)", Comm::OneSidedAsync { batch: 100 }),
+        ("Cowbird-P4", Comm::CowbirdNoBatch),
+        ("Cowbird-Spot", Comm::Cowbird),
+    ];
+    for (label, comm) in series {
+        let mut row = vec![label.to_string()];
+        for &n in &THREADS {
+            row.push(fnum(communication_ratio(comm, faster_app_ns(n), sf, &tb)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_thresholds() {
+        for f in run() {
+            for col in ["1", "8", "16"] {
+                let sync = f.cell_f64("One-sided RDMA (sync)", col).unwrap();
+                let spot = f.cell_f64("Cowbird-Spot", col).unwrap();
+                let p4 = f.cell_f64("Cowbird-P4", col).unwrap();
+                assert!(sync > 0.8, "{}: sync {sync}", f.id);
+                assert!(spot < 0.2, "{}: spot {spot}", f.id);
+                assert!(p4 < 0.2, "{}: p4 {p4}", f.id);
+                let async_ = f.cell_f64("One-sided RDMA (async)", col).unwrap();
+                assert!(async_ > spot && async_ < sync);
+            }
+        }
+    }
+}

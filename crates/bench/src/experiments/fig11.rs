@@ -1,0 +1,71 @@
+//! Figure 11: FASTER throughput with Redy versus Cowbird-Spot (YCSB,
+//! 64-byte records, uniform keys, 1 GB local memory). Redy's pinned I/O
+//! threads compete for cores; past 8 application threads the machine is
+//! "out of cores" and Redy stops scaling.
+
+use baselines::model::{throughput_mops, Comm, Testbed};
+use baselines::redy::RedyModel;
+use workloads::ycsb::YcsbSpec;
+
+use crate::experiments::fig09::faster_app_ns;
+use crate::report::{fnum, Table};
+
+/// 1 GB local memory (vs 5 GB elsewhere) — nearly everything hits storage.
+fn storage_fraction() -> f64 {
+    let spec = YcsbSpec::fig11_redy();
+    (1.0 - 1e9 / spec.total_bytes() as f64).clamp(0.0, 1.0)
+}
+
+pub fn run() -> Table {
+    let tb = Testbed::paper();
+    let redy = RedyModel::paper();
+    let sf = storage_fraction();
+    let mut t = Table::new(
+        "Figure 11",
+        "FASTER YCSB (uniform, 64 B, 1 GB local): Redy vs Cowbird-Spot (MOPS)",
+        &["threads", "Redy", "Redy I/O threads", "Cowbird-Spot"],
+    )
+    .with_paper_note(
+        "Redy flattens past 8 threads (out of cores); Cowbird keeps every core for the application (~1.6x)",
+    );
+    for n in [1u32, 2, 4, 8, 16] {
+        let app = faster_app_ns(n);
+        let r = redy.throughput_mops(n, app, sf, &tb);
+        let c = throughput_mops(Comm::Cowbird, n, app, sf, 64, &tb, 0);
+        t.push_row(vec![
+            n.to_string(),
+            fnum(r),
+            redy.io_threads(n).to_string(),
+            fnum(c),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cowbird_wins_and_redy_stalls() {
+        let t = run();
+        let redy16 = t.cell_f64("16", "Redy").unwrap();
+        let redy8 = t.cell_f64("8", "Redy").unwrap();
+        let cb16 = t.cell_f64("16", "Cowbird-Spot").unwrap();
+        let cb8 = t.cell_f64("8", "Cowbird-Spot").unwrap();
+        // Redy out of cores: no meaningful gain 8 -> 16.
+        assert!(redy16 / redy8 < 1.15, "{redy8} -> {redy16}");
+        // Cowbird still scales into hyper-threads.
+        assert!(cb16 / cb8 > 1.1, "{cb8} -> {cb16}");
+        // Advantage at full scale ~1.6x.
+        let adv = cb16 / redy16;
+        assert!((1.3..2.5).contains(&adv), "advantage {adv}");
+    }
+
+    #[test]
+    fn redy_io_threads_grow_with_app_threads() {
+        let t = run();
+        assert_eq!(t.cell("16", "Redy I/O threads"), Some("8"));
+        assert_eq!(t.cell("2", "Redy I/O threads"), Some("1"));
+    }
+}

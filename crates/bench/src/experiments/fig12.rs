@@ -1,0 +1,64 @@
+//! Figure 12: uniform random reads of 8-byte objects — AIFM versus
+//! Cowbird-Spot on the CloudLab xl170 deployment.
+
+use baselines::aifm::AifmModel;
+use baselines::model::{throughput_mops, Comm, Testbed};
+use simnet::cpu::CpuSpec;
+
+use crate::report::{fnum, Table};
+
+/// A bare 8-byte object read loop: pointer chase + copy.
+const APP_NS: f64 = 50.0;
+
+fn xl170() -> Testbed {
+    let mut tb = Testbed::paper();
+    tb.cpu = CpuSpec::xl170();
+    tb.net.bandwidth_gbps = 25.0;
+    tb
+}
+
+pub fn run() -> Table {
+    let tb = xl170();
+    let aifm = AifmModel::paper();
+    let mut t = Table::new(
+        "Figure 12",
+        "Uniform 8 B remote reads (xl170): AIFM vs Cowbird-Spot (MOPS)",
+        &["threads", "AIFM", "Cowbird-Spot", "speedup"],
+    )
+    .with_paper_note("Cowbird an order of magnitude (up to 71x) higher across thread counts");
+    for n in [1u32, 2, 4, 8, 16] {
+        let a = aifm.throughput_mops(n, APP_NS, &tb);
+        let c = throughput_mops(Comm::Cowbird, n, APP_NS, 1.0, 8, &tb, 0);
+        t.push_row(vec![
+            n.to_string(),
+            fnum(a),
+            fnum(c),
+            format!("{:.0}x", c / a),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_of_magnitude_gap_everywhere() {
+        let t = run();
+        for n in ["1", "2", "4", "8", "16"] {
+            let a = t.cell_f64(n, "AIFM").unwrap();
+            let c = t.cell_f64(n, "Cowbird-Spot").unwrap();
+            assert!(c / a >= 8.0, "threads {n}: {c}/{a}");
+        }
+    }
+
+    #[test]
+    fn aifm_plateaus_at_its_agent() {
+        let t = run();
+        let a8 = t.cell_f64("8", "AIFM").unwrap();
+        let a16 = t.cell_f64("16", "AIFM").unwrap();
+        assert!(a16 <= AifmModel::paper().agent_mops + 1e-9);
+        assert!((a16 - a8) / a8 < 0.6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Figure 13: read latency (median and p99) versus record size for
+//! one-sided RDMA (sync / async) and Cowbird (with / without batching) —
+//! measured packet-level on the simulated fabric with the real protocol
+//! stack.
+
+use baselines::sim_client::{latency_rig, ClientMode, RdmaClientNode};
+use simnet::link::LinkParams;
+use simnet::time::{Duration, Instant};
+
+use crate::harness::{build_cowbird_rig, CowbirdClientNode, CowbirdRig};
+use crate::report::{fnum, Table};
+
+pub const RECORD_SIZES: [u32; 6] = [8, 64, 256, 512, 1024, 2048];
+const OPS: u64 = 400;
+
+fn rack() -> LinkParams {
+    LinkParams::new(100e9, Duration::from_nanos(1200))
+}
+
+/// (median_us, p99_us) for an RDMA client mode.
+fn rdma_latency(record: u32, mode: ClientMode, seed: u64) -> (f64, f64) {
+    let (mut sim, id) = latency_rig(seed, record, mode, OPS, rack());
+    sim.run_until(Some(Instant(Duration::from_secs(2).nanos())));
+    let c: &RdmaClientNode = sim.node_ref(id);
+    assert_eq!(c.completed(), OPS, "rdma run incomplete");
+    (
+        c.latency.median() as f64 / 1e3,
+        c.latency.p99() as f64 / 1e3,
+    )
+}
+
+/// (median_us, p99_us) for a Cowbird configuration.
+fn cowbird_latency(record: u32, inflight: usize, batch: usize, seed: u64) -> (f64, f64) {
+    let (mut sim, id, _) = build_cowbird_rig(CowbirdRig {
+        seed,
+        record_size: record,
+        inflight,
+        target_ops: OPS,
+        engine_batch: batch,
+        probe_interval: Duration::from_micros(2),
+        poll_interval: Duration::from_nanos(250),
+        link: rack(),
+        drop_probability: 0.0,
+    });
+    sim.run_until(Some(Instant(Duration::from_secs(2).nanos())));
+    let c: &CowbirdClientNode = sim.node_ref(id);
+    assert_eq!(c.completed(), OPS, "cowbird run incomplete");
+    (
+        c.latency.median() as f64 / 1e3,
+        c.latency.p99() as f64 / 1e3,
+    )
+}
+
+pub fn run() -> Table {
+    let mut t = Table::new(
+        "Figure 13",
+        "Read latency vs record size: median / p99 (us), packet-level simulation",
+        &[
+            "record",
+            "sync p50",
+            "sync p99",
+            "async p50",
+            "async p99",
+            "cowbird-nobatch p50",
+            "cowbird-nobatch p99",
+            "cowbird-batch p50",
+            "cowbird-batch p99",
+        ],
+    )
+    .with_paper_note(
+        "unbatched Cowbird similar to sync RDMA (2 extra RTTs + probe interval); batched Cowbird <10us p50, <20us p99, well below async RDMA",
+    );
+    for (i, &rs) in RECORD_SIZES.iter().enumerate() {
+        let seed = 100 + i as u64;
+        let (sp50, sp99) = rdma_latency(rs, ClientMode::Closed, seed);
+        let (ap50, ap99) = rdma_latency(rs, ClientMode::Batched { size: 100 }, seed);
+        let (np50, np99) = cowbird_latency(rs, 1, 1, seed);
+        // The client pipelines 100 requests (like the async baseline); the
+        // engine flushes response batches of BATCH_SIZE = 16 — header
+        // amortization saturates there while completion latency stays low.
+        let (bp50, bp99) = cowbird_latency(rs, 100, 16, seed);
+        t.push_row(vec![
+            rs.to_string(),
+            fnum(sp50),
+            fnum(sp99),
+            fnum(ap50),
+            fnum(ap99),
+            fnum(np50),
+            fnum(np99),
+            fnum(bp50),
+            fnum(bp99),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        // One representative record size keeps test time sane; the bench
+        // target sweeps all six.
+        let rs = 512;
+        let (sync_p50, _q) = rdma_latency(rs, ClientMode::Closed, 7);
+        let (async_p50, async_p99) = rdma_latency(rs, ClientMode::Batched { size: 100 }, 7);
+        let (nb_p50, _n99) = cowbird_latency(rs, 1, 1, 7);
+        let (b_p50, b_p99) = cowbird_latency(rs, 100, 16, 7);
+
+        // Sync RDMA: a few microseconds.
+        assert!(sync_p50 > 2.0 && sync_p50 < 8.0, "sync {sync_p50}");
+        // Unbatched Cowbird: above sync (2 extra RTTs + probe interval) but
+        // the same order of magnitude.
+        assert!(nb_p50 > sync_p50, "nobatch {nb_p50} vs sync {sync_p50}");
+        assert!(nb_p50 < sync_p50 * 4.0, "nobatch {nb_p50}");
+        // Batched Cowbird beats async RDMA on both p50 and p99.
+        assert!(b_p50 < async_p50, "batch {b_p50} vs async {async_p50}");
+        assert!(b_p99 < async_p99, "batch {b_p99} vs async {async_p99}");
+    }
+}

@@ -1,0 +1,37 @@
+//! One module per paper artifact. `all()` runs everything in order.
+
+pub mod ablation;
+pub mod fig01;
+pub mod fig02;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod table1;
+pub mod table5;
+pub mod validate;
+
+use crate::report::Table;
+
+/// Run every experiment (the heavyweight DES ones included).
+pub fn all() -> Vec<Table> {
+    let mut out = vec![
+        fig01::run(),
+        fig02::run(),
+        table1::run(),
+    ];
+    out.extend(fig08::run());
+    out.extend(fig09::run());
+    out.extend(fig10::run());
+    out.push(fig11::run());
+    out.push(fig12::run());
+    out.push(fig13::run());
+    out.push(fig14::run());
+    out.push(table5::run());
+    out.extend(validate::run());
+    out.extend(ablation::run());
+    out
+}

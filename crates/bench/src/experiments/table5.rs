@@ -1,0 +1,62 @@
+//! Table 5: Cowbird-P4 data-plane resource usage on a 32-port L3-forwarding
+//! Tofino — regenerated from the actual pipeline specification the
+//! `cowbird-engine::p4` program declares.
+
+use cowbird_engine::p4::cowbird_p4_spec;
+use p4rt::resources::ResourceUsage;
+
+use crate::report::Table;
+
+pub fn run() -> Table {
+    let spec = cowbird_p4_spec();
+    spec.validate().expect("program must fit the switch");
+    let u = ResourceUsage::of(&spec);
+    let mut t = Table::new(
+        "Table 5",
+        "Cowbird-P4 data-plane resource usage",
+        &["resource", "measured", "paper"],
+    )
+    .with_paper_note("PHV 1085 b | SRAM 1424 KB | TCAM 1.28 KB | 12 stages | 38 VLIW | 11 sALU");
+    t.push_row(vec!["PHV (bits)".into(), u.phv_bits.to_string(), "1085".into()]);
+    t.push_row(vec![
+        "SRAM (KB)".into(),
+        format!("{:.0}", u.sram_kb()),
+        "1424".into(),
+    ]);
+    t.push_row(vec![
+        "TCAM (KB)".into(),
+        format!("{:.2}", u.tcam_kb()),
+        "1.28".into(),
+    ]);
+    t.push_row(vec!["Stages".into(), u.stages.to_string(), "12".into()]);
+    t.push_row(vec![
+        "VLIW instructions".into(),
+        u.vliw_instrs.to_string(),
+        "38".into(),
+    ]);
+    t.push_row(vec!["sALUs".into(), u.salus.to_string(), "11".into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fields_match_table5() {
+        let t = run();
+        assert_eq!(t.cell("PHV (bits)", "measured"), Some("1085"));
+        assert_eq!(t.cell("Stages", "measured"), Some("12"));
+        assert_eq!(t.cell("VLIW instructions", "measured"), Some("38"));
+        assert_eq!(t.cell("sALUs", "measured"), Some("11"));
+    }
+
+    #[test]
+    fn sram_in_the_papers_neighborhood() {
+        let t = run();
+        let sram: f64 = t.cell_f64("SRAM (KB)", "measured").unwrap();
+        assert!((1000.0..2000.0).contains(&sram), "SRAM {sram}");
+        let tcam: f64 = t.cell_f64("TCAM (KB)", "measured").unwrap();
+        assert!((tcam - 1.28).abs() < 0.25, "TCAM {tcam}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Cross-validation: the closed-form throughput model against the
+//! packet-level simulation, at anchor points where both apply.
+//!
+//! The model's synchronous-RDMA blocked time assumes a read RTT of
+//! `NetParams::rtt_ns`; the packet-level rig measures the same quantity
+//! from the actual protocol exchange. The Cowbird latency decomposition
+//! (probe interval + 2 extra RTTs + engine processing) is likewise checked
+//! against the simulated engine.
+
+use baselines::model::Testbed;
+use baselines::sim_client::{latency_rig, ClientMode, RdmaClientNode};
+use simnet::link::LinkParams;
+use simnet::time::Duration;
+
+use crate::harness::{build_cowbird_rig, CowbirdClientNode, CowbirdRig};
+use crate::report::{fnum, Table};
+
+fn rack() -> LinkParams {
+    LinkParams::new(100e9, Duration::from_nanos(1500))
+}
+
+pub fn run() -> Vec<Table> {
+    vec![rtt_anchor(), cowbird_decomposition()]
+}
+
+/// Packet-level sync-read RTT vs the model's `rtt_ns` constant.
+fn rtt_anchor() -> Table {
+    let (mut sim, id) = latency_rig(11, 64, ClientMode::Closed, 300, rack());
+    sim.run();
+    let c: &RdmaClientNode = sim.node_ref(id);
+    let measured = c.latency.median() as f64;
+    let model = Testbed::paper().net.rtt_ns;
+    let mut t = Table::new(
+        "Validation A",
+        "Sync one-sided read RTT: packet-level vs model constant (ns)",
+        &["quantity", "packet-level", "model", "ratio"],
+    );
+    t.push_row(vec![
+        "read RTT (64 B)".into(),
+        fnum(measured),
+        fnum(model),
+        format!("{:.2}", measured / model),
+    ]);
+    t
+}
+
+/// Cowbird unbatched latency vs its analytic decomposition.
+fn cowbird_decomposition() -> Table {
+    let probe = Duration::from_micros(2);
+    let (mut sim, id, _) = build_cowbird_rig(CowbirdRig {
+        seed: 12,
+        record_size: 64,
+        inflight: 1,
+        target_ops: 300,
+        engine_batch: 1,
+        probe_interval: probe,
+        link: rack(),
+        ..Default::default()
+    });
+    sim.run_until(None);
+    let c: &CowbirdClientNode = sim.node_ref(id);
+    let measured = c.latency.median() as f64;
+    // Decomposition (§8.3): mean probe wait + green fetch RTT + metadata
+    // fetch RTT + pool read RTT + response write one-way + poll detection.
+    let rtt = 2.0 * 1500.0 + 200.0; // per compute<->engine exchange, ~ns
+    let expected = probe.nanos() as f64 / 2.0 + 3.0 * rtt + 1500.0 + 250.0;
+    let mut t = Table::new(
+        "Validation B",
+        "Unbatched Cowbird read latency vs analytic decomposition (ns)",
+        &["quantity", "packet-level", "decomposition", "ratio"],
+    )
+    .with_paper_note("2 additional RTTs + engine processing + polling interval (§8.3)");
+    t.push_row(vec![
+        "cowbird p50 (64 B)".into(),
+        fnum(measured),
+        fnum(expected),
+        format!("{:.2}", measured / expected),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_anchor_within_30_percent() {
+        let t = rtt_anchor();
+        let ratio: f64 = t.rows[0][3].parse().unwrap();
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn cowbird_decomposition_within_40_percent() {
+        let t = cowbird_decomposition();
+        let ratio: f64 = t.rows[0][3].parse().unwrap();
+        assert!((0.6..1.4).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Packet-level rigs: a Cowbird compute-node client for `simnet`, and the
+//! standard three-node topology (compute ↔ engine ↔ pool) used by the
+//! latency and validation experiments.
+
+use cowbird::channel::Channel;
+use cowbird::layout::ChannelLayout;
+use cowbird::region::{RegionMap, RemoteRegion};
+use cowbird_engine::core::EngineConfig;
+use cowbird_engine::sim::{EngineNode, PoolNode};
+use rdma::mem::Region;
+use rdma::qp::QpConfig;
+use rdma::sim::{to_sim_packet, SimNic};
+use simnet::link::LinkParams;
+use simnet::sim::{Ctx, Node, NodeId, Packet, Sim};
+use simnet::stats::Histogram;
+use simnet::time::{Duration, Instant};
+
+const TAG_POLL: u64 = 1;
+const TAG_NIC_TICK: u64 = 2;
+
+/// A compute node running the Cowbird client library: issues reads of
+/// `record_size` bytes, keeps `inflight` outstanding, and measures
+/// issue-to-completion latency. Its NIC serves the offload engine's RDMA
+/// traffic without any "CPU" involvement (no simulated cost — that is the
+/// whole point).
+pub struct CowbirdClientNode {
+    nic: SimNic,
+    channel: Channel,
+    record_size: u32,
+    inflight_target: usize,
+    target_ops: u64,
+    issued: u64,
+    completed: u64,
+    outstanding: Vec<(cowbird::channel::ReadHandle, Instant)>,
+    pool_span: u64,
+    poll_interval: Duration,
+    /// Delay before the first issue (models an idle application phase; used
+    /// by the adaptive-probe ablation).
+    start_after: Duration,
+    pub latency: Histogram,
+    /// Latency of the very first completed op (ns).
+    first_latency: Option<u64>,
+    pub done_at: Option<Instant>,
+    pub stop_when_done: bool,
+}
+
+impl CowbirdClientNode {
+    fn issue(&mut self, ctx: &mut Ctx) {
+        while self.outstanding.len() < self.inflight_target && self.issued < self.target_ops {
+            let max_rec = self.pool_span / self.record_size.max(1) as u64;
+            let off = ctx.rng().next_below(max_rec) * self.record_size as u64;
+            match self.channel.async_read(1, off, self.record_size) {
+                Ok(h) => {
+                    self.outstanding.push((h, ctx.now()));
+                    self.issued += 1;
+                }
+                Err(e) if e.is_retryable() => break, // poll will drain space
+                Err(e) => panic!("issue failed: {e}"),
+            }
+        }
+    }
+
+    fn reap(&mut self, ctx: &mut Ctx) {
+        self.channel.refresh();
+        let mut i = 0;
+        while i < self.outstanding.len() {
+            let (h, t0) = self.outstanding[i];
+            if h.id
+                .completed_by(self.channel.progress(cowbird::reqid::OpType::Read))
+            {
+                let lat = ctx.now().since(t0);
+                self.first_latency.get_or_insert(lat.nanos());
+                self.latency.record_duration(lat);
+                self.channel.take_response(&h).expect("completed read");
+                self.outstanding.swap_remove(i);
+                self.completed += 1;
+            } else {
+                i += 1;
+            }
+        }
+        if self.completed >= self.target_ops && self.done_at.is_none() {
+            self.done_at = Some(ctx.now());
+            if self.stop_when_done {
+                ctx.stop();
+            }
+        }
+    }
+
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Direct NIC access (diagnostics).
+    pub fn nic(&self) -> &SimNic {
+        &self.nic
+    }
+
+    /// Outstanding client requests (diagnostics).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Latency of the first completed operation, ns (0 if none yet).
+    pub fn first_latency_ns(&self) -> u64 {
+        self.first_latency.unwrap_or(0)
+    }
+}
+
+impl Node for CowbirdClientNode {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.start_after, TAG_POLL);
+        ctx.set_timer(Duration::from_micros(100), TAG_NIC_TICK);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        // Engine traffic against the channel region: NIC-only, no host CPU.
+        let out = self.nic.handle_packet(&pkt, ctx.now());
+        for (dst, roce) in out.emit {
+            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx) {
+        match tag {
+            TAG_POLL => {
+                self.reap(ctx);
+                self.issue(ctx);
+                if self.completed < self.target_ops {
+                    ctx.set_timer(self.poll_interval, TAG_POLL);
+                }
+            }
+            TAG_NIC_TICK => {
+                for (dst, roce) in self.nic.tick(ctx.now()) {
+                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+                }
+                ctx.set_timer(Duration::from_micros(100), TAG_NIC_TICK);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Configuration for the standard Cowbird rig.
+pub struct CowbirdRig {
+    pub seed: u64,
+    pub record_size: u32,
+    pub inflight: usize,
+    pub target_ops: u64,
+    pub engine_batch: usize,
+    pub probe_interval: Duration,
+    /// How often the client checks for completions (models the application
+    /// interleaving polls with work).
+    pub poll_interval: Duration,
+    pub link: LinkParams,
+    /// Per-link fault injection applies to every link when set.
+    pub drop_probability: f64,
+}
+
+impl Default for CowbirdRig {
+    fn default() -> Self {
+        CowbirdRig {
+            seed: 1,
+            record_size: 64,
+            inflight: 1,
+            target_ops: 500,
+            engine_batch: 1,
+            probe_interval: Duration::from_micros(2),
+            poll_interval: Duration::from_nanos(250),
+            link: LinkParams::rack_100g(),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+/// Build compute ↔ engine(switch) ↔ pool. Returns (sim, client node id,
+/// engine node id).
+pub fn build_cowbird_rig(cfg: CowbirdRig) -> (Sim, NodeId, NodeId) {
+    build_cowbird_rig_with(cfg, Duration::ZERO, None)
+}
+
+/// [`build_cowbird_rig`] with an initial client idle period and an optional
+/// adaptive probe policy `(idle interval, empty-probe threshold)`.
+pub fn build_cowbird_rig_with(
+    cfg: CowbirdRig,
+    client_start_after: Duration,
+    adaptive_probe: Option<(Duration, u32)>,
+) -> (Sim, NodeId, NodeId) {
+    let mut sim = Sim::new(cfg.seed);
+    let compute_id = NodeId(0);
+    let engine_id = NodeId(1);
+    let pool_id = NodeId(2);
+
+    let pool_span: u64 = 8 << 20;
+    let pool_mem = Region::new(pool_span as usize);
+    // Deterministic content.
+    for i in 0..(pool_span / 64) {
+        pool_mem.write(i * 64, &i.to_le_bytes()).unwrap();
+    }
+    let mut pool = PoolNode::new();
+    let pool_rkey = pool.register(pool_mem);
+    pool.create_qp(201, 102, engine_id);
+
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: pool_span,
+        },
+    );
+
+    let layout = ChannelLayout::default_sizes();
+    let channel = Channel::new(0, layout, regions.clone());
+    let mut nic = SimNic::new();
+    let channel_rkey = nic.register(channel.region().clone());
+    nic.create_qp(QpConfig::new(301, 101), engine_id);
+    nic.create_qp(QpConfig::new(302, 103), engine_id);
+
+    let client = CowbirdClientNode {
+        nic,
+        channel,
+        record_size: cfg.record_size,
+        inflight_target: cfg.inflight,
+        target_ops: cfg.target_ops,
+        issued: 0,
+        completed: 0,
+        outstanding: Vec::new(),
+        pool_span,
+        poll_interval: cfg.poll_interval,
+        start_after: client_start_after,
+        latency: Histogram::new(),
+        first_latency: None,
+        done_at: None,
+        stop_when_done: true,
+    };
+
+    let mut engine = EngineNode::new();
+    let mut variant = if cfg.engine_batch <= 1 {
+        EngineConfig::p4(layout, regions)
+    } else {
+        EngineConfig::spot(layout, regions, cfg.engine_batch)
+    };
+    if let Some((idle, threshold)) = adaptive_probe {
+        variant = variant.with_adaptive_probe(idle, threshold);
+    }
+    engine.add_instance(
+        variant.with_probe_interval(cfg.probe_interval),
+        compute_id,
+        pool_id,
+        (101, 301, 102, 201, 103, 302),
+        channel_rkey,
+    );
+
+    sim.add_node(Box::new(client));
+    sim.add_node(Box::new(engine));
+    sim.add_node(Box::new(pool));
+    let link = cfg.link.clone().with_drop_probability(cfg.drop_probability);
+    sim.connect(compute_id, engine_id, link.clone());
+    sim.connect(engine_id, pool_id, link);
+    (sim, compute_id, engine_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rig_completes_target_ops() {
+        let (mut sim, client_id, _) = build_cowbird_rig(CowbirdRig {
+            target_ops: 100,
+            ..Default::default()
+        });
+        sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+        let client: &CowbirdClientNode = sim.node_ref(client_id);
+        assert_eq!(client.completed(), 100);
+        assert!(client.latency.median() > 0);
+    }
+
+    #[test]
+    fn rig_survives_packet_loss() {
+        let (mut sim, client_id, _) = build_cowbird_rig(CowbirdRig {
+            target_ops: 60,
+            drop_probability: 0.01,
+            seed: 3,
+            ..Default::default()
+        });
+        sim.run_until(Some(Instant(Duration::from_millis(200).nanos())));
+        let client: &CowbirdClientNode = sim.node_ref(client_id);
+        assert_eq!(client.completed(), 60, "GBN must recover all ops");
+    }
+
+    #[test]
+    fn batched_rig_uses_fewer_compute_writes() {
+        let run = |batch: usize| {
+            let (mut sim, _c, engine_id) = build_cowbird_rig(CowbirdRig {
+                target_ops: 200,
+                inflight: 32,
+                engine_batch: batch,
+                ..Default::default()
+            });
+            sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+            let engine: &EngineNode = sim.node_ref(engine_id);
+            engine.core(0).stats.batches_flushed
+        };
+        let unbatched = run(1);
+        let batched = run(16);
+        assert!(batched < unbatched, "batched {batched} vs unbatched {unbatched}");
+    }
+}

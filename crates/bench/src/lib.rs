@@ -1,0 +1,24 @@
+//! # experiments — the harness that regenerates every table and figure
+//!
+//! One module per paper artifact (see `DESIGN.md`'s experiment index). Each
+//! experiment returns a [`report::Table`] whose rows mirror what the paper
+//! plots; the `benches/` targets print them, and `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+//!
+//! ## Methodology split
+//!
+//! * **Throughput figures** (1, 8, 9, 10, 11, 12) come from the calibrated
+//!   closed-form model in `baselines::model` (constants documented against
+//!   Figure 2 and the testbed hardware).
+//! * **Latency and traffic figures** (13, 14) and the **validation**
+//!   experiments run packet-level on `simnet` with the real protocol stack
+//!   (`rdma` + `cowbird` + `cowbird-engine`).
+//! * **Resource/price tables** (1, 5) are computed from the `p4rt` resource
+//!   accountant and the cost calculator.
+
+pub mod costmodel;
+pub mod experiments;
+pub mod harness;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,120 @@
+//! Result tables: a uniform shape for every regenerated figure/table.
+
+use std::fmt;
+
+/// One regenerated paper artifact.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Paper artifact id, e.g. "Figure 8a" or "Table 5".
+    pub id: String,
+    pub title: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// What the paper reports for the same artifact (for EXPERIMENTS.md).
+    pub paper_note: String,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Table {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            paper_note: String::new(),
+        }
+    }
+
+    pub fn with_paper_note(mut self, note: &str) -> Table {
+        self.paper_note = note.to_string();
+        self
+    }
+
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Look up a cell by row key (first column) and column name.
+    pub fn cell(&self, row_key: &str, column: &str) -> Option<&str> {
+        let col = self.columns.iter().position(|c| c == column)?;
+        let row = self.rows.iter().find(|r| r[0] == row_key)?;
+        Some(row.get(col)?.as_str())
+    }
+
+    /// Numeric cell accessor.
+    pub fn cell_f64(&self, row_key: &str, column: &str) -> Option<f64> {
+        self.cell(row_key, column)?.parse().ok()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} — {} ==", self.id, self.title)?;
+        // Column widths.
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        writeln!(f, "  {}", header.join("  "))?;
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect();
+            writeln!(f, "  {}", line.join("  "))?;
+        }
+        if !self.paper_note.is_empty() {
+            writeln!(f, "  [paper: {}]", self.paper_note)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_lookup() {
+        let mut t = Table::new("Figure X", "demo", &["threads", "mops"]);
+        t.push_row(vec!["1".into(), "2.50".into()]);
+        t.push_row(vec!["2".into(), "5.00".into()]);
+        let s = t.to_string();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("2.50"));
+        assert_eq!(t.cell("2", "mops"), Some("5.00"));
+        assert_eq!(t.cell_f64("1", "mops"), Some(2.5));
+        assert_eq!(t.cell("3", "mops"), None);
+    }
+
+    #[test]
+    fn fnum_precision() {
+        assert_eq!(fnum(123.456), "123");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(0.1234), "0.123");
+        assert_eq!(fnum(0.0), "0");
+    }
+}

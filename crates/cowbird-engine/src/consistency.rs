@@ -1,0 +1,129 @@
+//! The linearizability gate: tracking in-flight writes so reads never see
+//! stale data (paper §5.3 / §6).
+//!
+//! A write is "in flight" from the moment the engine starts fetching its
+//! payload until the corresponding pool write has been issued (the
+//! engine→pool queue pair is FIFO, so a later read request is guaranteed to
+//! observe a previously issued write).
+//!
+//! * The **Spot** engine asks [`RangeGate::overlaps`] — a real range query,
+//!   pausing reads only "when absolutely necessary".
+//! * The **P4** engine can only ask [`RangeGate::is_empty`] — current
+//!   programmable switches "struggle to implement the range queries
+//!   necessary for that logic", so it pauses *all* newly probed reads while
+//!   any write is in flight.
+
+use std::collections::VecDeque;
+
+use cowbird::region::RegionId;
+
+/// One in-flight write's conflict window.
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    seq: u64,
+    region: RegionId,
+    lo: u64,
+    hi: u64,
+}
+
+/// Set of in-flight write address ranges.
+#[derive(Debug, Default)]
+pub struct RangeGate {
+    ranges: VecDeque<InFlight>,
+}
+
+impl RangeGate {
+    pub fn new() -> RangeGate {
+        RangeGate::default()
+    }
+
+    /// Open a conflict window for write `seq` covering `[lo, hi)` of
+    /// `region`.
+    pub fn insert(&mut self, region: RegionId, lo: u64, hi: u64, seq: u64) {
+        self.ranges.push_back(InFlight {
+            seq,
+            region,
+            lo,
+            hi,
+        });
+    }
+
+    /// Close the window for write `seq`.
+    pub fn remove(&mut self, seq: u64) {
+        if let Some(pos) = self.ranges.iter().position(|r| r.seq == seq) {
+            self.ranges.remove(pos);
+        }
+    }
+
+    /// Any write in flight at all? (The only query a Tofino data plane can
+    /// answer cheaply — one stateful counter.)
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of open windows.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Does `[lo, hi)` of `region` overlap any in-flight write?
+    pub fn overlaps(&self, region: RegionId, lo: u64, hi: u64) -> bool {
+        self.ranges
+            .iter()
+            .any(|r| r.region == region && r.lo < hi && lo < r.hi)
+    }
+
+    /// Drop all windows (Go-Back-N restart).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_gate_blocks_nothing() {
+        let g = RangeGate::new();
+        assert!(g.is_empty());
+        assert!(!g.overlaps(0, 0, u64::MAX));
+    }
+
+    #[test]
+    fn overlap_requires_same_region_and_intersection() {
+        let mut g = RangeGate::new();
+        g.insert(1, 100, 200, 1);
+        assert!(g.overlaps(1, 150, 160));
+        assert!(g.overlaps(1, 0, 101));
+        assert!(g.overlaps(1, 199, 300));
+        // Touching but not overlapping (half-open ranges).
+        assert!(!g.overlaps(1, 200, 300));
+        assert!(!g.overlaps(1, 0, 100));
+        // Different region never conflicts.
+        assert!(!g.overlaps(2, 150, 160));
+    }
+
+    #[test]
+    fn remove_closes_window() {
+        let mut g = RangeGate::new();
+        g.insert(1, 0, 10, 7);
+        g.insert(1, 20, 30, 8);
+        assert_eq!(g.len(), 2);
+        g.remove(7);
+        assert!(!g.overlaps(1, 5, 6));
+        assert!(g.overlaps(1, 25, 26));
+        g.remove(8);
+        assert!(g.is_empty());
+        // Removing a missing seq is a no-op.
+        g.remove(99);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut g = RangeGate::new();
+        g.insert(1, 0, 10, 1);
+        g.clear();
+        assert!(g.is_empty());
+    }
+}

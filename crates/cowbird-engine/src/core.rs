@@ -1,0 +1,851 @@
+//! The engine protocol core: Probe → Execute → Complete as a sans-IO state
+//! machine.
+//!
+//! The core never touches a NIC or a clock. Each entry point returns a list
+//! of [`FabricOp`] commands; the embedding driver (simulated switch node,
+//! spot-VM agent thread) turns them into RDMA operations and feeds results
+//! back through [`EngineCore::on_data`]. This mirrors how the same protocol
+//! runs on radically different hardware in the paper (§5 vs §6) — only the
+//! driver changes.
+//!
+//! ## Protocol walk-through (paper §5.2)
+//!
+//! * **Probe**: read the channel's green bookkeeping block (24 B — the tail
+//!   pointers, fetched with a single RDMA read per requirement R3). If
+//!   `meta_tail` moved, fetch the new metadata entries `[head, tail)`
+//!   (split only at the ring-wrap boundary).
+//! * **Execute**: for a read request, fetch the data from the memory pool
+//!   and write it to the channel's response ring; for a write request,
+//!   fetch the payload from the compute node and write it to the pool.
+//! * **Complete**: write the red bookkeeping block (metadata head +
+//!   both progress counters, 24 B, a single RDMA write) so the client can
+//!   observe completions and recycle ring space.
+//!
+//! ## Consistency (paper §5.3 / §6)
+//!
+//! Requests execute strictly in ring order within a type. A read may not
+//! overtake a conflicting in-flight write: the Spot variant checks address
+//! ranges ([`crate::consistency::RangeGate`]); the P4 variant — which cannot
+//! do range queries in the data plane — pauses **all** newly probed reads
+//! while any write is in flight.
+//!
+//! ## Batching (paper §6)
+//!
+//! The Spot variant accumulates up to `BATCH_SIZE` read responses bound for
+//! contiguous response-ring space and lands them with a single RDMA write,
+//! reducing compute-NIC load and engine verb counts. The P4 variant recycles
+//! each read response into a write immediately (batch size 1).
+
+use std::collections::{HashMap, VecDeque};
+
+use cowbird::layout::{ChannelLayout, GREEN_LEN, GREEN_OFFSET, RED_OFFSET};
+use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
+use cowbird::region::RegionMap;
+use rdma::mem::Rkey;
+use p4rt::pktgen::PktGenConfig;
+use simnet::time::Duration;
+
+use crate::consistency::RangeGate;
+
+/// Which engine flavour a configuration models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineVariant {
+    /// Programmable switch: per-packet recycling, pause-all-reads gate.
+    P4,
+    /// Spot VM / SmartNIC core: batching + range-overlap gate.
+    Spot,
+}
+
+/// Engine configuration for one Cowbird instance (one channel).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    pub variant: EngineVariant,
+    /// The client channel's layout (shared at Setup).
+    pub layout: ChannelLayout,
+    /// Remote regions on the memory pool (region_id -> rkey/base/size).
+    pub regions: RegionMap,
+    /// Maximum read responses per batched compute write (Spot only; forced
+    /// to 1 for P4).
+    pub batch_size: usize,
+    /// Interval between probes of this channel.
+    pub probe_interval: Duration,
+    /// Optional adaptive probing (paper §5.2: "the switch can also start at
+    /// a low baseline rate and ramp up only when activity is detected"):
+    /// (idle interval, empty probes before ramping down).
+    pub adaptive_probe: Option<(Duration, u32)>,
+}
+
+impl EngineConfig {
+    pub fn p4(layout: ChannelLayout, regions: RegionMap) -> EngineConfig {
+        EngineConfig {
+            variant: EngineVariant::P4,
+            layout,
+            regions,
+            batch_size: 1,
+            probe_interval: Duration::from_micros(2),
+            adaptive_probe: None,
+        }
+    }
+
+    pub fn spot(layout: ChannelLayout, regions: RegionMap, batch_size: usize) -> EngineConfig {
+        EngineConfig {
+            variant: EngineVariant::Spot,
+            layout,
+            regions,
+            batch_size: batch_size.max(1),
+            probe_interval: Duration::from_micros(2),
+            adaptive_probe: None,
+        }
+    }
+
+    pub fn with_probe_interval(mut self, d: Duration) -> EngineConfig {
+        self.probe_interval = d;
+        self
+    }
+
+    /// Enable adaptive probe ramping: fast (`probe_interval`) while active,
+    /// backing off toward `idle` after `threshold` empty probes.
+    pub fn with_adaptive_probe(mut self, idle: Duration, threshold: u32) -> EngineConfig {
+        self.adaptive_probe = Some((idle, threshold));
+        self
+    }
+
+    fn effective_batch(&self) -> usize {
+        match self.variant {
+            EngineVariant::P4 => 1,
+            EngineVariant::Spot => self.batch_size,
+        }
+    }
+}
+
+/// RDMA commands the driver must execute for the core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FabricOp {
+    /// One-sided read of the channel region on the compute node.
+    ReadCompute { offset: u64, len: u32, tag: u64 },
+    /// One-sided write into the channel region on the compute node.
+    WriteCompute { offset: u64, data: Vec<u8> },
+    /// One-sided read of pool memory.
+    ReadPool {
+        rkey: Rkey,
+        addr: u64,
+        len: u32,
+        tag: u64,
+    },
+    /// One-sided write into pool memory.
+    WritePool { rkey: Rkey, addr: u64, data: Vec<u8> },
+}
+
+#[derive(Clone, Debug)]
+enum TagKind {
+    Probe,
+    Meta { start: u64, count: u64 },
+    WritePayload { seq: u64, rkey: Rkey, addr: u64, len: u32 },
+    ReadData { seq: u64, resp_addr: u64 },
+}
+
+/// A parsed request waiting on the consistency gate.
+#[derive(Clone, Debug)]
+struct ParsedReq {
+    meta: RequestMeta,
+    /// Per-type sequence number this request will complete as.
+    seq: u64,
+}
+
+/// Engine statistics, used by experiments (probe overhead, Fig. 14 traffic
+/// accounting) and by tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    pub probes_sent: u64,
+    pub probes_found_work: u64,
+    pub meta_fetches: u64,
+    pub meta_entries: u64,
+    pub reads_executed: u64,
+    pub writes_executed: u64,
+    pub pool_reads: u64,
+    pub pool_writes: u64,
+    pub compute_reads: u64,
+    pub compute_writes: u64,
+    pub red_updates: u64,
+    pub batches_flushed: u64,
+    pub reads_paused: u64,
+    pub bytes_to_compute: u64,
+    pub bytes_to_pool: u64,
+}
+
+/// The sans-IO engine core for one channel.
+pub struct EngineCore {
+    cfg: EngineConfig,
+    // Ring cursors (virtual entry indices).
+    meta_head: u64,
+    fetch_cursor: u64,
+    probed_tail: u64,
+    probe_outstanding: bool,
+    // Per-type progress (last completed seq).
+    read_progress: u64,
+    write_progress: u64,
+    // Sequence assignment at parse time.
+    next_read_seq: u64,
+    next_write_seq: u64,
+    // Requests parsed but not yet issued (consistency gate applies here).
+    pending: VecDeque<ParsedReq>,
+    // Conflict tracking for in-flight writes (pool-address ranges).
+    gate: RangeGate,
+    // Read-response batch buffer: (resp_addr, data), contiguous.
+    batch: Vec<(u64, Vec<u8>)>,
+    batch_last_seq: u64,
+    // Outstanding pool reads (for quiescent batch flush).
+    pool_reads_in_flight: usize,
+    tags: HashMap<u64, TagKind>,
+    next_tag: u64,
+    red_dirty: bool,
+    /// Probe pacing (fixed or adaptive, from the config).
+    pktgen: PktGenConfig,
+    /// Did the most recent probe discover new work?
+    last_probe_found: bool,
+    pub stats: EngineStats,
+}
+
+impl EngineCore {
+    pub fn new(cfg: EngineConfig) -> EngineCore {
+        let pktgen = match cfg.adaptive_probe {
+            Some((idle, threshold)) => PktGenConfig::adaptive(cfg.probe_interval, idle, threshold),
+            None => PktGenConfig::fixed(cfg.probe_interval),
+        };
+        EngineCore {
+            pktgen,
+            last_probe_found: false,
+            cfg,
+            meta_head: 0,
+            fetch_cursor: 0,
+            probed_tail: 0,
+            probe_outstanding: false,
+            read_progress: 0,
+            write_progress: 0,
+            next_read_seq: 0,
+            next_write_seq: 0,
+            pending: VecDeque::new(),
+            gate: RangeGate::new(),
+            batch: Vec::new(),
+            batch_last_seq: 0,
+            pool_reads_in_flight: 0,
+            tags: HashMap::new(),
+            next_tag: 1,
+            red_dirty: false,
+            stats: EngineStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The probe interval the driver should schedule (fixed configs).
+    pub fn probe_interval(&self) -> Duration {
+        self.cfg.probe_interval
+    }
+
+    /// The delay until the next probe, advancing the adaptive rate policy
+    /// with the most recent probe's outcome. Drivers should prefer this
+    /// over [`EngineCore::probe_interval`].
+    pub fn next_probe_interval(&mut self) -> Duration {
+        self.pktgen.next_interval(self.last_probe_found)
+    }
+
+    /// Requests parsed but not yet executed.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn tag(&mut self, kind: TagKind) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        self.tags.insert(t, kind);
+        t
+    }
+
+    /// Phase II trigger: a probe timer fired. Emits the green-block read
+    /// (unless one is already outstanding).
+    pub fn on_probe_due(&mut self) -> Vec<FabricOp> {
+        if self.probe_outstanding {
+            return Vec::new();
+        }
+        self.probe_outstanding = true;
+        self.stats.probes_sent += 1;
+        self.stats.compute_reads += 1;
+        let tag = self.tag(TagKind::Probe);
+        vec![FabricOp::ReadCompute {
+            offset: GREEN_OFFSET,
+            len: GREEN_LEN as u32,
+            tag,
+        }]
+    }
+
+    /// A fabric read completed; `data` is its payload.
+    pub fn on_data(&mut self, tag: u64, data: &[u8]) -> Vec<FabricOp> {
+        let Some(kind) = self.tags.remove(&tag) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        match kind {
+            TagKind::Probe => self.handle_probe(data, &mut out),
+            TagKind::Meta { start, count } => self.handle_meta(start, count, data, &mut out),
+            TagKind::WritePayload {
+                seq,
+                rkey,
+                addr,
+                len,
+            } => self.handle_write_payload(seq, rkey, addr, len, data, &mut out),
+            TagKind::ReadData { seq, resp_addr } => {
+                self.handle_read_data(seq, resp_addr, data, &mut out)
+            }
+        }
+        self.drain_pending(&mut out);
+        self.maybe_flush_batch(&mut out, false);
+        self.flush_red(&mut out);
+        out
+    }
+
+    fn handle_probe(&mut self, data: &[u8], out: &mut Vec<FabricOp>) {
+        self.probe_outstanding = false;
+        if data.len() < GREEN_LEN as usize {
+            return;
+        }
+        let meta_tail = u64::from_le_bytes(data[0..8].try_into().unwrap());
+        if meta_tail <= self.fetch_cursor {
+            self.last_probe_found = false;
+            return;
+        }
+        self.last_probe_found = true;
+        self.stats.probes_found_work += 1;
+        // Fetch [fetch_cursor, meta_tail), split at the ring-wrap boundary so
+        // each fetch is one contiguous RDMA read (requirement R1).
+        let entries = self.cfg.layout.meta_entries;
+        let mut start = self.fetch_cursor;
+        let end = meta_tail.min(self.fetch_cursor + entries);
+        while start < end {
+            let phys_idx = start % entries;
+            let span = (entries - phys_idx).min(end - start);
+            let tag = self.tag(TagKind::Meta { start, count: span });
+            self.stats.meta_fetches += 1;
+            self.stats.compute_reads += 1;
+            out.push(FabricOp::ReadCompute {
+                offset: self.cfg.layout.meta_entry_offset(start),
+                len: (span * META_ENTRY_BYTES) as u32,
+                tag,
+            });
+            start += span;
+        }
+        self.fetch_cursor = end;
+        self.probed_tail = meta_tail;
+    }
+
+    fn handle_meta(&mut self, start: u64, count: u64, data: &[u8], _out: &mut Vec<FabricOp>) {
+        for i in 0..count {
+            let off = (i * META_ENTRY_BYTES) as usize;
+            let Some(chunk) = data.get(off..off + META_ENTRY_BYTES as usize) else {
+                break;
+            };
+            let idx = start + i;
+            let Some(meta) = RequestMeta::decode_bytes(chunk, idx) else {
+                // Publication race (should not happen: tail was observed
+                // after the entry was published) — rewind and re-fetch on
+                // the next probe.
+                self.fetch_cursor = idx;
+                self.probed_tail = idx;
+                return;
+            };
+            debug_assert_eq!(idx, self.meta_head + self.pending.len() as u64);
+            let seq = match meta.rw_type {
+                RwType::Read => {
+                    self.next_read_seq += 1;
+                    self.next_read_seq
+                }
+                RwType::Write => {
+                    self.next_write_seq += 1;
+                    self.next_write_seq
+                }
+                RwType::Invalid => continue,
+            };
+            self.pending.push_back(ParsedReq { meta, seq });
+            self.stats.meta_entries += 1;
+        }
+        // Entries are safely fetched; the client may reuse the slots.
+        self.meta_head = start + count;
+        self.red_dirty = true;
+    }
+
+    /// Execute pending requests in order, subject to the consistency gate.
+    fn drain_pending(&mut self, out: &mut Vec<FabricOp>) {
+        while let Some(front) = self.pending.front() {
+            match front.meta.rw_type {
+                RwType::Write => {
+                    let req = self.pending.pop_front().unwrap();
+                    self.issue_write(req, out);
+                }
+                RwType::Read => {
+                    let blocked = match self.cfg.variant {
+                        // P4 cannot range-match in the data plane: pause all
+                        // reads while any write is in flight (§5.3).
+                        EngineVariant::P4 => !self.gate.is_empty(),
+                        // Spot checks for actual overlap (§6).
+                        EngineVariant::Spot => {
+                            let r = front.meta.region_id;
+                            let lo = front.meta.req_addr;
+                            let hi = lo + front.meta.length as u64;
+                            self.gate.overlaps(r, lo, hi)
+                        }
+                    };
+                    if blocked {
+                        self.stats.reads_paused += 1;
+                        break;
+                    }
+                    let req = self.pending.pop_front().unwrap();
+                    self.issue_read(req, out);
+                }
+                RwType::Invalid => {
+                    self.pending.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Phase III step 1b: fetch the to-be-written payload from the compute
+    /// node.
+    fn issue_write(&mut self, req: ParsedReq, out: &mut Vec<FabricOp>) {
+        let Some(region) = self.cfg.regions.get(req.meta.region_id).copied() else {
+            // Unknown region: complete it as a no-op to avoid wedging the
+            // per-type pipeline. (The client validated, so this indicates a
+            // Setup mismatch.)
+            self.write_progress = req.seq;
+            self.red_dirty = true;
+            return;
+        };
+        let pool_addr = region.base + req.meta.resp_addr;
+        self.gate
+            .insert(req.meta.region_id, req.meta.resp_addr, req.meta.resp_addr + req.meta.length as u64, req.seq);
+        let tag = self.tag(TagKind::WritePayload {
+            seq: req.seq,
+            rkey: region.rkey,
+            addr: pool_addr,
+            len: req.meta.length,
+        });
+        self.stats.compute_reads += 1;
+        out.push(FabricOp::ReadCompute {
+            offset: req.meta.req_addr,
+            len: req.meta.length,
+            tag,
+        });
+    }
+
+    /// Phase III step 1a: fetch the requested data from the memory pool.
+    fn issue_read(&mut self, req: ParsedReq, out: &mut Vec<FabricOp>) {
+        let Some(region) = self.cfg.regions.get(req.meta.region_id).copied() else {
+            self.read_progress = req.seq;
+            self.red_dirty = true;
+            return;
+        };
+        let tag = self.tag(TagKind::ReadData {
+            seq: req.seq,
+            resp_addr: req.meta.resp_addr,
+        });
+        self.pool_reads_in_flight += 1;
+        self.stats.pool_reads += 1;
+        out.push(FabricOp::ReadPool {
+            rkey: region.rkey,
+            addr: region.base + req.meta.req_addr,
+            len: req.meta.length,
+            tag,
+        });
+    }
+
+    /// Phase III step 2b: the write payload arrived; write it to the pool.
+    fn handle_write_payload(
+        &mut self,
+        seq: u64,
+        rkey: Rkey,
+        addr: u64,
+        len: u32,
+        data: &[u8],
+        out: &mut Vec<FabricOp>,
+    ) {
+        debug_assert_eq!(data.len(), len as usize);
+        self.stats.pool_writes += 1;
+        self.stats.bytes_to_pool += data.len() as u64;
+        out.push(FabricOp::WritePool {
+            rkey,
+            addr,
+            data: data.to_vec(),
+        });
+        // The engine->pool QP is FIFO: once the write is issued, any later
+        // read observes it. The conflict window closes here.
+        self.gate.remove(seq);
+        self.stats.writes_executed += 1;
+        // Writes are issued and complete in order (single queue).
+        debug_assert_eq!(seq, self.write_progress + 1);
+        self.write_progress = seq;
+        self.red_dirty = true;
+    }
+
+    /// Phase III step 2a: read data arrived from the pool; stage it for the
+    /// compute node (batched for Spot, immediate for P4).
+    fn handle_read_data(&mut self, seq: u64, resp_addr: u64, data: &[u8], out: &mut Vec<FabricOp>) {
+        self.pool_reads_in_flight -= 1;
+        // Responses arrive in issue order (single FIFO QP to the pool).
+        debug_assert_eq!(seq, self.read_progress + self.batch.len() as u64 + 1);
+        // Batch only if contiguous with the current buffer.
+        if let Some((last_addr, last_data)) = self.batch.last() {
+            if last_addr + last_data.len() as u64 != resp_addr {
+                self.maybe_flush_batch(out, true);
+            }
+        }
+        self.batch.push((resp_addr, data.to_vec()));
+        self.batch_last_seq = seq;
+        if self.batch.len() >= self.cfg.effective_batch() {
+            self.maybe_flush_batch(out, true);
+        }
+    }
+
+    /// Flush the read-response batch as one compute write. When `force` is
+    /// false, flush only if the engine is quiescent (no more responses are
+    /// coming that could extend the batch).
+    fn maybe_flush_batch(&mut self, out: &mut Vec<FabricOp>, force: bool) {
+        if self.batch.is_empty() {
+            return;
+        }
+        if !force && self.pool_reads_in_flight > 0 && self.batch.len() < self.cfg.effective_batch()
+        {
+            return;
+        }
+        let start_addr = self.batch[0].0;
+        let mut payload = Vec::new();
+        for (_, d) in self.batch.drain(..) {
+            payload.extend_from_slice(&d);
+        }
+        self.stats.batches_flushed += 1;
+        self.stats.compute_writes += 1;
+        self.stats.bytes_to_compute += payload.len() as u64;
+        out.push(FabricOp::WriteCompute {
+            offset: start_addr,
+            data: payload,
+        });
+        self.stats.reads_executed = self.batch_last_seq;
+        // The compute QP is FIFO: the progress update below (red block) is
+        // ordered after the data write.
+        self.read_progress = self.batch_last_seq;
+        self.red_dirty = true;
+    }
+
+    /// Phase IV: write the red bookkeeping block if anything changed.
+    fn flush_red(&mut self, out: &mut Vec<FabricOp>) {
+        if !self.red_dirty {
+            return;
+        }
+        self.red_dirty = false;
+        self.stats.red_updates += 1;
+        self.stats.compute_writes += 1;
+        let mut data = Vec::with_capacity(24);
+        data.extend_from_slice(&self.meta_head.to_le_bytes());
+        data.extend_from_slice(&self.write_progress.to_le_bytes());
+        data.extend_from_slice(&self.read_progress.to_le_bytes());
+        self.stats.bytes_to_compute += 24;
+        out.push(FabricOp::WriteCompute {
+            offset: RED_OFFSET,
+            data,
+        });
+    }
+
+    /// Go-Back-N restart (paper §5.3): after a detected loss, the driver
+    /// resets the engine to its last committed state; probing resumes from
+    /// the head pointer.
+    pub fn reset_to_committed(&mut self) {
+        self.tags.clear();
+        self.pending.clear();
+        self.batch.clear();
+        self.gate.clear();
+        self.pool_reads_in_flight = 0;
+        self.probe_outstanding = false;
+        // Re-fetch everything not yet completed. Sequence counters rewind to
+        // the committed progress so re-parsed requests get the same seqs.
+        self.fetch_cursor = self.meta_head;
+        self.next_read_seq = self.read_progress;
+        self.next_write_seq = self.write_progress;
+        // NOTE: requests whose metadata was consumed (meta_head advanced)
+        // but not completed are re-fetched only if the client has not reused
+        // the slots; Cowbird's ring discipline guarantees slots live until
+        // completion, so rewinding meta_head is safe:
+        self.meta_head = self
+            .meta_head
+            .min(self.completed_entry_floor());
+        self.fetch_cursor = self.meta_head;
+        self.red_dirty = true;
+    }
+
+    /// Entries known complete (both types): a floor for safe head rewind.
+    fn completed_entry_floor(&self) -> u64 {
+        // Conservative: total completed requests is exactly the number of
+        // consumed entries that finished.
+        self.read_progress + self.write_progress
+    }
+
+    /// Current progress counters (test/inspection hook).
+    pub fn progress(&self) -> (u64, u64) {
+        (self.read_progress, self.write_progress)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cowbird::channel::Channel;
+    use cowbird::layout::ChannelLayout;
+    use cowbird::region::{RegionMap, RemoteRegion};
+    use rdma::mem::Region;
+
+    /// A loopback driver: executes FabricOps directly against a client
+    /// channel region and a pool region, synchronously.
+    struct LoopDriver {
+        compute: Region,
+        pool: Region,
+    }
+
+    impl LoopDriver {
+        fn run(&self, core: &mut EngineCore, ops: Vec<FabricOp>) {
+            let mut queue = ops;
+            while !queue.is_empty() {
+                let mut next = Vec::new();
+                for op in queue {
+                    match op {
+                        FabricOp::ReadCompute { offset, len, tag } => {
+                            let data = self.compute.read_vec(offset, len as usize).unwrap();
+                            next.extend(core.on_data(tag, &data));
+                        }
+                        FabricOp::WriteCompute { offset, data } => {
+                            self.compute.write(offset, &data).unwrap();
+                        }
+                        FabricOp::ReadPool { addr, len, tag, .. } => {
+                            let data = self.pool.read_vec(addr, len as usize).unwrap();
+                            next.extend(core.on_data(tag, &data));
+                        }
+                        FabricOp::WritePool { addr, data, .. } => {
+                            self.pool.write(addr, &data).unwrap();
+                        }
+                    }
+                }
+                queue = next;
+            }
+        }
+
+        fn probe(&self, core: &mut EngineCore) {
+            let ops = core.on_probe_due();
+            self.run(core, ops);
+        }
+    }
+
+    fn setup(variant: EngineVariant, batch: usize) -> (Channel, EngineCore, LoopDriver) {
+        let mut regions = RegionMap::new();
+        regions.insert(
+            1,
+            RemoteRegion {
+                rkey: 5,
+                base: 0,
+                size: 1 << 16,
+            },
+        );
+        let layout = ChannelLayout::default_sizes();
+        let ch = Channel::new(0, layout, regions.clone());
+        let cfg = match variant {
+            EngineVariant::P4 => EngineConfig::p4(layout, regions),
+            EngineVariant::Spot => EngineConfig::spot(layout, regions, batch),
+        };
+        let core = EngineCore::new(cfg);
+        let driver = LoopDriver {
+            compute: ch.region().clone(),
+            pool: Region::new(1 << 16),
+        };
+        (ch, core, driver)
+    }
+
+    #[test]
+    fn probe_empty_channel_finds_nothing() {
+        let (_ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.probe(&mut core);
+        assert_eq!(core.stats.probes_sent, 1);
+        assert_eq!(core.stats.probes_found_work, 0);
+        assert_eq!(core.stats.meta_fetches, 0);
+    }
+
+    #[test]
+    fn read_request_round_trips() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.pool.write(100, b"hello pool").unwrap();
+        let h = ch.async_read(1, 100, 10).unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(h.id));
+        assert_eq!(ch.take_response(&h).unwrap(), b"hello pool");
+        assert_eq!(core.stats.pool_reads, 1);
+        assert_eq!(core.progress(), (1, 0));
+    }
+
+    #[test]
+    fn write_request_round_trips() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::P4, 1);
+        let id = ch.async_write(1, 200, b"write me").unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(id));
+        assert_eq!(driver.pool.read_vec(200, 8).unwrap(), b"write me");
+        assert_eq!(core.progress(), (0, 1));
+    }
+
+    #[test]
+    fn read_after_write_same_address_sees_new_data() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.pool.write(0, b"OLD!").unwrap();
+        let w = ch.async_write(1, 0, b"NEW!").unwrap();
+        let r = ch.async_read(1, 0, 4).unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(w));
+        assert!(ch.is_complete(r.id));
+        assert_eq!(ch.take_response(&r).unwrap(), b"NEW!");
+    }
+
+    #[test]
+    fn batching_coalesces_contiguous_responses() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 100);
+        for i in 0..10u64 {
+            driver.pool.write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| ch.async_read(1, i * 8, 8).unwrap())
+            .collect();
+        driver.probe(&mut core);
+        // All ten responses landed with a single batched compute write
+        // (plus red updates).
+        assert_eq!(core.stats.batches_flushed, 1);
+        for (i, h) in handles.iter().enumerate() {
+            assert!(ch.is_complete(h.id));
+            let data = ch.take_response(h).unwrap();
+            assert_eq!(u64::from_le_bytes(data.as_slice().try_into().unwrap()), i as u64);
+        }
+    }
+
+    #[test]
+    fn p4_variant_never_batches() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::P4, 100);
+        for i in 0..5u64 {
+            ch.async_read(1, i * 8, 8).unwrap();
+        }
+        driver.probe(&mut core);
+        assert_eq!(core.stats.batches_flushed, 5);
+        assert_eq!(core.progress(), (5, 0));
+    }
+
+    #[test]
+    fn many_rounds_with_ring_wrap() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 4);
+        for round in 0..5000u64 {
+            let h = ch.async_read(1, (round % 100) * 8, 8).unwrap();
+            let w = ch.async_write(1, (round % 100) * 8, &round.to_le_bytes()).unwrap();
+            driver.probe(&mut core);
+            assert!(ch.is_complete(h.id), "round {round}");
+            assert!(ch.is_complete(w), "round {round}");
+            ch.take_response(&h).unwrap();
+        }
+        assert_eq!(core.progress(), (5000, 5000));
+        assert_eq!(core.stats.meta_entries, 10000);
+    }
+
+    #[test]
+    fn p4_pauses_reads_behind_any_write_spot_only_behind_overlaps() {
+        // The §5.3 distinction, observed through the reads_paused counter:
+        // a write to [0,8) followed by a read of a DISJOINT range [1024,
+        // 1032) pauses on P4 (no range queries in the data plane) but not
+        // on Spot.
+        for (variant, expect_pause) in [(EngineVariant::P4, true), (EngineVariant::Spot, false)] {
+            let (mut ch, mut core, driver) = setup(variant, 1);
+            driver.pool.write(1024, b"DISJOINT").unwrap();
+            ch.async_write(1, 0, b"busywrite").unwrap();
+            let h = ch.async_read(1, 1024, 8).unwrap();
+            driver.probe(&mut core);
+            // Both variants complete everything (the pause is transient —
+            // it lifts when the write's pool packet is issued)...
+            assert!(ch.is_complete(h.id), "{variant:?}");
+            assert_eq!(ch.take_response(&h).unwrap(), b"DISJOINT");
+            // ...but only P4 had to pause the disjoint read.
+            assert_eq!(
+                core.stats.reads_paused > 0,
+                expect_pause,
+                "{variant:?}: paused {}",
+                core.stats.reads_paused
+            );
+        }
+        // And both variants pause on a genuine overlap.
+        for variant in [EngineVariant::P4, EngineVariant::Spot] {
+            let (mut ch, mut core, driver) = setup(variant, 1);
+            ch.async_write(1, 0, b"AAAAAAAA").unwrap();
+            let h = ch.async_read(1, 0, 8).unwrap();
+            driver.probe(&mut core);
+            assert!(ch.is_complete(h.id));
+            assert_eq!(ch.take_response(&h).unwrap(), b"AAAAAAAA");
+            assert!(core.stats.reads_paused > 0, "{variant:?} must gate the overlap");
+        }
+    }
+
+    #[test]
+    fn gbn_reset_reexecutes_uncommitted_requests_exactly_once() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 1);
+        driver.pool.write(0, b"AAAAAAAA").unwrap();
+        driver.pool.write(64, b"BBBBBBBB").unwrap();
+        driver.pool.write(128, b"CCCCCCCC").unwrap();
+        let h1 = ch.async_read(1, 0, 8).unwrap();
+        let h2 = ch.async_read(1, 64, 8).unwrap();
+        let h3 = ch.async_read(1, 128, 8).unwrap();
+
+        // Run the probe but simulate losing everything after the first
+        // read completes: deliver ops selectively.
+        let ops = core.on_probe_due();
+        // ops[0] is the green read; execute it by hand.
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let green = driver.compute.read_vec(offset, len as usize).unwrap();
+        let ops = core.on_data(tag, &green);
+        // Metadata fetch next.
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let meta = driver.compute.read_vec(offset, len as usize).unwrap();
+        let ops = core.on_data(tag, &meta);
+        // Three pool reads issued; deliver only the FIRST, then "crash".
+        let FabricOp::ReadPool { addr, len, tag, .. } = ops[0].clone() else {
+            panic!()
+        };
+        let data = driver.pool.read_vec(addr, len as usize).unwrap();
+        let ops2 = core.on_data(tag, &data);
+        driver.run(&mut core, ops2);
+        assert_eq!(core.progress(), (1, 0));
+
+        // Loss detected: Go-Back-N restart.
+        core.reset_to_committed();
+        // The next probe re-fetches and re-executes reads 2 and 3 (read 1
+        // is committed and its ring slot may be reused).
+        driver.probe(&mut core);
+        assert_eq!(core.progress(), (3, 0));
+        assert!(ch.is_complete(h1.id));
+        assert!(ch.is_complete(h2.id));
+        assert!(ch.is_complete(h3.id));
+        assert_eq!(ch.take_response(&h2).unwrap(), b"BBBBBBBB");
+        assert_eq!(ch.take_response(&h3).unwrap(), b"CCCCCCCC");
+        let _ = h1;
+    }
+
+    #[test]
+    fn probe_while_outstanding_is_suppressed() {
+        let (_ch, mut core, _driver) = setup(EngineVariant::Spot, 1);
+        let ops1 = core.on_probe_due();
+        assert_eq!(ops1.len(), 1);
+        let ops2 = core.on_probe_due();
+        assert!(ops2.is_empty(), "second probe suppressed while outstanding");
+        assert_eq!(core.stats.probes_sent, 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Error types for the Cowbird client library.
+
+use core::fmt;
+
+/// Errors returned when issuing an `async_read` / `async_write`.
+///
+/// Per paper §4.3: "If, at any point, there is insufficient space in any of
+/// the queues or buffers, the library will return an error indicating that
+/// the application should retry later."
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IssueError {
+    /// The request metadata ring is full; retry after completions drain.
+    MetadataRingFull,
+    /// The write-payload data ring is full; "in the case of a write, the
+    /// retry can be immediate" once earlier writes complete.
+    RequestDataRingFull,
+    /// The response data ring is full; "the application should process
+    /// existing reads to clear buffer space before continuing."
+    ResponseDataRingFull,
+    /// A single request larger than the ring can ever hold.
+    RequestTooLarge { len: u32, capacity: u64 },
+    /// Unknown remote region id.
+    UnknownRegion(u16),
+    /// The remote access falls outside the region.
+    OutOfRegionBounds { offset: u64, len: u32, size: u64 },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::MetadataRingFull => write!(f, "request metadata ring full; retry later"),
+            IssueError::RequestDataRingFull => write!(f, "request data ring full; retry later"),
+            IssueError::ResponseDataRingFull => {
+                write!(f, "response data ring full; consume pending reads first")
+            }
+            IssueError::RequestTooLarge { len, capacity } => {
+                write!(f, "request of {len} bytes exceeds ring capacity {capacity}")
+            }
+            IssueError::UnknownRegion(id) => write!(f, "unknown remote region {id}"),
+            IssueError::OutOfRegionBounds { offset, len, size } => {
+                write!(f, "remote access [{offset}, +{len}) outside region of {size} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+impl IssueError {
+    /// Is an immediate retry (after draining completions) reasonable?
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            IssueError::MetadataRingFull
+                | IssueError::RequestDataRingFull
+                | IssueError::ResponseDataRingFull
+        )
+    }
+}
+
+/// General library errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CowbirdError {
+    /// The request id was not issued by this channel.
+    ForeignRequest,
+    /// The response for this handle has not completed yet.
+    NotComplete,
+    /// The response was already taken.
+    AlreadyTaken,
+}
+
+impl fmt::Display for CowbirdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CowbirdError::ForeignRequest => write!(f, "request id from a different channel"),
+            CowbirdError::NotComplete => write!(f, "request not complete"),
+            CowbirdError::AlreadyTaken => write!(f, "response already taken"),
+        }
+    }
+}
+
+impl std::error::Error for CowbirdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(IssueError::MetadataRingFull.is_retryable());
+        assert!(IssueError::ResponseDataRingFull.is_retryable());
+        assert!(!IssueError::UnknownRegion(3).is_retryable());
+        assert!(!IssueError::RequestTooLarge { len: 10, capacity: 5 }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = IssueError::OutOfRegionBounds {
+            offset: 10,
+            len: 20,
+            size: 16,
+        }
+        .to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("20"));
+        assert!(s.contains("16"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The shared-memory layout of one Cowbird channel (paper Figure 4).
+//!
+//! ```text
+//! offset 0    ┌──────────────────────────────────────────┐
+//!             │ GREEN bookkeeping (client → engine)      │  one RDMA read
+//!             │   meta_tail · wdata_tail · rdata_tail    │  probes all three
+//! offset 64   ├──────────────────────────────────────────┤
+//!             │ RED bookkeeping (engine → client)        │  one RDMA write
+//!             │   meta_head · write_progress ·           │  updates all three
+//!             │   read_progress                          │
+//! offset 128  ├──────────────────────────────────────────┤
+//!             │ request metadata ring (32 B entries)     │
+//!             ├──────────────────────────────────────────┤
+//!             │ request data ring (raw write payloads)   │
+//!             ├──────────────────────────────────────────┤
+//!             │ response data ring (raw read results)    │
+//!             └──────────────────────────────────────────┘
+//! ```
+//!
+//! Green and red halves live on separate cache lines so that engine writes
+//! never bounce the line the client is writing (and vice versa) —
+//! requirement R3's "all bookkeeping data packed into a contiguous memory
+//! region indexed by the writer/reader".
+//!
+//! All pointers are **monotone virtual offsets** (entry counts for the
+//! metadata ring, byte counts for the data rings); the physical slot is
+//! `virtual % capacity`. Payload reservations never wrap: if a payload would
+//! straddle the ring end, the reservation pads to the boundary, so every
+//! request is a single contiguous RDMA transfer (requirement R1/R3).
+
+use crate::meta::META_ENTRY_BYTES;
+
+/// Green block: client-written, engine-read (one RDMA read covers it).
+pub const GREEN_OFFSET: u64 = 0;
+pub const GREEN_META_TAIL: u64 = GREEN_OFFSET;
+pub const GREEN_WDATA_TAIL: u64 = GREEN_OFFSET + 8;
+pub const GREEN_RDATA_TAIL: u64 = GREEN_OFFSET + 16;
+/// Bytes the engine fetches per probe.
+pub const GREEN_LEN: u64 = 24;
+
+/// Red block: engine-written, client-read (one RDMA write covers it).
+pub const RED_OFFSET: u64 = 64;
+pub const RED_META_HEAD: u64 = RED_OFFSET;
+pub const RED_WRITE_PROGRESS: u64 = RED_OFFSET + 8;
+pub const RED_READ_PROGRESS: u64 = RED_OFFSET + 16;
+/// Bytes the engine writes per completion update.
+pub const RED_LEN: u64 = 24;
+
+/// Start of the metadata ring.
+pub const RINGS_OFFSET: u64 = 128;
+
+/// Sizing and offsets for one channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelLayout {
+    /// Number of metadata entries (requests outstanding at once).
+    pub meta_entries: u64,
+    /// Request (write payload) data ring capacity in bytes.
+    pub wdata_capacity: u64,
+    /// Response data ring capacity in bytes.
+    pub rdata_capacity: u64,
+}
+
+impl ChannelLayout {
+    /// A comfortable default: 1024 outstanding requests, 1 MiB each way.
+    pub fn default_sizes() -> ChannelLayout {
+        ChannelLayout {
+            meta_entries: 1024,
+            wdata_capacity: 1 << 20,
+            rdata_capacity: 1 << 20,
+        }
+    }
+
+    /// Small rings, for tests that exercise full-ring behaviour.
+    pub fn tiny() -> ChannelLayout {
+        ChannelLayout {
+            meta_entries: 8,
+            wdata_capacity: 256,
+            rdata_capacity: 256,
+        }
+    }
+
+    pub fn with_meta_entries(mut self, n: u64) -> ChannelLayout {
+        self.meta_entries = n;
+        self
+    }
+
+    pub fn with_data_capacities(mut self, wdata: u64, rdata: u64) -> ChannelLayout {
+        self.wdata_capacity = wdata;
+        self.rdata_capacity = rdata;
+        self
+    }
+
+    /// Offset of the metadata ring.
+    pub const fn meta_offset(&self) -> u64 {
+        RINGS_OFFSET
+    }
+
+    /// Offset of metadata entry at `virtual_idx`.
+    pub fn meta_entry_offset(&self, virtual_idx: u64) -> u64 {
+        self.meta_offset() + (virtual_idx % self.meta_entries) * META_ENTRY_BYTES
+    }
+
+    /// Offset of the request (write payload) data ring.
+    pub fn wdata_offset(&self) -> u64 {
+        self.meta_offset() + self.meta_entries * META_ENTRY_BYTES
+    }
+
+    /// Physical offset within the region of a virtual wdata position.
+    pub fn wdata_phys(&self, virtual_off: u64) -> u64 {
+        self.wdata_offset() + (virtual_off % self.wdata_capacity)
+    }
+
+    /// Offset of the response data ring.
+    pub fn rdata_offset(&self) -> u64 {
+        self.wdata_offset() + self.wdata_capacity
+    }
+
+    /// Physical offset within the region of a virtual rdata position.
+    pub fn rdata_phys(&self, virtual_off: u64) -> u64 {
+        self.rdata_offset() + (virtual_off % self.rdata_capacity)
+    }
+
+    /// Total bytes of the channel region.
+    pub fn region_size(&self) -> u64 {
+        self.rdata_offset() + self.rdata_capacity
+    }
+}
+
+/// Reserve `len` bytes in a no-wrap ring.
+///
+/// `tail`/`head` are virtual offsets; returns the virtual start of the
+/// reservation (after any pad-to-boundary) and the new tail, or `None` if it
+/// does not fit. The caller persists the new tail.
+pub fn reserve_no_wrap(tail: u64, head: u64, capacity: u64, len: u64) -> Option<(u64, u64)> {
+    if len > capacity {
+        return None;
+    }
+    let phys = tail % capacity;
+    let start = if phys + len > capacity {
+        tail + (capacity - phys) // pad to ring boundary
+    } else {
+        tail
+    };
+    let end = start + len;
+    if end - head > capacity {
+        return None;
+    }
+    Some((start, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_do_not_overlap() {
+        assert!(GREEN_OFFSET + GREEN_LEN <= RED_OFFSET);
+        assert!(RED_OFFSET + RED_LEN <= RINGS_OFFSET);
+        // Separate cache lines.
+        assert_eq!(RED_OFFSET % 64, 0);
+        assert_eq!(RINGS_OFFSET % 64, 0);
+    }
+
+    #[test]
+    fn layout_offsets_are_contiguous() {
+        let l = ChannelLayout::default_sizes();
+        assert_eq!(l.meta_offset(), 128);
+        assert_eq!(l.wdata_offset(), 128 + 1024 * 32);
+        assert_eq!(l.rdata_offset(), l.wdata_offset() + (1 << 20));
+        assert_eq!(l.region_size(), l.rdata_offset() + (1 << 20));
+    }
+
+    #[test]
+    fn meta_entry_wraps() {
+        let l = ChannelLayout::tiny();
+        assert_eq!(l.meta_entry_offset(0), l.meta_offset());
+        assert_eq!(l.meta_entry_offset(8), l.meta_offset());
+        assert_eq!(l.meta_entry_offset(9), l.meta_offset() + 32);
+    }
+
+    #[test]
+    fn reserve_fits_simple() {
+        // cap 100, empty ring at origin.
+        assert_eq!(reserve_no_wrap(0, 0, 100, 40), Some((0, 40)));
+        // subsequent reservation follows.
+        assert_eq!(reserve_no_wrap(40, 0, 100, 40), Some((40, 80)));
+        // next would wrap: pads to 100 but then exceeds capacity vs head 0.
+        assert_eq!(reserve_no_wrap(80, 0, 100, 40), None);
+        // once head advances, the padded reservation fits.
+        assert_eq!(reserve_no_wrap(80, 40, 100, 40), Some((100, 140)));
+    }
+
+    #[test]
+    fn reserve_never_splits_across_boundary() {
+        let (start, end) = reserve_no_wrap(90, 50, 100, 30).unwrap();
+        assert_eq!(start, 100, "padded to boundary");
+        assert_eq!(end, 130);
+        assert!(start % 100 + 30 <= 100);
+    }
+
+    #[test]
+    fn reserve_rejects_oversized() {
+        assert_eq!(reserve_no_wrap(0, 0, 100, 101), None);
+        assert_eq!(reserve_no_wrap(0, 0, 100, 100), Some((0, 100)));
+    }
+
+    #[test]
+    fn reserve_zero_len() {
+        assert_eq!(reserve_no_wrap(7, 0, 100, 0), Some((7, 7)));
+    }
+}

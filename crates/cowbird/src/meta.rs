@@ -1,0 +1,212 @@
+//! The request metadata block — Table 3 of the paper.
+//!
+//! | field | bits | valid domain |
+//! |---|---|---|
+//! | `rw_type` | 16 | compute and memory |
+//! | `req_addr` | 64 | memory (read); compute (write) |
+//! | `resp_addr` | 64 | compute (read); memory (write) |
+//! | `length` | 32 | compute and memory |
+//! | `region_id` | 16 | compute and memory |
+//!
+//! One entry occupies exactly four 64-bit words (32 bytes, cache-friendly
+//! and trivially parseable by packet-centric hardware — requirement R1):
+//!
+//! ```text
+//! word 0: [ publication token (48 bits) | reserved | rw_type (2 bits) ]
+//! word 1: req_addr
+//! word 2: resp_addr
+//! word 3: [ region_id (16 bits) | length (32 bits) ]
+//! ```
+//!
+//! Word 0 is written **last** (paper §4.3: "The rw_type cache line is
+//! written last and signals that the request is ready to execute"). On top
+//! of the paper's design we fold a publication token — the entry's virtual
+//! ring index plus one — into the same word. The token lets an offload
+//! engine that fetched `[head, tail)` verify it did not race a ring lap:
+//! a stale entry's token cannot match its expected virtual index.
+
+use crate::error::IssueError;
+
+/// Request direction, as stored in the low bits of word 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum RwType {
+    /// Slot not (yet) valid.
+    Invalid = 0,
+    Read = 1,
+    Write = 2,
+}
+
+impl RwType {
+    pub fn from_bits(bits: u64) -> RwType {
+        match bits & 0b11 {
+            1 => RwType::Read,
+            2 => RwType::Write,
+            _ => RwType::Invalid,
+        }
+    }
+}
+
+/// Size of one encoded metadata entry.
+pub const META_ENTRY_BYTES: u64 = 32;
+
+/// A decoded request metadata block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RequestMeta {
+    pub rw_type: RwType,
+    /// For reads: offset within the remote region to fetch. For writes:
+    /// offset of the payload within the channel's request data ring.
+    pub req_addr: u64,
+    /// For reads: offset of the response slot within the channel's response
+    /// data ring. For writes: offset within the remote region to store to.
+    pub resp_addr: u64,
+    /// Transfer length in bytes.
+    pub length: u32,
+    /// Target remote memory region.
+    pub region_id: u16,
+}
+
+impl RequestMeta {
+    /// Encode words 1..4 (everything except the publication word).
+    pub fn body_words(&self) -> [u64; 3] {
+        [
+            self.req_addr,
+            self.resp_addr,
+            ((self.region_id as u64) << 32) | self.length as u64,
+        ]
+    }
+
+    /// Encode word 0 for an entry at virtual ring index `virtual_idx`.
+    pub fn publication_word(&self, virtual_idx: u64) -> u64 {
+        ((virtual_idx + 1) << 16) | self.rw_type as u64
+    }
+
+    /// Decode an entry from its four words. Returns `None` when the
+    /// publication token does not match `virtual_idx` (unpublished or stale).
+    pub fn decode(words: [u64; 4], virtual_idx: u64) -> Option<RequestMeta> {
+        let token = words[0] >> 16;
+        if token != virtual_idx + 1 {
+            return None;
+        }
+        let rw_type = RwType::from_bits(words[0]);
+        if rw_type == RwType::Invalid {
+            return None;
+        }
+        Some(RequestMeta {
+            rw_type,
+            req_addr: words[1],
+            resp_addr: words[2],
+            length: (words[3] & 0xFFFF_FFFF) as u32,
+            region_id: (words[3] >> 32) as u16,
+        })
+    }
+
+    /// Decode from raw little-endian bytes (the offload engine's view after
+    /// an RDMA fetch of the metadata ring).
+    pub fn decode_bytes(bytes: &[u8], virtual_idx: u64) -> Option<RequestMeta> {
+        if bytes.len() < META_ENTRY_BYTES as usize {
+            return None;
+        }
+        let w = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        Self::decode([w(0), w(1), w(2), w(3)], virtual_idx)
+    }
+
+    /// Validate a request against the target region size.
+    pub fn validate_against(&self, region_size: u64) -> Result<(), IssueError> {
+        let remote_off = match self.rw_type {
+            RwType::Read => self.req_addr,
+            RwType::Write => self.resp_addr,
+            RwType::Invalid => return Ok(()),
+        };
+        if remote_off + self.length as u64 > region_size {
+            return Err(IssueError::OutOfRegionBounds {
+                offset: remote_off,
+                len: self.length,
+                size: region_size,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(rw: RwType) -> RequestMeta {
+        RequestMeta {
+            rw_type: rw,
+            req_addr: 0xAAAA_BBBB_CCCC,
+            resp_addr: 0x1111_2222,
+            length: 4096,
+            region_id: 42,
+        }
+    }
+
+    #[test]
+    fn roundtrip_via_words() {
+        let m = sample(RwType::Read);
+        let body = m.body_words();
+        let w0 = m.publication_word(77);
+        let decoded = RequestMeta::decode([w0, body[0], body[1], body[2]], 77).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn roundtrip_via_bytes() {
+        let m = sample(RwType::Write);
+        let body = m.body_words();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&m.publication_word(5).to_le_bytes());
+        for w in body {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        assert_eq!(RequestMeta::decode_bytes(&bytes, 5), Some(m));
+        // Wrong virtual index (stale or unpublished entry) decodes to None.
+        assert_eq!(RequestMeta::decode_bytes(&bytes, 6), None);
+        assert_eq!(RequestMeta::decode_bytes(&bytes[..16], 5), None);
+    }
+
+    #[test]
+    fn invalid_rw_type_rejected() {
+        let m = sample(RwType::Read);
+        let body = m.body_words();
+        // Token correct but rw_type bits zeroed.
+        let w0 = (5u64 + 1) << 16;
+        assert_eq!(
+            RequestMeta::decode([w0, body[0], body[1], body[2]], 5),
+            None
+        );
+    }
+
+    #[test]
+    fn bounds_validation_per_direction() {
+        let mut m = sample(RwType::Read);
+        m.req_addr = 100;
+        m.length = 50;
+        assert!(m.validate_against(150).is_ok());
+        assert!(m.validate_against(149).is_err());
+        // For writes the remote side is resp_addr.
+        let mut w = sample(RwType::Write);
+        w.resp_addr = 10;
+        w.length = 10;
+        assert!(w.validate_against(20).is_ok());
+        assert!(w.validate_against(19).is_err());
+    }
+
+    #[test]
+    fn table3_field_widths_hold() {
+        // region_id is 16 bits, length 32 bits; they must pack losslessly.
+        let m = RequestMeta {
+            rw_type: RwType::Write,
+            req_addr: u64::MAX,
+            resp_addr: u64::MAX,
+            length: u32::MAX,
+            region_id: u16::MAX,
+        };
+        let body = m.body_words();
+        let decoded =
+            RequestMeta::decode([m.publication_word(0), body[0], body[1], body[2]], 0).unwrap();
+        assert_eq!(decoded, m);
+    }
+}

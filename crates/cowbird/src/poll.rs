@@ -1,0 +1,214 @@
+//! Poll notification groups — the epoll-like completion interface of
+//! paper §4.1 and §4.4.
+//!
+//! "`poll_create()` allocates a list of (region_id, req_id) tuples. Adding or
+//! removing requests from the notification group updates an integer for the
+//! associated region that tracks the maximum registered req_id. [...] it
+//! checks for such completions in every poll* call. For efficiency, req_ids
+//! are generated [so that] almost all checks can be done with simple integer
+//! arithmetic and comparison."
+//!
+//! Because sequence numbers are monotone per (channel, type), the group keeps
+//! two sorted queues; a poll pops the prefix at or below the corresponding
+//! progress counter — O(completions), no hashing, no scanning.
+
+use std::collections::VecDeque;
+
+use crate::channel::Channel;
+use crate::reqid::{OpType, ReqId};
+
+/// A notification group for Cowbird requests on one channel.
+#[derive(Debug, Default)]
+pub struct PollGroup {
+    reads: VecDeque<ReqId>,
+    writes: VecDeque<ReqId>,
+    /// Max registered seq per type (the paper's tracked integers).
+    max_read_seq: u64,
+    max_write_seq: u64,
+}
+
+impl PollGroup {
+    /// `poll_create()`.
+    pub fn new() -> PollGroup {
+        PollGroup::default()
+    }
+
+    /// `poll_add(poll_id, req_id)`. Requests must be added in issue order
+    /// per type (they are, if added as issued — the natural pattern).
+    pub fn add(&mut self, id: ReqId) {
+        match id.op() {
+            OpType::Read => {
+                debug_assert!(id.seq() > self.max_read_seq, "poll_add out of order");
+                self.max_read_seq = self.max_read_seq.max(id.seq());
+                self.reads.push_back(id);
+            }
+            OpType::Write => {
+                debug_assert!(id.seq() > self.max_write_seq, "poll_add out of order");
+                self.max_write_seq = self.max_write_seq.max(id.seq());
+                self.writes.push_back(id);
+            }
+        }
+    }
+
+    /// `poll_remove(poll_id, req_id)`.
+    pub fn remove(&mut self, id: ReqId) -> bool {
+        let q = match id.op() {
+            OpType::Read => &mut self.reads,
+            OpType::Write => &mut self.writes,
+        };
+        if let Some(pos) = q.iter().position(|&r| r == id) {
+            q.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of registered, not-yet-reported requests.
+    pub fn pending(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+
+    /// Non-blocking poll: report completions against the channel's *cached*
+    /// progress (cheap); refreshes once if nothing is ready.
+    pub fn poll_try(&mut self, ch: &mut Channel, max_ret: usize) -> Vec<ReqId> {
+        let mut out = Vec::new();
+        self.collect(ch, max_ret, &mut out);
+        if out.is_empty() && self.pending() > 0 {
+            ch.refresh();
+            self.collect(ch, max_ret, &mut out);
+        }
+        out
+    }
+
+    fn collect(&mut self, ch: &Channel, max_ret: usize, out: &mut Vec<ReqId>) {
+        let rp = ch.progress(OpType::Read);
+        while out.len() < max_ret {
+            match self.reads.front() {
+                Some(id) if id.completed_by(rp) => out.push(self.reads.pop_front().unwrap()),
+                _ => break,
+            }
+        }
+        let wp = ch.progress(OpType::Write);
+        while out.len() < max_ret {
+            match self.writes.front() {
+                Some(id) if id.completed_by(wp) => out.push(self.writes.pop_front().unwrap()),
+                _ => break,
+            }
+        }
+    }
+
+    /// `poll_wait(poll_id, responses, max_ret, timeout)`: spin until
+    /// `max_ret` completions arrive or `spin_limit` refresh rounds elapse.
+    /// Meant for the real-thread substrate (simulations model poll costs
+    /// explicitly instead of spinning).
+    pub fn poll_wait(&mut self, ch: &mut Channel, max_ret: usize, spin_limit: u64) -> Vec<ReqId> {
+        let mut out = Vec::new();
+        let want = max_ret.min(self.pending());
+        for _ in 0..spin_limit {
+            out.extend(self.poll_try(ch, max_ret - out.len()));
+            if out.len() >= want {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChannelLayout;
+    use crate::region::{RegionMap, RemoteRegion};
+    use crate::reqid::OpType;
+    use rdma::mem::Region;
+    use std::sync::atomic::Ordering;
+
+    fn channel() -> Channel {
+        let mut m = RegionMap::new();
+        m.insert(
+            1,
+            RemoteRegion {
+                rkey: 1,
+                base: 0,
+                size: 1 << 16,
+            },
+        );
+        Channel::new(0, ChannelLayout::default_sizes(), m)
+    }
+
+    fn complete(ch: &Channel, reads: u64, writes: u64) {
+        let region: &Region = ch.region();
+        region.store_u64(crate::layout::RED_READ_PROGRESS, reads, Ordering::Release);
+        region.store_u64(crate::layout::RED_WRITE_PROGRESS, writes, Ordering::Release);
+    }
+
+    #[test]
+    fn empty_group_polls_empty() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        assert!(g.poll_try(&mut ch, 8).is_empty());
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn completions_report_in_order_up_to_max_ret() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let mut ids = Vec::new();
+        for _ in 0..5 {
+            let h = ch.async_read(1, 0, 8).unwrap();
+            g.add(h.id);
+            ids.push(h.id);
+        }
+        assert!(g.poll_try(&mut ch, 8).is_empty());
+        complete(&ch, 3, 0);
+        let got = g.poll_try(&mut ch, 2);
+        assert_eq!(got, vec![ids[0], ids[1]]);
+        let got = g.poll_try(&mut ch, 8);
+        assert_eq!(got, vec![ids[2]]);
+        assert_eq!(g.pending(), 2);
+    }
+
+    #[test]
+    fn mixed_types_complete_independently() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let r = ch.async_read(1, 0, 8).unwrap();
+        let w = ch.async_write(1, 0, &[0; 8]).unwrap();
+        g.add(r.id);
+        g.add(w);
+        complete(&ch, 0, 1); // only the write done
+        let got = g.poll_try(&mut ch, 8);
+        assert_eq!(got, vec![w]);
+        complete(&ch, 1, 1);
+        let got = g.poll_try(&mut ch, 8);
+        assert_eq!(got, vec![r.id]);
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let h = ch.async_read(1, 0, 8).unwrap();
+        g.add(h.id);
+        assert!(g.remove(h.id));
+        assert!(!g.remove(h.id));
+        complete(&ch, 1, 0);
+        assert!(g.poll_try(&mut ch, 8).is_empty());
+    }
+
+    #[test]
+    fn poll_wait_spins_until_available() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let h = ch.async_read(1, 0, 8).unwrap();
+        g.add(h.id);
+        // Not completed: spin_limit bounds the wait.
+        assert!(g.poll_wait(&mut ch, 1, 10).is_empty());
+        complete(&ch, 1, 0);
+        assert_eq!(g.poll_wait(&mut ch, 1, 10), vec![h.id]);
+        assert_eq!(h.id.op(), OpType::Read);
+    }
+}

@@ -1,0 +1,90 @@
+//! Remote region registry.
+//!
+//! Remote memory in Cowbird is addressed as `(region_id, offset)`; the
+//! mapping from region id to the memory pool's (rkey, base, size) is
+//! established during the Setup phase and shared with the offload engine
+//! (paper §5.2 Phase I: "the base memory addresses, remote keys, and total
+//! size of all registered memory regions").
+
+use std::collections::HashMap;
+
+use rdma::mem::Rkey;
+
+/// Application-visible remote region identifier (16 bits, per Table 3).
+pub type RegionId = u16;
+
+/// One registered block of remote memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RemoteRegion {
+    /// Remote key on the memory pool's NIC.
+    pub rkey: Rkey,
+    /// Base address within the rkey's registered region.
+    pub base: u64,
+    /// Usable size in bytes.
+    pub size: u64,
+}
+
+/// Region table shared (by value, at setup time) between the client library
+/// and the offload engine.
+#[derive(Clone, Debug, Default)]
+pub struct RegionMap {
+    regions: HashMap<RegionId, RemoteRegion>,
+}
+
+impl RegionMap {
+    pub fn new() -> RegionMap {
+        RegionMap::default()
+    }
+
+    /// Register a remote region under `id`. Returns the previous mapping if
+    /// any (reconfiguration is allowed through the Setup interface).
+    pub fn insert(&mut self, id: RegionId, region: RemoteRegion) -> Option<RemoteRegion> {
+        self.regions.insert(id, region)
+    }
+
+    pub fn get(&self, id: RegionId) -> Option<&RemoteRegion> {
+        self.regions.get(&id)
+    }
+
+    pub fn remove(&mut self, id: RegionId) -> Option<RemoteRegion> {
+        self.regions.remove(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&RegionId, &RemoteRegion)> {
+        self.regions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove() {
+        let mut map = RegionMap::new();
+        let r = RemoteRegion {
+            rkey: 7,
+            base: 4096,
+            size: 1 << 20,
+        };
+        assert!(map.insert(1, r).is_none());
+        assert_eq!(map.get(1), Some(&r));
+        assert_eq!(map.len(), 1);
+        let r2 = RemoteRegion {
+            rkey: 8,
+            base: 0,
+            size: 64,
+        };
+        assert_eq!(map.insert(1, r2), Some(r));
+        assert_eq!(map.remove(1), Some(r2));
+        assert!(map.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Request-id encoding.
+//!
+//! Paper §4.4: "For efficiency, req_ids are generated to encode their
+//! operation type, region id, and the incremented per-request id such that
+//! almost all checks can be done with simple integer arithmetic and
+//! comparison."
+//!
+//! Layout of the 64-bit id:
+//!
+//! ```text
+//! 63     62..48          47..0
+//! [type] [channel id]    [per-type sequence number, starting at 1]
+//! ```
+//!
+//! The sequence number is per *(channel, type)*; completion is the single
+//! comparison `seq <= progress_counter[type]`.
+
+/// Operation type carried in a request id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpType {
+    Read,
+    Write,
+}
+
+/// A Cowbird request identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(u64);
+
+const SEQ_BITS: u32 = 48;
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+const CHAN_BITS: u32 = 15;
+const CHAN_MASK: u64 = (1 << CHAN_BITS) - 1;
+
+impl ReqId {
+    /// Encode a request id. `seq` must be nonzero (0 is reserved to mean
+    /// "nothing completed yet" in progress counters).
+    pub fn new(op: OpType, channel: u16, seq: u64) -> ReqId {
+        debug_assert!(seq != 0, "sequence numbers start at 1");
+        debug_assert!(seq <= SEQ_MASK);
+        debug_assert!((channel as u64) <= CHAN_MASK);
+        let t = match op {
+            OpType::Read => 0u64,
+            OpType::Write => 1u64,
+        };
+        ReqId(t << 63 | ((channel as u64) & CHAN_MASK) << SEQ_BITS | (seq & SEQ_MASK))
+    }
+
+    /// The operation type.
+    #[inline]
+    pub fn op(self) -> OpType {
+        if self.0 >> 63 == 0 {
+            OpType::Read
+        } else {
+            OpType::Write
+        }
+    }
+
+    /// The issuing channel.
+    #[inline]
+    pub fn channel(self) -> u16 {
+        ((self.0 >> SEQ_BITS) & CHAN_MASK) as u16
+    }
+
+    /// The per-(channel, type) sequence number.
+    #[inline]
+    pub fn seq(self) -> u64 {
+        self.0 & SEQ_MASK
+    }
+
+    /// Raw id value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from a raw value.
+    #[inline]
+    pub fn from_raw(raw: u64) -> ReqId {
+        ReqId(raw)
+    }
+
+    /// The single-comparison completion check (paper §4.4): given the
+    /// channel's progress counter for this id's type, is this request done?
+    #[inline]
+    pub fn completed_by(self, progress: u64) -> bool {
+        self.seq() <= progress
+    }
+}
+
+impl std::fmt::Debug for ReqId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReqId({:?} ch{} #{})",
+            self.op(),
+            self.channel(),
+            self.seq()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_fields() {
+        let id = ReqId::new(OpType::Write, 0x7ABC & CHAN_MASK as u16, 123_456_789);
+        assert_eq!(id.op(), OpType::Write);
+        assert_eq!(id.channel(), 0x7ABC & CHAN_MASK as u16);
+        assert_eq!(id.seq(), 123_456_789);
+        assert_eq!(ReqId::from_raw(id.raw()), id);
+    }
+
+    #[test]
+    fn read_and_write_never_collide() {
+        let r = ReqId::new(OpType::Read, 1, 7);
+        let w = ReqId::new(OpType::Write, 1, 7);
+        assert_ne!(r, w);
+        assert_eq!(r.op(), OpType::Read);
+        assert_eq!(w.op(), OpType::Write);
+    }
+
+    #[test]
+    fn completion_is_one_comparison() {
+        let id = ReqId::new(OpType::Read, 3, 10);
+        assert!(!id.completed_by(0));
+        assert!(!id.completed_by(9));
+        assert!(id.completed_by(10));
+        assert!(id.completed_by(11));
+    }
+
+    #[test]
+    fn sequences_order_within_channel_and_type() {
+        let a = ReqId::new(OpType::Read, 5, 1);
+        let b = ReqId::new(OpType::Read, 5, 2);
+        assert!(a < b);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "sequence numbers start at 1")]
+    fn zero_seq_rejected_in_debug() {
+        let _ = ReqId::new(OpType::Read, 0, 0);
+    }
+}

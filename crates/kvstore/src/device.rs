@@ -1,0 +1,60 @@
+//! The IDevice abstraction (paper §7).
+//!
+//! "We adapt FASTER to use Cowbird by instantiating an IDevice, the
+//! interface FASTER exposes for implementing its storage layer for the
+//! larger-than-memory part of the log."
+//!
+//! A device addresses the *log's* address space directly: the hybrid log
+//! flushes `[addr, addr+len)` spans and reads them back by the same
+//! addresses. All operations are asynchronous — completions surface through
+//! [`Device::poll`], matching FASTER's callback-per-IO model and Cowbird's
+//! notification groups.
+
+/// Identifies an in-flight device operation.
+pub type Token = u64;
+
+/// A finished device operation.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    pub token: Token,
+    /// Read data (None for writes).
+    pub data: Option<Vec<u8>>,
+    pub ok: bool,
+}
+
+/// Asynchronous storage for the cold portion of the hybrid log.
+pub trait Device: Send {
+    /// Begin writing `data` at log address `addr`.
+    fn write_async(&mut self, addr: u64, data: &[u8]) -> Token;
+
+    /// Begin reading `len` bytes at log address `addr`.
+    fn read_async(&mut self, addr: u64, len: u32) -> Token;
+
+    /// Collect finished operations.
+    fn poll(&mut self) -> Vec<Completion>;
+
+    /// Operations issued but not yet surfaced by [`Device::poll`].
+    fn pending(&self) -> usize;
+
+    /// Spin until every in-flight operation has completed, returning all
+    /// completions (used by log eviction, which must not release buffer
+    /// space before the flush is durable remotely).
+    fn drain_blocking(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut spins: u64 = 0;
+        while self.pending() > 0 {
+            let got = self.poll();
+            if got.is_empty() {
+                spins += 1;
+                if spins.is_multiple_of(16) {
+                    // Yield aggressively: on few-core hosts the agent and
+                    // NIC threads need this core to make progress.
+                    std::thread::yield_now();
+                }
+            } else {
+                out.extend(got);
+            }
+        }
+        out
+    }
+}

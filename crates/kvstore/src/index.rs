@@ -1,0 +1,175 @@
+//! The hash index: lock-free slots mapping key tags to log addresses.
+//!
+//! As in FASTER, the index does not store keys — only a small tag plus the
+//! address of the newest record version; full keys live in the log and
+//! collisions are resolved by walking the record chain. A slot packs:
+//!
+//! ```text
+//! [ tag: 16 bits | address: 48 bits ]
+//! ```
+//!
+//! Updates CAS the slot so concurrent upserts never lose an address (the
+//! loser retries with the new head as its `prev`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const ADDR_BITS: u32 = 48;
+const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+/// Stable 64-bit key hash (splitmix-style finalizer).
+#[inline]
+pub fn hash_key(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The hash index.
+pub struct HashIndex {
+    slots: Box<[AtomicU64]>,
+    mask: u64,
+}
+
+impl HashIndex {
+    /// Create an index with at least `min_slots` slots (rounded up to a
+    /// power of two).
+    pub fn new(min_slots: usize) -> HashIndex {
+        let n = min_slots.next_power_of_two().max(64);
+        let mut v = Vec::with_capacity(n);
+        v.resize_with(n, || AtomicU64::new(0));
+        HashIndex {
+            slots: v.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    pub fn slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn slot_and_tag(&self, key: u64) -> (usize, u64) {
+        let h = hash_key(key);
+        let slot = (h & self.mask) as usize;
+        // Tag from the high bits; never zero so an empty slot is
+        // distinguishable.
+        let tag = ((h >> ADDR_BITS) | 1) & 0xFFFF;
+        (slot, tag)
+    }
+
+    /// Latest address for `key`'s hash bucket, if the tag matches.
+    /// (A tag match does not guarantee the key matches — the caller must
+    /// verify against the record and walk its chain.)
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        let (slot, tag) = self.slot_and_tag(key);
+        let v = self.slots[slot].load(Ordering::Acquire);
+        if v == 0 {
+            return None;
+        }
+        if v >> ADDR_BITS == tag {
+            Some(v & ADDR_MASK)
+        } else {
+            // A different key family owns this bucket; the caller treats it
+            // as the chain head anyway (FASTER buckets are shared).
+            Some(v & ADDR_MASK)
+        }
+    }
+
+    /// Publish `new_addr` as the newest version for `key`'s bucket iff the
+    /// current head is still `expected` (None = empty). Returns the
+    /// observed head on failure so the caller can re-chain and retry.
+    pub fn publish(&self, key: u64, expected: Option<u64>, new_addr: u64) -> Result<(), u64> {
+        debug_assert!(new_addr <= ADDR_MASK);
+        let (slot, tag) = self.slot_and_tag(key);
+        let cur = match expected {
+            None => 0,
+            Some(addr) => {
+                // Reconstruct the packed value with whatever tag is stored.
+                let v = self.slots[slot].load(Ordering::Acquire);
+                if v & ADDR_MASK != addr {
+                    return Err(v & ADDR_MASK);
+                }
+                v
+            }
+        };
+        let new = (tag << ADDR_BITS) | new_addr;
+        match self.slots[slot].compare_exchange(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => Ok(()),
+            Err(observed) => Err(observed & ADDR_MASK),
+        }
+    }
+
+    /// Occupied slot count (diagnostics).
+    pub fn occupied(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.load(Ordering::Relaxed) != 0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lookup_is_none() {
+        let idx = HashIndex::new(128);
+        assert_eq!(idx.lookup(42), None);
+    }
+
+    #[test]
+    fn publish_then_lookup() {
+        let idx = HashIndex::new(128);
+        idx.publish(42, None, 0x1000).unwrap();
+        assert_eq!(idx.lookup(42), Some(0x1000));
+        // Update chains forward.
+        idx.publish(42, Some(0x1000), 0x2000).unwrap();
+        assert_eq!(idx.lookup(42), Some(0x2000));
+    }
+
+    #[test]
+    fn stale_publish_returns_observed_head() {
+        let idx = HashIndex::new(128);
+        idx.publish(7, None, 0x100).unwrap();
+        idx.publish(7, Some(0x100), 0x200).unwrap();
+        // A racer holding the old head fails and learns the new one.
+        assert_eq!(idx.publish(7, Some(0x100), 0x300), Err(0x200));
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(HashIndex::new(100).slots(), 128);
+        assert_eq!(HashIndex::new(64).slots(), 64);
+        assert_eq!(HashIndex::new(1).slots(), 64);
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_updates() {
+        use std::sync::Arc;
+        let idx = Arc::new(HashIndex::new(1024));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    let key = t; // all threads fight over 4 keys
+                    let mut expected = idx.lookup(key);
+                    loop {
+                        match idx.publish(key, expected, i + 1) {
+                            Ok(()) => break,
+                            Err(observed) => expected = Some(observed),
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for key in 0..4u64 {
+            assert!(idx.lookup(key).is_some());
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! # kvstore — a FASTER-style hybrid-log key-value store (paper §7)
+//!
+//! The paper's case study ports Microsoft FASTER to Cowbird by implementing
+//! an `IDevice` — FASTER's storage-layer interface for the
+//! larger-than-memory part of its hybrid log. We reproduce that
+//! architecture from scratch:
+//!
+//! * [`hlog`] — the **hybrid log**: a monotonically growing logical address
+//!   space whose hot tail lives in a circular in-memory buffer; colder
+//!   addresses are flushed to an [`device::Device`] and evicted. Records are
+//!   never updated in place: upserts append a new version chained to the
+//!   previous one.
+//! * [`index`] — the **hash index**: lock-free open-addressed slots mapping
+//!   a 16-bit key tag to the 48-bit log address of the newest record version
+//!   (collisions resolve through the record chain, as in FASTER).
+//! * [`store`] — [`store::FasterKv`]: sharded reads/upserts with
+//!   asynchronous storage-miss handling (`Pending` results completed via
+//!   `poll`), mirroring how FASTER threads use Cowbird's notification groups
+//!   ("after issuing an I/O operation ... a thread immediately calls
+//!   poll_add() and invokes poll_wait() periodically").
+//! * [`device`] / [`devices`] — the IDevice abstraction and its backends:
+//!   local memory (the paper's upper bound), a latency/rate-modelled SATA
+//!   SSD (FASTER's default), direct one-sided RDMA (sync and async), and
+//!   **Cowbird** (a `cowbird::Channel` per shard — the paper's per-thread
+//!   integration).
+//!
+//! Simplifications vs. Microsoft FASTER, documented here deliberately:
+//! keys are fixed 8-byte values (the paper's YCSB config), shards serialize
+//! through a mutex instead of epoch protection, and checkpointing/recovery
+//! are out of scope. The storage architecture — the part the paper
+//! evaluates — is faithful.
+
+pub mod device;
+pub mod devices;
+pub mod hlog;
+pub mod index;
+pub mod record;
+pub mod store;
+
+pub use device::{Completion, Device, Token};
+pub use devices::{CowbirdDevice, LocalMemoryDevice, RdmaDevice, RdmaMode, SsdSimDevice};
+pub use hlog::HybridLog;
+pub use index::HashIndex;
+pub use store::{FasterKv, ReadResult, StoreConfig};

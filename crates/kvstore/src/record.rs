@@ -1,0 +1,144 @@
+//! On-log record layout.
+//!
+//! ```text
+//! offset 0   prev     u64   log address of the previous version / chain hop
+//! offset 8   key      u64   the paper's 8-byte keys
+//! offset 16  val_len  u32
+//! offset 20  flags    u32   bit 0: tombstone (deletion marker)
+//! offset 24  value    [u8; val_len], padded to 8 bytes
+//! ```
+//!
+//! Records are immutable once written; updates append a new record whose
+//! `prev` points at the old one (FASTER's hybrid-log discipline: the
+//! in-memory tail is writable only until an address becomes read-only).
+
+/// Record header size.
+pub const HEADER_BYTES: u64 = 24;
+
+/// The null log address (chain terminator). Valid log addresses start
+/// above [`crate::hlog::LOG_BASE`].
+pub const NULL_ADDR: u64 = 0;
+
+/// Flags bit 0: this record is a deletion marker.
+pub const FLAG_TOMBSTONE: u32 = 1;
+
+/// A decoded record header + value.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Record {
+    pub prev: u64,
+    pub key: u64,
+    pub value: Vec<u8>,
+    /// Deletion marker: the key is gone as of this version.
+    pub tombstone: bool,
+}
+
+impl Record {
+    /// Total on-log footprint for a value length (8-byte aligned).
+    pub fn footprint(val_len: usize) -> u64 {
+        (HEADER_BYTES + val_len as u64 + 7) & !7
+    }
+
+    /// Encode into `out` (must be `footprint` bytes).
+    pub fn encode(&self, out: &mut [u8]) {
+        let need = Self::footprint(self.value.len()) as usize;
+        assert!(out.len() >= need);
+        out[0..8].copy_from_slice(&self.prev.to_le_bytes());
+        out[8..16].copy_from_slice(&self.key.to_le_bytes());
+        out[16..20].copy_from_slice(&(self.value.len() as u32).to_le_bytes());
+        let flags = if self.tombstone { FLAG_TOMBSTONE } else { 0 };
+        out[20..24].copy_from_slice(&flags.to_le_bytes());
+        out[24..24 + self.value.len()].copy_from_slice(&self.value);
+        // Zero the padding for deterministic bytes.
+        for b in &mut out[24 + self.value.len()..need] {
+            *b = 0;
+        }
+    }
+
+    /// Encode into a fresh vec.
+    pub fn encode_vec(&self) -> Vec<u8> {
+        let mut v = vec![0u8; Self::footprint(self.value.len()) as usize];
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decode the header; returns (prev, key, val_len, flags).
+    pub fn decode_header(bytes: &[u8]) -> Option<(u64, u64, u32, u32)> {
+        if bytes.len() < HEADER_BYTES as usize {
+            return None;
+        }
+        let prev = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let key = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let val_len = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+        let flags = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        Some((prev, key, val_len, flags))
+    }
+
+    /// Decode a whole record.
+    pub fn decode(bytes: &[u8]) -> Option<Record> {
+        let (prev, key, val_len, flags) = Self::decode_header(bytes)?;
+        let end = HEADER_BYTES as usize + val_len as usize;
+        if bytes.len() < end {
+            return None;
+        }
+        Some(Record {
+            prev,
+            key,
+            value: bytes[HEADER_BYTES as usize..end].to_vec(),
+            tombstone: flags & FLAG_TOMBSTONE != 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let r = Record {
+            prev: 0xABCD,
+            key: 42,
+            value: b"hello world".to_vec(),
+            tombstone: false,
+        };
+        let bytes = r.encode_vec();
+        assert_eq!(bytes.len() % 8, 0);
+        assert_eq!(Record::decode(&bytes), Some(r));
+    }
+
+    #[test]
+    fn footprint_alignment() {
+        assert_eq!(Record::footprint(0), 24);
+        assert_eq!(Record::footprint(1), 32);
+        assert_eq!(Record::footprint(8), 32);
+        assert_eq!(Record::footprint(9), 40);
+        assert_eq!(Record::footprint(64), 88);
+    }
+
+    #[test]
+    fn tombstones_roundtrip() {
+        let t = Record {
+            prev: 7,
+            key: 9,
+            value: vec![],
+            tombstone: true,
+        };
+        let bytes = t.encode_vec();
+        let back = Record::decode(&bytes).unwrap();
+        assert!(back.tombstone);
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let r = Record {
+            prev: 1,
+            key: 2,
+            value: vec![7; 100],
+            tombstone: false,
+        };
+        let bytes = r.encode_vec();
+        assert!(Record::decode(&bytes[..23]).is_none());
+        assert!(Record::decode(&bytes[..60]).is_none());
+    }
+}

@@ -1,0 +1,577 @@
+//! The store: sharded reads/upserts over the hybrid log, with asynchronous
+//! storage-miss handling.
+//!
+//! A read whose record lives below the log head returns
+//! [`ReadResult::Pending`]; the caller later collects it via
+//! [`FasterKv::poll`] — mirroring FASTER threads completing pending I/Os
+//! through Cowbird's notification groups (paper §7). Hash-bucket collisions
+//! resolve by walking the record chain, re-issuing device reads as needed
+//! (chains can span memory and storage).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::device::{Device, Token};
+use crate::hlog::HybridLog;
+use crate::index::{hash_key, HashIndex};
+use crate::record::{Record, HEADER_BYTES, NULL_ADDR};
+
+/// Store configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreConfig {
+    /// In-memory log window per shard, bytes.
+    pub memory_per_shard: u64,
+    /// Mutable fraction of the window.
+    pub mutable_fraction: f64,
+    /// Hash-index slots per shard.
+    pub index_slots: usize,
+    /// Largest value the store will ever hold (sizes device reads — FASTER
+    /// likewise reads a fixed upper bound per miss).
+    pub max_value_bytes: u32,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            memory_per_shard: 1 << 20,
+            mutable_fraction: 0.25,
+            index_slots: 1 << 16,
+            max_value_bytes: 512,
+        }
+    }
+}
+
+/// Outcome of a read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadResult {
+    Found(Vec<u8>),
+    NotFound,
+    /// The record is on the device; collect via [`FasterKv::poll`].
+    Pending(PendingId),
+}
+
+/// Handle to a pending storage read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PendingId {
+    pub shard: usize,
+    pub id: u64,
+}
+
+enum Resolution {
+    Found(Vec<u8>),
+    NotFound,
+    NeedDevice(Token),
+}
+
+struct Shard<D: Device> {
+    index: HashIndex,
+    log: HybridLog<D>,
+    /// device token -> (pending id, key being resolved)
+    pending: HashMap<Token, (u64, u64)>,
+    next_pending: u64,
+    max_read_span: u64,
+}
+
+impl<D: Device> Shard<D> {
+    fn new(cfg: &StoreConfig, device: D) -> Shard<D> {
+        Shard {
+            index: HashIndex::new(cfg.index_slots),
+            log: HybridLog::new(cfg.memory_per_shard, cfg.mutable_fraction, device),
+            pending: HashMap::new(),
+            next_pending: 1,
+            max_read_span: Record::footprint(cfg.max_value_bytes as usize),
+        }
+    }
+
+    fn upsert(&mut self, key: u64, value: &[u8]) {
+        self.append(key, value, false)
+    }
+
+    fn delete(&mut self, key: u64) {
+        // FASTER-style deletion: append a tombstone version.
+        self.append(key, &[], true)
+    }
+
+    fn append(&mut self, key: u64, value: &[u8], tombstone: bool) {
+        let mut head = self.index.lookup(key);
+        let fp = Record::footprint(value.len());
+        let addr = self.log.alloc(fp);
+        let rec = Record {
+            prev: head.unwrap_or(NULL_ADDR),
+            key,
+            value: value.to_vec(),
+            tombstone,
+        };
+        self.log.write_at(addr, &rec.encode_vec());
+        loop {
+            match self.index.publish(key, head, addr) {
+                Ok(()) => break,
+                Err(observed) => {
+                    head = if observed == NULL_ADDR {
+                        None
+                    } else {
+                        Some(observed)
+                    };
+                    // Re-chain the freshly written record before retrying.
+                    self.log
+                        .write_at(addr, &head.unwrap_or(NULL_ADDR).to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Walk the chain from `addr`; stop at a key match, the chain end, or
+    /// the memory/storage boundary.
+    fn resolve(&mut self, key: u64, mut addr: u64) -> Resolution {
+        loop {
+            if addr == NULL_ADDR {
+                return Resolution::NotFound;
+            }
+            if self.log.in_memory(addr) {
+                let header = self
+                    .log
+                    .read_mem(addr, HEADER_BYTES)
+                    .expect("in-memory header");
+                let (prev, rkey, val_len, flags) =
+                    Record::decode_header(&header).expect("header decodes");
+                if rkey == key {
+                    if flags & crate::record::FLAG_TOMBSTONE != 0 {
+                        return Resolution::NotFound;
+                    }
+                    let val = self
+                        .log
+                        .read_mem(addr + HEADER_BYTES, val_len as u64)
+                        .expect("in-memory value");
+                    return Resolution::Found(val);
+                }
+                addr = prev;
+            } else {
+                let span = self
+                    .max_read_span
+                    .min(self.log.flushed_boundary().saturating_sub(addr));
+                debug_assert!(span >= HEADER_BYTES);
+                let token = self.log.device.read_async(addr, span as u32);
+                return Resolution::NeedDevice(token);
+            }
+        }
+    }
+
+    fn read(&mut self, key: u64) -> Result<Resolution, ()> {
+        match self.index.lookup(key) {
+            None => Ok(Resolution::NotFound),
+            Some(addr) => Ok(self.resolve(key, addr)),
+        }
+    }
+
+    /// Collect device completions, continuing chain walks as needed.
+    fn poll(&mut self) -> Vec<(u64, Option<Vec<u8>>)> {
+        let mut completions = self.log.take_stashed();
+        completions.extend(self.log.device.poll());
+        let mut out = Vec::new();
+        for c in completions {
+            let Some((pid, key)) = self.pending.remove(&c.token) else {
+                continue; // a flush ack that raced; harmless
+            };
+            if !c.ok {
+                out.push((pid, None));
+                continue;
+            }
+            let bytes = c.data.expect("read completion carries data");
+            let Some(rec) = Record::decode(&bytes) else {
+                out.push((pid, None));
+                continue;
+            };
+            if rec.key == key {
+                out.push((pid, (!rec.tombstone).then_some(rec.value)));
+                continue;
+            }
+            // Collision: continue along the chain (may hop back into
+            // memory or need another device read).
+            match self.resolve(key, rec.prev) {
+                Resolution::Found(v) => out.push((pid, Some(v))),
+                Resolution::NotFound => out.push((pid, None)),
+                Resolution::NeedDevice(token) => {
+                    self.pending.insert(token, (pid, key));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The FASTER-style store.
+pub struct FasterKv<D: Device> {
+    shards: Vec<Mutex<Shard<D>>>,
+}
+
+impl<D: Device> FasterKv<D> {
+    /// Create a store with one shard per device (a shard per application
+    /// thread is the intended deployment, matching the paper's per-thread
+    /// Cowbird channels).
+    pub fn new(cfg: StoreConfig, devices: Vec<D>) -> FasterKv<D> {
+        assert!(!devices.is_empty());
+        FasterKv {
+            shards: devices
+                .into_iter()
+                .map(|d| Mutex::new(Shard::new(&cfg, d)))
+                .collect(),
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a key (uses hash bits disjoint from the index's).
+    pub fn shard_of(&self, key: u64) -> usize {
+        ((hash_key(key) >> 48) % self.shards.len() as u64) as usize
+    }
+
+    /// Insert or update.
+    pub fn upsert(&self, key: u64, value: &[u8]) {
+        self.shards[self.shard_of(key)].lock().upsert(key, value)
+    }
+
+    /// Delete a key (appends a tombstone version, as FASTER does).
+    pub fn delete(&self, key: u64) {
+        self.shards[self.shard_of(key)].lock().delete(key)
+    }
+
+    /// Atomic read-modify-write: `f` sees the current value (None if
+    /// absent) and returns the new one. Holds the shard for the duration;
+    /// if the current version is in cold storage, the shard's device is
+    /// polled inline until it arrives (FASTER's RMW similarly goes pending
+    /// on a storage miss).
+    pub fn rmw(&self, key: u64, f: impl FnOnce(Option<&[u8]>) -> Vec<u8>) {
+        let shard = self.shard_of(key);
+        let mut guard = self.shards[shard].lock();
+        let current = match guard.read(key) {
+            Ok(Resolution::Found(v)) => Some(v),
+            Ok(Resolution::NotFound) | Err(()) => None,
+            Ok(Resolution::NeedDevice(token)) => {
+                // Resolve inline, still holding the shard.
+                let pid = guard.next_pending;
+                guard.next_pending += 1;
+                guard.pending.insert(token, (pid, key));
+                let mut got = None;
+                let mut spins: u64 = 0;
+                while got.is_none() {
+                    for (id, v) in guard.poll() {
+                        if id == pid {
+                            got = Some(v);
+                        }
+                    }
+                    if got.is_none() {
+                        spins += 1;
+                        if spins % 8 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                got.unwrap()
+            }
+        };
+        let new = f(current.as_deref());
+        guard.upsert(key, &new);
+    }
+
+    /// Read; may return `Pending` when the record is in cold storage.
+    pub fn read(&self, key: u64) -> ReadResult {
+        let shard = self.shard_of(key);
+        // One lock scope: the pending entry must be registered before any
+        // other thread can poll the device and observe the completion.
+        let mut guard = self.shards[shard].lock();
+        match guard.read(key) {
+            Ok(Resolution::Found(v)) => ReadResult::Found(v),
+            Ok(Resolution::NotFound) => ReadResult::NotFound,
+            Ok(Resolution::NeedDevice(token)) => {
+                let id = guard.next_pending;
+                guard.next_pending += 1;
+                guard.pending.insert(token, (id, key));
+                ReadResult::Pending(PendingId { shard, id })
+            }
+            Err(()) => ReadResult::NotFound,
+        }
+    }
+
+    /// Collect completed pending reads for a shard.
+    pub fn poll(&self, shard: usize) -> Vec<(PendingId, Option<Vec<u8>>)> {
+        self.shards[shard]
+            .lock()
+            .poll()
+            .into_iter()
+            .map(|(id, v)| (PendingId { shard, id }, v))
+            .collect()
+    }
+
+    /// Convenience for tests and single-threaded examples: read and spin
+    /// for the result. Assumes no other caller is polling the same shard
+    /// concurrently.
+    pub fn read_blocking(&self, key: u64) -> Option<Vec<u8>> {
+        match self.read(key) {
+            ReadResult::Found(v) => Some(v),
+            ReadResult::NotFound => None,
+            ReadResult::Pending(pid) => {
+                let mut spins: u64 = 0;
+                loop {
+                    for (got, v) in self.poll(pid.shard) {
+                        if got == pid {
+                            return v;
+                        }
+                    }
+                    spins += 1;
+                    if spins.is_multiple_of(8) {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush all shards' logs to their devices.
+    pub fn flush_all(&self) {
+        for s in &self.shards {
+            s.lock().log.flush_all();
+        }
+    }
+
+    /// Aggregate log statistics: (bytes flushed, evictions).
+    pub fn log_stats(&self) -> (u64, u64) {
+        let mut bytes = 0;
+        let mut ev = 0;
+        for s in &self.shards {
+            let g = s.lock();
+            bytes += g.log.bytes_flushed;
+            ev += g.log.evictions;
+        }
+        (bytes, ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::LocalMemoryDevice;
+
+    fn small_store(shards: usize) -> FasterKv<LocalMemoryDevice> {
+        let cfg = StoreConfig {
+            memory_per_shard: 16 << 10,
+            mutable_fraction: 0.25,
+            index_slots: 1 << 12,
+            max_value_bytes: 256,
+        };
+        FasterKv::new(cfg, (0..shards).map(|_| LocalMemoryDevice::new()).collect())
+    }
+
+    #[test]
+    fn basic_upsert_read_in_memory() {
+        let kv = small_store(1);
+        kv.upsert(1, b"one");
+        kv.upsert(2, b"two");
+        assert_eq!(kv.read(1), ReadResult::Found(b"one".to_vec()));
+        assert_eq!(kv.read(2), ReadResult::Found(b"two".to_vec()));
+        assert_eq!(kv.read(3), ReadResult::NotFound);
+    }
+
+    #[test]
+    fn updates_return_latest_version() {
+        let kv = small_store(1);
+        for i in 0..10u64 {
+            kv.upsert(42, format!("v{i}").as_bytes());
+        }
+        assert_eq!(kv.read_blocking(42), Some(b"v9".to_vec()));
+    }
+
+    #[test]
+    fn eviction_forces_pending_reads_that_resolve() {
+        let kv = small_store(1);
+        // Write enough 64-byte values to evict the early ones from the
+        // 16 KiB window.
+        for k in 0..1000u64 {
+            kv.upsert(k, &[k as u8; 64]);
+        }
+        let (_bytes, evictions) = kv.log_stats();
+        assert!(evictions > 0, "must have evicted");
+        // Early keys now come from the device.
+        let r = kv.read(0);
+        assert!(matches!(r, ReadResult::Pending(_)), "got {r:?}");
+        assert_eq!(kv.read_blocking(0), Some(vec![0u8; 64]));
+        // And recent keys still come from memory.
+        assert_eq!(kv.read(999), ReadResult::Found(vec![231u8; 64]));
+    }
+
+    #[test]
+    fn every_key_survives_eviction() {
+        let kv = small_store(1);
+        for k in 0..2000u64 {
+            kv.upsert(k, k.to_le_bytes().as_slice());
+        }
+        for k in (0..2000u64).step_by(37) {
+            let v = kv.read_blocking(k).unwrap_or_else(|| panic!("key {k} lost"));
+            assert_eq!(v, k.to_le_bytes().as_slice());
+        }
+    }
+
+    #[test]
+    fn updates_survive_eviction_with_old_versions_on_device() {
+        let kv = small_store(1);
+        kv.upsert(7, b"old");
+        for k in 100..1100u64 {
+            kv.upsert(k, &[1u8; 64]);
+        }
+        kv.upsert(7, b"new");
+        for k in 1100..2100u64 {
+            kv.upsert(k, &[2u8; 64]);
+        }
+        assert_eq!(kv.read_blocking(7), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn sharding_routes_consistently() {
+        let kv = small_store(4);
+        for k in 0..500u64 {
+            kv.upsert(k, &k.to_le_bytes());
+        }
+        for k in 0..500u64 {
+            assert_eq!(kv.read_blocking(k), Some(k.to_le_bytes().to_vec()), "key {k}");
+        }
+        assert_eq!(kv.shards(), 4);
+    }
+
+    #[test]
+    fn concurrent_shard_access() {
+        use std::sync::Arc;
+        let kv = Arc::new(small_store(4));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let kv = Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                let base = t * 10_000;
+                for k in base..base + 1500 {
+                    kv.upsert(k, &k.to_le_bytes());
+                }
+                for k in base..base + 1500 {
+                    assert_eq!(kv.read_blocking(k), Some(k.to_le_bytes().to_vec()));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn zero_length_values_work() {
+        let kv = small_store(1);
+        kv.upsert(5, b"");
+        assert_eq!(kv.read_blocking(5), Some(vec![]));
+    }
+}
+
+#[cfg(test)]
+mod delete_rmw_tests {
+    use super::*;
+    use crate::devices::LocalMemoryDevice;
+
+    fn store() -> FasterKv<LocalMemoryDevice> {
+        FasterKv::new(
+            StoreConfig {
+                memory_per_shard: 16 << 10,
+                mutable_fraction: 0.25,
+                index_slots: 1 << 12,
+                max_value_bytes: 256,
+            },
+            vec![LocalMemoryDevice::new()],
+        )
+    }
+
+    #[test]
+    fn delete_hides_key() {
+        let kv = store();
+        kv.upsert(1, b"alive");
+        assert_eq!(kv.read_blocking(1), Some(b"alive".to_vec()));
+        kv.delete(1);
+        assert_eq!(kv.read_blocking(1), None);
+        // Re-insert after delete works.
+        kv.upsert(1, b"back");
+        assert_eq!(kv.read_blocking(1), Some(b"back".to_vec()));
+    }
+
+    #[test]
+    fn deleted_key_stays_deleted_across_eviction() {
+        let kv = store();
+        kv.upsert(7, b"v");
+        kv.delete(7);
+        // Push both versions to the device.
+        for k in 100..1200u64 {
+            kv.upsert(k, &[1u8; 64]);
+        }
+        assert_eq!(kv.read_blocking(7), None, "tombstone must survive eviction");
+        // A neighbour key is unaffected.
+        assert_eq!(kv.read_blocking(100), Some(vec![1u8; 64]));
+    }
+
+    #[test]
+    fn delete_of_missing_key_is_noop_tombstone() {
+        let kv = store();
+        kv.delete(42);
+        assert_eq!(kv.read_blocking(42), None);
+    }
+
+    #[test]
+    fn rmw_counter_semantics() {
+        let kv = store();
+        for _ in 0..100 {
+            kv.rmw(5, |cur| {
+                let n = cur
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .unwrap_or(0);
+                (n + 1).to_le_bytes().to_vec()
+            });
+        }
+        let v = kv.read_blocking(5).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 100);
+    }
+
+    #[test]
+    fn rmw_resolves_evicted_versions() {
+        let kv = store();
+        kv.upsert(9, &10u64.to_le_bytes());
+        for k in 100..1200u64 {
+            kv.upsert(k, &[2u8; 64]);
+        }
+        // Version of key 9 is now on the device; RMW must fetch it.
+        kv.rmw(9, |cur| {
+            let n = u64::from_le_bytes(cur.expect("exists").try_into().unwrap());
+            (n * 3).to_le_bytes().to_vec()
+        });
+        let v = kv.read_blocking(9).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 30);
+    }
+
+    #[test]
+    fn concurrent_rmw_from_threads_is_atomic() {
+        use std::sync::Arc;
+        let kv = Arc::new(store());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let kv = Arc::clone(&kv);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    kv.rmw(77, |cur| {
+                        let n = cur
+                            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                            .unwrap_or(0);
+                        (n + 1).to_le_bytes().to_vec()
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = kv.read_blocking(77).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), 2000);
+    }
+}

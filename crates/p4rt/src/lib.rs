@@ -1,0 +1,38 @@
+//! # p4rt — a software RMT (Reconfigurable Match Table) switch
+//!
+//! The paper's Cowbird-P4 offload engine runs on a Tofino ASIC inside a
+//! Wedge100BF-32X. No such hardware exists here, so this crate provides a
+//! software model of the parts of an RMT switch that Cowbird-P4 exercises:
+//!
+//! * a **pipeline specification** ([`spec`]) — stages, match-action tables,
+//!   stateful register arrays and VLIW action slots, declared up front the
+//!   way a P4 program's resources are fixed at compile time;
+//! * a **resource accountant** ([`resources`]) that folds a spec into the
+//!   PHV/SRAM/TCAM/stage/VLIW/sALU totals of the paper's Table 5;
+//! * **stateful registers** ([`register`]) with RMT discipline enforced at
+//!   run time: an array belongs to exactly one stage and admits one
+//!   read-modify-write per packet traversal, exactly the constraint that
+//!   forces Cowbird-P4's pause-all-reads consistency compromise (§5.3);
+//! * a **packet generator** model ([`pktgen`]) for the Probe phase (§5.2),
+//!   with configurable rate and lowest-priority injection;
+//! * a **control plane** ([`switchd`]) exposing the Setup-phase RPC surface:
+//!   QPN/PSN registration, memory-region tables, and round-robin
+//!   time-division multiplexing across instances (§5.4).
+//!
+//! The *behavioural* halves of the Cowbird-P4 program (packet recycling,
+//! opcode rewriting, Go-Back-N) live in `cowbird-engine::p4`, expressed
+//! against these abstractions; the pipeline verifies that every stateful
+//! access matches the declared spec, so the resource numbers in Table 5 are
+//! backed by the same structure the functional code uses.
+
+pub mod pktgen;
+pub mod register;
+pub mod resources;
+pub mod spec;
+pub mod switchd;
+
+pub use pktgen::PktGenConfig;
+pub use register::{RegisterFile, SaluOp};
+pub use resources::ResourceUsage;
+pub use spec::{MatchKind, PipelineSpec, RegisterSpec, StageSpec, TableSpec};
+pub use switchd::{ControlPlane, InstanceId};

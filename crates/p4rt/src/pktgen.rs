@@ -1,0 +1,149 @@
+//! The switch packet generator — the source of Probe packets (paper §5.2).
+//!
+//! "Modern switches can generate packets quickly enough to saturate all
+//! outgoing links with probe packets; however, doing so could result in high
+//! bandwidth overheads. To mitigate potential overheads, Cowbird-P4
+//! configures the probes with the lowest priority across the switch pipeline
+//! [...] It further limits probe rates to a configurable
+//! application-specific expected host-level I/O throughput (1 probe per 2 µs
+//! for our prototype implementation of FASTER)."
+//!
+//! The generator can also start at a low baseline rate and ramp up when
+//! activity is detected, trading extra probe memory accesses against
+//! worst-case completion latency (§5.2). [`PktGenConfig::next_interval`]
+//! implements that policy with multiplicative ramp and hysteresis.
+
+use simnet::time::Duration;
+
+/// Probe generator configuration and adaptive-rate state.
+#[derive(Clone, Debug)]
+pub struct PktGenConfig {
+    /// Interval between probes when the channel is active (the paper's
+    /// FASTER prototype: 2 µs).
+    pub active_interval: Duration,
+    /// Interval when no activity has been seen (baseline rate).
+    pub idle_interval: Duration,
+    /// Probes ride at the lowest priority (7) unless overridden.
+    pub priority: u8,
+    /// Consecutive empty probes before ramping down.
+    pub idle_threshold: u32,
+    /// Adaptive state: consecutive probes that found no new work.
+    empty_streak: u32,
+    /// Whether ramping is enabled at all.
+    pub adaptive: bool,
+}
+
+impl Default for PktGenConfig {
+    fn default() -> Self {
+        PktGenConfig {
+            active_interval: Duration::from_micros(2),
+            idle_interval: Duration::from_micros(64),
+            priority: 7,
+            idle_threshold: 32,
+            empty_streak: 0,
+            adaptive: false,
+        }
+    }
+}
+
+impl PktGenConfig {
+    /// Fixed-rate generator at `interval`.
+    pub fn fixed(interval: Duration) -> PktGenConfig {
+        PktGenConfig {
+            active_interval: interval,
+            idle_interval: interval,
+            adaptive: false,
+            ..Default::default()
+        }
+    }
+
+    /// Adaptive generator: `active` when busy, ramping toward `idle` after
+    /// `idle_threshold` empty probes.
+    pub fn adaptive(active: Duration, idle: Duration, idle_threshold: u32) -> PktGenConfig {
+        PktGenConfig {
+            active_interval: active,
+            idle_interval: idle,
+            idle_threshold,
+            adaptive: true,
+            ..Default::default()
+        }
+    }
+
+    /// Record a probe outcome and return the interval until the next probe.
+    pub fn next_interval(&mut self, found_work: bool) -> Duration {
+        if !self.adaptive {
+            return self.active_interval;
+        }
+        if found_work {
+            self.empty_streak = 0;
+            return self.active_interval;
+        }
+        self.empty_streak = self.empty_streak.saturating_add(1);
+        if self.empty_streak < self.idle_threshold {
+            self.active_interval
+        } else {
+            // Multiplicative back-off toward the idle interval.
+            let over = (self.empty_streak - self.idle_threshold).min(16);
+            let scaled = self.active_interval.nanos().saturating_shl_or_cap(over);
+            Duration::from_nanos(scaled.min(self.idle_interval.nanos()))
+        }
+    }
+
+    /// Current streak of empty probes (test hook).
+    pub fn empty_streak(&self) -> u32 {
+        self.empty_streak
+    }
+}
+
+trait ShlOrCap {
+    fn saturating_shl_or_cap(self, shift: u32) -> u64;
+}
+
+impl ShlOrCap for u64 {
+    fn saturating_shl_or_cap(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_rate_never_changes() {
+        let mut g = PktGenConfig::fixed(Duration::from_micros(2));
+        for i in 0..100 {
+            let found = i % 2 == 0;
+            assert_eq!(g.next_interval(found), Duration::from_micros(2));
+        }
+    }
+
+    #[test]
+    fn adaptive_ramps_down_when_idle() {
+        let mut g = PktGenConfig::adaptive(
+            Duration::from_micros(2),
+            Duration::from_micros(64),
+            4,
+        );
+        // Busy: stays fast.
+        assert_eq!(g.next_interval(true), Duration::from_micros(2));
+        // Below threshold: still fast.
+        for _ in 0..3 {
+            assert_eq!(g.next_interval(false), Duration::from_micros(2));
+        }
+        // Past threshold: interval grows, capped at idle.
+        let mut last = Duration::ZERO;
+        for _ in 0..10 {
+            last = g.next_interval(false);
+        }
+        assert_eq!(last, Duration::from_micros(64));
+        // Activity resets instantly (worst-case latency bound).
+        assert_eq!(g.next_interval(true), Duration::from_micros(2));
+        assert_eq!(g.empty_streak(), 0);
+    }
+
+    #[test]
+    fn probes_default_to_lowest_priority() {
+        assert_eq!(PktGenConfig::default().priority, 7);
+    }
+}

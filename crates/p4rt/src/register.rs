@@ -1,0 +1,235 @@
+//! Stateful register arrays with RMT access discipline.
+//!
+//! On an RMT switch, a register array lives in exactly one stage and a
+//! packet traversal may perform at most **one** stateful-ALU operation on it
+//! (read-modify-write as a single atom). This constraint shapes Cowbird-P4's
+//! design (§5.3): per-address read/write conflict tracking is impossible, so
+//! the program keeps a single "writes in flight" counter and pauses *all*
+//! newly probed reads while it is nonzero.
+//!
+//! [`RegisterFile`] binds named arrays to the stages that declared them and
+//! asserts, in debug builds and tests, that each packet traversal touches an
+//! array at most once — catching program bugs that real hardware would
+//! reject at compile time.
+
+use std::collections::HashMap;
+
+use crate::spec::PipelineSpec;
+
+/// A single stateful-ALU operation (what one packet may do to one array).
+#[derive(Clone, Copy, Debug)]
+pub enum SaluOp {
+    /// Read the current value.
+    Read,
+    /// Write a new value; returns the old one.
+    Write(u64),
+    /// Add; returns the *new* value.
+    Add(u64),
+    /// Subtract (saturating); returns the *new* value.
+    SubSat(u64),
+    /// Read, and write `new` if the current value equals `expect`; returns
+    /// the old value. (Tofino sALU predication expresses this.)
+    CmpSwap { expect: u64, new: u64 },
+    /// Read, and write max(current, candidate); returns the old value.
+    Max(u64),
+}
+
+struct Array {
+    stage: usize,
+    values: Vec<u64>,
+    touched_in_traversal: bool,
+}
+
+/// The stateful memory of a pipeline, with access discipline.
+pub struct RegisterFile {
+    arrays: HashMap<&'static str, Array>,
+    /// Count of sALU ops executed (for experiments and sanity checks).
+    pub ops_executed: u64,
+}
+
+impl RegisterFile {
+    /// Build the register file from a validated spec.
+    pub fn from_spec(spec: &PipelineSpec) -> RegisterFile {
+        let mut arrays = HashMap::new();
+        for (i, stage) in spec.stages.iter().enumerate() {
+            for r in &stage.registers {
+                arrays.insert(
+                    r.name,
+                    Array {
+                        stage: i,
+                        values: vec![0; r.depth as usize],
+                        touched_in_traversal: false,
+                    },
+                );
+            }
+        }
+        RegisterFile {
+            arrays,
+            ops_executed: 0,
+        }
+    }
+
+    /// Begin a packet traversal: clears per-packet access marks.
+    pub fn begin_traversal(&mut self) {
+        for a in self.arrays.values_mut() {
+            a.touched_in_traversal = false;
+        }
+    }
+
+    /// Execute one sALU op on `array[index]` from `stage`. Returns the value
+    /// per the op's semantics.
+    ///
+    /// Panics if the array does not exist, is accessed from the wrong stage,
+    /// or is touched twice in one traversal — all conditions the Tofino
+    /// compiler rejects statically.
+    pub fn salu(&mut self, stage: usize, array: &str, index: usize, op: SaluOp) -> u64 {
+        let a = self
+            .arrays
+            .get_mut(array)
+            .unwrap_or_else(|| panic!("unknown register array {array}"));
+        assert_eq!(
+            a.stage, stage,
+            "register {array} belongs to stage {}, accessed from {stage}",
+            a.stage
+        );
+        assert!(
+            !a.touched_in_traversal,
+            "register {array} touched twice in one traversal"
+        );
+        a.touched_in_traversal = true;
+        self.ops_executed += 1;
+        let slot = &mut a.values[index];
+        match op {
+            SaluOp::Read => *slot,
+            SaluOp::Write(v) => {
+                let old = *slot;
+                *slot = v;
+                old
+            }
+            SaluOp::Add(v) => {
+                *slot = slot.wrapping_add(v);
+                *slot
+            }
+            SaluOp::SubSat(v) => {
+                *slot = slot.saturating_sub(v);
+                *slot
+            }
+            SaluOp::CmpSwap { expect, new } => {
+                let old = *slot;
+                if old == expect {
+                    *slot = new;
+                }
+                old
+            }
+            SaluOp::Max(v) => {
+                let old = *slot;
+                if v > old {
+                    *slot = v;
+                }
+                old
+            }
+        }
+    }
+
+    /// Control-plane access (not subject to the per-packet discipline): the
+    /// switch CPU may read/write registers out of band, as Cowbird-P4's
+    /// Setup phase does.
+    pub fn cp_write(&mut self, array: &str, index: usize, value: u64) {
+        let a = self
+            .arrays
+            .get_mut(array)
+            .unwrap_or_else(|| panic!("unknown register array {array}"));
+        a.values[index] = value;
+    }
+
+    /// Control-plane read.
+    pub fn cp_read(&self, array: &str, index: usize) -> u64 {
+        self.arrays
+            .get(array)
+            .unwrap_or_else(|| panic!("unknown register array {array}"))
+            .values[index]
+    }
+
+    /// Depth of an array (for iteration from the control plane).
+    pub fn depth(&self, array: &str) -> usize {
+        self.arrays
+            .get(array)
+            .map(|a| a.values.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{RegisterSpec, StageSpec};
+
+    fn file() -> RegisterFile {
+        let spec = PipelineSpec::new("t", 64)
+            .with_stage(StageSpec::new("s0").with_register(RegisterSpec {
+                name: "tail",
+                width_bits: 64,
+                depth: 4,
+            }))
+            .with_stage(StageSpec::new("s1").with_register(RegisterSpec {
+                name: "pause",
+                width_bits: 32,
+                depth: 1,
+            }));
+        spec.validate().unwrap();
+        RegisterFile::from_spec(&spec)
+    }
+
+    #[test]
+    fn salu_semantics() {
+        let mut f = file();
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Write(10)), 0);
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Read), 10);
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Add(5)), 15);
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::SubSat(100)), 0);
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Max(7)), 0);
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Read), 7);
+        f.begin_traversal();
+        assert_eq!(
+            f.salu(0, "tail", 2, SaluOp::CmpSwap { expect: 7, new: 9 }),
+            7
+        );
+        f.begin_traversal();
+        assert_eq!(f.salu(0, "tail", 2, SaluOp::Read), 9);
+        assert_eq!(f.ops_executed, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "touched twice")]
+    fn double_access_in_one_traversal_panics() {
+        let mut f = file();
+        f.begin_traversal();
+        f.salu(0, "tail", 0, SaluOp::Read);
+        f.salu(0, "tail", 1, SaluOp::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "belongs to stage")]
+    fn wrong_stage_access_panics() {
+        let mut f = file();
+        f.begin_traversal();
+        f.salu(1, "tail", 0, SaluOp::Read);
+    }
+
+    #[test]
+    fn control_plane_bypasses_discipline() {
+        let mut f = file();
+        f.cp_write("pause", 0, 3);
+        assert_eq!(f.cp_read("pause", 0), 3);
+        assert_eq!(f.depth("tail"), 4);
+        // cp access doesn't count as traversal touch.
+        f.begin_traversal();
+        assert_eq!(f.salu(1, "pause", 0, SaluOp::Read), 3);
+    }
+}

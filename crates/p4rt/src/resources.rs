@@ -1,0 +1,129 @@
+//! Resource accounting — the machinery behind the paper's Table 5.
+//!
+//! The paper reports the Cowbird-P4 data plane consuming, on a 32-port L3
+//! forwarding Tofino: PHV 1085 b, SRAM 1424 KB, TCAM 1.28 KB, 12 stages,
+//! 38 VLIW instructions, 11 sALUs. [`ResourceUsage::of`] computes the same
+//! six totals from a [`PipelineSpec`], so the `table5_p4_resources` bench
+//! target regenerates the table from the actual Cowbird-P4 program shape.
+
+use crate::spec::PipelineSpec;
+
+/// Aggregate pipeline resource usage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Packet-header-vector bits carried through the pipeline.
+    pub phv_bits: u32,
+    /// Total SRAM, bytes (tables + action data + register arrays).
+    pub sram_bytes: u64,
+    /// Total TCAM, bytes.
+    pub tcam_bytes: u64,
+    /// Match-action stages occupied.
+    pub stages: u32,
+    /// VLIW action instructions across all stages.
+    pub vliw_instrs: u32,
+    /// Stateful ALUs across all stages.
+    pub salus: u32,
+}
+
+impl ResourceUsage {
+    /// Fold a spec into totals.
+    pub fn of(spec: &PipelineSpec) -> ResourceUsage {
+        let mut sram = 0u64;
+        let mut tcam = 0u64;
+        let mut vliw = 0u32;
+        let mut salus = 0u32;
+        for s in &spec.stages {
+            for t in &s.tables {
+                sram += t.sram_bytes();
+                tcam += t.tcam_bytes();
+            }
+            for r in &s.registers {
+                sram += r.sram_bytes();
+            }
+            vliw += s.vliw_instrs;
+            salus += s.salus();
+        }
+        ResourceUsage {
+            phv_bits: spec.phv_bits,
+            sram_bytes: sram,
+            tcam_bytes: tcam,
+            stages: spec.stages.len() as u32,
+            vliw_instrs: vliw,
+            salus,
+        }
+    }
+
+    /// SRAM in KB (as Table 5 reports).
+    pub fn sram_kb(&self) -> f64 {
+        self.sram_bytes as f64 / 1024.0
+    }
+
+    /// TCAM in KB.
+    pub fn tcam_kb(&self) -> f64 {
+        self.tcam_bytes as f64 / 1024.0
+    }
+}
+
+impl std::fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PHV {} b | SRAM {:.0} KB | TCAM {:.2} KB | {} stages | {} VLIW | {} sALU",
+            self.phv_bits,
+            self.sram_kb(),
+            self.tcam_kb(),
+            self.stages,
+            self.vliw_instrs,
+            self.salus
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MatchKind, RegisterSpec, StageSpec, TableSpec};
+
+    #[test]
+    fn totals_sum_across_stages() {
+        let spec = PipelineSpec::new("x", 500)
+            .with_stage(
+                StageSpec::new("a")
+                    .with_table(TableSpec {
+                        name: "t1",
+                        match_kind: MatchKind::Exact,
+                        key_bits: 24,
+                        entries: 1024,
+                        action_bits: 8,
+                    })
+                    .with_register(RegisterSpec {
+                        name: "r1",
+                        width_bits: 64,
+                        depth: 512,
+                    })
+                    .with_vliw(5),
+            )
+            .with_stage(
+                StageSpec::new("b")
+                    .with_table(TableSpec {
+                        name: "t2",
+                        match_kind: MatchKind::Ternary,
+                        key_bits: 32,
+                        entries: 64,
+                        action_bits: 16,
+                    })
+                    .with_vliw(7),
+            );
+        let u = ResourceUsage::of(&spec);
+        assert_eq!(u.phv_bits, 500);
+        assert_eq!(u.stages, 2);
+        assert_eq!(u.vliw_instrs, 12);
+        assert_eq!(u.salus, 1);
+        // t1: 1024*(24+8+4)/8 = 4608 B; r1: 4096 B; t2 action: 64*16/8=128 B.
+        assert_eq!(u.sram_bytes, 4608 + 4096 + 128);
+        // t2 key+mask: 64*64/8 = 512 B TCAM.
+        assert_eq!(u.tcam_bytes, 512);
+        let s = u.to_string();
+        assert!(s.contains("2 stages"));
+    }
+}

@@ -1,0 +1,377 @@
+//! Pipeline specifications: the compile-time shape of an RMT program.
+//!
+//! An RMT switch fixes its resources when the P4 program is compiled: how
+//! many pipeline stages it occupies, which match-action tables live in which
+//! stage, how much SRAM/TCAM they consume, how many VLIW action slots and
+//! stateful ALUs each stage uses. A [`PipelineSpec`] captures that shape;
+//! [`crate::resources`] folds it into the totals reported in the paper's
+//! Table 5, and [`crate::register::RegisterFile`] enforces the declared
+//! stateful-access discipline at run time.
+
+/// Tofino-like per-pipeline hard limits (Tofino 1, as in the Wedge100BF-32X).
+pub mod limits {
+    /// Match-action stages per pipeline.
+    pub const MAX_STAGES: u32 = 12;
+    /// SRAM per stage: 80 blocks x 16 KiB.
+    pub const SRAM_PER_STAGE_BYTES: u64 = 80 * 16 * 1024;
+    /// TCAM per stage: 24 blocks x 1.28 KiB.
+    pub const TCAM_PER_STAGE_BYTES: u64 = 24 * 1280;
+    /// PHV capacity in bits (total across container classes).
+    pub const PHV_BITS: u32 = 4096;
+    /// VLIW instruction slots per stage.
+    pub const VLIW_PER_STAGE: u32 = 32;
+    /// Stateful ALUs per stage.
+    pub const SALU_PER_STAGE: u32 = 4;
+}
+
+/// Match kinds supported by RMT tables.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchKind {
+    /// Exact match (SRAM).
+    Exact,
+    /// Ternary match (TCAM).
+    Ternary,
+    /// Range match (TCAM, range-expanded) — the paper notes current switches
+    /// "struggle to implement the range queries" Cowbird's per-address
+    /// conflict detection would need (§5.3).
+    Range,
+}
+
+/// A match-action table declaration.
+#[derive(Clone, Debug)]
+pub struct TableSpec {
+    pub name: &'static str,
+    pub match_kind: MatchKind,
+    /// Match key width in bits.
+    pub key_bits: u32,
+    /// Provisioned entries.
+    pub entries: u32,
+    /// Action-data bits per entry.
+    pub action_bits: u32,
+}
+
+impl TableSpec {
+    /// SRAM consumed (exact tables + action data), bytes.
+    pub fn sram_bytes(&self) -> u64 {
+        match self.match_kind {
+            MatchKind::Exact => {
+                // Key + action data + ~4 bits/entry overhead, rounded to words.
+                let bits = self.entries as u64 * (self.key_bits + self.action_bits + 4) as u64;
+                bits.div_ceil(8)
+            }
+            // Ternary/range keys live in TCAM but action data still sits in SRAM.
+            MatchKind::Ternary | MatchKind::Range => {
+                (self.entries as u64 * self.action_bits as u64).div_ceil(8)
+            }
+        }
+    }
+
+    /// TCAM consumed, bytes.
+    pub fn tcam_bytes(&self) -> u64 {
+        match self.match_kind {
+            MatchKind::Exact => 0,
+            // TCAM stores key + mask.
+            MatchKind::Ternary | MatchKind::Range => {
+                (self.entries as u64 * 2 * self.key_bits as u64).div_ceil(8)
+            }
+        }
+    }
+}
+
+/// A stateful register array declaration.
+#[derive(Clone, Debug)]
+pub struct RegisterSpec {
+    pub name: &'static str,
+    /// Element width in bits (Tofino sALUs handle up to 64 = a pair).
+    pub width_bits: u32,
+    /// Number of elements.
+    pub depth: u32,
+}
+
+impl RegisterSpec {
+    pub fn sram_bytes(&self) -> u64 {
+        (self.width_bits as u64 * self.depth as u64).div_ceil(8)
+    }
+}
+
+/// One pipeline stage.
+#[derive(Clone, Debug, Default)]
+pub struct StageSpec {
+    pub name: &'static str,
+    pub tables: Vec<TableSpec>,
+    pub registers: Vec<RegisterSpec>,
+    /// VLIW action instructions issued in this stage.
+    pub vliw_instrs: u32,
+}
+
+impl StageSpec {
+    pub fn new(name: &'static str) -> StageSpec {
+        StageSpec {
+            name,
+            ..Default::default()
+        }
+    }
+
+    pub fn with_table(mut self, t: TableSpec) -> StageSpec {
+        self.tables.push(t);
+        self
+    }
+
+    pub fn with_register(mut self, r: RegisterSpec) -> StageSpec {
+        self.registers.push(r);
+        self
+    }
+
+    pub fn with_vliw(mut self, n: u32) -> StageSpec {
+        self.vliw_instrs = n;
+        self
+    }
+
+    /// Stateful ALUs used = one per register array touched in the stage.
+    pub fn salus(&self) -> u32 {
+        self.registers.len() as u32
+    }
+}
+
+/// Errors from validating a spec against the hardware limits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecError {
+    TooManyStages { got: u32 },
+    StageSramOverflow { stage: &'static str, bytes: u64 },
+    StageTcamOverflow { stage: &'static str, bytes: u64 },
+    StageVliwOverflow { stage: &'static str, slots: u32 },
+    StageSaluOverflow { stage: &'static str, salus: u32 },
+    PhvOverflow { bits: u32 },
+    DuplicateRegister { name: &'static str },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::TooManyStages { got } => {
+                write!(f, "{got} stages exceed {}", limits::MAX_STAGES)
+            }
+            SpecError::StageSramOverflow { stage, bytes } => {
+                write!(f, "stage {stage} uses {bytes} B SRAM")
+            }
+            SpecError::StageTcamOverflow { stage, bytes } => {
+                write!(f, "stage {stage} uses {bytes} B TCAM")
+            }
+            SpecError::StageVliwOverflow { stage, slots } => {
+                write!(f, "stage {stage} uses {slots} VLIW slots")
+            }
+            SpecError::StageSaluOverflow { stage, salus } => {
+                write!(f, "stage {stage} uses {salus} sALUs")
+            }
+            SpecError::PhvOverflow { bits } => write!(f, "PHV needs {bits} bits"),
+            SpecError::DuplicateRegister { name } => {
+                write!(f, "register {name} declared twice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A complete pipeline program shape.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineSpec {
+    pub name: &'static str,
+    /// Header + metadata bits carried through the pipeline.
+    pub phv_bits: u32,
+    pub stages: Vec<StageSpec>,
+}
+
+impl PipelineSpec {
+    pub fn new(name: &'static str, phv_bits: u32) -> PipelineSpec {
+        PipelineSpec {
+            name,
+            phv_bits,
+            stages: Vec::new(),
+        }
+    }
+
+    pub fn with_stage(mut self, s: StageSpec) -> PipelineSpec {
+        self.stages.push(s);
+        self
+    }
+
+    /// Validate against the hardware limits. A spec that validates here is
+    /// one the real compiler could plausibly place — the paper stresses its
+    /// prototype "is optimized to fit into the switch resource constraints
+    /// without packet recirculation" (§8.4).
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.stages.len() as u32 > limits::MAX_STAGES {
+            return Err(SpecError::TooManyStages {
+                got: self.stages.len() as u32,
+            });
+        }
+        if self.phv_bits > limits::PHV_BITS {
+            return Err(SpecError::PhvOverflow {
+                bits: self.phv_bits,
+            });
+        }
+        let mut seen = std::collections::HashSet::new();
+        for s in &self.stages {
+            let sram: u64 = s.tables.iter().map(|t| t.sram_bytes()).sum::<u64>()
+                + s.registers.iter().map(|r| r.sram_bytes()).sum::<u64>();
+            if sram > limits::SRAM_PER_STAGE_BYTES {
+                return Err(SpecError::StageSramOverflow {
+                    stage: s.name,
+                    bytes: sram,
+                });
+            }
+            let tcam: u64 = s.tables.iter().map(|t| t.tcam_bytes()).sum();
+            if tcam > limits::TCAM_PER_STAGE_BYTES {
+                return Err(SpecError::StageTcamOverflow {
+                    stage: s.name,
+                    bytes: tcam,
+                });
+            }
+            if s.vliw_instrs > limits::VLIW_PER_STAGE {
+                return Err(SpecError::StageVliwOverflow {
+                    stage: s.name,
+                    slots: s.vliw_instrs,
+                });
+            }
+            if s.salus() > limits::SALU_PER_STAGE {
+                return Err(SpecError::StageSaluOverflow {
+                    stage: s.name,
+                    salus: s.salus(),
+                });
+            }
+            for r in &s.registers {
+                if !seen.insert(r.name) {
+                    return Err(SpecError::DuplicateRegister { name: r.name });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> PipelineSpec {
+        PipelineSpec::new("test", 256)
+            .with_stage(
+                StageSpec::new("lookup")
+                    .with_table(TableSpec {
+                        name: "qpn_map",
+                        match_kind: MatchKind::Exact,
+                        key_bits: 24,
+                        entries: 256,
+                        action_bits: 16,
+                    })
+                    .with_vliw(2),
+            )
+            .with_stage(
+                StageSpec::new("state")
+                    .with_register(RegisterSpec {
+                        name: "tail",
+                        width_bits: 64,
+                        depth: 64,
+                    })
+                    .with_vliw(3),
+            )
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert_eq!(small_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn sram_accounting() {
+        let t = TableSpec {
+            name: "t",
+            match_kind: MatchKind::Exact,
+            key_bits: 24,
+            entries: 256,
+            action_bits: 16,
+        };
+        // 256 * (24+16+4) bits = 11264 bits = 1408 bytes.
+        assert_eq!(t.sram_bytes(), 1408);
+        assert_eq!(t.tcam_bytes(), 0);
+    }
+
+    #[test]
+    fn tcam_accounting() {
+        let t = TableSpec {
+            name: "t",
+            match_kind: MatchKind::Ternary,
+            key_bits: 32,
+            entries: 128,
+            action_bits: 8,
+        };
+        // key+mask: 128*64 bits = 1024 bytes in TCAM; action 128 bytes SRAM.
+        assert_eq!(t.tcam_bytes(), 1024);
+        assert_eq!(t.sram_bytes(), 128);
+    }
+
+    #[test]
+    fn register_sram() {
+        let r = RegisterSpec {
+            name: "r",
+            width_bits: 64,
+            depth: 1024,
+        };
+        assert_eq!(r.sram_bytes(), 8192);
+    }
+
+    #[test]
+    fn too_many_stages_rejected() {
+        let mut spec = PipelineSpec::new("big", 10);
+        for _ in 0..13 {
+            spec = spec.with_stage(StageSpec::new("s"));
+        }
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::TooManyStages { got: 13 })
+        ));
+    }
+
+    #[test]
+    fn salu_limit_per_stage() {
+        let mut s = StageSpec::new("crowded");
+        for name in ["a", "b", "c", "d", "e"] {
+            s = s.with_register(RegisterSpec {
+                name,
+                width_bits: 32,
+                depth: 1,
+            });
+        }
+        let spec = PipelineSpec::new("x", 10).with_stage(s);
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::StageSaluOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_register_rejected() {
+        let spec = PipelineSpec::new("x", 10)
+            .with_stage(StageSpec::new("a").with_register(RegisterSpec {
+                name: "dup",
+                width_bits: 32,
+                depth: 1,
+            }))
+            .with_stage(StageSpec::new("b").with_register(RegisterSpec {
+                name: "dup",
+                width_bits: 32,
+                depth: 1,
+            }));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::DuplicateRegister { name: "dup" })
+        ));
+    }
+
+    #[test]
+    fn phv_limit() {
+        let spec = PipelineSpec::new("x", 5000);
+        assert!(matches!(spec.validate(), Err(SpecError::PhvOverflow { .. })));
+    }
+}

@@ -1,0 +1,183 @@
+//! The switch control plane: the Setup-phase RPC surface (paper §5.2 Phase I)
+//! and multi-instance scheduling (§5.4).
+//!
+//! "The compute node will then send the switch configuration information
+//! through an RPC endpoint running on the switch control plane, i.e., the QP
+//! numbers; the current PSN for each QP; and the base memory addresses,
+//! remote keys, and total size of all registered memory regions."
+//!
+//! For multiple Cowbird instances, "the switch will cycle between all
+//! registered instances in a round-robin fashion" during Probe; we also
+//! implement the weighted variant the paper leaves as future work
+//! ("more complex policies are possible, e.g., to prioritize more active
+//! applications").
+
+use std::collections::HashMap;
+
+/// A registered Cowbird instance (one compute/memory pair on the switch).
+pub type InstanceId = u16;
+
+/// Per-instance configuration delivered at Setup.
+#[derive(Clone, Debug)]
+pub struct InstanceConfig {
+    /// QPN of the compute node's queue pair (as the switch addresses it).
+    pub compute_qpn: u32,
+    /// QPN of the memory pool's queue pair.
+    pub pool_qpn: u32,
+    /// Initial PSN toward the compute node.
+    pub compute_psn: u32,
+    /// Initial PSN toward the memory pool.
+    pub pool_psn: u32,
+    /// rkey of the channel region on the compute node.
+    pub channel_rkey: u32,
+    /// Scheduling weight (1 = plain round robin).
+    pub weight: u32,
+}
+
+/// Control-plane state: instance registry + QPN reverse map + TDM schedule.
+#[derive(Default)]
+pub struct ControlPlane {
+    instances: HashMap<InstanceId, InstanceConfig>,
+    /// "Cowbird-P4 stores a QPN-to-instance-ID mapping, which it queries at
+    /// every step" (§5.4) — subsequent packets carry no instance id.
+    qpn_to_instance: HashMap<u32, InstanceId>,
+    /// Round-robin order and cursor.
+    schedule: Vec<InstanceId>,
+    cursor: usize,
+}
+
+impl ControlPlane {
+    pub fn new() -> ControlPlane {
+        ControlPlane::default()
+    }
+
+    /// Register (or reconfigure) an instance; rebuilds the TDM schedule.
+    pub fn register(&mut self, id: InstanceId, cfg: InstanceConfig) {
+        self.qpn_to_instance.insert(cfg.compute_qpn, id);
+        self.qpn_to_instance.insert(cfg.pool_qpn, id);
+        self.instances.insert(id, cfg);
+        self.rebuild_schedule();
+    }
+
+    /// Remove an instance ("modifications or termination of the channel also
+    /// occur through this interface").
+    pub fn deregister(&mut self, id: InstanceId) -> Option<InstanceConfig> {
+        let cfg = self.instances.remove(&id)?;
+        self.qpn_to_instance.remove(&cfg.compute_qpn);
+        self.qpn_to_instance.remove(&cfg.pool_qpn);
+        self.rebuild_schedule();
+        Some(cfg)
+    }
+
+    fn rebuild_schedule(&mut self) {
+        let mut ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        ids.sort_unstable();
+        // Weighted round robin: an instance with weight w appears w times,
+        // spread by interleaving rounds.
+        let max_w = self
+            .instances
+            .values()
+            .map(|c| c.weight.max(1))
+            .max()
+            .unwrap_or(1);
+        let mut sched = Vec::new();
+        for round in 0..max_w {
+            for &id in &ids {
+                if self.instances[&id].weight.max(1) > round {
+                    sched.push(id);
+                }
+            }
+        }
+        self.schedule = sched;
+        self.cursor = 0;
+    }
+
+    /// Which instance does the next Probe slot belong to?
+    pub fn next_probe_target(&mut self) -> Option<InstanceId> {
+        if self.schedule.is_empty() {
+            return None;
+        }
+        let id = self.schedule[self.cursor % self.schedule.len()];
+        self.cursor += 1;
+        Some(id)
+    }
+
+    /// Resolve an inbound packet's QPN to its instance.
+    pub fn instance_of_qpn(&self, qpn: u32) -> Option<InstanceId> {
+        self.qpn_to_instance.get(&qpn).copied()
+    }
+
+    pub fn config(&self, id: InstanceId) -> Option<&InstanceConfig> {
+        self.instances.get(&id)
+    }
+
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(compute_qpn: u32, pool_qpn: u32, weight: u32) -> InstanceConfig {
+        InstanceConfig {
+            compute_qpn,
+            pool_qpn,
+            compute_psn: 0,
+            pool_psn: 0,
+            channel_rkey: 1,
+            weight,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_evenly() {
+        let mut cp = ControlPlane::new();
+        cp.register(1, cfg(10, 11, 1));
+        cp.register(2, cfg(20, 21, 1));
+        cp.register(3, cfg(30, 31, 1));
+        let seq: Vec<_> = (0..6).map(|_| cp.next_probe_target().unwrap()).collect();
+        assert_eq!(seq, vec![1, 2, 3, 1, 2, 3]);
+    }
+
+    #[test]
+    fn weighted_round_robin_prioritizes() {
+        let mut cp = ControlPlane::new();
+        cp.register(1, cfg(10, 11, 2));
+        cp.register(2, cfg(20, 21, 1));
+        let seq: Vec<_> = (0..6).map(|_| cp.next_probe_target().unwrap()).collect();
+        // Schedule: round 0 -> [1, 2], round 1 -> [1].
+        assert_eq!(seq, vec![1, 2, 1, 1, 2, 1]);
+        let ones = seq.iter().filter(|&&i| i == 1).count();
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    fn qpn_reverse_lookup() {
+        let mut cp = ControlPlane::new();
+        cp.register(7, cfg(100, 200, 1));
+        assert_eq!(cp.instance_of_qpn(100), Some(7));
+        assert_eq!(cp.instance_of_qpn(200), Some(7));
+        assert_eq!(cp.instance_of_qpn(300), None);
+    }
+
+    #[test]
+    fn deregister_removes_from_schedule() {
+        let mut cp = ControlPlane::new();
+        cp.register(1, cfg(10, 11, 1));
+        cp.register(2, cfg(20, 21, 1));
+        cp.deregister(1);
+        for _ in 0..4 {
+            assert_eq!(cp.next_probe_target(), Some(2));
+        }
+        assert_eq!(cp.instance_of_qpn(10), None);
+        cp.deregister(2);
+        assert_eq!(cp.next_probe_target(), None);
+        assert!(cp.is_empty());
+    }
+}

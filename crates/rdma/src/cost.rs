@@ -1,0 +1,129 @@
+//! The compute-side CPU cost model — Figure 2 of the paper.
+//!
+//! The paper instruments the Mellanox OFED driver with `rdtsc` and breaks a
+//! single asynchronous one-sided RDMA read into its compute-side CPU costs:
+//!
+//! ```text
+//! RDMA    |––post: lock––|––doorbell––|––wqe––|––poll: lock––|––cqe––|   ≈ 600–700 ns
+//! Cowbird |–post–|–poll–|                                               ≈ 60 ns
+//! ```
+//!
+//! Each subtask is expensive because it requires spinlocks, atomics and/or
+//! `mfence`/`sfence` instructions to order queue and doorbell accesses
+//! (paper §2.1). Cowbird's post/poll are plain local-memory writes/reads.
+//!
+//! Every simulated thread charges these constants for its communication
+//! calls; the Figure 2 experiment prints them directly, and every throughput
+//! figure inherits them. The defaults below reproduce the figure's bar
+//! lengths (total RDMA ≈ 650 ns vs Cowbird ≈ 60 ns, an order of magnitude).
+
+use simnet::time::Duration;
+
+/// Per-operation CPU costs on the compute node, in nanoseconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// RDMA post: acquiring the QP spinlock.
+    pub post_lock_ns: u64,
+    /// RDMA post: ringing the doorbell register (uncached MMIO + sfence).
+    pub post_doorbell_ns: u64,
+    /// RDMA post: building and writing the work-queue entry.
+    pub post_wqe_ns: u64,
+    /// RDMA poll: acquiring the CQ lock.
+    pub poll_lock_ns: u64,
+    /// RDMA poll: reading and validating the completion-queue entry.
+    pub poll_cqe_ns: u64,
+    /// Cowbird post: a handful of local-memory writes (ring append).
+    pub cowbird_post_ns: u64,
+    /// Cowbird poll: reading the progress counters and comparing req-ids.
+    pub cowbird_poll_ns: u64,
+    /// A local memory access performed by application logic (cache-resident
+    /// hash-probe step); used as the unit of "real work".
+    pub local_access_ns: u64,
+}
+
+impl CostModel {
+    /// Constants calibrated to Figure 2 of the paper.
+    pub fn paper_defaults() -> CostModel {
+        CostModel {
+            post_lock_ns: 90,
+            post_doorbell_ns: 160,
+            post_wqe_ns: 100,
+            poll_lock_ns: 90,
+            poll_cqe_ns: 160,
+            cowbird_post_ns: 20,
+            cowbird_poll_ns: 15,
+            local_access_ns: 60,
+        }
+    }
+
+    /// Total CPU time of an RDMA post.
+    pub fn rdma_post(&self) -> Duration {
+        Duration::from_nanos(self.post_lock_ns + self.post_doorbell_ns + self.post_wqe_ns)
+    }
+
+    /// Total CPU time of a single RDMA poll call (result already available).
+    pub fn rdma_poll(&self) -> Duration {
+        Duration::from_nanos(self.poll_lock_ns + self.poll_cqe_ns)
+    }
+
+    /// Total compute-side CPU time of one asynchronous RDMA operation.
+    pub fn rdma_total(&self) -> Duration {
+        self.rdma_post() + self.rdma_poll()
+    }
+
+    /// CPU time of a Cowbird request issue (paper §4.3: two atomic
+    /// increments plus five field writes, no fences).
+    pub fn cowbird_post(&self) -> Duration {
+        Duration::from_nanos(self.cowbird_post_ns)
+    }
+
+    /// CPU time of a Cowbird completion check.
+    pub fn cowbird_poll(&self) -> Duration {
+        Duration::from_nanos(self.cowbird_poll_ns)
+    }
+
+    /// Total compute-side CPU time of one Cowbird operation.
+    pub fn cowbird_total(&self) -> Duration {
+        self.cowbird_post() + self.cowbird_poll()
+    }
+
+    /// Application-logic cost of touching `n` cache lines locally.
+    pub fn local_work(&self, n: u64) -> Duration {
+        Duration::from_nanos(self.local_access_ns * n)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rdma_is_an_order_of_magnitude_over_cowbird() {
+        // The central claim of Figure 2.
+        let m = CostModel::paper_defaults();
+        let ratio = m.rdma_total().nanos() as f64 / m.cowbird_total().nanos() as f64;
+        assert!(ratio >= 8.0, "ratio {ratio}");
+        assert!(m.rdma_total().nanos() >= 600);
+        assert!(m.cowbird_total().nanos() <= 100);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let m = CostModel::paper_defaults();
+        assert_eq!(
+            m.rdma_total().nanos(),
+            m.post_lock_ns
+                + m.post_doorbell_ns
+                + m.post_wqe_ns
+                + m.poll_lock_ns
+                + m.poll_cqe_ns
+        );
+        assert_eq!(m.local_work(3).nanos(), 3 * m.local_access_ns);
+    }
+}

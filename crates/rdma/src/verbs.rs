@@ -1,0 +1,182 @@
+//! The host-level verbs interface: work requests and completion queues.
+//!
+//! This mirrors the slice of the `ibv_*` API that disaggregation frameworks
+//! actually use (paper §2.1): post a work request to a QP's send queue, later
+//! poll a completion queue. The cost of doing just that — and nothing else —
+//! is what Cowbird eliminates from the compute node.
+
+use std::collections::VecDeque;
+
+use crate::mem::Rkey;
+
+/// Operation kinds, for completions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WrKind {
+    Read,
+    Write,
+    Send,
+}
+
+/// A work request operation.
+#[derive(Clone, Debug)]
+pub enum WrOp {
+    /// One-sided read: remote `[remote_addr, +len)` of `remote_rkey` lands in
+    /// local `[local_addr, +len)` of `local_rkey`.
+    Read {
+        local_rkey: Rkey,
+        local_addr: u64,
+        remote_addr: u64,
+        remote_rkey: Rkey,
+        len: u32,
+    },
+    /// One-sided write from registered local memory.
+    Write {
+        local_rkey: Rkey,
+        local_addr: u64,
+        remote_addr: u64,
+        remote_rkey: Rkey,
+        len: u32,
+    },
+    /// One-sided write of an inline buffer (used by offload engines that
+    /// assemble payloads themselves, e.g. the Spot batch writer).
+    WriteInline {
+        remote_addr: u64,
+        remote_rkey: Rkey,
+        data: Vec<u8>,
+    },
+    /// Two-sided send (delivered to the peer's receive path).
+    Send { payload: Vec<u8> },
+}
+
+impl WrOp {
+    pub fn kind(&self) -> WrKind {
+        match self {
+            WrOp::Read { .. } => WrKind::Read,
+            WrOp::Write { .. } | WrOp::WriteInline { .. } => WrKind::Write,
+            WrOp::Send { .. } => WrKind::Send,
+        }
+    }
+}
+
+/// A work request: user cookie + operation.
+#[derive(Clone, Debug)]
+pub struct WorkRequest {
+    pub wr_id: u64,
+    pub op: WrOp,
+}
+
+/// Completion status.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CompletionStatus {
+    Success,
+    LocalError,
+    RemoteError,
+}
+
+/// A completion-queue entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    pub wr_id: u64,
+    pub kind: WrKind,
+    pub status: CompletionStatus,
+}
+
+impl Completion {
+    pub fn ok(wr_id: u64, kind: WrKind) -> Completion {
+        Completion {
+            wr_id,
+            kind,
+            status: CompletionStatus::Success,
+        }
+    }
+
+    pub fn err(wr_id: u64, kind: WrKind, status: CompletionStatus) -> Completion {
+        Completion { wr_id, kind, status }
+    }
+
+    pub fn is_ok(&self) -> bool {
+        self.status == CompletionStatus::Success
+    }
+}
+
+/// A completion queue with poll-call accounting.
+///
+/// `polls` counts *calls* to [`CompletionQueue::poll`] (each one costs
+/// `CostModel::rdma_poll()` of CPU), not entries returned — matching how the
+/// paper measures: "the latency is for a single check of the completion
+/// queue".
+#[derive(Debug, Default)]
+pub struct CompletionQueue {
+    entries: VecDeque<Completion>,
+    pub polls: u64,
+    pub completions_delivered: u64,
+}
+
+impl CompletionQueue {
+    pub fn new() -> CompletionQueue {
+        CompletionQueue::default()
+    }
+
+    /// NIC side: push a completion.
+    pub fn push(&mut self, c: Completion) {
+        self.entries.push_back(c);
+    }
+
+    /// Host side: drain up to `max` completions (one "poll call").
+    pub fn poll(&mut self, max: usize) -> Vec<Completion> {
+        self.polls += 1;
+        let n = self.entries.len().min(max);
+        let out: Vec<Completion> = self.entries.drain(..n).collect();
+        self.completions_delivered += out.len() as u64;
+        out
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cq_poll_counts_calls_not_entries() {
+        let mut cq = CompletionQueue::new();
+        assert!(cq.poll(16).is_empty());
+        cq.push(Completion::ok(1, WrKind::Read));
+        cq.push(Completion::ok(2, WrKind::Write));
+        cq.push(Completion::ok(3, WrKind::Read));
+        let got = cq.poll(2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].wr_id, 1);
+        assert_eq!(cq.poll(2).len(), 1);
+        assert_eq!(cq.polls, 3);
+        assert_eq!(cq.completions_delivered, 3);
+        assert!(cq.is_empty());
+    }
+
+    #[test]
+    fn wrop_kind_classification() {
+        let read = WrOp::Read {
+            local_rkey: 1,
+            local_addr: 0,
+            remote_addr: 0,
+            remote_rkey: 2,
+            len: 8,
+        };
+        assert_eq!(read.kind(), WrKind::Read);
+        let wi = WrOp::WriteInline {
+            remote_addr: 0,
+            remote_rkey: 2,
+            data: vec![],
+        };
+        assert_eq!(wi.kind(), WrKind::Write);
+        assert_eq!(WrOp::Send { payload: vec![] }.kind(), WrKind::Send);
+    }
+}

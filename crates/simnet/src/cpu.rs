@@ -1,0 +1,151 @@
+//! CPU model: cores, hyper-threading, and per-thread time dilation.
+//!
+//! The paper's compute node is an Intel Xeon Silver 4110: 8 physical cores
+//! with 2-way hyper-threading (16 hardware threads). Its throughput curves
+//! (Figs. 8–11) flatten between 8 and 16 threads because hyper-thread pairs
+//! share execution resources, and Redy (Fig. 11) loses outright because its
+//! pinned I/O threads consume cores the application needs.
+//!
+//! We model this with a simple, well-understood dilation: a workload thread's
+//! CPU costs are multiplied by [`CpuSpec::dilation`], derived from how many
+//! software threads compete for how many hardware contexts.
+
+/// Description of a compute node's CPU.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuSpec {
+    /// Physical cores.
+    pub physical_cores: u32,
+    /// Hardware threads per core (2 = hyper-threading).
+    pub smt_ways: u32,
+    /// Throughput of a core running two hyper-threads, relative to the sum of
+    /// two dedicated cores. Intel guidance and measurements put HT gains at
+    /// ~20–30 %, i.e. each sibling runs at ~0.6× of a dedicated core.
+    pub smt_efficiency: f64,
+}
+
+impl CpuSpec {
+    /// The paper's testbed CPU: Xeon Silver 4110, 8C/16T.
+    pub fn xeon_4110() -> CpuSpec {
+        CpuSpec {
+            physical_cores: 8,
+            smt_ways: 2,
+            smt_efficiency: 0.62,
+        }
+    }
+
+    /// CloudLab xl170 (used for the AIFM comparison): E5-2640 v4, 10C/20T.
+    pub fn xl170() -> CpuSpec {
+        CpuSpec {
+            physical_cores: 10,
+            smt_ways: 2,
+            smt_efficiency: 0.62,
+        }
+    }
+
+    /// Total hardware thread contexts.
+    pub fn hw_threads(&self) -> u32 {
+        self.physical_cores * self.smt_ways
+    }
+
+    /// Aggregate compute capacity available to `threads` runnable software
+    /// threads, in units of "dedicated cores".
+    ///
+    /// * Up to `physical_cores` threads: each gets a whole core (capacity =
+    ///   `threads`).
+    /// * Beyond that, additional threads land on hyper-thread siblings; each
+    ///   *pair* of siblings delivers `2 * smt_efficiency` core-equivalents.
+    /// * Beyond `hw_threads()`, threads time-share and capacity stays capped.
+    pub fn capacity(&self, threads: u32) -> f64 {
+        let pc = self.physical_cores as f64;
+        let t = threads as f64;
+        if threads == 0 {
+            return 0.0;
+        }
+        if t <= pc {
+            return t;
+        }
+        let extra = (t - pc).min(pc * (self.smt_ways as f64 - 1.0));
+        // A core with its sibling occupied delivers 2*eff total; the first
+        // context already counted as 1.0, so each extra sibling adds
+        // (2*eff - 1.0).
+        pc.min(t) + extra * (2.0 * self.smt_efficiency - 1.0)
+    }
+
+    /// Multiplier applied to a single thread's CPU costs when `threads`
+    /// software threads are runnable: `threads / capacity(threads)`.
+    ///
+    /// 1.0 while threads fit on dedicated cores; > 1.0 once hyper-threading
+    /// or time-sharing kicks in.
+    pub fn dilation(&self, threads: u32) -> f64 {
+        if threads == 0 {
+            return 1.0;
+        }
+        threads as f64 / self.capacity(threads)
+    }
+
+    /// Dilation when `reserved` hardware threads are taken by other work
+    /// (e.g. Redy's pinned I/O threads): the application's `threads` compete
+    /// for the remainder.
+    pub fn dilation_with_reserved(&self, threads: u32, reserved: u32) -> f64 {
+        let total = threads + reserved;
+        if threads == 0 {
+            return 1.0;
+        }
+        // All `total` threads are runnable; the application's share of
+        // capacity is proportional to its thread count.
+        let cap = self.capacity(total);
+        let app_cap = cap * threads as f64 / total as f64;
+        threads as f64 / app_cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_linear_up_to_cores() {
+        let cpu = CpuSpec::xeon_4110();
+        assert_eq!(cpu.capacity(1), 1.0);
+        assert_eq!(cpu.capacity(4), 4.0);
+        assert_eq!(cpu.capacity(8), 8.0);
+        assert_eq!(cpu.dilation(8), 1.0);
+    }
+
+    #[test]
+    fn hyperthreading_sublinear() {
+        let cpu = CpuSpec::xeon_4110();
+        let c16 = cpu.capacity(16);
+        // 8 cores * 2 * 0.62 = 9.92 core-equivalents at 16 threads.
+        assert!((c16 - 9.92).abs() < 1e-9, "capacity {c16}");
+        assert!(cpu.dilation(16) > 1.5);
+        // Still monotone: 16 threads beat 8 threads in aggregate.
+        assert!(c16 > cpu.capacity(8));
+    }
+
+    #[test]
+    fn oversubscription_caps_capacity() {
+        let cpu = CpuSpec::xeon_4110();
+        assert_eq!(cpu.capacity(32), cpu.capacity(16));
+        assert!(cpu.dilation(32) > cpu.dilation(16));
+    }
+
+    #[test]
+    fn reserved_threads_steal_capacity() {
+        let cpu = CpuSpec::xeon_4110();
+        // 8 app threads alone: dilation 1.0. With 8 reserved I/O threads the
+        // machine is at 16 runnable threads and the app only gets half the
+        // (hyper-threaded) capacity.
+        let alone = cpu.dilation(8);
+        let crowded = cpu.dilation_with_reserved(8, 8);
+        assert_eq!(alone, 1.0);
+        assert!(crowded > 1.5, "crowded {crowded}");
+    }
+
+    #[test]
+    fn zero_threads_is_identity() {
+        let cpu = CpuSpec::xeon_4110();
+        assert_eq!(cpu.dilation(0), 1.0);
+        assert_eq!(cpu.capacity(0), 0.0);
+    }
+}

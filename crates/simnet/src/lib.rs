@@ -1,0 +1,45 @@
+//! # simnet — deterministic discrete-event network simulation kernel
+//!
+//! `simnet` is the substrate under every performance experiment in the Cowbird
+//! reproduction. The paper's testbed (Tofino switch, ConnectX-5 RNICs, 100 Gbps
+//! links) is unavailable, so the protocol stacks in the sibling crates run on a
+//! virtual-time simulator instead. The kernel is intentionally small and follows
+//! the smoltcp philosophy: event-driven, no hidden allocation in the hot path,
+//! no wall-clock anywhere, and fault injection as a first-class feature.
+//!
+//! ## Model
+//!
+//! * **Nodes** implement [`Node`] and react to delivered packets and timers.
+//!   All side effects go through a [`Ctx`] command buffer, so the kernel never
+//!   re-enters a node.
+//! * **Links** are directional, serialize transmissions at a configured
+//!   bandwidth, add propagation delay, and carry eight strict-priority queues
+//!   (priority 0 is served first — Cowbird probes ride at priority 7, the
+//!   lowest, per §5.2 of the paper).
+//! * **Fault injection**: per-link drop and corruption probabilities, applied
+//!   deterministically from the simulation seed.
+//! * **Accounting**: per-link busy time split by priority class, used by the
+//!   Fig. 14 TCP-contention experiment.
+//!
+//! ## Determinism
+//!
+//! Every run is a pure function of the seed. The kernel breaks event-time ties
+//! with a monotone sequence number, and [`rng`] implements SplitMix64 and
+//! xoshiro256** locally so results are stable across toolchains.
+
+pub mod cpu;
+pub mod link;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod time;
+pub mod trace;
+
+pub use cpu::CpuSpec;
+pub use link::{LinkId, LinkParams, LinkStats, Priority};
+pub use rng::Rng;
+pub use sim::{Ctx, Node, NodeId, Packet, Sim};
+pub use stats::{Histogram, Summary};
+pub use tcp::{TcpFlow, TcpSink};
+pub use time::{Duration, Instant};

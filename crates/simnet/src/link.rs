@@ -1,0 +1,342 @@
+//! Links: serialization at line rate, propagation delay, strict-priority
+//! queues, finite buffers, fault injection, and per-priority utilization
+//! accounting.
+//!
+//! A link is **directional**. At most one packet serializes at a time; among
+//! queued packets, the lowest priority number wins (priority 0 first).
+//! Cowbird-P4 probe packets ride at priority 7 so that — per §5.2 of the paper
+//! and the OrbWeaver result it cites — they only consume otherwise-idle cycles.
+
+use std::collections::VecDeque;
+
+use crate::rng::Rng;
+use crate::sim::{NodeId, Packet};
+use crate::time::{Duration, Instant};
+
+/// Number of strict-priority classes.
+pub const PRIO_LEVELS: usize = 8;
+
+/// Convenience alias: 0 is the highest priority, 7 the lowest.
+pub type Priority = u8;
+
+/// Handle to a directional link inside a `Sim`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinkId(pub usize);
+
+/// Static link configuration.
+#[derive(Clone, Debug)]
+pub struct LinkParams {
+    /// Line rate in bits per second.
+    pub bandwidth_bps: f64,
+    /// One-way propagation delay.
+    pub propagation: Duration,
+    /// Per-priority queue capacity in packets (tail drop beyond this).
+    pub queue_capacity: usize,
+    /// Probability that a packet is lost in flight (corruption, etc.).
+    pub drop_probability: f64,
+    /// Probability that one payload byte is flipped in flight. Receivers are
+    /// expected to validate (the RDMA layer drops corrupt packets, triggering
+    /// Go-Back-N recovery).
+    pub corrupt_probability: f64,
+}
+
+impl LinkParams {
+    /// A link with the given line rate and propagation delay, deep queues and
+    /// no faults.
+    pub fn new(bandwidth_bps: f64, propagation: Duration) -> LinkParams {
+        LinkParams {
+            bandwidth_bps,
+            propagation,
+            queue_capacity: 4096,
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+        }
+    }
+
+    /// The testbed link of the paper: 100 Gbps, sub-microsecond in-rack
+    /// propagation.
+    pub fn rack_100g() -> LinkParams {
+        LinkParams::new(100e9, Duration::from_nanos(600))
+    }
+
+    /// A 25 Gbps NIC link (the contention experiment's third server).
+    pub fn rack_25g() -> LinkParams {
+        LinkParams::new(25e9, Duration::from_nanos(600))
+    }
+
+    pub fn with_queue_capacity(mut self, cap: usize) -> LinkParams {
+        self.queue_capacity = cap;
+        self
+    }
+
+    pub fn with_drop_probability(mut self, p: f64) -> LinkParams {
+        self.drop_probability = p;
+        self
+    }
+
+    pub fn with_corrupt_probability(mut self, p: f64) -> LinkParams {
+        self.corrupt_probability = p;
+        self
+    }
+}
+
+/// Observed link behaviour, for experiments (Fig. 14 uses `busy_by_prio`).
+#[derive(Clone, Debug, Default)]
+pub struct LinkStats {
+    /// Packets accepted for transmission.
+    pub tx_packets: u64,
+    /// Bytes accepted for transmission.
+    pub tx_bytes: u64,
+    /// Packets dropped: queue overflow.
+    pub dropped_overflow: u64,
+    /// Packets dropped: injected fault.
+    pub dropped_fault: u64,
+    /// Packets with an injected corruption.
+    pub corrupted: u64,
+    /// Serialization time spent per priority class.
+    pub busy_by_prio: [Duration; PRIO_LEVELS],
+}
+
+impl LinkStats {
+    /// Total time this link spent serializing packets.
+    pub fn busy_total(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for d in &self.busy_by_prio {
+            total += *d;
+        }
+        total
+    }
+
+    /// Fraction of `elapsed` spent serializing packets at priority <= `prio`.
+    pub fn utilization_at_or_above(&self, prio: Priority, elapsed: Duration) -> f64 {
+        if elapsed == Duration::ZERO {
+            return 0.0;
+        }
+        let mut busy = Duration::ZERO;
+        for p in 0..=(prio as usize).min(PRIO_LEVELS - 1) {
+            busy += self.busy_by_prio[p];
+        }
+        busy.secs_f64() / elapsed.secs_f64()
+    }
+}
+
+pub(crate) struct Link {
+    #[allow(dead_code)]
+    src: NodeId,
+    #[allow(dead_code)]
+    dst: NodeId,
+    params: LinkParams,
+    queues: [VecDeque<Packet>; PRIO_LEVELS],
+    queued: usize,
+    /// The packet currently serializing, if any.
+    in_flight: Option<Packet>,
+    stats: LinkStats,
+}
+
+impl Link {
+    pub(crate) fn new(src: NodeId, dst: NodeId, params: LinkParams) -> Link {
+        Link {
+            src,
+            dst,
+            params,
+            queues: Default::default(),
+            queued: 0,
+            in_flight: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    fn serialize_time(&self, pkt: &Packet) -> Duration {
+        Duration::for_bytes(pkt.wire_bytes.max(1), self.params.bandwidth_bps)
+    }
+
+    /// Offer a packet. Returns `Some(tx_done_time)` if the link was idle and
+    /// starts transmitting immediately; `None` if queued (or dropped).
+    pub(crate) fn enqueue(&mut self, now: Instant, pkt: Packet, _rng: &mut Rng) -> Option<Instant> {
+        let prio = pkt.prio.min(7) as usize;
+        if self.in_flight.is_none() {
+            debug_assert_eq!(self.queued, 0);
+            let tx = self.serialize_time(&pkt);
+            self.account_tx(&pkt, tx);
+            self.in_flight = Some(pkt);
+            return Some(now + tx);
+        }
+        if self.queues[prio].len() >= self.params.queue_capacity {
+            self.stats.dropped_overflow += 1;
+            return None;
+        }
+        self.queues[prio].push_back(pkt);
+        self.queued += 1;
+        None
+    }
+
+    fn account_tx(&mut self, pkt: &Packet, tx: Duration) {
+        self.stats.tx_packets += 1;
+        self.stats.tx_bytes += pkt.wire_bytes as u64;
+        self.stats.busy_by_prio[pkt.prio.min(7) as usize] += tx;
+    }
+
+    /// The in-flight packet finished serializing. Applies fault injection,
+    /// returns the packet (with its delivery time) unless dropped, and starts
+    /// the next transmission if one is queued.
+    pub(crate) fn tx_done(
+        &mut self,
+        now: Instant,
+        rng: &mut Rng,
+    ) -> (Option<(Packet, Instant)>, Option<Instant>) {
+        let mut pkt = self.in_flight.take().expect("tx_done without in-flight");
+
+        // Start the next queued packet (strict priority).
+        let mut next_done = None;
+        for q in self.queues.iter_mut() {
+            if let Some(next) = q.pop_front() {
+                self.queued -= 1;
+                let tx = Duration::for_bytes(next.wire_bytes.max(1), self.params.bandwidth_bps);
+                self.stats.tx_packets += 1;
+                self.stats.tx_bytes += next.wire_bytes as u64;
+                self.stats.busy_by_prio[next.prio.min(7) as usize] += tx;
+                self.in_flight = Some(next);
+                next_done = Some(now + tx);
+                break;
+            }
+        }
+
+        // Fault injection on the finished packet.
+        if rng.chance(self.params.drop_probability) {
+            self.stats.dropped_fault += 1;
+            return (None, next_done);
+        }
+        if !pkt.payload.is_empty() && rng.chance(self.params.corrupt_probability) {
+            let i = rng.next_below(pkt.payload.len() as u64) as usize;
+            pkt.payload[i] ^= 1 << rng.next_below(8);
+            // Mark corruption in the out-of-band lane so integrity checks in
+            // the protocol layer can simulate an ICRC failure.
+            pkt.meta |= CORRUPT_FLAG;
+            self.stats.corrupted += 1;
+        }
+        (Some((pkt, now + self.params.propagation)), next_done)
+    }
+}
+
+/// Out-of-band flag in [`Packet::meta`] marking an injected corruption
+/// (stands in for an ICRC mismatch the receiver would detect).
+pub const CORRUPT_FLAG: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_pkt(bytes: usize, prio: u8) -> Packet {
+        Packet::new(NodeId(0), NodeId(1), bytes, vec![0u8; bytes]).with_prio(prio)
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
+        let mut rng = Rng::new(0);
+        // 125 bytes at 1 Gbps = 1000 ns.
+        let done = link.enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng);
+        assert_eq!(done, Some(Instant(1000)));
+    }
+
+    #[test]
+    fn strict_priority_dequeues_high_first() {
+        let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
+        let mut rng = Rng::new(0);
+        let t0 = Instant::ZERO;
+        // First packet occupies the wire.
+        let done = link.enqueue(t0, mk_pkt(125, 0), &mut rng).unwrap();
+        // Queue a low-prio, then a high-prio packet.
+        assert!(link.enqueue(t0, mk_pkt(125, 7), &mut rng).is_none());
+        assert!(link.enqueue(t0, mk_pkt(125, 0), &mut rng).is_none());
+        // When tx completes, the high-priority one goes next.
+        let (finished, next) = link.tx_done(done, &mut rng);
+        assert!(finished.is_some());
+        assert!(next.is_some());
+        assert_eq!(link.in_flight.as_ref().unwrap().prio, 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let params = LinkParams::new(1e9, Duration::ZERO).with_queue_capacity(2);
+        let mut link = Link::new(NodeId(0), NodeId(1), params);
+        let mut rng = Rng::new(0);
+        link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng);
+        for _ in 0..2 {
+            assert!(link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng).is_none());
+        }
+        assert_eq!(link.stats().dropped_overflow, 0);
+        link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng);
+        assert_eq!(link.stats().dropped_overflow, 1);
+    }
+
+    #[test]
+    fn drop_probability_one_drops_everything() {
+        let params = LinkParams::new(1e9, Duration::ZERO).with_drop_probability(1.0);
+        let mut link = Link::new(NodeId(0), NodeId(1), params);
+        let mut rng = Rng::new(0);
+        let done = link.enqueue(Instant::ZERO, mk_pkt(100, 0), &mut rng).unwrap();
+        let (finished, _) = link.tx_done(done, &mut rng);
+        assert!(finished.is_none());
+        assert_eq!(link.stats().dropped_fault, 1);
+    }
+
+    #[test]
+    fn corruption_sets_flag_and_flips_byte() {
+        let params = LinkParams::new(1e9, Duration::ZERO).with_corrupt_probability(1.0);
+        let mut link = Link::new(NodeId(0), NodeId(1), params);
+        let mut rng = Rng::new(0);
+        let done = link.enqueue(Instant::ZERO, mk_pkt(64, 0), &mut rng).unwrap();
+        let (finished, _) = link.tx_done(done, &mut rng);
+        let (pkt, _at) = finished.unwrap();
+        assert!(pkt.meta & CORRUPT_FLAG != 0);
+        assert!(pkt.payload.iter().any(|&b| b != 0));
+        assert_eq!(link.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn saturating_high_priority_starves_low() {
+        // With the wire permanently owned by priority-0 packets, a queued
+        // priority-7 packet never gets a slot until the flood stops.
+        let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
+        let mut rng = Rng::new(0);
+        let mut t = link.enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng).unwrap();
+        link.enqueue(Instant::ZERO, mk_pkt(125, 7), &mut rng);
+        for _ in 0..50 {
+            link.enqueue(t, mk_pkt(125, 0), &mut rng);
+            let (_f, next) = link.tx_done(t, &mut rng);
+            t = next.unwrap();
+            assert_eq!(
+                link.in_flight.as_ref().unwrap().prio,
+                0,
+                "priority 0 always wins the next slot"
+            );
+        }
+        // Flood ends: the starved packet finally transmits.
+        let (_f, next) = link.tx_done(t, &mut rng);
+        assert!(next.is_some());
+        assert_eq!(link.in_flight.as_ref().unwrap().prio, 7);
+    }
+
+    #[test]
+    fn busy_accounting_by_priority() {
+        let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
+        let mut rng = Rng::new(0);
+        let done = link.enqueue(Instant::ZERO, mk_pkt(125, 2), &mut rng).unwrap();
+        link.enqueue(Instant::ZERO, mk_pkt(250, 5), &mut rng);
+        let (_f, next) = link.tx_done(done, &mut rng);
+        let next = next.unwrap();
+        link.tx_done(next, &mut rng);
+        assert_eq!(link.stats().busy_by_prio[2], Duration::from_nanos(1000));
+        assert_eq!(link.stats().busy_by_prio[5], Duration::from_nanos(2000));
+        assert_eq!(link.stats().busy_total(), Duration::from_nanos(3000));
+        let util = link
+            .stats()
+            .utilization_at_or_above(2, Duration::from_nanos(10_000));
+        assert!((util - 0.1).abs() < 1e-9);
+    }
+}

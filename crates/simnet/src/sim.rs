@@ -1,0 +1,562 @@
+//! The discrete-event kernel: nodes, packets, timers, and the event loop.
+//!
+//! Nodes never hold a reference to the simulator; they receive a [`Ctx`]
+//! command buffer whose effects (sends, timers, stop) the kernel applies after
+//! the callback returns. This keeps the ownership story trivial and the event
+//! order fully deterministic: ties in time are broken by insertion sequence.
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use crate::link::{Link, LinkId, LinkParams, LinkStats};
+use crate::rng::Rng;
+use crate::time::{Duration, Instant};
+use crate::trace::Trace;
+
+/// Identifies a node within one [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// A packet in flight. The payload is opaque bytes; protocol crates define
+/// the wire format (simnet moves encoded bytes, smoltcp-style, so nothing can
+/// leak between nodes except through the wire).
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Strict priority, 0 (highest) ..= 7 (lowest).
+    pub prio: u8,
+    /// On-wire size in bytes (headers included). Drives serialization delay.
+    pub wire_bytes: usize,
+    /// Encoded payload.
+    pub payload: Vec<u8>,
+    /// Free metadata lane for protocol adapters (not on the wire).
+    pub meta: u64,
+}
+
+impl Packet {
+    pub fn new(src: NodeId, dst: NodeId, wire_bytes: usize, payload: Vec<u8>) -> Packet {
+        Packet {
+            src,
+            dst,
+            prio: 0,
+            wire_bytes,
+            payload,
+            meta: 0,
+        }
+    }
+
+    pub fn with_prio(mut self, prio: u8) -> Packet {
+        self.prio = prio.min(7);
+        self
+    }
+
+    pub fn with_meta(mut self, meta: u64) -> Packet {
+        self.meta = meta;
+        self
+    }
+}
+
+/// Behaviour attached to a [`NodeId`].
+///
+/// The `Any` supertrait lets tests and experiments recover the concrete node
+/// type after a run via [`Sim::node_as`].
+pub trait Node: Any {
+    /// A packet addressed to this node has been delivered.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx);
+    /// A timer set earlier with [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx);
+    /// Called once before the event loop starts; set initial timers here.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+}
+
+enum Cmd {
+    Send(Packet),
+    Timer(Duration, u64),
+    Stop,
+}
+
+/// Command buffer handed to node callbacks.
+pub struct Ctx<'a> {
+    now: Instant,
+    node: NodeId,
+    rng: &'a mut Rng,
+    trace: &'a mut Trace,
+    cmds: Vec<Cmd>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The node this context belongs to.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Deterministic randomness (kernel stream; fork per node for isolation).
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+
+    /// Event trace sink.
+    pub fn trace(&mut self) -> &mut Trace {
+        self.trace
+    }
+
+    /// Transmit a packet. The source is forced to this node. Panics at apply
+    /// time if no link exists toward `pkt.dst`.
+    pub fn send(&mut self, mut pkt: Packet) {
+        pkt.src = self.node;
+        self.cmds.push(Cmd::Send(pkt));
+    }
+
+    /// Schedule `on_timer(tag)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, tag: u64) {
+        self.cmds.push(Cmd::Timer(delay, tag));
+    }
+
+    /// Request the event loop to stop after this callback.
+    pub fn stop(&mut self) {
+        self.cmds.push(Cmd::Stop);
+    }
+}
+
+#[derive(Debug)]
+enum Event {
+    Deliver(NodeId, Packet),
+    Timer(NodeId, u64),
+    /// A transmission on a directional link has finished serializing.
+    LinkTxDone(usize),
+}
+
+struct HeapEntry {
+    at: Instant,
+    seq: u64,
+    ev: Event,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The simulator: topology + nodes + event loop.
+pub struct Sim {
+    now: Instant,
+    seq: u64,
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    started: Vec<bool>,
+    /// Directional links, densely indexed; `route[(src, dst)]` -> link index.
+    links: Vec<Link>,
+    route: HashMap<(NodeId, NodeId), usize>,
+    rng: Rng,
+    trace: Trace,
+    stopped: bool,
+    events_processed: u64,
+    /// Hard cap to catch runaway simulations (0 = unlimited).
+    pub max_events: u64,
+}
+
+impl Sim {
+    /// Create a simulator with the given seed.
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            now: Instant::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            nodes: Vec::new(),
+            started: Vec::new(),
+            links: Vec::new(),
+            route: HashMap::new(),
+            rng: Rng::new(seed),
+            trace: Trace::disabled(),
+            stopped: false,
+            events_processed: 0,
+            max_events: 0,
+        }
+    }
+
+    /// Enable event tracing (pcap-style text log of every tx/rx).
+    pub fn enable_trace(&mut self) {
+        self.trace = Trace::enabled();
+    }
+
+    /// Take the accumulated trace lines.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        self.trace.take()
+    }
+
+    /// Register a node; returns its id. Ids are assigned in insertion order
+    /// starting from 0.
+    pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.started.push(false);
+        id
+    }
+
+    /// Add a *directional* link `src -> dst`.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId, params: LinkParams) -> LinkId {
+        let idx = self.links.len();
+        self.links.push(Link::new(src, dst, params));
+        self.route.insert((src, dst), idx);
+        LinkId(idx)
+    }
+
+    /// Add a symmetric bidirectional link; returns (forward, reverse) ids.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) -> (LinkId, LinkId) {
+        let f = self.add_link(a, b, params.clone());
+        let r = self.add_link(b, a, params);
+        (f, r)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Utilization and drop statistics for a link.
+    pub fn link_stats(&self, id: LinkId) -> &LinkStats {
+        self.links[id.0].stats()
+    }
+
+    fn push(&mut self, at: Instant, ev: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(HeapEntry { at, seq, ev }));
+    }
+
+    /// Run a node callback and apply the resulting commands.
+    fn dispatch<F>(&mut self, node_id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Ctx),
+    {
+        let mut node = match self.nodes[node_id.0 as usize].take() {
+            Some(n) => n,
+            // Node removed; drop the event.
+            None => return,
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node: node_id,
+            rng: &mut self.rng,
+            trace: &mut self.trace,
+            cmds: Vec::new(),
+        };
+        f(node.as_mut(), &mut ctx);
+        let cmds = ctx.cmds;
+        self.nodes[node_id.0 as usize] = Some(node);
+        for cmd in cmds {
+            match cmd {
+                Cmd::Send(pkt) => self.start_send(pkt),
+                Cmd::Timer(delay, tag) => {
+                    let at = self.now + delay;
+                    self.push(at, Event::Timer(node_id, tag));
+                }
+                Cmd::Stop => self.stopped = true,
+            }
+        }
+    }
+
+    fn start_send(&mut self, pkt: Packet) {
+        let idx = *self
+            .route
+            .get(&(pkt.src, pkt.dst))
+            .unwrap_or_else(|| panic!("no link {:?} -> {:?}", pkt.src, pkt.dst));
+        self.trace.log(self.now, || {
+            format!(
+                "tx {:?}->{:?} {}B prio{} meta={:#x}",
+                pkt.src, pkt.dst, pkt.wire_bytes, pkt.prio, pkt.meta
+            )
+        });
+        let link = &mut self.links[idx];
+        if let Some(done_at) = link.enqueue(self.now, pkt, &mut self.rng) {
+            self.push(done_at, Event::LinkTxDone(idx));
+        }
+    }
+
+    fn link_tx_done(&mut self, idx: usize) {
+        let link = &mut self.links[idx];
+        let (finished, next_done) = link.tx_done(self.now, &mut self.rng);
+        if let Some(done_at) = next_done {
+            self.push(done_at, Event::LinkTxDone(idx));
+        }
+        if let Some((pkt, deliver_at)) = finished {
+            self.push(deliver_at, Event::Deliver(pkt.dst, pkt));
+        }
+    }
+
+    /// Run until the event queue drains, a node calls [`Ctx::stop`], or
+    /// `deadline` (if any) is reached. Returns the final virtual time.
+    pub fn run_until(&mut self, deadline: Option<Instant>) -> Instant {
+        // Fire on_start for nodes that have not started yet.
+        for i in 0..self.nodes.len() {
+            if !self.started[i] {
+                self.started[i] = true;
+                self.dispatch(NodeId(i as u32), |n, ctx| n.on_start(ctx));
+            }
+        }
+        while !self.stopped {
+            let Some(Reverse(entry)) = self.heap.pop() else {
+                break;
+            };
+            if let Some(d) = deadline {
+                if entry.at > d {
+                    // Put it back for a potential later run and stop the clock
+                    // at the deadline.
+                    self.heap.push(Reverse(entry));
+                    self.now = d;
+                    return self.now;
+                }
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.events_processed += 1;
+            if self.max_events != 0 && self.events_processed > self.max_events {
+                panic!("simulation exceeded max_events = {}", self.max_events);
+            }
+            match entry.ev {
+                Event::Deliver(dst, pkt) => {
+                    self.trace.log(self.now, || {
+                        format!(
+                            "rx {:?}<-{:?} {}B prio{} meta={:#x}",
+                            pkt.dst, pkt.src, pkt.wire_bytes, pkt.prio, pkt.meta
+                        )
+                    });
+                    self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx));
+                }
+                Event::Timer(node, tag) => {
+                    self.dispatch(node, |n, ctx| n.on_timer(tag, ctx));
+                }
+                Event::LinkTxDone(idx) => self.link_tx_done(idx),
+            }
+        }
+        if let Some(d) = deadline {
+            if self.now < d && !self.stopped {
+                self.now = d;
+            }
+        }
+        self.now
+    }
+
+    /// Run for a fixed span of virtual time.
+    pub fn run_for(&mut self, span: Duration) -> Instant {
+        let deadline = self.now + span;
+        self.run_until(Some(deadline))
+    }
+
+    /// Run until the queue drains or a node stops the simulation.
+    pub fn run(&mut self) -> Instant {
+        self.run_until(None)
+    }
+
+    /// Mutable access to a node as its concrete type.
+    ///
+    /// Panics if the node was removed or is of a different type.
+    pub fn node_as<T: Node>(&mut self, id: NodeId) -> &mut T {
+        let node = self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("node was removed");
+        let any: &mut dyn Any = node.as_mut();
+        any.downcast_mut::<T>().expect("node type mismatch")
+    }
+
+    /// Shared access to a node as its concrete type.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> &T {
+        let node = self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("node was removed");
+        let any: &dyn Any = node.as_ref();
+        any.downcast_ref::<T>().expect("node type mismatch")
+    }
+
+    /// Remove a node (future events addressed to it are discarded).
+    pub fn remove_node(&mut self, id: NodeId) -> Option<Box<dyn Node>> {
+        self.nodes[id.0 as usize].take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkParams;
+
+    /// Echoes every packet back to its source after a fixed think time.
+    struct Echo {
+        think: Duration,
+        pending: Vec<Packet>,
+        received: u64,
+    }
+
+    impl Node for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+            self.received += 1;
+            self.pending.push(pkt);
+            ctx.set_timer(self.think, 0);
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
+            if let Some(pkt) = self.pending.pop() {
+                let back = Packet::new(ctx.node_id(), pkt.src, pkt.wire_bytes, pkt.payload);
+                ctx.send(back);
+            }
+        }
+    }
+
+    /// Sends `count` packets at start; records delivery times of echoes.
+    struct Pinger {
+        peer: NodeId,
+        count: u32,
+        echoes: Vec<Instant>,
+    }
+
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            for _ in 0..self.count {
+                let id = ctx.node_id();
+                ctx.send(Packet::new(id, self.peer, 100, vec![]));
+            }
+        }
+        fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx) {
+            self.echoes.push(ctx.now());
+        }
+        fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx) {}
+    }
+
+    fn params_100g() -> LinkParams {
+        LinkParams::new(100e9, Duration::from_nanos(500))
+    }
+
+    fn build_pair(sim: &mut Sim, count: u32, think: Duration) -> (NodeId, NodeId) {
+        let pinger = sim.add_node(Box::new(Pinger {
+            peer: NodeId(1),
+            count,
+            echoes: vec![],
+        }));
+        let echo = sim.add_node(Box::new(Echo {
+            think,
+            pending: vec![],
+            received: 0,
+        }));
+        sim.connect(pinger, echo, params_100g());
+        (pinger, echo)
+    }
+
+    #[test]
+    fn ping_pong_round_trip_time() {
+        let mut sim = Sim::new(1);
+        let (pinger, _echo) = build_pair(&mut sim, 1, Duration::from_nanos(100));
+        sim.run();
+        // 100 B at 100 Gbps = 8 ns serialize, +500 ns prop, each way, +100 think.
+        let p: &Pinger = sim.node_ref(pinger);
+        assert_eq!(p.echoes.len(), 1);
+        assert_eq!(p.echoes[0].nanos(), 2 * (8 + 500) + 100);
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back() {
+        let mut sim = Sim::new(2);
+        let (pinger, echo) = build_pair(&mut sim, 2, Duration::ZERO);
+        sim.run();
+        let e: &Echo = sim.node_ref(echo);
+        assert_eq!(e.received, 2);
+        let p: &Pinger = sim.node_ref(pinger);
+        assert_eq!(p.echoes.len(), 2);
+        assert!(p.echoes[1] > p.echoes[0]);
+    }
+
+    #[test]
+    fn run_for_respects_deadline() {
+        struct Metronome {
+            ticks: u64,
+        }
+        impl Node for Metronome {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx) {
+                self.ticks += 1;
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+        }
+        let mut sim = Sim::new(3);
+        let id = sim.add_node(Box::new(Metronome { ticks: 0 }));
+        sim.run_for(Duration::from_micros(10));
+        assert_eq!(sim.now().micros(), 10);
+        assert_eq!(sim.node_ref::<Metronome>(id).ticks, 10);
+        // A second run_for continues from where we stopped.
+        sim.run_for(Duration::from_micros(5));
+        assert_eq!(sim.now().micros(), 15);
+        assert_eq!(sim.node_ref::<Metronome>(id).ticks, 15);
+    }
+
+    #[test]
+    fn stop_halts_event_loop() {
+        struct Stopper;
+        impl Node for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(Duration::from_nanos(10), 0);
+                ctx.set_timer(Duration::from_nanos(20), 1);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx) {
+                if tag == 0 {
+                    ctx.stop();
+                } else {
+                    panic!("event after stop");
+                }
+            }
+        }
+        let mut sim = Sim::new(4);
+        sim.add_node(Box::new(Stopper));
+        let end = sim.run();
+        assert_eq!(end.nanos(), 10);
+    }
+
+    #[test]
+    fn deterministic_event_order() {
+        let run = || {
+            let mut sim = Sim::new(7);
+            build_pair(&mut sim, 50, Duration::from_nanos(30));
+            sim.run();
+            sim.events_processed()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn sending_without_link_panics() {
+        let mut sim = Sim::new(5);
+        let a = sim.add_node(Box::new(Pinger {
+            peer: NodeId(9),
+            count: 1,
+            echoes: vec![],
+        }));
+        let _ = a;
+        sim.run();
+    }
+}

@@ -1,0 +1,239 @@
+//! Virtual time: nanosecond-resolution instants and durations.
+//!
+//! The simulator never consults the wall clock; all timing flows from
+//! [`Instant::ZERO`] forward. Nanoseconds in a `u64` give ~584 years of
+//! simulated time, far beyond any experiment here.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in virtual time, in nanoseconds since the start of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Instant {
+    /// The beginning of simulated time.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Nanoseconds since the start of the simulation.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncating) since the start of the simulation.
+    #[inline]
+    pub const fn micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float; convenient for throughput computations.
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`. Saturates at zero rather than
+    /// panicking, so racing completion paths can subtract safely.
+    #[inline]
+    pub fn since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Duration {
+        Duration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds (rounds to nearest nanosecond).
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Duration {
+        debug_assert!(s >= 0.0);
+        Duration((s * 1e9).round() as u64)
+    }
+
+    /// The span in nanoseconds.
+    #[inline]
+    pub const fn nanos(self) -> u64 {
+        self.0
+    }
+
+    /// The span in fractional seconds.
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Serialization time of `bytes` at `bits_per_sec` on a link.
+    #[inline]
+    pub fn for_bytes(bytes: usize, bits_per_sec: f64) -> Duration {
+        debug_assert!(bits_per_sec > 0.0);
+        Duration(((bytes as f64 * 8.0 * 1e9) / bits_per_sec).ceil() as u64)
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    #[inline]
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Instant) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Instant::ZERO + Duration::from_micros(3);
+        assert_eq!(t.nanos(), 3_000);
+        assert_eq!(t.micros(), 3);
+        assert_eq!((t + Duration::from_nanos(500)).since(t), Duration(500));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = Instant(100);
+        let late = Instant(400);
+        assert_eq!(early.since(late), Duration::ZERO);
+        assert_eq!(late.since(early), Duration(300));
+    }
+
+    #[test]
+    fn serialization_time_matches_line_rate() {
+        // 1250 bytes at 100 Gbps = 100 ns.
+        let d = Duration::for_bytes(1250, 100e9);
+        assert_eq!(d.nanos(), 100);
+        // 1 byte at 1 bps = 8 seconds.
+        assert_eq!(Duration::for_bytes(1, 1.0), Duration::from_secs(8));
+    }
+
+    #[test]
+    fn display_units_scale() {
+        assert_eq!(format!("{}", Duration::from_nanos(17)), "17ns");
+        assert_eq!(format!("{}", Duration::from_micros(2)), "2.000us");
+        assert_eq!(format!("{}", Duration::from_millis(5)), "5.000ms");
+        assert_eq!(format!("{}", Duration::from_secs(1)), "1.000s");
+    }
+
+    #[test]
+    fn secs_f64_roundtrip() {
+        let d = Duration::from_secs_f64(0.25);
+        assert_eq!(d.nanos(), 250_000_000);
+        assert!((d.secs_f64() - 0.25).abs() < 1e-12);
+    }
+}

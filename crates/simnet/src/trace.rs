@@ -1,0 +1,70 @@
+//! Lightweight event tracing (a pcap-style text log).
+//!
+//! Tracing is off by default and costs one branch per event; the formatting
+//! closure only runs when enabled, so hot paths stay clean.
+
+use crate::time::Instant;
+
+/// Collects human-readable event lines when enabled.
+pub struct Trace {
+    lines: Option<Vec<String>>,
+}
+
+impl Trace {
+    pub fn disabled() -> Trace {
+        Trace { lines: None }
+    }
+
+    pub fn enabled() -> Trace {
+        Trace { lines: Some(Vec::new()) }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.lines.is_some()
+    }
+
+    /// Log a line; `f` is only evaluated when tracing is on.
+    #[inline]
+    pub fn log<F: FnOnce() -> String>(&mut self, at: Instant, f: F) {
+        if let Some(lines) = &mut self.lines {
+            lines.push(format!("[{at}] {}", f()));
+        }
+    }
+
+    /// Drain the accumulated lines.
+    pub fn take(&mut self) -> Vec<String> {
+        match &mut self.lines {
+            Some(lines) => std::mem::take(lines),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_skips_closure() {
+        let mut t = Trace::disabled();
+        let mut called = false;
+        t.log(Instant::ZERO, || {
+            called = true;
+            String::new()
+        });
+        assert!(!called);
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_collects_lines() {
+        let mut t = Trace::enabled();
+        t.log(Instant(1_500), || "hello".to_string());
+        t.log(Instant(2_500), || "world".to_string());
+        let lines = t.take();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("hello"));
+        assert!(lines[1].contains("world"));
+        assert!(t.take().is_empty());
+    }
+}

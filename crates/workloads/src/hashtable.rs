@@ -1,0 +1,109 @@
+//! The §8.1 hash-table microbenchmark model.
+//!
+//! "a throughput microbenchmark with a hash table where a hundred million
+//! records are split between compute-local memory (5 %) and remote memory
+//! (95 %)". Record sizes sweep 8/64/256/512 B (Figure 8); Figure 1 uses the
+//! 256 B configuration normalized to local memory.
+//!
+//! The model captures what the experiment needs: for each probe, which
+//! record is touched, whether it is local or remote, and how much
+//! application CPU the probe itself costs (hash + bucket walk — the "real
+//! work" that remote-memory overhead competes with).
+
+use simnet::rng::Rng;
+
+/// Hash-table microbenchmark specification.
+#[derive(Clone, Copy, Debug)]
+pub struct HashTableSpec {
+    /// Total records (10^8 in the paper).
+    pub records: u64,
+    /// Record size in bytes (8 / 64 / 256 / 512).
+    pub record_size: u32,
+    /// Fraction of records resident in compute-local memory.
+    pub local_fraction: f64,
+    /// Cache-line touches of application logic per probe (hash, bucket
+    /// scan, key compare) — multiplied by the cost model's per-access cost.
+    pub app_line_touches: u64,
+}
+
+impl HashTableSpec {
+    /// The paper's configuration for a given record size.
+    pub fn paper(record_size: u32) -> HashTableSpec {
+        HashTableSpec {
+            records: 100_000_000,
+            record_size,
+            local_fraction: 0.05,
+            app_line_touches: 3,
+        }
+    }
+
+    /// Bytes occupied by all records.
+    pub fn total_bytes(&self) -> u64 {
+        self.records * self.record_size as u64
+    }
+
+    /// Number of records in local memory.
+    pub fn local_records(&self) -> u64 {
+        (self.records as f64 * self.local_fraction) as u64
+    }
+
+    /// Sample one probe: the record index and whether it is remote.
+    ///
+    /// Records are uniformly accessed (§8.1 "uniformly accessing ... records"),
+    /// so the remote probability equals the remote fraction.
+    pub fn sample(&self, rng: &mut Rng) -> Probe {
+        let idx = rng.next_below(self.records);
+        let remote = idx >= self.local_records();
+        Probe {
+            record: idx,
+            remote,
+            len: self.record_size,
+        }
+    }
+
+    /// Remote offset of a record in the remote region (records are laid out
+    /// consecutively past the local ones).
+    pub fn remote_offset(&self, record: u64) -> u64 {
+        debug_assert!(record >= self.local_records());
+        (record - self.local_records()) * self.record_size as u64
+    }
+}
+
+/// One sampled probe.
+#[derive(Clone, Copy, Debug)]
+pub struct Probe {
+    pub record: u64,
+    pub remote: bool,
+    pub len: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration() {
+        let spec = HashTableSpec::paper(256);
+        assert_eq!(spec.records, 100_000_000);
+        assert_eq!(spec.local_records(), 5_000_000);
+        assert_eq!(spec.total_bytes(), 25_600_000_000);
+    }
+
+    #[test]
+    fn remote_fraction_is_95_percent() {
+        let spec = HashTableSpec::paper(64);
+        let mut rng = Rng::new(1);
+        let n = 100_000;
+        let remote = (0..n).filter(|_| spec.sample(&mut rng).remote).count();
+        let f = remote as f64 / n as f64;
+        assert!((f - 0.95).abs() < 0.01, "remote fraction {f}");
+    }
+
+    #[test]
+    fn remote_offsets_start_at_zero() {
+        let spec = HashTableSpec::paper(64);
+        let first_remote = spec.local_records();
+        assert_eq!(spec.remote_offset(first_remote), 0);
+        assert_eq!(spec.remote_offset(first_remote + 3), 192);
+    }
+}

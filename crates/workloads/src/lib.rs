@@ -1,0 +1,20 @@
+//! # workloads — generators for the paper's evaluation workloads
+//!
+//! * [`zipf`] — Zipfian key sampling (YCSB's default, θ = 0.99 in the
+//!   paper's Figure 9) via Hörmann's rejection-inversion method: O(1) per
+//!   sample with no zeta table, exact for any item count.
+//! * [`ycsb`] — YCSB-style workload specifications: record counts, record
+//!   sizes (8–512 B, matching the production-trace observation the paper
+//!   cites), read/write mixes, and the paper's concrete database
+//!   configurations (250 M × 64 B and 50 M × 512 B).
+//! * [`hashtable`] — the §8.1 microbenchmark: a hash index over one hundred
+//!   million records, 5 % resident in compute-local memory and 95 % in
+//!   remote memory.
+
+pub mod hashtable;
+pub mod ycsb;
+pub mod zipf;
+
+pub use hashtable::HashTableSpec;
+pub use ycsb::{Distribution, Op, YcsbSpec};
+pub use zipf::ZipfSampler;

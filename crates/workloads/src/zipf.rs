@@ -1,0 +1,218 @@
+//! Zipfian sampling by rejection-inversion (W. Hörmann & G. Derflinger,
+//! "Rejection-inversion to generate variates from monotone discrete
+//! distributions", ACM TOMACS 1996) — the same algorithm behind
+//! `rand_distr::Zipf`. O(1) per sample, no per-item tables, which matters
+//! when the key space is 250 million records (paper §8.1).
+//!
+//! Samples `k ∈ {1, …, n}` with `P(k) ∝ 1 / k^θ`. YCSB's default skew, used
+//! throughout the paper's Figure 9, is θ = 0.99.
+
+use simnet::rng::Rng;
+
+/// A Zipfian sampler over `1..=n` with exponent `theta`.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the rejection-inversion method:
+    // `h_x1 = H(1.5) - h(1)` (upper bound of the u-range) and
+    // `h_n = H(n + 0.5)` (lower bound), plus the shift constant `s`.
+    h_x1: f64,
+    h_n: f64,
+    s: f64,
+}
+
+impl ZipfSampler {
+    /// Create a sampler for `n` items with skew `theta` (0 = uniform-ish,
+    /// 0.99 = YCSB default). `theta` must not equal 1 exactly (use 0.99 or
+    /// 1.01; the paper never needs 1).
+    pub fn new(n: u64, theta: f64) -> ZipfSampler {
+        assert!(n >= 1, "need at least one item");
+        assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be >= 0 and != 1");
+        let h_integral = |x: f64| -> f64 { x.powf(1.0 - theta) / (1.0 - theta) };
+        let h_x1 = h_integral(1.5) - 1.0; // -1 = -h(1)
+        let h_n = h_integral(n as f64 + 0.5);
+        let s = 2.0 - h_integral_inverse_impl(h_integral(2.5) - (2.0f64).powf(-theta), theta);
+        ZipfSampler {
+            n,
+            theta,
+            h_x1,
+            h_n,
+            s,
+        }
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    fn h(&self, x: f64) -> f64 {
+        x.powf(-self.theta)
+    }
+
+    fn h_integral(&self, x: f64) -> f64 {
+        x.powf(1.0 - self.theta) / (1.0 - self.theta)
+    }
+
+    fn h_integral_inverse(&self, x: f64) -> f64 {
+        h_integral_inverse_impl(x, self.theta)
+    }
+
+    /// Draw one sample in `1..=n`.
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            // u is in (H(1.5) - h(1), H(n + 0.5)).
+            let x = self.h_integral_inverse(u);
+            let mut k = (x + 0.5).floor() as u64;
+            k = k.clamp(1, self.n);
+            if (k as f64 - x) <= self.s
+                || u >= self.h_integral(k as f64 + 0.5) - self.h(k as f64)
+            {
+                return k;
+            }
+        }
+    }
+
+    /// Draw a zero-based index in `0..n` (convenience for array indexing),
+    /// scattered so that rank-1 (the hottest key) maps to a pseudo-random
+    /// position — YCSB's "scrambled zipfian" behaviour, avoiding pathological
+    /// locality of hot keys.
+    pub fn sample_scrambled(&self, rng: &mut Rng) -> u64 {
+        let rank = self.sample(rng) - 1;
+        // FNV-style scatter, stable across runs.
+        let mut h = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xC2B2_AE35_6D58_87F3);
+        h ^= h >> 29;
+        h % self.n
+    }
+}
+
+fn h_integral_inverse_impl(x: f64, theta: f64) -> f64 {
+    let t = x * (1.0 - theta);
+    // Guard the domain edge (t can round below -1 for extreme inputs).
+    let t = t.max(-1.0 + 1e-15);
+    t.powf(1.0 / (1.0 - theta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut rng = Rng::new(1);
+        for _ in 0..100_000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=1000).contains(&k));
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = ZipfSampler::new(1_000_000, 0.99);
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let mut top10 = 0u64;
+        let mut top1pct = 0u64;
+        for _ in 0..n {
+            let k = z.sample(&mut rng);
+            if k <= 10 {
+                top10 += 1;
+            }
+            if k <= 10_000 {
+                top1pct += 1;
+            }
+        }
+        let f10 = top10 as f64 / n as f64;
+        let f1pct = top1pct as f64 / n as f64;
+        // For zipf(0.99) over 1M items, the top-10 ranks draw ~17-20% of
+        // accesses and the top 1% draw ~60-70%.
+        assert!(f10 > 0.10 && f10 < 0.30, "top-10 fraction {f10}");
+        assert!(f1pct > 0.5 && f1pct < 0.85, "top-1% fraction {f1pct}");
+    }
+
+    #[test]
+    fn rank_frequencies_follow_power_law() {
+        let z = ZipfSampler::new(10_000, 0.99);
+        let mut rng = Rng::new(3);
+        let n = 500_000usize;
+        let mut c1 = 0u64;
+        let mut c2 = 0u64;
+        let mut c4 = 0u64;
+        for _ in 0..n {
+            match z.sample(&mut rng) {
+                1 => c1 += 1,
+                2 => c2 += 1,
+                4 => c4 += 1,
+                _ => {}
+            }
+        }
+        // P(1)/P(2) = 2^0.99 ~ 1.99; P(2)/P(4) = 2^0.99 ~ 1.99.
+        let r12 = c1 as f64 / c2 as f64;
+        let r24 = c2 as f64 / c4 as f64;
+        assert!((r12 - 1.99).abs() < 0.25, "r12 {r12}");
+        assert!((r24 - 1.99).abs() < 0.25, "r24 {r24}");
+    }
+
+    #[test]
+    fn low_theta_approaches_uniform() {
+        let z = ZipfSampler::new(100, 0.01);
+        let mut rng = Rng::new(4);
+        let n = 200_000;
+        let mut counts = [0u64; 100];
+        for _ in 0..n {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "spread {}", max / min);
+    }
+
+    #[test]
+    fn single_item_always_one() {
+        let z = ZipfSampler::new(1, 0.99);
+        let mut rng = Rng::new(5);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn scrambled_covers_space_and_is_deterministic() {
+        let z = ZipfSampler::new(1000, 0.99);
+        let mut a = Rng::new(6);
+        let mut b = Rng::new(6);
+        let va: Vec<u64> = (0..1000).map(|_| z.sample_scrambled(&mut a)).collect();
+        let vb: Vec<u64> = (0..1000).map(|_| z.sample_scrambled(&mut b)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().all(|&k| k < 1000));
+        // The hot key is no longer index 0.
+        let mut counts = std::collections::HashMap::new();
+        for &k in &va {
+            *counts.entry(k).or_insert(0u32) += 1;
+        }
+        let hottest = counts.iter().max_by_key(|(_, &c)| c).unwrap();
+        assert!(*hottest.1 > 10, "skew survives scrambling");
+    }
+
+    #[test]
+    fn huge_n_is_cheap_to_construct() {
+        // 250 million records (the paper's small-value database): must be
+        // instant — no zeta summation.
+        let z = ZipfSampler::new(250_000_000, 0.99);
+        let mut rng = Rng::new(7);
+        for _ in 0..1000 {
+            let k = z.sample(&mut rng);
+            assert!((1..=250_000_000).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Tour of the packet-level simulation: a Cowbird-P4-style engine on the
+//! simulated fabric, with fault injection, the protocol trace, and the
+//! switch resource report.
+//!
+//! Demonstrates (1) the Probe/Execute/Complete protocol over real RoCEv2
+//! packets, (2) Go-Back-N recovery when the links drop packets, and (3) the
+//! RMT resource accounting behind Table 5.
+//!
+//! Run with: `cargo run --release --example switch_sim`
+
+use cowbird_engine::p4::cowbird_p4_spec;
+use cowbird_engine::sim::EngineNode;
+use experiments::harness::{build_cowbird_rig, CowbirdClientNode, CowbirdRig};
+use p4rt::resources::ResourceUsage;
+use simnet::time::{Duration, Instant};
+
+fn run_rig(drop_probability: f64) {
+    let ops = 300;
+    let (mut sim, client_id, engine_id) = build_cowbird_rig(CowbirdRig {
+        seed: 42,
+        record_size: 256,
+        inflight: 8,
+        target_ops: ops,
+        engine_batch: 1, // P4: per-packet recycling, no response batching
+        probe_interval: Duration::from_micros(2),
+        drop_probability,
+        ..Default::default()
+    });
+    sim.run_until(Some(Instant(Duration::from_millis(500).nanos())));
+    let client: &CowbirdClientNode = sim.node_ref(client_id);
+    let engine: &EngineNode = sim.node_ref(engine_id);
+    let stats = engine.core(0).stats;
+    println!(
+        "  drop={:.1}%: {}/{} ops, p50 {:.1} us, p99 {:.1} us | probes {} (with work {}), pool reads {}, red updates {}",
+        drop_probability * 100.0,
+        client.completed(),
+        ops,
+        client.latency.median() as f64 / 1e3,
+        client.latency.p99() as f64 / 1e3,
+        stats.probes_sent,
+        stats.probes_found_work,
+        stats.pool_reads,
+        stats.red_updates,
+    );
+    assert_eq!(client.completed(), ops, "Go-Back-N must recover every op");
+}
+
+fn main() {
+    println!("Cowbird-P4 over the simulated fabric (256 B reads, 8 in flight):");
+    run_rig(0.0);
+    println!("...now with packet loss injected on every link:");
+    run_rig(0.01);
+    run_rig(0.03);
+
+    // A short protocol trace: watch the Probe -> Execute -> Complete flow.
+    println!("\nFirst packets of the protocol (pcap-style trace):");
+    let (mut sim, _c, _e) = build_cowbird_rig(CowbirdRig {
+        seed: 1,
+        record_size: 64,
+        inflight: 1,
+        target_ops: 1,
+        engine_batch: 1,
+        ..Default::default()
+    });
+    sim.enable_trace();
+    sim.run_until(Some(Instant(Duration::from_micros(30).nanos())));
+    for line in sim.take_trace().iter().take(18) {
+        println!("  {line}");
+    }
+
+    // The switch program's resource footprint (Table 5).
+    let spec = cowbird_p4_spec();
+    spec.validate().expect("fits a Tofino");
+    println!("\nCowbird-P4 pipeline resources: {}", ResourceUsage::of(&spec));
+    println!(
+        "(paper Table 5: PHV 1085 b | SRAM 1424 KB | TCAM 1.28 KB | 12 stages | 38 VLIW | 11 sALU)"
+    );
+}

@@ -1,0 +1,25 @@
+//! # cowbird-repro — umbrella crate
+//!
+//! Re-exports the public API of the Cowbird reproduction workspace so that
+//! examples and integration tests can use a single dependency. See the
+//! individual crates for details:
+//!
+//! * [`cowbird`] — the core client library (paper §3–4)
+//! * [`cowbird_engine`] — P4-switch and Spot-VM offload engines (§5–6)
+//! * [`rdma`] — RoCEv2 wire format, verbs layer, emulated + simulated RNICs
+//! * [`simnet`] — deterministic discrete-event network simulator
+//! * [`p4rt`] — software RMT pipeline with resource accounting
+//! * [`kvstore`] — FASTER-style hybrid-log KV store (§7)
+//! * [`baselines`] — sync/async RDMA, Redy, AIFM, SSD comparators
+//! * [`workloads`] — YCSB/Zipfian/hash-table generators
+//! * [`experiments`] — the experiment harness regenerating every figure and table
+
+pub use baselines;
+pub use experiments;
+pub use cowbird;
+pub use cowbird_engine;
+pub use kvstore;
+pub use p4rt;
+pub use rdma;
+pub use simnet;
+pub use workloads;

@@ -1,0 +1,183 @@
+//! End-to-end integration over the packet-level simulator: both engine
+//! variants, fault injection, and multi-instance probe multiplexing.
+
+use cowbird::channel::Channel;
+use cowbird::layout::ChannelLayout;
+use cowbird::region::{RegionMap, RemoteRegion};
+use cowbird_engine::core::{EngineConfig, EngineVariant};
+use cowbird_engine::sim::{ComputeNicNode, EngineNode, PoolNode};
+use experiments::harness::{build_cowbird_rig, CowbirdClientNode, CowbirdRig};
+use rdma::mem::Region;
+use simnet::link::LinkParams;
+use simnet::sim::{NodeId, Sim};
+use simnet::time::{Duration, Instant};
+
+#[test]
+fn both_variants_complete_identical_workloads() {
+    for batch in [1usize, 16] {
+        let (mut sim, cid, eid) = build_cowbird_rig(CowbirdRig {
+            seed: 5,
+            record_size: 128,
+            inflight: 16,
+            target_ops: 300,
+            engine_batch: batch,
+            ..Default::default()
+        });
+        sim.run_until(Some(Instant(Duration::from_millis(100).nanos())));
+        let client: &CowbirdClientNode = sim.node_ref(cid);
+        assert_eq!(client.completed(), 300, "batch {batch}");
+        let engine: &EngineNode = sim.node_ref(eid);
+        let stats = engine.core(0).stats;
+        assert_eq!(stats.reads_executed, 300);
+        if batch == 1 {
+            assert_eq!(
+                engine.core(0).config().variant,
+                EngineVariant::P4,
+                "unbatched rig models the switch"
+            );
+        }
+    }
+}
+
+#[test]
+fn heavy_loss_and_corruption_recovered_by_gbn() {
+    let link = LinkParams::rack_100g()
+        .with_drop_probability(0.02)
+        .with_corrupt_probability(0.01);
+    let (mut sim, cid, _eid) = build_cowbird_rig(CowbirdRig {
+        seed: 9,
+        record_size: 64,
+        inflight: 4,
+        target_ops: 120,
+        engine_batch: 4,
+        link,
+        ..Default::default()
+    });
+    sim.run_until(Some(Instant(Duration::from_secs(1).nanos())));
+    let client: &CowbirdClientNode = sim.node_ref(cid);
+    assert_eq!(client.completed(), 120, "no op may be lost");
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let run = |seed| {
+        let (mut sim, cid, _e) = build_cowbird_rig(CowbirdRig {
+            seed,
+            record_size: 64,
+            inflight: 8,
+            target_ops: 100,
+            engine_batch: 8,
+            drop_probability: 0.01,
+            ..Default::default()
+        });
+        sim.run_until(Some(Instant(Duration::from_secs(1).nanos())));
+        let client: &CowbirdClientNode = sim.node_ref(cid);
+        (client.latency.median(), client.latency.p99(), sim.events_processed())
+    };
+    assert_eq!(run(77), run(77), "same seed, same world");
+    assert_ne!(run(77), run(78), "different seed, different world");
+}
+
+/// Two instances (two channels, one per "application") sharing one engine
+/// node — §5.4's multiplexing.
+#[test]
+fn two_instances_share_one_engine() {
+    let mut sim = Sim::new(31);
+    let compute_id = NodeId(0);
+    let engine_id = NodeId(1);
+    let pool_id = NodeId(2);
+
+    let pool_mem = Region::new(1 << 20);
+    for i in 0..(1 << 14) {
+        pool_mem.write(i * 64, &(i as u64).to_le_bytes()).unwrap();
+    }
+    let mut pool = PoolNode::new();
+    let pool_rkey = pool.register(pool_mem);
+    pool.create_qp(201, 102, engine_id);
+    pool.create_qp(202, 112, engine_id);
+
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 1 << 20,
+        },
+    );
+
+    let layout = ChannelLayout::default_sizes();
+    let mut compute = ComputeNicNode::new();
+    let mut ch_a = Channel::new(0, layout, regions.clone());
+    let mut ch_b = Channel::new(1, layout, regions.clone());
+    let rkey_a = compute.register(ch_a.region().clone());
+    let rkey_b = compute.register(ch_b.region().clone());
+    compute.create_qp(301, 101, engine_id);
+    compute.create_qp(302, 103, engine_id);
+    compute.create_qp(311, 111, engine_id);
+    compute.create_qp(312, 113, engine_id);
+
+    let mut engine = EngineNode::new();
+    engine.add_instance(
+        EngineConfig::spot(layout, regions.clone(), 8),
+        compute_id,
+        pool_id,
+        (101, 301, 102, 201, 103, 302),
+        rkey_a,
+    );
+    engine.add_instance(
+        EngineConfig::spot(layout, regions, 8),
+        compute_id,
+        pool_id,
+        (111, 311, 112, 202, 113, 312),
+        rkey_b,
+    );
+
+    sim.add_node(Box::new(compute));
+    sim.add_node(Box::new(engine));
+    sim.add_node(Box::new(pool));
+    sim.connect(compute_id, engine_id, LinkParams::rack_100g());
+    sim.connect(engine_id, pool_id, LinkParams::rack_100g());
+
+    // Both channels issue interleaved work from outside the sim.
+    let ha: Vec<_> = (0..32u64).map(|i| ch_a.async_read(1, i * 64, 8).unwrap()).collect();
+    let hb: Vec<_> = (0..32u64)
+        .map(|i| ch_b.async_read(1, (i + 100) * 64, 8).unwrap())
+        .collect();
+    sim.run_for(Duration::from_millis(5));
+
+    for (i, h) in ha.iter().enumerate() {
+        assert!(ch_a.is_complete(h.id), "instance A op {i}");
+        let v = ch_a.take_response(h).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), i as u64);
+    }
+    for (i, h) in hb.iter().enumerate() {
+        assert!(ch_b.is_complete(h.id), "instance B op {i}");
+        let v = ch_b.take_response(h).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), (i + 100) as u64);
+    }
+    let engine: &EngineNode = sim.node_ref(engine_id);
+    assert_eq!(engine.core(0).stats.reads_executed, 32);
+    assert_eq!(engine.core(1).stats.reads_executed, 32);
+}
+
+#[test]
+fn probe_priority_keeps_link_utilization_low_when_idle() {
+    // An idle channel generates only probe traffic, all at priority 7;
+    // the link's high-priority classes stay untouched.
+    let (mut sim, _cid, _eid) = build_cowbird_rig(CowbirdRig {
+        seed: 3,
+        // Never reachable: the client stays idle (inflight 0) so only the
+        // engine's probe traffic exists.
+        target_ops: u64::MAX,
+        inflight: 0,
+        ..Default::default()
+    });
+    sim.run_for(Duration::from_millis(2));
+    // Link 0 is compute->engine; link 1 engine->compute (probe requests).
+    let stats = sim.link_stats(simnet::link::LinkId(1));
+    let high: u64 = (0..7).map(|p| stats.busy_by_prio[p].nanos()).sum();
+    let low = stats.busy_by_prio[7].nanos();
+    assert_eq!(high, 0, "idle engine must only emit lowest-priority probes");
+    assert!(low > 0, "probes must flow");
+}

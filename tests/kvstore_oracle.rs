@@ -1,0 +1,141 @@
+//! The FASTER-style store against a `HashMap` oracle, under eviction
+//! pressure, over both a local device and the full Cowbird stack.
+
+use std::collections::HashMap;
+
+use kvstore::{CowbirdDevice, Device, FasterKv, LocalMemoryDevice, ReadResult, StoreConfig};
+use proptest::prelude::*;
+use simnet::rng::Rng;
+
+fn tiny_cfg() -> StoreConfig {
+    StoreConfig {
+        memory_per_shard: 8 << 10, // 8 KiB window: constant eviction
+        mutable_fraction: 0.25,
+        index_slots: 1 << 10,
+        max_value_bytes: 64,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum KvOp {
+    Upsert { key: u8, val: u8, len: u8 },
+    Read { key: u8 },
+}
+
+fn arb_kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>(), 0u8..64).prop_map(|(key, val, len)| KvOp::Upsert {
+            key,
+            val,
+            len
+        }),
+        any::<u8>().prop_map(|key| KvOp::Read { key }),
+    ]
+}
+
+fn run_against_oracle<D: Device>(kv: &FasterKv<D>, ops: &[KvOp]) {
+    let mut oracle: HashMap<u64, Vec<u8>> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            KvOp::Upsert { key, val, len } => {
+                let v = vec![val; len as usize];
+                kv.upsert(key as u64, &v);
+                oracle.insert(key as u64, v);
+            }
+            KvOp::Read { key } => {
+                let got = kv.read_blocking(key as u64);
+                assert_eq!(got.as_ref(), oracle.get(&(key as u64)), "op {i}: key {key}");
+            }
+        }
+    }
+    // Full verification at the end.
+    for (k, v) in &oracle {
+        assert_eq!(kv.read_blocking(*k).as_ref(), Some(v), "final key {k}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn store_matches_hashmap_oracle_under_eviction(
+        ops in proptest::collection::vec(arb_kv_op(), 1..300),
+    ) {
+        let kv = FasterKv::new(tiny_cfg(), vec![LocalMemoryDevice::new()]);
+        run_against_oracle(&kv, &ops);
+    }
+
+    #[test]
+    fn sharded_store_matches_oracle(
+        ops in proptest::collection::vec(arb_kv_op(), 1..200),
+    ) {
+        let kv = FasterKv::new(
+            tiny_cfg(),
+            (0..3).map(|_| LocalMemoryDevice::new()).collect(),
+        );
+        run_against_oracle(&kv, &ops);
+    }
+}
+
+/// The same oracle discipline over the full emulated Cowbird stack: the
+/// store's device reads/writes travel through the offload engine.
+#[test]
+fn store_over_cowbird_matches_oracle() {
+    use cowbird::channel::Channel;
+    use cowbird::layout::ChannelLayout;
+    use cowbird::region::{RegionMap, RemoteRegion};
+    use cowbird_engine::core::EngineConfig;
+    use cowbird_engine::spot::{SpotAgent, SpotWiring};
+    use rdma::emu::EmuFabric;
+    use rdma::mem::Region;
+
+    let mut fabric = EmuFabric::new();
+    let compute = fabric.add_nic();
+    let engine = fabric.add_nic();
+    let pool = fabric.add_nic();
+    let pool_mem = Region::new(8 << 20);
+    let pool_rkey = pool.register(pool_mem);
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 8 << 20,
+        },
+    );
+    let layout = ChannelLayout::default_sizes();
+    let channel = Channel::new(0, layout, regions.clone());
+    let channel_rkey = compute.register(channel.region().clone());
+    let (eng_c, _) = fabric.connect(&engine, &compute);
+    let (eng_p, _) = fabric.connect(&engine, &pool);
+    let _agent = SpotAgent::spawn(
+        SpotWiring {
+            nic: engine,
+            compute_qpn: eng_c,
+            pool_qpn: eng_p,
+            channel_rkey,
+        },
+        EngineConfig::spot(layout, regions, 16),
+    );
+
+    let kv = FasterKv::new(tiny_cfg(), vec![CowbirdDevice::new(channel, 1)]);
+    // A deterministic random workload (proptest would spin up a fabric per
+    // case; one long deterministic run covers the same ground).
+    let mut rng = Rng::new(99);
+    let mut ops = Vec::new();
+    for _ in 0..800 {
+        if rng.chance(0.6) {
+            ops.push(KvOp::Upsert {
+                key: rng.next_below(64) as u8,
+                val: rng.next_below(256) as u8,
+                len: rng.next_below(64) as u8,
+            });
+        } else {
+            ops.push(KvOp::Read {
+                key: rng.next_below(64) as u8,
+            });
+        }
+    }
+    run_against_oracle(&kv, &ops);
+}
