@@ -204,9 +204,8 @@ pub fn throughput_mops(
     if threads == 0 {
         return 0.0;
     }
-    let per_op_ns = app_ns
-        + remote_fraction
-            * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
+    let per_op_ns =
+        app_ns + remote_fraction * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
     // Aggregate compute capacity in core-equivalents, shared with any
     // reserved helper threads.
     let capacity = if reserved_hw_threads == 0 {
@@ -227,14 +226,8 @@ pub fn throughput_mops(
 
 /// The Fig. 10 metric: fraction of execution time spent inside the
 /// communication library.
-pub fn communication_ratio(
-    comm: Comm,
-    app_ns: f64,
-    remote_fraction: f64,
-    tb: &Testbed,
-) -> f64 {
-    let comm_ns =
-        remote_fraction * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
+pub fn communication_ratio(comm: Comm, app_ns: f64, remote_fraction: f64, tb: &Testbed) -> f64 {
+    let comm_ns = remote_fraction * (comm.per_op_cpu_ns(&tb.cost) + comm.per_op_block_ns(&tb.net));
     let total = app_ns + comm_ns;
     if total == 0.0 {
         0.0
@@ -270,7 +263,10 @@ mod tests {
         let cowbird = t(Comm::Cowbird);
         let local = t(Comm::LocalMemory);
         assert!(two_sync < one_sync, "{two_sync} vs {one_sync}");
-        assert!(one_sync < async_ / 5.0, "sync an order of magnitude below async");
+        assert!(
+            one_sync < async_ / 5.0,
+            "sync an order of magnitude below async"
+        );
         assert!(async_ < nobatch);
         assert!(nobatch <= cowbird);
         assert!(cowbird <= local);
@@ -311,7 +307,10 @@ mod tests {
             let app = hash_probe_app_ns(rs);
             let cb = throughput_mops(Comm::Cowbird, 16, app, 0.95, rs, &tb, 0);
             let cap = tb.net.bandwidth_cap_mops(rs) / 0.95;
-            assert!((cb - cap).abs() / cap < 0.01, "record {rs}: {cb} vs cap {cap}");
+            assert!(
+                (cb - cap).abs() / cap < 0.01,
+                "record {rs}: {cb} vs cap {cap}"
+            );
             // Local memory is NOT bandwidth-capped.
             let local = throughput_mops(Comm::LocalMemory, 16, app, 0.95, rs, &tb, 0);
             assert!(local > cap);

@@ -114,7 +114,11 @@ impl RdmaClientNode {
         let wr_id = self.issued;
         self.issued += 1;
         let max_off = self.pool_size - self.record_size as u64;
-        let addr = if max_off == 0 { 0 } else { ctx.rng().next_below(max_off / 8) * 8 };
+        let addr = if max_off == 0 {
+            0
+        } else {
+            ctx.rng().next_below(max_off / 8) * 8
+        };
         // Batched mode measures from batch formation, not post time.
         let t0 = match self.mode {
             ClientMode::Batched { .. } => self.batch_t0,
@@ -240,9 +244,7 @@ pub fn latency_rig(
     let client_id = NodeId(0);
     let pool_id = NodeId(1);
     let (pool, rkey, size) = build_pool(client_id);
-    let client = RdmaClientNode::new(
-        pool_id, 501, 601, rkey, size, record_size, mode, target_ops,
-    );
+    let client = RdmaClientNode::new(pool_id, 501, 601, rkey, size, record_size, mode, target_ops);
     sim.add_node(Box::new(client));
     sim.add_node(Box::new(pool));
     sim.connect(client_id, pool_id, link);
@@ -307,7 +309,11 @@ mod tests {
         // 2 x 1500 ns propagation + serialization + headers: ~3.0-3.5 us.
         assert!(p50 > 2_900 && p50 < 4_000, "p50 {p50} ns");
         // Closed loop, lossless: tail tracks the median closely.
-        assert!(client.latency.p99() < p50 * 2, "p99 {}", client.latency.p99());
+        assert!(
+            client.latency.p99() < p50 * 2,
+            "p99 {}",
+            client.latency.p99()
+        );
     }
 
     #[test]
@@ -319,13 +325,17 @@ mod tests {
         let closed_done = closed.done_at.unwrap();
         let closed_p50 = closed.latency.median();
 
-        let (mut sim_p, id_p) = latency_rig(2, 64, ClientMode::Pipelined { inflight: 100 }, ops, rack());
+        let (mut sim_p, id_p) =
+            latency_rig(2, 64, ClientMode::Pipelined { inflight: 100 }, ops, rack());
         sim_p.run();
         let piped: &RdmaClientNode = sim_p.node_ref(id_p);
         let piped_done = piped.done_at.unwrap();
         let piped_p50 = piped.latency.median();
 
-        assert!(piped_done < closed_done, "pipelining must be faster overall");
+        assert!(
+            piped_done < closed_done,
+            "pipelining must be faster overall"
+        );
         assert!(piped_p50 > closed_p50, "per-op latency grows with queueing");
     }
 
@@ -369,6 +379,10 @@ mod tests {
         let client: &RdmaClientNode = sim.node_ref(client_id);
         assert_eq!(client.completed(), 300, "all ops survive 2% loss");
         // Retransmissions inflate the tail beyond the lossless bound.
-        assert!(client.latency.p99() > 100_000, "p99 {}", client.latency.p99());
+        assert!(
+            client.latency.p99() > 100_000,
+            "p99 {}",
+            client.latency.p99()
+        );
     }
 }

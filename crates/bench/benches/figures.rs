@@ -16,7 +16,10 @@ fn main() {
     let tables = experiments::all();
     let mut shown = 0;
     for t in &tables {
-        let key = t.id.to_lowercase().replace(' ', "").replace("figure", "fig");
+        let key =
+            t.id.to_lowercase()
+                .replace(' ', "")
+                .replace("figure", "fig");
         if filter.is_empty() || filter.iter().any(|f| key.contains(f)) {
             println!("{t}");
             shown += 1;

@@ -76,7 +76,12 @@ mod tests {
             .fold(0.0f64, f64::max);
         assert!(max > 0.89, "max discount {max}");
         for p in prices {
-            assert!(p.spot_discount() > 0.7, "{}: {}", p.provider, p.spot_discount());
+            assert!(
+                p.spot_discount() > 0.7,
+                "{}: {}",
+                p.provider,
+                p.spot_discount()
+            );
         }
     }
 

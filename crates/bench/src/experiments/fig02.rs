@@ -38,7 +38,12 @@ pub fn run() -> Table {
         ("Cowbird poll", m.cowbird_poll_ns),
     ] {
         cum += ns;
-        t.push_row(vec!["Cowbird".into(), task.into(), ns.to_string(), cum.to_string()]);
+        t.push_row(vec![
+            "Cowbird".into(),
+            task.into(),
+            ns.to_string(),
+            cum.to_string(),
+        ]);
     }
     t
 }

@@ -24,7 +24,10 @@ fn sub_figure(letter: char, record_size: u32) -> Table {
     let remote = 1.0 - spec.local_fraction;
     let mut t = Table::new(
         &format!("Figure 8{letter}"),
-        &format!("Hash table MOPS, {record_size} B records, {} % remote", (remote * 100.0) as u32),
+        &format!(
+            "Hash table MOPS, {record_size} B records, {} % remote",
+            (remote * 100.0) as u32
+        ),
         &["system", "1", "2", "4", "8", "16"],
     )
     .with_paper_note(match record_size {
@@ -36,7 +39,15 @@ fn sub_figure(letter: char, record_size: u32) -> Table {
     for comm in Comm::figure8_series() {
         let mut row = vec![comm.label().to_string()];
         for &n in &THREADS {
-            row.push(fnum(throughput_mops(comm, n, app, remote, record_size, &tb, 0)));
+            row.push(fnum(throughput_mops(
+                comm,
+                n,
+                app,
+                remote,
+                record_size,
+                &tb,
+                0,
+            )));
         }
         t.push_row(row);
     }

@@ -70,7 +70,9 @@ pub fn faster_mops(backend: Backend, threads: u32, spec: &YcsbSpec, tb: &Testbed
     let sf = storage_fraction(spec);
     let app = faster_app_ns(threads);
     match backend {
-        Backend::Ssd => SsdModel::testbed().throughput_mops(threads, app, sf, spec.record_size(), &tb.cpu),
+        Backend::Ssd => {
+            SsdModel::testbed().throughput_mops(threads, app, sf, spec.record_size(), &tb.cpu)
+        }
         Backend::Comm(c) => throughput_mops(c, threads, app, sf, spec.record_size(), tb, 0),
     }
 }

@@ -23,9 +23,7 @@ fn sub_figure(letter: char, spec: YcsbSpec) -> Table {
         &format!("Communication ratio, {} B values", spec.value_size),
         &["backend", "1", "2", "4", "8", "16"],
     )
-    .with_paper_note(
-        "sync RDMA spends >80% of time in communication; Cowbird consistently <20%",
-    );
+    .with_paper_note("sync RDMA spends >80% of time in communication; Cowbird consistently <20%");
     let series = [
         ("One-sided RDMA (sync)", Comm::OneSidedSync),
         ("One-sided RDMA (async)", Comm::OneSidedAsync { batch: 100 }),

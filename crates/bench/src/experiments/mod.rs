@@ -18,11 +18,7 @@ use crate::report::Table;
 
 /// Run every experiment (the heavyweight DES ones included).
 pub fn all() -> Vec<Table> {
-    let mut out = vec![
-        fig01::run(),
-        fig02::run(),
-        table1::run(),
-    ];
+    let mut out = vec![fig01::run(), fig02::run(), table1::run()];
     out.extend(fig08::run());
     out.extend(fig09::run());
     out.extend(fig10::run());

@@ -8,7 +8,13 @@ pub fn run() -> Table {
     let mut t = Table::new(
         "Table 1",
         "On-demand vs spot prices (4 vCPU / 16 GB), 2023-07-24",
-        &["provider", "instance", "on-demand $/h", "spot $/h", "discount"],
+        &[
+            "provider",
+            "instance",
+            "on-demand $/h",
+            "spot $/h",
+            "discount",
+        ],
     )
     .with_paper_note("spot reduces cost by up to 90%; GCP pure-spot vCPU $0.009638/h");
     for p in table1_prices() {

@@ -17,7 +17,11 @@ pub fn run() -> Table {
         &["resource", "measured", "paper"],
     )
     .with_paper_note("PHV 1085 b | SRAM 1424 KB | TCAM 1.28 KB | 12 stages | 38 VLIW | 11 sALU");
-    t.push_row(vec!["PHV (bits)".into(), u.phv_bits.to_string(), "1085".into()]);
+    t.push_row(vec![
+        "PHV (bits)".into(),
+        u.phv_bits.to_string(),
+        "1085".into(),
+    ]);
     t.push_row(vec![
         "SRAM (KB)".into(),
         format!("{:.0}", u.sram_kb()),

@@ -31,7 +31,7 @@ pub struct CowbirdClientNode {
     target_ops: u64,
     issued: u64,
     completed: u64,
-    outstanding: Vec<(cowbird::channel::ReadHandle, Instant)>,
+    outstanding: Vec<(cowbird::channel::ReadHandle, Instant, u64)>,
     pool_span: u64,
     poll_interval: Duration,
     /// Delay before the first issue (models an idle application phase; used
@@ -42,6 +42,13 @@ pub struct CowbirdClientNode {
     first_latency: Option<u64>,
     pub done_at: Option<Instant>,
     pub stop_when_done: bool,
+    /// Check every read's payload against the pool's deterministic content
+    /// (offset stamp). The failover ablation uses this to prove takeover
+    /// re-execution never hands back wrong bytes; requires 64 B records.
+    verify_data: bool,
+    /// Virtual time of every completion, in completion order (the failover
+    /// throughput timeline).
+    pub completion_times: Vec<Instant>,
 }
 
 impl CowbirdClientNode {
@@ -51,7 +58,7 @@ impl CowbirdClientNode {
             let off = ctx.rng().next_below(max_rec) * self.record_size as u64;
             match self.channel.async_read(1, off, self.record_size) {
                 Ok(h) => {
-                    self.outstanding.push((h, ctx.now()));
+                    self.outstanding.push((h, ctx.now(), off));
                     self.issued += 1;
                 }
                 Err(e) if e.is_retryable() => break, // poll will drain space
@@ -64,16 +71,26 @@ impl CowbirdClientNode {
         self.channel.refresh();
         let mut i = 0;
         while i < self.outstanding.len() {
-            let (h, t0) = self.outstanding[i];
+            let (h, t0, off) = self.outstanding[i];
             if h.id
                 .completed_by(self.channel.progress(cowbird::reqid::OpType::Read))
             {
                 let lat = ctx.now().since(t0);
                 self.first_latency.get_or_insert(lat.nanos());
                 self.latency.record_duration(lat);
-                self.channel.take_response(&h).expect("completed read");
+                let data = self.channel.take_response(&h).expect("completed read");
+                if self.verify_data {
+                    let expect = (off / 64).to_le_bytes();
+                    assert_eq!(
+                        &data[..8],
+                        &expect[..],
+                        "read {:?} at offset {off} returned wrong bytes",
+                        h.id
+                    );
+                }
                 self.outstanding.swap_remove(i);
                 self.completed += 1;
+                self.completion_times.push(ctx.now());
             } else {
                 i += 1;
             }
@@ -88,6 +105,16 @@ impl CowbirdClientNode {
 
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// The client channel (stats and progress inspection).
+    pub fn channel(&self) -> &Channel {
+        &self.channel
     }
 
     /// Direct NIC access (diagnostics).
@@ -185,6 +212,35 @@ pub fn build_cowbird_rig_with(
     client_start_after: Duration,
     adaptive_probe: Option<(Duration, u32)>,
 ) -> (Sim, NodeId, NodeId) {
+    let (sim, client, engine, _standby) =
+        build_rig_inner(cfg, client_start_after, adaptive_probe, None);
+    (sim, client, engine)
+}
+
+/// The failover rig: the standard topology plus a fourth node hosting a
+/// standby engine wired to the same channel and pool over its own QPs. A
+/// scheduled fault crashes the primary at `crash_at`; the standby activates
+/// `takeover_delay` later (modelling detection + election), adopts the
+/// channel from the red block, and resumes the workload. The client
+/// additionally verifies every read payload, so a lost or duplicated
+/// completion — or a wrong byte from re-execution — fails the run. Returns
+/// `(sim, client, primary engine, standby engine)`.
+pub fn build_cowbird_failover_rig(
+    cfg: CowbirdRig,
+    crash_at: Duration,
+    takeover_delay: Duration,
+) -> (Sim, NodeId, NodeId, NodeId) {
+    let (sim, client, engine, standby) =
+        build_rig_inner(cfg, Duration::ZERO, None, Some((crash_at, takeover_delay)));
+    (sim, client, engine, standby.expect("standby requested"))
+}
+
+fn build_rig_inner(
+    cfg: CowbirdRig,
+    client_start_after: Duration,
+    adaptive_probe: Option<(Duration, u32)>,
+    failover: Option<(Duration, Duration)>,
+) -> (Sim, NodeId, NodeId, Option<NodeId>) {
     let mut sim = Sim::new(cfg.seed);
     let compute_id = NodeId(0);
     let engine_id = NodeId(1);
@@ -210,12 +266,19 @@ pub fn build_cowbird_rig_with(
         },
     );
 
+    let standby_id = NodeId(3);
+
     let layout = ChannelLayout::default_sizes();
     let channel = Channel::new(0, layout, regions.clone());
     let mut nic = SimNic::new();
     let channel_rkey = nic.register(channel.region().clone());
     nic.create_qp(QpConfig::new(301, 101), engine_id);
     nic.create_qp(QpConfig::new(302, 103), engine_id);
+    if failover.is_some() {
+        nic.create_qp(QpConfig::new(311, 111), standby_id);
+        nic.create_qp(QpConfig::new(312, 113), standby_id);
+        pool.create_qp(211, 112, standby_id);
+    }
 
     let client = CowbirdClientNode {
         nic,
@@ -233,6 +296,8 @@ pub fn build_cowbird_rig_with(
         first_latency: None,
         done_at: None,
         stop_when_done: true,
+        verify_data: failover.is_some(),
+        completion_times: Vec::new(),
     };
 
     let mut engine = EngineNode::new();
@@ -244,8 +309,9 @@ pub fn build_cowbird_rig_with(
     if let Some((idle, threshold)) = adaptive_probe {
         variant = variant.with_adaptive_probe(idle, threshold);
     }
+    let variant = variant.with_probe_interval(cfg.probe_interval);
     engine.add_instance(
-        variant.with_probe_interval(cfg.probe_interval),
+        variant.clone(),
         compute_id,
         pool_id,
         (101, 301, 102, 201, 103, 302),
@@ -257,8 +323,29 @@ pub fn build_cowbird_rig_with(
     sim.add_node(Box::new(pool));
     let link = cfg.link.clone().with_drop_probability(cfg.drop_probability);
     sim.connect(compute_id, engine_id, link.clone());
-    sim.connect(engine_id, pool_id, link);
-    (sim, compute_id, engine_id)
+    sim.connect(engine_id, pool_id, link.clone());
+
+    let standby = failover.map(|(crash_at, takeover_delay)| {
+        let mut standby = EngineNode::new();
+        standby.add_standby_instance(
+            variant,
+            compute_id,
+            pool_id,
+            (111, 311, 112, 211, 113, 312),
+            channel_rkey,
+            crash_at + takeover_delay,
+        );
+        let id = sim.add_node(Box::new(standby));
+        debug_assert_eq!(id, standby_id);
+        sim.connect(compute_id, standby_id, link.clone());
+        sim.connect(standby_id, pool_id, link);
+        sim.schedule_fault(
+            Instant::ZERO + crash_at,
+            simnet::fault::FaultEvent::NodeDown(engine_id),
+        );
+        id
+    });
+    (sim, compute_id, engine_id, standby)
 }
 
 #[cfg(test)]
@@ -291,6 +378,38 @@ mod tests {
     }
 
     #[test]
+    fn failover_rig_completes_through_crash_exactly_once() {
+        let (mut sim, cid, eid, sid) = build_cowbird_failover_rig(
+            CowbirdRig {
+                seed: 26,
+                target_ops: 300,
+                inflight: 8,
+                engine_batch: 8,
+                ..Default::default()
+            },
+            Duration::from_micros(50),
+            Duration::from_micros(200),
+        );
+        sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+        assert!(sim.node_is_down(eid));
+        let client: &CowbirdClientNode = sim.node_ref(cid);
+        // Exactly once: every issued request completed, and the progress
+        // counter equals the issue count (a duplicate would overshoot it, a
+        // loss would stall it). Payloads were verified on the fly.
+        assert_eq!(client.completed(), 300);
+        assert_eq!(client.issued(), 300);
+        assert_eq!(client.channel().progress(cowbird::reqid::OpType::Read), 300);
+        assert_eq!(client.channel().stats.engine_takeovers, 1);
+        let standby: &EngineNode = sim.node_ref(sid);
+        assert_eq!(standby.core(0).stats.adoptions, 1);
+        // The timeline straddles the outage: some ops before the crash, the
+        // rest after the standby adopted.
+        let crash = Instant(Duration::from_micros(50).nanos());
+        assert!(client.completion_times.first().unwrap() < &crash);
+        assert!(client.completion_times.last().unwrap() > &crash);
+    }
+
+    #[test]
     fn batched_rig_uses_fewer_compute_writes() {
         let run = |batch: usize| {
             let (mut sim, _c, engine_id) = build_cowbird_rig(CowbirdRig {
@@ -305,6 +424,9 @@ mod tests {
         };
         let unbatched = run(1);
         let batched = run(16);
-        assert!(batched < unbatched, "batched {batched} vs unbatched {unbatched}");
+        assert!(
+            batched < unbatched,
+            "batched {batched} vs unbatched {unbatched}"
+        );
     }
 }

@@ -10,16 +10,26 @@
 //!
 //! ## Protocol walk-through (paper §5.2)
 //!
-//! * **Probe**: read the channel's green bookkeeping block (24 B — the tail
-//!   pointers, fetched with a single RDMA read per requirement R3). If
-//!   `meta_tail` moved, fetch the new metadata entries `[head, tail)`
-//!   (split only at the ring-wrap boundary).
+//! * **Probe**: read the channel's green bookkeeping block (32 B — the tail
+//!   pointers plus the client fence word, fetched with a single RDMA read
+//!   per requirement R3). If `meta_tail` moved, fetch the new metadata
+//!   entries `[head, tail)` (split only at the ring-wrap boundary).
 //! * **Execute**: for a read request, fetch the data from the memory pool
 //!   and write it to the channel's response ring; for a write request,
 //!   fetch the payload from the compute node and write it to the pool.
-//! * **Complete**: write the red bookkeeping block (metadata head +
-//!   both progress counters, 24 B, a single RDMA write) so the client can
-//!   observe completions and recycle ring space.
+//! * **Complete**: write the red bookkeeping block (metadata head, both
+//!   progress counters, engine epoch and the committed floor — 56 B, a
+//!   single RDMA write) so the client can observe completions and recycle
+//!   ring space.
+//!
+//! ## Failover (extension)
+//!
+//! The red block persists everything a standby needs to adopt the channel:
+//! [`EngineCore::adopt_from_red`] rewinds to the committed floor, bumps the
+//! epoch past the predecessor's, and resumes probing; re-fetched requests the
+//! progress counters already cover are skipped, so completions stay
+//! exactly-once. A zombie predecessor fences itself the moment a probe
+//! observes a client fence word above its epoch.
 //!
 //! ## Consistency (paper §5.3 / §6)
 //!
@@ -38,11 +48,12 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use cowbird::layout::{ChannelLayout, GREEN_LEN, GREEN_OFFSET, RED_OFFSET};
+use cowbird::error::WaitError;
+use cowbird::layout::{ChannelLayout, RedBlock, GREEN_LEN, GREEN_OFFSET, RED_OFFSET};
 use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
-use cowbird::region::RegionMap;
-use rdma::mem::Rkey;
+use cowbird::region::{RegionId, RegionMap};
 use p4rt::pktgen::PktGenConfig;
+use rdma::mem::Rkey;
 use simnet::time::Duration;
 
 use crate::consistency::RangeGate;
@@ -123,8 +134,17 @@ impl EngineConfig {
 pub enum FabricOp {
     /// One-sided read of the channel region on the compute node.
     ReadCompute { offset: u64, len: u32, tag: u64 },
-    /// One-sided write into the channel region on the compute node.
-    WriteCompute { offset: u64, data: Vec<u8> },
+    /// One-sided write into the channel region on the compute node. A zero
+    /// `tag` is fire-and-forget; a non-zero tag means the core needs the
+    /// completion (delivery acknowledgment) fed back via
+    /// [`EngineCore::on_data`] with an empty payload — red-block publishes
+    /// carry one so the core can track what is *durably* committed in
+    /// client memory, which gates conflicting pool writes across a crash.
+    WriteCompute {
+        offset: u64,
+        data: Vec<u8>,
+        tag: u64,
+    },
     /// One-sided read of pool memory.
     ReadPool {
         rkey: Rkey,
@@ -133,15 +153,40 @@ pub enum FabricOp {
         tag: u64,
     },
     /// One-sided write into pool memory.
-    WritePool { rkey: Rkey, addr: u64, data: Vec<u8> },
+    WritePool {
+        rkey: Rkey,
+        addr: u64,
+        data: Vec<u8>,
+    },
 }
 
 #[derive(Clone, Debug)]
 enum TagKind {
     Probe,
-    Meta { start: u64, count: u64 },
-    WritePayload { seq: u64, rkey: Rkey, addr: u64, len: u32 },
-    ReadData { seq: u64, resp_addr: u64 },
+    Meta {
+        start: u64,
+        count: u64,
+    },
+    WritePayload {
+        seq: u64,
+        rkey: Rkey,
+        addr: u64,
+        len: u32,
+        /// The pool write may not be issued until the red block covering
+        /// read seq `need_reads` has been acknowledged (see
+        /// [`EngineCore::handle_write_payload`]).
+        need_reads: u64,
+    },
+    ReadData {
+        seq: u64,
+        resp_addr: u64,
+    },
+    /// A red-block publish was delivered to client memory: everything it
+    /// carried — in particular `read_progress = reads` — is now durable
+    /// across an engine crash.
+    RedCommit {
+        reads: u64,
+    },
 }
 
 /// A parsed request waiting on the consistency gate.
@@ -150,6 +195,25 @@ struct ParsedReq {
     meta: RequestMeta,
     /// Per-type sequence number this request will complete as.
     seq: u64,
+    /// For writes: the read seq assigned to the last read parsed before
+    /// this entry (reads earlier in ring order). The write-after-read
+    /// barrier below never has to wait for reads issued *after* the write.
+    read_barrier: u64,
+}
+
+/// A pool write whose payload has arrived but whose issue is deferred until
+/// every earlier overlapping read is durably committed (write-after-read
+/// barrier): if the engine crashed after the pool write but before the red
+/// block covering the read was delivered, a standby would re-execute the
+/// read against the already-overwritten pool and return the *later* write's
+/// data — violating issue-order consistency.
+#[derive(Clone, Debug)]
+struct HeldWrite {
+    /// Release once `committed_reads >= need_reads`.
+    need_reads: u64,
+    seq: u64,
+    /// `None` models the unknown-region no-op completion path.
+    op: Option<(Rkey, u64, Vec<u8>)>,
 }
 
 /// Engine statistics, used by experiments (probe overhead, Fig. 14 traffic
@@ -169,8 +233,19 @@ pub struct EngineStats {
     pub red_updates: u64,
     pub batches_flushed: u64,
     pub reads_paused: u64,
+    /// Pool writes deferred by the write-after-read barrier (waiting for
+    /// the red commit of an earlier overlapping read).
+    pub writes_held: u64,
     pub bytes_to_compute: u64,
     pub bytes_to_pool: u64,
+    /// Re-parsed requests skipped during replay because the committed
+    /// progress already covered them (takeover / Go-Back-N).
+    pub replay_skipped: u64,
+    /// Channels adopted from a predecessor's red block.
+    pub adoptions: u64,
+    /// Did this engine observe a client fence above its epoch and stand
+    /// down? (Terminal: a fenced core emits no further fabric ops.)
+    pub fenced: bool,
 }
 
 /// The sans-IO engine core for one channel.
@@ -180,6 +255,8 @@ pub struct EngineCore {
     meta_head: u64,
     fetch_cursor: u64,
     probed_tail: u64,
+    /// Next metadata entry index expected by the parser (sanity tracking).
+    parse_cursor: u64,
     probe_outstanding: bool,
     // Per-type progress (last completed seq).
     read_progress: u64,
@@ -187,10 +264,37 @@ pub struct EngineCore {
     // Sequence assignment at parse time.
     next_read_seq: u64,
     next_write_seq: u64,
+    /// Every parsed-but-not-completed ring entry in ring order, driving the
+    /// committed floor below.
+    inflight_entries: VecDeque<(RwType, u64)>,
+    /// Committed floor: all entries below `floor_idx` completed, consuming
+    /// read seqs up to `floor_reads` and write seqs up to `floor_writes`.
+    /// Persisted in the red block so a standby can rewind to it on takeover.
+    floor_idx: u64,
+    floor_reads: u64,
+    floor_writes: u64,
+    /// This engine's epoch (published in every red block). A fresh engine
+    /// runs at 0; adopting a channel bumps the predecessor's epoch.
+    epoch: u64,
+    /// Set when a probe observes a client fence word above `epoch`: this
+    /// engine has been replaced and must not touch the fabric again.
+    fenced: bool,
+    /// The fence epoch that ended this engine (valid when `fenced`).
+    fence_epoch: u64,
     // Requests parsed but not yet issued (consistency gate applies here).
     pending: VecDeque<ParsedReq>,
     // Conflict tracking for in-flight writes (pool-address ranges).
     gate: RangeGate,
+    /// Highest read seq known to be covered by a *delivered* red block —
+    /// the durable frontier a standby is guaranteed to rewind no further
+    /// than. Advanced by [`TagKind::RedCommit`] acknowledgments.
+    committed_reads: u64,
+    /// Parsed reads not yet covered by `committed_reads`, in seq order:
+    /// (seq, region, lo, hi) over pool offsets. Scanned by the
+    /// write-after-read barrier.
+    uncommitted_reads: VecDeque<(u64, RegionId, u64, u64)>,
+    /// Pool writes deferred by the write-after-read barrier, in seq order.
+    held_writes: VecDeque<HeldWrite>,
     // Read-response batch buffer: (resp_addr, data), contiguous.
     batch: Vec<(u64, Vec<u8>)>,
     batch_last_seq: u64,
@@ -219,13 +323,24 @@ impl EngineCore {
             meta_head: 0,
             fetch_cursor: 0,
             probed_tail: 0,
+            parse_cursor: 0,
             probe_outstanding: false,
             read_progress: 0,
             write_progress: 0,
             next_read_seq: 0,
             next_write_seq: 0,
+            inflight_entries: VecDeque::new(),
+            floor_idx: 0,
+            floor_reads: 0,
+            floor_writes: 0,
+            epoch: 0,
+            fenced: false,
+            fence_epoch: 0,
             pending: VecDeque::new(),
             gate: RangeGate::new(),
+            committed_reads: 0,
+            uncommitted_reads: VecDeque::new(),
+            held_writes: VecDeque::new(),
             batch: Vec::new(),
             batch_last_seq: 0,
             pool_reads_in_flight: 0,
@@ -267,7 +382,7 @@ impl EngineCore {
     /// Phase II trigger: a probe timer fired. Emits the green-block read
     /// (unless one is already outstanding).
     pub fn on_probe_due(&mut self) -> Vec<FabricOp> {
-        if self.probe_outstanding {
+        if self.fenced || self.probe_outstanding {
             return Vec::new();
         }
         self.probe_outstanding = true;
@@ -286,6 +401,9 @@ impl EngineCore {
         let Some(kind) = self.tags.remove(&tag) else {
             return Vec::new();
         };
+        if self.fenced {
+            return Vec::new();
+        }
         let mut out = Vec::new();
         match kind {
             TagKind::Probe => self.handle_probe(data, &mut out),
@@ -295,10 +413,18 @@ impl EngineCore {
                 rkey,
                 addr,
                 len,
-            } => self.handle_write_payload(seq, rkey, addr, len, data, &mut out),
+                need_reads,
+            } => self.handle_write_payload(seq, rkey, addr, len, need_reads, data, &mut out),
             TagKind::ReadData { seq, resp_addr } => {
                 self.handle_read_data(seq, resp_addr, data, &mut out)
             }
+            TagKind::RedCommit { reads } => self.handle_red_commit(reads, &mut out),
+        }
+        if self.fenced {
+            // The op we just handled observed the fence: nothing staged so
+            // far may reach the fabric.
+            out.clear();
+            return out;
         }
         self.drain_pending(&mut out);
         self.maybe_flush_batch(&mut out, false);
@@ -309,6 +435,15 @@ impl EngineCore {
     fn handle_probe(&mut self, data: &[u8], out: &mut Vec<FabricOp>) {
         self.probe_outstanding = false;
         if data.len() < GREEN_LEN as usize {
+            return;
+        }
+        // The fence word rides in the green block, so fencing costs the
+        // client nothing beyond the probe the engine was doing anyway.
+        let client_epoch = u64::from_le_bytes(data[24..32].try_into().unwrap());
+        if client_epoch > self.epoch {
+            self.fenced = true;
+            self.fence_epoch = client_epoch;
+            self.stats.fenced = true;
             return;
         }
         let meta_tail = u64::from_le_bytes(data[0..8].try_into().unwrap());
@@ -355,19 +490,43 @@ impl EngineCore {
                 self.probed_tail = idx;
                 return;
             };
-            debug_assert_eq!(idx, self.meta_head + self.pending.len() as u64);
+            debug_assert_eq!(idx, self.parse_cursor, "metadata parsed out of order");
+            self.parse_cursor = idx + 1;
             let seq = match meta.rw_type {
                 RwType::Read => {
                     self.next_read_seq += 1;
+                    // Track the read for the write-after-read barrier until
+                    // a red commit covers it (replayed entries may already
+                    // be committed).
+                    if self.next_read_seq > self.committed_reads {
+                        self.uncommitted_reads.push_back((
+                            self.next_read_seq,
+                            meta.region_id,
+                            meta.req_addr,
+                            meta.req_addr + meta.length as u64,
+                        ));
+                    }
                     self.next_read_seq
                 }
                 RwType::Write => {
                     self.next_write_seq += 1;
                     self.next_write_seq
                 }
-                RwType::Invalid => continue,
+                RwType::Invalid => {
+                    // Still occupies a ring slot: track it so the committed
+                    // floor stays aligned with ring indices.
+                    self.inflight_entries.push_back((RwType::Invalid, 0));
+                    continue;
+                }
             };
-            self.pending.push_back(ParsedReq { meta, seq });
+            self.inflight_entries.push_back((meta.rw_type, seq));
+            self.pending.push_back(ParsedReq {
+                meta,
+                seq,
+                // Reads earlier in ring order have seqs up to the current
+                // read counter; a write's barrier never extends past them.
+                read_barrier: self.next_read_seq,
+            });
             self.stats.meta_entries += 1;
         }
         // Entries are safely fetched; the client may reuse the slots.
@@ -378,6 +537,21 @@ impl EngineCore {
     /// Execute pending requests in order, subject to the consistency gate.
     fn drain_pending(&mut self, out: &mut Vec<FabricOp>) {
         while let Some(front) = self.pending.front() {
+            // Replay after a rewind (Go-Back-N or takeover): a re-parsed
+            // request the progress counters already cover completed before
+            // the crash — re-executing it would double-apply. Completions
+            // are in order per type, so skipped requests are always a
+            // prefix and the pipeline debug-asserts below stay valid.
+            let already_done = match front.meta.rw_type {
+                RwType::Read => front.seq <= self.read_progress,
+                RwType::Write => front.seq <= self.write_progress,
+                RwType::Invalid => false,
+            };
+            if already_done {
+                self.pending.pop_front();
+                self.stats.replay_skipped += 1;
+                continue;
+            }
             match front.meta.rw_type {
                 RwType::Write => {
                     let req = self.pending.pop_front().unwrap();
@@ -416,19 +590,54 @@ impl EngineCore {
         let Some(region) = self.cfg.regions.get(req.meta.region_id).copied() else {
             // Unknown region: complete it as a no-op to avoid wedging the
             // per-type pipeline. (The client validated, so this indicates a
-            // Setup mismatch.)
-            self.write_progress = req.seq;
-            self.red_dirty = true;
+            // Setup mismatch.) Queued behind any held write so per-type
+            // completion order survives the barrier.
+            if self.held_writes.is_empty() {
+                self.write_progress = req.seq;
+                self.red_dirty = true;
+            } else {
+                self.held_writes.push_back(HeldWrite {
+                    need_reads: 0,
+                    seq: req.seq,
+                    op: None,
+                });
+            }
             return;
         };
         let pool_addr = region.base + req.meta.resp_addr;
-        self.gate
-            .insert(req.meta.region_id, req.meta.resp_addr, req.meta.resp_addr + req.meta.length as u64, req.seq);
+        self.gate.insert(
+            req.meta.region_id,
+            req.meta.resp_addr,
+            req.meta.resp_addr + req.meta.length as u64,
+            req.seq,
+        );
+        // Write-after-read barrier (crash consistency): the pool write may
+        // not land while an earlier overlapping read is uncommitted, or a
+        // standby rewinding to the red block would re-execute that read
+        // against the overwritten pool. Spot range-matches; P4 — no range
+        // queries in the data plane — conservatively waits for every read
+        // parsed before this write.
+        let need_reads = match self.cfg.variant {
+            EngineVariant::P4 => req.read_barrier,
+            EngineVariant::Spot => {
+                let lo = req.meta.resp_addr;
+                let hi = lo + req.meta.length as u64;
+                self.uncommitted_reads
+                    .iter()
+                    .filter(|&&(s, r, rlo, rhi)| {
+                        s <= req.read_barrier && r == req.meta.region_id && rlo < hi && lo < rhi
+                    })
+                    .map(|&(s, ..)| s)
+                    .max()
+                    .unwrap_or(0)
+            }
+        };
         let tag = self.tag(TagKind::WritePayload {
             seq: req.seq,
             rkey: region.rkey,
             addr: pool_addr,
             len: req.meta.length,
+            need_reads,
         });
         self.stats.compute_reads += 1;
         out.push(FabricOp::ReadCompute {
@@ -459,24 +668,47 @@ impl EngineCore {
         });
     }
 
-    /// Phase III step 2b: the write payload arrived; write it to the pool.
+    /// Phase III step 2b: the write payload arrived; write it to the pool —
+    /// unless the write-after-read barrier defers it. The gate entry stays
+    /// in place while a write is held, so later overlapping reads keep
+    /// waiting behind it and read-after-write consistency is preserved.
+    #[allow(clippy::too_many_arguments)]
     fn handle_write_payload(
         &mut self,
         seq: u64,
         rkey: Rkey,
         addr: u64,
         len: u32,
+        need_reads: u64,
         data: &[u8],
         out: &mut Vec<FabricOp>,
     ) {
         debug_assert_eq!(data.len(), len as usize);
+        // Writes apply in seq order, so anything behind a held write queues
+        // too, even if its own barrier is already satisfied.
+        if need_reads > self.committed_reads || !self.held_writes.is_empty() {
+            self.stats.writes_held += 1;
+            self.held_writes.push_back(HeldWrite {
+                need_reads,
+                seq,
+                op: Some((rkey, addr, data.to_vec())),
+            });
+            return;
+        }
+        self.apply_pool_write(seq, rkey, addr, data.to_vec(), out);
+    }
+
+    fn apply_pool_write(
+        &mut self,
+        seq: u64,
+        rkey: Rkey,
+        addr: u64,
+        data: Vec<u8>,
+        out: &mut Vec<FabricOp>,
+    ) {
         self.stats.pool_writes += 1;
         self.stats.bytes_to_pool += data.len() as u64;
-        out.push(FabricOp::WritePool {
-            rkey,
-            addr,
-            data: data.to_vec(),
-        });
+        out.push(FabricOp::WritePool { rkey, addr, data });
         // The engine->pool QP is FIFO: once the write is issued, any later
         // read observes it. The conflict window closes here.
         self.gate.remove(seq);
@@ -485,6 +717,37 @@ impl EngineCore {
         debug_assert_eq!(seq, self.write_progress + 1);
         self.write_progress = seq;
         self.red_dirty = true;
+    }
+
+    /// A red-block publish was acknowledged: its `read_progress` is durable
+    /// in client memory, so the reads it covers can never be re-executed by
+    /// a standby. Retire them from the barrier set and release any held
+    /// writes whose barrier is now satisfied (in order — writes never
+    /// overtake each other).
+    fn handle_red_commit(&mut self, reads: u64, out: &mut Vec<FabricOp>) {
+        self.committed_reads = self.committed_reads.max(reads);
+        while self
+            .uncommitted_reads
+            .front()
+            .is_some_and(|&(s, ..)| s <= self.committed_reads)
+        {
+            self.uncommitted_reads.pop_front();
+        }
+        while self
+            .held_writes
+            .front()
+            .is_some_and(|w| w.need_reads <= self.committed_reads)
+        {
+            let w = self.held_writes.pop_front().unwrap();
+            match w.op {
+                Some((rkey, addr, data)) => self.apply_pool_write(w.seq, rkey, addr, data, out),
+                None => {
+                    // Deferred unknown-region no-op completion.
+                    self.write_progress = w.seq;
+                    self.red_dirty = true;
+                }
+            }
+        }
     }
 
     /// Phase III step 2a: read data arrived from the pool; stage it for the
@@ -528,6 +791,7 @@ impl EngineCore {
         out.push(FabricOp::WriteCompute {
             offset: start_addr,
             data: payload,
+            tag: 0,
         });
         self.stats.reads_executed = self.batch_last_seq;
         // The compute QP is FIFO: the progress update below (red block) is
@@ -542,17 +806,56 @@ impl EngineCore {
             return;
         }
         self.red_dirty = false;
+        // Publish the freshest committed floor a standby could rewind to.
+        self.advance_floor();
         self.stats.red_updates += 1;
         self.stats.compute_writes += 1;
-        let mut data = Vec::with_capacity(24);
-        data.extend_from_slice(&self.meta_head.to_le_bytes());
-        data.extend_from_slice(&self.write_progress.to_le_bytes());
-        data.extend_from_slice(&self.read_progress.to_le_bytes());
-        self.stats.bytes_to_compute += 24;
+        let red = RedBlock {
+            meta_head: self.meta_head,
+            write_progress: self.write_progress,
+            read_progress: self.read_progress,
+            engine_epoch: self.epoch,
+            floor_idx: self.floor_idx,
+            floor_reads: self.floor_reads,
+            floor_writes: self.floor_writes,
+        };
+        let data = red.encode().to_vec();
+        self.stats.bytes_to_compute += data.len() as u64;
+        // Tagged: the delivery acknowledgment advances `committed_reads`
+        // (see `handle_red_commit`), which the write-after-read barrier
+        // waits on.
+        let tag = self.tag(TagKind::RedCommit {
+            reads: red.read_progress,
+        });
         out.push(FabricOp::WriteCompute {
             offset: RED_OFFSET,
             data,
+            tag,
         });
+    }
+
+    /// Advance the committed floor past every leading ring entry whose
+    /// request has completed. The floor is the longest ring prefix with no
+    /// incomplete entry — an incomplete entry blocks completed stragglers
+    /// behind it on purpose, because rewinding is only safe to a prefix.
+    fn advance_floor(&mut self) {
+        while let Some(&(rw, seq)) = self.inflight_entries.front() {
+            let done = match rw {
+                RwType::Read => seq <= self.read_progress,
+                RwType::Write => seq <= self.write_progress,
+                RwType::Invalid => true,
+            };
+            if !done {
+                break;
+            }
+            match rw {
+                RwType::Read => self.floor_reads = seq,
+                RwType::Write => self.floor_writes = seq,
+                RwType::Invalid => {}
+            }
+            self.floor_idx += 1;
+            self.inflight_entries.pop_front();
+        }
     }
 
     /// Go-Back-N restart (paper §5.3): after a detected loss, the driver
@@ -563,29 +866,104 @@ impl EngineCore {
         self.pending.clear();
         self.batch.clear();
         self.gate.clear();
+        // Barrier state: held payloads and tracked reads are re-derived by
+        // the replay; `committed_reads` survives — acknowledged red blocks
+        // stay delivered no matter what was lost afterwards.
+        self.held_writes.clear();
+        self.uncommitted_reads.clear();
         self.pool_reads_in_flight = 0;
         self.probe_outstanding = false;
-        // Re-fetch everything not yet completed. Sequence counters rewind to
-        // the committed progress so re-parsed requests get the same seqs.
-        self.fetch_cursor = self.meta_head;
-        self.next_read_seq = self.read_progress;
-        self.next_write_seq = self.write_progress;
-        // NOTE: requests whose metadata was consumed (meta_head advanced)
-        // but not completed are re-fetched only if the client has not reused
-        // the slots; Cowbird's ring discipline guarantees slots live until
-        // completion, so rewinding meta_head is safe:
-        self.meta_head = self
-            .meta_head
-            .min(self.completed_entry_floor());
-        self.fetch_cursor = self.meta_head;
+        self.advance_floor();
+        self.inflight_entries.clear();
+        self.rewind_to_floor();
+    }
+
+    /// Rewind every cursor to the committed floor. Entries above the floor
+    /// (including completed stragglers stranded behind an incomplete one by
+    /// cross-type reordering) are re-fetched: the client never reuses a slot
+    /// above the floor, so the re-fetch sees the original bytes, re-derives
+    /// the original seqs, and `drain_pending` skips anything the progress
+    /// counters already cover. (An earlier floor of `read_progress +
+    /// write_progress` — a completed-request *count* — was wrong exactly in
+    /// that straggler case: it could rewind past an incomplete entry.)
+    fn rewind_to_floor(&mut self) {
+        self.meta_head = self.floor_idx;
+        self.fetch_cursor = self.floor_idx;
+        self.probed_tail = self.floor_idx;
+        self.parse_cursor = self.floor_idx;
+        self.next_read_seq = self.floor_reads;
+        self.next_write_seq = self.floor_writes;
+        self.batch_last_seq = self.read_progress;
         self.red_dirty = true;
     }
 
-    /// Entries known complete (both types): a floor for safe head rewind.
-    fn completed_entry_floor(&self) -> u64 {
-        // Conservative: total completed requests is exactly the number of
-        // consumed entries that finished.
-        self.read_progress + self.write_progress
+    /// Standby takeover: adopt a channel from the predecessor's last
+    /// committed red block, as read back from the client region. Rewinds to
+    /// the persisted floor and runs at `predecessor_epoch + 1`, so the first
+    /// red publish simultaneously announces the takeover to the client and
+    /// out-epochs any zombie still writing. Returns the new epoch, or `None`
+    /// if `red_bytes` is not a full red block.
+    pub fn adopt_from_red(&mut self, red_bytes: &[u8]) -> Option<u64> {
+        let red = RedBlock::decode(red_bytes)?;
+        self.read_progress = red.read_progress;
+        self.write_progress = red.write_progress;
+        self.floor_idx = red.floor_idx;
+        self.floor_reads = red.floor_reads;
+        self.floor_writes = red.floor_writes;
+        self.epoch = red.engine_epoch + 1;
+        self.fenced = false;
+        self.fence_epoch = 0;
+        self.tags.clear();
+        self.pending.clear();
+        self.batch.clear();
+        self.gate.clear();
+        self.held_writes.clear();
+        self.uncommitted_reads.clear();
+        // The adopted red block came *from* client memory: its progress is
+        // durable by construction.
+        self.committed_reads = red.read_progress;
+        self.inflight_entries.clear();
+        self.pool_reads_in_flight = 0;
+        self.probe_outstanding = false;
+        self.rewind_to_floor();
+        self.stats.adoptions += 1;
+        Some(self.epoch)
+    }
+
+    /// Force a red-block publish (used by a standby right after adoption so
+    /// the client observes the new epoch without waiting for request
+    /// traffic). Emits nothing once fenced.
+    pub fn red_update(&mut self) -> Vec<FabricOp> {
+        if self.fenced {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.red_dirty = true;
+        self.flush_red(&mut out);
+        out
+    }
+
+    /// This engine's epoch (published in every red block).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Has a client fence above this engine's epoch been observed?
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// [`WaitError::StaleEpoch`] once fenced — drivers surface this to
+    /// their owner instead of continuing to run the channel.
+    pub fn check_fenced(&self) -> Result<(), WaitError> {
+        if self.fenced {
+            Err(WaitError::StaleEpoch {
+                engine: self.epoch,
+                fence: self.fence_epoch,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// Current progress counters (test/inspection hook).
@@ -620,8 +998,13 @@ mod tests {
                             let data = self.compute.read_vec(offset, len as usize).unwrap();
                             next.extend(core.on_data(tag, &data));
                         }
-                        FabricOp::WriteCompute { offset, data } => {
+                        FabricOp::WriteCompute { offset, data, tag } => {
                             self.compute.write(offset, &data).unwrap();
+                            // Synchronous fabric: delivery acknowledgments
+                            // are immediate.
+                            if tag != 0 {
+                                next.extend(core.on_data(tag, &[]));
+                            }
                         }
                         FabricOp::ReadPool { addr, len, tag, .. } => {
                             let data = self.pool.read_vec(addr, len as usize).unwrap();
@@ -698,6 +1081,43 @@ mod tests {
     }
 
     #[test]
+    fn write_after_read_same_address_held_until_read_commit() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.pool.write(0, b"OLD!").unwrap();
+        let r = ch.async_read(1, 0, 4).unwrap();
+        let w = ch.async_write(1, 0, b"NEW!").unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(r.id));
+        assert!(ch.is_complete(w));
+        assert_eq!(ch.take_response(&r).unwrap(), b"OLD!");
+        assert_eq!(driver.pool.read_vec(0, 4).unwrap(), b"NEW!");
+        // The pool write waited for the read's red commit: had the engine
+        // crashed in between, a standby rewinding to the red block would
+        // have re-executed the read against the overwritten pool.
+        assert_eq!(core.stats.writes_held, 1);
+    }
+
+    #[test]
+    fn p4_holds_any_write_behind_uncommitted_reads_spot_only_overlaps() {
+        // Spot range-matches: a non-overlapping write is not deferred.
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        let _r = ch.async_read(1, 0, 4).unwrap();
+        let w = ch.async_write(1, 512, b"far").unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(w));
+        assert_eq!(core.stats.writes_held, 0);
+
+        // P4 cannot range-match: every write waits for the reads parsed
+        // before it to commit.
+        let (mut ch, mut core, driver) = setup(EngineVariant::P4, 1);
+        let _r = ch.async_read(1, 0, 4).unwrap();
+        let w = ch.async_write(1, 512, b"far").unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(w));
+        assert_eq!(core.stats.writes_held, 1);
+    }
+
+    #[test]
     fn read_after_write_same_address_sees_new_data() {
         let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
         driver.pool.write(0, b"OLD!").unwrap();
@@ -725,7 +1145,10 @@ mod tests {
         for (i, h) in handles.iter().enumerate() {
             assert!(ch.is_complete(h.id));
             let data = ch.take_response(h).unwrap();
-            assert_eq!(u64::from_le_bytes(data.as_slice().try_into().unwrap()), i as u64);
+            assert_eq!(
+                u64::from_le_bytes(data.as_slice().try_into().unwrap()),
+                i as u64
+            );
         }
     }
 
@@ -745,7 +1168,9 @@ mod tests {
         let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 4);
         for round in 0..5000u64 {
             let h = ch.async_read(1, (round % 100) * 8, 8).unwrap();
-            let w = ch.async_write(1, (round % 100) * 8, &round.to_le_bytes()).unwrap();
+            let w = ch
+                .async_write(1, (round % 100) * 8, &round.to_le_bytes())
+                .unwrap();
             driver.probe(&mut core);
             assert!(ch.is_complete(h.id), "round {round}");
             assert!(ch.is_complete(w), "round {round}");
@@ -787,7 +1212,10 @@ mod tests {
             driver.probe(&mut core);
             assert!(ch.is_complete(h.id));
             assert_eq!(ch.take_response(&h).unwrap(), b"AAAAAAAA");
-            assert!(core.stats.reads_paused > 0, "{variant:?} must gate the overlap");
+            assert!(
+                core.stats.reads_paused > 0,
+                "{variant:?} must gate the overlap"
+            );
         }
     }
 
@@ -837,6 +1265,118 @@ mod tests {
         assert_eq!(ch.take_response(&h2).unwrap(), b"BBBBBBBB");
         assert_eq!(ch.take_response(&h3).unwrap(), b"CCCCCCCC");
         let _ = h1;
+    }
+
+    /// Run `core` up to the point where the read's pool data has landed but
+    /// the write payload is still "in flight": ring order is W1 then R1, so
+    /// read_progress = 1 strands a completed straggler behind the
+    /// incomplete write. Returns with `core.progress() == (1, 0)`.
+    fn run_to_straggler(core: &mut EngineCore, driver: &LoopDriver) {
+        let ops = core.on_probe_due();
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let green = driver.compute.read_vec(offset, len as usize).unwrap();
+        let ops = core.on_data(tag, &green);
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let meta = driver.compute.read_vec(offset, len as usize).unwrap();
+        let ops = core.on_data(tag, &meta);
+        // ops[0] fetches the write payload, ops[1] the read's pool data.
+        // Deliver only the latter.
+        let FabricOp::ReadPool { addr, len, tag, .. } = ops[1].clone() else {
+            panic!()
+        };
+        let data = driver.pool.read_vec(addr, len as usize).unwrap();
+        let ops = core.on_data(tag, &data);
+        driver.run(core, ops);
+        assert_eq!(core.progress(), (1, 0));
+    }
+
+    #[test]
+    fn floor_blocks_rewind_past_incomplete_entry() {
+        // Cross-type completion reorder: the read (ring entry 1) completes
+        // while the write (ring entry 0) is still in flight. The committed
+        // floor must stay at entry 0 — a completed-request *count* would
+        // say 1 and rewind past the incomplete write, losing it.
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 1);
+        driver.pool.write(64, b"RRRRRRRR").unwrap();
+        let w = ch.async_write(1, 0, b"WWWWWWWW").unwrap();
+        let r = ch.async_read(1, 64, 8).unwrap();
+        run_to_straggler(&mut core, &driver);
+        assert!(ch.is_complete(r.id));
+        assert!(!ch.is_complete(w));
+
+        // The write payload is lost: Go-Back-N restart.
+        core.reset_to_committed();
+        driver.probe(&mut core);
+        assert_eq!(core.progress(), (1, 1));
+        assert!(ch.is_complete(w));
+        assert_eq!(driver.pool.read_vec(0, 8).unwrap(), b"WWWWWWWW");
+        assert_eq!(ch.take_response(&r).unwrap(), b"RRRRRRRR");
+        // The completed read was re-parsed and skipped, not re-executed.
+        assert_eq!(core.stats.replay_skipped, 1);
+        assert_eq!(core.stats.pool_reads, 1);
+    }
+
+    #[test]
+    fn standby_adopts_channel_and_resumes_exactly_once() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 1);
+        driver.pool.write(64, b"RRRRRRRR").unwrap();
+        let w = ch.async_write(1, 0, b"WWWWWWWW").unwrap();
+        let r = ch.async_read(1, 64, 8).unwrap();
+        run_to_straggler(&mut core, &driver);
+
+        // The primary dies mid-write. The client fences its epoch, then a
+        // standby adopts the channel from the persisted red block.
+        assert_eq!(ch.fence_engine(), 1);
+        let mut standby = EngineCore::new(core.config().clone());
+        let red = driver
+            .compute
+            .read_vec(RED_OFFSET, cowbird::layout::RED_LEN as usize)
+            .unwrap();
+        assert_eq!(standby.adopt_from_red(&red), Some(1));
+        assert_eq!(standby.epoch(), 1);
+        assert_eq!(standby.stats.adoptions, 1);
+        let ops = standby.red_update();
+        driver.run(&mut standby, ops);
+        driver.probe(&mut standby);
+        assert_eq!(standby.progress(), (1, 1));
+        assert!(ch.is_complete(w));
+        assert!(ch.is_complete(r.id));
+        assert_eq!(ch.take_response(&r).unwrap(), b"RRRRRRRR");
+        assert_eq!(driver.pool.read_vec(0, 8).unwrap(), b"WWWWWWWW");
+        // The read that completed under the primary was skipped on replay.
+        assert_eq!(standby.stats.replay_skipped, 1);
+        // The client fenced this epoch itself, so the standby's red writes
+        // arrive at exactly the fence epoch — accepted, and not counted as
+        // a surprise takeover.
+        assert_eq!(ch.engine_epoch(), 1);
+        assert_eq!(ch.stats.fences, 1);
+        assert_eq!(ch.stats.engine_takeovers, 0);
+        assert_eq!(ch.stats.stale_red_ignored, 0);
+
+        // The zombie primary fences itself on its next probe and goes
+        // silent: no fabric ops, ever again.
+        let ops = core.on_probe_due();
+        assert_eq!(ops.len(), 1);
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let green = driver.compute.read_vec(offset, len as usize).unwrap();
+        assert!(core.on_data(tag, &green).is_empty());
+        assert!(core.is_fenced());
+        assert!(core.stats.fenced);
+        assert_eq!(
+            core.check_fenced(),
+            Err(WaitError::StaleEpoch {
+                engine: 0,
+                fence: 1
+            })
+        );
+        assert!(core.on_probe_due().is_empty());
+        assert!(core.red_update().is_empty());
     }
 
     #[test]

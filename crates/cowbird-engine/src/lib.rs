@@ -29,4 +29,4 @@ pub mod spot;
 
 pub use crate::core::{EngineConfig, EngineCore, EngineStats, EngineVariant, FabricOp};
 pub use crate::sim::{EngineNode, PoolNode};
-pub use crate::spot::SpotAgent;
+pub use crate::spot::{PreemptionNotice, SpotAgent};

@@ -271,7 +271,13 @@ pub mod recycle {
         data.extend_from_slice(&meta_head.to_le_bytes());
         data.extend_from_slice(&write_progress.to_le_bytes());
         data.extend_from_slice(&read_progress.to_le_bytes());
-        Some(RocePacket::write_only(dst_qp, psn, red_vaddr, channel_rkey, data))
+        Some(RocePacket::write_only(
+            dst_qp,
+            psn,
+            red_vaddr,
+            channel_rkey,
+            data,
+        ))
     }
 }
 
@@ -303,9 +309,12 @@ impl P4DataPlane {
     /// the register updated — a single sALU max-exchange at stage 3.
     pub fn probe_advance(&mut self, instance: u32, meta_tail: u64) -> u64 {
         self.regs.begin_traversal();
-        let prev = self
-            .regs
-            .salu(3, "seen_meta_tail", instance as usize, SaluOp::Max(meta_tail));
+        let prev = self.regs.salu(
+            3,
+            "seen_meta_tail",
+            instance as usize,
+            SaluOp::Max(meta_tail),
+        );
         meta_tail.saturating_sub(prev)
     }
 
@@ -335,7 +344,8 @@ impl P4DataPlane {
     /// Go-Back-N (§5.3): reset the local head pointer so the Probe phase
     /// re-executes from the last committed point (control-plane assisted).
     pub fn gbn_reset(&mut self, instance: u32, committed_head: u64) {
-        self.regs.cp_write("meta_head", instance as usize, committed_head);
+        self.regs
+            .cp_write("meta_head", instance as usize, committed_head);
         self.regs
             .cp_write("seen_meta_tail", instance as usize, committed_head);
         self.regs.cp_write("writes_in_flight", instance as usize, 0);
@@ -360,7 +370,11 @@ mod tests {
         assert_eq!(u.stages, 12);
         assert_eq!(u.vliw_instrs, 38);
         assert_eq!(u.salus, 11);
-        assert!((u.tcam_kb() - 1.25).abs() < 0.2, "TCAM {:.2} KB", u.tcam_kb());
+        assert!(
+            (u.tcam_kb() - 1.25).abs() < 0.2,
+            "TCAM {:.2} KB",
+            u.tcam_kb()
+        );
         assert!(
             u.sram_kb() > 1000.0 && u.sram_kb() < 2000.0,
             "SRAM {:.0} KB",
@@ -376,8 +390,7 @@ mod tests {
             aeth: Some(Aeth::ack(1)),
             payload: vec![0u8; 24],
         };
-        let req =
-            recycle::probe_response_to_meta_fetch(&probe_resp, 30, 11, 128, 5, 64).unwrap();
+        let req = recycle::probe_response_to_meta_fetch(&probe_resp, 30, 11, 128, 5, 64).unwrap();
         assert_eq!(req.bth.opcode, Opcode::ReadRequest);
         assert!(req.aeth.is_none(), "AETH removed");
         let reth = req.reth.unwrap();
@@ -400,7 +413,11 @@ mod tests {
             let resp = RocePacket {
                 bth: Bth::new(resp_op, 7, 9),
                 reth: None,
-                aeth: if resp_op.has_aeth() { Some(Aeth::ack(1)) } else { None },
+                aeth: if resp_op.has_aeth() {
+                    Some(Aeth::ack(1))
+                } else {
+                    None
+                },
                 payload: vec![0xAB; 256],
             };
             let w = recycle::read_response_to_write(&resp, 40, 21, 0x9000, 6, 2048).unwrap();

@@ -25,6 +25,8 @@ use crate::core::{EngineConfig, EngineCore, FabricOp};
 
 /// Timer tags.
 const TAG_NIC_TICK: u64 = u64::MAX;
+/// Standby activation timers: `TAG_ACTIVATE_BASE + instance index`.
+const TAG_ACTIVATE_BASE: u64 = 1 << 32;
 // Probe timers use the instance index directly.
 
 /// One Cowbird instance hosted on the engine.
@@ -44,6 +46,11 @@ struct Instance {
     pool_qpn: QpNum,
     /// rkey of the channel region on the compute node's NIC.
     channel_rkey: Rkey,
+    /// A dormant standby neither probes nor serves; it flips active after
+    /// adopting the channel from the predecessor's red block.
+    active: bool,
+    /// When a standby wakes up and begins the takeover (from sim start).
+    activate_after: Option<Duration>,
 }
 
 struct PendingRead {
@@ -52,6 +59,9 @@ struct PendingRead {
     scratch_off: u64,
     len: u32,
     probe_like: bool,
+    /// This read fetched the predecessor's red block for a standby
+    /// takeover; its completion feeds `adopt_from_red`, not `on_data`.
+    adopt: bool,
 }
 
 /// The offload engine as a simulation node (works for both variants; the
@@ -63,6 +73,9 @@ pub struct EngineNode {
     scratch_cursor: u64,
     instances: Vec<Instance>,
     pending: HashMap<u64, PendingRead>,
+    /// Tagged writes (red-block publishes) whose delivery acknowledgment
+    /// the core wants back: wr_id -> (instance, tag).
+    pending_writes: HashMap<u64, (usize, u64)>,
     next_wr: u64,
     /// Priority of probe packets (lowest by default, per §5.2).
     pub probe_prio: u8,
@@ -89,6 +102,7 @@ impl EngineNode {
             scratch_cursor: 0,
             instances: Vec::new(),
             pending: HashMap::new(),
+            pending_writes: HashMap::new(),
             next_wr: 1,
             probe_prio: 7,
             data_prio: 1,
@@ -109,6 +123,35 @@ impl EngineNode {
         qpns: (QpNum, QpNum, QpNum, QpNum, QpNum, QpNum),
         channel_rkey: Rkey,
     ) -> usize {
+        self.add_instance_inner(cfg, compute, pool, qpns, channel_rkey, None)
+    }
+
+    /// Register a standby instance: dormant until `activate_after` (from
+    /// sim start), then it reads the predecessor's red block, adopts the
+    /// channel ([`EngineCore::adopt_from_red`]), publishes the bumped epoch,
+    /// and starts probing. Failover experiments schedule the activation
+    /// just after the fault script kills the primary.
+    pub fn add_standby_instance(
+        &mut self,
+        cfg: EngineConfig,
+        compute: NodeId,
+        pool: NodeId,
+        qpns: (QpNum, QpNum, QpNum, QpNum, QpNum, QpNum),
+        channel_rkey: Rkey,
+        activate_after: Duration,
+    ) -> usize {
+        self.add_instance_inner(cfg, compute, pool, qpns, channel_rkey, Some(activate_after))
+    }
+
+    fn add_instance_inner(
+        &mut self,
+        cfg: EngineConfig,
+        compute: NodeId,
+        pool: NodeId,
+        qpns: (QpNum, QpNum, QpNum, QpNum, QpNum, QpNum),
+        channel_rkey: Rkey,
+        activate_after: Option<Duration>,
+    ) -> usize {
         let (lc, rc, lp, rp, lprobe, rprobe) = qpns;
         self.nic.create_qp(QpConfig::new(lc, rc), compute);
         self.nic.create_qp(QpConfig::new(lp, rp), pool);
@@ -119,6 +162,8 @@ impl EngineNode {
             probe_qpn: lprobe,
             pool_qpn: lp,
             channel_rkey,
+            active: activate_after.is_none(),
+            activate_after,
         });
         self.instances.len() - 1
     }
@@ -159,7 +204,11 @@ impl EngineNode {
                     // it travels on the dedicated low-priority probe QP.
                     let probe_like = offset == cowbird::layout::GREEN_OFFSET
                         && len == cowbird::layout::GREEN_LEN as u32;
-                    let qpn = if probe_like { inst.probe_qpn } else { inst.compute_qpn };
+                    let qpn = if probe_like {
+                        inst.probe_qpn
+                    } else {
+                        inst.compute_qpn
+                    };
                     let rkey = inst.channel_rkey;
                     self.post_read(instance, qpn, rkey, offset, len, tag, probe_like, ctx);
                 }
@@ -172,15 +221,15 @@ impl EngineNode {
                     let qpn = self.instances[instance].pool_qpn;
                     self.post_read(instance, qpn, rkey, addr, len, tag, false, ctx);
                 }
-                FabricOp::WriteCompute { offset, data } => {
+                FabricOp::WriteCompute { offset, data, tag } => {
                     let inst = &self.instances[instance];
                     let qpn = inst.compute_qpn;
                     let rkey = inst.channel_rkey;
-                    self.post_write(qpn, rkey, offset, data, ctx);
+                    self.post_write(instance, qpn, rkey, offset, data, tag, ctx);
                 }
                 FabricOp::WritePool { rkey, addr, data } => {
                     let qpn = self.instances[instance].pool_qpn;
-                    self.post_write(qpn, rkey, addr, data, ctx);
+                    self.post_write(instance, qpn, rkey, addr, data, 0, ctx);
                 }
             }
         }
@@ -209,6 +258,7 @@ impl EngineNode {
                 scratch_off,
                 len,
                 probe_like,
+                adopt: false,
             },
         );
         let wr = WorkRequest {
@@ -221,7 +271,11 @@ impl EngineNode {
                 len,
             },
         };
-        let prio = if probe_like { self.probe_prio } else { self.data_prio };
+        let prio = if probe_like {
+            self.probe_prio
+        } else {
+            self.data_prio
+        };
         match self.nic.post(qpn, wr, ctx.now()) {
             Ok(pkts) => {
                 for (dst, roce) in pkts {
@@ -232,9 +286,22 @@ impl EngineNode {
         }
     }
 
-    fn post_write(&mut self, qpn: QpNum, rkey: Rkey, addr: u64, data: Vec<u8>, ctx: &mut Ctx) {
+    #[allow(clippy::too_many_arguments)]
+    fn post_write(
+        &mut self,
+        instance: usize,
+        qpn: QpNum,
+        rkey: Rkey,
+        addr: u64,
+        data: Vec<u8>,
+        tag: u64,
+        ctx: &mut Ctx,
+    ) {
         let wr_id = self.next_wr;
         self.next_wr += 1;
+        if tag != 0 {
+            self.pending_writes.insert(wr_id, (instance, tag));
+        }
         let wr = WorkRequest {
             wr_id,
             op: WrOp::WriteInline {
@@ -253,6 +320,45 @@ impl EngineNode {
         }
     }
 
+    /// Kick off a standby takeover: read the predecessor's red block from
+    /// the channel region.
+    fn post_adopt_read(&mut self, instance: usize, ctx: &mut Ctx) {
+        let len = cowbird::layout::RED_LEN as u32;
+        let scratch_off = self.alloc_scratch(len);
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        self.pending.insert(
+            wr_id,
+            PendingRead {
+                instance,
+                tag: 0,
+                scratch_off,
+                len,
+                probe_like: false,
+                adopt: true,
+            },
+        );
+        let inst = &self.instances[instance];
+        let wr = WorkRequest {
+            wr_id,
+            op: WrOp::Read {
+                local_rkey: self.scratch_lkey,
+                local_addr: scratch_off,
+                remote_addr: cowbird::layout::RED_OFFSET,
+                remote_rkey: inst.channel_rkey,
+                len,
+            },
+        };
+        match self.nic.post(inst.compute_qpn, wr, ctx.now()) {
+            Ok(pkts) => {
+                for (dst, roce) in pkts {
+                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                }
+            }
+            Err(e) => panic!("standby adopt read failed: {e}"),
+        }
+    }
+
     fn drain_completions(&mut self, ctx: &mut Ctx) {
         loop {
             let completions = self.nic.poll(64);
@@ -260,6 +366,21 @@ impl EngineNode {
                 break;
             }
             for c in completions {
+                if c.kind == WrKind::Write {
+                    let Some((instance, tag)) = self.pending_writes.remove(&c.wr_id) else {
+                        continue;
+                    };
+                    if c.is_ok() {
+                        // Red-block delivery acknowledgment: feed it back so
+                        // the core's write-after-read barrier can advance.
+                        let ops = self.instances[instance].core.on_data(tag, &[]);
+                        self.exec_ops(instance, ops, ctx);
+                    } else {
+                        // The tracked publish was lost: Go-Back-N restart.
+                        self.instances[instance].core.reset_to_committed();
+                    }
+                    continue;
+                }
                 if c.kind != WrKind::Read {
                     continue;
                 }
@@ -267,14 +388,31 @@ impl EngineNode {
                     continue;
                 };
                 if !c.is_ok() {
-                    // Treat like a loss: Go-Back-N restart of the instance.
-                    self.instances[p.instance].core.reset_to_committed();
+                    if p.adopt {
+                        // The takeover read itself was lost: retry it.
+                        self.post_adopt_read(p.instance, ctx);
+                    } else {
+                        // Treat like a loss: Go-Back-N restart.
+                        self.instances[p.instance].core.reset_to_committed();
+                    }
                     continue;
                 }
                 let data = self
                     .scratch
                     .read_vec(p.scratch_off, p.len as usize)
                     .expect("scratch read");
+                if p.adopt {
+                    let inst = &mut self.instances[p.instance];
+                    if inst.core.adopt_from_red(&data).is_some() {
+                        inst.active = true;
+                        // Publish the bumped epoch, then start probing.
+                        let ops = inst.core.red_update();
+                        let d = inst.core.probe_interval();
+                        self.exec_ops(p.instance, ops, ctx);
+                        ctx.set_timer(d, p.instance as u64);
+                    }
+                    continue;
+                }
                 let ops = self.instances[p.instance].core.on_data(p.tag, &data);
                 let _ = p.probe_like;
                 self.exec_ops(p.instance, ops, ctx);
@@ -286,6 +424,11 @@ impl EngineNode {
 impl Node for EngineNode {
     fn on_start(&mut self, ctx: &mut Ctx) {
         for i in 0..self.instances.len() {
+            if let Some(after) = self.instances[i].activate_after {
+                // Standby: wake up later and begin the takeover.
+                ctx.set_timer(after, TAG_ACTIVATE_BASE + i as u64);
+                continue;
+            }
             // Stagger probe start per instance (round-robin TDM, §5.4).
             let d = self.instances[i].core.probe_interval();
             ctx.set_timer(d * (i as u64 + 1) / (self.instances.len() as u64), i as u64);
@@ -309,8 +452,15 @@ impl Node for EngineNode {
             ctx.set_timer(self.nic_tick, TAG_NIC_TICK);
             return;
         }
+        if tag >= TAG_ACTIVATE_BASE {
+            let i = (tag - TAG_ACTIVATE_BASE) as usize;
+            if i < self.instances.len() && !self.instances[i].active {
+                self.post_adopt_read(i, ctx);
+            }
+            return;
+        }
         let i = tag as usize;
-        if i < self.instances.len() {
+        if i < self.instances.len() && self.instances[i].active {
             let ops = self.instances[i].core.on_probe_due();
             self.exec_ops(i, ops, ctx);
             let d = self.instances[i].core.next_probe_interval();
@@ -466,8 +616,7 @@ mod tests {
 
         let mut engine = EngineNode::new();
         engine.add_instance(
-            EngineConfig::spot(layout, regions, 16)
-                .with_probe_interval(Duration::from_micros(2)),
+            EngineConfig::spot(layout, regions, 16).with_probe_interval(Duration::from_micros(2)),
             compute_id,
             pool_id,
             (101, 301, 102, 201, 103, 302),

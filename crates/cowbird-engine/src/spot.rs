@@ -12,12 +12,32 @@
 //! through host-level RDMA work requests, and batches read responses
 //! (`BATCH_SIZE`) before writing them back "to reduce the load on the
 //! compute node and its network interface card" and its own verb count.
+//!
+//! ## Spot-instance failover
+//!
+//! Spot VMs get revoked. The agent models the full lifecycle:
+//!
+//! * [`SpotAgent::preemption_notice`] delivers the cloud's "two-minute
+//!   warning": the agent drains — finishes everything it has accepted,
+//!   publishes a final red block, and exits cleanly.
+//! * [`SpotAgent::kill`] is revocation without warning (or a crash): the
+//!   thread abandons in-flight work. The client detects the stall
+//!   ([`cowbird::error::WaitError::EngineStalled`]), fences the epoch, and
+//!   attaches a standby.
+//! * [`SpotAgent::spawn_standby`] starts an agent that first reads the
+//!   predecessor's red block from the channel region, adopts its committed
+//!   state ([`EngineCore::adopt_from_red`]), publishes the bumped epoch, and
+//!   resumes the normal loop.
+//! * A zombie predecessor that was merely frozen (not dead) fences itself
+//!   the first time a probe shows the client's fence word above its epoch,
+//!   and exits with [`EngineStats::fenced`] set.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use cowbird::layout::{RED_LEN, RED_OFFSET};
 use rdma::emu::EmuNic;
 use rdma::mem::{Region, Rkey};
 use rdma::qp::QpNum;
@@ -25,10 +45,41 @@ use rdma::verbs::{WorkRequest, WrKind, WrOp};
 
 use crate::core::{EngineConfig, EngineCore, EngineStats, FabricOp};
 
+/// Lifecycle signals shared between a [`SpotAgent`] and its thread.
+#[derive(Default)]
+struct Flags {
+    /// Graceful stop: exit at the next round boundary.
+    stop: AtomicBool,
+    /// Abrupt revocation: exit immediately, abandoning in-flight work.
+    kill: AtomicBool,
+    /// Preemption notice received: finish accepted work, then exit.
+    drain: AtomicBool,
+    /// Freeze without exiting (a "zombie": alive but making no progress).
+    pause: AtomicBool,
+    /// Set by the thread while it is actually parked in the pause loop, so
+    /// callers can wait for the freeze to take effect deterministically.
+    parked: AtomicBool,
+}
+
 /// A running Cowbird-Spot agent; stops and joins on drop.
 pub struct SpotAgent {
-    stop: Arc<AtomicBool>,
+    flags: Arc<Flags>,
     handle: Option<JoinHandle<EngineStats>>,
+}
+
+/// Handle for delivering a spot preemption notice — the cloud's
+/// "two-minute warning" — to a running agent from any thread.
+#[derive(Clone)]
+pub struct PreemptionNotice {
+    flags: Arc<Flags>,
+}
+
+impl PreemptionNotice {
+    /// Deliver the warning: the agent finishes every request it has
+    /// accepted, publishes a final red block, and exits.
+    pub fn deliver(&self) {
+        self.flags.drain.store(true, Ordering::Release);
+    }
 }
 
 /// Wiring the agent needs (established during the Setup phase).
@@ -47,21 +98,84 @@ pub struct SpotWiring {
 impl SpotAgent {
     /// Start the agent thread for one channel.
     pub fn spawn(wiring: SpotWiring, cfg: EngineConfig) -> SpotAgent {
-        let stop = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&stop);
+        SpotAgent::spawn_inner(wiring, cfg, false)
+    }
+
+    /// Start a standby agent that adopts the channel from the predecessor's
+    /// red block before serving it. The caller should have fenced the old
+    /// epoch ([`cowbird::channel::Channel::fence_engine`]) first; the
+    /// standby's first red publish then lands at exactly the fence epoch.
+    pub fn spawn_standby(wiring: SpotWiring, cfg: EngineConfig) -> SpotAgent {
+        SpotAgent::spawn_inner(wiring, cfg, true)
+    }
+
+    fn spawn_inner(wiring: SpotWiring, cfg: EngineConfig, adopt: bool) -> SpotAgent {
+        let flags = Arc::new(Flags::default());
+        let thread_flags = Arc::clone(&flags);
+        let name = if adopt {
+            "cowbird-spot-standby"
+        } else {
+            "cowbird-spot-agent"
+        };
         let handle = std::thread::Builder::new()
-            .name("cowbird-spot-agent".into())
-            .spawn(move || agent_loop(wiring, cfg, flag))
+            .name(name.into())
+            .spawn(move || agent_loop(wiring, cfg, thread_flags, adopt))
             .expect("spawn spot agent");
         SpotAgent {
-            stop,
+            flags,
             handle: Some(handle),
         }
     }
 
-    /// Stop the agent and return its final statistics.
+    /// Stop the agent at the next round boundary and return its final
+    /// statistics.
     pub fn stop(mut self) -> EngineStats {
-        self.stop.store(true, Ordering::Release);
+        self.flags.stop.store(true, Ordering::Release);
+        self.join_inner()
+    }
+
+    /// Revoke the agent without warning (crash / spot revocation): it exits
+    /// as soon as it observes the flag, abandoning in-flight work and
+    /// leaving the red block wherever the last completed round put it.
+    pub fn kill(mut self) -> EngineStats {
+        self.flags.kill.store(true, Ordering::Release);
+        self.join_inner()
+    }
+
+    /// A handle for delivering the preemption "two-minute warning".
+    pub fn preemption_notice(&self) -> PreemptionNotice {
+        PreemptionNotice {
+            flags: Arc::clone(&self.flags),
+        }
+    }
+
+    /// Freeze (`true`) or thaw (`false`) the agent between rounds. A frozen
+    /// agent is the deterministic model of a zombie: still holding its QPs,
+    /// making no progress, and due for an epoch fence when it wakes.
+    pub fn set_paused(&self, paused: bool) {
+        self.flags.pause.store(paused, Ordering::Release);
+    }
+
+    /// Is the agent currently parked in the pause loop? (Pausing takes
+    /// effect at the next round boundary; poll this to know the freeze has
+    /// landed before acting on it.)
+    pub fn is_parked(&self) -> bool {
+        self.flags.parked.load(Ordering::Acquire)
+    }
+
+    /// Has the agent thread exited (drained after a preemption notice,
+    /// fenced, or stopped)?
+    pub fn is_finished(&self) -> bool {
+        self.handle.as_ref().is_none_or(|h| h.is_finished())
+    }
+
+    /// Wait for the agent to exit on its own (after a preemption notice or
+    /// an epoch fence) and return its final statistics.
+    pub fn join(mut self) -> EngineStats {
+        self.join_inner()
+    }
+
+    fn join_inner(&mut self) -> EngineStats {
         self.handle
             .take()
             .expect("already stopped")
@@ -72,7 +186,8 @@ impl SpotAgent {
 
 impl Drop for SpotAgent {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.flags.stop.store(true, Ordering::Release);
+        self.flags.pause.store(false, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -85,7 +200,12 @@ struct Pending {
     len: u32,
 }
 
-fn agent_loop(wiring: SpotWiring, cfg: EngineConfig, stop: Arc<AtomicBool>) -> EngineStats {
+fn agent_loop(
+    wiring: SpotWiring,
+    cfg: EngineConfig,
+    flags: Arc<Flags>,
+    adopt: bool,
+) -> EngineStats {
     let mut core = EngineCore::new(cfg);
     // Local landing zone for fetched data.
     let scratch = Region::new(8 << 20);
@@ -95,10 +215,10 @@ fn agent_loop(wiring: SpotWiring, cfg: EngineConfig, stop: Arc<AtomicBool>) -> E
     let mut next_wr: u64 = 1;
 
     let exec = |core: &mut EngineCore,
-                    ops: Vec<FabricOp>,
-                    pending: &mut HashMap<u64, Pending>,
-                    scratch_cursor: &mut u64,
-                    next_wr: &mut u64| {
+                ops: Vec<FabricOp>,
+                pending: &mut HashMap<u64, Pending>,
+                scratch_cursor: &mut u64,
+                next_wr: &mut u64| {
         let _ = core;
         for op in ops {
             let (qpn, wr_op, read_info) = match op {
@@ -135,14 +255,16 @@ fn agent_loop(wiring: SpotWiring, cfg: EngineConfig, stop: Arc<AtomicBool>) -> E
                         Some((tag, off, len)),
                     )
                 }
-                FabricOp::WriteCompute { offset, data } => (
+                FabricOp::WriteCompute { offset, data, tag } => (
                     wiring.compute_qpn,
                     WrOp::WriteInline {
                         remote_addr: offset,
                         remote_rkey: wiring.channel_rkey,
                         data,
                     },
-                    None,
+                    // Tagged writes (red publishes) want their delivery
+                    // acknowledgment fed back; len 0 marks "no payload".
+                    (tag != 0).then_some((tag, 0, 0)),
                 ),
                 FabricOp::WritePool { rkey, addr, data } => (
                     wiring.pool_qpn,
@@ -173,14 +295,90 @@ fn agent_loop(wiring: SpotWiring, cfg: EngineConfig, stop: Arc<AtomicBool>) -> E
         }
     };
 
-    while !stop.load(Ordering::Acquire) {
-        // Probe phase.
-        let ops = core.on_probe_due();
-        exec(&mut core, ops, &mut pending, &mut scratch_cursor, &mut next_wr);
+    // Standby path: adopt the predecessor's committed state from the red
+    // block in the channel region before serving anything.
+    if adopt {
+        let off = alloc(&mut scratch_cursor, scratch.len() as u64, RED_LEN as u32);
+        let wr_id = next_wr;
+        next_wr += 1;
+        wiring
+            .nic
+            .post(
+                wiring.compute_qpn,
+                WorkRequest {
+                    wr_id,
+                    op: WrOp::Read {
+                        local_rkey: scratch_lkey,
+                        local_addr: off,
+                        remote_addr: RED_OFFSET,
+                        remote_rkey: wiring.channel_rkey,
+                        len: RED_LEN as u32,
+                    },
+                },
+            )
+            .expect("standby red read");
+        loop {
+            if flags.stop.load(Ordering::Acquire) || flags.kill.load(Ordering::Acquire) {
+                return core.stats;
+            }
+            let completions = wiring.nic.poll(4);
+            if let Some(c) = completions
+                .iter()
+                .find(|c| c.wr_id == wr_id && c.kind == WrKind::Read)
+            {
+                if c.is_ok() {
+                    let red = scratch.read_vec(off, RED_LEN as usize).unwrap();
+                    core.adopt_from_red(&red);
+                }
+                break;
+            }
+            std::thread::yield_now();
+        }
+        // Publish the bumped epoch immediately so the client (and any
+        // zombie predecessor, via its own probe of the fence word) observes
+        // the takeover without waiting for request traffic.
+        let ops = core.red_update();
+        exec(
+            &mut core,
+            ops,
+            &mut pending,
+            &mut scratch_cursor,
+            &mut next_wr,
+        );
+    }
+
+    'outer: while !flags.stop.load(Ordering::Acquire) && !flags.kill.load(Ordering::Acquire) {
+        if flags.pause.load(Ordering::Acquire) {
+            flags.parked.store(true, Ordering::Release);
+            while flags.pause.load(Ordering::Acquire)
+                && !flags.stop.load(Ordering::Acquire)
+                && !flags.kill.load(Ordering::Acquire)
+            {
+                std::thread::yield_now();
+            }
+            flags.parked.store(false, Ordering::Release);
+        }
+        let draining = flags.drain.load(Ordering::Acquire);
+        // While draining we stop soliciting new work — except to kick the
+        // state machine when parsed requests are waiting with nothing in
+        // flight (a probe's completion is what re-runs the pending queue).
+        if !draining || (pending.is_empty() && core.backlog() > 0) {
+            let ops = core.on_probe_due();
+            exec(
+                &mut core,
+                ops,
+                &mut pending,
+                &mut scratch_cursor,
+                &mut next_wr,
+            );
+        }
 
         // Drain completions until the engine goes quiet for this round.
         let mut idle_spins = 0;
         while !pending.is_empty() && idle_spins < 10_000 {
+            if flags.kill.load(Ordering::Acquire) {
+                break 'outer;
+            }
             let completions = wiring.nic.poll(64);
             if completions.is_empty() {
                 idle_spins += 1;
@@ -189,20 +387,41 @@ fn agent_loop(wiring: SpotWiring, cfg: EngineConfig, stop: Arc<AtomicBool>) -> E
             }
             idle_spins = 0;
             for c in completions {
-                if c.kind != WrKind::Read || !c.is_ok() {
-                    if !c.is_ok() {
-                        core.reset_to_committed();
-                        pending.clear();
-                    }
+                if !c.is_ok() {
+                    core.reset_to_committed();
+                    pending.clear();
                     continue;
                 }
                 let Some(p) = pending.remove(&c.wr_id) else {
                     continue;
                 };
-                let data = scratch.read_vec(p.scratch_off, p.len as usize).unwrap();
+                let data = if p.len == 0 {
+                    // A tagged write completed: the acknowledgment carries
+                    // no payload.
+                    Vec::new()
+                } else {
+                    scratch.read_vec(p.scratch_off, p.len as usize).unwrap()
+                };
                 let ops = core.on_data(p.tag, &data);
-                exec(&mut core, ops, &mut pending, &mut scratch_cursor, &mut next_wr);
+                exec(
+                    &mut core,
+                    ops,
+                    &mut pending,
+                    &mut scratch_cursor,
+                    &mut next_wr,
+                );
             }
+        }
+
+        if core.is_fenced() {
+            // A newer epoch owns the channel: exit without touching the
+            // fabric again (EngineStats::fenced is already set).
+            break;
+        }
+        if draining && pending.is_empty() && core.backlog() == 0 {
+            // Preemption notice honored: everything accepted has completed
+            // and the final red block is published.
+            break;
         }
 
         // The paper's prototype probes every 2 us; emulated wall-clock
@@ -227,14 +446,47 @@ fn alloc(cursor: &mut u64, cap: u64, len: u32) -> u64 {
 mod tests {
     use super::*;
     use cowbird::channel::Channel;
+    use cowbird::error::WaitError;
     use cowbird::layout::ChannelLayout;
     use cowbird::poll::PollGroup;
     use cowbird::region::{RegionMap, RemoteRegion};
     use rdma::emu::EmuFabric;
 
-    /// Assemble the full three-party system on the emulated fabric:
-    /// compute NIC, spot engine, memory pool — with real threads everywhere.
-    fn deploy() -> (EmuFabric, Channel, Region, SpotAgent) {
+    /// The full three-party system on the emulated fabric: compute NIC,
+    /// spot engine, memory pool — with real threads everywhere — plus the
+    /// spare parts needed to attach standby engines.
+    struct TestBed {
+        fabric: EmuFabric,
+        ch: Channel,
+        pool_mem: Region,
+        agent: Option<SpotAgent>,
+        compute: rdma::emu::EmuNic,
+        pool: rdma::emu::EmuNic,
+        channel_rkey: Rkey,
+        layout: ChannelLayout,
+        regions: RegionMap,
+    }
+
+    impl TestBed {
+        /// Attach a standby engine on its own NIC (a different VM): fresh
+        /// QPs to the compute node and the pool, adopting the channel.
+        fn standby(&mut self) -> SpotAgent {
+            let nic = self.fabric.add_nic();
+            let (c_qpn, _) = self.fabric.connect(&nic, &self.compute);
+            let (p_qpn, _) = self.fabric.connect(&nic, &self.pool);
+            SpotAgent::spawn_standby(
+                SpotWiring {
+                    nic,
+                    compute_qpn: c_qpn,
+                    pool_qpn: p_qpn,
+                    channel_rkey: self.channel_rkey,
+                },
+                EngineConfig::spot(self.layout, self.regions.clone(), 16),
+            )
+        }
+    }
+
+    fn deploy() -> TestBed {
         let mut fabric = EmuFabric::new();
         let compute = fabric.add_nic();
         let engine = fabric.add_nic();
@@ -269,60 +521,154 @@ mod tests {
                 pool_qpn: eng_p_qpn,
                 channel_rkey,
             },
-            EngineConfig::spot(layout, regions, 16),
+            EngineConfig::spot(layout, regions.clone(), 16),
         );
-        (fabric, ch, pool_mem, agent)
+        TestBed {
+            fabric,
+            ch,
+            pool_mem,
+            agent: Some(agent),
+            compute,
+            pool,
+            channel_rkey,
+            layout,
+            regions,
+        }
     }
 
     #[test]
     fn real_thread_end_to_end_read() {
-        let (_fabric, mut ch, pool_mem, agent) = deploy();
-        pool_mem.write(777, b"threaded!").unwrap();
-        let h = ch.async_read(1, 777, 9).unwrap();
-        assert!(ch.wait(h.id, 50_000_000), "read must complete");
-        assert_eq!(ch.take_response(&h).unwrap(), b"threaded!");
-        let stats = agent.stop();
+        let mut bed = deploy();
+        bed.pool_mem.write(777, b"threaded!").unwrap();
+        let h = bed.ch.async_read(1, 777, 9).unwrap();
+        assert!(bed.ch.wait(h.id, 50_000_000), "read must complete");
+        assert_eq!(bed.ch.take_response(&h).unwrap(), b"threaded!");
+        let stats = bed.agent.take().unwrap().stop();
         assert!(stats.probes_sent > 0);
         assert_eq!(stats.pool_reads, 1);
     }
 
     #[test]
     fn real_thread_end_to_end_write_then_read() {
-        let (_fabric, mut ch, pool_mem, _agent) = deploy();
-        let w = ch.async_write(1, 64, b"ABCD").unwrap();
-        assert!(ch.wait(w, 50_000_000));
-        assert_eq!(pool_mem.read_vec(64, 4).unwrap(), b"ABCD");
+        let mut bed = deploy();
+        let w = bed.ch.async_write(1, 64, b"ABCD").unwrap();
+        assert!(bed.ch.wait(w, 50_000_000));
+        assert_eq!(bed.pool_mem.read_vec(64, 4).unwrap(), b"ABCD");
         // Read it back through Cowbird.
-        let h = ch.async_read(1, 64, 4).unwrap();
-        assert!(ch.wait(h.id, 50_000_000));
-        assert_eq!(ch.take_response(&h).unwrap(), b"ABCD");
+        let h = bed.ch.async_read(1, 64, 4).unwrap();
+        assert!(bed.ch.wait(h.id, 50_000_000));
+        assert_eq!(bed.ch.take_response(&h).unwrap(), b"ABCD");
     }
 
     #[test]
     fn poll_group_collects_batch_completions() {
-        let (_fabric, mut ch, pool_mem, _agent) = deploy();
+        let mut bed = deploy();
         for i in 0..32u64 {
-            pool_mem.write(i * 8, &i.to_le_bytes()).unwrap();
+            bed.pool_mem.write(i * 8, &i.to_le_bytes()).unwrap();
         }
         let mut group = PollGroup::new();
         let handles: Vec<_> = (0..32u64)
             .map(|i| {
-                let h = ch.async_read(1, i * 8, 8).unwrap();
+                let h = bed.ch.async_read(1, i * 8, 8).unwrap();
                 group.add(h.id);
                 h
             })
             .collect();
         let mut done = Vec::new();
         for _ in 0..1000 {
-            done.extend(group.poll_wait(&mut ch, 32 - done.len(), 100_000));
+            match group.poll_wait_timeout(&mut bed.ch, 32 - done.len(), 100_000) {
+                Ok(ids) => done.extend(ids),
+                // A stalled verdict here just means the engine thread was
+                // slow to schedule; keep waiting.
+                Err(WaitError::EngineStalled { .. }) => continue,
+                Err(e) => panic!("unexpected wait error: {e}"),
+            }
             if done.len() == 32 {
                 break;
             }
         }
         assert_eq!(done.len(), 32, "all completions must arrive");
         for (i, h) in handles.iter().enumerate() {
-            let d = ch.take_response(h).unwrap();
-            assert_eq!(u64::from_le_bytes(d.as_slice().try_into().unwrap()), i as u64);
+            let d = bed.ch.take_response(h).unwrap();
+            assert_eq!(
+                u64::from_le_bytes(d.as_slice().try_into().unwrap()),
+                i as u64
+            );
         }
+    }
+
+    #[test]
+    fn preemption_notice_drains_and_standby_takes_over() {
+        let mut bed = deploy();
+        bed.pool_mem.write(0, b"both engines").unwrap();
+        let h1 = bed.ch.async_read(1, 0, 4).unwrap();
+        assert!(bed.ch.wait(h1.id, 50_000_000));
+        assert_eq!(bed.ch.take_response(&h1).unwrap(), b"both");
+
+        // Two-minute warning: the agent finishes what it accepted and
+        // exits on its own.
+        let agent = bed.agent.take().unwrap();
+        agent.preemption_notice().deliver();
+        let stats = agent.join();
+        assert!(!stats.fenced);
+        assert_eq!(stats.pool_reads, 1);
+
+        // Requests issued after the VM is gone stall...
+        let h2 = bed.ch.async_read(1, 5, 7).unwrap();
+        assert!(matches!(
+            bed.ch.wait_timeout(h2.id, 200_000),
+            Err(WaitError::EngineStalled { .. })
+        ));
+        // ...until the client fences the dead epoch and attaches a standby.
+        assert_eq!(bed.ch.fence_engine(), 1);
+        let standby = bed.standby();
+        assert!(bed.ch.wait(h2.id, 50_000_000), "standby must take over");
+        assert_eq!(bed.ch.take_response(&h2).unwrap(), b"engines");
+        assert_eq!(bed.ch.engine_epoch(), 1);
+        let st = standby.stop();
+        assert_eq!(st.adoptions, 1);
+        assert_eq!(st.pool_reads, 1);
+    }
+
+    #[test]
+    fn frozen_zombie_is_fenced_and_standby_resumes_exactly_once() {
+        let mut bed = deploy();
+        bed.pool_mem.write(64, b"SURVIVES").unwrap();
+        // Warm up, then freeze the primary into a zombie: still holding
+        // its QPs, making no progress.
+        let h = bed.ch.async_read(1, 64, 8).unwrap();
+        assert!(bed.ch.wait(h.id, 50_000_000));
+        let agent = bed.agent.take().unwrap();
+        agent.set_paused(true);
+        while !agent.is_parked() {
+            std::thread::yield_now();
+        }
+
+        // Work issued against the frozen engine stalls out.
+        let w = bed.ch.async_write(1, 128, b"once!").unwrap();
+        let r = bed.ch.async_read(1, 64, 8).unwrap();
+        assert!(matches!(
+            bed.ch.wait_timeout(w, 200_000),
+            Err(WaitError::EngineStalled { .. })
+        ));
+
+        // Fence and fail over; the standby completes both, exactly once.
+        assert_eq!(bed.ch.fence_engine(), 1);
+        let standby = bed.standby();
+        assert!(bed.ch.wait(w, 50_000_000));
+        assert!(bed.ch.wait(r.id, 50_000_000));
+        assert_eq!(bed.ch.take_response(&r).unwrap(), b"SURVIVES");
+        assert_eq!(bed.pool_mem.read_vec(128, 5).unwrap(), b"once!");
+
+        // Thaw the zombie: its next probe sees the fence word and it exits
+        // by itself without emitting anything.
+        agent.set_paused(false);
+        let zombie = agent.join();
+        assert!(zombie.fenced);
+        assert_eq!(zombie.writes_executed, 0);
+
+        let st = standby.stop();
+        assert_eq!(st.adoptions, 1);
+        assert_eq!(st.writes_executed, 1, "the write must apply exactly once");
     }
 }

@@ -39,10 +39,10 @@ use std::sync::atomic::Ordering;
 
 use rdma::mem::Region;
 
-use crate::error::{CowbirdError, IssueError};
+use crate::error::{CowbirdError, IssueError, WaitError};
 use crate::layout::{
-    reserve_no_wrap, ChannelLayout, GREEN_META_TAIL, GREEN_RDATA_TAIL, GREEN_WDATA_TAIL,
-    RED_META_HEAD, RED_READ_PROGRESS, RED_WRITE_PROGRESS,
+    reserve_no_wrap, ChannelLayout, GREEN_CLIENT_EPOCH, GREEN_META_TAIL, GREEN_RDATA_TAIL,
+    GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD, RED_READ_PROGRESS, RED_WRITE_PROGRESS,
 };
 use crate::meta::{RequestMeta, RwType};
 use crate::region::{RegionId, RegionMap};
@@ -79,6 +79,14 @@ pub struct ChannelStats {
     pub writes_issued: u64,
     pub issue_retries: u64,
     pub polls: u64,
+    /// Red-block updates discarded because they carried an epoch older than
+    /// the newest this client has seen (a fenced zombie still writing).
+    pub stale_red_ignored: u64,
+    /// Times [`Channel::refresh`] observed a red block from a *newer* epoch
+    /// than expected (a standby took over without a client-side fence).
+    pub engine_takeovers: u64,
+    /// Times the client raised the fence word ([`Channel::fence_engine`]).
+    pub fences: u64,
 }
 
 /// One per-thread Cowbird channel.
@@ -131,6 +139,15 @@ pub struct Channel {
     cached_write_progress: u64,
     pending_reads: VecDeque<PendingRead>,
     pending_writes: VecDeque<PendingWrite>,
+    /// Every published-but-not-completed metadata entry, in ring order. A
+    /// slot is only reused once its request *completed* (not merely once the
+    /// engine fetched it), so a standby engine can always re-parse the live
+    /// suffix of the ring after a takeover.
+    pending_entries: VecDeque<(OpType, u64)>,
+    /// Virtual index below which every metadata entry has completed.
+    meta_free_head: u64,
+    /// Highest engine epoch this client has accepted (see `RED_ENGINE_EPOCH`).
+    engine_epoch: u64,
     pub stats: ChannelStats,
 }
 
@@ -167,6 +184,9 @@ impl Channel {
             cached_write_progress: 0,
             pending_reads: VecDeque::new(),
             pending_writes: VecDeque::new(),
+            pending_entries: VecDeque::new(),
+            meta_free_head: 0,
+            engine_epoch: 0,
             stats: ChannelStats::default(),
         }
     }
@@ -261,6 +281,7 @@ impl Channel {
             rdata_end: end,
             consumed: false,
         });
+        self.pending_entries.push_back((OpType::Read, seq));
         self.stats.reads_issued += 1;
         Ok(ReadHandle {
             id: ReqId::new(OpType::Read, self.cid, seq),
@@ -325,6 +346,7 @@ impl Channel {
             seq,
             wdata_end: end,
         });
+        self.pending_entries.push_back((OpType::Write, seq));
         self.stats.writes_issued += 1;
         Ok(ReqId::new(OpType::Write, self.cid, seq))
     }
@@ -345,10 +367,13 @@ impl Channel {
     }
 
     fn ensure_meta_slot(&mut self) -> Result<(), IssueError> {
-        if self.meta_tail - self.cached_meta_head >= self.layout.meta_entries {
+        // Slots free on *completion*, not on engine fetch: a fetched but
+        // still-executing entry must survive in the ring so a standby engine
+        // can reconstruct it after a takeover.
+        if self.meta_tail - self.meta_free_head >= self.layout.meta_entries {
             self.refresh();
             self.stats.issue_retries += 1;
-            if self.meta_tail - self.cached_meta_head >= self.layout.meta_entries {
+            if self.meta_tail - self.meta_free_head >= self.layout.meta_entries {
                 return Err(IssueError::MetadataRingFull);
             }
         }
@@ -364,8 +389,11 @@ impl Channel {
         self.region.store_u64(base + 16, body[1], Ordering::Relaxed);
         self.region.store_u64(base + 24, body[2], Ordering::Relaxed);
         // rw_type (+ publication token) last.
-        self.region
-            .store_u64(base, meta.publication_word(self.meta_tail), Ordering::Release);
+        self.region.store_u64(
+            base,
+            meta.publication_word(self.meta_tail),
+            Ordering::Release,
+        );
         self.meta_tail += 1;
         self.region
             .store_u64(GREEN_META_TAIL, self.meta_tail, Ordering::Release);
@@ -377,13 +405,37 @@ impl Channel {
 
     /// Re-read the red bookkeeping block and advance derived ring heads.
     /// This is the entire CPU cost of a Cowbird poll.
+    ///
+    /// The epoch word is checked first: a red block written by an engine
+    /// *older* than the newest this client has seen is a zombie's stale
+    /// update and is ignored wholesale — its counters could otherwise travel
+    /// backwards past a successor's. Counters are additionally adopted
+    /// monotonically, as defense in depth against torn or reordered images.
     pub fn refresh(&mut self) {
         self.stats.polls += 1;
-        self.cached_meta_head = self.region.load_u64(RED_META_HEAD, Ordering::Acquire);
+        let red_epoch = self.region.load_u64(RED_ENGINE_EPOCH, Ordering::Acquire);
+        if red_epoch < self.engine_epoch {
+            self.stats.stale_red_ignored += 1;
+            return;
+        }
+        if red_epoch > self.engine_epoch {
+            // A standby took over without us fencing first (e.g. an operator
+            // attached one on a preemption notice). Bless the new epoch so
+            // the old engine fences itself on its next probe.
+            self.engine_epoch = red_epoch;
+            self.stats.engine_takeovers += 1;
+            self.region
+                .store_u64(GREEN_CLIENT_EPOCH, red_epoch, Ordering::Release);
+        }
+        self.cached_meta_head = self
+            .cached_meta_head
+            .max(self.region.load_u64(RED_META_HEAD, Ordering::Acquire));
         self.cached_write_progress = self
-            .region
-            .load_u64(RED_WRITE_PROGRESS, Ordering::Acquire);
-        self.cached_read_progress = self.region.load_u64(RED_READ_PROGRESS, Ordering::Acquire);
+            .cached_write_progress
+            .max(self.region.load_u64(RED_WRITE_PROGRESS, Ordering::Acquire));
+        self.cached_read_progress = self
+            .cached_read_progress
+            .max(self.region.load_u64(RED_READ_PROGRESS, Ordering::Acquire));
         // Free write payload space for completed writes.
         while let Some(front) = self.pending_writes.front() {
             if front.seq <= self.cached_write_progress {
@@ -398,6 +450,20 @@ impl Channel {
             if front.consumed && front.seq <= self.cached_read_progress {
                 self.rdata_head = front.rdata_end;
                 self.pending_reads.pop_front();
+            } else {
+                break;
+            }
+        }
+        // Free metadata slots whose requests completed (in ring order — an
+        // incomplete entry blocks the slots behind it, deliberately).
+        while let Some(&(op, seq)) = self.pending_entries.front() {
+            let done = match op {
+                OpType::Read => seq <= self.cached_read_progress,
+                OpType::Write => seq <= self.cached_write_progress,
+            };
+            if done {
+                self.meta_free_head += 1;
+                self.pending_entries.pop_front();
             } else {
                 break;
             }
@@ -487,6 +553,46 @@ impl Channel {
         }
         false
     }
+
+    /// Deadline-bounded [`Channel::wait`]: distinguishes "completed" from a
+    /// progress stall. If the spin budget expires with the request still
+    /// outstanding, the engine is presumed dead and
+    /// [`WaitError::EngineStalled`] tells the caller to fail over (fence,
+    /// attach a standby, retry).
+    pub fn wait_timeout(&mut self, id: ReqId, spin_limit: u64) -> Result<(), WaitError> {
+        if self.wait(id, spin_limit) {
+            return Ok(());
+        }
+        let (r, w) = self.in_flight();
+        Err(WaitError::EngineStalled {
+            pending: (r + w) as usize,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Failover
+    // ------------------------------------------------------------------
+
+    /// The engine epoch this client currently trusts.
+    pub fn engine_epoch(&self) -> u64 {
+        self.engine_epoch
+    }
+
+    /// Fence the current engine and return the epoch a successor must run
+    /// at. Publishes the new epoch in the green block: the old engine (if
+    /// merely wedged, not dead) observes it on its next probe and stops
+    /// writing; red blocks it already posted are discarded by
+    /// [`Channel::refresh`]'s epoch check.
+    ///
+    /// Protocol: fence exactly once per takeover, *then* attach the standby
+    /// (which adopts at `old epoch + 1 == fence epoch`).
+    pub fn fence_engine(&mut self) -> u64 {
+        self.engine_epoch += 1;
+        self.region
+            .store_u64(GREEN_CLIENT_EPOCH, self.engine_epoch, Ordering::Release);
+        self.stats.fences += 1;
+        self.engine_epoch
+    }
 }
 
 #[cfg(test)]
@@ -562,7 +668,7 @@ mod tests {
         let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
         let mut eng = MiniEngine::new();
         let h = ch.async_read(1, 4096, 16).unwrap();
-        assert!(!ch.is_complete(h.id) || false);
+        assert!(!ch.is_complete(h.id));
         eng.run(ch.region(), &ch.layout());
         assert!(ch.is_complete(h.id));
         let data = ch.take_response(&h).unwrap();
@@ -669,6 +775,84 @@ mod tests {
         assert_eq!(r2.id.seq(), 2);
         assert_eq!(r1.id.op(), OpType::Read);
         assert_eq!(w1.op(), OpType::Write);
+    }
+
+    #[test]
+    fn meta_slots_free_on_completion_not_fetch() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        for _ in 0..8 {
+            ch.async_write(1, 0, &[1]).unwrap();
+        }
+        // The engine fetched the whole ring but completed nothing: every
+        // slot is still live (a standby must be able to re-parse them).
+        ch.region().store_u64(RED_META_HEAD, 8, Ordering::Release);
+        assert_eq!(
+            ch.async_write(1, 0, &[1]).unwrap_err(),
+            IssueError::MetadataRingFull
+        );
+        // Completing one write frees exactly one slot.
+        ch.region()
+            .store_u64(RED_WRITE_PROGRESS, 1, Ordering::Release);
+        ch.async_write(1, 0, &[1]).unwrap();
+        assert_eq!(
+            ch.async_write(1, 0, &[1]).unwrap_err(),
+            IssueError::MetadataRingFull
+        );
+    }
+
+    #[test]
+    fn wait_timeout_distinguishes_stall_from_completion() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        let h = ch.async_read(1, 0, 8).unwrap();
+        let _w = ch.async_write(1, 0, &[1]).unwrap();
+        match ch.wait_timeout(h.id, 10) {
+            Err(WaitError::EngineStalled { pending }) => assert_eq!(pending, 2),
+            other => panic!("expected stall, got {other:?}"),
+        }
+        let mut eng = MiniEngine::new();
+        eng.run(ch.region(), &ch.layout());
+        ch.wait_timeout(h.id, 10).unwrap();
+    }
+
+    #[test]
+    fn fenced_zombie_red_updates_are_ignored() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        let h = ch.async_read(1, 0, 8).unwrap();
+        // Client fences epoch 0 (engine presumed dead)…
+        assert_eq!(ch.fence_engine(), 1);
+        assert_eq!(
+            ch.region().load_u64(GREEN_CLIENT_EPOCH, Ordering::Acquire),
+            1
+        );
+        // …but the zombie writes a completion anyway (still at epoch 0).
+        ch.region()
+            .store_u64(RED_READ_PROGRESS, 1, Ordering::Release);
+        assert!(
+            !ch.is_complete(h.id),
+            "stale-epoch completion must not land"
+        );
+        assert!(ch.stats.stale_red_ignored > 0);
+        // The standby (epoch 1) republishes the red block; now it lands.
+        ch.region()
+            .store_u64(RED_ENGINE_EPOCH, 1, Ordering::Release);
+        assert!(ch.is_complete(h.id));
+        assert_eq!(ch.stats.fences, 1);
+    }
+
+    #[test]
+    fn unfenced_takeover_is_adopted_and_blessed() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        // A standby at epoch 2 appears without the client having fenced.
+        ch.region()
+            .store_u64(RED_ENGINE_EPOCH, 2, Ordering::Release);
+        ch.refresh();
+        assert_eq!(ch.engine_epoch(), 2);
+        assert_eq!(ch.stats.engine_takeovers, 1);
+        // The client propagates the fence so the old engine stands down.
+        assert_eq!(
+            ch.region().load_u64(GREEN_CLIENT_EPOCH, Ordering::Acquire),
+            2
+        );
     }
 
     #[test]

@@ -8,6 +8,7 @@ use core::fmt;
 /// the queues or buffers, the library will return an error indicating that
 /// the application should retry later."
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum IssueError {
     /// The request metadata ring is full; retry after completions drain.
     MetadataRingFull,
@@ -38,7 +39,10 @@ impl fmt::Display for IssueError {
             }
             IssueError::UnknownRegion(id) => write!(f, "unknown remote region {id}"),
             IssueError::OutOfRegionBounds { offset, len, size } => {
-                write!(f, "remote access [{offset}, +{len}) outside region of {size} bytes")
+                write!(
+                    f,
+                    "remote access [{offset}, +{len}) outside region of {size} bytes"
+                )
             }
         }
     }
@@ -60,6 +64,7 @@ impl IssueError {
 
 /// General library errors.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
 pub enum CowbirdError {
     /// The request id was not issued by this channel.
     ForeignRequest,
@@ -81,6 +86,54 @@ impl fmt::Display for CowbirdError {
 
 impl std::error::Error for CowbirdError {}
 
+/// Errors from deadline-bounded waiting ([`crate::poll::PollGroup::poll_wait_timeout`],
+/// [`crate::channel::Channel::wait_timeout`]).
+///
+/// The failover protocol turns on telling these apart: a stalled engine is
+/// the client's cue to fence the current epoch and attach a standby, while a
+/// stale epoch means *this* engine lost a takeover race and must stand down.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum WaitError {
+    /// Requests are outstanding but the engine made no progress within the
+    /// deadline — it has likely crashed or been preempted. Retryable: fence
+    /// the epoch, attach a standby, and wait again.
+    EngineStalled {
+        /// Requests still outstanding when the watchdog fired.
+        pending: usize,
+    },
+    /// The engine observed a client fence word above its own epoch: a newer
+    /// engine has taken over. Not retryable on this engine.
+    StaleEpoch {
+        /// The fenced engine's epoch.
+        engine: u64,
+        /// The fence epoch the client published.
+        fence: u64,
+    },
+}
+
+impl fmt::Display for WaitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitError::EngineStalled { pending } => {
+                write!(f, "engine stalled with {pending} request(s) outstanding")
+            }
+            WaitError::StaleEpoch { engine, fence } => {
+                write!(f, "engine epoch {engine} fenced out by epoch {fence}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaitError {}
+
+impl WaitError {
+    /// Can the caller recover by failing over and retrying the wait?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, WaitError::EngineStalled { .. })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,7 +143,19 @@ mod tests {
         assert!(IssueError::MetadataRingFull.is_retryable());
         assert!(IssueError::ResponseDataRingFull.is_retryable());
         assert!(!IssueError::UnknownRegion(3).is_retryable());
-        assert!(!IssueError::RequestTooLarge { len: 10, capacity: 5 }.is_retryable());
+        assert!(!IssueError::RequestTooLarge {
+            len: 10,
+            capacity: 5
+        }
+        .is_retryable());
+        // Failover: a stall is recoverable by takeover; a fenced epoch is
+        // terminal for the engine that sees it.
+        assert!(WaitError::EngineStalled { pending: 4 }.is_retryable());
+        assert!(!WaitError::StaleEpoch {
+            engine: 1,
+            fence: 2
+        }
+        .is_retryable());
     }
 
     #[test]
@@ -104,5 +169,17 @@ mod tests {
         assert!(s.contains("10"));
         assert!(s.contains("20"));
         assert!(s.contains("16"));
+
+        let s = WaitError::EngineStalled { pending: 17 }.to_string();
+        assert!(s.contains("17"));
+        assert!(s.contains("stalled"));
+        let s = WaitError::StaleEpoch {
+            engine: 3,
+            fence: 4,
+        }
+        .to_string();
+        assert!(s.contains('3'));
+        assert!(s.contains('4'));
+        assert!(s.contains("fenced"));
     }
 }

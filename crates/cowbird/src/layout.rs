@@ -3,11 +3,13 @@
 //! ```text
 //! offset 0    ┌──────────────────────────────────────────┐
 //!             │ GREEN bookkeeping (client → engine)      │  one RDMA read
-//!             │   meta_tail · wdata_tail · rdata_tail    │  probes all three
+//!             │   meta_tail · wdata_tail · rdata_tail ·  │  probes all four
+//!             │   client_epoch (fence word)              │
 //! offset 64   ├──────────────────────────────────────────┤
 //!             │ RED bookkeeping (engine → client)        │  one RDMA write
-//!             │   meta_head · write_progress ·           │  updates all three
-//!             │   read_progress                          │
+//!             │   meta_head · write_progress ·           │  updates all seven
+//!             │   read_progress · engine_epoch ·         │
+//!             │   floor_idx · floor_reads · floor_writes │
 //! offset 128  ├──────────────────────────────────────────┤
 //!             │ request metadata ring (32 B entries)     │
 //!             ├──────────────────────────────────────────┤
@@ -35,16 +37,84 @@ pub const GREEN_OFFSET: u64 = 0;
 pub const GREEN_META_TAIL: u64 = GREEN_OFFSET;
 pub const GREEN_WDATA_TAIL: u64 = GREEN_OFFSET + 8;
 pub const GREEN_RDATA_TAIL: u64 = GREEN_OFFSET + 16;
+/// Fence word: the highest engine epoch the client has blessed. An engine
+/// that probes a value greater than its own epoch has been fenced out by a
+/// takeover and must stop writing.
+pub const GREEN_CLIENT_EPOCH: u64 = GREEN_OFFSET + 24;
 /// Bytes the engine fetches per probe.
-pub const GREEN_LEN: u64 = 24;
+pub const GREEN_LEN: u64 = 32;
 
 /// Red block: engine-written, client-read (one RDMA write covers it).
 pub const RED_OFFSET: u64 = 64;
 pub const RED_META_HEAD: u64 = RED_OFFSET;
 pub const RED_WRITE_PROGRESS: u64 = RED_OFFSET + 8;
 pub const RED_READ_PROGRESS: u64 = RED_OFFSET + 16;
+/// The epoch of the engine that wrote this block. Clients ignore red blocks
+/// from epochs older than the newest they have seen, which fences a zombie
+/// engine's stale completion writes.
+pub const RED_ENGINE_EPOCH: u64 = RED_OFFSET + 24;
+/// Committed floor: every metadata entry below `floor_idx` has fully
+/// completed, and the request seqs consumed up to there are `floor_reads`
+/// reads and `floor_writes` writes. A standby engine rewinds to this floor
+/// on takeover and re-derives the identical seq assignment for the
+/// still-live entries above it.
+pub const RED_FLOOR_IDX: u64 = RED_OFFSET + 32;
+pub const RED_FLOOR_READS: u64 = RED_OFFSET + 40;
+pub const RED_FLOOR_WRITES: u64 = RED_OFFSET + 48;
 /// Bytes the engine writes per completion update.
-pub const RED_LEN: u64 = 24;
+pub const RED_LEN: u64 = 56;
+
+/// Decoded red bookkeeping block — everything a standby engine needs to
+/// adopt a channel, and everything a client needs to track progress.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RedBlock {
+    pub meta_head: u64,
+    pub write_progress: u64,
+    pub read_progress: u64,
+    pub engine_epoch: u64,
+    pub floor_idx: u64,
+    pub floor_reads: u64,
+    pub floor_writes: u64,
+}
+
+impl RedBlock {
+    /// Serialize in red-block order (little-endian words).
+    pub fn encode(&self) -> [u8; RED_LEN as usize] {
+        let mut out = [0u8; RED_LEN as usize];
+        for (i, w) in [
+            self.meta_head,
+            self.write_progress,
+            self.read_progress,
+            self.engine_epoch,
+            self.floor_idx,
+            self.floor_reads,
+            self.floor_writes,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a red block image; `None` if the buffer is too short.
+    pub fn decode(bytes: &[u8]) -> Option<RedBlock> {
+        if bytes.len() < RED_LEN as usize {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        Some(RedBlock {
+            meta_head: word(0),
+            write_progress: word(1),
+            read_progress: word(2),
+            engine_epoch: word(3),
+            floor_idx: word(4),
+            floor_reads: word(5),
+            floor_writes: word(6),
+        })
+    }
+}
 
 /// Start of the metadata ring.
 pub const RINGS_OFFSET: u64 = 128;
@@ -154,8 +224,8 @@ mod tests {
 
     #[test]
     fn blocks_do_not_overlap() {
-        assert!(GREEN_OFFSET + GREEN_LEN <= RED_OFFSET);
-        assert!(RED_OFFSET + RED_LEN <= RINGS_OFFSET);
+        const { assert!(GREEN_OFFSET + GREEN_LEN <= RED_OFFSET) };
+        const { assert!(RED_OFFSET + RED_LEN <= RINGS_OFFSET) };
         // Separate cache lines.
         assert_eq!(RED_OFFSET % 64, 0);
         assert_eq!(RINGS_OFFSET % 64, 0);
@@ -207,5 +277,31 @@ mod tests {
     #[test]
     fn reserve_zero_len() {
         assert_eq!(reserve_no_wrap(7, 0, 100, 0), Some((7, 7)));
+    }
+
+    #[test]
+    fn red_block_roundtrips() {
+        let red = RedBlock {
+            meta_head: 12,
+            write_progress: 5,
+            read_progress: 7,
+            engine_epoch: 3,
+            floor_idx: 11,
+            floor_reads: 6,
+            floor_writes: 5,
+        };
+        let bytes = red.encode();
+        assert_eq!(bytes.len() as u64, RED_LEN);
+        assert_eq!(RedBlock::decode(&bytes), Some(red));
+        // Words land at their layout offsets relative to RED_OFFSET.
+        let at = |off: u64| {
+            let i = (off - RED_OFFSET) as usize;
+            u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap())
+        };
+        assert_eq!(at(RED_META_HEAD), 12);
+        assert_eq!(at(RED_ENGINE_EPOCH), 3);
+        assert_eq!(at(RED_FLOOR_WRITES), 5);
+        // Short buffers never decode.
+        assert_eq!(RedBlock::decode(&bytes[..RED_LEN as usize - 1]), None);
     }
 }

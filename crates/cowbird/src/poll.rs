@@ -11,10 +11,21 @@
 //! Because sequence numbers are monotone per (channel, type), the group keeps
 //! two sorted queues; a poll pops the prefix at or below the corresponding
 //! progress counter — O(completions), no hashing, no scanning.
+//!
+//! **No-wrap assumption.** All of this relies on per-type seqs increasing
+//! monotonically without wrapping: `completed_by` is `seq <= progress`, and
+//! the queues pop strictly increasing prefixes. Seqs are 48 bits
+//! ([`crate::reqid::MAX_SEQ`]) — at one request per nanosecond a channel
+//! would take over three days of sustained issue to exhaust them, and a
+//! channel (re)starts from 1, so wraparound is deliberately unhandled.
+//! Engine failover preserves the assignment: a standby re-derives the exact
+//! seqs of in-flight requests from the committed floor, never reusing or
+//! skipping one.
 
 use std::collections::VecDeque;
 
 use crate::channel::Channel;
+use crate::error::WaitError;
 use crate::reqid::{OpType, ReqId};
 
 /// A notification group for Cowbird requests on one channel.
@@ -102,17 +113,50 @@ impl PollGroup {
     /// `max_ret` completions arrive or `spin_limit` refresh rounds elapse.
     /// Meant for the real-thread substrate (simulations model poll costs
     /// explicitly instead of spinning).
+    #[deprecated(
+        since = "0.1.0",
+        note = "an exhausted timeout and an idle group both return an empty \
+                Vec, hiding a dead engine; use `poll_wait_timeout`"
+    )]
     pub fn poll_wait(&mut self, ch: &mut Channel, max_ret: usize, spin_limit: u64) -> Vec<ReqId> {
+        self.poll_wait_timeout(ch, max_ret, spin_limit)
+            .unwrap_or_default()
+    }
+
+    /// Deadline-aware `poll_wait`: spin until `max_ret` completions arrive
+    /// or `spin_limit` refresh rounds elapse.
+    ///
+    /// Unlike the deprecated [`PollGroup::poll_wait`], an exhausted deadline
+    /// is distinguishable from an idle group: if requests are registered but
+    /// *zero* completions arrived within the budget, the engine is presumed
+    /// dead and [`WaitError::EngineStalled`] tells the caller to fail over.
+    /// Partial progress is returned as `Ok` (the engine is alive, just
+    /// slower than the deadline), as is an immediate empty result when
+    /// nothing is registered.
+    pub fn poll_wait_timeout(
+        &mut self,
+        ch: &mut Channel,
+        max_ret: usize,
+        spin_limit: u64,
+    ) -> Result<Vec<ReqId>, WaitError> {
         let mut out = Vec::new();
         let want = max_ret.min(self.pending());
+        if want == 0 {
+            return Ok(out);
+        }
         for _ in 0..spin_limit {
             out.extend(self.poll_try(ch, max_ret - out.len()));
             if out.len() >= want {
-                break;
+                return Ok(out);
             }
             std::hint::spin_loop();
         }
-        out
+        if out.is_empty() {
+            return Err(WaitError::EngineStalled {
+                pending: self.pending(),
+            });
+        }
+        Ok(out)
     }
 }
 
@@ -200,15 +244,39 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn poll_wait_spins_until_available() {
         let mut ch = channel();
         let mut g = PollGroup::new();
         let h = ch.async_read(1, 0, 8).unwrap();
         g.add(h.id);
-        // Not completed: spin_limit bounds the wait.
+        // Not completed: spin_limit bounds the wait (and the deprecated API
+        // cannot say why the Vec is empty — hence poll_wait_timeout).
         assert!(g.poll_wait(&mut ch, 1, 10).is_empty());
         complete(&ch, 1, 0);
         assert_eq!(g.poll_wait(&mut ch, 1, 10), vec![h.id]);
         assert_eq!(h.id.op(), OpType::Read);
+    }
+
+    #[test]
+    fn poll_wait_timeout_separates_idle_stall_and_progress() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        // Idle group: immediate Ok(empty), no spinning.
+        assert_eq!(g.poll_wait_timeout(&mut ch, 8, 10).unwrap(), vec![]);
+        let r = ch.async_read(1, 0, 8).unwrap();
+        let w = ch.async_write(1, 0, &[0; 8]).unwrap();
+        g.add(r.id);
+        g.add(w);
+        // Zero completions within the budget: the engine is stalled.
+        assert_eq!(
+            g.poll_wait_timeout(&mut ch, 2, 10),
+            Err(crate::error::WaitError::EngineStalled { pending: 2 })
+        );
+        // Partial progress is Ok — slow is not dead.
+        complete(&ch, 0, 1);
+        assert_eq!(g.poll_wait_timeout(&mut ch, 2, 10).unwrap(), vec![w]);
+        complete(&ch, 1, 1);
+        assert_eq!(g.poll_wait_timeout(&mut ch, 2, 10).unwrap(), vec![r.id]);
     }
 }

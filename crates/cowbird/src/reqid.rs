@@ -31,6 +31,14 @@ const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
 const CHAN_BITS: u32 = 15;
 const CHAN_MASK: u64 = (1 << CHAN_BITS) - 1;
 
+/// Largest representable sequence number (`2^48 - 1`).
+///
+/// Seqs never wrap: the completion check and [`crate::poll::PollGroup`]'s
+/// sorted queues rely on per-(channel, type) monotonicity, so a channel is
+/// limited to `MAX_SEQ` requests of each type over its lifetime — about
+/// 3.25 days of issue at one request per nanosecond.
+pub const MAX_SEQ: u64 = SEQ_MASK;
+
 impl ReqId {
     /// Encode a request id. `seq` must be nonzero (0 is reserved to mean
     /// "nothing completed yet" in progress counters).
@@ -142,5 +150,23 @@ mod tests {
     #[should_panic(expected = "sequence numbers start at 1")]
     fn zero_seq_rejected_in_debug() {
         let _ = ReqId::new(OpType::Read, 0, 0);
+    }
+
+    #[test]
+    fn boundary_seq_roundtrips_and_completes() {
+        // The very last usable seq: fields survive, channel bits don't leak.
+        for op in [OpType::Read, OpType::Write] {
+            let id = ReqId::new(op, CHAN_MASK as u16, MAX_SEQ);
+            assert_eq!(id.op(), op);
+            assert_eq!(id.channel(), CHAN_MASK as u16);
+            assert_eq!(id.seq(), MAX_SEQ);
+            assert_eq!(ReqId::from_raw(id.raw()), id);
+            assert!(!id.completed_by(MAX_SEQ - 1));
+            assert!(id.completed_by(MAX_SEQ));
+        }
+        // Ordering holds right up to the boundary.
+        let a = ReqId::new(OpType::Read, 0, MAX_SEQ - 1);
+        let b = ReqId::new(OpType::Read, 0, MAX_SEQ);
+        assert!(a < b);
     }
 }

@@ -196,7 +196,13 @@ pub struct RdmaDevice {
 }
 
 impl RdmaDevice {
-    pub fn new(nic: EmuNic, qpn: QpNum, pool_rkey: Rkey, pool_base: u64, mode: RdmaMode) -> RdmaDevice {
+    pub fn new(
+        nic: EmuNic,
+        qpn: QpNum,
+        pool_rkey: Rkey,
+        pool_base: u64,
+        mode: RdmaMode,
+    ) -> RdmaDevice {
         let staging = Region::new(8 << 20);
         let staging_lkey = nic.register(staging.clone());
         RdmaDevice {
@@ -240,9 +246,8 @@ impl RdmaDevice {
             }
             for c in got {
                 if let Some((token, read_info)) = self.inflight.remove(&c.wr_id) {
-                    let data = read_info.map(|(off, len)| {
-                        self.staging.read_vec(off, len as usize).unwrap()
-                    });
+                    let data = read_info
+                        .map(|(off, len)| self.staging.read_vec(off, len as usize).unwrap());
                     self.ready.push_back(Completion {
                         token,
                         data,

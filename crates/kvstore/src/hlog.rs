@@ -123,7 +123,10 @@ impl<D: Device> HybridLog<D> {
     /// Allocate `len` contiguous log bytes, evicting cold data if needed.
     /// Returns the record's address.
     pub fn alloc(&mut self, len: u64) -> u64 {
-        assert!(len > 0 && len <= self.capacity / 2, "allocation of {len} bytes");
+        assert!(
+            len > 0 && len <= self.capacity / 2,
+            "allocation of {len} bytes"
+        );
         if self.tail + len - self.head > self.capacity {
             // Evict at least what is needed, but advance the head by a
             // whole region (1/8 of the window) so eviction is amortized —

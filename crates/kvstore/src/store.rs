@@ -264,7 +264,7 @@ impl<D: Device> FasterKv<D> {
                     }
                     if got.is_none() {
                         spins += 1;
-                        if spins % 8 == 0 {
+                        if spins.is_multiple_of(8) {
                             std::thread::yield_now();
                         }
                     }
@@ -408,7 +408,9 @@ mod tests {
             kv.upsert(k, k.to_le_bytes().as_slice());
         }
         for k in (0..2000u64).step_by(37) {
-            let v = kv.read_blocking(k).unwrap_or_else(|| panic!("key {k} lost"));
+            let v = kv
+                .read_blocking(k)
+                .unwrap_or_else(|| panic!("key {k} lost"));
             assert_eq!(v, k.to_le_bytes().as_slice());
         }
     }
@@ -434,7 +436,11 @@ mod tests {
             kv.upsert(k, &k.to_le_bytes());
         }
         for k in 0..500u64 {
-            assert_eq!(kv.read_blocking(k), Some(k.to_le_bytes().to_vec()), "key {k}");
+            assert_eq!(
+                kv.read_blocking(k),
+                Some(k.to_le_bytes().to_vec()),
+                "key {k}"
+            );
         }
         assert_eq!(kv.shards(), 4);
     }

@@ -120,11 +120,7 @@ mod tests {
 
     #[test]
     fn adaptive_ramps_down_when_idle() {
-        let mut g = PktGenConfig::adaptive(
-            Duration::from_micros(2),
-            Duration::from_micros(64),
-            4,
-        );
+        let mut g = PktGenConfig::adaptive(Duration::from_micros(2), Duration::from_micros(64), 4);
         // Busy: stays fast.
         assert_eq!(g.next_interval(true), Duration::from_micros(2));
         // Below threshold: still fast.

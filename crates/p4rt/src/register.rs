@@ -152,10 +152,7 @@ impl RegisterFile {
 
     /// Depth of an array (for iteration from the control plane).
     pub fn depth(&self, array: &str) -> usize {
-        self.arrays
-            .get(array)
-            .map(|a| a.values.len())
-            .unwrap_or(0)
+        self.arrays.get(array).map(|a| a.values.len()).unwrap_or(0)
     }
 }
 

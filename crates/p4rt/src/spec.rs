@@ -372,6 +372,9 @@ mod tests {
     #[test]
     fn phv_limit() {
         let spec = PipelineSpec::new("x", 5000);
-        assert!(matches!(spec.validate(), Err(SpecError::PhvOverflow { .. })));
+        assert!(matches!(
+            spec.validate(),
+            Err(SpecError::PhvOverflow { .. })
+        ));
     }
 }

@@ -118,11 +118,7 @@ mod tests {
         let m = CostModel::paper_defaults();
         assert_eq!(
             m.rdma_total().nanos(),
-            m.post_lock_ns
-                + m.post_doorbell_ns
-                + m.post_wqe_ns
-                + m.poll_lock_ns
-                + m.poll_cqe_ns
+            m.post_lock_ns + m.post_doorbell_ns + m.post_wqe_ns + m.poll_lock_ns + m.poll_cqe_ns
         );
         assert_eq!(m.local_work(3).nanos(), 3 * m.local_access_ns);
     }

@@ -246,7 +246,7 @@ pub type EmuQp = Qp;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verbs::{WrOp, WrKind};
+    use crate::verbs::{WrKind, WrOp};
 
     #[test]
     fn one_sided_read_between_threads() {

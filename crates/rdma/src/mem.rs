@@ -25,7 +25,11 @@ pub type Rkey = u32;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum MemError {
     /// Offset + length exceeds the region.
-    OutOfBounds { offset: u64, len: usize, size: usize },
+    OutOfBounds {
+        offset: u64,
+        len: usize,
+        size: usize,
+    },
     /// No region registered under this rkey.
     BadRkey(Rkey),
 }
@@ -34,7 +38,10 @@ impl std::fmt::Display for MemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MemError::OutOfBounds { offset, len, size } => {
-                write!(f, "access [{offset}, {offset}+{len}) outside region of {size} bytes")
+                write!(
+                    f,
+                    "access [{offset}, {offset}+{len}) outside region of {size} bytes"
+                )
             }
             MemError::BadRkey(k) => write!(f, "no region registered for rkey {k}"),
         }
@@ -171,12 +178,7 @@ impl Region {
     }
 
     /// Atomic compare-exchange on the aligned u64 at byte `offset`.
-    pub fn compare_exchange_u64(
-        &self,
-        offset: u64,
-        current: u64,
-        new: u64,
-    ) -> Result<u64, u64> {
+    pub fn compare_exchange_u64(&self, offset: u64, current: u64, new: u64) -> Result<u64, u64> {
         debug_assert_eq!(offset % 8, 0);
         self.inner.words[(offset / 8) as usize].compare_exchange(
             current,
@@ -312,7 +314,10 @@ mod tests {
         cat.remote_write(k, 5, b"hello").unwrap();
         assert_eq!(cat.remote_read(k, 5, 5).unwrap(), b"hello");
         assert_eq!(r.read_vec(5, 5).unwrap(), b"hello");
-        assert!(matches!(cat.remote_read(999, 0, 1), Err(MemError::BadRkey(999))));
+        assert!(matches!(
+            cat.remote_read(999, 0, 1),
+            Err(MemError::BadRkey(999))
+        ));
         cat.deregister(k);
         assert!(cat.get(k).is_err());
     }

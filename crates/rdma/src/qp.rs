@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use simnet::time::{Duration, Instant};
 
 use crate::mem::{MemError, RegionCatalog};
-use crate::verbs::{Completion, CompletionStatus, WrKind, WorkRequest, WrOp};
+use crate::verbs::{Completion, CompletionStatus, WorkRequest, WrKind, WrOp};
 use crate::wire::{Aeth, Bth, Opcode, Reth, RocePacket, Syndrome};
 
 /// Queue pair number (24 bits on the wire).
@@ -304,13 +304,7 @@ impl Qp {
         }
     }
 
-    fn segment_write(
-        &self,
-        first_psn: u32,
-        vaddr: u64,
-        rkey: u32,
-        data: &[u8],
-    ) -> Vec<RocePacket> {
+    fn segment_write(&self, first_psn: u32, vaddr: u64, rkey: u32, data: &[u8]) -> Vec<RocePacket> {
         let n = self.segments(data.len() as u32) as usize;
         let mut out = Vec::with_capacity(n);
         for (i, chunk) in chunks_min_one(data, self.cfg.mtu).enumerate() {
@@ -382,7 +376,13 @@ impl Qp {
 
     // ---------------- requester side ----------------
 
-    fn handle_ack(&mut self, pkt: &RocePacket, cat: &RegionCatalog, now: Instant, out: &mut QpOutput) {
+    fn handle_ack(
+        &mut self,
+        pkt: &RocePacket,
+        cat: &RegionCatalog,
+        now: Instant,
+        out: &mut QpOutput,
+    ) {
         let Some(aeth) = pkt.aeth else { return };
         match aeth.syndrome {
             Syndrome::Ack => {
@@ -444,8 +444,11 @@ impl Qp {
             .remote_write(local_rkey, local_addr + offset, &pkt.payload[..take])
             .is_err()
         {
-            out.completions
-                .push(Completion::err(w.wr_id, WrKind::Read, CompletionStatus::LocalError));
+            out.completions.push(Completion::err(
+                w.wr_id,
+                WrKind::Read,
+                CompletionStatus::LocalError,
+            ));
             self.outstanding.remove(front_idx);
             return;
         }
@@ -508,7 +511,9 @@ impl Qp {
         let psn = pkt.bth.psn;
         let op = pkt.bth.opcode;
 
-        if op == Opcode::ReadRequest && !psn_eq(psn, self.expected_psn) && psn_lt(psn, self.expected_psn)
+        if op == Opcode::ReadRequest
+            && !psn_eq(psn, self.expected_psn)
+            && psn_lt(psn, self.expected_psn)
         {
             // Duplicate read: idempotent re-execution from the requested PSN.
             // (Simplification: re-execute fully; Go-Back-N re-requests align
@@ -526,8 +531,11 @@ impl Qp {
             if self.last_nak_for != Some(self.expected_psn) {
                 self.last_nak_for = Some(self.expected_psn);
                 self.counters.naks_tx += 1;
-                out.emit
-                    .push(RocePacket::nak(self.cfg.peer_qpn, self.expected_psn, self.msn));
+                out.emit.push(RocePacket::nak(
+                    self.cfg.peer_qpn,
+                    self.expected_psn,
+                    self.msn,
+                ));
             }
             return;
         }
@@ -549,8 +557,7 @@ impl Qp {
                                 (i, n) if i == n - 1 => Opcode::ReadResponseLast,
                                 _ => Opcode::ReadResponseMiddle,
                             };
-                            let bth =
-                                Bth::new(opcode, self.cfg.peer_qpn, wrap_add(psn, i as u32));
+                            let bth = Bth::new(opcode, self.cfg.peer_qpn, wrap_add(psn, i as u32));
                             let aeth = if opcode.has_aeth() {
                                 Some(Aeth::ack(self.msn))
                             } else {
@@ -576,7 +583,10 @@ impl Qp {
             }
             Opcode::WriteOnly | Opcode::WriteFirst => {
                 let Some(reth) = pkt.reth else { return };
-                if cat.remote_write(reth.rkey, reth.vaddr, &pkt.payload).is_err() {
+                if cat
+                    .remote_write(reth.rkey, reth.vaddr, &pkt.payload)
+                    .is_err()
+                {
                     self.counters.naks_tx += 1;
                     out.emit.push(RocePacket::nak(
                         self.cfg.peer_qpn,
@@ -589,7 +599,8 @@ impl Qp {
                 if op == Opcode::WriteOnly {
                     self.msn = (self.msn + 1) & 0x00FF_FFFF;
                     if pkt.bth.ack_req {
-                        out.emit.push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
+                        out.emit
+                            .push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
                     }
                 } else {
                     self.write_in_progress =
@@ -622,7 +633,8 @@ impl Qp {
                     self.write_in_progress = None;
                     self.msn = (self.msn + 1) & 0x00FF_FFFF;
                     if pkt.bth.ack_req {
-                        out.emit.push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
+                        out.emit
+                            .push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
                     }
                 } else {
                     self.write_in_progress = Some((rkey, vaddr + pkt.payload.len() as u64));
@@ -635,7 +647,8 @@ impl Qp {
                         self.msn = (self.msn + 1) & 0x00FF_FFFF;
                         out.receives.push(pkt.payload.clone());
                         if pkt.bth.ack_req {
-                            out.emit.push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
+                            out.emit
+                                .push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
                         }
                     }
                     Opcode::SendFirst => {
@@ -651,7 +664,8 @@ impl Qp {
                             }
                             self.msn = (self.msn + 1) & 0x00FF_FFFF;
                             if pkt.bth.ack_req {
-                                out.emit.push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
+                                out.emit
+                                    .push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
                             }
                         }
                     }
@@ -1010,11 +1024,15 @@ mod tests {
             .unwrap();
         let first = b.handle(&pkts[0], &b_cat, Instant::ZERO);
         assert_eq!(first.emit.len(), 1); // ACK
-        // The remote now holds AAAA; mutate it and replay the duplicate.
+                                         // The remote now holds AAAA; mutate it and replay the duplicate.
         remote.write(0, b"BBBB").unwrap();
         let dup = b.handle(&pkts[0], &b_cat, Instant::ZERO);
         assert_eq!(dup.emit.len(), 1, "duplicate still produces an ACK");
-        assert_eq!(remote.read_vec(0, 4).unwrap(), b"BBBB", "duplicate write dropped");
+        assert_eq!(
+            remote.read_vec(0, 4).unwrap(),
+            b"BBBB",
+            "duplicate write dropped"
+        );
     }
 
     #[test]

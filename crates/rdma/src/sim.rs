@@ -176,11 +176,21 @@ mod tests {
     use crate::verbs::WrOp;
 
     /// Drive two SimNics against each other with a lossless in-test "wire".
-    fn pump(a: &mut SimNic, a_id: NodeId, b: &mut SimNic, b_id: NodeId, start: Vec<(NodeId, RocePacket)>) {
+    fn pump(
+        a: &mut SimNic,
+        a_id: NodeId,
+        b: &mut SimNic,
+        b_id: NodeId,
+        start: Vec<(NodeId, RocePacket)>,
+    ) {
         let now = Instant::ZERO;
         let mut queue: Vec<(NodeId, RocePacket)> = start;
         while let Some((dst, roce)) = queue.pop() {
-            let (nic, src) = if dst == a_id { (&mut *a, a_id) } else { (&mut *b, b_id) };
+            let (nic, src) = if dst == a_id {
+                (&mut *a, a_id)
+            } else {
+                (&mut *b, b_id)
+            };
             let pkt = to_sim_packet(if dst == a_id { b_id } else { a_id }, src, &roce, 0);
             let out = nic.handle_packet(&pkt, now);
             queue.extend(out.emit);

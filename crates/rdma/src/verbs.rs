@@ -91,7 +91,11 @@ impl Completion {
     }
 
     pub fn err(wr_id: u64, kind: WrKind, status: CompletionStatus) -> Completion {
-        Completion { wr_id, kind, status }
+        Completion {
+            wr_id,
+            kind,
+            status,
+        }
     }
 
     pub fn is_ok(&self) -> bool {

@@ -76,7 +76,10 @@ impl Opcode {
 
     /// Does a packet with this opcode carry a RETH?
     pub fn has_reth(self) -> bool {
-        matches!(self, Opcode::ReadRequest | Opcode::WriteFirst | Opcode::WriteOnly)
+        matches!(
+            self,
+            Opcode::ReadRequest | Opcode::WriteFirst | Opcode::WriteOnly
+        )
     }
 
     /// Does a packet with this opcode carry an AETH?
@@ -583,6 +586,9 @@ mod tests {
             2560 + OUTER_OVERHEAD + BTH_LEN + RETH_LEN + 2 * (OUTER_OVERHEAD + BTH_LEN)
         );
         // Zero-length write still emits one packet.
-        assert_eq!(write_wire_size(0, 1024), OUTER_OVERHEAD + BTH_LEN + RETH_LEN);
+        assert_eq!(
+            write_wire_size(0, 1024),
+            OUTER_OVERHEAD + BTH_LEN + RETH_LEN
+        );
     }
 }

@@ -1,0 +1,117 @@
+//! Scheduled fault scripts: node crash/restart and link down/up windows.
+//!
+//! The per-link probabilistic faults in [`crate::link`] model a lossy medium;
+//! this module models *correlated* failures — a spot VM being preempted, a
+//! ToR losing a port — as events on the simulation clock. A script is just a
+//! list of `(time, event)` pairs applied to a [`crate::sim::Sim`] before (or
+//! between) runs, so failover experiments stay a pure function of the seed.
+//!
+//! Semantics (enforced by the kernel):
+//!
+//! * **NodeDown**: the node is frozen. Packets delivered to it and timers it
+//!   had set are silently discarded while it is down (counted in
+//!   [`crate::sim::Sim::faults`]). Its state is retained — tests can still
+//!   inspect it with `node_ref` — mirroring a crashed process whose memory is
+//!   gone from the network's point of view.
+//! * **NodeUp**: the node thaws and its [`crate::sim::Node::on_start`] runs
+//!   again so it can re-arm timers. Events dropped during the outage are not
+//!   replayed; recovery is the node's problem, as in real life.
+//! * **LinkDown**: the directional link stops accepting packets (drops are
+//!   counted in [`crate::link::LinkStats::dropped_linkdown`]); anything
+//!   queued or currently serializing is lost. Packets already propagating
+//!   (past serialization) still arrive — they left the port before it died.
+//! * **LinkUp**: the link accepts traffic again, with empty queues.
+
+use crate::link::LinkId;
+use crate::sim::NodeId;
+use crate::time::Instant;
+
+/// One scheduled fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultEvent {
+    /// Freeze a node: drop its deliveries and timers until `NodeUp`.
+    NodeDown(NodeId),
+    /// Thaw a node and re-run its `on_start`.
+    NodeUp(NodeId),
+    /// Take a directional link down, losing queued and serializing packets.
+    LinkDown(LinkId),
+    /// Bring a directional link back up.
+    LinkUp(LinkId),
+}
+
+/// A builder for a list of timed faults.
+///
+/// ```
+/// use simnet::fault::FaultScript;
+/// use simnet::sim::NodeId;
+/// use simnet::time::{Duration, Instant};
+///
+/// let script = FaultScript::new()
+///     .node_down(Instant::ZERO + Duration::from_micros(50), NodeId(1))
+///     .node_up(Instant::ZERO + Duration::from_micros(80), NodeId(1));
+/// assert_eq!(script.events().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultScript {
+    events: Vec<(Instant, FaultEvent)>,
+}
+
+impl FaultScript {
+    pub fn new() -> FaultScript {
+        FaultScript::default()
+    }
+
+    /// Schedule an arbitrary fault event.
+    pub fn at(mut self, at: Instant, ev: FaultEvent) -> FaultScript {
+        self.events.push((at, ev));
+        self
+    }
+
+    /// Crash `node` at `at`.
+    pub fn node_down(self, at: Instant, node: NodeId) -> FaultScript {
+        self.at(at, FaultEvent::NodeDown(node))
+    }
+
+    /// Restart `node` at `at`.
+    pub fn node_up(self, at: Instant, node: NodeId) -> FaultScript {
+        self.at(at, FaultEvent::NodeUp(node))
+    }
+
+    /// Take `link` down at `at`.
+    pub fn link_down(self, at: Instant, link: LinkId) -> FaultScript {
+        self.at(at, FaultEvent::LinkDown(link))
+    }
+
+    /// Bring `link` up at `at`.
+    pub fn link_up(self, at: Instant, link: LinkId) -> FaultScript {
+        self.at(at, FaultEvent::LinkUp(link))
+    }
+
+    /// Convenience: a node outage over a half-open window `[from, to)`.
+    pub fn node_outage(self, node: NodeId, from: Instant, to: Instant) -> FaultScript {
+        assert!(from < to, "outage window must be non-empty");
+        self.node_down(from, node).node_up(to, node)
+    }
+
+    /// Convenience: a link outage over a half-open window `[from, to)`.
+    pub fn link_outage(self, link: LinkId, from: Instant, to: Instant) -> FaultScript {
+        assert!(from < to, "outage window must be non-empty");
+        self.link_down(from, link).link_up(to, link)
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[(Instant, FaultEvent)] {
+        &self.events
+    }
+}
+
+/// Counters for fault-script side effects, kept on the [`crate::sim::Sim`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Fault events applied.
+    pub faults_applied: u64,
+    /// Packets discarded because the destination node was down.
+    pub deliveries_dropped: u64,
+    /// Timer firings discarded because the node was down.
+    pub timers_dropped: u64,
+}

@@ -17,7 +17,9 @@
 //!   (priority 0 is served first — Cowbird probes ride at priority 7, the
 //!   lowest, per §5.2 of the paper).
 //! * **Fault injection**: per-link drop and corruption probabilities, applied
-//!   deterministically from the simulation seed.
+//!   deterministically from the simulation seed, plus scheduled fault scripts
+//!   ([`fault::FaultScript`]) that crash/restart nodes and take links down —
+//!   the substrate for the engine-failover experiments.
 //! * **Accounting**: per-link busy time split by priority class, used by the
 //!   Fig. 14 TCP-contention experiment.
 //!
@@ -28,6 +30,7 @@
 //! xoshiro256** locally so results are stable across toolchains.
 
 pub mod cpu;
+pub mod fault;
 pub mod link;
 pub mod rng;
 pub mod sim;
@@ -37,6 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use cpu::CpuSpec;
+pub use fault::{FaultEvent, FaultScript, FaultStats};
 pub use link::{LinkId, LinkParams, LinkStats, Priority};
 pub use rng::Rng;
 pub use sim::{Ctx, Node, NodeId, Packet, Sim};

@@ -91,6 +91,8 @@ pub struct LinkStats {
     pub dropped_overflow: u64,
     /// Packets dropped: injected fault.
     pub dropped_fault: u64,
+    /// Packets dropped: the link was down (scheduled fault script).
+    pub dropped_linkdown: u64,
     /// Packets with an injected corruption.
     pub corrupted: u64,
     /// Serialization time spent per priority class.
@@ -130,6 +132,11 @@ pub(crate) struct Link {
     queued: usize,
     /// The packet currently serializing, if any.
     in_flight: Option<Packet>,
+    /// `false` while the link is taken down by a fault script.
+    up: bool,
+    /// The in-flight packet was on the wire when the link went down; it must
+    /// be discarded when its (already scheduled) tx-done event fires.
+    doomed: bool,
     stats: LinkStats,
 }
 
@@ -142,8 +149,27 @@ impl Link {
             queues: Default::default(),
             queued: 0,
             in_flight: None,
+            up: true,
+            doomed: false,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Take the link down (losing queued and serializing packets) or bring it
+    /// back up with empty queues.
+    pub(crate) fn set_up(&mut self, up: bool) {
+        if !up {
+            let lost: usize = self.queues.iter().map(|q| q.len()).sum();
+            self.stats.dropped_linkdown += lost as u64;
+            for q in self.queues.iter_mut() {
+                q.clear();
+            }
+            self.queued = 0;
+            if self.in_flight.is_some() {
+                self.doomed = true;
+            }
+        }
+        self.up = up;
     }
 
     pub(crate) fn stats(&self) -> &LinkStats {
@@ -157,6 +183,10 @@ impl Link {
     /// Offer a packet. Returns `Some(tx_done_time)` if the link was idle and
     /// starts transmitting immediately; `None` if queued (or dropped).
     pub(crate) fn enqueue(&mut self, now: Instant, pkt: Packet, _rng: &mut Rng) -> Option<Instant> {
+        if !self.up {
+            self.stats.dropped_linkdown += 1;
+            return None;
+        }
         let prio = pkt.prio.min(7) as usize;
         if self.in_flight.is_none() {
             debug_assert_eq!(self.queued, 0);
@@ -190,10 +220,12 @@ impl Link {
     ) -> (Option<(Packet, Instant)>, Option<Instant>) {
         let mut pkt = self.in_flight.take().expect("tx_done without in-flight");
 
-        // Start the next queued packet (strict priority).
+        // Start the next queued packet (strict priority). Packets can be
+        // queued even behind a doomed packet: the link may have come back up
+        // while the dead transmission's tx-done event was still in flight.
         let mut next_done = None;
-        for q in self.queues.iter_mut() {
-            if let Some(next) = q.pop_front() {
+        for prio in 0..PRIO_LEVELS {
+            if let Some(next) = self.queues[prio].pop_front() {
                 self.queued -= 1;
                 let tx = Duration::for_bytes(next.wire_bytes.max(1), self.params.bandwidth_bps);
                 self.stats.tx_packets += 1;
@@ -203,6 +235,12 @@ impl Link {
                 next_done = Some(now + tx);
                 break;
             }
+        }
+
+        // The link went down while this packet was serializing: it is lost.
+        if std::mem::replace(&mut self.doomed, false) {
+            self.stats.dropped_linkdown += 1;
+            return (None, next_done);
         }
 
         // Fault injection on the finished packet.
@@ -267,7 +305,9 @@ mod tests {
         let mut rng = Rng::new(0);
         link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng);
         for _ in 0..2 {
-            assert!(link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng).is_none());
+            assert!(link
+                .enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng)
+                .is_none());
         }
         assert_eq!(link.stats().dropped_overflow, 0);
         link.enqueue(Instant::ZERO, mk_pkt(100, 3), &mut rng);
@@ -279,7 +319,9 @@ mod tests {
         let params = LinkParams::new(1e9, Duration::ZERO).with_drop_probability(1.0);
         let mut link = Link::new(NodeId(0), NodeId(1), params);
         let mut rng = Rng::new(0);
-        let done = link.enqueue(Instant::ZERO, mk_pkt(100, 0), &mut rng).unwrap();
+        let done = link
+            .enqueue(Instant::ZERO, mk_pkt(100, 0), &mut rng)
+            .unwrap();
         let (finished, _) = link.tx_done(done, &mut rng);
         assert!(finished.is_none());
         assert_eq!(link.stats().dropped_fault, 1);
@@ -290,7 +332,9 @@ mod tests {
         let params = LinkParams::new(1e9, Duration::ZERO).with_corrupt_probability(1.0);
         let mut link = Link::new(NodeId(0), NodeId(1), params);
         let mut rng = Rng::new(0);
-        let done = link.enqueue(Instant::ZERO, mk_pkt(64, 0), &mut rng).unwrap();
+        let done = link
+            .enqueue(Instant::ZERO, mk_pkt(64, 0), &mut rng)
+            .unwrap();
         let (finished, _) = link.tx_done(done, &mut rng);
         let (pkt, _at) = finished.unwrap();
         assert!(pkt.meta & CORRUPT_FLAG != 0);
@@ -304,7 +348,9 @@ mod tests {
         // priority-7 packet never gets a slot until the flood stops.
         let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
         let mut rng = Rng::new(0);
-        let mut t = link.enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng).unwrap();
+        let mut t = link
+            .enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng)
+            .unwrap();
         link.enqueue(Instant::ZERO, mk_pkt(125, 7), &mut rng);
         for _ in 0..50 {
             link.enqueue(t, mk_pkt(125, 0), &mut rng);
@@ -326,7 +372,9 @@ mod tests {
     fn busy_accounting_by_priority() {
         let mut link = Link::new(NodeId(0), NodeId(1), LinkParams::new(1e9, Duration::ZERO));
         let mut rng = Rng::new(0);
-        let done = link.enqueue(Instant::ZERO, mk_pkt(125, 2), &mut rng).unwrap();
+        let done = link
+            .enqueue(Instant::ZERO, mk_pkt(125, 2), &mut rng)
+            .unwrap();
         link.enqueue(Instant::ZERO, mk_pkt(250, 5), &mut rng);
         let (_f, next) = link.tx_done(done, &mut rng);
         let next = next.unwrap();

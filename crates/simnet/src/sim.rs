@@ -10,6 +10,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use crate::fault::{FaultEvent, FaultScript, FaultStats};
 use crate::link::{Link, LinkId, LinkParams, LinkStats};
 use crate::rng::Rng;
 use crate::time::{Duration, Instant};
@@ -132,6 +133,8 @@ enum Event {
     Timer(NodeId, u64),
     /// A transmission on a directional link has finished serializing.
     LinkTxDone(usize),
+    /// A scheduled fault (node crash/restart, link down/up) takes effect.
+    Fault(FaultEvent),
 }
 
 struct HeapEntry {
@@ -164,6 +167,10 @@ pub struct Sim {
     heap: BinaryHeap<Reverse<HeapEntry>>,
     nodes: Vec<Option<Box<dyn Node>>>,
     started: Vec<bool>,
+    /// `true` while a node is crashed by a fault script.
+    down: Vec<bool>,
+    /// Side-effect counters for fault scripts.
+    faults: FaultStats,
     /// Directional links, densely indexed; `route[(src, dst)]` -> link index.
     links: Vec<Link>,
     route: HashMap<(NodeId, NodeId), usize>,
@@ -184,6 +191,8 @@ impl Sim {
             heap: BinaryHeap::new(),
             nodes: Vec::new(),
             started: Vec::new(),
+            down: Vec::new(),
+            faults: FaultStats::default(),
             links: Vec::new(),
             route: HashMap::new(),
             rng: Rng::new(seed),
@@ -210,6 +219,7 @@ impl Sim {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.started.push(false);
+        self.down.push(false);
         id
     }
 
@@ -241,6 +251,63 @@ impl Sim {
     /// Utilization and drop statistics for a link.
     pub fn link_stats(&self, id: LinkId) -> &LinkStats {
         self.links[id.0].stats()
+    }
+
+    /// Side-effect counters for fault scripts.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+    }
+
+    /// Whether `id` is currently crashed by a fault script.
+    pub fn node_is_down(&self, id: NodeId) -> bool {
+        self.down[id.0 as usize]
+    }
+
+    /// Schedule a single fault. `at` must not be in the simulated past.
+    pub fn schedule_fault(&mut self, at: Instant, ev: FaultEvent) {
+        assert!(at >= self.now, "fault scheduled in the past");
+        match ev {
+            FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => {
+                assert!((n.0 as usize) < self.nodes.len(), "fault on unknown node");
+            }
+            FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) => {
+                assert!(l.0 < self.links.len(), "fault on unknown link");
+            }
+        }
+        self.push(at, Event::Fault(ev));
+    }
+
+    /// Schedule every event of a fault script.
+    pub fn apply_fault_script(&mut self, script: &FaultScript) {
+        for &(at, ev) in script.events() {
+            self.schedule_fault(at, ev);
+        }
+    }
+
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        self.faults.faults_applied += 1;
+        match ev {
+            FaultEvent::NodeDown(n) => {
+                self.trace.log(self.now, || format!("fault: {:?} down", n));
+                self.down[n.0 as usize] = true;
+            }
+            FaultEvent::NodeUp(n) => {
+                self.trace.log(self.now, || format!("fault: {:?} up", n));
+                if std::mem::replace(&mut self.down[n.0 as usize], false) {
+                    // Thaw: re-run on_start so the node can re-arm timers
+                    // (everything it had scheduled was dropped while down).
+                    self.dispatch(n, |node, ctx| node.on_start(ctx));
+                }
+            }
+            FaultEvent::LinkDown(l) => {
+                self.trace.log(self.now, || format!("fault: {:?} down", l));
+                self.links[l.0].set_up(false);
+            }
+            FaultEvent::LinkUp(l) => {
+                self.trace.log(self.now, || format!("fault: {:?} up", l));
+                self.links[l.0].set_up(true);
+            }
+        }
     }
 
     fn push(&mut self, at: Instant, ev: Event) {
@@ -340,6 +407,10 @@ impl Sim {
             }
             match entry.ev {
                 Event::Deliver(dst, pkt) => {
+                    if self.down[dst.0 as usize] {
+                        self.faults.deliveries_dropped += 1;
+                        continue;
+                    }
                     self.trace.log(self.now, || {
                         format!(
                             "rx {:?}<-{:?} {}B prio{} meta={:#x}",
@@ -349,9 +420,14 @@ impl Sim {
                     self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx));
                 }
                 Event::Timer(node, tag) => {
+                    if self.down[node.0 as usize] {
+                        self.faults.timers_dropped += 1;
+                        continue;
+                    }
                     self.dispatch(node, |n, ctx| n.on_timer(tag, ctx));
                 }
                 Event::LinkTxDone(idx) => self.link_tx_done(idx),
+                Event::Fault(ev) => self.apply_fault(ev),
             }
         }
         if let Some(d) = deadline {
@@ -545,6 +621,175 @@ mod tests {
             sim.events_processed()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Sends one packet to its peer every `period`, counting replies.
+    struct Beacon {
+        peer: NodeId,
+        period: Duration,
+        sent: u64,
+        replies: u64,
+    }
+
+    impl Node for Beacon {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(self.period, 0);
+        }
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {
+            self.replies += 1;
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
+            self.sent += 1;
+            let id = ctx.node_id();
+            ctx.send(Packet::new(id, self.peer, 100, vec![]));
+            ctx.set_timer(self.period, 0);
+        }
+    }
+
+    #[test]
+    fn node_outage_drops_traffic_then_recovers() {
+        let mut sim = Sim::new(11);
+        let beacon = sim.add_node(Box::new(Beacon {
+            peer: NodeId(1),
+            period: Duration::from_micros(1),
+            sent: 0,
+            replies: 0,
+        }));
+        let echo = sim.add_node(Box::new(Echo {
+            think: Duration::ZERO,
+            pending: vec![],
+            received: 0,
+        }));
+        sim.connect(beacon, echo, params_100g());
+        // Echo is dead for 30..60 us of a 100 us run.
+        let script = FaultScript::new().node_outage(
+            echo,
+            Instant::ZERO + Duration::from_micros(30),
+            Instant::ZERO + Duration::from_micros(60),
+        );
+        sim.apply_fault_script(&script);
+        sim.run_for(Duration::from_micros(100));
+        let b: &Beacon = sim.node_ref(beacon);
+        assert_eq!(b.sent, 100);
+        // Beacons sent in 30..60 us land inside the outage and are discarded;
+        // replies to the 99/100 us beacons are still in flight at the
+        // deadline. 98 answered beacons - 30 lost = 68 replies.
+        assert_eq!(b.replies, 68);
+        let stats = sim.fault_stats();
+        assert_eq!(stats.faults_applied, 2);
+        assert_eq!(stats.deliveries_dropped, 30);
+        assert!(!sim.node_is_down(echo));
+    }
+
+    #[test]
+    fn node_up_reruns_on_start() {
+        struct Restarts {
+            starts: u64,
+        }
+        impl Node for Restarts {
+            fn on_start(&mut self, _ctx: &mut Ctx) {
+                self.starts += 1;
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx) {}
+        }
+        let mut sim = Sim::new(12);
+        let id = sim.add_node(Box::new(Restarts { starts: 0 }));
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_micros(1),
+            FaultEvent::NodeDown(id),
+        );
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_micros(2),
+            FaultEvent::NodeUp(id),
+        );
+        sim.run_for(Duration::from_micros(5));
+        assert_eq!(sim.node_ref::<Restarts>(id).starts, 2);
+        // NodeUp on a node that is not down is a no-op (no extra on_start).
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_micros(6),
+            FaultEvent::NodeUp(id),
+        );
+        sim.run_for(Duration::from_micros(5));
+        assert_eq!(sim.node_ref::<Restarts>(id).starts, 2);
+    }
+
+    #[test]
+    fn link_outage_loses_packets_in_window() {
+        let mut sim = Sim::new(13);
+        let beacon = sim.add_node(Box::new(Beacon {
+            peer: NodeId(1),
+            period: Duration::from_micros(1),
+            sent: 0,
+            replies: 0,
+        }));
+        let echo = sim.add_node(Box::new(Echo {
+            think: Duration::ZERO,
+            pending: vec![],
+            received: 0,
+        }));
+        let (fwd, _rev) = sim.connect(beacon, echo, params_100g());
+        let script = FaultScript::new().link_outage(
+            fwd,
+            Instant::ZERO + Duration::from_micros(20),
+            Instant::ZERO + Duration::from_micros(40),
+        );
+        sim.apply_fault_script(&script);
+        sim.run_for(Duration::from_micros(100));
+        let b: &Beacon = sim.node_ref(beacon);
+        assert_eq!(b.sent, 100);
+        // Beacons offered at 20..40 us hit the dead link; replies to the
+        // 99/100 us beacons are still in flight at the deadline.
+        let lost = sim.link_stats(fwd).dropped_linkdown;
+        assert_eq!(lost, 20);
+        assert_eq!(b.replies, 98 - lost);
+    }
+
+    #[test]
+    fn timers_of_down_node_are_discarded() {
+        struct Ticker {
+            ticks: u64,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx) {
+                self.ticks += 1;
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+        }
+        let mut sim = Sim::new(14);
+        let id = sim.add_node(Box::new(Ticker { ticks: 0 }));
+        // Down at 3.5 us: the 4 us tick is dropped and the chain is broken,
+        // so even after NodeUp re-arms via on_start, only the post-restart
+        // ticks accrue.
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_nanos(3500),
+            FaultEvent::NodeDown(id),
+        );
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_micros(7),
+            FaultEvent::NodeUp(id),
+        );
+        sim.run_for(Duration::from_micros(10));
+        // 3 ticks before the crash (1, 2, 3 us) + 3 after restart (8, 9, 10 us).
+        assert_eq!(sim.node_ref::<Ticker>(id).ticks, 6);
+        assert_eq!(sim.fault_stats().timers_dropped, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault scheduled in the past")]
+    fn past_fault_rejected() {
+        let mut sim = Sim::new(15);
+        let id = sim.add_node(Box::new(Echo {
+            think: Duration::ZERO,
+            pending: vec![],
+            received: 0,
+        }));
+        sim.run_for(Duration::from_micros(5));
+        sim.schedule_fault(Instant::ZERO, FaultEvent::NodeDown(id));
     }
 
     #[test]

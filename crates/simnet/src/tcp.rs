@@ -221,8 +221,8 @@ mod tests {
                 fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
                 fn on_timer(&mut self, _t: u64, ctx: &mut Ctx) {
                     let dst = self.dst;
-                    let pkt = Packet::new(ctx.node_id(), dst, self.wire, Vec::new())
-                        .with_prio(self.prio);
+                    let pkt =
+                        Packet::new(ctx.node_id(), dst, self.wire, Vec::new()).with_prio(self.prio);
                     ctx.send(pkt);
                     ctx.set_timer(self.period, 0);
                 }
@@ -260,15 +260,15 @@ mod tests {
             let mut flow = TcpFlow::new(sink_id, 6);
             if interfere {
                 // High-priority 1518 B packets at ~half the link rate.
-                flow = flow.with_interferer(
-                    Duration::for_bytes(1518 * 2, 10e9),
-                    1518,
-                    0,
-                );
+                flow = flow.with_interferer(Duration::for_bytes(1518 * 2, 10e9), 1518, 0);
             }
             sim.add_node(Box::new(flow));
             sim.add_node(Box::new(TcpSink::new(6)));
-            sim.connect(flow_id, sink_id, LinkParams::new(10e9, Duration::from_micros(10)));
+            sim.connect(
+                flow_id,
+                sink_id,
+                LinkParams::new(10e9, Duration::from_micros(10)),
+            );
             sim.run_for(Duration::from_millis(20));
             let flow: &TcpFlow = sim.node_ref(flow_id);
             flow.goodput_gbps(crate::time::Instant(Duration::from_millis(20).nanos()))

@@ -16,7 +16,9 @@ impl Trace {
     }
 
     pub fn enabled() -> Trace {
-        Trace { lines: Some(Vec::new()) }
+        Trace {
+            lines: Some(Vec::new()),
+        }
     }
 
     pub fn is_enabled(&self) -> bool {

@@ -152,8 +152,8 @@ mod tests {
         assert!((small.total_bytes() as f64 / 1e9 - 18.0).abs() < 0.1);
         let large = YcsbSpec::paper_large();
         assert_eq!(large.total_bytes(), 50_000_000 * 520); // 26 GB raw
-        // The paper reports 24 GB (GiB vs GB and metadata rounding);
-        // within 10%.
+                                                           // The paper reports 24 GB (GiB vs GB and metadata rounding);
+                                                           // within 10%.
         assert!((large.total_bytes() as f64 / 1e9 - 24.0).abs() < 3.0);
     }
 
@@ -176,7 +176,7 @@ mod tests {
         let mut spec = YcsbSpec::fig12_aifm();
         spec.records = 100;
         let mut g = spec.generator(1);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..10_000 {
             seen[g.next_key() as usize] = true;
         }

@@ -28,7 +28,10 @@ impl ZipfSampler {
     /// 1.01; the paper never needs 1).
     pub fn new(n: u64, theta: f64) -> ZipfSampler {
         assert!(n >= 1, "need at least one item");
-        assert!(theta >= 0.0 && (theta - 1.0).abs() > 1e-9, "theta must be >= 0 and != 1");
+        assert!(
+            theta >= 0.0 && (theta - 1.0).abs() > 1e-9,
+            "theta must be >= 0 and != 1"
+        );
         let h_integral = |x: f64| -> f64 { x.powf(1.0 - theta) / (1.0 - theta) };
         let h_x1 = h_integral(1.5) - 1.0; // -1 = -h(1)
         let h_n = h_integral(n as f64 + 0.5);
@@ -72,9 +75,7 @@ impl ZipfSampler {
             let x = self.h_integral_inverse(u);
             let mut k = (x + 0.5).floor() as u64;
             k = k.clamp(1, self.n);
-            if (k as f64 - x) <= self.s
-                || u >= self.h_integral(k as f64 + 0.5) - self.h(k as f64)
-            {
+            if (k as f64 - x) <= self.s || u >= self.h_integral(k as f64 + 0.5) - self.h(k as f64) {
                 return k;
             }
         }

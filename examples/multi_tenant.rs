@@ -27,7 +27,7 @@ fn main() {
 
     // One shared pool; each tenant gets a disjoint 4 MiB slice registered
     // as its own region id.
-    let pool_mem = Region::new((TENANTS * (4 << 20)) as usize);
+    let pool_mem = Region::new(TENANTS * (4 << 20));
     let pool_rkey = pool_nic.register(pool_mem.clone());
 
     let mut agents = Vec::new();
@@ -73,9 +73,7 @@ fn main() {
                 let marker = (t as u8 + 1) * 0x11;
                 for i in 0..OPS_PER_TENANT {
                     let off = (i % 1024) * 64;
-                    let w = ch
-                        .async_write(1, off, &[marker; 64])
-                        .expect("write issues");
+                    let w = ch.async_write(1, off, &[marker; 64]).expect("write issues");
                     assert!(ch.wait(w, u64::MAX));
                     let h = ch.async_read(1, off, 64).expect("read issues");
                     assert!(ch.wait(h.id, u64::MAX));

@@ -4,7 +4,7 @@
 //! a compute node, a memory pool, and a Cowbird-Spot offload engine running
 //! on its own thread — then reads and writes remote memory from the
 //! application thread using nothing but `async_read` / `async_write` /
-//! `poll_wait`. No RDMA verb is ever posted by this thread; the agent does
+//! `poll_wait_timeout`. No RDMA verb is ever posted by this thread; the agent does
 //! all of it.
 //!
 //! Run with: `cargo run --release --example quickstart`
@@ -76,7 +76,9 @@ fn main() {
     let mut group = PollGroup::new();
     let h = channel.async_read(1, 4096, 27).expect("issue read");
     group.add(h.id);
-    let done = group.poll_wait(&mut channel, 1, u64::MAX);
+    let done = group
+        .poll_wait_timeout(&mut channel, 1, u64::MAX)
+        .expect("engine alive");
     assert_eq!(done, vec![h.id]);
     let data = channel.take_response(&h).expect("take response");
     println!("read back: {:?}", String::from_utf8_lossy(&data));
@@ -87,7 +89,9 @@ fn main() {
     // Pipeline a burst of reads — the asynchronous pattern that lets the
     // CPU compute while the engine moves data.
     for i in 0..64u64 {
-        pool_mem.write(64 * 1024 + i * 8, &(i * i).to_le_bytes()).unwrap();
+        pool_mem
+            .write(64 * 1024 + i * 8, &(i * i).to_le_bytes())
+            .unwrap();
     }
     let mut handles = Vec::new();
     for i in 0..64u64 {
@@ -97,7 +101,10 @@ fn main() {
     }
     let mut completed = 0;
     while completed < 64 {
-        completed += group.poll_wait(&mut channel, 64, u64::MAX).len();
+        completed += group
+            .poll_wait_timeout(&mut channel, 64, u64::MAX)
+            .expect("engine alive")
+            .len();
     }
     for (i, h) in handles.iter().enumerate() {
         let v = channel.take_response(h).unwrap();

@@ -71,7 +71,10 @@ fn main() {
     // The switch program's resource footprint (Table 5).
     let spec = cowbird_p4_spec();
     spec.validate().expect("fits a Tofino");
-    println!("\nCowbird-P4 pipeline resources: {}", ResourceUsage::of(&spec));
+    println!(
+        "\nCowbird-P4 pipeline resources: {}",
+        ResourceUsage::of(&spec)
+    );
     println!(
         "(paper Table 5: PHV 1085 b | SRAM 1424 KB | TCAM 1.28 KB | 12 stages | 38 VLIW | 11 sALU)"
     );

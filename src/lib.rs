@@ -15,9 +15,9 @@
 //! * [`experiments`] — the experiment harness regenerating every figure and table
 
 pub use baselines;
-pub use experiments;
 pub use cowbird;
 pub use cowbird_engine;
+pub use experiments;
 pub use kvstore;
 pub use p4rt;
 pub use rdma;

@@ -173,7 +173,10 @@ fn concurrent_channels_from_many_threads() {
                     if handles.len() >= 16 {
                         let mut got = 0;
                         while got < handles.len() {
-                            got += group.poll_wait(&mut ch, 16, u64::MAX).len();
+                            got += group
+                                .poll_wait_timeout(&mut ch, 16, u64::MAX)
+                                .expect("engine alive")
+                                .len();
                         }
                         for (i, h) in handles.drain(..) {
                             let v = ch.take_response(&h).unwrap();

@@ -72,7 +72,11 @@ fn deterministic_across_runs() {
         });
         sim.run_until(Some(Instant(Duration::from_secs(1).nanos())));
         let client: &CowbirdClientNode = sim.node_ref(cid);
-        (client.latency.median(), client.latency.p99(), sim.events_processed())
+        (
+            client.latency.median(),
+            client.latency.p99(),
+            sim.events_processed(),
+        )
     };
     assert_eq!(run(77), run(77), "same seed, same world");
     assert_ne!(run(77), run(78), "different seed, different world");
@@ -89,7 +93,7 @@ fn two_instances_share_one_engine() {
 
     let pool_mem = Region::new(1 << 20);
     for i in 0..(1 << 14) {
-        pool_mem.write(i * 64, &(i as u64).to_le_bytes()).unwrap();
+        pool_mem.write(i * 64, &i.to_le_bytes()).unwrap();
     }
     let mut pool = PoolNode::new();
     let pool_rkey = pool.register(pool_mem);
@@ -140,7 +144,9 @@ fn two_instances_share_one_engine() {
     sim.connect(engine_id, pool_id, LinkParams::rack_100g());
 
     // Both channels issue interleaved work from outside the sim.
-    let ha: Vec<_> = (0..32u64).map(|i| ch_a.async_read(1, i * 64, 8).unwrap()).collect();
+    let ha: Vec<_> = (0..32u64)
+        .map(|i| ch_a.async_read(1, i * 64, 8).unwrap())
+        .collect();
     let hb: Vec<_> = (0..32u64)
         .map(|i| ch_b.async_read(1, (i + 100) * 64, 8).unwrap())
         .collect();

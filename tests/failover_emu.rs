@@ -1,0 +1,227 @@
+//! End-to-end engine failover over the real-thread emulated fabric: a
+//! Cowbird-Spot agent is killed (or frozen) mid-workload, the client detects
+//! the stall, fences the dead epoch, and attaches a standby that adopts the
+//! channel from the red bookkeeping block. Every request must complete
+//! exactly once, reads must still observe the writes that precede them in
+//! issue order, and a zombie predecessor must be rejected by the epoch
+//! fence.
+
+use cowbird::channel::Channel;
+use cowbird::error::WaitError;
+use cowbird::layout::ChannelLayout;
+use cowbird::poll::PollGroup;
+use cowbird::region::{RegionMap, RemoteRegion};
+use cowbird::reqid::OpType;
+use cowbird_engine::core::EngineConfig;
+use cowbird_engine::spot::{SpotAgent, SpotWiring};
+use rdma::emu::{EmuFabric, EmuNic};
+use rdma::mem::{Region, Rkey};
+
+/// One channel plus the spare parts needed to attach standby engines.
+struct Rig {
+    fabric: EmuFabric,
+    ch: Channel,
+    pool_mem: Region,
+    agent: Option<SpotAgent>,
+    compute: EmuNic,
+    pool: EmuNic,
+    channel_rkey: Rkey,
+    layout: ChannelLayout,
+    regions: RegionMap,
+}
+
+impl Rig {
+    /// Attach a standby engine on a fresh NIC (a different VM): new QPs to
+    /// the compute node and the pool, adopting the channel from the red
+    /// block.
+    fn standby(&mut self) -> SpotAgent {
+        let nic = self.fabric.add_nic();
+        let (c_qpn, _) = self.fabric.connect(&nic, &self.compute);
+        let (p_qpn, _) = self.fabric.connect(&nic, &self.pool);
+        SpotAgent::spawn_standby(
+            SpotWiring {
+                nic,
+                compute_qpn: c_qpn,
+                pool_qpn: p_qpn,
+                channel_rkey: self.channel_rkey,
+            },
+            EngineConfig::spot(self.layout, self.regions.clone(), 16),
+        )
+    }
+}
+
+fn deploy() -> Rig {
+    let mut fabric = EmuFabric::new();
+    let compute = fabric.add_nic();
+    let engine = fabric.add_nic();
+    let pool = fabric.add_nic();
+
+    let pool_mem = Region::new(1 << 20);
+    let pool_rkey = pool.register(pool_mem.clone());
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 1 << 20,
+        },
+    );
+    let layout = ChannelLayout::default_sizes();
+    let ch = Channel::new(0, layout, regions.clone());
+    let channel_rkey = compute.register(ch.region().clone());
+
+    let (eng_c, _) = fabric.connect(&engine, &compute);
+    let (eng_p, _) = fabric.connect(&engine, &pool);
+    let agent = SpotAgent::spawn(
+        SpotWiring {
+            nic: engine,
+            compute_qpn: eng_c,
+            pool_qpn: eng_p,
+            channel_rkey,
+        },
+        EngineConfig::spot(layout, regions.clone(), 16),
+    );
+    Rig {
+        fabric,
+        ch,
+        pool_mem,
+        agent: Some(agent),
+        compute,
+        pool,
+        channel_rkey,
+        layout,
+        regions,
+    }
+}
+
+/// Kill the primary mid-workload with requests in flight; the client
+/// detects the stall, fences, attaches a standby, and every one of the
+/// pipelined write+read pairs completes exactly once with read-after-write
+/// intact across the takeover.
+#[test]
+fn kill_mid_workload_standby_completes_everything_exactly_once() {
+    const PAIRS: u64 = 64;
+    let mut rig = deploy();
+    let mut group = PollGroup::new();
+    let mut reads = Vec::new();
+
+    let issue_pair = |ch: &mut Channel, group: &mut PollGroup, reads: &mut Vec<_>, i: u64| {
+        let addr = i * 64;
+        let w = ch
+            .async_write(1, addr, &(i ^ 0xABCD).to_le_bytes())
+            .unwrap();
+        let r = ch.async_read(1, addr, 8).unwrap();
+        group.add(w);
+        group.add(r.id);
+        reads.push((i, r));
+    };
+
+    // First tranche; wait until the engine is demonstrably mid-stream.
+    for i in 0..20 {
+        issue_pair(&mut rig.ch, &mut group, &mut reads, i);
+    }
+    while {
+        rig.ch.refresh();
+        rig.ch.progress(OpType::Read) < 5
+    } {
+        std::thread::yield_now();
+    }
+
+    // Revocation without warning: in-flight work is abandoned.
+    let dead = rig.agent.take().unwrap().kill();
+    assert!(!dead.fenced, "killed, not fenced");
+
+    // Keep issuing against the dead engine.
+    for i in 20..PAIRS {
+        issue_pair(&mut rig.ch, &mut group, &mut reads, i);
+    }
+
+    // Collect until the progress-stall watchdog trips.
+    let mut done = 0usize;
+    let total = 2 * PAIRS as usize;
+    loop {
+        match group.poll_wait_timeout(&mut rig.ch, total - done, 200_000) {
+            Ok(ids) => done += ids.len(),
+            Err(WaitError::EngineStalled { .. }) => break,
+            Err(e) => panic!("unexpected wait error: {e}"),
+        }
+        assert!(done < total, "dead engine cannot finish the workload");
+    }
+
+    // Fence the dead epoch and fail over.
+    assert_eq!(rig.ch.fence_engine(), 1);
+    let standby = rig.standby();
+    while done < total {
+        match group.poll_wait_timeout(&mut rig.ch, total - done, 200_000) {
+            Ok(ids) => done += ids.len(),
+            // The standby may still be adopting; keep waiting.
+            Err(WaitError::EngineStalled { .. }) => continue,
+            Err(e) => panic!("unexpected wait error: {e}"),
+        }
+    }
+
+    // Read-after-write holds across the takeover.
+    for (i, r) in &reads {
+        let v = rig.ch.take_response(r).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(v.try_into().unwrap()),
+            i ^ 0xABCD,
+            "pair {i}"
+        );
+    }
+    // Exactly once: progress counters land exactly on the issue counts and
+    // the pool holds every final value.
+    rig.ch.refresh();
+    assert_eq!(rig.ch.progress(OpType::Read), PAIRS);
+    assert_eq!(rig.ch.progress(OpType::Write), PAIRS);
+    assert_eq!(rig.ch.engine_epoch(), 1, "takeover epoch must be visible");
+    for i in 0..PAIRS {
+        let v = rig.pool_mem.read_vec(i * 64, 8).unwrap();
+        assert_eq!(u64::from_le_bytes(v.try_into().unwrap()), i ^ 0xABCD);
+    }
+    let st = standby.stop();
+    assert_eq!(st.adoptions, 1);
+    assert!(!st.fenced);
+}
+
+/// A frozen (not dead) primary: the standby takes over, and when the zombie
+/// thaws its first probe sees the client fence word above its epoch — it
+/// stands down without completing anything post-takeover.
+#[test]
+fn thawed_zombie_is_fenced_out_after_takeover() {
+    let mut rig = deploy();
+    // Warm up, then freeze.
+    let h = rig.ch.async_read(1, 0, 8).unwrap();
+    assert!(rig.ch.wait(h.id, u64::MAX));
+    let agent = rig.agent.take().unwrap();
+    agent.set_paused(true);
+    while !agent.is_parked() {
+        std::thread::yield_now();
+    }
+
+    let w = rig.ch.async_write(1, 4096, b"takeover").unwrap();
+    assert!(matches!(
+        rig.ch.wait_timeout(w, 200_000),
+        Err(WaitError::EngineStalled { .. })
+    ));
+    assert_eq!(rig.ch.fence_engine(), 1);
+    let standby = rig.standby();
+    assert!(rig.ch.wait(w, u64::MAX));
+    assert_eq!(rig.pool_mem.read_vec(4096, 8).unwrap(), b"takeover");
+
+    // Thaw the zombie: it fences itself and executes nothing further.
+    agent.set_paused(false);
+    let zombie = agent.join();
+    assert!(
+        zombie.fenced,
+        "zombie must observe the fence and stand down"
+    );
+    assert_eq!(zombie.writes_executed, 0);
+    assert_eq!(zombie.reads_executed, 1, "only the pre-freeze read");
+
+    let st = standby.stop();
+    assert_eq!(st.adoptions, 1);
+    assert_eq!(st.writes_executed, 1, "the write applies exactly once");
+    assert_eq!(rig.ch.engine_epoch(), 1);
+}

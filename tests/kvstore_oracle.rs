@@ -3,7 +3,7 @@
 
 use std::collections::HashMap;
 
-use kvstore::{CowbirdDevice, Device, FasterKv, LocalMemoryDevice, ReadResult, StoreConfig};
+use kvstore::{CowbirdDevice, Device, FasterKv, LocalMemoryDevice, StoreConfig};
 use proptest::prelude::*;
 use simnet::rng::Rng;
 

@@ -89,13 +89,90 @@ fn build(seed: u64, batch: usize) -> (Sim, Channel, Region) {
     (sim, channel, pool_mem)
 }
 
-/// Run a sequence and check every read against the oracle.
-fn check(ops: &[Op], batch: usize, seed: u64) {
-    let (mut sim, mut ch, pool_mem) = build(seed, batch);
-    let mut oracle = vec![0u8; 1 << 16];
-    let mut reads = Vec::new();
+/// [`build`] plus a standby engine on a fourth node: the primary is crashed
+/// by a fault script at `crash_at` and the standby adopts the channel
+/// `takeover` later (see `cowbird_engine::core`'s failover section).
+fn build_failover(
+    seed: u64,
+    batch: usize,
+    crash_at: Duration,
+    takeover: Duration,
+) -> (Sim, Channel, Region) {
+    let mut sim = Sim::new(seed);
+    let compute_id = NodeId(0);
+    let engine_id = NodeId(1);
+    let pool_id = NodeId(2);
+    let standby_id = NodeId(3);
 
-    // Issue everything back-to-back — no waiting — then run the world.
+    let pool_mem = Region::new(1 << 16);
+    let mut pool = PoolNode::new();
+    let pool_rkey = pool.register(pool_mem.clone());
+    pool.create_qp(201, 102, engine_id);
+    pool.create_qp(211, 112, standby_id);
+
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 1 << 16,
+        },
+    );
+    let layout = ChannelLayout::default_sizes();
+    let channel = Channel::new(0, layout, regions.clone());
+    let mut compute = ComputeNicNode::new();
+    let rkey = compute.register(channel.region().clone());
+    compute.create_qp(301, 101, engine_id);
+    compute.create_qp(302, 103, engine_id);
+    compute.create_qp(311, 111, standby_id);
+    compute.create_qp(312, 113, standby_id);
+
+    let cfg = if batch <= 1 {
+        EngineConfig::p4(layout, regions)
+    } else {
+        EngineConfig::spot(layout, regions, batch)
+    };
+    let cfg = cfg.with_probe_interval(Duration::from_micros(1));
+    let mut engine = EngineNode::new();
+    engine.add_instance(
+        cfg.clone(),
+        compute_id,
+        pool_id,
+        (101, 301, 102, 201, 103, 302),
+        rkey,
+    );
+    let mut standby = EngineNode::new();
+    standby.add_standby_instance(
+        cfg,
+        compute_id,
+        pool_id,
+        (111, 311, 112, 211, 113, 312),
+        rkey,
+        crash_at + takeover,
+    );
+
+    sim.add_node(Box::new(compute));
+    sim.add_node(Box::new(engine));
+    sim.add_node(Box::new(pool));
+    sim.add_node(Box::new(standby));
+    sim.connect(compute_id, engine_id, LinkParams::rack_100g());
+    sim.connect(engine_id, pool_id, LinkParams::rack_100g());
+    sim.connect(compute_id, standby_id, LinkParams::rack_100g());
+    sim.connect(standby_id, pool_id, LinkParams::rack_100g());
+    sim.schedule_fault(
+        simnet::time::Instant::ZERO + crash_at,
+        simnet::fault::FaultEvent::NodeDown(engine_id),
+    );
+    (sim, channel, pool_mem)
+}
+
+type PendingReads = Vec<(cowbird::channel::ReadHandle, Vec<u8>)>;
+
+/// Issue everything back-to-back — no waiting — updating the oracle in
+/// issue order. Returns the reads with their expected results.
+fn issue_all(ops: &[Op], ch: &mut Channel, oracle: &mut [u8]) -> PendingReads {
+    let mut reads = Vec::new();
     for op in ops {
         match *op {
             Op::Write { slot, pattern, len } => {
@@ -113,8 +190,10 @@ fn check(ops: &[Op], batch: usize, seed: u64) {
             }
         }
     }
-    sim.run_for(Duration::from_millis(50));
+    reads
+}
 
+fn verify_reads(ch: &mut Channel, reads: &PendingReads, oracle: &[u8], pool_mem: &Region) {
     for (i, (h, expect)) in reads.iter().enumerate() {
         assert!(ch.is_complete(h.id), "read {i} incomplete");
         let got = ch.take_response(h).expect("take");
@@ -123,6 +202,39 @@ fn check(ops: &[Op], batch: usize, seed: u64) {
     // And the pool converged to the oracle's final state.
     let final_pool = pool_mem.read_vec(0, 16 * 64).unwrap();
     assert_eq!(&final_pool[..], &oracle[..16 * 64], "final pool state");
+}
+
+/// Run a sequence and check every read against the oracle.
+fn check(ops: &[Op], batch: usize, seed: u64) {
+    let (mut sim, mut ch, pool_mem) = build(seed, batch);
+    let mut oracle = vec![0u8; 1 << 16];
+    let reads = issue_all(ops, &mut ch, &mut oracle);
+    sim.run_for(Duration::from_millis(50));
+    verify_reads(&mut ch, &reads, &oracle, &pool_mem);
+}
+
+/// Run a sequence while the primary engine is crashed at an arbitrary point
+/// of the execution and a standby takes over. Per-type linearizability and
+/// read-after-write consistency must hold *across* the takeover, and every
+/// request must complete exactly once.
+fn check_crash(ops: &[Op], batch: usize, seed: u64, crash_ns: u64) {
+    let crash_at = Duration::from_nanos(crash_ns);
+    let takeover = Duration::from_micros(5);
+    let (mut sim, mut ch, pool_mem) = build_failover(seed, batch, crash_at, takeover);
+    let mut oracle = vec![0u8; 1 << 16];
+    let reads = issue_all(ops, &mut ch, &mut oracle);
+    let issued_reads = reads.len() as u64;
+    let issued_writes = ops.len() as u64 - issued_reads;
+    sim.run_for(Duration::from_millis(100));
+    verify_reads(&mut ch, &reads, &oracle, &pool_mem);
+    // Exactly once: the progress counters land exactly on the issue counts —
+    // a lost request would leave them short (some read above would already
+    // have failed), a duplicated completion would overshoot.
+    ch.refresh();
+    assert_eq!(ch.progress(cowbird::reqid::OpType::Read), issued_reads);
+    assert_eq!(ch.progress(cowbird::reqid::OpType::Write), issued_writes);
+    // The standby's takeover is visible to the client as a bumped epoch.
+    assert_eq!(ch.engine_epoch(), 1, "standby epoch not adopted");
 }
 
 proptest! {
@@ -137,6 +249,43 @@ proptest! {
     fn p4_engine_is_linearizable(ops in proptest::collection::vec(arb_op(), 1..60), seed in any::<u64>()) {
         check(&ops, 1, seed);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Crash the primary engine at a random instant of the execution — from
+    /// "nothing probed yet" to "everything already completed" — and require
+    /// the history to stay linearizable with exactly-once completion.
+    #[test]
+    fn spot_engine_linearizable_across_engine_crash(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        seed in any::<u64>(),
+        crash_ns in 0u64..30_000,
+    ) {
+        check_crash(&ops, 16, seed, crash_ns);
+    }
+}
+
+/// The crash-recovery version of the same-address hammer: the takeover must
+/// not let a read slip past the write that precedes it in issue order, even
+/// when both straddle the crash.
+#[test]
+fn crash_midstream_preserves_read_after_write() {
+    let mut ops = Vec::new();
+    for i in 0..40u8 {
+        ops.push(Op::Write {
+            slot: i % 8,
+            pattern: i,
+            len: 63,
+        });
+        ops.push(Op::Read {
+            slot: i % 8,
+            len: 63,
+        });
+    }
+    check_crash(&ops, 16, 5, 3_000);
+    check_crash(&ops, 1, 6, 8_000);
 }
 
 /// The adversarial case the gates exist for: alternating writes and reads
@@ -160,10 +309,22 @@ fn hammer_same_address_read_after_write() {
 #[test]
 fn overlapping_ranges_with_reads() {
     let ops = vec![
-        Op::Write { slot: 0, pattern: 0xAA, len: 63 },
-        Op::Write { slot: 1, pattern: 0xBB, len: 63 },
+        Op::Write {
+            slot: 0,
+            pattern: 0xAA,
+            len: 63,
+        },
+        Op::Write {
+            slot: 1,
+            pattern: 0xBB,
+            len: 63,
+        },
         Op::Read { slot: 0, len: 63 },
-        Op::Write { slot: 0, pattern: 0xCC, len: 32 },
+        Op::Write {
+            slot: 0,
+            pattern: 0xCC,
+            len: 32,
+        },
         Op::Read { slot: 0, len: 63 },
         Op::Read { slot: 1, len: 32 },
     ];

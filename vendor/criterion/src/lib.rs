@@ -1,0 +1,212 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small harness subset its benches use: `Criterion` with the
+//! builder knobs, `bench_function` / `benchmark_group`, and `Bencher::iter`
+//! / `iter_batched` / `iter_batched_ref`. Reporting is a single line of
+//! mean ns/iter — no statistics engine, no HTML, no comparisons.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched setup output is sized; accepted for API compatibility (the
+/// shim always materializes one input per routine call).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    target_time: Duration,
+    /// Mean nanoseconds per iteration, filled in by the iter calls.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn run<F: FnMut()>(&mut self, mut once: F) {
+        // Warm up briefly, then time batches until the target elapses.
+        let warm_until = Instant::now() + self.target_time / 10;
+        while Instant::now() < warm_until {
+            once();
+        }
+        let mut iters = 0u64;
+        let mut spent = Duration::ZERO;
+        let start = Instant::now();
+        while start.elapsed() < self.target_time {
+            let t0 = Instant::now();
+            for _ in 0..64 {
+                once();
+            }
+            spent += t0.elapsed();
+            iters += 64;
+        }
+        self.iters = iters;
+        self.mean_ns = if iters == 0 {
+            0.0
+        } else {
+            spent.as_nanos() as f64 / iters as f64
+        };
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            black_box(routine());
+        });
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            black_box(routine(input));
+        });
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.run(|| {
+            let mut input = setup();
+            black_box(routine(&mut input));
+        });
+    }
+}
+
+/// Top-level harness. Builder methods mirror the real crate.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(50),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Spread the measurement budget over the configured samples but keep
+        // each bench fast: the shim is for smoke-running, not statistics.
+        let per_bench =
+            (self.measurement_time / self.sample_size as u32).max(Duration::from_millis(20));
+        let mut b = Bencher {
+            target_time: per_bench + self.warm_up_time / self.sample_size as u32,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter ({} iters)", b.mean_ns, b.iters);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(40));
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("group");
+        g.bench_function("batched", |b| {
+            b.iter_batched_ref(
+                || vec![0u8; 32],
+                |v| v.iter().sum::<u8>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,469 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the API subset its property tests actually use: the `proptest!`
+//! macro, `Strategy` with `prop_map`, `Just`, `any`, integer / float range
+//! strategies, tuple and `collection::vec` composition, `prop_oneof!`, and
+//! `prop_assert*!`.
+//!
+//! Differences from the real crate, by design:
+//! - **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of a minimized counterexample.
+//! - **Deterministic seeding.** The RNG is seeded from the test's module
+//!   path and name, so every run explores the same cases — which is what a
+//!   CI reproduction wants anyway.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Run-time configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    /// SplitMix64 seeded from the test name (FNV-1a hash): fast, portable,
+    /// and stable across runs.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`; returns 0 when `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            if n == 0 {
+                0
+            } else {
+                self.next_u64() % n
+            }
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use super::PhantomData;
+    use super::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type. Unlike the real crate
+    /// there is no value tree: `new_value` draws a fresh sample directly.
+    pub trait Strategy {
+        type Value;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, mapper: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                strategy: self,
+                mapper,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (**self).new_value(rng)
+        }
+    }
+
+    // `&S` is a strategy too, so strategies can be reused by reference.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        strategy: S,
+        mapper: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.mapper)(self.strategy.new_value(rng))
+        }
+    }
+
+    /// Uniform choice among boxed strategies (what `prop_oneof!` builds).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let idx = rng.below(self.options.len() as u64) as usize;
+            self.options[idx].new_value(rng)
+        }
+    }
+
+    /// Types with a default "any value" strategy (`any::<T>()`).
+    pub trait ArbValue {
+        fn arb_value(rng: &mut TestRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: ArbValue> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arb_value(rng)
+        }
+    }
+
+    pub fn any<T: ArbValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl ArbValue for bool {
+        fn arb_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl ArbValue for $t {
+                fn arb_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    (self.start as u64).wrapping_add(rng.below(span)) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as u64, *self.end() as u64);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = hi.wrapping_sub(lo).wrapping_add(1);
+                    // span == 0 means the full u64 domain.
+                    lo.wrapping_add(rng.below(span)) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbValue for f64 {
+        fn arb_value(rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use super::{Range, RangeInclusive};
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for `Vec`s whose length falls in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions that run their body over generated inputs.
+///
+/// Accepted shape (a subset of the real macro):
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 16, ..Default::default() })]
+///     #[test]
+///     fn my_property(x in 0u64..100, flag in any::<bool>()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$attr:meta])+ fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among strategy arms that share a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Color {
+        Red,
+        Green,
+        Blue(u8),
+    }
+
+    fn arb_color() -> impl Strategy<Value = Color> {
+        prop_oneof![
+            Just(Color::Red),
+            Just(Color::Green),
+            (0u8..255).prop_map(Color::Blue),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 10u64..20, y in 5u8..=9, f in 0.25f64..0.75) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((5..=9).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pair in (1u64..100, any::<bool>()),
+            items in collection::vec((0u32..50, any::<u8>()), 1..10),
+        ) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 100);
+            prop_assert!(!items.is_empty() && items.len() < 10);
+            for (a, _b) in items {
+                prop_assert!(a < 50);
+            }
+        }
+
+        #[test]
+        fn oneof_samples_all_arms(colors in collection::vec(arb_color(), 64..65)) {
+            // With 64 draws across 3 uniform arms, each arm should appear.
+            prop_assert!(colors.contains(&Color::Red));
+            prop_assert!(colors.contains(&Color::Green));
+            prop_assert!(colors.iter().any(|c| matches!(c, Color::Blue(_))));
+        }
+    }
+
+    #[test]
+    fn determinism_same_name_same_stream() {
+        let mut a = TestRng::deterministic("alpha");
+        let mut b = TestRng::deterministic("alpha");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::deterministic("beta");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}
