@@ -201,7 +201,7 @@ impl Node for RdmaClientNode {
         for c in self.nic.poll(64) {
             if let Some(t0) = self.started_at.remove(&c.wr_id) {
                 self.completed += 1;
-                self.latency.record_duration(ctx.now().since(t0));
+                self.latency.record(ctx.now().since(t0).nanos());
             }
         }
         if self.completed >= self.target_ops {

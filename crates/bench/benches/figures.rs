@@ -1,10 +1,16 @@
-//! Regenerates every table and figure of the paper and prints them.
+//! Regenerates tables and figures of the paper and prints them.
 //!
 //! Run all:            cargo bench --bench figures
 //! Run one artifact:   cargo bench --bench figures -- fig08
-//! (matches on the artifact id, case-insensitive)
+//! (matches on the artifact key, case-insensitive)
+//!
+//! Each selected artifact runs inside a metrics-registry snapshot pair; the
+//! diff — what that run alone recorded — is written to
+//! `target/metrics/<key>.metrics.json` (override the directory with
+//! `$COWBIRD_METRICS_DIR`).
 
-use experiments::experiments;
+use experiments::experiments::artifacts;
+use experiments::report::write_metrics_json;
 
 fn main() {
     let filter: Vec<String> = std::env::args()
@@ -13,16 +19,24 @@ fn main() {
         .map(|a| a.to_lowercase())
         .collect();
     let start = std::time::Instant::now();
-    let tables = experiments::all();
+    let reg = telemetry::metrics::global();
     let mut shown = 0;
-    for t in &tables {
-        let key =
-            t.id.to_lowercase()
-                .replace(' ', "")
-                .replace("figure", "fig");
-        if filter.is_empty() || filter.iter().any(|f| key.contains(f)) {
+    for (key, run) in artifacts() {
+        if !filter.is_empty() && !filter.iter().any(|f| key.contains(f.as_str())) {
+            continue;
+        }
+        let before = reg.snapshot();
+        let tables = run();
+        let metrics = reg.snapshot().diff(&before);
+        for t in &tables {
             println!("{t}");
             shown += 1;
+        }
+        if !metrics.is_empty() {
+            match write_metrics_json(key, &metrics) {
+                Ok(path) => eprintln!("[{key}: metrics written to {}]", path.display()),
+                Err(e) => eprintln!("[{key}: metrics write failed: {e}]"),
+            }
         }
     }
     eprintln!(

@@ -7,7 +7,7 @@ use baselines::sim_client::{latency_rig, ClientMode, RdmaClientNode};
 use simnet::link::LinkParams;
 use simnet::time::{Duration, Instant};
 
-use crate::harness::{build_cowbird_rig, CowbirdClientNode, CowbirdRig};
+use crate::harness::{build_cowbird_rig, export_rig_metrics, CowbirdClientNode, CowbirdRig};
 use crate::report::{fnum, Table};
 
 pub const RECORD_SIZES: [u32; 6] = [8, 64, 256, 512, 1024, 2048];
@@ -31,7 +31,7 @@ fn rdma_latency(record: u32, mode: ClientMode, seed: u64) -> (f64, f64) {
 
 /// (median_us, p99_us) for a Cowbird configuration.
 fn cowbird_latency(record: u32, inflight: usize, batch: usize, seed: u64) -> (f64, f64) {
-    let (mut sim, id, _) = build_cowbird_rig(CowbirdRig {
+    let (mut sim, id, engine_id) = build_cowbird_rig(CowbirdRig {
         seed,
         record_size: record,
         inflight,
@@ -43,6 +43,9 @@ fn cowbird_latency(record: u32, inflight: usize, batch: usize, seed: u64) -> (f6
         drop_probability: 0.0,
     });
     sim.run_until(Some(Instant(Duration::from_secs(2).nanos())));
+    // All record sizes of one figure run merge under the same label: the
+    // registry diff taken around the whole artifact is its traffic total.
+    export_rig_metrics(&sim, id, engine_id, "fig13");
     let c: &CowbirdClientNode = sim.node_ref(id);
     assert_eq!(c.completed(), OPS, "cowbird run incomplete");
     (

@@ -77,7 +77,7 @@ impl CowbirdClientNode {
             {
                 let lat = ctx.now().since(t0);
                 self.first_latency.get_or_insert(lat.nanos());
-                self.latency.record_duration(lat);
+                self.latency.record(lat.nanos());
                 let data = self.channel.take_response(&h).expect("completed read");
                 if self.verify_data {
                     let expect = (off / 64).to_le_bytes();
@@ -348,6 +348,28 @@ fn build_rig_inner(
     (sim, compute_id, engine_id, standby)
 }
 
+/// Export every stats surface of a finished rig run into the process-wide
+/// metrics registry ([`telemetry::metrics::global`]) under a `run` label:
+/// client channel counters and latency histogram, plus NIC/QP counters for
+/// both the compute and engine nodes. Experiments snapshot the registry
+/// around a run and serialize the diff as `metrics.json`.
+pub fn export_rig_metrics(sim: &Sim, client_id: NodeId, engine_id: NodeId, run: &str) {
+    let reg = telemetry::metrics::global();
+    let client: &CowbirdClientNode = sim.node_ref(client_id);
+    let compute_labels = [("run", run), ("node", "compute")];
+    client.channel().stats.export(reg, &compute_labels);
+    client.nic().export_metrics(reg, &compute_labels);
+    reg.hist_merge(
+        "cowbird.client.latency_ns",
+        &[("run", run)],
+        &client.latency,
+    );
+    let engine: &EngineNode = sim.node_ref(engine_id);
+    let engine_labels = [("run", run), ("node", "engine")];
+    engine.core(0).stats.export(reg, &engine_labels);
+    engine.nic().export_metrics(reg, &engine_labels);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +384,35 @@ mod tests {
         let client: &CowbirdClientNode = sim.node_ref(client_id);
         assert_eq!(client.completed(), 100);
         assert!(client.latency.median() > 0);
+    }
+
+    #[test]
+    fn export_rig_metrics_populates_the_global_registry() {
+        let (mut sim, client_id, engine_id) = build_cowbird_rig(CowbirdRig {
+            target_ops: 50,
+            ..Default::default()
+        });
+        sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+        let before = telemetry::metrics::global().snapshot();
+        export_rig_metrics(&sim, client_id, engine_id, "harness_test");
+        let diff = telemetry::metrics::global().snapshot().diff(&before);
+        assert_eq!(
+            diff.counters
+                .get("cowbird.client.reads_issued{node=compute,run=harness_test}"),
+            Some(&50)
+        );
+        assert!(diff
+            .counters
+            .keys()
+            .any(|k| k.starts_with("cowbird.engine.probes_sent")));
+        assert_eq!(
+            diff.hists
+                .get("cowbird.client.latency_ns{run=harness_test}")
+                .unwrap()
+                .count,
+            50
+        );
+        telemetry::json::validate(&diff.to_json()).unwrap();
     }
 
     #[test]

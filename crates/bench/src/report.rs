@@ -80,6 +80,38 @@ impl fmt::Display for Table {
     }
 }
 
+/// Directory `metrics.json` documents land in: `$COWBIRD_METRICS_DIR` or
+/// `target/metrics`.
+pub fn metrics_dir() -> std::path::PathBuf {
+    std::env::var_os("COWBIRD_METRICS_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/metrics"))
+}
+
+/// Serialize one artifact's metrics snapshot (usually a registry diff
+/// scoped to the run) as `<metrics_dir>/<slug>.metrics.json`. Returns the
+/// path written.
+pub fn write_metrics_json(
+    artifact: &str,
+    snap: &telemetry::MetricsSnapshot,
+) -> std::io::Result<std::path::PathBuf> {
+    let slug: String = artifact
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let dir = metrics_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{slug}.metrics.json"));
+    std::fs::write(&path, snap.to_json())?;
+    Ok(path)
+}
+
 /// Format a float with sensible precision for tables.
 pub fn fnum(v: f64) -> String {
     if v == 0.0 {

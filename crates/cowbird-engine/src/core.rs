@@ -52,9 +52,11 @@ use cowbird::error::WaitError;
 use cowbird::layout::{ChannelLayout, RedBlock, GREEN_LEN, GREEN_OFFSET, RED_OFFSET};
 use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
 use cowbird::region::{RegionId, RegionMap};
+use cowbird::reqid::{OpType, ReqId};
 use p4rt::pktgen::PktGenConfig;
 use rdma::mem::Rkey;
 use simnet::time::Duration;
+use telemetry::{Component, EventKind, Recorder};
 
 use crate::consistency::RangeGate;
 
@@ -84,6 +86,13 @@ pub struct EngineConfig {
     /// a low baseline rate and ramp up only when activity is detected"):
     /// (idle interval, empty probes before ramping down).
     pub adaptive_probe: Option<(Duration, u32)>,
+    /// Telemetry sink for engine lifecycle events (disabled by default —
+    /// one branch per emission point when off).
+    pub recorder: Recorder,
+    /// The channel id used to stamp request-scoped events with the same
+    /// [`ReqId`] encoding the client issues, so a span reconstructor can
+    /// join both sides of a request's lifecycle.
+    pub channel_id: u16,
 }
 
 impl EngineConfig {
@@ -95,6 +104,8 @@ impl EngineConfig {
             batch_size: 1,
             probe_interval: Duration::from_micros(2),
             adaptive_probe: None,
+            recorder: Recorder::disabled(),
+            channel_id: 0,
         }
     }
 
@@ -106,6 +117,8 @@ impl EngineConfig {
             batch_size: batch_size.max(1),
             probe_interval: Duration::from_micros(2),
             adaptive_probe: None,
+            recorder: Recorder::disabled(),
+            channel_id: 0,
         }
     }
 
@@ -118,6 +131,20 @@ impl EngineConfig {
     /// backing off toward `idle` after `threshold` empty probes.
     pub fn with_adaptive_probe(mut self, idle: Duration, threshold: u32) -> EngineConfig {
         self.adaptive_probe = Some((idle, threshold));
+        self
+    }
+
+    /// Attach a telemetry recorder. Event timestamps follow the recorder's
+    /// clock mode; sim drivers push virtual time via `set_now_ns`.
+    pub fn with_recorder(mut self, rec: Recorder) -> EngineConfig {
+        self.recorder = rec;
+        self
+    }
+
+    /// Stamp request-scoped events with this channel id (must match the id
+    /// the client's `Channel` was created with).
+    pub fn with_channel_id(mut self, id: u16) -> EngineConfig {
+        self.channel_id = id;
         self
     }
 
@@ -248,6 +275,52 @@ pub struct EngineStats {
     pub fenced: bool,
 }
 
+impl EngineStats {
+    /// Export every counter into a metrics registry under
+    /// `cowbird.engine.*` with the given labels.
+    pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("cowbird.engine.probes_sent", labels, self.probes_sent);
+        reg.counter_add(
+            "cowbird.engine.probes_found_work",
+            labels,
+            self.probes_found_work,
+        );
+        reg.counter_add("cowbird.engine.meta_fetches", labels, self.meta_fetches);
+        reg.counter_add("cowbird.engine.meta_entries", labels, self.meta_entries);
+        reg.counter_add("cowbird.engine.reads_executed", labels, self.reads_executed);
+        reg.counter_add(
+            "cowbird.engine.writes_executed",
+            labels,
+            self.writes_executed,
+        );
+        reg.counter_add("cowbird.engine.pool_reads", labels, self.pool_reads);
+        reg.counter_add("cowbird.engine.pool_writes", labels, self.pool_writes);
+        reg.counter_add("cowbird.engine.compute_reads", labels, self.compute_reads);
+        reg.counter_add("cowbird.engine.compute_writes", labels, self.compute_writes);
+        reg.counter_add("cowbird.engine.red_updates", labels, self.red_updates);
+        reg.counter_add(
+            "cowbird.engine.batches_flushed",
+            labels,
+            self.batches_flushed,
+        );
+        reg.counter_add("cowbird.engine.reads_paused", labels, self.reads_paused);
+        reg.counter_add("cowbird.engine.writes_held", labels, self.writes_held);
+        reg.counter_add(
+            "cowbird.engine.bytes_to_compute",
+            labels,
+            self.bytes_to_compute,
+        );
+        reg.counter_add("cowbird.engine.bytes_to_pool", labels, self.bytes_to_pool);
+        reg.counter_add("cowbird.engine.replay_skipped", labels, self.replay_skipped);
+        reg.counter_add("cowbird.engine.adoptions", labels, self.adoptions);
+        reg.gauge_set(
+            "cowbird.engine.fenced",
+            labels,
+            if self.fenced { 1.0 } else { 0.0 },
+        );
+    }
+}
+
 /// The sans-IO engine core for one channel.
 pub struct EngineCore {
     cfg: EngineConfig,
@@ -355,6 +428,23 @@ impl EngineCore {
         &self.cfg
     }
 
+    /// The telemetry recorder events are emitted through. Sim drivers push
+    /// virtual time into it before dispatching to the core.
+    pub fn recorder(&self) -> &Recorder {
+        &self.cfg.recorder
+    }
+
+    #[inline]
+    fn rec(&self, kind: EventKind, req: u64, a: u64, b: u64) {
+        self.cfg.recorder.record(Component::Engine, kind, req, a, b);
+    }
+
+    /// The raw `ReqId` the client knows this request by.
+    #[inline]
+    fn req_raw(&self, op: OpType, seq: u64) -> u64 {
+        ReqId::new(op, self.cfg.channel_id, seq).raw()
+    }
+
     /// The probe interval the driver should schedule (fixed configs).
     pub fn probe_interval(&self) -> Duration {
         self.cfg.probe_interval
@@ -388,6 +478,7 @@ impl EngineCore {
         self.probe_outstanding = true;
         self.stats.probes_sent += 1;
         self.stats.compute_reads += 1;
+        self.rec(EventKind::ProbeSent, 0, self.fetch_cursor, 0);
         let tag = self.tag(TagKind::Probe);
         vec![FabricOp::ReadCompute {
             offset: GREEN_OFFSET,
@@ -444,6 +535,7 @@ impl EngineCore {
             self.fenced = true;
             self.fence_epoch = client_epoch;
             self.stats.fenced = true;
+            self.rec(EventKind::FenceObserved, 0, client_epoch, self.epoch);
             return;
         }
         let meta_tail = u64::from_le_bytes(data[0..8].try_into().unwrap());
@@ -453,6 +545,7 @@ impl EngineCore {
         }
         self.last_probe_found = true;
         self.stats.probes_found_work += 1;
+        self.rec(EventKind::ProbeFoundWork, 0, meta_tail, self.fetch_cursor);
         // Fetch [fetch_cursor, meta_tail), split at the ring-wrap boundary so
         // each fetch is one contiguous RDMA read (requirement R1).
         let entries = self.cfg.layout.meta_entries;
@@ -476,6 +569,7 @@ impl EngineCore {
     }
 
     fn handle_meta(&mut self, start: u64, count: u64, data: &[u8], _out: &mut Vec<FabricOp>) {
+        self.rec(EventKind::MetaFetched, 0, start, count);
         for i in 0..count {
             let off = (i * META_ENTRY_BYTES) as usize;
             let Some(chunk) = data.get(off..off + META_ENTRY_BYTES as usize) else {
@@ -640,6 +734,12 @@ impl EngineCore {
             need_reads,
         });
         self.stats.compute_reads += 1;
+        self.rec(
+            EventKind::WriteExecuted,
+            self.req_raw(OpType::Write, req.seq),
+            pool_addr,
+            req.meta.length as u64,
+        );
         out.push(FabricOp::ReadCompute {
             offset: req.meta.req_addr,
             len: req.meta.length,
@@ -660,6 +760,12 @@ impl EngineCore {
         });
         self.pool_reads_in_flight += 1;
         self.stats.pool_reads += 1;
+        self.rec(
+            EventKind::ReadExecuted,
+            self.req_raw(OpType::Read, req.seq),
+            region.base + req.meta.req_addr,
+            req.meta.length as u64,
+        );
         out.push(FabricOp::ReadPool {
             rkey: region.rkey,
             addr: region.base + req.meta.req_addr,
@@ -688,6 +794,12 @@ impl EngineCore {
         // too, even if its own barrier is already satisfied.
         if need_reads > self.committed_reads || !self.held_writes.is_empty() {
             self.stats.writes_held += 1;
+            self.rec(
+                EventKind::WriteHeld,
+                self.req_raw(OpType::Write, seq),
+                need_reads,
+                self.committed_reads,
+            );
             self.held_writes.push_back(HeldWrite {
                 need_reads,
                 seq,
@@ -725,6 +837,7 @@ impl EngineCore {
     /// writes whose barrier is now satisfied (in order — writes never
     /// overtake each other).
     fn handle_red_commit(&mut self, reads: u64, out: &mut Vec<FabricOp>) {
+        self.rec(EventKind::RedCommitted, 0, reads, self.committed_reads);
         self.committed_reads = self.committed_reads.max(reads);
         while self
             .uncommitted_reads
@@ -788,6 +901,12 @@ impl EngineCore {
         self.stats.batches_flushed += 1;
         self.stats.compute_writes += 1;
         self.stats.bytes_to_compute += payload.len() as u64;
+        self.rec(
+            EventKind::ComputeWrite,
+            self.req_raw(OpType::Read, self.batch_last_seq),
+            start_addr,
+            payload.len() as u64,
+        );
         out.push(FabricOp::WriteCompute {
             offset: start_addr,
             data: payload,
@@ -810,6 +929,12 @@ impl EngineCore {
         self.advance_floor();
         self.stats.red_updates += 1;
         self.stats.compute_writes += 1;
+        self.rec(
+            EventKind::RedPublished,
+            0,
+            self.write_progress,
+            self.read_progress,
+        );
         let red = RedBlock {
             meta_head: self.meta_head,
             write_progress: self.write_progress,
@@ -876,6 +1001,7 @@ impl EngineCore {
         self.advance_floor();
         self.inflight_entries.clear();
         self.rewind_to_floor();
+        self.rec(EventKind::GoBackN, 0, self.floor_reads, self.floor_writes);
     }
 
     /// Rewind every cursor to the committed floor. Entries above the floor
@@ -927,6 +1053,7 @@ impl EngineCore {
         self.probe_outstanding = false;
         self.rewind_to_floor();
         self.stats.adoptions += 1;
+        self.rec(EventKind::Adopted, 0, self.epoch, red.floor_idx);
         Some(self.epoch)
     }
 
@@ -1377,6 +1504,69 @@ mod tests {
         );
         assert!(core.on_probe_due().is_empty());
         assert!(core.red_update().is_empty());
+    }
+
+    #[test]
+    fn recorder_stamps_engine_events_with_the_clients_reqid() {
+        use std::sync::Arc;
+        use telemetry::EventRing;
+
+        let mut regions = RegionMap::new();
+        regions.insert(
+            1,
+            RemoteRegion {
+                rkey: 5,
+                base: 0,
+                size: 1 << 16,
+            },
+        );
+        let layout = ChannelLayout::default_sizes();
+        let mut ch = Channel::new(0, layout, regions.clone());
+        let ring = Arc::new(EventRing::with_capacity(256));
+        let cfg = EngineConfig::spot(layout, regions, 8)
+            .with_recorder(Recorder::attached(Arc::clone(&ring), 1, true))
+            .with_channel_id(0);
+        let mut core = EngineCore::new(cfg);
+        let driver = LoopDriver {
+            compute: ch.region().clone(),
+            pool: Region::new(1 << 16),
+        };
+        driver.pool.write(100, b"hello").unwrap();
+        let h = ch.async_read(1, 100, 5).unwrap();
+        let w = ch.async_write(1, 400, b"bye").unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(h.id));
+        assert!(ch.is_complete(w));
+
+        let events = ring.snapshot();
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        for want in [
+            EventKind::ProbeSent,
+            EventKind::ProbeFoundWork,
+            EventKind::MetaFetched,
+            EventKind::ReadExecuted,
+            EventKind::WriteExecuted,
+            EventKind::ComputeWrite,
+            EventKind::RedPublished,
+            EventKind::RedCommitted,
+        ] {
+            assert!(kinds.contains(&want), "missing {want:?} in {kinds:?}");
+        }
+        // The engine re-derived exactly the ids the client issued, so a span
+        // reconstructor can join both sides of each request.
+        let read_exec = events
+            .iter()
+            .find(|e| e.kind == EventKind::ReadExecuted)
+            .unwrap();
+        assert_eq!(read_exec.req, h.id.raw());
+        assert_eq!(read_exec.b, 5, "payload b = len");
+        let write_exec = events
+            .iter()
+            .find(|e| e.kind == EventKind::WriteExecuted)
+            .unwrap();
+        assert_eq!(write_exec.req, w.raw());
+        assert!(events.iter().all(|e| e.component == Component::Engine));
+        assert!(events.iter().all(|e| e.node == 1));
     }
 
     #[test]

@@ -359,6 +359,16 @@ impl EngineNode {
         }
     }
 
+    /// Push virtual time into every instance's telemetry recorder so events
+    /// emitted by the sans-IO cores carry simulated timestamps. One relaxed
+    /// store per enabled recorder; a no-op for disabled ones.
+    fn stamp_now(&self, ctx: &Ctx) {
+        let ns = ctx.now().nanos();
+        for inst in &self.instances {
+            inst.core.recorder().set_now_ns(ns);
+        }
+    }
+
     fn drain_completions(&mut self, ctx: &mut Ctx) {
         loop {
             let completions = self.nic.poll(64);
@@ -437,6 +447,7 @@ impl Node for EngineNode {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        self.stamp_now(ctx);
         let out = self.nic.handle_packet(&pkt, ctx.now());
         for (dst, roce) in out.emit {
             ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
@@ -445,6 +456,7 @@ impl Node for EngineNode {
     }
 
     fn on_timer(&mut self, tag: u64, ctx: &mut Ctx) {
+        self.stamp_now(ctx);
         if tag == TAG_NIC_TICK {
             for (dst, roce) in self.nic.tick(ctx.now()) {
                 ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));

@@ -42,6 +42,7 @@ use rdma::emu::EmuNic;
 use rdma::mem::{Region, Rkey};
 use rdma::qp::QpNum;
 use rdma::verbs::{WorkRequest, WrKind, WrOp};
+use telemetry::{Component, EventKind};
 
 use crate::core::{EngineConfig, EngineCore, EngineStats, FabricOp};
 
@@ -347,8 +348,12 @@ fn agent_loop(
         );
     }
 
+    let mut drain_seen = false;
     'outer: while !flags.stop.load(Ordering::Acquire) && !flags.kill.load(Ordering::Acquire) {
         if flags.pause.load(Ordering::Acquire) {
+            // a = 1 entering the freeze, 0 on thaw.
+            core.recorder()
+                .record(Component::Engine, EventKind::EngineParked, 0, 1, 0);
             flags.parked.store(true, Ordering::Release);
             while flags.pause.load(Ordering::Acquire)
                 && !flags.stop.load(Ordering::Acquire)
@@ -357,8 +362,16 @@ fn agent_loop(
                 std::thread::yield_now();
             }
             flags.parked.store(false, Ordering::Release);
+            core.recorder()
+                .record(Component::Engine, EventKind::EngineParked, 0, 0, 0);
         }
         let draining = flags.drain.load(Ordering::Acquire);
+        if draining && !drain_seen {
+            drain_seen = true;
+            // a = 1: graceful two-minute warning (vs 0 for an abrupt kill).
+            core.recorder()
+                .record(Component::Engine, EventKind::EnginePreempted, 0, 1, 0);
+        }
         // While draining we stop soliciting new work — except to kick the
         // state machine when parsed requests are waiting with nothing in
         // flight (a probe's completion is what re-runs the pending queue).
@@ -428,6 +441,11 @@ fn agent_loop(
         // sleeps at that granularity are unreliable, so yield instead —
         // effectively the "maximum probe rate" configuration.
         std::thread::yield_now();
+    }
+    if flags.kill.load(Ordering::Acquire) {
+        // a = 0: revocation without warning (in-flight work abandoned).
+        core.recorder()
+            .record(Component::Engine, EventKind::EnginePreempted, 0, 0, 0);
     }
     core.stats
 }

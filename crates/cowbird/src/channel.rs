@@ -38,6 +38,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
 use rdma::mem::Region;
+use telemetry::{Component, EventKind, Recorder};
 
 use crate::error::{CowbirdError, IssueError, WaitError};
 use crate::layout::{
@@ -87,6 +88,27 @@ pub struct ChannelStats {
     pub engine_takeovers: u64,
     /// Times the client raised the fence word ([`Channel::fence_engine`]).
     pub fences: u64,
+}
+
+impl ChannelStats {
+    /// Export into a metrics registry under `cowbird.client.*`.
+    pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("cowbird.client.reads_issued", labels, self.reads_issued);
+        reg.counter_add("cowbird.client.writes_issued", labels, self.writes_issued);
+        reg.counter_add("cowbird.client.issue_retries", labels, self.issue_retries);
+        reg.counter_add("cowbird.client.polls", labels, self.polls);
+        reg.counter_add(
+            "cowbird.client.stale_red_ignored",
+            labels,
+            self.stale_red_ignored,
+        );
+        reg.counter_add(
+            "cowbird.client.engine_takeovers",
+            labels,
+            self.engine_takeovers,
+        );
+        reg.counter_add("cowbird.client.fences", labels, self.fences);
+    }
 }
 
 /// One per-thread Cowbird channel.
@@ -149,6 +171,8 @@ pub struct Channel {
     /// Highest engine epoch this client has accepted (see `RED_ENGINE_EPOCH`).
     engine_epoch: u64,
     pub stats: ChannelStats,
+    /// Telemetry sink; disabled by default (one branch per event).
+    rec: Recorder,
 }
 
 impl Channel {
@@ -188,7 +212,19 @@ impl Channel {
             meta_free_head: 0,
             engine_epoch: 0,
             stats: ChannelStats::default(),
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (flight recorder / span tracing). The
+    /// default is disabled, which costs one branch per would-be event.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// The channel's telemetry recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
     }
 
     /// This channel's id (encoded into its request ids).
@@ -283,8 +319,16 @@ impl Channel {
         });
         self.pending_entries.push_back((OpType::Read, seq));
         self.stats.reads_issued += 1;
+        let id = ReqId::new(OpType::Read, self.cid, seq);
+        self.rec.record(
+            Component::Client,
+            EventKind::ReadIssued,
+            id.raw(),
+            src,
+            len as u64,
+        );
         Ok(ReadHandle {
-            id: ReqId::new(OpType::Read, self.cid, seq),
+            id,
             rdata_start: start,
             len,
         })
@@ -348,7 +392,15 @@ impl Channel {
         });
         self.pending_entries.push_back((OpType::Write, seq));
         self.stats.writes_issued += 1;
-        Ok(ReqId::new(OpType::Write, self.cid, seq))
+        let id = ReqId::new(OpType::Write, self.cid, seq);
+        self.rec.record(
+            Component::Client,
+            EventKind::WriteIssued,
+            id.raw(),
+            dst,
+            len as u64,
+        );
+        Ok(id)
     }
 
     fn validate_remote(&self, region_id: RegionId, off: u64, len: u32) -> Result<(), IssueError> {
@@ -416,6 +468,13 @@ impl Channel {
         let red_epoch = self.region.load_u64(RED_ENGINE_EPOCH, Ordering::Acquire);
         if red_epoch < self.engine_epoch {
             self.stats.stale_red_ignored += 1;
+            self.rec.record(
+                Component::Client,
+                EventKind::StaleRedIgnored,
+                0,
+                red_epoch,
+                self.engine_epoch,
+            );
             return;
         }
         if red_epoch > self.engine_epoch {
@@ -424,6 +483,13 @@ impl Channel {
             // the old engine fences itself on its next probe.
             self.engine_epoch = red_epoch;
             self.stats.engine_takeovers += 1;
+            self.rec.record(
+                Component::Client,
+                EventKind::TakeoverObserved,
+                0,
+                red_epoch,
+                0,
+            );
             self.region
                 .store_u64(GREEN_CLIENT_EPOCH, red_epoch, Ordering::Release);
         }
@@ -547,6 +613,13 @@ impl Channel {
     pub fn wait(&mut self, id: ReqId, spin_limit: u64) -> bool {
         for _ in 0..spin_limit {
             if self.is_complete(id) {
+                self.rec.record(
+                    Component::Client,
+                    EventKind::RequestCompleted,
+                    id.raw(),
+                    self.progress(id.op()),
+                    0,
+                );
                 return true;
             }
             std::hint::spin_loop();
@@ -564,6 +637,13 @@ impl Channel {
             return Ok(());
         }
         let (r, w) = self.in_flight();
+        self.rec.record(
+            Component::Client,
+            EventKind::EngineStalled,
+            id.raw(),
+            r + w,
+            0,
+        );
         Err(WaitError::EngineStalled {
             pending: (r + w) as usize,
         })
@@ -591,6 +671,13 @@ impl Channel {
         self.region
             .store_u64(GREEN_CLIENT_EPOCH, self.engine_epoch, Ordering::Release);
         self.stats.fences += 1;
+        self.rec.record(
+            Component::Client,
+            EventKind::FenceRaised,
+            0,
+            self.engine_epoch,
+            0,
+        );
         self.engine_epoch
     }
 }

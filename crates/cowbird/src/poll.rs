@@ -93,17 +93,38 @@ impl PollGroup {
     }
 
     fn collect(&mut self, ch: &Channel, max_ret: usize, out: &mut Vec<ReqId>) {
+        let rec = ch.recorder();
         let rp = ch.progress(OpType::Read);
         while out.len() < max_ret {
             match self.reads.front() {
-                Some(id) if id.completed_by(rp) => out.push(self.reads.pop_front().unwrap()),
+                Some(id) if id.completed_by(rp) => {
+                    let id = self.reads.pop_front().unwrap();
+                    rec.record(
+                        telemetry::Component::Client,
+                        telemetry::EventKind::RequestCompleted,
+                        id.raw(),
+                        rp,
+                        0,
+                    );
+                    out.push(id);
+                }
                 _ => break,
             }
         }
         let wp = ch.progress(OpType::Write);
         while out.len() < max_ret {
             match self.writes.front() {
-                Some(id) if id.completed_by(wp) => out.push(self.writes.pop_front().unwrap()),
+                Some(id) if id.completed_by(wp) => {
+                    let id = self.writes.pop_front().unwrap();
+                    rec.record(
+                        telemetry::Component::Client,
+                        telemetry::EventKind::RequestCompleted,
+                        id.raw(),
+                        wp,
+                        0,
+                    );
+                    out.push(id);
+                }
                 _ => break,
             }
         }
@@ -152,6 +173,13 @@ impl PollGroup {
             std::hint::spin_loop();
         }
         if out.is_empty() {
+            ch.recorder().record(
+                telemetry::Component::Client,
+                telemetry::EventKind::EngineStalled,
+                0,
+                self.pending() as u64,
+                0,
+            );
             return Err(WaitError::EngineStalled {
                 pending: self.pending(),
             });

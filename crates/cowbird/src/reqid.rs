@@ -14,6 +14,11 @@
 //!
 //! The sequence number is per *(channel, type)*; completion is the single
 //! comparison `seq <= progress_counter[type]`.
+//!
+//! The `cowbird-telemetry` crate mirrors this bit layout in
+//! `telemetry::req_label` (telemetry sits *below* this crate in the
+//! dependency graph, so it re-derives the fields from the raw word rather
+//! than naming [`ReqId`]). Keep the two in sync if the encoding changes.
 
 /// Operation type carried in a request id.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -92,6 +97,17 @@ impl ReqId {
     #[inline]
     pub fn completed_by(self, progress: u64) -> bool {
         self.seq() <= progress
+    }
+}
+
+impl std::fmt::Display for ReqId {
+    /// Matches `telemetry::req_label`'s rendering (`R ch0 #5`, `W ch3 #7`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let t = match self.op() {
+            OpType::Read => 'R',
+            OpType::Write => 'W',
+        };
+        write!(f, "{t} ch{} #{}", self.channel(), self.seq())
     }
 }
 

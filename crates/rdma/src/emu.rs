@@ -127,6 +127,18 @@ impl EmuNic {
             .unwrap_or_default()
     }
 
+    /// Attach a telemetry recorder to the underlying NIC (flight recorder).
+    pub fn set_recorder(&self, rec: telemetry::Recorder) {
+        self.shared.nic.lock().set_recorder(rec);
+    }
+
+    /// Revoke a registered rkey (pool-side fencing): subsequent verbs naming
+    /// it are NAK'd, so a fenced engine's pool access fails closed. Returns
+    /// whether the rkey was registered.
+    pub fn revoke_rkey(&self, rkey: Rkey) -> bool {
+        self.shared.nic.lock().revoke_rkey(rkey)
+    }
+
     /// Direct access to the underlying protocol NIC (setup & inspection).
     pub fn with_nic<R>(&self, f: impl FnOnce(&mut SimNic) -> R) -> R {
         f(&mut self.shared.nic.lock())

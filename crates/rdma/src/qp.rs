@@ -151,6 +151,36 @@ pub struct QpCounters {
     pub dropped_out_of_order: u64,
 }
 
+impl QpCounters {
+    /// Sum another QP's counters into this one (per-NIC aggregation).
+    pub fn accumulate(&mut self, other: &QpCounters) {
+        self.posted += other.posted;
+        self.tx_packets += other.tx_packets;
+        self.rx_packets += other.rx_packets;
+        self.acks_rx += other.acks_rx;
+        self.naks_rx += other.naks_rx;
+        self.naks_tx += other.naks_tx;
+        self.retransmit_rounds += other.retransmit_rounds;
+        self.dropped_out_of_order += other.dropped_out_of_order;
+    }
+
+    /// Export into a metrics registry under `rdma.qp.*`.
+    pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("rdma.qp.posted", labels, self.posted);
+        reg.counter_add("rdma.qp.tx_packets", labels, self.tx_packets);
+        reg.counter_add("rdma.qp.rx_packets", labels, self.rx_packets);
+        reg.counter_add("rdma.qp.acks_rx", labels, self.acks_rx);
+        reg.counter_add("rdma.qp.naks_rx", labels, self.naks_rx);
+        reg.counter_add("rdma.qp.naks_tx", labels, self.naks_tx);
+        reg.counter_add("rdma.qp.retransmit_rounds", labels, self.retransmit_rounds);
+        reg.counter_add(
+            "rdma.qp.dropped_out_of_order",
+            labels,
+            self.dropped_out_of_order,
+        );
+    }
+}
+
 /// A reliable-connection queue pair (requester + responder halves).
 pub struct Qp {
     cfg: QpConfig,

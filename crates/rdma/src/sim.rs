@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use simnet::link::CORRUPT_FLAG;
 use simnet::sim::{NodeId, Packet};
 use simnet::time::Instant;
+use telemetry::{Component, EventKind, Recorder};
 
 use crate::mem::{Region, RegionCatalog, Rkey};
 use crate::qp::{Qp, QpConfig, QpError, QpNum, QpOutput};
@@ -35,7 +36,32 @@ pub struct NicStats {
     pub rx_packets: u64,
     pub rx_dropped_corrupt: u64,
     pub rx_dropped_unroutable: u64,
+    /// Rkeys revoked via [`SimNic::revoke_rkey`] (pool-side fencing).
+    pub rkeys_revoked: u64,
 }
+
+impl NicStats {
+    /// Export into a metrics registry under `rdma.nic.*`.
+    pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("rdma.nic.rx_packets", labels, self.rx_packets);
+        reg.counter_add(
+            "rdma.nic.rx_dropped_corrupt",
+            labels,
+            self.rx_dropped_corrupt,
+        );
+        reg.counter_add(
+            "rdma.nic.rx_dropped_unroutable",
+            labels,
+            self.rx_dropped_unroutable,
+        );
+        reg.counter_add("rdma.nic.rkeys_revoked", labels, self.rkeys_revoked);
+    }
+}
+
+/// `PacketDropped` telemetry reason: integrity (iCRC stand-in) failure.
+pub const DROP_REASON_CORRUPT: u64 = 1;
+/// `PacketDropped` telemetry reason: no QP with the packet's destination qpn.
+pub const DROP_REASON_UNROUTABLE: u64 = 2;
 
 /// A software RNIC for simulation.
 pub struct SimNic {
@@ -50,6 +76,8 @@ pub struct SimNic {
     /// Verify integrity (the iCRC stand-in). On — the default — means
     /// corrupted packets are dropped silently, leaving recovery to GBN.
     pub check_integrity: bool,
+    /// Telemetry sink (disabled by default; one branch per event).
+    rec: Recorder,
 }
 
 impl Default for SimNic {
@@ -67,7 +95,44 @@ impl SimNic {
             peer_node: HashMap::new(),
             stats: NicStats::default(),
             check_integrity: true,
+            rec: Recorder::disabled(),
         }
+    }
+
+    /// Attach a telemetry recorder (flight recorder). Disabled by default.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.rec = rec;
+    }
+
+    /// This NIC's telemetry recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Revoke a registered rkey: the pool-side fence. Every subsequent verb
+    /// that names this rkey is NAK'd at the responder, so a fenced (zombie)
+    /// engine's one-sided reads and writes **fail closed** — its requester
+    /// replays into NAKs forever and never sees a completion, and no data
+    /// transfer takes effect. Returns whether the rkey was registered.
+    pub fn revoke_rkey(&mut self, rkey: Rkey) -> bool {
+        let revoked = self.catalog.deregister(rkey).is_some();
+        if revoked {
+            self.stats.rkeys_revoked += 1;
+            self.rec
+                .record(Component::Pool, EventKind::RkeyRevoked, 0, rkey as u64, 0);
+        }
+        revoked
+    }
+
+    /// Export NIC drop counters plus per-QP verb counters into a metrics
+    /// registry (`rdma.nic.*` and `rdma.qp.*`, summed over this NIC's QPs).
+    pub fn export_metrics(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        self.stats.export(reg, labels);
+        let mut total = crate::qp::QpCounters::default();
+        for qp in self.qps.values() {
+            total.accumulate(&qp.counters);
+        }
+        total.export(reg, labels);
     }
 
     /// Register a memory region, returning its rkey.
@@ -118,12 +183,26 @@ impl SimNic {
         if self.check_integrity && pkt.meta & CORRUPT_FLAG != 0 {
             // iCRC failure: drop; Go-Back-N recovers.
             self.stats.rx_dropped_corrupt += 1;
+            self.rec.record(
+                Component::Nic,
+                EventKind::PacketDropped,
+                0,
+                DROP_REASON_CORRUPT,
+                0,
+            );
             return NicOutput::default();
         }
         match RocePacket::parse(&pkt.payload) {
             Ok(roce) => self.handle_roce(roce, now),
             Err(WireError::Truncated) | Err(WireError::UnknownOpcode(_)) => {
                 self.stats.rx_dropped_corrupt += 1;
+                self.rec.record(
+                    Component::Nic,
+                    EventKind::PacketDropped,
+                    0,
+                    DROP_REASON_CORRUPT,
+                    0,
+                );
                 NicOutput::default()
             }
         }
@@ -134,6 +213,13 @@ impl SimNic {
         let qpn = roce.bth.dst_qp;
         let Some(qp) = self.qps.get_mut(&qpn) else {
             self.stats.rx_dropped_unroutable += 1;
+            self.rec.record(
+                Component::Nic,
+                EventKind::PacketDropped,
+                0,
+                DROP_REASON_UNROUTABLE,
+                qpn as u64,
+            );
             return NicOutput::default();
         };
         let peer = *self.peer_node.get(&qpn).expect("qp without peer");
@@ -252,6 +338,70 @@ mod tests {
         let pkt = to_sim_packet(NodeId(1), NodeId(0), &roce, 0);
         nic.handle_packet(&pkt, Instant::ZERO);
         assert_eq!(nic.stats.rx_dropped_unroutable, 1);
+    }
+
+    #[test]
+    fn revoked_rkey_fails_closed() {
+        let a_id = NodeId(0);
+        let b_id = NodeId(1);
+        let mut a = SimNic::new();
+        let mut b = SimNic::new();
+        let local = Region::new(256);
+        local.write(0, b"poison").unwrap();
+        let remote = Region::new(256);
+        let lkey = a.register(local);
+        let rkey = b.register(remote.clone());
+        a.create_qp(QpConfig::new(10, 20), b_id);
+        b.create_qp(QpConfig::new(20, 10), a_id);
+
+        let ring = std::sync::Arc::new(telemetry::EventRing::with_capacity(64));
+        b.set_recorder(Recorder::attached(std::sync::Arc::clone(&ring), 1, true));
+        assert!(b.revoke_rkey(rkey), "rkey was registered");
+        assert!(!b.revoke_rkey(rkey), "second revoke is a no-op");
+        assert_eq!(b.stats.rkeys_revoked, 1);
+        let revs: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::RkeyRevoked)
+            .collect();
+        assert_eq!(revs.len(), 1);
+        assert_eq!(revs[0].a, rkey as u64);
+
+        // A write against the revoked rkey: the responder NAKs, the
+        // requester replays into more NAKs, and no completion ever arrives.
+        // (Bounded rounds here — a real deployment tears the zombie down.)
+        let write = WorkRequest {
+            wr_id: 9,
+            op: WrOp::Write {
+                local_rkey: lkey,
+                local_addr: 0,
+                remote_addr: 0,
+                remote_rkey: rkey,
+                len: 6,
+            },
+        };
+        let mut to_b = a.post(10, write, Instant::ZERO).unwrap();
+        for _ in 0..3 {
+            let mut to_a = Vec::new();
+            for (_, roce) in to_b.drain(..) {
+                let pkt = to_sim_packet(a_id, b_id, &roce, 0);
+                to_a.extend(b.handle_packet(&pkt, Instant::ZERO).emit);
+            }
+            for (_, roce) in to_a {
+                let pkt = to_sim_packet(b_id, a_id, &roce, 0);
+                to_b.extend(a.handle_packet(&pkt, Instant::ZERO).emit);
+            }
+        }
+        assert!(
+            a.poll(16).is_empty(),
+            "revoked-rkey write must not complete"
+        );
+        assert!(b.qp(20).unwrap().counters.naks_tx >= 1);
+        assert_eq!(
+            remote.read_vec(0, 6).unwrap(),
+            vec![0; 6],
+            "no bytes may land through a revoked rkey"
+        );
     }
 
     #[test]

@@ -109,6 +109,35 @@ impl LinkStats {
         total
     }
 
+    /// Export into a metrics registry under `simnet.link.*`, tagged with the
+    /// caller's labels (typically the link id and/or experiment name).
+    pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
+        reg.counter_add("simnet.link.tx_packets", labels, self.tx_packets);
+        reg.counter_add("simnet.link.tx_bytes", labels, self.tx_bytes);
+        reg.counter_add(
+            "simnet.link.dropped_overflow",
+            labels,
+            self.dropped_overflow,
+        );
+        reg.counter_add("simnet.link.dropped_fault", labels, self.dropped_fault);
+        reg.counter_add(
+            "simnet.link.dropped_linkdown",
+            labels,
+            self.dropped_linkdown,
+        );
+        reg.counter_add("simnet.link.corrupted", labels, self.corrupted);
+        let mut prio_labels: Vec<(&str, &str)> = labels.to_vec();
+        const PRIO_NAMES: [&str; PRIO_LEVELS] = ["0", "1", "2", "3", "4", "5", "6", "7"];
+        for (p, d) in self.busy_by_prio.iter().enumerate() {
+            if *d == Duration::ZERO {
+                continue;
+            }
+            prio_labels.push(("prio", PRIO_NAMES[p]));
+            reg.counter_add("simnet.link.busy_ns", &prio_labels, d.nanos());
+            prio_labels.pop();
+        }
+    }
+
     /// Fraction of `elapsed` spent serializing packets at priority <= `prio`.
     pub fn utilization_at_or_above(&self, prio: Priority, elapsed: Duration) -> f64 {
         if elapsed == Duration::ZERO {

@@ -10,11 +10,13 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
+use telemetry::EventKind;
+
 use crate::fault::{FaultEvent, FaultScript, FaultStats};
 use crate::link::{Link, LinkId, LinkParams, LinkStats};
 use crate::rng::Rng;
 use crate::time::{Duration, Instant};
-use crate::trace::Trace;
+use crate::trace::{pack_pkt, Trace};
 
 /// Identifies a node within one [`Sim`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -213,6 +215,12 @@ impl Sim {
         self.trace.take()
     }
 
+    /// Structured view of the trace ring (empty when tracing is off). Does
+    /// not drain; [`Sim::take_trace`] still sees the same events.
+    pub fn trace_events(&self) -> Vec<telemetry::Event> {
+        self.trace.events()
+    }
+
     /// Register a node; returns its id. Ids are assigned in insertion order
     /// starting from 0.
     pub fn add_node(&mut self, node: Box<dyn Node>) -> NodeId {
@@ -288,11 +296,13 @@ impl Sim {
         self.faults.faults_applied += 1;
         match ev {
             FaultEvent::NodeDown(n) => {
-                self.trace.log(self.now, || format!("fault: {:?} down", n));
+                self.trace
+                    .event(self.now, n.0 as u16, EventKind::NodeDown, 0, 0, 0);
                 self.down[n.0 as usize] = true;
             }
             FaultEvent::NodeUp(n) => {
-                self.trace.log(self.now, || format!("fault: {:?} up", n));
+                self.trace
+                    .event(self.now, n.0 as u16, EventKind::NodeUp, 0, 0, 0);
                 if std::mem::replace(&mut self.down[n.0 as usize], false) {
                     // Thaw: re-run on_start so the node can re-arm timers
                     // (everything it had scheduled was dropped while down).
@@ -300,11 +310,13 @@ impl Sim {
                 }
             }
             FaultEvent::LinkDown(l) => {
-                self.trace.log(self.now, || format!("fault: {:?} down", l));
+                self.trace
+                    .event(self.now, 0, EventKind::LinkDown, 0, l.0 as u64, 0);
                 self.links[l.0].set_up(false);
             }
             FaultEvent::LinkUp(l) => {
-                self.trace.log(self.now, || format!("fault: {:?} up", l));
+                self.trace
+                    .event(self.now, 0, EventKind::LinkUp, 0, l.0 as u64, 0);
                 self.links[l.0].set_up(true);
             }
         }
@@ -353,12 +365,14 @@ impl Sim {
             .route
             .get(&(pkt.src, pkt.dst))
             .unwrap_or_else(|| panic!("no link {:?} -> {:?}", pkt.src, pkt.dst));
-        self.trace.log(self.now, || {
-            format!(
-                "tx {:?}->{:?} {}B prio{} meta={:#x}",
-                pkt.src, pkt.dst, pkt.wire_bytes, pkt.prio, pkt.meta
-            )
-        });
+        self.trace.event(
+            self.now,
+            pkt.src.0 as u16,
+            EventKind::PktTx,
+            0,
+            pack_pkt(pkt.dst.0, pkt.wire_bytes, pkt.prio),
+            pkt.meta,
+        );
         let link = &mut self.links[idx];
         if let Some(done_at) = link.enqueue(self.now, pkt, &mut self.rng) {
             self.push(done_at, Event::LinkTxDone(idx));
@@ -411,12 +425,14 @@ impl Sim {
                         self.faults.deliveries_dropped += 1;
                         continue;
                     }
-                    self.trace.log(self.now, || {
-                        format!(
-                            "rx {:?}<-{:?} {}B prio{} meta={:#x}",
-                            pkt.dst, pkt.src, pkt.wire_bytes, pkt.prio, pkt.meta
-                        )
-                    });
+                    self.trace.event(
+                        self.now,
+                        pkt.dst.0 as u16,
+                        EventKind::PktRx,
+                        0,
+                        pack_pkt(pkt.src.0, pkt.wire_bytes, pkt.prio),
+                        pkt.meta,
+                    );
                     self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx));
                 }
                 Event::Timer(node, tag) => {

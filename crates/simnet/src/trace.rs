@@ -1,45 +1,126 @@
-//! Lightweight event tracing (a pcap-style text log).
+//! Lightweight event tracing, backed by the shared telemetry event ring.
 //!
-//! Tracing is off by default and costs one branch per event; the formatting
-//! closure only runs when enabled, so hot paths stay clean.
+//! Tracing is off by default and costs one branch per event. Events are
+//! stored as fixed-size structured [`telemetry::Event`] records — the
+//! pcap-style text lines of the original implementation are now a
+//! *rendering* over the ring ([`Trace::take`]), not a separate string store,
+//! so simulator traces can merge with engine/client telemetry on one
+//! timeline and nothing is formatted unless somebody asks for text.
+
+use std::sync::Arc;
+
+use telemetry::{Component, Event, EventKind, EventRing};
 
 use crate::time::Instant;
 
-/// Collects human-readable event lines when enabled.
+/// Events kept per enabled trace. The text log only ever showed the recent
+/// window anyway; structured consumers can snapshot before overwrite.
+const TRACE_CAPACITY: usize = 1 << 16;
+
+/// Collects structured simulator events when enabled.
 pub struct Trace {
-    lines: Option<Vec<String>>,
+    ring: Option<Arc<EventRing>>,
 }
 
 impl Trace {
     pub fn disabled() -> Trace {
-        Trace { lines: None }
+        Trace { ring: None }
     }
 
     pub fn enabled() -> Trace {
         Trace {
-            lines: Some(Vec::new()),
+            ring: Some(Arc::new(EventRing::with_capacity(TRACE_CAPACITY))),
         }
     }
 
     pub fn is_enabled(&self) -> bool {
-        self.lines.is_some()
+        self.ring.is_some()
     }
 
-    /// Log a line; `f` is only evaluated when tracing is on.
+    /// Record one structured event at virtual time `at`. One branch when
+    /// disabled; no allocation or formatting either way.
     #[inline]
-    pub fn log<F: FnOnce() -> String>(&mut self, at: Instant, f: F) {
-        if let Some(lines) = &mut self.lines {
-            lines.push(format!("[{at}] {}", f()));
+    pub fn event(&mut self, at: Instant, node: u16, kind: EventKind, req: u64, a: u64, b: u64) {
+        if let Some(ring) = &self.ring {
+            ring.push(Event {
+                ts_ns: at.nanos(),
+                node,
+                component: Component::Sim,
+                kind,
+                req,
+                a,
+                b,
+            });
         }
     }
 
-    /// Drain the accumulated lines.
-    pub fn take(&mut self) -> Vec<String> {
-        match &mut self.lines {
-            Some(lines) => std::mem::take(lines),
+    /// The ring, for merging into a telemetry hub. `None` when disabled.
+    pub fn ring(&self) -> Option<&Arc<EventRing>> {
+        self.ring.as_ref()
+    }
+
+    /// Structured view: the surviving events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        match &self.ring {
+            Some(r) => r.snapshot(),
             None => Vec::new(),
         }
     }
+
+    /// Drain the ring, rendering each event as the classic
+    /// `"[<time>] <description>"` text line.
+    pub fn take(&mut self) -> Vec<String> {
+        let Some(ring) = &mut self.ring else {
+            return Vec::new();
+        };
+        let lines = ring.snapshot().iter().map(render_line).collect();
+        // "Drain" = swap in a fresh ring so the next take() sees only new
+        // events.
+        *ring = Arc::new(EventRing::with_capacity(TRACE_CAPACITY));
+        lines
+    }
+}
+
+/// Pack a packet event's `a` word: `prio << 56 | peer << 32 | wire_bytes`
+/// (peer = dst for tx, src for rx; truncated to 24 bits).
+#[inline]
+pub fn pack_pkt(peer: u32, wire_bytes: usize, prio: u8) -> u64 {
+    ((prio as u64) << 56) | (((peer as u64) & 0xFF_FFFF) << 32) | (wire_bytes as u64 & 0xFFFF_FFFF)
+}
+
+/// Render one simulator event the way the old string trace formatted it.
+fn render_line(ev: &Event) -> String {
+    let at = Instant(ev.ts_ns);
+    let body = match ev.kind {
+        EventKind::NodeDown => format!("fault: NodeId({}) down", ev.node),
+        EventKind::NodeUp => format!("fault: NodeId({}) up", ev.node),
+        EventKind::LinkDown => format!("fault: LinkId({}) down", ev.a),
+        EventKind::LinkUp => format!("fault: LinkId({}) up", ev.a),
+        EventKind::PktTx => {
+            let (dst, bytes, prio) = unpack_pkt(ev.a);
+            format!(
+                "tx NodeId({})->NodeId({dst}) {bytes}B prio{prio} meta={:#x}",
+                ev.node, ev.b
+            )
+        }
+        EventKind::PktRx => {
+            let (src, bytes, prio) = unpack_pkt(ev.a);
+            format!(
+                "rx NodeId({})<-NodeId({src}) {bytes}B prio{prio} meta={:#x}",
+                ev.node, ev.b
+            )
+        }
+        other => format!("{} a={:#x} b={:#x}", other.name(), ev.a, ev.b),
+    };
+    format!("[{at}] {body}")
+}
+
+#[inline]
+fn unpack_pkt(a: u64) -> (u32, u32, u8) {
+    let peer = ((a >> 32) & 0xFF_FFFF) as u32;
+    let bytes = (a & 0xFFFF_FFFF) as u32;
+    let prio = (a >> 56) as u8;
+    (peer, bytes, prio)
 }
 
 #[cfg(test)]
@@ -47,26 +128,56 @@ mod tests {
     use super::*;
 
     #[test]
-    fn disabled_trace_skips_closure() {
+    fn disabled_trace_records_nothing() {
         let mut t = Trace::disabled();
-        let mut called = false;
-        t.log(Instant::ZERO, || {
-            called = true;
-            String::new()
-        });
-        assert!(!called);
+        t.event(Instant::ZERO, 0, EventKind::PktTx, 0, pack_pkt(1, 64, 7), 0);
+        assert!(!t.is_enabled());
+        assert!(t.take().is_empty());
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_renders_classic_lines() {
+        let mut t = Trace::enabled();
+        t.event(
+            Instant(1_500),
+            0,
+            EventKind::PktTx,
+            0,
+            pack_pkt(1, 100, 7),
+            0x64,
+        );
+        t.event(Instant(2_500), 3, EventKind::NodeDown, 0, 0, 0);
+        let lines = t.take();
+        assert_eq!(lines.len(), 2);
+        assert!(
+            lines[0].contains("tx NodeId(0)->NodeId(1) 100B prio7 meta=0x64"),
+            "{}",
+            lines[0]
+        );
+        assert!(lines[1].contains("fault: NodeId(3) down"), "{}", lines[1]);
+        // take() drains.
         assert!(t.take().is_empty());
     }
 
     #[test]
-    fn enabled_trace_collects_lines() {
+    fn structured_events_survive_alongside_rendering() {
         let mut t = Trace::enabled();
-        t.log(Instant(1_500), || "hello".to_string());
-        t.log(Instant(2_500), || "world".to_string());
-        let lines = t.take();
-        assert_eq!(lines.len(), 2);
-        assert!(lines[0].contains("hello"));
-        assert!(lines[1].contains("world"));
-        assert!(t.take().is_empty());
+        t.event(Instant(9), 5, EventKind::LinkDown, 0, 2, 0);
+        let evs = t.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, EventKind::LinkDown);
+        assert_eq!(evs[0].ts_ns, 9);
+        assert_eq!(evs[0].a, 2);
+        assert_eq!(evs[0].component, Component::Sim);
+        // events() does not drain; take() still sees it.
+        assert_eq!(t.take().len(), 1);
+    }
+
+    #[test]
+    fn pkt_packing_round_trips() {
+        let a = pack_pkt(42, 9001, 7);
+        let (peer, bytes, prio) = unpack_pkt(a);
+        assert_eq!((peer, bytes, prio), (42, 9001, 7));
     }
 }

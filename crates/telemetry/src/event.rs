@@ -1,0 +1,312 @@
+//! The fixed-size structured event record.
+//!
+//! An [`Event`] packs into exactly five 64-bit words:
+//!
+//! ```text
+//! word 0: timestamp, nanoseconds (virtual or wall — the ring doesn't care)
+//! word 1: [ kind (16 bits) << 32 | component (8 bits) << 16 | node (16 bits) ]
+//! word 2: request id (cowbird ReqId raw encoding; 0 = not request-scoped)
+//! word 3: payload word a
+//! word 4: payload word b
+//! ```
+//!
+//! The request-id word mirrors `cowbird::reqid::ReqId::raw()`: bit 63 is the
+//! op (0 = read, 1 = write), bits 62..48 the channel id, bits 47..0 the
+//! per-(channel, op) sequence number starting at 1. This crate sits below
+//! `cowbird` so it cannot name that type; [`crate::span::req_label`]
+//! re-derives the human-readable form from the same bit layout.
+
+/// Which layer of the stack recorded an event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Component {
+    /// The compute-side client library (channel + poll groups).
+    Client = 0,
+    /// The offload engine (P4 or Spot core).
+    Engine = 1,
+    /// The passive memory pool.
+    Pool = 2,
+    /// A NIC / fabric endpoint.
+    Nic = 3,
+    /// The discrete-event simulator itself.
+    Sim = 4,
+    /// Benchmark harness / experiment driver.
+    Harness = 5,
+}
+
+impl Component {
+    pub fn from_u8(v: u8) -> Option<Component> {
+        Some(match v {
+            0 => Component::Client,
+            1 => Component::Engine,
+            2 => Component::Pool,
+            3 => Component::Nic,
+            4 => Component::Sim,
+            5 => Component::Harness,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Component::Client => "client",
+            Component::Engine => "engine",
+            Component::Pool => "pool",
+            Component::Nic => "nic",
+            Component::Sim => "sim",
+            Component::Harness => "harness",
+        }
+    }
+}
+
+/// What happened. Grouped by the layer that typically records it, but any
+/// component may record any kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u16)]
+pub enum EventKind {
+    // ---- client lifecycle ----
+    /// Client appended a read to the channel. a = remote addr, b = len.
+    ReadIssued = 1,
+    /// Client appended a write. a = remote addr, b = len.
+    WriteIssued = 2,
+    /// Client observed the request complete. a = progress counter.
+    RequestCompleted = 3,
+    /// Client raised the epoch fence. a = new epoch.
+    FenceRaised = 4,
+    /// Client saw a higher engine epoch in the red block (standby takeover).
+    /// a = new epoch.
+    TakeoverObserved = 5,
+    /// Client ignored a red block from a fenced epoch. a = red epoch,
+    /// b = expected epoch.
+    StaleRedIgnored = 6,
+    /// The progress-stall watchdog tripped. a = pending requests.
+    EngineStalled = 7,
+
+    // ---- engine lifecycle ----
+    /// Engine issued a green-block probe.
+    ProbeSent = 16,
+    /// A probe found new metadata entries. a = meta tail seen.
+    ProbeFoundWork = 17,
+    /// Engine observed the client fence above its own epoch and stood down.
+    /// a = client epoch, b = engine epoch.
+    FenceObserved = 18,
+    /// Engine fetched metadata entries. a = first index, b = count.
+    MetaFetched = 19,
+    /// Engine started executing a read. a = pool addr, b = len.
+    ReadExecuted = 20,
+    /// Engine started executing a write. a = pool addr, b = len.
+    WriteExecuted = 21,
+    /// A write is held behind the write-after-read crash barrier.
+    /// a = reads it waits for.
+    WriteHeld = 22,
+    /// Read response data written back to the compute node. a = response
+    /// ring offset, b = len.
+    ComputeWrite = 23,
+    /// Engine published the red bookkeeping block. a = write progress,
+    /// b = read progress.
+    RedPublished = 24,
+    /// A tracked red publish was acknowledged (crash barrier advances).
+    /// a = reads committed by it.
+    RedCommitted = 25,
+    /// A standby adopted the channel from the red block. a = new epoch.
+    Adopted = 26,
+    /// Loss recovery: engine rewound to its committed floor.
+    GoBackN = 27,
+    /// A spot engine saw its preemption/kill flag.
+    EnginePreempted = 28,
+    /// A spot engine parked (paused) its loop.
+    EngineParked = 29,
+
+    // ---- fabric / pool ----
+    /// An rkey was revoked at the pool NIC (fencing). a = rkey.
+    RkeyRevoked = 40,
+    /// A NIC dropped an inbound packet. a = reason code, b = qpn.
+    PacketDropped = 41,
+
+    // ---- simulator ----
+    /// Fault script: node down. node field = the node.
+    NodeDown = 48,
+    /// Fault script: node back up.
+    NodeUp = 49,
+    /// Fault script: link down. a = link id.
+    LinkDown = 50,
+    /// Fault script: link back up. a = link id.
+    LinkUp = 51,
+    /// Packet accepted for transmission. node = src; a packs
+    /// `prio << 56 | dst << 32 | wire_bytes`, b = packet meta.
+    PktTx = 52,
+    /// Packet delivered. node = dst; a packs `prio << 56 | src << 32 |
+    /// wire_bytes`, b = packet meta.
+    PktRx = 53,
+
+    /// Free-form marker. a and b are caller-defined.
+    Mark = 63,
+}
+
+impl EventKind {
+    pub fn from_u16(v: u16) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::ReadIssued,
+            2 => EventKind::WriteIssued,
+            3 => EventKind::RequestCompleted,
+            4 => EventKind::FenceRaised,
+            5 => EventKind::TakeoverObserved,
+            6 => EventKind::StaleRedIgnored,
+            7 => EventKind::EngineStalled,
+            16 => EventKind::ProbeSent,
+            17 => EventKind::ProbeFoundWork,
+            18 => EventKind::FenceObserved,
+            19 => EventKind::MetaFetched,
+            20 => EventKind::ReadExecuted,
+            21 => EventKind::WriteExecuted,
+            22 => EventKind::WriteHeld,
+            23 => EventKind::ComputeWrite,
+            24 => EventKind::RedPublished,
+            25 => EventKind::RedCommitted,
+            26 => EventKind::Adopted,
+            27 => EventKind::GoBackN,
+            28 => EventKind::EnginePreempted,
+            29 => EventKind::EngineParked,
+            40 => EventKind::RkeyRevoked,
+            41 => EventKind::PacketDropped,
+            48 => EventKind::NodeDown,
+            49 => EventKind::NodeUp,
+            50 => EventKind::LinkDown,
+            51 => EventKind::LinkUp,
+            52 => EventKind::PktTx,
+            53 => EventKind::PktRx,
+            63 => EventKind::Mark,
+            _ => return None,
+        })
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::ReadIssued => "ReadIssued",
+            EventKind::WriteIssued => "WriteIssued",
+            EventKind::RequestCompleted => "RequestCompleted",
+            EventKind::FenceRaised => "FenceRaised",
+            EventKind::TakeoverObserved => "TakeoverObserved",
+            EventKind::StaleRedIgnored => "StaleRedIgnored",
+            EventKind::EngineStalled => "EngineStalled",
+            EventKind::ProbeSent => "ProbeSent",
+            EventKind::ProbeFoundWork => "ProbeFoundWork",
+            EventKind::FenceObserved => "FenceObserved",
+            EventKind::MetaFetched => "MetaFetched",
+            EventKind::ReadExecuted => "ReadExecuted",
+            EventKind::WriteExecuted => "WriteExecuted",
+            EventKind::WriteHeld => "WriteHeld",
+            EventKind::ComputeWrite => "ComputeWrite",
+            EventKind::RedPublished => "RedPublished",
+            EventKind::RedCommitted => "RedCommitted",
+            EventKind::Adopted => "Adopted",
+            EventKind::GoBackN => "GoBackN",
+            EventKind::EnginePreempted => "EnginePreempted",
+            EventKind::EngineParked => "EngineParked",
+            EventKind::RkeyRevoked => "RkeyRevoked",
+            EventKind::PacketDropped => "PacketDropped",
+            EventKind::NodeDown => "NodeDown",
+            EventKind::NodeUp => "NodeUp",
+            EventKind::LinkDown => "LinkDown",
+            EventKind::LinkUp => "LinkUp",
+            EventKind::PktTx => "PktTx",
+            EventKind::PktRx => "PktRx",
+            EventKind::Mark => "Mark",
+        }
+    }
+}
+
+/// Number of 64-bit words in the binary encoding.
+pub const EVENT_WORDS: usize = 5;
+
+/// One structured telemetry event. `Copy`, fixed-size, heap-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Nanoseconds — virtual time in the simulator, wall clock in the
+    /// emulated fabric. Comparable only within one substrate.
+    pub ts_ns: u64,
+    /// Node that recorded the event (NodeId / NIC id, truncated to 16 bits).
+    pub node: u16,
+    pub component: Component,
+    pub kind: EventKind,
+    /// Raw `ReqId` encoding; 0 when the event is not request-scoped.
+    pub req: u64,
+    pub a: u64,
+    pub b: u64,
+}
+
+impl Event {
+    /// Encode to the five-word binary form.
+    #[inline]
+    pub fn to_words(self) -> [u64; EVENT_WORDS] {
+        [
+            self.ts_ns,
+            (self.node as u64) | ((self.component as u64) << 16) | ((self.kind as u64) << 32),
+            self.req,
+            self.a,
+            self.b,
+        ]
+    }
+
+    /// Decode from the binary form; `None` for unknown kind/component codes
+    /// (e.g. a torn slot that slipped past the ring's stamp check).
+    #[inline]
+    pub fn from_words(w: [u64; EVENT_WORDS]) -> Option<Event> {
+        let component = Component::from_u8(((w[1] >> 16) & 0xFF) as u8)?;
+        let kind = EventKind::from_u16(((w[1] >> 32) & 0xFFFF) as u16)?;
+        Some(Event {
+            ts_ns: w[0],
+            node: (w[1] & 0xFFFF) as u16,
+            component,
+            kind,
+            req: w[2],
+            a: w[3],
+            b: w[4],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_round_trip() {
+        let ev = Event {
+            ts_ns: 123_456_789,
+            node: 7,
+            component: Component::Engine,
+            kind: EventKind::RedPublished,
+            req: 0x8001_0000_0000_0003,
+            a: 42,
+            b: u64::MAX,
+        };
+        assert_eq!(Event::from_words(ev.to_words()), Some(ev));
+    }
+
+    #[test]
+    fn unknown_codes_decode_to_none() {
+        let mut w = Event {
+            ts_ns: 0,
+            node: 0,
+            component: Component::Client,
+            kind: EventKind::Mark,
+            req: 0,
+            a: 0,
+            b: 0,
+        }
+        .to_words();
+        w[1] = 9999u64 << 32; // bogus kind
+        assert_eq!(Event::from_words(w), None);
+    }
+
+    #[test]
+    fn every_kind_round_trips_through_its_code() {
+        for code in 0..=u16::MAX {
+            if let Some(k) = EventKind::from_u16(code) {
+                assert_eq!(k as u16, code);
+                assert!(!k.name().is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The flight recorder: per-node event rings behind one hub, dumped
+//! together when something goes wrong.
+//!
+//! A [`Telemetry`] hub hands out [`Recorder`]s, one ring per node. On a
+//! failure — `EngineStalled`, a fence, an adoption gone wrong, a test
+//! assertion — [`Telemetry::dump`] merges the last N events from *every*
+//! node's ring onto one timeline, and [`Telemetry::write_flight_dump`]
+//! persists it as both human-readable text and Chrome trace-event JSON.
+//!
+//! Dumps land in `$COWBIRD_FLIGHT_DIR` (default `target/flight-recorder/`);
+//! CI uploads that directory as an artifact when a test job fails.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+use crate::ring::EventRing;
+use crate::span;
+
+/// Default events kept per node.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+struct NodeEntry {
+    node: u16,
+    name: String,
+    ring: Arc<EventRing>,
+}
+
+#[derive(Default)]
+struct Hub {
+    nodes: Vec<NodeEntry>,
+    capacity: usize,
+}
+
+/// Cheap-to-clone flight-recorder hub.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Hub>>,
+}
+
+impl Telemetry {
+    /// A hub whose per-node rings hold `capacity_per_node` events.
+    pub fn new(capacity_per_node: usize) -> Telemetry {
+        Telemetry {
+            inner: Arc::new(Mutex::new(Hub {
+                nodes: Vec::new(),
+                capacity: capacity_per_node,
+            })),
+        }
+    }
+
+    fn attach(&self, node: u16, name: &str, wall: bool) -> Recorder {
+        let mut hub = self.inner.lock().unwrap();
+        if let Some(e) = hub.nodes.iter().find(|e| e.node == node) {
+            return Recorder::attached(Arc::clone(&e.ring), node, wall);
+        }
+        let cap = if hub.capacity == 0 {
+            DEFAULT_RING_CAPACITY
+        } else {
+            hub.capacity
+        };
+        let ring = Arc::new(EventRing::with_capacity(cap));
+        hub.nodes.push(NodeEntry {
+            node,
+            name: name.to_string(),
+            ring: Arc::clone(&ring),
+        });
+        Recorder::attached(ring, node, wall)
+    }
+
+    /// A wall-clock recorder for `node` (emulated-fabric deployments).
+    /// Repeated calls for the same node share one ring.
+    pub fn recorder(&self, node: u16, name: &str) -> Recorder {
+        self.attach(node, name, true)
+    }
+
+    /// A virtual-clock recorder for `node` (simulator deployments); the
+    /// driver feeds time via [`Recorder::set_now_ns`].
+    pub fn recorder_virtual(&self, node: u16, name: &str) -> Recorder {
+        self.attach(node, name, false)
+    }
+
+    /// Merge every node's surviving events onto one timeline.
+    pub fn dump(&self) -> FlightDump {
+        let hub = self.inner.lock().unwrap();
+        let mut events = Vec::new();
+        let mut nodes = Vec::new();
+        for e in &hub.nodes {
+            events.extend(e.ring.snapshot());
+            nodes.push((e.node, e.name.clone()));
+        }
+        events.sort_by_key(|e| e.ts_ns);
+        FlightDump { events, nodes }
+    }
+
+    /// Dump and persist as `<dir>/<scenario>.json` (Chrome trace) and
+    /// `<dir>/<scenario>.txt`. Returns the JSON path.
+    pub fn write_flight_dump(&self, scenario: &str) -> io::Result<PathBuf> {
+        self.dump().write_to_default_dir(scenario)
+    }
+}
+
+/// A merged multi-node event dump.
+pub struct FlightDump {
+    /// Every surviving event, sorted by timestamp.
+    pub events: Vec<Event>,
+    /// (node id, display name) for every registered ring.
+    pub nodes: Vec<(u16, String)>,
+}
+
+impl FlightDump {
+    /// Nodes that contributed at least one event.
+    pub fn nodes_seen(&self) -> BTreeSet<u16> {
+        self.events.iter().map(|e| e.node).collect()
+    }
+
+    /// Human-readable rendering (one line per event).
+    pub fn to_text(&self) -> String {
+        span::text_dump(&self.events, &self.nodes)
+    }
+
+    /// Chrome trace-event JSON rendering (open in Perfetto).
+    pub fn to_chrome_json(&self) -> String {
+        span::chrome_trace_json(&self.events, &self.nodes)
+    }
+
+    /// The directory flight dumps persist to: `$COWBIRD_FLIGHT_DIR` or
+    /// `target/flight-recorder`.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("COWBIRD_FLIGHT_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("target/flight-recorder"))
+    }
+
+    /// Write `<scenario>.json` + `<scenario>.txt` under [`Self::default_dir`];
+    /// returns the JSON path.
+    pub fn write_to_default_dir(&self, scenario: &str) -> io::Result<PathBuf> {
+        let dir = Self::default_dir();
+        std::fs::create_dir_all(&dir)?;
+        let json_path = dir.join(format!("{scenario}.json"));
+        std::fs::write(&json_path, self.to_chrome_json())?;
+        std::fs::write(dir.join(format!("{scenario}.txt")), self.to_text())?;
+        Ok(json_path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, EventKind};
+
+    #[test]
+    fn dump_merges_rings_onto_one_timeline() {
+        let hub = Telemetry::new(64);
+        let a = hub.recorder_virtual(0, "compute");
+        let b = hub.recorder_virtual(1, "engine");
+        a.set_now_ns(10);
+        a.record(Component::Client, EventKind::ReadIssued, 5, 0, 8);
+        b.set_now_ns(20);
+        b.record(Component::Engine, EventKind::ReadExecuted, 5, 0, 8);
+        a.set_now_ns(30);
+        a.record(Component::Client, EventKind::RequestCompleted, 5, 1, 0);
+
+        let d = hub.dump();
+        assert_eq!(d.events.len(), 3);
+        assert!(d.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(d.nodes_seen().len(), 2);
+        crate::json::validate(&d.to_chrome_json()).unwrap();
+        assert!(d.to_text().contains("engine"));
+    }
+
+    #[test]
+    fn same_node_recorders_share_a_ring() {
+        let hub = Telemetry::new(64);
+        let a = hub.recorder_virtual(7, "x");
+        let b = hub.recorder_virtual(7, "x");
+        a.record(Component::Client, EventKind::Mark, 0, 1, 0);
+        b.record(Component::Client, EventKind::Mark, 0, 2, 0);
+        assert_eq!(hub.dump().events.len(), 2);
+    }
+}

@@ -1,0 +1,40 @@
+//! Unified telemetry for the Cowbird stack: structured events, request
+//! spans, a metrics registry, and a crash flight recorder.
+//!
+//! This crate is a dependency-free leaf so every layer — `simnet`, `rdma`,
+//! `cowbird`, `cowbird-engine`, `bench` — can record into it without
+//! dependency cycles. The design splits into four pieces:
+//!
+//! * **[`Event`]** — a fixed-size binary record (timestamp, node, component,
+//!   request id, kind, two payload words) that encodes to exactly five
+//!   64-bit words. No strings, no heap.
+//! * **[`EventRing`]** — a lock-free bounded ring of events with
+//!   overwrite-oldest semantics. Recording through a disabled [`Recorder`]
+//!   costs exactly one branch (no allocation, no formatting).
+//! * **[`MetricsRegistry`]** — counters, gauges, and [`Histogram`]s keyed by
+//!   name-with-labels, with a snapshot-and-diff API that serializes to JSON.
+//! * **[`Telemetry`]** — the flight-recorder hub: one ring per node, merged
+//!   dumps rendered as human-readable text or Chrome trace-event JSON
+//!   (openable in Perfetto / `chrome://tracing`).
+//!
+//! Timestamps are plain `u64` nanoseconds so both substrates work: the
+//! discrete-event simulator feeds virtual time through
+//! [`Recorder::set_now_ns`], while real-thread deployments use the shared
+//! process wall clock ([`wall_now_ns`]).
+
+pub mod event;
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod ring;
+pub mod span;
+
+pub use event::{Component, Event, EventKind};
+pub use flight::{FlightDump, Telemetry};
+pub use hist::Histogram;
+pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use recorder::{wall_now_ns, Recorder};
+pub use ring::EventRing;
+pub use span::{req_label, spans, Span};

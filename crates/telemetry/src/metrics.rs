@@ -1,0 +1,290 @@
+//! The metrics registry: counters, gauges, and histograms keyed by
+//! name-with-labels, with snapshot-and-diff semantics.
+//!
+//! Every layer's ad-hoc stats structs (`EngineStats`, `ChannelStats`, NIC
+//! and link counters) export into one registry under canonical keys of the
+//! form `name{label=value,label=value}` (labels sorted, Prometheus-flavored).
+//! Experiments snapshot the registry before and after a run; the diff is
+//! what the run itself did, and serializes to `metrics.json` without serde.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::hist::Histogram;
+use crate::json;
+
+/// Canonical registry key: `name{k1=v1,k2=v2}` with labels sorted by key.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort();
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+#[derive(Default)]
+struct Store {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+/// Thread-safe metrics registry. Not a hot-path structure: stats structs
+/// export into it at run boundaries, not per operation.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    store: Mutex<Store>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add to a counter (creating it at 0).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        let key = metric_key(name, labels);
+        *self.store.lock().unwrap().counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = metric_key(name, labels);
+        self.store.lock().unwrap().gauges.insert(key, v);
+    }
+
+    /// Record one sample into a histogram (creating it empty).
+    pub fn hist_record(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = metric_key(name, labels);
+        self.store
+            .lock()
+            .unwrap()
+            .hists
+            .entry(key)
+            .or_default()
+            .record(v);
+    }
+
+    /// Merge a whole histogram into a registered one.
+    pub fn hist_merge(&self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let key = metric_key(name, labels);
+        self.store
+            .lock()
+            .unwrap()
+            .hists
+            .entry(key)
+            .or_default()
+            .merge(h);
+    }
+
+    /// Point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let s = self.store.lock().unwrap();
+        MetricsSnapshot {
+            counters: s.counters.clone(),
+            gauges: s.gauges.clone(),
+            hists: s
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), HistSummary::of(h)))
+                .collect(),
+        }
+    }
+
+    /// Drop every metric (tests).
+    pub fn clear(&self) {
+        *self.store.lock().unwrap() = Store::default();
+    }
+}
+
+/// The process-wide registry used by the bench harness and experiments.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+/// Fixed quantile digest of a histogram at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub mean: f64,
+    pub min: u64,
+    pub p50: u64,
+    pub p99: u64,
+    pub max: u64,
+}
+
+impl HistSummary {
+    pub fn of(h: &Histogram) -> HistSummary {
+        HistSummary {
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min(),
+            p50: h.median(),
+            p99: h.p99(),
+            max: h.max(),
+        }
+    }
+}
+
+/// An immutable view of the registry, diffable and JSON-serializable.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+impl MetricsSnapshot {
+    /// What happened between `base` and `self`: counters subtract
+    /// (dropping those that did not move), gauges and histogram digests keep
+    /// their latest values but drop entries that did not change.
+    pub fn diff(&self, base: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(k, &v)| {
+                let d = v.saturating_sub(base.counters.get(k).copied().unwrap_or(0));
+                (d > 0).then(|| (k.clone(), d))
+            })
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .filter(|(k, v)| base.gauges.get(*k) != Some(v))
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter(|(k, h)| base.hists.get(*k).map(|b| b.count) != Some(h.count))
+            .map(|(k, &h)| (k.clone(), h))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.hists.is_empty()
+    }
+
+    /// Serialize as a `metrics.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_str(&mut out, k);
+            out.push_str(&format!(": {v}"));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_str(&mut out, k);
+            out.push_str(": ");
+            json::write_f64(&mut out, *v);
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            json::write_str(&mut out, k);
+            out.push_str(&format!(": {{\"count\": {}, \"mean\": ", h.count));
+            json::write_f64(&mut out, h.mean);
+            out.push_str(&format!(
+                ", \"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
+                h.min, h.p50, h.p99, h.max
+            ));
+        }
+        if !self.hists.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_canonical_regardless_of_label_order() {
+        assert_eq!(
+            metric_key("ops", &[("b", "2"), ("a", "1")]),
+            metric_key("ops", &[("a", "1"), ("b", "2")])
+        );
+        assert_eq!(metric_key("ops", &[]), "ops");
+        assert_eq!(metric_key("ops", &[("run", "fig13")]), "ops{run=fig13}");
+    }
+
+    #[test]
+    fn snapshot_diff_isolates_a_run() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("reads", &[("run", "a")], 10);
+        reg.gauge_set("depth", &[], 3.0);
+        let before = reg.snapshot();
+
+        reg.counter_add("reads", &[("run", "a")], 5);
+        reg.counter_add("writes", &[("run", "a")], 2);
+        reg.hist_record("lat", &[], 100);
+        let after = reg.snapshot();
+
+        let d = after.diff(&before);
+        assert_eq!(d.counters.get("reads{run=a}"), Some(&5));
+        assert_eq!(d.counters.get("writes{run=a}"), Some(&2));
+        // Unchanged gauge is dropped from the diff.
+        assert!(d.gauges.is_empty());
+        assert_eq!(d.hists.get("lat").unwrap().count, 1);
+    }
+
+    #[test]
+    fn histogram_digest_survives_merge() {
+        let reg = MetricsRegistry::new();
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v);
+        }
+        reg.hist_merge("lat", &[("run", "x")], &h);
+        let snap = reg.snapshot();
+        let d = snap.hists.get("lat{run=x}").unwrap();
+        assert_eq!(d.count, 1000);
+        assert!(d.p50 >= 450 && d.p50 <= 550, "p50 {}", d.p50);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_valid_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("ops \"quoted\"", &[("k", "v")], 3);
+        reg.gauge_set("ratio", &[], 0.5);
+        reg.hist_record("lat", &[], 12345);
+        let s = reg.snapshot().to_json();
+        crate::json::validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json_too() {
+        let s = MetricsSnapshot::default().to_json();
+        crate::json::validate(&s).unwrap();
+    }
+}

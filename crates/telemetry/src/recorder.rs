@@ -1,0 +1,182 @@
+//! The recording handle threaded through hot paths.
+//!
+//! A [`Recorder`] is either disabled (`Option::None` inside — the default)
+//! or attached to an [`EventRing`]. The disabled path costs exactly one
+//! branch per call: no closure evaluation, no allocation, no clock read.
+//! That invariant is what lets the channel append path and the engine probe
+//! loop carry telemetry unconditionally.
+//!
+//! Two clock modes cover both substrates:
+//!
+//! * **wall** — nanoseconds since the first telemetry clock read in this
+//!   process ([`wall_now_ns`]), shared across threads so events from
+//!   different nodes of an emulated deployment merge on one axis;
+//! * **virtual** — the driver pushes simulated time in with
+//!   [`Recorder::set_now_ns`] before invoking sans-IO state machines, which
+//!   then record without knowing what clock they are on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use crate::event::{Component, Event, EventKind};
+use crate::ring::EventRing;
+
+static WALL_ANCHOR: OnceLock<std::time::Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide telemetry epoch (the first call).
+#[inline]
+pub fn wall_now_ns() -> u64 {
+    WALL_ANCHOR
+        .get_or_init(std::time::Instant::now)
+        .elapsed()
+        .as_nanos() as u64
+}
+
+#[derive(Debug)]
+struct Inner {
+    ring: Arc<EventRing>,
+    node: u16,
+    /// true: stamp events with [`wall_now_ns`]; false: use the value last
+    /// stored via [`Recorder::set_now_ns`] (virtual time).
+    wall: bool,
+    now_ns: AtomicU64,
+}
+
+/// Cheap-to-clone event recording handle for one node.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything. One branch per [`record`] call.
+    ///
+    /// [`record`]: Recorder::record
+    pub const fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Attach to a ring. `wall` picks the clock mode (see module docs).
+    pub fn attached(ring: Arc<EventRing>, node: u16, wall: bool) -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(Inner {
+                ring,
+                node,
+                wall,
+                now_ns: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The node id events are stamped with, if enabled.
+    pub fn node(&self) -> Option<u16> {
+        self.inner.as_ref().map(|i| i.node)
+    }
+
+    /// Advance the virtual clock (no-op for wall-clock or disabled
+    /// recorders). Drivers call this with `now` before handing control to a
+    /// sans-IO state machine.
+    #[inline]
+    pub fn set_now_ns(&self, ns: u64) {
+        if let Some(i) = &self.inner {
+            i.now_ns.store(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one event. When disabled this is a single branch — the
+    /// arguments must already be plain words (no formatting at call sites).
+    #[inline]
+    pub fn record(&self, component: Component, kind: EventKind, req: u64, a: u64, b: u64) {
+        if let Some(i) = &self.inner {
+            i.push(component, kind, req, a, b);
+        }
+    }
+
+    /// Record an event whose payload is costly to compute: the closure runs
+    /// only when the recorder is enabled.
+    #[inline]
+    pub fn record_with<F>(&self, f: F)
+    where
+        F: FnOnce() -> (Component, EventKind, u64, u64, u64),
+    {
+        if let Some(i) = &self.inner {
+            let (component, kind, req, a, b) = f();
+            i.push(component, kind, req, a, b);
+        }
+    }
+
+    /// Copy out this recorder's ring (empty when disabled).
+    pub fn snapshot(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(i) => i.ring.snapshot(),
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Inner {
+    #[inline]
+    fn push(&self, component: Component, kind: EventKind, req: u64, a: u64, b: u64) {
+        let ts_ns = if self.wall {
+            wall_now_ns()
+        } else {
+            self.now_ns.load(Ordering::Relaxed)
+        };
+        self.ring.push(Event {
+            ts_ns,
+            node: self.node,
+            component,
+            kind,
+            req,
+            a,
+            b,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_never_runs_the_closure() {
+        let rec = Recorder::disabled();
+        let mut ran = false;
+        rec.record_with(|| {
+            ran = true;
+            (Component::Client, EventKind::Mark, 0, 0, 0)
+        });
+        assert!(!ran);
+        assert!(rec.snapshot().is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn virtual_clock_stamps_from_set_now() {
+        let ring = Arc::new(EventRing::with_capacity(8));
+        let rec = Recorder::attached(ring, 3, false);
+        rec.set_now_ns(1_500);
+        rec.record(Component::Sim, EventKind::Mark, 0, 1, 2);
+        rec.set_now_ns(2_500);
+        rec.record(Component::Sim, EventKind::Mark, 0, 3, 4);
+        let snap = rec.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].ts_ns, 1_500);
+        assert_eq!(snap[1].ts_ns, 2_500);
+        assert_eq!(snap[0].node, 3);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_nondecreasing() {
+        let ring = Arc::new(EventRing::with_capacity(8));
+        let rec = Recorder::attached(ring, 0, true);
+        rec.record(Component::Client, EventKind::Mark, 0, 0, 0);
+        rec.record(Component::Client, EventKind::Mark, 0, 0, 0);
+        let snap = rec.snapshot();
+        assert!(snap[1].ts_ns >= snap[0].ts_ns);
+    }
+}

@@ -1,0 +1,195 @@
+//! The lock-free bounded event ring.
+//!
+//! A fixed power-of-two array of slots with a single atomic write cursor.
+//! Writers claim a position with `fetch_add`, then publish the event under a
+//! per-slot sequence stamp (odd while writing, even when complete — a
+//! seqlock per slot). Old events are overwritten once the ring laps; this is
+//! a flight recorder, so the *last* N events are the ones that matter.
+//!
+//! Readers never block writers: [`EventRing::snapshot`] walks the last lap
+//! of positions and skips any slot whose stamp shows a concurrent rewrite.
+//! Event payloads are stored as relaxed per-word atomics, so a torn read is
+//! impossible at the language level and detected (and dropped) at the stamp
+//! level.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::event::{Event, EVENT_WORDS};
+
+struct Slot {
+    /// `2 * pos + 1` while position `pos` is being written into this slot,
+    /// `2 * pos + 2` once complete, 0 if never written.
+    stamp: AtomicU64,
+    words: [AtomicU64; EVENT_WORDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bounded multi-producer event ring with overwrite-oldest semantics.
+pub struct EventRing {
+    mask: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl EventRing {
+    /// Create a ring holding at least `capacity` events (rounded up to a
+    /// power of two, minimum 8).
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        let cap = capacity.max(8).next_power_of_two();
+        EventRing {
+            mask: cap as u64 - 1,
+            head: AtomicU64::new(0),
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+        }
+    }
+
+    /// Number of event slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic; exceeds `capacity` once the
+    /// ring wraps).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event. Lock-free; overwrites the oldest slot when full.
+    #[inline]
+    pub fn push(&self, ev: Event) {
+        let pos = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(pos & self.mask) as usize];
+        slot.stamp.store(2 * pos + 1, Ordering::Release);
+        for (w, v) in slot.words.iter().zip(ev.to_words()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.stamp.store(2 * pos + 2, Ordering::Release);
+    }
+
+    /// Copy out the surviving events, oldest first. Slots being rewritten
+    /// concurrently are skipped rather than returned torn.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for pos in start..head {
+            let slot = &self.slots[(pos & self.mask) as usize];
+            let s1 = slot.stamp.load(Ordering::Acquire);
+            if s1 != 2 * pos + 2 {
+                continue; // unwritten, mid-write, or already overwritten
+            }
+            let mut w = [0u64; EVENT_WORDS];
+            for (dst, src) in w.iter_mut().zip(slot.words.iter()) {
+                *dst = src.load(Ordering::Relaxed);
+            }
+            if slot.stamp.load(Ordering::Acquire) != s1 {
+                continue; // overwritten while we copied
+            }
+            if let Some(ev) = Event::from_words(w) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for EventRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "EventRing {{ capacity: {}, recorded: {} }}",
+            self.capacity(),
+            self.recorded()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, EventKind};
+    use std::sync::Arc;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            node: 1,
+            component: Component::Client,
+            kind: EventKind::Mark,
+            req: 0,
+            a: ts,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(EventRing::with_capacity(0).capacity(), 8);
+        assert_eq!(EventRing::with_capacity(9).capacity(), 16);
+        assert_eq!(EventRing::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn fills_in_order_before_wrap() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(
+            snap.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_exactly_the_last_capacity_events() {
+        let r = EventRing::with_capacity(8);
+        for i in 0..20 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.recorded(), 20);
+        let snap = r.snapshot();
+        // The oldest 12 were overwritten; the last 8 survive, in order.
+        assert_eq!(
+            snap.iter().map(|e| e.ts_ns).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn concurrent_pushes_never_produce_garbage() {
+        let r = Arc::new(EventRing::with_capacity(256));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let r = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    r.push(ev(t * 1_000_000 + i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.recorded(), 40_000);
+        let snap = r.snapshot();
+        assert!(snap.len() <= 256);
+        // A quiesced ring has no mid-write slots left to skip.
+        assert_eq!(snap.len(), 256);
+        for e in snap {
+            assert_eq!(e.kind, EventKind::Mark);
+            assert_eq!(e.ts_ns, e.a);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Request-scoped span reconstruction and Chrome trace-event export.
+//!
+//! Every event carries the raw `ReqId` word, so one request's lifecycle —
+//! append, probe pickup, metadata fetch, pool verb, write-back, red commit,
+//! completion — reconstructs as an ordered span from a merged event dump,
+//! even though the events were recorded on different nodes.
+//!
+//! The Chrome export follows the trace-event JSON array format: open the
+//! file in Perfetto (ui.perfetto.dev) or `chrome://tracing`. Nodes map to
+//! processes (`pid`), requests to threads (`tid`), individual events to
+//! instants, and each request's first-to-last interval to a complete-span
+//! `"X"` event.
+
+use crate::event::Event;
+use crate::json;
+
+/// One request's events, ordered by timestamp.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Raw `ReqId` word shared by the events.
+    pub req: u64,
+    pub events: Vec<Event>,
+}
+
+impl Span {
+    /// Nanoseconds from first to last event.
+    pub fn duration_ns(&self) -> u64 {
+        match (self.events.first(), self.events.last()) {
+            (Some(f), Some(l)) => l.ts_ns.saturating_sub(f.ts_ns),
+            _ => 0,
+        }
+    }
+
+    /// The distinct nodes that touched this request, in first-seen order.
+    pub fn nodes(&self) -> Vec<u16> {
+        let mut out = Vec::new();
+        for e in &self.events {
+            if !out.contains(&e.node) {
+                out.push(e.node);
+            }
+        }
+        out
+    }
+}
+
+/// Group request-scoped events (req != 0) into spans, ordered by each
+/// request's first appearance. Events inside a span sort by timestamp.
+pub fn spans(events: &[Event]) -> Vec<Span> {
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_req: std::collections::HashMap<u64, Vec<Event>> = std::collections::HashMap::new();
+    for e in events {
+        if e.req == 0 {
+            continue;
+        }
+        let entry = by_req.entry(e.req).or_default();
+        if entry.is_empty() {
+            order.push(e.req);
+        }
+        entry.push(*e);
+    }
+    order
+        .into_iter()
+        .map(|req| {
+            let mut events = by_req.remove(&req).unwrap();
+            events.sort_by_key(|e| e.ts_ns);
+            Span { req, events }
+        })
+        .collect()
+}
+
+/// Human-readable label for a raw `ReqId` word, mirroring
+/// `cowbird::reqid::ReqId`'s bit layout (op bit 63, channel bits 62..48,
+/// sequence bits 47..0).
+pub fn req_label(raw: u64) -> String {
+    if raw == 0 {
+        return "-".to_string();
+    }
+    let op = if raw >> 63 == 1 { 'W' } else { 'R' };
+    let ch = (raw >> 48) & 0x7FFF;
+    let seq = raw & 0xFFFF_FFFF_FFFF;
+    format!("{op} ch{ch} #{seq}")
+}
+
+/// Render a merged event dump as Chrome trace-event JSON.
+///
+/// `nodes` supplies display names for process metadata rows; nodes that
+/// appear only in events still render (Perfetto shows them by pid).
+pub fn chrome_trace_json(events: &[Event], nodes: &[(u16, String)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    for (pid, name) in nodes {
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        ));
+        json::write_str(&mut out, name);
+        out.push_str("}}");
+    }
+
+    for e in events {
+        sep(&mut out);
+        let tid = e.req & 0xFFFF_FFFF;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{\"req\":",
+            e.kind.name(),
+            e.component.name(),
+            micros(e.ts_ns),
+            e.node,
+            tid,
+        ));
+        json::write_str(&mut out, &req_label(e.req));
+        out.push_str(&format!(",\"a\":\"{:#x}\",\"b\":\"{:#x}\"}}}}", e.a, e.b));
+    }
+
+    for span in spans(events) {
+        let (Some(f), Some(l)) = (span.events.first(), span.events.last()) else {
+            continue;
+        };
+        sep(&mut out);
+        let dur_ns = l.ts_ns.saturating_sub(f.ts_ns).max(1);
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"request\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}}}",
+            {
+                let mut s = String::new();
+                json::write_str(&mut s, &req_label(span.req));
+                s
+            },
+            micros(f.ts_ns),
+            micros(dur_ns),
+            f.node,
+            span.req & 0xFFFF_FFFF,
+        ));
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Chrome trace timestamps are microseconds; keep nanosecond precision as
+/// a three-decimal fraction.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Render a merged event dump as aligned human-readable text, one event per
+/// line, for terminal forensics.
+pub fn text_dump(events: &[Event], nodes: &[(u16, String)]) -> String {
+    let name_of = |node: u16| -> String {
+        nodes
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, name)| name.clone())
+            .unwrap_or_else(|| format!("n{node}"))
+    };
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&format!(
+            "[{:>14} ns] {:<8} {:<7} {:<16} {:<12} a={:#x} b={:#x}\n",
+            e.ts_ns,
+            name_of(e.node),
+            e.component.name(),
+            e.kind.name(),
+            req_label(e.req),
+            e.a,
+            e.b,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Component, EventKind};
+
+    fn ev(ts: u64, node: u16, kind: EventKind, req: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            node,
+            component: Component::Client,
+            kind,
+            req,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn spans_group_and_order_by_request() {
+        let events = vec![
+            ev(10, 0, EventKind::ReadIssued, 5),
+            ev(20, 1, EventKind::ReadExecuted, 5),
+            ev(15, 0, EventKind::WriteIssued, 9),
+            ev(30, 0, EventKind::RequestCompleted, 5),
+            ev(25, 0, EventKind::ProbeSent, 0), // not request-scoped
+        ];
+        let s = spans(&events);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].req, 5);
+        assert_eq!(s[0].events.len(), 3);
+        assert_eq!(s[0].duration_ns(), 20);
+        assert_eq!(s[0].nodes(), vec![0, 1]);
+        assert_eq!(s[1].req, 9);
+    }
+
+    #[test]
+    fn req_labels_decode_the_reqid_layout() {
+        // Read, channel 0, seq 5.
+        assert_eq!(req_label(5), "R ch0 #5");
+        // Write bit 63 set, channel 3, seq 7.
+        let raw = (1u64 << 63) | (3u64 << 48) | 7;
+        assert_eq!(req_label(raw), "W ch3 #7");
+        assert_eq!(req_label(0), "-");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json() {
+        let events = vec![
+            ev(1_000, 0, EventKind::ReadIssued, 5),
+            ev(2_500, 1, EventKind::ReadExecuted, 5),
+            ev(9_999, 0, EventKind::RequestCompleted, 5),
+        ];
+        let nodes = vec![(0, "compute".to_string()), (1, "engine".to_string())];
+        let s = chrome_trace_json(&events, &nodes);
+        crate::json::validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\"process_name\""));
+        assert!(s.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn text_dump_names_nodes_and_requests() {
+        let events = vec![ev(42, 1, EventKind::Adopted, 0)];
+        let nodes = vec![(1, "standby".to_string())];
+        let t = text_dump(&events, &nodes);
+        assert!(t.contains("standby"));
+        assert!(t.contains("Adopted"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the log-linear histogram: quantiles round-trip
+//! through the bucketing within the documented ~1.6% relative error, and
+//! single-value histograms are exact at every quantile.
+
+use proptest::prelude::*;
+use telemetry::Histogram;
+
+/// True quantile of a sorted sample set under the histogram's definition:
+/// the ceil(q*n)-th smallest sample (1-indexed).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).max(1).min(sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..Default::default() })]
+
+    #[test]
+    fn quantiles_round_trip_within_relative_error(
+        values in collection::vec(0u64..(1u64 << 40), 1..400),
+        qs in collection::vec(0.0f64..=1.0, 1..8),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let est = h.quantile(q);
+            let exact = exact_quantile(&sorted, q);
+            // Worst-case bucket midpoint error is 1/64 (~1.6%); allow 2%
+            // relative plus 1 absolute for tiny values. The estimate is
+            // also clamped into [min, max] of the observed samples.
+            let tol = (exact as f64 * 0.02).max(1.0);
+            let err = (est as f64 - exact as f64).abs();
+            prop_assert!(
+                err <= tol,
+                "q={q} est={est} exact={exact} n={}", sorted.len()
+            );
+            prop_assert!(est >= h.min() && est <= h.max());
+        }
+    }
+
+    #[test]
+    fn single_value_histogram_is_exact_at_every_quantile(
+        v in 0u64..u64::MAX,
+        repeats in 1usize..50,
+        q in 0.0f64..=1.0,
+    ) {
+        let mut h = Histogram::new();
+        for _ in 0..repeats {
+            h.record(v);
+        }
+        // The min/max clamp makes any quantile of a constant stream exact.
+        prop_assert_eq!(h.quantile(q), v);
+    }
+
+    #[test]
+    fn merge_preserves_count_sum_and_extremes(
+        a in collection::vec(0u64..(1u64 << 50), 0..200),
+        b in collection::vec(0u64..(1u64 << 50), 1..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let all_min = a.iter().chain(&b).min().copied().unwrap();
+        let all_max = a.iter().chain(&b).max().copied().unwrap();
+        prop_assert_eq!(merged.min(), all_min);
+        prop_assert_eq!(merged.max(), all_max);
+    }
+}

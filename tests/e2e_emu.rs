@@ -147,6 +147,90 @@ fn oversized_request_rejected_cleanly() {
     assert!(ch.wait(h.id, u64::MAX));
 }
 
+/// One read's lifecycle — issued on the compute node, executed and written
+/// back on the engine node, completed on the compute node — reconstructs
+/// as a single request-scoped span from the merged flight-recorder dump.
+#[test]
+fn request_span_reconstructs_across_nodes() {
+    use telemetry::{EventKind, Telemetry};
+
+    let hub = Telemetry::new(1024);
+    let mut fabric = EmuFabric::new();
+    let compute = fabric.add_nic();
+    let pool = fabric.add_nic();
+    let pool_mem = Region::new(1 << 20);
+    let pool_rkey = pool.register(pool_mem.clone());
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 1 << 20,
+        },
+    );
+    let layout = ChannelLayout::default_sizes();
+    let mut ch = Channel::new(0, layout, regions.clone());
+    ch.set_recorder(hub.recorder(0, "compute"));
+    let channel_rkey = compute.register(ch.region().clone());
+    let engine = fabric.add_nic();
+    let (eng_c, _) = fabric.connect(&engine, &compute);
+    let (eng_p, _) = fabric.connect(&engine, &pool);
+    let agent = SpotAgent::spawn(
+        SpotWiring {
+            nic: engine,
+            compute_qpn: eng_c,
+            pool_qpn: eng_p,
+            channel_rkey,
+        },
+        EngineConfig::spot(layout, regions, 8)
+            .with_recorder(hub.recorder(1, "engine"))
+            .with_channel_id(0),
+    );
+
+    let w = ch.async_write(1, 512, b"span").unwrap();
+    assert!(ch.wait(w, u64::MAX));
+    let h = ch.async_read(1, 512, 4).unwrap();
+    assert!(ch.wait(h.id, u64::MAX));
+    assert_eq!(ch.take_response(&h).unwrap(), b"span");
+    agent.stop();
+
+    let dump = hub.dump();
+    telemetry::json::validate(&dump.to_chrome_json()).expect("chrome trace must be valid JSON");
+    assert!(dump.nodes_seen().contains(&0) && dump.nodes_seen().contains(&1));
+
+    // The read's span: both nodes touched it, bracketed by the client-side
+    // issue and completion, with the engine's pool verb in between.
+    let spans = telemetry::spans(&dump.events);
+    let read = spans
+        .iter()
+        .find(|s| s.req == h.id.raw())
+        .expect("the read must reconstruct as a span");
+    assert_eq!(read.nodes(), vec![0, 1], "client first, then engine");
+    assert_eq!(read.events.first().unwrap().kind, EventKind::ReadIssued);
+    assert_eq!(
+        read.events.last().unwrap().kind,
+        EventKind::RequestCompleted
+    );
+    assert!(
+        read.events
+            .iter()
+            .any(|e| e.kind == EventKind::ReadExecuted && e.node == 1),
+        "the engine's pool read must join the client's span"
+    );
+
+    // The write reconstructs too, stamped with the same ReqId the client got.
+    assert!(
+        spans.iter().any(|s| {
+            s.req == w.raw()
+                && s.events
+                    .iter()
+                    .any(|e| e.kind == EventKind::WriteExecuted && e.node == 1)
+        }),
+        "the write's engine-side execution must join its span"
+    );
+}
+
 #[test]
 fn concurrent_channels_from_many_threads() {
     let n = 4;

@@ -16,6 +16,13 @@ use cowbird_engine::core::EngineConfig;
 use cowbird_engine::spot::{SpotAgent, SpotWiring};
 use rdma::emu::{EmuFabric, EmuNic};
 use rdma::mem::{Region, Rkey};
+use telemetry::{Component, EventKind, Telemetry};
+
+/// Flight-recorder node ids for this deployment.
+const NODE_COMPUTE: u16 = 0;
+const NODE_ENGINE: u16 = 1;
+const NODE_POOL: u16 = 2;
+const NODE_STANDBY: u16 = 3;
 
 /// One channel plus the spare parts needed to attach standby engines.
 struct Rig {
@@ -26,18 +33,32 @@ struct Rig {
     compute: EmuNic,
     pool: EmuNic,
     channel_rkey: Rkey,
+    /// The primary engine's rkey for the pool region — revoked on fencing.
+    pool_rkey: Rkey,
     layout: ChannelLayout,
-    regions: RegionMap,
+    telemetry: Telemetry,
 }
 
 impl Rig {
     /// Attach a standby engine on a fresh NIC (a different VM): new QPs to
     /// the compute node and the pool, adopting the channel from the red
-    /// block.
+    /// block. The standby registers its *own* rkey for the pool region —
+    /// fencing revokes the predecessor's rkey, so the old handle must not
+    /// be reused.
     fn standby(&mut self) -> SpotAgent {
         let nic = self.fabric.add_nic();
         let (c_qpn, _) = self.fabric.connect(&nic, &self.compute);
         let (p_qpn, _) = self.fabric.connect(&nic, &self.pool);
+        let rkey = self.pool.register(self.pool_mem.clone());
+        let mut regions = RegionMap::new();
+        regions.insert(
+            1,
+            RemoteRegion {
+                rkey,
+                base: 0,
+                size: 1 << 20,
+            },
+        );
         SpotAgent::spawn_standby(
             SpotWiring {
                 nic,
@@ -45,16 +66,26 @@ impl Rig {
                 pool_qpn: p_qpn,
                 channel_rkey: self.channel_rkey,
             },
-            EngineConfig::spot(self.layout, self.regions.clone(), 16),
+            EngineConfig::spot(self.layout, regions, 16)
+                .with_recorder(self.telemetry.recorder(NODE_STANDBY, "standby"))
+                .with_channel_id(0),
         )
+    }
+
+    /// Pool-side fence: revoke the primary engine's rkey so a zombie's
+    /// one-sided verbs fail closed at the responder.
+    fn revoke_primary_rkey(&self) -> bool {
+        self.pool.revoke_rkey(self.pool_rkey)
     }
 }
 
 fn deploy() -> Rig {
+    let telemetry = Telemetry::new(4096);
     let mut fabric = EmuFabric::new();
     let compute = fabric.add_nic();
     let engine = fabric.add_nic();
     let pool = fabric.add_nic();
+    pool.set_recorder(telemetry.recorder(NODE_POOL, "pool"));
 
     let pool_mem = Region::new(1 << 20);
     let pool_rkey = pool.register(pool_mem.clone());
@@ -68,7 +99,8 @@ fn deploy() -> Rig {
         },
     );
     let layout = ChannelLayout::default_sizes();
-    let ch = Channel::new(0, layout, regions.clone());
+    let mut ch = Channel::new(0, layout, regions.clone());
+    ch.set_recorder(telemetry.recorder(NODE_COMPUTE, "compute"));
     let channel_rkey = compute.register(ch.region().clone());
 
     let (eng_c, _) = fabric.connect(&engine, &compute);
@@ -80,7 +112,9 @@ fn deploy() -> Rig {
             pool_qpn: eng_p,
             channel_rkey,
         },
-        EngineConfig::spot(layout, regions.clone(), 16),
+        EngineConfig::spot(layout, regions, 16)
+            .with_recorder(telemetry.recorder(NODE_ENGINE, "engine"))
+            .with_channel_id(0),
     );
     Rig {
         fabric,
@@ -90,8 +124,9 @@ fn deploy() -> Rig {
         compute,
         pool,
         channel_rkey,
+        pool_rkey,
         layout,
-        regions,
+        telemetry,
     }
 }
 
@@ -148,6 +183,29 @@ fn kill_mid_workload_standby_completes_everything_exactly_once() {
         }
         assert!(done < total, "dead engine cannot finish the workload");
     }
+
+    // The stall is the flight-recorder moment: persist the last events from
+    // every node's ring and check the dump is usable forensics — valid
+    // Chrome trace JSON covering both sides of the failure.
+    let json_path = rig
+        .telemetry
+        .write_flight_dump("kill_mid_workload")
+        .expect("flight dump must persist");
+    let dump = rig.telemetry.dump();
+    telemetry::json::validate(&dump.to_chrome_json()).expect("chrome trace must be valid JSON");
+    telemetry::json::validate(&std::fs::read_to_string(&json_path).unwrap())
+        .expect("persisted dump must be valid JSON");
+    let nodes = dump.nodes_seen();
+    assert!(
+        nodes.contains(&NODE_COMPUTE) && nodes.contains(&NODE_ENGINE),
+        "dump must span both nodes, got {nodes:?}"
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == EventKind::EngineStalled && e.node == NODE_COMPUTE),
+        "the watchdog trip itself must be on record"
+    );
 
     // Fence the dead epoch and fail over.
     assert_eq!(rig.ch.fence_engine(), 1);
@@ -206,6 +264,11 @@ fn thawed_zombie_is_fenced_out_after_takeover() {
         Err(WaitError::EngineStalled { .. })
     ));
     assert_eq!(rig.ch.fence_engine(), 1);
+    // Pool-side fence rides along with the client-side epoch bump: the
+    // frozen primary's rkey is revoked, so even a zombie that somehow
+    // missed the fence word would have its pool verbs NAK'd at the
+    // responder. The standby registers its own rkey and is unaffected.
+    assert!(rig.revoke_primary_rkey(), "primary rkey was registered");
     let standby = rig.standby();
     assert!(rig.ch.wait(w, u64::MAX));
     assert_eq!(rig.pool_mem.read_vec(4096, 8).unwrap(), b"takeover");
@@ -224,4 +287,28 @@ fn thawed_zombie_is_fenced_out_after_takeover() {
     assert_eq!(st.adoptions, 1);
     assert_eq!(st.writes_executed, 1, "the write applies exactly once");
     assert_eq!(rig.ch.engine_epoch(), 1);
+
+    // The takeover story is on the flight recorder: revocation on the pool
+    // node, the zombie's own fence observation on the engine node, and the
+    // standby's adoption.
+    let dump = rig.telemetry.dump();
+    assert!(
+        dump.events.iter().any(|e| e.kind == EventKind::RkeyRevoked
+            && e.node == NODE_POOL
+            && e.component == Component::Pool
+            && e.a == rig.pool_rkey as u64),
+        "rkey revocation must be on record"
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == EventKind::FenceObserved && e.node == NODE_ENGINE),
+        "the zombie's fence observation must be on record"
+    );
+    assert!(
+        dump.events
+            .iter()
+            .any(|e| e.kind == EventKind::Adopted && e.node == NODE_STANDBY),
+        "the standby's adoption must be on record"
+    );
 }
