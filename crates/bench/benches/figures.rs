@@ -7,10 +7,16 @@
 //! Each selected artifact runs inside a metrics-registry snapshot pair; the
 //! diff — what that run alone recorded — is written to
 //! `target/metrics/<key>.metrics.json` (override the directory with
-//! `$COWBIRD_METRICS_DIR`).
+//! `$COWBIRD_METRICS_DIR`). A filter that selects nothing is an error, not
+//! a silently green no-op — CI smoke jobs rely on that.
+//!
+//! Every run also appends a bench-trajectory entry `BENCH_<gitsha>.json`
+//! at the repo root (headline metrics per artifact) and warns when a
+//! metric moved beyond `$COWBIRD_BENCH_TOL` (default 25%) against the
+//! previous entry.
 
 use experiments::experiments::artifacts;
-use experiments::report::write_metrics_json;
+use experiments::report::{compare_bench_trajectory, write_bench_trajectory, write_metrics_json};
 
 fn main() {
     let filter: Vec<String> = std::env::args()
@@ -21,10 +27,13 @@ fn main() {
     let start = std::time::Instant::now();
     let reg = telemetry::metrics::global();
     let mut shown = 0;
+    let mut matched = 0;
+    let mut runs: Vec<(String, telemetry::MetricsSnapshot)> = Vec::new();
     for (key, run) in artifacts() {
         if !filter.is_empty() && !filter.iter().any(|f| key.contains(f.as_str())) {
             continue;
         }
+        matched += 1;
         let before = reg.snapshot();
         let tables = run();
         let metrics = reg.snapshot().diff(&before);
@@ -37,6 +46,35 @@ fn main() {
                 Ok(path) => eprintln!("[{key}: metrics written to {}]", path.display()),
                 Err(e) => eprintln!("[{key}: metrics write failed: {e}]"),
             }
+            runs.push((key.to_string(), metrics));
+        }
+    }
+    if matched == 0 {
+        eprintln!(
+            "error: no artifact matches filter {:?} (keys: {})",
+            filter,
+            artifacts()
+                .iter()
+                .map(|(k, _)| *k)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(1);
+    }
+    if !runs.is_empty() {
+        match write_bench_trajectory(&runs) {
+            Ok(path) => {
+                eprintln!("[bench trajectory written to {}]", path.display());
+                match compare_bench_trajectory(&path) {
+                    Ok(warnings) => {
+                        for w in warnings {
+                            eprintln!("[bench-trajectory warning] {w}");
+                        }
+                    }
+                    Err(e) => eprintln!("[bench-trajectory compare failed: {e}]"),
+                }
+            }
+            Err(e) => eprintln!("[bench trajectory write failed: {e}]"),
         }
     }
     eprintln!(

@@ -1,0 +1,60 @@
+//! Bench-trajectory comparator for CI.
+//!
+//! Usage: `cargo run -p cowbird-bench --bin bench_compare [BENCH_<sha>.json]`
+//!
+//! Compares the given trajectory entry (default: the newest
+//! `BENCH_*.json` at the repo root) against the previous one and prints a
+//! warning per headline metric that moved beyond `$COWBIRD_BENCH_TOL`
+//! (default 25%). Warn-only: the exit code is 0 unless the files cannot be
+//! read at all — the gate makes drift visible, it does not block merges.
+
+use std::path::PathBuf;
+
+use experiments::report::{
+    bench_tolerance, compare_bench_trajectory, previous_bench_entry_in, repo_root,
+};
+
+fn newest_entry() -> Option<PathBuf> {
+    // "Newest other than a name no entry has" == newest overall.
+    previous_bench_entry_in(&repo_root(), &repo_root().join("BENCH_.none"))
+}
+
+fn main() {
+    let current = match std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .or_else(newest_entry)
+    {
+        Some(p) => p,
+        None => {
+            eprintln!(
+                "bench_compare: no BENCH_*.json found at {}",
+                repo_root().display()
+            );
+            std::process::exit(1);
+        }
+    };
+    match compare_bench_trajectory(&current) {
+        Ok(warnings) if warnings.is_empty() => {
+            println!(
+                "bench_compare: {} within {:.0}% of the previous entry",
+                current.display(),
+                bench_tolerance() * 100.0
+            );
+        }
+        Ok(warnings) => {
+            println!(
+                "bench_compare: {} metric(s) moved beyond {:.0}% (warn-only):",
+                warnings.len(),
+                bench_tolerance() * 100.0
+            );
+            for w in warnings {
+                println!("  {w}");
+            }
+        }
+        Err(e) => {
+            eprintln!("bench_compare: cannot compare {}: {e}", current.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -27,7 +27,7 @@ pub type ArtifactFn = fn() -> Vec<Table>;
 pub fn artifacts() -> Vec<(&'static str, ArtifactFn)> {
     vec![
         ("fig01", || vec![fig01::run()]),
-        ("fig02", || vec![fig02::run()]),
+        ("fig02", fig02::run),
         ("table1", || vec![table1::run()]),
         ("fig08", fig08::run),
         ("fig09", fig09::run),

@@ -49,6 +49,15 @@ pub struct CowbirdClientNode {
     /// Virtual time of every completion, in completion order (the failover
     /// throughput timeline).
     pub completion_times: Vec<Instant>,
+    /// Fence the engine when no completion has arrived for this long while
+    /// requests are outstanding (`None` disables the watchdog).
+    watchdog: Option<Duration>,
+    /// Virtual time of the last observed completion (watchdog reference).
+    last_progress_at: Instant,
+    /// Set after the watchdog fences; cleared when progress resumes, so a
+    /// single stall episode fences exactly once (the successor adopts at
+    /// the fence epoch — a second bump would out-epoch it too).
+    stall_fenced: bool,
 }
 
 impl CowbirdClientNode {
@@ -91,15 +100,42 @@ impl CowbirdClientNode {
                 self.outstanding.swap_remove(i);
                 self.completed += 1;
                 self.completion_times.push(ctx.now());
+                self.last_progress_at = ctx.now();
+                self.stall_fenced = false;
             } else {
                 i += 1;
             }
         }
+        self.watchdog_check(ctx);
         if self.completed >= self.target_ops && self.done_at.is_none() {
             self.done_at = Some(ctx.now());
             if self.stop_when_done {
                 ctx.stop();
             }
+        }
+    }
+
+    /// The client-side liveness watchdog: with requests outstanding and no
+    /// completion for `watchdog`, the engine is presumed unreachable (dead
+    /// *or* partitioned — from here they look identical) and the client
+    /// raises the fence word so a standby can adopt at the fence epoch.
+    fn watchdog_check(&mut self, ctx: &mut Ctx) {
+        let Some(timeout) = self.watchdog else { return };
+        if self.outstanding.is_empty() || self.stall_fenced {
+            return;
+        }
+        if ctx.now().since(self.last_progress_at) >= timeout {
+            let epoch = self.channel.fence_engine();
+            self.stall_fenced = true;
+            let (now, node) = (ctx.now(), ctx.node_id().0 as u16);
+            ctx.trace().event(
+                now,
+                node,
+                telemetry::EventKind::FenceRaised,
+                0,
+                epoch,
+                self.outstanding.len() as u64,
+            );
         }
     }
 
@@ -181,6 +217,9 @@ pub struct CowbirdRig {
     pub link: LinkParams,
     /// Per-link fault injection applies to every link when set.
     pub drop_probability: f64,
+    /// Client liveness watchdog: fence the engine when no completion has
+    /// arrived for this long while requests are outstanding.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for CowbirdRig {
@@ -195,6 +234,7 @@ impl Default for CowbirdRig {
             poll_interval: Duration::from_nanos(250),
             link: LinkParams::rack_100g(),
             drop_probability: 0.0,
+            watchdog: None,
         }
     }
 }
@@ -230,8 +270,56 @@ pub fn build_cowbird_failover_rig(
     crash_at: Duration,
     takeover_delay: Duration,
 ) -> (Sim, NodeId, NodeId, NodeId) {
-    let (sim, client, engine, standby) =
-        build_rig_inner(cfg, Duration::ZERO, None, Some((crash_at, takeover_delay)));
+    let (sim, client, engine, standby) = build_rig_inner(
+        cfg,
+        Duration::ZERO,
+        None,
+        Some((crash_at, takeover_delay, FailoverFault::Crash)),
+    );
+    (sim, client, engine, standby.expect("standby requested"))
+}
+
+/// How the failover rig takes the primary engine out.
+#[derive(Clone, Copy, Debug)]
+enum FailoverFault {
+    /// The primary node crashes outright (`NodeDown`).
+    Crash,
+    /// *Partial partition*: the primary stays up and keeps its pool links,
+    /// but both directions of the compute ↔ engine pair go down over
+    /// `[at, heal_at)`. From the client it is indistinguishable from a
+    /// crash; from the pool the primary looks healthy — exactly the
+    /// asymmetric failure the client-side fence word exists for.
+    Partition { heal_at: Duration },
+}
+
+/// The partial-partition failover rig: like [`build_cowbird_failover_rig`],
+/// but the primary is cut off from the *client only* (it still reaches the
+/// memory pool) over `[partition_at, heal_at)`. The client's watchdog must
+/// notice the stall and fence; the standby (activating `takeover_delay`
+/// after the partition) adopts at the fence epoch; and when the partition
+/// heals, the zombie primary observes the fence and stands down. The
+/// client's watchdog defaults to a quarter of `takeover_delay` so the fence
+/// lands before the standby adopts, as the fence-then-attach protocol
+/// requires. Returns `(sim, client, primary engine, standby engine)`.
+pub fn build_cowbird_partial_partition_rig(
+    mut cfg: CowbirdRig,
+    partition_at: Duration,
+    heal_at: Duration,
+    takeover_delay: Duration,
+) -> (Sim, NodeId, NodeId, NodeId) {
+    if cfg.watchdog.is_none() {
+        cfg.watchdog = Some(Duration::from_nanos(takeover_delay.nanos() / 4));
+    }
+    let (sim, client, engine, standby) = build_rig_inner(
+        cfg,
+        Duration::ZERO,
+        None,
+        Some((
+            partition_at,
+            takeover_delay,
+            FailoverFault::Partition { heal_at },
+        )),
+    );
     (sim, client, engine, standby.expect("standby requested"))
 }
 
@@ -239,7 +327,7 @@ fn build_rig_inner(
     cfg: CowbirdRig,
     client_start_after: Duration,
     adaptive_probe: Option<(Duration, u32)>,
-    failover: Option<(Duration, Duration)>,
+    failover: Option<(Duration, Duration, FailoverFault)>,
 ) -> (Sim, NodeId, NodeId, Option<NodeId>) {
     let mut sim = Sim::new(cfg.seed);
     let compute_id = NodeId(0);
@@ -298,6 +386,9 @@ fn build_rig_inner(
         stop_when_done: true,
         verify_data: failover.is_some(),
         completion_times: Vec::new(),
+        watchdog: cfg.watchdog,
+        last_progress_at: Instant::ZERO,
+        stall_fenced: false,
     };
 
     let mut engine = EngineNode::new();
@@ -322,10 +413,10 @@ fn build_rig_inner(
     sim.add_node(Box::new(engine));
     sim.add_node(Box::new(pool));
     let link = cfg.link.clone().with_drop_probability(cfg.drop_probability);
-    sim.connect(compute_id, engine_id, link.clone());
+    let (ce_fwd, ce_rev) = sim.connect(compute_id, engine_id, link.clone());
     sim.connect(engine_id, pool_id, link.clone());
 
-    let standby = failover.map(|(crash_at, takeover_delay)| {
+    let standby = failover.map(|(crash_at, takeover_delay, fault)| {
         let mut standby = EngineNode::new();
         standby.add_standby_instance(
             variant,
@@ -339,10 +430,22 @@ fn build_rig_inner(
         debug_assert_eq!(id, standby_id);
         sim.connect(compute_id, standby_id, link.clone());
         sim.connect(standby_id, pool_id, link);
-        sim.schedule_fault(
-            Instant::ZERO + crash_at,
-            simnet::fault::FaultEvent::NodeDown(engine_id),
-        );
+        match fault {
+            FailoverFault::Crash => sim.schedule_fault(
+                Instant::ZERO + crash_at,
+                simnet::fault::FaultEvent::NodeDown(engine_id),
+            ),
+            FailoverFault::Partition { heal_at } => {
+                // Both directions of compute <-> engine; engine <-> pool
+                // stays up (the "partial" in partial partition).
+                let script = simnet::fault::FaultScript::new().partial_partition(
+                    &[ce_fwd, ce_rev],
+                    Instant::ZERO + crash_at,
+                    Instant::ZERO + heal_at,
+                );
+                sim.apply_fault_script(&script);
+            }
+        }
         id
     });
     (sim, compute_id, engine_id, standby)
@@ -458,6 +561,48 @@ mod tests {
         let crash = Instant(Duration::from_micros(50).nanos());
         assert!(client.completion_times.first().unwrap() < &crash);
         assert!(client.completion_times.last().unwrap() > &crash);
+    }
+
+    #[test]
+    fn partial_partition_fences_and_standby_takes_over() {
+        // Partition the primary from the client (only) at 50 us; heal at
+        // 150 us; standby activates at 50 + 200 = 250 us. The watchdog
+        // (takeover_delay / 4 = 50 us) fences around 100 us, the healed
+        // zombie observes the fence before the standby adopts, and the
+        // workload completes exactly once on the standby.
+        let (mut sim, cid, eid, sid) = build_cowbird_partial_partition_rig(
+            CowbirdRig {
+                seed: 27,
+                target_ops: 300,
+                inflight: 8,
+                engine_batch: 8,
+                ..Default::default()
+            },
+            Duration::from_micros(50),
+            Duration::from_micros(150),
+            Duration::from_micros(200),
+        );
+        sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+        // The primary never crashed — it only lost its client-facing links.
+        assert!(!sim.node_is_down(eid));
+        let client: &CowbirdClientNode = sim.node_ref(cid);
+        assert!(
+            client.channel().stats.fences >= 1,
+            "watchdog must fence the unreachable engine"
+        );
+        // Exactly once across the takeover, with payloads verified.
+        assert_eq!(client.completed(), 300);
+        assert_eq!(client.issued(), 300);
+        assert_eq!(client.channel().progress(cowbird::reqid::OpType::Read), 300);
+        let standby: &EngineNode = sim.node_ref(sid);
+        assert_eq!(standby.core(0).stats.adoptions, 1);
+        // Fence-then-attach: the standby adopts at the blessed fence epoch,
+        // so the client sees no *unfenced* takeover.
+        assert_eq!(client.channel().stats.engine_takeovers, 0);
+        // The healed zombie probed the green block, saw the fence word above
+        // its epoch, and stood down.
+        let primary: &EngineNode = sim.node_ref(eid);
+        assert!(primary.core(0).stats.fenced, "zombie must stand down");
     }
 
     #[test]

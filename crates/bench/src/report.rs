@@ -112,6 +112,188 @@ pub fn write_metrics_json(
     Ok(path)
 }
 
+// --- Bench trajectory: BENCH_<gitsha>.json entries at the repo root ---
+//
+// Every full bench run appends one headline-metrics document to the repo
+// root, keyed by commit sha. The comparator diffs the newest entry against
+// the previous one and *warns* (never fails) when a headline metric moved
+// beyond tolerance — trajectories drift for good reasons; the gate makes
+// the drift visible in CI instead of blocking on it.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The repository root (two levels above this crate's manifest).
+pub fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a repo root")
+        .to_path_buf()
+}
+
+/// The commit sha stamped into trajectory filenames: `$COWBIRD_GIT_SHA`,
+/// else `git rev-parse --short HEAD`, else `unknown`.
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("COWBIRD_GIT_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .current_dir(repo_root())
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Relative-change tolerance of the warn-only gate
+/// (`$COWBIRD_BENCH_TOL`, default 0.25).
+pub fn bench_tolerance() -> f64 {
+    std::env::var("COWBIRD_BENCH_TOL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.25)
+}
+
+/// Flatten one artifact's metrics diff into trajectory keys
+/// `<artifact>/<kind>/<metric>` (histograms keep count/p50/p99 only —
+/// the headline shape, not the full digest).
+fn flatten_run(artifact: &str, snap: &telemetry::MetricsSnapshot, out: &mut BTreeMap<String, f64>) {
+    for (k, v) in &snap.counters {
+        out.insert(format!("{artifact}/counter/{k}"), *v as f64);
+    }
+    for (k, v) in &snap.gauges {
+        if v.is_finite() {
+            out.insert(format!("{artifact}/gauge/{k}"), *v);
+        }
+    }
+    for (k, h) in &snap.hists {
+        out.insert(format!("{artifact}/hist/{k}/count"), h.count as f64);
+        out.insert(format!("{artifact}/hist/{k}/p50"), h.p50 as f64);
+        out.insert(format!("{artifact}/hist/{k}/p99"), h.p99 as f64);
+    }
+}
+
+fn render_trajectory(sha: &str, metrics: &BTreeMap<String, f64>) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"git_sha\": \"{sha}\",\n"));
+    s.push_str("  \"metrics\": {\n");
+    for (i, (k, v)) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        s.push_str(&format!("    \"{k}\": {v}{sep}\n"));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Write `<dir>/BENCH_<sha>.json` from per-artifact metrics diffs. One
+/// metric per line so the comparator can read it back without a JSON
+/// parser. Returns the path written.
+pub fn write_bench_trajectory_to(
+    dir: &Path,
+    sha: &str,
+    runs: &[(String, telemetry::MetricsSnapshot)],
+) -> std::io::Result<PathBuf> {
+    let mut metrics = BTreeMap::new();
+    for (artifact, snap) in runs {
+        flatten_run(artifact, snap, &mut metrics);
+    }
+    let path = dir.join(format!("BENCH_{sha}.json"));
+    std::fs::write(&path, render_trajectory(sha, &metrics))?;
+    Ok(path)
+}
+
+/// [`write_bench_trajectory_to`] at the repo root under the current sha.
+pub fn write_bench_trajectory(
+    runs: &[(String, telemetry::MetricsSnapshot)],
+) -> std::io::Result<PathBuf> {
+    write_bench_trajectory_to(&repo_root(), &git_sha(), runs)
+}
+
+/// Read a trajectory entry back as a flat metric map. The file is JSON,
+/// but it is scanned line-wise (`"key": number`) so nothing here depends
+/// on a JSON parser; the `git_sha` line (string value) is skipped.
+pub fn read_bench_trajectory(path: &Path) -> std::io::Result<BTreeMap<String, f64>> {
+    let text = std::fs::read_to_string(path)?;
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once("\": ") else {
+            continue;
+        };
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(key.trim_start_matches('"').to_string(), v);
+        }
+    }
+    Ok(out)
+}
+
+/// The most recently modified `BENCH_*.json` in `dir` other than
+/// `exclude` (the entry being compared).
+pub fn previous_bench_entry_in(dir: &Path, exclude: &Path) -> Option<PathBuf> {
+    let exclude_name = exclude.file_name()?.to_owned();
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let n = name.to_string_lossy().to_string();
+        if !n.starts_with("BENCH_") || !n.ends_with(".json") || name == exclude_name {
+            continue;
+        }
+        let Ok(mtime) = entry.metadata().and_then(|m| m.modified()) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(t, _)| mtime > *t) {
+            best = Some((mtime, entry.path()));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Diff two trajectory entries: one warning per metric present in both
+/// whose relative change exceeds `tol`.
+pub fn diff_bench_entries(
+    current: &Path,
+    previous: &Path,
+    tol: f64,
+) -> std::io::Result<Vec<String>> {
+    let cur = read_bench_trajectory(current)?;
+    let prev = read_bench_trajectory(previous)?;
+    let prev_name = previous
+        .file_name()
+        .map(|n| n.to_string_lossy().to_string())
+        .unwrap_or_default();
+    let mut warnings = Vec::new();
+    for (k, &pv) in &prev {
+        let Some(&cv) = cur.get(k) else { continue };
+        let rel = (cv - pv) / pv.abs().max(1e-12);
+        if rel.abs() > tol {
+            warnings.push(format!(
+                "{k}: {pv} -> {cv} ({rel:+.1}% vs {prev_name}, tolerance {tol:.0}%)",
+                rel = rel * 100.0,
+                tol = tol * 100.0,
+            ));
+        }
+    }
+    Ok(warnings)
+}
+
+/// The warn-only gate: compare a fresh entry against the previous one at
+/// the repo root. Empty when no previous entry exists.
+pub fn compare_bench_trajectory(current: &Path) -> std::io::Result<Vec<String>> {
+    let dir = current.parent().unwrap_or(Path::new("."));
+    match previous_bench_entry_in(dir, current) {
+        Some(prev) => diff_bench_entries(current, &prev, bench_tolerance()),
+        None => Ok(Vec::new()),
+    }
+}
+
 /// Format a float with sensible precision for tables.
 pub fn fnum(v: f64) -> String {
     if v == 0.0 {
@@ -140,6 +322,80 @@ mod tests {
         assert_eq!(t.cell("2", "mops"), Some("5.00"));
         assert_eq!(t.cell_f64("1", "mops"), Some(2.5));
         assert_eq!(t.cell("3", "mops"), None);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cowbird-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn snap_with(gauge: (&str, f64), counter: (&str, u64)) -> telemetry::MetricsSnapshot {
+        let mut s = telemetry::MetricsSnapshot::default();
+        s.gauges.insert(gauge.0.to_string(), gauge.1);
+        s.counters.insert(counter.0.to_string(), counter.1);
+        s
+    }
+
+    #[test]
+    fn trajectory_round_trips_and_is_valid_json() {
+        let dir = temp_dir("roundtrip");
+        let runs = vec![(
+            "fig02".to_string(),
+            snap_with(("cowbird.profile.freed_cores", 0.445), ("ops", 10_000)),
+        )];
+        let path = write_bench_trajectory_to(&dir, "abc123", &runs).unwrap();
+        assert_eq!(path.file_name().unwrap(), "BENCH_abc123.json");
+        telemetry::json::validate(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back = read_bench_trajectory(&path).unwrap();
+        assert_eq!(
+            back.get("fig02/gauge/cowbird.profile.freed_cores"),
+            Some(&0.445)
+        );
+        assert_eq!(back.get("fig02/counter/ops"), Some(&10_000.0));
+        // The sha line is a string, not a metric.
+        assert!(!back.contains_key("git_sha"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn comparator_warns_only_beyond_tolerance() {
+        let dir = temp_dir("compare");
+        let old = write_bench_trajectory_to(
+            &dir,
+            "old",
+            &[("fig02".to_string(), snap_with(("frac", 0.5), ("ops", 100)))],
+        )
+        .unwrap();
+        let new = write_bench_trajectory_to(
+            &dir,
+            "new",
+            &[(
+                "fig02".to_string(),
+                // frac regressed 40%; ops moved 10% (inside tolerance).
+                snap_with(("frac", 0.3), ("ops", 110)),
+            )],
+        )
+        .unwrap();
+        let warnings = diff_bench_entries(&new, &old, 0.25).unwrap();
+        assert_eq!(warnings.len(), 1, "warnings: {warnings:?}");
+        assert!(warnings[0].starts_with("fig02/gauge/frac"));
+        assert!(diff_bench_entries(&new, &old, 0.5).unwrap().is_empty());
+        // previous_bench_entry_in skips the entry under comparison.
+        let prev = previous_bench_entry_in(&dir, &new).unwrap();
+        assert_eq!(prev, old);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn git_sha_prefers_the_env_override() {
+        // Env mutation is process-global; this test owns the variable.
+        std::env::set_var("COWBIRD_GIT_SHA", "deadbeef");
+        assert_eq!(git_sha(), "deadbeef");
+        std::env::remove_var("COWBIRD_GIT_SHA");
+        let sha = git_sha();
+        assert!(!sha.is_empty());
     }
 
     #[test]

@@ -56,6 +56,7 @@ use cowbird::reqid::{OpType, ReqId};
 use p4rt::pktgen::PktGenConfig;
 use rdma::mem::Rkey;
 use simnet::time::Duration;
+use telemetry::profile::Profiler;
 use telemetry::{Component, EventKind, Recorder};
 
 use crate::consistency::RangeGate;
@@ -89,6 +90,9 @@ pub struct EngineConfig {
     /// Telemetry sink for engine lifecycle events (disabled by default —
     /// one branch per emission point when off).
     pub recorder: Recorder,
+    /// Cycle-attribution sink for the engine's probe/execute phases
+    /// (disabled by default — one branch per scope when off).
+    pub profiler: Profiler,
     /// The channel id used to stamp request-scoped events with the same
     /// [`ReqId`] encoding the client issues, so a span reconstructor can
     /// join both sides of a request's lifecycle.
@@ -105,6 +109,7 @@ impl EngineConfig {
             probe_interval: Duration::from_micros(2),
             adaptive_probe: None,
             recorder: Recorder::disabled(),
+            profiler: Profiler::disabled(),
             channel_id: 0,
         }
     }
@@ -118,6 +123,7 @@ impl EngineConfig {
             probe_interval: Duration::from_micros(2),
             adaptive_probe: None,
             recorder: Recorder::disabled(),
+            profiler: Profiler::disabled(),
             channel_id: 0,
         }
     }
@@ -138,6 +144,13 @@ impl EngineConfig {
     /// clock mode; sim drivers push virtual time via `set_now_ns`.
     pub fn with_recorder(mut self, rec: Recorder) -> EngineConfig {
         self.recorder = rec;
+        self
+    }
+
+    /// Attach a cycle profiler: drivers then wrap the probe and execute
+    /// paths in attribution scopes charging the engine's account.
+    pub fn with_profiler(mut self, prof: Profiler) -> EngineConfig {
+        self.profiler = prof;
         self
     }
 
@@ -432,6 +445,13 @@ impl EngineCore {
     /// virtual time into it before dispatching to the core.
     pub fn recorder(&self) -> &Recorder {
         &self.cfg.recorder
+    }
+
+    /// The cycle profiler charging this engine's attribution account.
+    /// Drivers wrap probe/execute dispatch in its scopes and (for the
+    /// simulator) push virtual time via `set_now_ns`.
+    pub fn profiler(&self) -> &Profiler {
+        &self.cfg.profiler
     }
 
     #[inline]

@@ -359,13 +359,15 @@ impl EngineNode {
         }
     }
 
-    /// Push virtual time into every instance's telemetry recorder so events
-    /// emitted by the sans-IO cores carry simulated timestamps. One relaxed
-    /// store per enabled recorder; a no-op for disabled ones.
+    /// Push virtual time into every instance's telemetry recorder and cycle
+    /// profiler so events and attribution scopes carry simulated
+    /// timestamps. One relaxed store per enabled sink; a no-op for disabled
+    /// ones.
     fn stamp_now(&self, ctx: &Ctx) {
         let ns = ctx.now().nanos();
         for inst in &self.instances {
             inst.core.recorder().set_now_ns(ns);
+            inst.core.profiler().set_now_ns(ns);
         }
     }
 
@@ -423,6 +425,12 @@ impl EngineNode {
                     }
                     continue;
                 }
+                // Attribution: dispatching fetched data is the Execute
+                // phase. Virtual time does not advance inside a handler, so
+                // on the simulator the scope counts the visit (ns come from
+                // cost-model charges where an experiment supplies them).
+                let prof = self.instances[p.instance].core.profiler().clone();
+                let _exec_scope = prof.scope(telemetry::Phase::Execute);
                 let ops = self.instances[p.instance].core.on_data(p.tag, &data);
                 let _ = p.probe_like;
                 self.exec_ops(p.instance, ops, ctx);
@@ -473,6 +481,8 @@ impl Node for EngineNode {
         }
         let i = tag as usize;
         if i < self.instances.len() && self.instances[i].active {
+            let prof = self.instances[i].core.profiler().clone();
+            let _probe_scope = prof.scope(telemetry::Phase::Probe);
             let ops = self.instances[i].core.on_probe_due();
             self.exec_ops(i, ops, ctx);
             let d = self.instances[i].core.next_probe_interval();

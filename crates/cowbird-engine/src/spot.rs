@@ -42,6 +42,7 @@ use rdma::emu::EmuNic;
 use rdma::mem::{Region, Rkey};
 use rdma::qp::QpNum;
 use rdma::verbs::{WorkRequest, WrKind, WrOp};
+use telemetry::profile::Phase;
 use telemetry::{Component, EventKind};
 
 use crate::core::{EngineConfig, EngineCore, EngineStats, FabricOp};
@@ -208,6 +209,9 @@ fn agent_loop(
     adopt: bool,
 ) -> EngineStats {
     let mut core = EngineCore::new(cfg);
+    // Cycle-attribution handle (cloned so scopes don't borrow the core
+    // across its mutations). Disabled by default: one branch per scope.
+    let prof = core.profiler().clone();
     // Local landing zone for fetched data.
     let scratch = Region::new(8 << 20);
     let scratch_lkey = wiring.nic.register(scratch.clone());
@@ -376,6 +380,10 @@ fn agent_loop(
         // state machine when parsed requests are waiting with nothing in
         // flight (a probe's completion is what re-runs the pending queue).
         if !draining || (pending.is_empty() && core.backlog() > 0) {
+            // Attribution: soliciting work (green-block probe issue) is the
+            // engine's Probe phase, measured on the agent thread's wall
+            // clock.
+            let _probe_scope = prof.scope(Phase::Probe);
             let ops = core.on_probe_due();
             exec(
                 &mut core,
@@ -415,6 +423,9 @@ fn agent_loop(
                 } else {
                     scratch.read_vec(p.scratch_off, p.len as usize).unwrap()
                 };
+                // Attribution: dispatching fetched data through the state
+                // machine (and issuing the follow-up verbs) is Execute.
+                let _exec_scope = prof.scope(Phase::Execute);
                 let ops = core.on_data(p.tag, &data);
                 exec(
                     &mut core,

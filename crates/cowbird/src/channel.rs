@@ -38,6 +38,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 
 use rdma::mem::Region;
+use telemetry::profile::{Phase, Profiler};
 use telemetry::{Component, EventKind, Recorder};
 
 use crate::error::{CowbirdError, IssueError, WaitError};
@@ -173,6 +174,8 @@ pub struct Channel {
     pub stats: ChannelStats,
     /// Telemetry sink; disabled by default (one branch per event).
     rec: Recorder,
+    /// Cycle-attribution sink; disabled by default (one branch per scope).
+    prof: Profiler,
 }
 
 impl Channel {
@@ -213,6 +216,7 @@ impl Channel {
             engine_epoch: 0,
             stats: ChannelStats::default(),
             rec: Recorder::disabled(),
+            prof: Profiler::disabled(),
         }
     }
 
@@ -225,6 +229,18 @@ impl Channel {
     /// The channel's telemetry recorder (disabled unless set).
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// Attach a cycle profiler: the issue path then charges `CowbirdPost`
+    /// and the completion path `CowbirdPoll` to the client's attribution
+    /// account. Disabled by default (one branch per scope).
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
+    }
+
+    /// The channel's cycle profiler (disabled unless set).
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
     }
 
     /// This channel's id (encoded into its request ids).
@@ -271,6 +287,11 @@ impl Channel {
         src: u64,
         len: u32,
     ) -> Result<ReadHandle, IssueError> {
+        // Cycle attribution: everything below is the Cowbird "post" — a
+        // handful of local stores (cloning the handle keeps the RAII scope
+        // from borrowing `self` across the mutations).
+        let prof = self.prof.clone();
+        let _scope = prof.scope(Phase::CowbirdPost);
         self.validate_remote(region_id, src, len)?;
         self.ensure_meta_slot()?;
         // Reserve response-ring space (never wrapping; paper R1).
@@ -342,6 +363,8 @@ impl Channel {
         dst: u64,
         data: &[u8],
     ) -> Result<ReqId, IssueError> {
+        let prof = self.prof.clone();
+        let _scope = prof.scope(Phase::CowbirdPost);
         let len = data.len() as u32;
         self.validate_remote(region_id, dst, len)?;
         self.ensure_meta_slot()?;
@@ -464,6 +487,8 @@ impl Channel {
     /// backwards past a successor's. Counters are additionally adopted
     /// monotonically, as defense in depth against torn or reordered images.
     pub fn refresh(&mut self) {
+        let prof = self.prof.clone();
+        let _scope = prof.scope(Phase::CowbirdPoll);
         self.stats.polls += 1;
         let red_epoch = self.region.load_u64(RED_ENGINE_EPOCH, Ordering::Acquire);
         if red_epoch < self.engine_epoch {

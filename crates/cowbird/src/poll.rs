@@ -93,6 +93,10 @@ impl PollGroup {
     }
 
     fn collect(&mut self, ch: &Channel, max_ret: usize, out: &mut Vec<ReqId>) {
+        // Cycle attribution: delivering completions to the application is
+        // the `Complete` phase (the red-block re-read inside `refresh` has
+        // already charged `CowbirdPoll`).
+        let _scope = ch.profiler().scope(telemetry::Phase::Complete);
         let rec = ch.recorder();
         let rp = ch.progress(OpType::Read);
         while out.len() < max_ret {

@@ -18,6 +18,7 @@
 //! lengths (total RDMA ≈ 650 ns vs Cowbird ≈ 60 ns, an order of magnitude).
 
 use simnet::time::Duration;
+use telemetry::profile::{Phase, Profiler};
 
 /// Per-operation CPU costs on the compute node, in nanoseconds.
 #[derive(Clone, Copy, Debug)]
@@ -91,6 +92,50 @@ impl CostModel {
     pub fn local_work(&self, n: u64) -> Duration {
         Duration::from_nanos(self.local_access_ns * n)
     }
+
+    // --- charging variants -------------------------------------------------
+    //
+    // Each `charge_*` method attributes the same constants it returns into a
+    // cycle-attribution [`Profiler`], one charge per Fig. 2 subtask phase, so
+    // cost-model-driven simulation produces the same `(node, component,
+    // phase)` accounting schema as scoped wall-clock profiling on the
+    // emulated fabric. A disabled profiler makes these identical to the
+    // plain accessors (one branch per subtask).
+
+    /// [`Self::rdma_post`], attributing lock/doorbell/WQE into `prof`.
+    pub fn charge_rdma_post(&self, prof: &Profiler) -> Duration {
+        prof.charge(Phase::PostLock, self.post_lock_ns);
+        prof.charge(Phase::PostDoorbell, self.post_doorbell_ns);
+        prof.charge(Phase::PostWqe, self.post_wqe_ns);
+        self.rdma_post()
+    }
+
+    /// [`Self::rdma_poll`], attributing lock/CQE into `prof`.
+    pub fn charge_rdma_poll(&self, prof: &Profiler) -> Duration {
+        prof.charge(Phase::PollLock, self.poll_lock_ns);
+        prof.charge(Phase::PollCqe, self.poll_cqe_ns);
+        self.rdma_poll()
+    }
+
+    /// [`Self::cowbird_post`], attributed into `prof`.
+    pub fn charge_cowbird_post(&self, prof: &Profiler) -> Duration {
+        prof.charge(Phase::CowbirdPost, self.cowbird_post_ns);
+        self.cowbird_post()
+    }
+
+    /// [`Self::cowbird_poll`], attributed into `prof`.
+    pub fn charge_cowbird_poll(&self, prof: &Profiler) -> Duration {
+        prof.charge(Phase::CowbirdPoll, self.cowbird_poll_ns);
+        self.cowbird_poll()
+    }
+
+    /// [`Self::local_work`], attributed into `prof` as one `LocalAccess`
+    /// charge of `n` accesses.
+    pub fn charge_local_work(&self, prof: &Profiler, n: u64) -> Duration {
+        let d = self.local_work(n);
+        prof.charge(Phase::LocalAccess, d.nanos());
+        d
+    }
 }
 
 impl Default for CostModel {
@@ -111,6 +156,35 @@ mod tests {
         assert!(ratio >= 8.0, "ratio {ratio}");
         assert!(m.rdma_total().nanos() >= 600);
         assert!(m.cowbird_total().nanos() <= 100);
+    }
+
+    #[test]
+    fn charges_land_in_the_attribution_account_exactly() {
+        use std::sync::Arc;
+        use telemetry::{Component, CostAccount};
+
+        let m = CostModel::paper_defaults();
+        let acct = Arc::new(CostAccount::new());
+        let prof = Profiler::attached(Arc::clone(&acct), 0, Component::Client, false);
+
+        assert_eq!(m.charge_rdma_post(&prof), m.rdma_post());
+        assert_eq!(m.charge_rdma_poll(&prof), m.rdma_poll());
+        assert_eq!(m.charge_cowbird_post(&prof), m.cowbird_post());
+        assert_eq!(m.charge_cowbird_poll(&prof), m.cowbird_poll());
+        assert_eq!(m.charge_local_work(&prof, 4), m.local_work(4));
+
+        assert_eq!(acct.phase_ns(Phase::PostLock), m.post_lock_ns);
+        assert_eq!(acct.phase_ns(Phase::PostDoorbell), m.post_doorbell_ns);
+        assert_eq!(acct.phase_ns(Phase::PostWqe), m.post_wqe_ns);
+        assert_eq!(acct.phase_ns(Phase::PollLock), m.poll_lock_ns);
+        assert_eq!(acct.phase_ns(Phase::PollCqe), m.poll_cqe_ns);
+        assert_eq!(acct.phase_ns(Phase::CowbirdPost), m.cowbird_post_ns);
+        assert_eq!(acct.phase_ns(Phase::CowbirdPoll), m.cowbird_poll_ns);
+        assert_eq!(acct.phase_ns(Phase::LocalAccess), 4 * m.local_access_ns);
+        assert_eq!(
+            acct.total_ns(),
+            m.rdma_total().nanos() + m.cowbird_total().nanos() + 4 * m.local_access_ns
+        );
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl EmuNic {
         self.shared.nic.lock().set_recorder(rec);
     }
 
+    /// Attach a wall-clock cycle profiler to the underlying NIC: the host
+    /// verb paths ([`Self::post`], [`Self::poll`]) then charge their CPU
+    /// time to the NIC's attribution account.
+    pub fn set_profiler(&self, prof: telemetry::Profiler) {
+        self.shared.nic.lock().set_profiler(prof);
+    }
+
     /// Revoke a registered rkey (pool-side fencing): subsequent verbs naming
     /// it are NAK'd, so a fenced engine's pool access fails closed. Returns
     /// whether the rkey was registered.

@@ -14,6 +14,7 @@ use std::collections::HashMap;
 use simnet::link::CORRUPT_FLAG;
 use simnet::sim::{NodeId, Packet};
 use simnet::time::Instant;
+use telemetry::profile::{Phase, Profiler};
 use telemetry::{Component, EventKind, Recorder};
 
 use crate::mem::{Region, RegionCatalog, Rkey};
@@ -78,6 +79,9 @@ pub struct SimNic {
     pub check_integrity: bool,
     /// Telemetry sink (disabled by default; one branch per event).
     rec: Recorder,
+    /// Cycle-attribution sink for the verb paths (disabled by default; one
+    /// branch per post/poll scope).
+    prof: Profiler,
 }
 
 impl Default for SimNic {
@@ -96,6 +100,7 @@ impl SimNic {
             stats: NicStats::default(),
             check_integrity: true,
             rec: Recorder::disabled(),
+            prof: Profiler::disabled(),
         }
     }
 
@@ -107,6 +112,18 @@ impl SimNic {
     /// This NIC's telemetry recorder.
     pub fn recorder(&self) -> &Recorder {
         &self.rec
+    }
+
+    /// Attach a cycle profiler: the verb entry points ([`Self::post`],
+    /// [`Self::poll`]) then charge their CPU time to the NIC's account.
+    /// Disabled by default.
+    pub fn set_profiler(&mut self, prof: Profiler) {
+        self.prof = prof;
+    }
+
+    /// This NIC's cycle profiler.
+    pub fn profiler(&self) -> &Profiler {
+        &self.prof
     }
 
     /// Revoke a registered rkey: the pool-side fence. Every subsequent verb
@@ -166,6 +183,11 @@ impl SimNic {
         wr: WorkRequest,
         now: Instant,
     ) -> Result<Vec<(NodeId, RocePacket)>, QpError> {
+        // Verb-cost attribution: the post path (WQE build + packetization)
+        // charges `PostWqe`. On the emulated fabric the scope measures wall
+        // time under the NIC lock; on the simulator it counts the verb and
+        // charges whatever virtual time the driver advanced (usually zero).
+        let _scope = self.prof.scope(Phase::PostWqe);
         let peer = *self.peer_node.get(&qpn).expect("unknown qpn");
         let qp = self.qps.get_mut(&qpn).expect("unknown qpn");
         let pkts = qp.post(wr, &self.catalog, now)?;
@@ -174,6 +196,7 @@ impl SimNic {
 
     /// Host poll (charges one poll call in the CQ accounting).
     pub fn poll(&mut self, max: usize) -> Vec<Completion> {
+        let _scope = self.prof.scope(Phase::PollCqe);
         self.cq.poll(max)
     }
 

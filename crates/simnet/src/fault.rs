@@ -99,6 +99,25 @@ impl FaultScript {
         self.link_down(from, link).link_up(to, link)
     }
 
+    /// Convenience: a *partial partition* — a set of directional links goes
+    /// down over the same half-open window `[from, to)` while the rest of
+    /// the topology stays up. Models asymmetric reachability, e.g. an engine
+    /// that can still reach the memory pool but has lost its client-facing
+    /// port (the node is alive, so `NodeDown` would be the wrong model).
+    pub fn partial_partition(
+        mut self,
+        links: &[LinkId],
+        from: Instant,
+        to: Instant,
+    ) -> FaultScript {
+        assert!(from < to, "partition window must be non-empty");
+        assert!(!links.is_empty(), "partition needs at least one link");
+        for &l in links {
+            self = self.link_outage(l, from, to);
+        }
+        self
+    }
+
     /// The scheduled events, in insertion order.
     pub fn events(&self) -> &[(Instant, FaultEvent)] {
         &self.events

@@ -178,6 +178,9 @@ pub struct Sim {
     route: HashMap<(NodeId, NodeId), usize>,
     rng: Rng,
     trace: Trace,
+    /// Cycle-attribution profilers stamped with virtual time before each
+    /// dispatch to their node (sparse; most nodes are unprofiled).
+    profilers: HashMap<NodeId, telemetry::Profiler>,
     stopped: bool,
     events_processed: u64,
     /// Hard cap to catch runaway simulations (0 = unlimited).
@@ -199,6 +202,7 @@ impl Sim {
             route: HashMap::new(),
             rng: Rng::new(seed),
             trace: Trace::disabled(),
+            profilers: HashMap::new(),
             stopped: false,
             events_processed: 0,
             max_events: 0,
@@ -264,6 +268,20 @@ impl Sim {
     /// Side-effect counters for fault scripts.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults
+    }
+
+    /// Attach a cycle-attribution profiler to a node. The kernel stamps the
+    /// profiler's virtual clock ([`telemetry::Profiler::set_now_ns`]) with
+    /// the simulation time before every callback on that node, so
+    /// [`telemetry::CycleScope`]s opened inside `on_packet`/`on_timer` charge
+    /// virtual nanoseconds consistent with the event loop. Attaching a
+    /// disabled profiler removes the entry (no per-event overhead).
+    pub fn attach_profiler(&mut self, node: NodeId, prof: telemetry::Profiler) {
+        if prof.is_enabled() {
+            self.profilers.insert(node, prof);
+        } else {
+            self.profilers.remove(&node);
+        }
     }
 
     /// Whether `id` is currently crashed by a fault script.
@@ -338,6 +356,9 @@ impl Sim {
             // Node removed; drop the event.
             None => return,
         };
+        if let Some(prof) = self.profilers.get(&node_id) {
+            prof.set_now_ns(self.now.nanos());
+        }
         let mut ctx = Ctx {
             now: self.now,
             node: node_id,
@@ -793,6 +814,80 @@ mod tests {
         // 3 ticks before the crash (1, 2, 3 us) + 3 after restart (8, 9, 10 us).
         assert_eq!(sim.node_ref::<Ticker>(id).ticks, 6);
         assert_eq!(sim.fault_stats().timers_dropped, 1);
+    }
+
+    #[test]
+    fn attached_profiler_clock_follows_virtual_time() {
+        use telemetry::{CostAccount, Phase, Profiler};
+
+        /// Samples its profiler's clock (via a scope's start stamp) on each
+        /// timer tick; the kernel must have stamped virtual time already.
+        struct Sampler {
+            prof: Profiler,
+            samples: Vec<u64>,
+        }
+        impl Node for Sampler {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(Duration::from_micros(1), 0);
+            }
+            fn on_packet(&mut self, _p: Packet, _c: &mut Ctx) {}
+            fn on_timer(&mut self, _t: u64, ctx: &mut Ctx) {
+                let scope = self.prof.scope(Phase::AppWork);
+                self.samples.push(scope.start_ns());
+                drop(scope);
+                if self.samples.len() < 3 {
+                    ctx.set_timer(Duration::from_micros(1), 0);
+                }
+            }
+        }
+        let account = std::sync::Arc::new(CostAccount::default());
+        let prof = Profiler::attached(account.clone(), 0, telemetry::Component::Client, false);
+        let mut sim = Sim::new(21);
+        let id = sim.add_node(Box::new(Sampler {
+            prof: prof.clone(),
+            samples: vec![],
+        }));
+        sim.attach_profiler(id, prof);
+        sim.run();
+        let s: &Sampler = sim.node_ref(id);
+        assert_eq!(s.samples, vec![1_000, 2_000, 3_000]);
+        // Virtual time does not advance inside a callback, so the scopes
+        // charged 0 ns but counted 3 visits.
+        assert_eq!(account.phase_count(Phase::AppWork), 3);
+        assert_eq!(account.phase_ns(Phase::AppWork), 0);
+        // Attaching a disabled profiler removes the stamping entry.
+        sim.attach_profiler(id, Profiler::disabled());
+    }
+
+    #[test]
+    fn partial_partition_downs_only_listed_links() {
+        let mut sim = Sim::new(22);
+        let beacon = sim.add_node(Box::new(Beacon {
+            peer: NodeId(1),
+            period: Duration::from_micros(1),
+            sent: 0,
+            replies: 0,
+        }));
+        let echo = sim.add_node(Box::new(Echo {
+            think: Duration::ZERO,
+            pending: vec![],
+            received: 0,
+        }));
+        let (fwd, rev) = sim.connect(beacon, echo, params_100g());
+        // Only the forward direction is partitioned: the echo node keeps its
+        // return path, but no beacons reach it during the window.
+        let script = FaultScript::new().partial_partition(
+            &[fwd],
+            Instant::ZERO + Duration::from_micros(20),
+            Instant::ZERO + Duration::from_micros(40),
+        );
+        sim.apply_fault_script(&script);
+        sim.run_for(Duration::from_micros(100));
+        let lost = sim.link_stats(fwd).dropped_linkdown;
+        assert_eq!(lost, 20);
+        assert_eq!(sim.link_stats(rev).dropped_linkdown, 0);
+        let b: &Beacon = sim.node_ref(beacon);
+        assert_eq!(b.replies, 98 - lost);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! Folding [`CostAccount`]s into reports: the ranked top-style table, the
+//! live Figure-2 verb-cost reconstruction, and Chrome-trace counter tracks.
+//!
+//! An [`AttributionDump`] is the merged view over every registered
+//! `(node, component)` account — the profiling analogue of
+//! [`crate::FlightDump`]. From it:
+//!
+//! * [`AttributionDump::to_text`] renders a `top`-style table, one row per
+//!   `(node, component, phase)`, ranked by nanoseconds;
+//! * [`AttributionDump::fig2`] folds one node's account back into the
+//!   paper's Fig. 2 post/poll subtask breakdown (mean ns per operation),
+//!   which `fig02` checks against the `CostModel` constants;
+//! * [`AttributionDump::remote_memory_frac`] is the freed-cores gauge:
+//!   the fraction of a node's charged cycles spent on remote-memory
+//!   phases (~0 for a Cowbird compute node, ~half for an RDMA client);
+//! * [`AttributionDump::counter_track_json`] emits Chrome trace-event JSON
+//!   counter (`"C"`) tracks so Perfetto shows the per-phase cycle budget
+//!   next to the flight-recorder timeline.
+
+use crate::event::Component;
+use crate::json;
+use crate::profile::{CostAccount, Phase};
+
+/// One `(node, component, phase)` cell of the merged attribution view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrRow {
+    pub node: u16,
+    /// Display name of the node (from the hub registration).
+    pub node_name: String,
+    pub component: Component,
+    pub phase: Phase,
+    /// Total nanoseconds charged.
+    pub ns: u64,
+    /// Number of charges (scope exits or explicit charges).
+    pub count: u64,
+}
+
+impl AttrRow {
+    /// Mean nanoseconds per charge (0.0 when never charged).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// A merged multi-node attribution dump (only phases with at least one
+/// charge appear).
+#[derive(Clone, Debug, Default)]
+pub struct AttributionDump {
+    pub rows: Vec<AttrRow>,
+}
+
+/// The paper's Fig. 2 breakdown reconstructed from live charges: mean
+/// nanoseconds per operation for each verb subtask (0.0 where a phase was
+/// never charged on the node).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Fig2Breakdown {
+    pub post_lock_ns: f64,
+    pub post_doorbell_ns: f64,
+    pub post_wqe_ns: f64,
+    pub poll_lock_ns: f64,
+    pub poll_cqe_ns: f64,
+    pub cowbird_post_ns: f64,
+    pub cowbird_poll_ns: f64,
+}
+
+impl Fig2Breakdown {
+    /// Mean RDMA post cost per op (lock + doorbell + WQE).
+    pub fn rdma_post_ns(&self) -> f64 {
+        self.post_lock_ns + self.post_doorbell_ns + self.post_wqe_ns
+    }
+
+    /// Mean RDMA poll cost per op (lock + CQE).
+    pub fn rdma_poll_ns(&self) -> f64 {
+        self.poll_lock_ns + self.poll_cqe_ns
+    }
+
+    /// Mean Cowbird client cost per op (post + poll).
+    pub fn cowbird_total_ns(&self) -> f64 {
+        self.cowbird_post_ns + self.cowbird_poll_ns
+    }
+}
+
+/// Build a dump from `(node, name, component, account)` tuples — the shape
+/// the [`crate::Telemetry`] hub stores.
+pub fn fold_accounts(
+    accounts: &[(u16, String, Component, std::sync::Arc<CostAccount>)],
+) -> AttributionDump {
+    let mut rows = Vec::new();
+    for (node, name, component, acct) in accounts {
+        for ph in Phase::ALL {
+            let ns = acct.phase_ns(ph);
+            let count = acct.phase_count(ph);
+            if ns == 0 && count == 0 {
+                continue;
+            }
+            rows.push(AttrRow {
+                node: *node,
+                node_name: name.clone(),
+                component: *component,
+                phase: ph,
+                ns,
+                count,
+            });
+        }
+    }
+    AttributionDump { rows }
+}
+
+impl AttributionDump {
+    /// Rows ranked by total nanoseconds, descending (ties by node then
+    /// phase for determinism).
+    pub fn ranked(&self) -> Vec<&AttrRow> {
+        let mut out: Vec<&AttrRow> = self.rows.iter().collect();
+        out.sort_by(|a, b| {
+            b.ns.cmp(&a.ns)
+                .then(a.node.cmp(&b.node))
+                .then(a.phase.cmp(&b.phase))
+        });
+        out
+    }
+
+    /// Nanoseconds summed across every row.
+    pub fn total_ns(&self) -> u64 {
+        self.rows.iter().map(|r| r.ns).sum()
+    }
+
+    /// Nanoseconds summed across one node's rows.
+    pub fn node_total_ns(&self, node: u16) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.node == node)
+            .map(|r| r.ns)
+            .sum()
+    }
+
+    /// The freed-cores gauge for `node`: cycles charged to remote-memory
+    /// phases divided by all cycles charged on the node. 0.0 when the node
+    /// charged nothing.
+    pub fn remote_memory_frac(&self, node: u16) -> f64 {
+        let total = self.node_total_ns(node);
+        if total == 0 {
+            return 0.0;
+        }
+        let remote: u64 = self
+            .rows
+            .iter()
+            .filter(|r| r.node == node && r.phase.is_remote_memory())
+            .map(|r| r.ns)
+            .sum();
+        remote as f64 / total as f64
+    }
+
+    /// Mean ns per charge for `(node, phase)` across components (0.0 when
+    /// never charged).
+    pub fn mean_phase_ns(&self, node: u16, phase: Phase) -> f64 {
+        let (ns, count) = self
+            .rows
+            .iter()
+            .filter(|r| r.node == node && r.phase == phase)
+            .fold((0u64, 0u64), |(n, c), r| (n + r.ns, c + r.count));
+        if count == 0 {
+            0.0
+        } else {
+            ns as f64 / count as f64
+        }
+    }
+
+    /// Reconstruct the Fig. 2 verb-cost breakdown for `node` from live
+    /// charges: mean ns per operation for each subtask phase.
+    pub fn fig2(&self, node: u16) -> Fig2Breakdown {
+        Fig2Breakdown {
+            post_lock_ns: self.mean_phase_ns(node, Phase::PostLock),
+            post_doorbell_ns: self.mean_phase_ns(node, Phase::PostDoorbell),
+            post_wqe_ns: self.mean_phase_ns(node, Phase::PostWqe),
+            poll_lock_ns: self.mean_phase_ns(node, Phase::PollLock),
+            poll_cqe_ns: self.mean_phase_ns(node, Phase::PollCqe),
+            cowbird_post_ns: self.mean_phase_ns(node, Phase::CowbirdPost),
+            cowbird_poll_ns: self.mean_phase_ns(node, Phase::CowbirdPoll),
+        }
+    }
+
+    /// `top`-style text rendering: ranked `(node, component, phase)` rows
+    /// with share-of-total and cumulative-share columns.
+    pub fn to_text(&self) -> String {
+        let total = self.total_ns().max(1) as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8} {:>7} {:>7}\n",
+            "NODE", "COMP", "PHASE", "NS", "COUNT", "MEAN", "%CPU", "CUM%"
+        ));
+        let mut cum = 0.0f64;
+        for r in self.ranked() {
+            let share = r.ns as f64 / total * 100.0;
+            cum += share;
+            out.push_str(&format!(
+                "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8.1} {:>6.1}% {:>6.1}%\n",
+                r.node_name,
+                r.component.name(),
+                r.phase.name(),
+                r.ns,
+                r.count,
+                r.mean_ns(),
+                share,
+                cum,
+            ));
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON with one counter (`"C"`) track per
+    /// `(node, component)`: the per-phase nanosecond budget, sampled at the
+    /// start and end of the trace so Perfetto draws a band. Merge-load it
+    /// alongside the flight-recorder trace (same `pid` = node mapping).
+    pub fn counter_track_json(&self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let mut sep = |out: &mut String| {
+            if first {
+                first = false;
+                out.push('\n');
+            } else {
+                out.push_str(",\n");
+            }
+        };
+
+        // Process metadata rows, one per node (first-seen name wins).
+        let mut named: Vec<u16> = Vec::new();
+        for r in &self.rows {
+            if named.contains(&r.node) {
+                continue;
+            }
+            named.push(r.node);
+            sep(&mut out);
+            out.push_str(&format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":",
+                r.node
+            ));
+            json::write_str(&mut out, &r.node_name);
+            out.push_str("}}");
+        }
+
+        // One counter track per (node, component); args map phase -> ns.
+        let mut tracks: Vec<(u16, Component)> = Vec::new();
+        for r in &self.rows {
+            if tracks.contains(&(r.node, r.component)) {
+                continue;
+            }
+            tracks.push((r.node, r.component));
+        }
+        let end_ts = self.total_ns().max(1);
+        for (node, component) in tracks {
+            let mut args = String::from("{");
+            let mut first_arg = true;
+            for r in self
+                .rows
+                .iter()
+                .filter(|r| r.node == node && r.component == component)
+            {
+                if !first_arg {
+                    args.push(',');
+                }
+                first_arg = false;
+                json::write_str(&mut args, r.phase.name());
+                args.push_str(&format!(":{}", r.ns));
+            }
+            args.push('}');
+            for ts in [0u64, end_ts] {
+                sep(&mut out);
+                out.push_str(&format!(
+                    "{{\"name\":\"cpu_ns {}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"args\":{}}}",
+                    component.name(),
+                    micros(ts),
+                    node,
+                    args
+                ));
+            }
+        }
+
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Chrome trace timestamps are microseconds; keep nanosecond precision as
+/// a three-decimal fraction (mirrors the span exporter).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn demo_dump() -> AttributionDump {
+        let client = Arc::new(CostAccount::new());
+        client.add(Phase::PostLock, 90);
+        client.add(Phase::PostDoorbell, 160);
+        client.add(Phase::PostWqe, 100);
+        client.add(Phase::PollLock, 90);
+        client.add(Phase::PollCqe, 160);
+        client.add(Phase::LocalAccess, 600);
+        let engine = Arc::new(CostAccount::new());
+        engine.add(Phase::Probe, 1_000);
+        engine.add(Phase::Execute, 3_000);
+        fold_accounts(&[
+            (0, "compute".to_string(), Component::Client, client),
+            (1, "engine".to_string(), Component::Engine, engine),
+        ])
+    }
+
+    #[test]
+    fn fold_skips_untouched_phases_and_sums_totals() {
+        let d = demo_dump();
+        assert_eq!(d.rows.len(), 8);
+        assert_eq!(
+            d.total_ns(),
+            90 + 160 + 100 + 90 + 160 + 600 + 1_000 + 3_000
+        );
+        assert_eq!(d.node_total_ns(0), 1_200);
+        assert_eq!(d.node_total_ns(1), 4_000);
+    }
+
+    #[test]
+    fn ranked_rows_descend_by_ns() {
+        let d = demo_dump();
+        let r = d.ranked();
+        assert_eq!(r[0].phase, Phase::Execute);
+        assert!(r.windows(2).all(|w| w[0].ns >= w[1].ns));
+    }
+
+    #[test]
+    fn fig2_fold_recovers_per_op_means() {
+        let d = demo_dump();
+        let f = d.fig2(0);
+        assert_eq!(f.post_lock_ns, 90.0);
+        assert_eq!(f.rdma_post_ns(), 350.0);
+        assert_eq!(f.rdma_poll_ns(), 250.0);
+        assert_eq!(f.cowbird_total_ns(), 0.0);
+    }
+
+    #[test]
+    fn freed_cores_gauge_is_remote_share() {
+        let d = demo_dump();
+        // Client: 600 remote-memory ns of 1200 total.
+        let frac = d.remote_memory_frac(0);
+        assert!((frac - 0.5).abs() < 1e-9, "{frac}");
+        // Engine phases are not remote-memory phases.
+        assert_eq!(d.remote_memory_frac(1), 0.0);
+        // Unknown node charged nothing.
+        assert_eq!(d.remote_memory_frac(9), 0.0);
+    }
+
+    #[test]
+    fn text_report_ranks_and_labels() {
+        let t = demo_dump().to_text();
+        assert!(t.contains("PHASE"));
+        assert!(t.contains("execute"));
+        assert!(t.contains("post_doorbell"));
+        let exec_pos = t.find("execute").unwrap();
+        let lock_pos = t.find("post_lock").unwrap();
+        assert!(exec_pos < lock_pos, "ranked output puts execute first");
+    }
+
+    #[test]
+    fn counter_track_json_is_valid_and_carries_phases() {
+        let s = demo_dump().counter_track_json();
+        crate::json::validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert!(s.contains("\"ph\":\"C\""));
+        assert!(s.contains("post_doorbell"));
+        assert!(s.contains("process_name"));
+    }
+
+    #[test]
+    fn empty_dump_renders_without_panicking() {
+        let d = AttributionDump::default();
+        assert_eq!(d.total_ns(), 0);
+        crate::json::validate(&d.counter_track_json()).unwrap();
+        assert!(d.to_text().contains("PHASE"));
+    }
+}

@@ -15,7 +15,9 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
-use crate::event::Event;
+use crate::attribution::{self, AttributionDump};
+use crate::event::{Component, Event};
+use crate::profile::{CostAccount, Profiler};
 use crate::recorder::Recorder;
 use crate::ring::EventRing;
 use crate::span;
@@ -29,9 +31,17 @@ struct NodeEntry {
     ring: Arc<EventRing>,
 }
 
+struct AccountEntry {
+    node: u16,
+    name: String,
+    component: Component,
+    account: Arc<CostAccount>,
+}
+
 #[derive(Default)]
 struct Hub {
     nodes: Vec<NodeEntry>,
+    accounts: Vec<AccountEntry>,
     capacity: usize,
 }
 
@@ -47,6 +57,7 @@ impl Telemetry {
         Telemetry {
             inner: Arc::new(Mutex::new(Hub {
                 nodes: Vec::new(),
+                accounts: Vec::new(),
                 capacity: capacity_per_node,
             })),
         }
@@ -81,6 +92,67 @@ impl Telemetry {
     /// driver feeds time via [`Recorder::set_now_ns`].
     pub fn recorder_virtual(&self, node: u16, name: &str) -> Recorder {
         self.attach(node, name, false)
+    }
+
+    fn attach_profiler(&self, node: u16, name: &str, component: Component, wall: bool) -> Profiler {
+        let mut hub = self.inner.lock().unwrap();
+        if let Some(e) = hub
+            .accounts
+            .iter()
+            .find(|e| e.node == node && e.component == component)
+        {
+            return Profiler::attached(Arc::clone(&e.account), node, component, wall);
+        }
+        let account = Arc::new(CostAccount::new());
+        hub.accounts.push(AccountEntry {
+            node,
+            name: name.to_string(),
+            component,
+            account: Arc::clone(&account),
+        });
+        Profiler::attached(account, node, component, wall)
+    }
+
+    /// A wall-clock cycle profiler for `(node, component)` (emulated-fabric
+    /// deployments). Repeated calls for the same pair share one
+    /// [`CostAccount`].
+    pub fn profiler(&self, node: u16, name: &str, component: Component) -> Profiler {
+        self.attach_profiler(node, name, component, true)
+    }
+
+    /// A virtual-clock cycle profiler for `(node, component)` (simulator
+    /// deployments); the driver feeds time via [`Profiler::set_now_ns`] or
+    /// charges cost-model nanoseconds directly.
+    pub fn profiler_virtual(&self, node: u16, name: &str, component: Component) -> Profiler {
+        self.attach_profiler(node, name, component, false)
+    }
+
+    /// Merge every registered cost account into one attribution view.
+    pub fn attribution(&self) -> AttributionDump {
+        let hub = self.inner.lock().unwrap();
+        let accounts: Vec<_> = hub
+            .accounts
+            .iter()
+            .map(|e| (e.node, e.name.clone(), e.component, Arc::clone(&e.account)))
+            .collect();
+        attribution::fold_accounts(&accounts)
+    }
+
+    /// Persist the merged attribution dump next to the flight dumps:
+    /// `<dir>/<scenario>.attribution.txt` (ranked table) and
+    /// `<dir>/<scenario>.counters.json` (Chrome counter tracks). Returns
+    /// the text path.
+    pub fn write_attribution(&self, scenario: &str) -> io::Result<PathBuf> {
+        let dump = self.attribution();
+        let dir = FlightDump::default_dir();
+        std::fs::create_dir_all(&dir)?;
+        let txt_path = dir.join(format!("{scenario}.attribution.txt"));
+        std::fs::write(&txt_path, dump.to_text())?;
+        std::fs::write(
+            dir.join(format!("{scenario}.counters.json")),
+            dump.counter_track_json(),
+        )?;
+        Ok(txt_path)
     }
 
     /// Merge every node's surviving events onto one timeline.
@@ -170,6 +242,23 @@ mod tests {
         assert_eq!(d.nodes_seen().len(), 2);
         crate::json::validate(&d.to_chrome_json()).unwrap();
         assert!(d.to_text().contains("engine"));
+    }
+
+    #[test]
+    fn same_pair_profilers_share_an_account_and_fold_into_attribution() {
+        use crate::profile::Phase;
+        let hub = Telemetry::new(64);
+        let a = hub.profiler_virtual(0, "compute", Component::Client);
+        let b = hub.profiler_virtual(0, "compute", Component::Client);
+        let e = hub.profiler_virtual(1, "engine", Component::Engine);
+        a.charge(Phase::CowbirdPost, 20);
+        b.charge(Phase::CowbirdPoll, 15);
+        e.charge(Phase::Execute, 500);
+
+        let d = hub.attribution();
+        assert_eq!(d.node_total_ns(0), 35, "same-pair profilers share");
+        assert_eq!(d.node_total_ns(1), 500);
+        assert!(d.to_text().contains("cowbird_post"));
     }
 
     #[test]

@@ -16,25 +16,34 @@
 //! * **[`Telemetry`]** — the flight-recorder hub: one ring per node, merged
 //!   dumps rendered as human-readable text or Chrome trace-event JSON
 //!   (openable in Perfetto / `chrome://tracing`).
+//! * **[`Profiler`]** — the cycle-attribution profiler: RAII
+//!   [`CycleScope`]s and cost-model charges landing in per-
+//!   `(node, component, phase)` [`CostAccount`]s, folded by
+//!   [`AttributionDump`] into ranked tables, the live Fig. 2 verb-cost
+//!   breakdown, and Chrome counter tracks.
 //!
 //! Timestamps are plain `u64` nanoseconds so both substrates work: the
 //! discrete-event simulator feeds virtual time through
-//! [`Recorder::set_now_ns`], while real-thread deployments use the shared
-//! process wall clock ([`wall_now_ns`]).
+//! [`Recorder::set_now_ns`] / [`Profiler::set_now_ns`], while real-thread
+//! deployments use the shared process wall clock ([`wall_now_ns`]).
 
+pub mod attribution;
 pub mod event;
 pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod ring;
 pub mod span;
 
+pub use attribution::{AttrRow, AttributionDump, Fig2Breakdown};
 pub use event::{Component, Event, EventKind};
 pub use flight::{FlightDump, Telemetry};
 pub use hist::Histogram;
 pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
+pub use profile::{CostAccount, CycleScope, Phase, Profiler, PHASE_COUNT};
 pub use recorder::{wall_now_ns, Recorder};
 pub use ring::EventRing;
 pub use span::{req_label, spans, Span};

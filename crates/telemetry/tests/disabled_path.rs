@@ -7,7 +7,8 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use telemetry::{Component, EventKind, Recorder};
+use telemetry::profile::Phase;
+use telemetry::{Component, EventKind, Profiler, Recorder};
 
 struct CountingAlloc;
 
@@ -55,6 +56,48 @@ fn disabled_recorder_allocates_nothing_and_runs_no_closures() {
         0,
         "disabled path must not allocate (one branch per event, nothing else)"
     );
+}
+
+#[test]
+fn disabled_profiler_allocates_nothing_per_scope_or_charge() {
+    let _guard = SERIAL.lock().unwrap();
+    let prof = Profiler::disabled();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        // The one branch per scope; no clock read, no atomics, no heap.
+        let _s = prof.scope(Phase::CowbirdPost);
+        prof.charge(Phase::PostDoorbell, i);
+        prof.set_now_ns(i);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "disabled profiler must not allocate (one branch per scope, nothing else)"
+    );
+    assert!(!prof.is_enabled());
+}
+
+#[test]
+fn enabled_profiler_hot_charging_does_not_allocate_either() {
+    let _guard = SERIAL.lock().unwrap();
+    // Account construction allocates once up front; steady-state scopes and
+    // charges are relaxed atomic adds only.
+    let acct = std::sync::Arc::new(telemetry::CostAccount::new());
+    let prof = Profiler::attached(std::sync::Arc::clone(&acct), 0, Component::Client, false);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        prof.set_now_ns(i);
+        let _s = prof.scope(Phase::CowbirdPoll);
+        prof.charge(Phase::LocalAccess, 60);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "steady-state charging must not allocate");
+    assert_eq!(acct.phase_count(Phase::CowbirdPoll), 100_000);
+    assert_eq!(acct.phase_ns(Phase::LocalAccess), 6_000_000);
 }
 
 #[test]
