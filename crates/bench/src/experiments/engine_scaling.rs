@@ -1,0 +1,304 @@
+//! Engine scale-out: throughput vs channels per core, 1–4 shards.
+//!
+//! The paper provisions one client channel per hardware thread but expects
+//! the offload side to stay *cheap*: a couple of spot cores (or one switch
+//! pipeline) drive the whole machine (§6). This ablation runs the real
+//! [`EngineGroup`] — OS threads over the emulated RDMA fabric — and checks
+//! the property that makes that provisioning work: the **modeled per-op
+//! engine cost does not grow with channel fan-in**. A single worker driving
+//! eight channels must pay, per operation, what it pays driving one.
+//!
+//! Per-op cost is *virtual*: every fabric verb the engine actually issued
+//! (work-finding probes, metadata fetches, pool reads/writes, completion
+//! and bookkeeping writes — straight off [`EngineStats`]) is priced at the
+//! Figure-2 cost model's full RDMA post+poll. Under the closed-loop
+//! workload here (one outstanding op per channel) those counters are
+//! workload-determined, not scheduler-determined, so the headline assert is
+//! CI-stable. Idle probes are deliberately *excluded* from the per-op
+//! figure — an idle probe is a rate (per second of idleness), not a cost
+//! attributable to an op — and reported as their own column instead.
+//!
+//! The second table scales shards at fixed fan-in (8 channels on 1, 2, 4
+//! workers): round-robin placement plus hot-channel donation keep the
+//! per-op cost placement-invariant, and every shard's recycled-buffer
+//! arena holds the §5.3-analogue reuse floor.
+//!
+//! The flagship configuration (1 worker × 8 channels) also writes a
+//! shard-attribution side report — per-shard probe/execute wall
+//! nanoseconds, idle-ladder counters, and arena recycling — as
+//! `engine_scaling_shards.metrics.json`, which CI uploads next to the
+//! artifact's own metrics diff.
+
+use std::time::Instant;
+
+use cowbird::channel::Channel;
+use cowbird::layout::ChannelLayout;
+use cowbird::region::{RegionMap, RemoteRegion};
+use cowbird_engine::{EngineConfig, EngineGroup, EngineStats, GroupConfig, SpotWiring};
+use rdma::cost::CostModel;
+use rdma::emu::EmuFabric;
+use rdma::mem::Region;
+use telemetry::MetricsRegistry;
+
+use crate::report::{fnum, write_metrics_json, Table};
+
+/// Closed-loop ops driven per channel in every configuration.
+const OPS_PER_CHANNEL: u64 = 400;
+/// 64-byte records pre-filled in the pool for the workload to read.
+const SLOTS: u64 = 1024;
+/// Acceptance bound: per-op modeled cost at 8 channels/core (and at 4
+/// shards) relative to the 1-channel / 1-shard case.
+pub const COST_TOLERANCE: f64 = 0.10;
+/// Acceptance bound: steady-state recycled-buffer reuse.
+pub const ARENA_HIT_FLOOR: f64 = 0.99;
+
+struct ScaleRun {
+    kops: f64,
+    per_op_virtual_ns: f64,
+    idle_probes_per_op: f64,
+    arena_hit_rate: f64,
+    migrations: u64,
+    /// Per-shard gauges (`cowbird.engine.shard.*` / `.arena.*`) at the end
+    /// of the run, for the side report.
+    shard_metrics: telemetry::MetricsSnapshot,
+}
+
+/// Spin up a group of `workers` shards driving `channels` channels on the
+/// emulated fabric, run the closed-loop read workload to completion, and
+/// fold the retired channels' statistics into the scale metrics.
+fn drive(workers: usize, channels: usize) -> ScaleRun {
+    let mut fabric = EmuFabric::new();
+    let compute = fabric.add_nic();
+    let pool = fabric.add_nic();
+    let pool_mem = Region::new(1 << 20);
+    for slot in 0..SLOTS {
+        pool_mem.write(slot * 64, &slot.to_le_bytes()).unwrap();
+    }
+    let pool_rkey = pool.register(pool_mem.clone());
+    let mut regions = RegionMap::new();
+    regions.insert(
+        1,
+        RemoteRegion {
+            rkey: pool_rkey,
+            base: 0,
+            size: 1 << 20,
+        },
+    );
+    let layout = ChannelLayout::default_sizes();
+    let group = EngineGroup::spawn(GroupConfig::with_workers(workers));
+    let mut chans: Vec<Channel> = Vec::new();
+    for id in 0..channels {
+        let mut ch = Channel::new(id as u16, layout, regions.clone());
+        ch.set_doorbell(group.doorbell());
+        let channel_rkey = compute.register(ch.region().clone());
+        let engine = fabric.add_nic();
+        let (c_qpn, _) = fabric.connect(&engine, &compute);
+        let (p_qpn, _) = fabric.connect(&engine, &pool);
+        group.add_channel(
+            SpotWiring {
+                nic: engine,
+                compute_qpn: c_qpn,
+                pool_qpn: p_qpn,
+                channel_rkey,
+            },
+            EngineConfig::spot(layout, regions.clone(), 16).with_channel_id(id as u16),
+        );
+        chans.push(ch);
+    }
+
+    // Closed loop, one outstanding op per channel: every op is discovered
+    // by exactly one probe and flushed in its own batch, so the per-op verb
+    // counters cannot depend on sweep timing.
+    let ops = OPS_PER_CHANNEL * channels as u64;
+    let t0 = Instant::now();
+    for k in 0..OPS_PER_CHANNEL {
+        let mut posted = Vec::with_capacity(channels);
+        for (id, ch) in chans.iter_mut().enumerate() {
+            let slot = (id as u64 * 127 + k * 31) % SLOTS;
+            posted.push((slot, ch.async_read(1, slot * 64, 8).unwrap()));
+        }
+        for (id, (slot, h)) in posted.iter().enumerate() {
+            assert!(
+                chans[id].wait(h.id, 30_000_000_000),
+                "round {k} on channel {id} must complete"
+            );
+            assert_eq!(chans[id].take_response(h).unwrap(), slot.to_le_bytes());
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let snaps = group.shard_snapshots();
+    let (hits, misses) = snaps.iter().fold((0u64, 0u64), |(h, m), s| {
+        (h + s.arena.hits, m + s.arena.misses)
+    });
+    let arena_hit_rate = hits as f64 / ((hits + misses) as f64).max(1.0);
+    let migrations = snaps.iter().map(|s| s.migrations_in).sum();
+    let shard_reg = MetricsRegistry::new();
+    group.export_metrics(&shard_reg);
+    let shard_metrics = shard_reg.snapshot();
+
+    let finished = group.stop();
+    assert_eq!(finished.len(), channels, "every channel retires on stop");
+    let stats = finished.iter().fold(EngineStats::default(), |mut acc, f| {
+        acc.probes_sent += f.stats.probes_sent;
+        acc.probes_found_work += f.stats.probes_found_work;
+        acc.meta_fetches += f.stats.meta_fetches;
+        acc.pool_reads += f.stats.pool_reads;
+        acc.pool_writes += f.stats.pool_writes;
+        acc.compute_writes += f.stats.compute_writes;
+        acc
+    });
+
+    // Engine-side modeled cost: every verb the engine issued on behalf of
+    // completed work, priced at a full RDMA post+poll (the engine is the
+    // side that *pays* the Figure-2 verbs so the client doesn't).
+    let m = CostModel::paper_defaults();
+    let verb_ns = m.rdma_total().nanos() as f64;
+    let work_verbs = stats.probes_found_work
+        + stats.meta_fetches
+        + stats.pool_reads
+        + stats.pool_writes
+        + stats.compute_writes;
+    let per_op_virtual_ns = work_verbs as f64 * verb_ns / ops as f64;
+    let idle_probes_per_op = (stats.probes_sent - stats.probes_found_work) as f64 / ops as f64;
+
+    let reg = telemetry::metrics::global();
+    let w = workers.to_string();
+    let c = channels.to_string();
+    let labels: &[(&str, &str)] = &[("workers", w.as_str()), ("channels", c.as_str())];
+    reg.gauge_set(
+        "cowbird.engine.scaling.per_op_virtual_ns",
+        labels,
+        per_op_virtual_ns,
+    );
+    reg.gauge_set(
+        "cowbird.engine.scaling.arena_hit_rate",
+        labels,
+        arena_hit_rate,
+    );
+
+    ScaleRun {
+        kops: ops as f64 / elapsed / 1e3,
+        per_op_virtual_ns,
+        idle_probes_per_op,
+        arena_hit_rate,
+        migrations,
+        shard_metrics,
+    }
+}
+
+pub fn run() -> Vec<Table> {
+    vec![channels_per_core(), shard_scaleout()]
+}
+
+/// One worker, 1→8 channels: fan-in must be free per op.
+fn channels_per_core() -> Table {
+    let mut t = Table::new(
+        "Engine scaling 1",
+        "one worker: modeled per-op engine cost vs channels per core",
+        &[
+            "channels",
+            "Kops",
+            "per-op virtual ns",
+            "idle probes / op",
+            "arena hit rate",
+        ],
+    )
+    .with_paper_note(
+        "a couple of spot cores drive the whole machine (§6): per-op engine cost must not grow with channel fan-in",
+    );
+    for channels in [1usize, 2, 4, 8] {
+        let r = drive(1, channels);
+        if channels == 8 {
+            match write_metrics_json("engine_scaling_shards", &r.shard_metrics) {
+                Ok(path) => eprintln!("[engine_scaling: shard report at {}]", path.display()),
+                Err(e) => eprintln!("[engine_scaling: shard report failed: {e}]"),
+            }
+        }
+        t.push_row(vec![
+            channels.to_string(),
+            fnum(r.kops),
+            fnum(r.per_op_virtual_ns),
+            fnum(r.idle_probes_per_op),
+            fnum(r.arena_hit_rate),
+        ]);
+    }
+    t
+}
+
+/// Eight channels on 1→4 shards: scale-out must not change per-op cost,
+/// and every shard's arena must keep recycling.
+fn shard_scaleout() -> Table {
+    let mut t = Table::new(
+        "Engine scaling 2",
+        "eight channels: shard scale-out, donation rebalancing enabled",
+        &[
+            "workers",
+            "Kops",
+            "per-op virtual ns",
+            "migrations",
+            "arena hit rate",
+        ],
+    )
+    .with_paper_note(
+        "extension: sharded polling group; modeled per-op cost is placement-invariant across shard counts",
+    );
+    for workers in [1usize, 2, 4] {
+        let r = drive(workers, 8);
+        t.push_row(vec![
+            workers.to_string(),
+            fnum(r.kops),
+            fnum(r.per_op_virtual_ns),
+            r.migrations.to_string(),
+            fnum(r.arena_hit_rate),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_channels_per_core_cost_within_tolerance() {
+        let t = channels_per_core();
+        let one = t.cell_f64("1", "per-op virtual ns").unwrap();
+        let eight = t.cell_f64("8", "per-op virtual ns").unwrap();
+        let rel = (eight - one).abs() / one;
+        assert!(
+            rel <= COST_TOLERANCE,
+            "per-op cost at 8 channels/core ({eight} ns) deviates from the \
+             1-channel case ({one} ns) by {:.1}% (tolerance {:.0}%)",
+            rel * 100.0,
+            COST_TOLERANCE * 100.0,
+        );
+        let hit = t.cell_f64("8", "arena hit rate").unwrap();
+        assert!(
+            hit >= ARENA_HIT_FLOOR,
+            "steady-state arena reuse {hit} below the {ARENA_HIT_FLOOR} floor"
+        );
+    }
+
+    #[test]
+    fn shard_fanout_keeps_cost_and_recycling_flat() {
+        let t = shard_scaleout();
+        let one = t.cell_f64("1", "per-op virtual ns").unwrap();
+        let four = t.cell_f64("4", "per-op virtual ns").unwrap();
+        let rel = (four - one).abs() / one;
+        assert!(
+            rel <= COST_TOLERANCE,
+            "per-op cost at 4 shards ({four} ns) deviates from 1 shard \
+             ({one} ns) by {:.1}%",
+            rel * 100.0,
+        );
+        for row in &t.rows {
+            let hit: f64 = row[4].parse().unwrap();
+            assert!(
+                hit >= ARENA_HIT_FLOOR,
+                "shard count {} arena reuse {hit} below floor",
+                row[0]
+            );
+        }
+    }
+}

@@ -54,6 +54,7 @@ use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
 use cowbird::region::{RegionId, RegionMap};
 use cowbird::reqid::{OpType, ReqId};
 use p4rt::pktgen::PktGenConfig;
+use rdma::buf::{ArenaStats, BufArena, PoolBuf};
 use rdma::mem::Rkey;
 use simnet::time::Duration;
 use telemetry::profile::Profiler;
@@ -97,7 +98,17 @@ pub struct EngineConfig {
     /// [`ReqId`] encoding the client issues, so a span reconstructor can
     /// join both sides of a request's lifecycle.
     pub channel_id: u16,
+    /// The recycled-buffer arena op payloads are borrowed from (paper §5.3's
+    /// packet-recycling template in software). Every config gets a private
+    /// arena by default; a polling group shares one arena per shard across
+    /// its channels via [`EngineConfig::with_arena`] so a hot channel's
+    /// buffers serve its neighbours too.
+    pub arena: BufArena,
 }
+
+/// Free-list cap for a config's private arena: enough for a full read
+/// batch, the red block, and a pipeline of held writes.
+const DEFAULT_ARENA_POOLED: usize = 64;
 
 impl EngineConfig {
     pub fn p4(layout: ChannelLayout, regions: RegionMap) -> EngineConfig {
@@ -111,6 +122,7 @@ impl EngineConfig {
             recorder: Recorder::disabled(),
             profiler: Profiler::disabled(),
             channel_id: 0,
+            arena: BufArena::new(DEFAULT_ARENA_POOLED),
         }
     }
 
@@ -125,6 +137,7 @@ impl EngineConfig {
             recorder: Recorder::disabled(),
             profiler: Profiler::disabled(),
             channel_id: 0,
+            arena: BufArena::new(DEFAULT_ARENA_POOLED),
         }
     }
 
@@ -161,6 +174,14 @@ impl EngineConfig {
         self
     }
 
+    /// Share a buffer arena with other engines (one arena per polling-group
+    /// shard: channels that migrate between shards bring no buffers along,
+    /// they just borrow from the new shard's pool).
+    pub fn with_arena(mut self, arena: BufArena) -> EngineConfig {
+        self.arena = arena;
+        self
+    }
+
     fn effective_batch(&self) -> usize {
         match self.variant {
             EngineVariant::P4 => 1,
@@ -180,9 +201,13 @@ pub enum FabricOp {
     /// [`EngineCore::on_data`] with an empty payload — red-block publishes
     /// carry one so the core can track what is *durably* committed in
     /// client memory, which gates conflicting pool writes across a crash.
+    ///
+    /// `data` is borrowed from the engine's [`BufArena`]: the driver hands
+    /// it to the NIC (inline write), and its drop at WQE retirement recycles
+    /// it — the software analogue of §5.3's packet recycling.
     WriteCompute {
         offset: u64,
-        data: Vec<u8>,
+        data: PoolBuf,
         tag: u64,
     },
     /// One-sided read of pool memory.
@@ -192,11 +217,11 @@ pub enum FabricOp {
         len: u32,
         tag: u64,
     },
-    /// One-sided write into pool memory.
+    /// One-sided write into pool memory (payload pooled, as above).
     WritePool {
         rkey: Rkey,
         addr: u64,
-        data: Vec<u8>,
+        data: PoolBuf,
     },
 }
 
@@ -253,7 +278,7 @@ struct HeldWrite {
     need_reads: u64,
     seq: u64,
     /// `None` models the unknown-region no-op completion path.
-    op: Option<(Rkey, u64, Vec<u8>)>,
+    op: Option<(Rkey, u64, PoolBuf)>,
 }
 
 /// Engine statistics, used by experiments (probe overhead, Fig. 14 traffic
@@ -381,8 +406,13 @@ pub struct EngineCore {
     uncommitted_reads: VecDeque<(u64, RegionId, u64, u64)>,
     /// Pool writes deferred by the write-after-read barrier, in seq order.
     held_writes: VecDeque<HeldWrite>,
-    // Read-response batch buffer: (resp_addr, data), contiguous.
-    batch: Vec<(u64, Vec<u8>)>,
+    // Read-response batch: one pooled buffer accumulating contiguous
+    // responses starting at client ring offset `batch_start`. Responses
+    // append straight into it — the single copy between the pool's bytes
+    // and the compute-bound write.
+    batch_buf: PoolBuf,
+    batch_start: u64,
+    batch_entries: usize,
     batch_last_seq: u64,
     // Outstanding pool reads (for quiescent batch flush).
     pool_reads_in_flight: usize,
@@ -427,7 +457,9 @@ impl EngineCore {
             committed_reads: 0,
             uncommitted_reads: VecDeque::new(),
             held_writes: VecDeque::new(),
-            batch: Vec::new(),
+            batch_buf: PoolBuf::empty(),
+            batch_start: 0,
+            batch_entries: 0,
             batch_last_seq: 0,
             pool_reads_in_flight: 0,
             tags: HashMap::new(),
@@ -480,6 +512,24 @@ impl EngineCore {
     /// Requests parsed but not yet executed.
     pub fn backlog(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The recycled-buffer arena this core borrows payloads from.
+    pub fn arena(&self) -> &BufArena {
+        &self.cfg.arena
+    }
+
+    /// Arena hit/miss/recycle counters (exported by drivers as
+    /// `cowbird.engine.arena.*`).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.cfg.arena.stats()
+    }
+
+    /// Rebind the core to another arena (a polling group does this when a
+    /// channel migrates to a new shard). Buffers already taken drain back
+    /// to the arena they came from; only future takes use the new one.
+    pub fn set_arena(&mut self, arena: BufArena) {
+        self.cfg.arena = arena;
     }
 
     fn tag(&mut self, kind: TagKind) -> u64 {
@@ -810,6 +860,9 @@ impl EngineCore {
         out: &mut Vec<FabricOp>,
     ) {
         debug_assert_eq!(data.len(), len as usize);
+        // One pooled copy of the payload, shared by the staged (held) path
+        // and the immediate apply path — the old code copied twice.
+        let buf = self.cfg.arena.take_copy(data);
         // Writes apply in seq order, so anything behind a held write queues
         // too, even if its own barrier is already satisfied.
         if need_reads > self.committed_reads || !self.held_writes.is_empty() {
@@ -823,11 +876,11 @@ impl EngineCore {
             self.held_writes.push_back(HeldWrite {
                 need_reads,
                 seq,
-                op: Some((rkey, addr, data.to_vec())),
+                op: Some((rkey, addr, buf)),
             });
             return;
         }
-        self.apply_pool_write(seq, rkey, addr, data.to_vec(), out);
+        self.apply_pool_write(seq, rkey, addr, buf, out);
     }
 
     fn apply_pool_write(
@@ -835,7 +888,7 @@ impl EngineCore {
         seq: u64,
         rkey: Rkey,
         addr: u64,
-        data: Vec<u8>,
+        data: PoolBuf,
         out: &mut Vec<FabricOp>,
     ) {
         self.stats.pool_writes += 1;
@@ -888,16 +941,22 @@ impl EngineCore {
     fn handle_read_data(&mut self, seq: u64, resp_addr: u64, data: &[u8], out: &mut Vec<FabricOp>) {
         self.pool_reads_in_flight -= 1;
         // Responses arrive in issue order (single FIFO QP to the pool).
-        debug_assert_eq!(seq, self.read_progress + self.batch.len() as u64 + 1);
+        debug_assert_eq!(seq, self.read_progress + self.batch_entries as u64 + 1);
         // Batch only if contiguous with the current buffer.
-        if let Some((last_addr, last_data)) = self.batch.last() {
-            if last_addr + last_data.len() as u64 != resp_addr {
-                self.maybe_flush_batch(out, true);
-            }
+        if self.batch_entries > 0 && self.batch_start + self.batch_buf.len() as u64 != resp_addr {
+            self.maybe_flush_batch(out, true);
         }
-        self.batch.push((resp_addr, data.to_vec()));
+        if self.batch_entries == 0 {
+            self.batch_buf = self.cfg.arena.take();
+            self.batch_start = resp_addr;
+        }
+        // The single copy on the read path: pool bytes append straight into
+        // the pooled compute-bound buffer (previously each response was
+        // copied into its own Vec and again into the flush payload).
+        self.batch_buf.extend_from_slice(data);
+        self.batch_entries += 1;
         self.batch_last_seq = seq;
-        if self.batch.len() >= self.cfg.effective_batch() {
+        if self.batch_entries >= self.cfg.effective_batch() {
             self.maybe_flush_batch(out, true);
         }
     }
@@ -906,18 +965,18 @@ impl EngineCore {
     /// false, flush only if the engine is quiescent (no more responses are
     /// coming that could extend the batch).
     fn maybe_flush_batch(&mut self, out: &mut Vec<FabricOp>, force: bool) {
-        if self.batch.is_empty() {
+        if self.batch_entries == 0 {
             return;
         }
-        if !force && self.pool_reads_in_flight > 0 && self.batch.len() < self.cfg.effective_batch()
+        if !force
+            && self.pool_reads_in_flight > 0
+            && self.batch_entries < self.cfg.effective_batch()
         {
             return;
         }
-        let start_addr = self.batch[0].0;
-        let mut payload = Vec::new();
-        for (_, d) in self.batch.drain(..) {
-            payload.extend_from_slice(&d);
-        }
+        let start_addr = self.batch_start;
+        let payload = std::mem::replace(&mut self.batch_buf, PoolBuf::empty());
+        self.batch_entries = 0;
         self.stats.batches_flushed += 1;
         self.stats.compute_writes += 1;
         self.stats.bytes_to_compute += payload.len() as u64;
@@ -964,7 +1023,7 @@ impl EngineCore {
             floor_reads: self.floor_reads,
             floor_writes: self.floor_writes,
         };
-        let data = red.encode().to_vec();
+        let data = self.cfg.arena.take_copy(&red.encode());
         self.stats.bytes_to_compute += data.len() as u64;
         // Tagged: the delivery acknowledgment advances `committed_reads`
         // (see `handle_red_commit`), which the write-after-read barrier
@@ -1009,7 +1068,8 @@ impl EngineCore {
     pub fn reset_to_committed(&mut self) {
         self.tags.clear();
         self.pending.clear();
-        self.batch.clear();
+        self.batch_buf = PoolBuf::empty();
+        self.batch_entries = 0;
         self.gate.clear();
         // Barrier state: held payloads and tracked reads are re-derived by
         // the replay; `committed_reads` survives — acknowledged red blocks
@@ -1061,7 +1121,8 @@ impl EngineCore {
         self.fence_epoch = 0;
         self.tags.clear();
         self.pending.clear();
-        self.batch.clear();
+        self.batch_buf = PoolBuf::empty();
+        self.batch_entries = 0;
         self.gate.clear();
         self.held_writes.clear();
         self.uncommitted_reads.clear();

@@ -23,10 +23,12 @@
 
 pub mod consistency;
 pub mod core;
+pub mod group;
 pub mod p4;
 pub mod sim;
 pub mod spot;
 
 pub use crate::core::{EngineConfig, EngineCore, EngineStats, EngineVariant, FabricOp};
+pub use crate::group::{EngineGroup, FinishedChannel, GroupConfig, ShardSnapshot};
 pub use crate::sim::{EngineNode, PoolNode};
-pub use crate::spot::{PreemptionNotice, SpotAgent};
+pub use crate::spot::{PreemptionNotice, SpotAgent, SpotWiring};

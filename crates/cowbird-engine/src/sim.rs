@@ -293,7 +293,7 @@ impl EngineNode {
         qpn: QpNum,
         rkey: Rkey,
         addr: u64,
-        data: Vec<u8>,
+        data: rdma::buf::PoolBuf,
         tag: u64,
         ctx: &mut Ctx,
     ) {

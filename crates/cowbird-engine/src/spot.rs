@@ -114,13 +114,16 @@ impl SpotAgent {
     fn spawn_inner(wiring: SpotWiring, cfg: EngineConfig, adopt: bool) -> SpotAgent {
         let flags = Arc::new(Flags::default());
         let thread_flags = Arc::clone(&flags);
+        // Per-channel names: several agents run at once in multi-channel
+        // deployments, and identical thread names make flight-recorder node
+        // attribution ambiguous.
         let name = if adopt {
-            "cowbird-spot-standby"
+            format!("cowbird-spot-standby-{}", cfg.channel_id)
         } else {
-            "cowbird-spot-agent"
+            format!("cowbird-spot-agent-{}", cfg.channel_id)
         };
         let handle = std::thread::Builder::new()
-            .name(name.into())
+            .name(name)
             .spawn(move || agent_loop(wiring, cfg, thread_flags, adopt))
             .expect("spawn spot agent");
         SpotAgent {

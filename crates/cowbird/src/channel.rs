@@ -41,10 +41,12 @@ use rdma::mem::Region;
 use telemetry::profile::{Phase, Profiler};
 use telemetry::{Component, EventKind, Recorder};
 
+use crate::doorbell::Doorbell;
 use crate::error::{CowbirdError, IssueError, WaitError};
 use crate::layout::{
-    reserve_no_wrap, ChannelLayout, GREEN_CLIENT_EPOCH, GREEN_META_TAIL, GREEN_RDATA_TAIL,
-    GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD, RED_READ_PROGRESS, RED_WRITE_PROGRESS,
+    reserve_no_wrap, ChannelLayout, GREEN_CLIENT_EPOCH, GREEN_DOORBELL, GREEN_META_TAIL,
+    GREEN_RDATA_TAIL, GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD, RED_READ_PROGRESS,
+    RED_WRITE_PROGRESS,
 };
 use crate::meta::{RequestMeta, RwType};
 use crate::region::{RegionId, RegionMap};
@@ -176,6 +178,9 @@ pub struct Channel {
     rec: Recorder,
     /// Cycle-attribution sink; disabled by default (one branch per scope).
     prof: Profiler,
+    /// Engine-group wake channel; `None` for remote/simulated engines
+    /// (probing alone discovers work there).
+    doorbell: Option<Doorbell>,
 }
 
 impl Channel {
@@ -217,6 +222,7 @@ impl Channel {
             stats: ChannelStats::default(),
             rec: Recorder::disabled(),
             prof: Profiler::disabled(),
+            doorbell: None,
         }
     }
 
@@ -241,6 +247,13 @@ impl Channel {
     /// The channel's cycle profiler (disabled unless set).
     pub fn profiler(&self) -> &Profiler {
         &self.prof
+    }
+
+    /// Attach an engine-group doorbell: every post then rings it (after
+    /// bumping the [`GREEN_DOORBELL`] word), waking a parked polling-group
+    /// worker. Leave unset for remote engines — they only probe.
+    pub fn set_doorbell(&mut self, db: Doorbell) {
+        self.doorbell = Some(db);
     }
 
     /// This channel's id (encoded into its request ids).
@@ -472,6 +485,13 @@ impl Channel {
         self.meta_tail += 1;
         self.region
             .store_u64(GREEN_META_TAIL, self.meta_tail, Ordering::Release);
+        // Doorbell: one relaxed add on a client-owned line (nothing like the
+        // MMIO+fence doorbell of an RDMA post), then the process-local wake.
+        self.region
+            .fetch_add_u64(GREEN_DOORBELL, 1, Ordering::Relaxed);
+        if let Some(db) = &self.doorbell {
+            db.ring();
+        }
     }
 
     // ------------------------------------------------------------------

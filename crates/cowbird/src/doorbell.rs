@@ -1,0 +1,171 @@
+//! The channel doorbell: how a posting client wakes a parked engine worker.
+//!
+//! Cowbird's issue path is pure local stores — the client never rings an
+//! RDMA doorbell register (that MMIO + `sfence` is exactly the Figure-2 cost
+//! the paper eliminates). But an engine-side polling group that drives many
+//! quiet channels would otherwise have to busy-spin or sleep blindly. The
+//! compromise is a *software* doorbell word:
+//!
+//! * a monotone post counter at [`crate::layout::GREEN_DOORBELL`] inside the
+//!   channel region, bumped with one relaxed `fetch_add` per post (the
+//!   client-side cost is a single uncontended atomic on a line the client
+//!   already owns — no fence, no syscall);
+//! * a process-local [`Doorbell`] handle shared with co-located engine
+//!   workers, through which a post unparks any worker that went to sleep.
+//!
+//! The wake fast path is one `Acquire` load of the parked-worker count: while
+//! any worker is awake (the steady state under load) a post pays nothing
+//! beyond the counter bump. Only when every worker of the group has walked
+//! its idle ladder down to `park` does a post take the registry lock and
+//! issue `unpark`s.
+//!
+//! Lost-wakeup safety: a worker snapshots [`Doorbell::posts`], registers
+//! itself, re-checks the counter, and only then parks. A post that lands
+//! after the snapshot either bumps the counter before the re-check (the
+//! worker sees it and does not park) or finds the worker registered and
+//! unparks it. Parks are additionally time-bounded by the caller, because
+//! remote clients post without ringing any process-local bell — probing
+//! remains the discovery path of record.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Monotone count of posts rung through this handle.
+    posts: AtomicU64,
+    /// Number of entries in `parked` (lock-free fast path for `ring`).
+    parked_count: AtomicUsize,
+    /// Workers currently parked (registered before parking).
+    parked: Mutex<Vec<Thread>>,
+}
+
+/// A cloneable handle to one polling group's wake channel. All clones share
+/// the counter and the parked-worker registry.
+#[derive(Clone, Debug, Default)]
+pub struct Doorbell {
+    inner: Arc<Inner>,
+}
+
+impl Doorbell {
+    /// A doorbell with registry capacity for `workers` parked threads
+    /// (pre-allocated so parking never allocates).
+    pub fn new(workers: usize) -> Doorbell {
+        Doorbell {
+            inner: Arc::new(Inner {
+                posts: AtomicU64::new(0),
+                parked_count: AtomicUsize::new(0),
+                parked: Mutex::new(Vec::with_capacity(workers.max(1))),
+            }),
+        }
+    }
+
+    /// Client side: announce a post. One atomic add plus one atomic load
+    /// unless workers are parked.
+    #[inline]
+    pub fn ring(&self) {
+        self.inner.posts.fetch_add(1, Ordering::Release);
+        if self.inner.parked_count.load(Ordering::Acquire) > 0 {
+            let mut parked = self.inner.parked.lock().unwrap();
+            self.inner.parked_count.store(0, Ordering::Release);
+            for t in parked.drain(..) {
+                t.unpark();
+            }
+        }
+    }
+
+    /// The post counter (worker snapshot for the park protocol).
+    #[inline]
+    pub fn posts(&self) -> u64 {
+        self.inner.posts.load(Ordering::Acquire)
+    }
+
+    /// Worker side: park the current thread for up to `timeout` unless a
+    /// post has landed since `snapshot` was taken. Returns `true` if a
+    /// doorbell ring was observed (posts moved past the snapshot), `false`
+    /// on a plain timeout.
+    pub fn park(&self, snapshot: u64, timeout: Duration) -> bool {
+        {
+            let mut parked = self.inner.parked.lock().unwrap();
+            // Registered-then-recheck: a ring between snapshot and here is
+            // caught by the re-check; a ring after it sees us registered.
+            if self.posts() != snapshot {
+                return true;
+            }
+            parked.push(std::thread::current());
+            self.inner
+                .parked_count
+                .store(parked.len(), Ordering::Release);
+        }
+        std::thread::park_timeout(timeout);
+        // Deregister if still present (timeout path; `ring` drains on wake).
+        {
+            let mut parked = self.inner.parked.lock().unwrap();
+            let me = std::thread::current().id();
+            parked.retain(|t| t.id() != me);
+            self.inner
+                .parked_count
+                .store(parked.len(), Ordering::Release);
+        }
+        self.posts() != snapshot
+    }
+
+    /// Workers currently parked (tests / gauges).
+    pub fn parked(&self) -> usize {
+        self.inner.parked_count.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn ring_bumps_the_counter() {
+        let db = Doorbell::new(2);
+        assert_eq!(db.posts(), 0);
+        db.ring();
+        db.ring();
+        assert_eq!(db.posts(), 2);
+    }
+
+    #[test]
+    fn park_returns_immediately_if_posts_moved() {
+        let db = Doorbell::new(1);
+        let snap = db.posts();
+        db.ring();
+        let t0 = Instant::now();
+        assert!(db.park(snap, Duration::from_secs(10)));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn ring_wakes_a_parked_worker() {
+        let db = Doorbell::new(1);
+        let db2 = db.clone();
+        let h = std::thread::spawn(move || {
+            let snap = db2.posts();
+            db2.park(snap, Duration::from_secs(30))
+        });
+        // Wait until the worker is registered, then ring.
+        while db.parked() == 0 {
+            std::thread::yield_now();
+        }
+        let t0 = Instant::now();
+        db.ring();
+        assert!(h.join().unwrap(), "worker must observe the ring");
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(db.parked(), 0);
+    }
+
+    #[test]
+    fn timeout_park_deregisters_itself() {
+        let db = Doorbell::new(1);
+        let snap = db.posts();
+        assert!(!db.park(snap, Duration::from_millis(10)));
+        assert_eq!(db.parked(), 0);
+    }
+}

@@ -44,6 +44,15 @@ pub const GREEN_CLIENT_EPOCH: u64 = GREEN_OFFSET + 24;
 /// Bytes the engine fetches per probe.
 pub const GREEN_LEN: u64 = 32;
 
+/// Doorbell word: bumped by the client on every post (a plain local
+/// `fetch_add`, unlike an RDMA NIC's MMIO doorbell). It lives in the
+/// client-written cache line *after* the probed green block — the engine's
+/// 32-byte probe read is unchanged — and is observed out-of-band by
+/// co-located polling-group workers to wake from their parked idle state.
+/// A remote engine never reads it; probing remains the only cross-fabric
+/// discovery path.
+pub const GREEN_DOORBELL: u64 = GREEN_OFFSET + GREEN_LEN;
+
 /// Red block: engine-written, client-read (one RDMA write covers it).
 pub const RED_OFFSET: u64 = 64;
 pub const RED_META_HEAD: u64 = RED_OFFSET;
@@ -225,6 +234,10 @@ mod tests {
     #[test]
     fn blocks_do_not_overlap() {
         const { assert!(GREEN_OFFSET + GREEN_LEN <= RED_OFFSET) };
+        // The doorbell word rides in the client-written gap between the
+        // probed green block and the engine-written red block.
+        const { assert!(GREEN_DOORBELL >= GREEN_OFFSET + GREEN_LEN) };
+        const { assert!(GREEN_DOORBELL + 8 <= RED_OFFSET) };
         const { assert!(RED_OFFSET + RED_LEN <= RINGS_OFFSET) };
         // Separate cache lines.
         assert_eq!(RED_OFFSET % 64, 0);

@@ -40,6 +40,7 @@
 //! couple of integer comparisons.
 
 pub mod channel;
+pub mod doorbell;
 pub mod error;
 pub mod layout;
 pub mod meta;
@@ -48,6 +49,7 @@ pub mod region;
 pub mod reqid;
 
 pub use channel::{Channel, ReadHandle};
+pub use doorbell::Doorbell;
 pub use error::{CowbirdError, IssueError};
 pub use layout::ChannelLayout;
 pub use meta::{RequestMeta, RwType};

@@ -279,7 +279,7 @@ impl Device for RdmaDevice {
                     op: WrOp::WriteInline {
                         remote_addr: self.pool_base + addr,
                         remote_rkey: self.pool_rkey,
-                        data: data.to_vec(),
+                        data: data.into(),
                     },
                 },
             )

@@ -24,6 +24,7 @@
 //!   the runnable examples and integration tests; the "NIC" thread executes
 //!   one-sided ops against registered regions without involving the host).
 
+pub mod buf;
 pub mod cost;
 pub mod emu;
 pub mod mem;
@@ -32,6 +33,7 @@ pub mod sim;
 pub mod verbs;
 pub mod wire;
 
+pub use buf::{ArenaStats, BufArena, PoolBuf};
 pub use cost::CostModel;
 pub use mem::{Region, RegionCatalog, Rkey};
 pub use qp::{Qp, QpEvent, QpNum};

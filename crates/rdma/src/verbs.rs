@@ -7,6 +7,7 @@
 
 use std::collections::VecDeque;
 
+use crate::buf::PoolBuf;
 use crate::mem::Rkey;
 
 /// Operation kinds, for completions.
@@ -38,11 +39,14 @@ pub enum WrOp {
         len: u32,
     },
     /// One-sided write of an inline buffer (used by offload engines that
-    /// assemble payloads themselves, e.g. the Spot batch writer).
+    /// assemble payloads themselves, e.g. the Spot batch writer). The
+    /// payload is a [`PoolBuf`]: when borrowed from a [`crate::BufArena`]
+    /// it is recycled once the WQE retires (paper §5.3's packet-recycling
+    /// template), and plain `Vec<u8>` payloads still work via `.into()`.
     WriteInline {
         remote_addr: u64,
         remote_rkey: Rkey,
-        data: Vec<u8>,
+        data: PoolBuf,
     },
     /// Two-sided send (delivered to the peer's receive path).
     Send { payload: Vec<u8> },
@@ -178,7 +182,7 @@ mod tests {
         let wi = WrOp::WriteInline {
             remote_addr: 0,
             remote_rkey: 2,
-            data: vec![],
+            data: vec![].into(),
         };
         assert_eq!(wi.kind(), WrKind::Write);
         assert_eq!(WrOp::Send { payload: vec![] }.kind(), WrKind::Send);
