@@ -3,15 +3,16 @@
 //! Usage: `cargo run -p cowbird-bench --bin bench_compare [BENCH_<sha>.json]`
 //!
 //! Compares the given trajectory entry (default: the newest
-//! `BENCH_*.json` at the repo root) against the previous one and prints a
-//! warning per headline metric that moved beyond `$COWBIRD_BENCH_TOL`
-//! (default 25%). Warn-only: the exit code is 0 unless the files cannot be
-//! read at all — the gate makes drift visible, it does not block merges.
+//! `BENCH_*.json` at the repo root) against the previous one. Metrics that
+//! moved beyond `$COWBIRD_BENCH_TOL` (default 25%) are reported; most are
+//! warn-only — trajectories drift for good reasons — but the hard-gated
+//! headline metrics (per-op engine cost rising, freed cores falling) fail
+//! the run with a nonzero exit code.
 
 use std::path::PathBuf;
 
 use experiments::report::{
-    bench_tolerance, compare_bench_trajectory, previous_bench_entry_in, repo_root,
+    bench_tolerance, classify_bench_trajectory, previous_bench_entry_in, repo_root,
 };
 
 fn newest_entry() -> Option<PathBuf> {
@@ -34,22 +35,30 @@ fn main() {
             std::process::exit(1);
         }
     };
-    match compare_bench_trajectory(&current) {
-        Ok(warnings) if warnings.is_empty() => {
+    match classify_bench_trajectory(&current) {
+        Ok(drifts) if drifts.is_empty() => {
             println!(
                 "bench_compare: {} within {:.0}% of the previous entry",
                 current.display(),
                 bench_tolerance() * 100.0
             );
         }
-        Ok(warnings) => {
+        Ok(drifts) => {
+            let critical = drifts.iter().filter(|d| d.critical).count();
             println!(
-                "bench_compare: {} metric(s) moved beyond {:.0}% (warn-only):",
-                warnings.len(),
-                bench_tolerance() * 100.0
+                "bench_compare: {} metric(s) moved beyond {:.0}% ({} critical):",
+                drifts.len(),
+                bench_tolerance() * 100.0,
+                critical,
             );
-            for w in warnings {
-                println!("  {w}");
+            for d in &drifts {
+                println!("  {d}");
+            }
+            if critical > 0 {
+                eprintln!(
+                    "bench_compare: FAIL — per-op cost / freed-cores regressed beyond tolerance"
+                );
+                std::process::exit(1);
             }
         }
         Err(e) => {

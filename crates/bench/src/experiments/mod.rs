@@ -14,6 +14,7 @@ pub mod fig14;
 pub mod table1;
 pub mod table5;
 pub mod validate;
+pub mod verb_coalescing;
 
 use crate::report::Table;
 
@@ -41,6 +42,7 @@ pub fn artifacts() -> Vec<(&'static str, ArtifactFn)> {
         ("validate", validate::run),
         ("ablation", ablation::run),
         ("engine_scaling", engine_scaling::run),
+        ("verb_coalescing", verb_coalescing::run),
     ]
 }
 

@@ -220,6 +220,10 @@ pub struct CowbirdRig {
     /// Client liveness watchdog: fence the engine when no completion has
     /// arrived for this long while requests are outstanding.
     pub watchdog: Option<Duration>,
+    /// Scatter-gather width for the engine's coalesced pool verbs: `0`
+    /// keeps the variant default (16 for Spot, 1 for P4), `1` disables
+    /// coalescing, larger values cap the SGE list per verb.
+    pub coalesce_sge: usize,
 }
 
 impl Default for CowbirdRig {
@@ -235,6 +239,7 @@ impl Default for CowbirdRig {
             link: LinkParams::rack_100g(),
             drop_probability: 0.0,
             watchdog: None,
+            coalesce_sge: 0,
         }
     }
 }
@@ -399,6 +404,9 @@ fn build_rig_inner(
     };
     if let Some((idle, threshold)) = adaptive_probe {
         variant = variant.with_adaptive_probe(idle, threshold);
+    }
+    if cfg.coalesce_sge > 0 {
+        variant = variant.with_coalesce_sge(cfg.coalesce_sge);
     }
     let variant = variant.with_probe_interval(cfg.probe_interval);
     engine.add_instance(

@@ -256,32 +256,87 @@ pub fn previous_bench_entry_in(dir: &Path, exclude: &Path) -> Option<PathBuf> {
     best.map(|(_, p)| p)
 }
 
-/// Diff two trajectory entries: one warning per metric present in both
-/// whose relative change exceeds `tol`.
+/// One metric that moved beyond tolerance between two trajectory entries.
+#[derive(Clone, Debug)]
+pub struct BenchDrift {
+    pub key: String,
+    pub prev: f64,
+    pub cur: f64,
+    /// Signed relative change `(cur - prev) / |prev|`.
+    pub rel: f64,
+    /// Hard-gated headline metric that moved in its regression direction:
+    /// CI fails on these instead of warning.
+    pub critical: bool,
+}
+
+impl fmt::Display for BenchDrift {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} -> {} ({:+.1}%){}",
+            self.key,
+            self.prev,
+            self.cur,
+            self.rel * 100.0,
+            if self.critical { " [CRITICAL]" } else { "" },
+        )
+    }
+}
+
+/// Is `rel` a regression of a hard-gated headline metric? Per-op engine
+/// cost (`per_op_virtual_ns`, `per_op_model_ns`) must not rise; freed
+/// cores must not fall. Every other metric — and a hard-gated one moving
+/// in its *good* direction — is warn-only drift.
+fn critical_regression(key: &str, rel: f64) -> bool {
+    if key.contains("per_op_virtual_ns") || key.contains("per_op_model_ns") {
+        rel > 0.0
+    } else if key.contains("freed_cores") {
+        rel < 0.0
+    } else {
+        false
+    }
+}
+
+/// Diff two trajectory entries: one [`BenchDrift`] per metric present in
+/// both whose relative change exceeds `tol`, critical-classified.
+pub fn classify_bench_entries(
+    current: &Path,
+    previous: &Path,
+    tol: f64,
+) -> std::io::Result<Vec<BenchDrift>> {
+    let cur = read_bench_trajectory(current)?;
+    let prev = read_bench_trajectory(previous)?;
+    let mut drifts = Vec::new();
+    for (k, &pv) in &prev {
+        let Some(&cv) = cur.get(k) else { continue };
+        let rel = (cv - pv) / pv.abs().max(1e-12);
+        if rel.abs() > tol {
+            drifts.push(BenchDrift {
+                key: k.clone(),
+                prev: pv,
+                cur: cv,
+                rel,
+                critical: critical_regression(k, rel),
+            });
+        }
+    }
+    Ok(drifts)
+}
+
+/// String form of [`classify_bench_entries`] (one warning per drift).
 pub fn diff_bench_entries(
     current: &Path,
     previous: &Path,
     tol: f64,
 ) -> std::io::Result<Vec<String>> {
-    let cur = read_bench_trajectory(current)?;
-    let prev = read_bench_trajectory(previous)?;
     let prev_name = previous
         .file_name()
         .map(|n| n.to_string_lossy().to_string())
         .unwrap_or_default();
-    let mut warnings = Vec::new();
-    for (k, &pv) in &prev {
-        let Some(&cv) = cur.get(k) else { continue };
-        let rel = (cv - pv) / pv.abs().max(1e-12);
-        if rel.abs() > tol {
-            warnings.push(format!(
-                "{k}: {pv} -> {cv} ({rel:+.1}% vs {prev_name}, tolerance {tol:.0}%)",
-                rel = rel * 100.0,
-                tol = tol * 100.0,
-            ));
-        }
-    }
-    Ok(warnings)
+    Ok(classify_bench_entries(current, previous, tol)?
+        .into_iter()
+        .map(|d| format!("{d} (vs {prev_name}, tolerance {:.0}%)", tol * 100.0))
+        .collect())
 }
 
 /// The warn-only gate: compare a fresh entry against the previous one at
@@ -290,6 +345,16 @@ pub fn compare_bench_trajectory(current: &Path) -> std::io::Result<Vec<String>> 
     let dir = current.parent().unwrap_or(Path::new("."));
     match previous_bench_entry_in(dir, current) {
         Some(prev) => diff_bench_entries(current, &prev, bench_tolerance()),
+        None => Ok(Vec::new()),
+    }
+}
+
+/// [`classify_bench_entries`] against the previous entry at the repo root
+/// — the CI comparator's view, where critical drifts hard-fail.
+pub fn classify_bench_trajectory(current: &Path) -> std::io::Result<Vec<BenchDrift>> {
+    let dir = current.parent().unwrap_or(Path::new("."));
+    match previous_bench_entry_in(dir, current) {
+        Some(prev) => classify_bench_entries(current, &prev, bench_tolerance()),
         None => Ok(Vec::new()),
     }
 }
@@ -385,6 +450,45 @@ mod tests {
         // previous_bench_entry_in skips the entry under comparison.
         let prev = previous_bench_entry_in(&dir, &new).unwrap();
         assert_eq!(prev, old);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_gate_fails_cost_and_freed_core_regressions_only() {
+        let dir = temp_dir("classify");
+        let mut old_snap = telemetry::MetricsSnapshot::default();
+        old_snap
+            .gauges
+            .insert("scale.per_op_virtual_ns".into(), 1000.0);
+        old_snap.gauges.insert("profile.freed_cores".into(), 0.5);
+        old_snap.gauges.insert("misc.latency".into(), 10.0);
+        let mut new_snap = telemetry::MetricsSnapshot::default();
+        // Cost up 40% (regression), freed cores up 40% (improvement),
+        // unclassified metric up 40% (drift).
+        new_snap
+            .gauges
+            .insert("scale.per_op_virtual_ns".into(), 1400.0);
+        new_snap.gauges.insert("profile.freed_cores".into(), 0.7);
+        new_snap.gauges.insert("misc.latency".into(), 14.0);
+        let old = write_bench_trajectory_to(&dir, "old", &[("a".into(), old_snap)]).unwrap();
+        let new = write_bench_trajectory_to(&dir, "new", &[("a".into(), new_snap)]).unwrap();
+        let drifts = classify_bench_entries(&new, &old, 0.25).unwrap();
+        assert_eq!(drifts.len(), 3, "{drifts:?}");
+        let by_key = |needle: &str| {
+            drifts
+                .iter()
+                .find(|d| d.key.contains(needle))
+                .unwrap_or_else(|| panic!("no drift for {needle}: {drifts:?}"))
+        };
+        assert!(by_key("per_op_virtual_ns").critical, "cost rise hard-fails");
+        assert!(!by_key("freed_cores").critical, "freed-core gain is fine");
+        assert!(!by_key("misc.latency").critical, "unclassified warns only");
+        // Reverse direction: cost drop is fine, freed-core loss hard-fails.
+        let rev = classify_bench_entries(&old, &new, 0.25).unwrap();
+        let cost = rev.iter().find(|d| d.key.contains("per_op")).unwrap();
+        let freed = rev.iter().find(|d| d.key.contains("freed")).unwrap();
+        assert!(!cost.critical);
+        assert!(freed.critical);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

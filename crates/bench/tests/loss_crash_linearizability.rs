@@ -38,6 +38,10 @@ proptest! {
         drop_per_mille in 1u32..30,
         // Crash the primary anywhere from "almost immediately" to mid-run.
         crash_us in 10u64..60,
+        // Verb coalescing off / narrow / wide: chained WRs and
+        // scatter-gather segments must replay through Go-Back-N and the
+        // takeover window exactly like their one-verb-per-op equivalents.
+        coalesce_sge in prop_oneof![Just(1usize), Just(8), Just(16)],
     ) {
         let (mut sim, cid, eid, sid) = build_cowbird_failover_rig(
             CowbirdRig {
@@ -45,6 +49,7 @@ proptest! {
                 target_ops: 200,
                 inflight: 8,
                 engine_batch: 8,
+                coalesce_sge,
                 drop_probability: drop_per_mille as f64 / 1000.0,
                 ..Default::default()
             },

@@ -104,11 +104,25 @@ pub struct EngineConfig {
     /// its channels via [`EngineConfig::with_arena`] so a hot channel's
     /// buffers serve its neighbours too.
     pub arena: BufArena,
+    /// Maximum scatter-gather elements per coalesced pool verb. `1` turns
+    /// the coalescing pipeline off entirely — no SG merging, no chained
+    /// accounting, no completion moderation — restoring one verb per op.
+    /// Values above 1 let adjacent contiguous pool reads/writes merge into
+    /// one SG verb, let drivers flush each sweep as one chained post per
+    /// QP, and moderate red-block completion writes (one completion verb
+    /// covering a run of sequence numbers). Spot defaults to coalescing;
+    /// P4 recycles per packet and cannot chain, so it defaults to 1.
+    pub coalesce_sge: usize,
 }
 
 /// Free-list cap for a config's private arena: enough for a full read
 /// batch, the red block, and a pipeline of held writes.
 const DEFAULT_ARENA_POOLED: usize = 64;
+
+/// Default scatter-gather width for spot engines. Commodity NICs take up
+/// to 30 SGEs per WQE; 16 keeps a merged verb inside one WQE cache line
+/// pair while still amortising the doorbell across a full read batch.
+const DEFAULT_COALESCE_SGE: usize = 16;
 
 impl EngineConfig {
     pub fn p4(layout: ChannelLayout, regions: RegionMap) -> EngineConfig {
@@ -123,6 +137,7 @@ impl EngineConfig {
             profiler: Profiler::disabled(),
             channel_id: 0,
             arena: BufArena::new(DEFAULT_ARENA_POOLED),
+            coalesce_sge: 1,
         }
     }
 
@@ -138,6 +153,7 @@ impl EngineConfig {
             profiler: Profiler::disabled(),
             channel_id: 0,
             arena: BufArena::new(DEFAULT_ARENA_POOLED),
+            coalesce_sge: DEFAULT_COALESCE_SGE,
         }
     }
 
@@ -182,11 +198,26 @@ impl EngineConfig {
         self
     }
 
+    /// Cap coalesced pool verbs at `n` scatter-gather elements. `1`
+    /// disables the coalescing pipeline (SG merging, chain accounting and
+    /// red-write moderation); values are clamped to at least 1.
+    pub fn with_coalesce_sge(mut self, n: usize) -> EngineConfig {
+        self.coalesce_sge = n.max(1);
+        self
+    }
+
     fn effective_batch(&self) -> usize {
         match self.variant {
             EngineVariant::P4 => 1,
             EngineVariant::Spot => self.batch_size,
         }
+    }
+
+    /// Is the coalescing pipeline on? Drivers consult this to decide
+    /// between chained posts (one doorbell per destination run) and the
+    /// classic one-post-per-op path.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce_sge > 1
     }
 }
 
@@ -222,6 +253,27 @@ pub enum FabricOp {
         rkey: Rkey,
         addr: u64,
         data: PoolBuf,
+    },
+    /// Coalesced pool read: one SG verb covering `parts` adjacent reads of
+    /// a contiguous remote range starting at `addr`. Each `(len, tag)` part
+    /// must be completed (in order) via [`EngineCore::on_data`] with its
+    /// slice of the payload — the driver scatters one wire response back
+    /// into per-request completions. Produced by the coalescing pass from
+    /// runs of contiguous [`FabricOp::ReadPool`] ops; never emitted when
+    /// `coalesce_sge <= 1`.
+    ReadPoolSg {
+        rkey: Rkey,
+        addr: u64,
+        parts: Vec<(u32, u64)>,
+    },
+    /// Coalesced pool write: `segments` gathered into one contiguous
+    /// remote range starting at `addr` (fire-and-forget, like
+    /// [`FabricOp::WritePool`]). Each segment recycles to the arena at WQE
+    /// retirement.
+    WritePoolSg {
+        rkey: Rkey,
+        addr: u64,
+        segments: Vec<PoolBuf>,
     },
 }
 
@@ -308,6 +360,22 @@ pub struct EngineStats {
     pub replay_skipped: u64,
     /// Channels adopted from a predecessor's red block.
     pub adoptions: u64,
+    /// Doorbells: runs of same-destination fabric ops a driver can post as
+    /// one chained WR list. With coalescing off every op is its own chain.
+    pub chain_posts: u64,
+    /// Work requests carried by those chains (one per fabric op).
+    pub chained_wrs: u64,
+    /// Scatter-gather elements across all WRs (1 for plain ops, one per
+    /// part/segment for SG ops).
+    pub sge_total: u64,
+    /// Adjacent contiguous pool ops folded into an SG neighbour.
+    pub sg_merges: u64,
+    /// Red-block publishes deferred by completion moderation (the dirty
+    /// red stayed pending because work was still in flight).
+    pub moderation_deferred: u64,
+    /// Red-block publishes that actually went to the wire — each covers
+    /// the whole contiguous run of seqs completed since the previous one.
+    pub moderation_flushes: u64,
     /// Did this engine observe a client fence above its epoch and stand
     /// down? (Terminal: a fenced core emits no further fabric ops.)
     pub fenced: bool,
@@ -351,6 +419,42 @@ impl EngineStats {
         reg.counter_add("cowbird.engine.bytes_to_pool", labels, self.bytes_to_pool);
         reg.counter_add("cowbird.engine.replay_skipped", labels, self.replay_skipped);
         reg.counter_add("cowbird.engine.adoptions", labels, self.adoptions);
+        reg.counter_add(
+            "cowbird.engine.coalesce.chain_posts",
+            labels,
+            self.chain_posts,
+        );
+        reg.counter_add(
+            "cowbird.engine.coalesce.chained_wrs",
+            labels,
+            self.chained_wrs,
+        );
+        reg.counter_add("cowbird.engine.coalesce.sge_total", labels, self.sge_total);
+        reg.counter_add("cowbird.engine.coalesce.sg_merges", labels, self.sg_merges);
+        reg.counter_add(
+            "cowbird.engine.coalesce.moderation_deferred",
+            labels,
+            self.moderation_deferred,
+        );
+        reg.counter_add(
+            "cowbird.engine.coalesce.moderation_flushes",
+            labels,
+            self.moderation_flushes,
+        );
+        if self.chain_posts > 0 {
+            reg.gauge_set(
+                "cowbird.engine.coalesce.chain_len",
+                labels,
+                self.chained_wrs as f64 / self.chain_posts as f64,
+            );
+        }
+        if self.chained_wrs > 0 {
+            reg.gauge_set(
+                "cowbird.engine.coalesce.sge_per_wr",
+                labels,
+                self.sge_total as f64 / self.chained_wrs as f64,
+            );
+        }
         reg.gauge_set(
             "cowbird.engine.fenced",
             labels,
@@ -416,9 +520,20 @@ pub struct EngineCore {
     batch_last_seq: u64,
     // Outstanding pool reads (for quiescent batch flush).
     pool_reads_in_flight: usize,
+    /// Outstanding write-payload fetches on the compute QP. Each one is a
+    /// guaranteed future `on_data`, so both the write stage and red-block
+    /// moderation may defer against this count without stranding.
+    write_payloads_in_flight: usize,
+    /// Pool writes whose payloads arrived and whose barriers are satisfied,
+    /// staged (coalescing only) so adjacent writes leave as one
+    /// scatter-gather verb instead of a verb apiece.
+    write_stage: Vec<(u64, Rkey, u64, PoolBuf)>,
     tags: HashMap<u64, TagKind>,
     next_tag: u64,
     red_dirty: bool,
+    /// Consecutive red publishes deferred by completion moderation since
+    /// the last one that went out (bounds the adaptive deadline).
+    moderation_run: u32,
     /// Probe pacing (fixed or adaptive, from the config).
     pktgen: PktGenConfig,
     /// Did the most recent probe discover new work?
@@ -462,9 +577,12 @@ impl EngineCore {
             batch_entries: 0,
             batch_last_seq: 0,
             pool_reads_in_flight: 0,
+            write_payloads_in_flight: 0,
+            write_stage: Vec::new(),
             tags: HashMap::new(),
             next_tag: 1,
             red_dirty: false,
+            moderation_run: 0,
             stats: EngineStats::default(),
         }
     }
@@ -550,11 +668,13 @@ impl EngineCore {
         self.stats.compute_reads += 1;
         self.rec(EventKind::ProbeSent, 0, self.fetch_cursor, 0);
         let tag = self.tag(TagKind::Probe);
-        vec![FabricOp::ReadCompute {
+        let out = vec![FabricOp::ReadCompute {
             offset: GREEN_OFFSET,
             len: GREEN_LEN as u32,
             tag,
-        }]
+        }];
+        self.account_chains(&out);
+        out
     }
 
     /// A fabric read completed; `data` is its payload.
@@ -589,8 +709,172 @@ impl EngineCore {
         }
         self.drain_pending(&mut out);
         self.maybe_flush_batch(&mut out, false);
-        self.flush_red(&mut out);
+        self.maybe_flush_writes(&mut out, false);
+        self.flush_red(&mut out, false);
+        if self.cfg.coalescing() {
+            self.coalesce_ops(&mut out);
+        }
+        self.account_chains(&out);
         out
+    }
+
+    /// Fold runs of adjacent, contiguous pool ops into single
+    /// scatter-gather verbs, capped at `coalesce_sge` elements each. Only
+    /// *neighbouring* ops merge — the emission order (and therefore the
+    /// completion order the client observes) is never changed, so
+    /// coalescing is invisible to everything but the verb count.
+    fn coalesce_ops(&mut self, out: &mut Vec<FabricOp>) {
+        if out.len() < 2 {
+            return;
+        }
+        enum Fuse {
+            No,
+            ReadPair,
+            ReadExtend,
+            WritePair,
+            WriteExtend,
+        }
+        let cap = self.cfg.coalesce_sge;
+        let mut merged: Vec<FabricOp> = Vec::with_capacity(out.len());
+        for op in out.drain(..) {
+            let fuse = match (merged.last(), &op) {
+                (
+                    Some(FabricOp::ReadPool {
+                        rkey: r1,
+                        addr: a1,
+                        len: l1,
+                        ..
+                    }),
+                    FabricOp::ReadPool { rkey, addr, .. },
+                ) if r1 == rkey && *a1 + u64::from(*l1) == *addr => Fuse::ReadPair,
+                (
+                    Some(FabricOp::ReadPoolSg {
+                        rkey: r1,
+                        addr: a1,
+                        parts,
+                    }),
+                    FabricOp::ReadPool { rkey, addr, .. },
+                ) if r1 == rkey
+                    && parts.len() < cap
+                    && *a1 + parts.iter().map(|(l, _)| u64::from(*l)).sum::<u64>() == *addr =>
+                {
+                    Fuse::ReadExtend
+                }
+                (
+                    Some(FabricOp::WritePool {
+                        rkey: r1,
+                        addr: a1,
+                        data: d1,
+                    }),
+                    FabricOp::WritePool { rkey, addr, .. },
+                ) if r1 == rkey && *a1 + d1.len() as u64 == *addr => Fuse::WritePair,
+                (
+                    Some(FabricOp::WritePoolSg {
+                        rkey: r1,
+                        addr: a1,
+                        segments,
+                    }),
+                    FabricOp::WritePool { rkey, addr, .. },
+                ) if r1 == rkey
+                    && segments.len() < cap
+                    && *a1 + segments.iter().map(|s| s.len() as u64).sum::<u64>() == *addr =>
+                {
+                    Fuse::WriteExtend
+                }
+                _ => Fuse::No,
+            };
+            match fuse {
+                Fuse::No => merged.push(op),
+                Fuse::ReadPair => {
+                    let Some(FabricOp::ReadPool {
+                        rkey,
+                        addr,
+                        len,
+                        tag,
+                    }) = merged.pop()
+                    else {
+                        unreachable!()
+                    };
+                    let FabricOp::ReadPool {
+                        len: l2, tag: t2, ..
+                    } = op
+                    else {
+                        unreachable!()
+                    };
+                    merged.push(FabricOp::ReadPoolSg {
+                        rkey,
+                        addr,
+                        parts: vec![(len, tag), (l2, t2)],
+                    });
+                    self.stats.sg_merges += 1;
+                }
+                Fuse::ReadExtend => {
+                    let Some(FabricOp::ReadPoolSg { parts, .. }) = merged.last_mut() else {
+                        unreachable!()
+                    };
+                    let FabricOp::ReadPool { len, tag, .. } = op else {
+                        unreachable!()
+                    };
+                    parts.push((len, tag));
+                    self.stats.sg_merges += 1;
+                }
+                Fuse::WritePair => {
+                    let Some(FabricOp::WritePool { rkey, addr, data }) = merged.pop() else {
+                        unreachable!()
+                    };
+                    let FabricOp::WritePool { data: d2, .. } = op else {
+                        unreachable!()
+                    };
+                    merged.push(FabricOp::WritePoolSg {
+                        rkey,
+                        addr,
+                        segments: vec![data, d2],
+                    });
+                    self.stats.sg_merges += 1;
+                }
+                Fuse::WriteExtend => {
+                    let Some(FabricOp::WritePoolSg { segments, .. }) = merged.last_mut() else {
+                        unreachable!()
+                    };
+                    let FabricOp::WritePool { data, .. } = op else {
+                        unreachable!()
+                    };
+                    segments.push(data);
+                    self.stats.sg_merges += 1;
+                }
+            }
+        }
+        *out = merged;
+    }
+
+    /// Account what the emission costs on the wire: WRs, SGEs, and
+    /// doorbells. With coalescing on, a run of ops bound for the same
+    /// destination (compute vs. pool) counts as one chained post — the
+    /// driver rings one doorbell per run. With coalescing off every op is
+    /// its own post, which is exactly the pre-chaining cost model.
+    fn account_chains(&mut self, out: &[FabricOp]) {
+        let chaining = self.cfg.coalescing();
+        let mut prev_pool: Option<bool> = None;
+        for op in out {
+            let is_pool = matches!(
+                op,
+                FabricOp::ReadPool { .. }
+                    | FabricOp::WritePool { .. }
+                    | FabricOp::ReadPoolSg { .. }
+                    | FabricOp::WritePoolSg { .. }
+            );
+            let sges = match op {
+                FabricOp::ReadPoolSg { parts, .. } => parts.len() as u64,
+                FabricOp::WritePoolSg { segments, .. } => segments.len() as u64,
+                _ => 1,
+            };
+            self.stats.chained_wrs += 1;
+            self.stats.sge_total += sges;
+            if !chaining || prev_pool != Some(is_pool) {
+                self.stats.chain_posts += 1;
+                prev_pool = Some(is_pool);
+            }
+        }
     }
 
     fn handle_probe(&mut self, data: &[u8], out: &mut Vec<FabricOp>) {
@@ -804,6 +1088,7 @@ impl EngineCore {
             need_reads,
         });
         self.stats.compute_reads += 1;
+        self.write_payloads_in_flight += 1;
         self.rec(
             EventKind::WriteExecuted,
             self.req_raw(OpType::Write, req.seq),
@@ -860,6 +1145,7 @@ impl EngineCore {
         out: &mut Vec<FabricOp>,
     ) {
         debug_assert_eq!(data.len(), len as usize);
+        self.write_payloads_in_flight = self.write_payloads_in_flight.saturating_sub(1);
         // One pooled copy of the payload, shared by the staged (held) path
         // and the immediate apply path — the old code copied twice.
         let buf = self.cfg.arena.take_copy(data);
@@ -883,7 +1169,56 @@ impl EngineCore {
         self.apply_pool_write(seq, rkey, addr, buf, out);
     }
 
+    /// A write is ready for the pool. With coalescing on it is *staged*
+    /// rather than issued: adjacent writes whose payloads arrive in the same
+    /// fetch window then leave as one scatter-gather verb (see
+    /// [`EngineCore::maybe_flush_writes`]). The conflict-gate entry stays in
+    /// place while staged, so overlapping reads keep waiting and
+    /// read-after-write order is preserved; `write_progress` (and therefore
+    /// the red block) only advances when the write actually reaches the
+    /// fabric queue.
     fn apply_pool_write(
+        &mut self,
+        seq: u64,
+        rkey: Rkey,
+        addr: u64,
+        data: PoolBuf,
+        out: &mut Vec<FabricOp>,
+    ) {
+        if !self.cfg.coalescing() {
+            self.emit_pool_write(seq, rkey, addr, data, out);
+            return;
+        }
+        self.write_stage.push((seq, rkey, addr, data));
+        if self.write_stage.len() >= self.cfg.effective_batch() {
+            self.flush_write_stage(out);
+        }
+    }
+
+    /// Flush the staged writes. When `force` is false, flush only once no
+    /// more payloads are in flight (each outstanding fetch is a guaranteed
+    /// future `on_data` that re-runs this check, so staging never strands a
+    /// write) — the same quiescence discipline as the read-response batch.
+    fn maybe_flush_writes(&mut self, out: &mut Vec<FabricOp>, force: bool) {
+        if self.write_stage.is_empty() {
+            return;
+        }
+        if !force
+            && self.write_payloads_in_flight > 0
+            && self.write_stage.len() < self.cfg.effective_batch()
+        {
+            return;
+        }
+        self.flush_write_stage(out);
+    }
+
+    fn flush_write_stage(&mut self, out: &mut Vec<FabricOp>) {
+        for (seq, rkey, addr, data) in std::mem::take(&mut self.write_stage) {
+            self.emit_pool_write(seq, rkey, addr, data, out);
+        }
+    }
+
+    fn emit_pool_write(
         &mut self,
         seq: u64,
         rkey: Rkey,
@@ -999,10 +1334,41 @@ impl EngineCore {
     }
 
     /// Phase IV: write the red bookkeeping block if anything changed.
-    fn flush_red(&mut self, out: &mut Vec<FabricOp>) {
+    ///
+    /// With coalescing on, publishes are *moderated*: while pool reads are
+    /// still in flight the dirty red block is deferred so one completion
+    /// verb covers the whole contiguous run of seqs finished in between.
+    /// The deferral is bounded by an adaptive deadline — proportional to
+    /// the current backlog, never more than a batch — and skipped entirely
+    /// when the engine is quiescent, so a lone low-load request still gets
+    /// its completion on the first flush (no p99 regression at inflight 1).
+    /// `force` bypasses moderation (adoption handoff, explicit
+    /// [`EngineCore::red_update`]).
+    fn flush_red(&mut self, out: &mut Vec<FabricOp>, force: bool) {
         if !self.red_dirty {
             return;
         }
+        if !force && self.cfg.coalescing() {
+            // Defer only while pool reads or write-payload fetches are
+            // outstanding: each one is a guaranteed future `on_data` that
+            // re-runs this flush, so the deferred red can never strand (a
+            // held write waiting on a red commit always gets its publish
+            // once the in-flight run drains).
+            let cap = (self.pending.len()
+                + self.pool_reads_in_flight
+                + self.write_payloads_in_flight
+                + self.batch_entries)
+                .clamp(1, self.cfg.effective_batch());
+            if (self.pool_reads_in_flight > 0 || self.write_payloads_in_flight > 0)
+                && (self.moderation_run as usize) < cap
+            {
+                self.moderation_run += 1;
+                self.stats.moderation_deferred += 1;
+                return;
+            }
+        }
+        self.moderation_run = 0;
+        self.stats.moderation_flushes += 1;
         self.red_dirty = false;
         // Publish the freshest committed floor a standby could rewind to.
         self.advance_floor();
@@ -1077,7 +1443,10 @@ impl EngineCore {
         self.held_writes.clear();
         self.uncommitted_reads.clear();
         self.pool_reads_in_flight = 0;
+        self.write_payloads_in_flight = 0;
+        self.write_stage.clear();
         self.probe_outstanding = false;
+        self.moderation_run = 0;
         self.advance_floor();
         self.inflight_entries.clear();
         self.rewind_to_floor();
@@ -1131,6 +1500,8 @@ impl EngineCore {
         self.committed_reads = red.read_progress;
         self.inflight_entries.clear();
         self.pool_reads_in_flight = 0;
+        self.write_payloads_in_flight = 0;
+        self.write_stage.clear();
         self.probe_outstanding = false;
         self.rewind_to_floor();
         self.stats.adoptions += 1;
@@ -1147,7 +1518,8 @@ impl EngineCore {
         }
         let mut out = Vec::new();
         self.red_dirty = true;
-        self.flush_red(&mut out);
+        self.flush_red(&mut out, true);
+        self.account_chains(&out);
         out
     }
 
@@ -1220,6 +1592,24 @@ mod tests {
                         }
                         FabricOp::WritePool { addr, data, .. } => {
                             self.pool.write(addr, &data).unwrap();
+                        }
+                        FabricOp::ReadPoolSg { addr, parts, .. } => {
+                            // One SG verb on the wire; the driver scatters
+                            // the contiguous payload back into per-part
+                            // completions, in order.
+                            let mut cursor = addr;
+                            for (len, tag) in parts {
+                                let data = self.pool.read_vec(cursor, len as usize).unwrap();
+                                cursor += u64::from(len);
+                                next.extend(core.on_data(tag, &data));
+                            }
+                        }
+                        FabricOp::WritePoolSg { addr, segments, .. } => {
+                            let mut cursor = addr;
+                            for seg in segments {
+                                self.pool.write(cursor, &seg).unwrap();
+                                cursor += seg.len() as u64;
+                            }
                         }
                     }
                 }
@@ -1358,6 +1748,156 @@ mod tests {
                 i as u64
             );
         }
+    }
+
+    #[test]
+    fn contiguous_pool_reads_coalesce_into_one_sg_verb() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 100);
+        for i in 0..10u64 {
+            driver.pool.write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        let handles: Vec<_> = (0..10u64)
+            .map(|i| ch.async_read(1, i * 8, 8).unwrap())
+            .collect();
+        driver.probe(&mut core);
+        for (i, h) in handles.iter().enumerate() {
+            assert!(ch.is_complete(h.id));
+            let data = ch.take_response(h).unwrap();
+            assert_eq!(
+                u64::from_le_bytes(data.as_slice().try_into().unwrap()),
+                i as u64
+            );
+        }
+        // Ten adjacent reads fused into one ten-element SG verb: nine
+        // merges, with the logical op count untouched.
+        assert_eq!(core.stats.sg_merges, 9);
+        assert_eq!(core.stats.pool_reads, 10);
+        assert_eq!(core.stats.batches_flushed, 1);
+        // Fewer doorbells than WRs, fewer WRs than SGEs.
+        assert!(core.stats.chain_posts < core.stats.chained_wrs);
+        assert!(core.stats.chained_wrs < core.stats.sge_total);
+    }
+
+    #[test]
+    fn sg_width_cap_splits_long_runs() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 100);
+        let mut core2 = EngineCore::new(core.config().clone().with_coalesce_sge(4));
+        std::mem::swap(&mut core, &mut core2);
+        for i in 0..20u64 {
+            driver.pool.write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        let handles: Vec<_> = (0..20u64)
+            .map(|i| ch.async_read(1, i * 8, 8).unwrap())
+            .collect();
+        driver.probe(&mut core);
+        for h in &handles {
+            assert!(ch.is_complete(h.id));
+        }
+        // Twenty adjacent reads under a 4-wide cap: five 4-part verbs,
+        // three merges each.
+        assert_eq!(core.stats.sg_merges, 15);
+        assert_eq!(core.stats.pool_reads, 20);
+    }
+
+    #[test]
+    fn released_held_writes_gather_into_one_sg_verb() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        let r = ch.async_read(1, 0, 16).unwrap();
+        ch.async_write(1, 0, b"AAAAAAAA").unwrap();
+        ch.async_write(1, 8, b"BBBBBBBB").unwrap();
+
+        let ops = core.on_probe_due();
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let green = driver.compute.read_vec(offset, len as usize).unwrap();
+        let ops = core.on_data(tag, &green);
+        let FabricOp::ReadCompute { offset, len, tag } = ops[0].clone() else {
+            panic!()
+        };
+        let meta = driver.compute.read_vec(offset, len as usize).unwrap();
+        let mut ops = core.on_data(tag, &meta);
+        // ops[0] reads the pool for `r`; the rest fetch the write
+        // payloads. Deliver both payloads while the read is still in
+        // flight so the write-after-read barrier holds both writes.
+        let FabricOp::ReadPool {
+            addr,
+            len,
+            tag: rtag,
+            ..
+        } = ops.remove(0)
+        else {
+            panic!()
+        };
+        let mut later = Vec::new();
+        for op in ops {
+            let FabricOp::ReadCompute { offset, len, tag } = op else {
+                panic!()
+            };
+            let payload = driver.compute.read_vec(offset, len as usize).unwrap();
+            later.extend(core.on_data(tag, &payload));
+        }
+        assert_eq!(core.stats.writes_held, 2);
+        // The read completes: its red commit releases both writes in one
+        // emission, where they gather into a single SG pool verb.
+        let data = driver.pool.read_vec(addr, len as usize).unwrap();
+        later.extend(core.on_data(rtag, &data));
+        driver.run(&mut core, later);
+        assert!(ch.is_complete(r.id));
+        assert_eq!(driver.pool.read_vec(0, 16).unwrap(), b"AAAAAAAABBBBBBBB");
+        assert!(core.stats.sg_merges >= 1);
+        assert_eq!(core.stats.pool_writes, 2);
+    }
+
+    #[test]
+    fn moderation_covers_a_read_run_with_one_red_publish() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 100);
+        for i in 0..10u64 {
+            driver.pool.write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..10u64 {
+            ch.async_read(1, i * 8, 8).unwrap();
+        }
+        driver.probe(&mut core);
+        assert_eq!(core.progress(), (10, 0));
+        // The meta-advance publish and every per-completion publish were
+        // deferred while reads streamed in: one red covered the whole run.
+        assert!(core.stats.moderation_deferred >= 1);
+        assert_eq!(core.stats.red_updates, 1);
+        assert_eq!(core.stats.moderation_flushes, 1);
+    }
+
+    #[test]
+    fn moderation_never_delays_a_quiescent_completion() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.pool.write(0, b"AAAAAAAA").unwrap();
+        let h = ch.async_read(1, 0, 8).unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(h.id));
+        // A lone request's red publish is deferred at most while its own
+        // pool read is outstanding — the completing event flushes it.
+        assert!(core.stats.moderation_deferred <= 1);
+        assert!(core.stats.moderation_flushes >= 1);
+    }
+
+    #[test]
+    fn coalescing_disabled_posts_one_verb_per_op() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 100);
+        let mut core2 = EngineCore::new(core.config().clone().with_coalesce_sge(1));
+        std::mem::swap(&mut core, &mut core2);
+        for i in 0..10u64 {
+            driver.pool.write(i * 8, &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..10u64 {
+            ch.async_read(1, i * 8, 8).unwrap();
+        }
+        driver.probe(&mut core);
+        assert_eq!(core.progress(), (10, 0));
+        assert_eq!(core.stats.sg_merges, 0);
+        assert_eq!(core.stats.moderation_deferred, 0);
+        // Every op is its own doorbell: posts == WRs == SGEs.
+        assert_eq!(core.stats.chain_posts, core.stats.chained_wrs);
+        assert_eq!(core.stats.chained_wrs, core.stats.sge_total);
     }
 
     #[test]

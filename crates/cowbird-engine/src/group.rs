@@ -74,6 +74,13 @@ pub struct GroupConfig {
     /// the lightest shard's plus this floor (avoids ping-ponging channels
     /// on noise).
     pub rebalance_min_ops: u64,
+    /// How often a worker looks for a *stuck* neighbour: a shard whose
+    /// published backlog has stayed above the hysteresis bound (same `2x +
+    /// rebalance_min_ops` guard as donation) for two consecutive checks
+    /// clearly missed its own rebalance ticks, so the lightest shard
+    /// steals its hottest channel instead of waiting for a donation that
+    /// is not coming.
+    pub steal_interval: Duration,
     /// Free-list cap of each shard's buffer arena.
     pub arena_pooled: usize,
 }
@@ -87,6 +94,7 @@ impl Default for GroupConfig {
             park_timeout: Duration::from_millis(1),
             rebalance_interval: Duration::from_millis(10),
             rebalance_min_ops: 16,
+            steal_interval: Duration::from_millis(20),
             arena_pooled: 256,
         }
     }
@@ -110,6 +118,12 @@ impl GroupConfig {
     /// Override the rebalance cadence.
     pub fn with_rebalance_interval(mut self, d: Duration) -> GroupConfig {
         self.rebalance_interval = d;
+        self
+    }
+
+    /// Override the work-stealing check cadence.
+    pub fn with_steal_interval(mut self, d: Duration) -> GroupConfig {
+        self.steal_interval = d;
         self
     }
 }
@@ -141,6 +155,10 @@ pub struct ShardSnapshot {
     pub wakes: u64,
     pub migrations_out: u64,
     pub migrations_in: u64,
+    /// Steal requests this shard filed against stuck neighbours.
+    pub steals_requested: u64,
+    /// Steal requests this shard honored by handing a channel over.
+    pub steals_honored: u64,
     /// Fenced channels retired by this shard.
     pub retired: u64,
     /// The shard arena's hit/miss/recycle counters.
@@ -160,6 +178,8 @@ struct ShardCounters {
     wakes: AtomicU64,
     migrations_out: AtomicU64,
     migrations_in: AtomicU64,
+    steals_requested: AtomicU64,
+    steals_honored: AtomicU64,
     retired: AtomicU64,
 }
 
@@ -175,6 +195,14 @@ struct ShardShared {
     profiler: Profiler,
     /// Executed ops over the last completed rebalance interval.
     load: AtomicU64,
+    /// Issued-but-incomplete work (pending WRs + parsed backlog), published
+    /// every sweep — the signal work stealing keys on. A shard too wedged
+    /// to rebalance still publishes this from its sweep loop.
+    backlog: AtomicU64,
+    /// Thief shard index wanting a channel (`usize::MAX` = none). Set by a
+    /// light shard that watched this shard stay overloaded; honored at the
+    /// owner's next sweep.
+    steal_request: AtomicUsize,
     /// Channels currently owned (worker-published).
     channels: AtomicUsize,
     counters: ShardCounters,
@@ -206,10 +234,11 @@ struct ChannelSlot {
     interval_ops: u64,
 }
 
+/// Completion bookkeeping for one posted WR: one part per merged request
+/// (plain ops carry one), delivered in order when the wire completion
+/// arrives. `len == 0` marks a tagged-write acknowledgment.
 struct Pending {
-    tag: u64,
-    scratch_off: u64,
-    len: u32,
+    parts: Vec<(u64, u64, u32)>,
 }
 
 /// Scratch landing zone per channel: big enough for a full probe + meta +
@@ -246,8 +275,10 @@ impl ChannelSlot {
     }
 
     fn exec(&mut self, ops: Vec<FabricOp>) {
+        let chaining = self.core.config().coalescing();
+        let mut posts: Vec<(rdma::qp::QpNum, WorkRequest)> = Vec::with_capacity(ops.len());
         for op in ops {
-            let (qpn, wr_op, read_info) = match op {
+            let (qpn, wr_op, parts) = match op {
                 FabricOp::ReadCompute { offset, len, tag } => {
                     let off = self.alloc(len);
                     (
@@ -259,7 +290,7 @@ impl ChannelSlot {
                             remote_rkey: self.wiring.channel_rkey,
                             len,
                         },
-                        Some((tag, off, len)),
+                        vec![(tag, off, len)],
                     )
                 }
                 FabricOp::ReadPool {
@@ -278,7 +309,29 @@ impl ChannelSlot {
                             remote_rkey: rkey,
                             len,
                         },
-                        Some((tag, off, len)),
+                        vec![(tag, off, len)],
+                    )
+                }
+                FabricOp::ReadPoolSg { rkey, addr, parts } => {
+                    // One SG verb for the contiguous remote run; per-part
+                    // scratch segments let the single completion scatter
+                    // back into per-request payloads.
+                    let mut segments = Vec::with_capacity(parts.len());
+                    let mut bookkeeping = Vec::with_capacity(parts.len());
+                    for (len, tag) in parts {
+                        let off = self.alloc(len);
+                        segments.push((off, len));
+                        bookkeeping.push((tag, off, len));
+                    }
+                    (
+                        self.wiring.pool_qpn,
+                        WrOp::ReadSg {
+                            local_rkey: self.scratch_lkey,
+                            segments,
+                            remote_addr: addr,
+                            remote_rkey: rkey,
+                        },
+                        bookkeeping,
                     )
                 }
                 FabricOp::WriteCompute { offset, data, tag } => (
@@ -290,7 +343,11 @@ impl ChannelSlot {
                     },
                     // Tagged writes (red publishes) feed their delivery
                     // acknowledgment back; len 0 marks "no payload".
-                    (tag != 0).then_some((tag, 0, 0)),
+                    if tag != 0 {
+                        vec![(tag, 0, 0)]
+                    } else {
+                        Vec::new()
+                    },
                 ),
                 FabricOp::WritePool { rkey, addr, data } => (
                     self.wiring.pool_qpn,
@@ -299,25 +356,43 @@ impl ChannelSlot {
                         remote_rkey: rkey,
                         data,
                     },
-                    None,
+                    Vec::new(),
+                ),
+                FabricOp::WritePoolSg {
+                    rkey,
+                    addr,
+                    segments,
+                } => (
+                    self.wiring.pool_qpn,
+                    WrOp::WriteSg {
+                        remote_addr: addr,
+                        remote_rkey: rkey,
+                        segments,
+                    },
+                    Vec::new(),
                 ),
             };
             let wr_id = self.next_wr;
             self.next_wr += 1;
-            if let Some((tag, off, len)) = read_info {
-                self.pending.insert(
-                    wr_id,
-                    Pending {
-                        tag,
-                        scratch_off: off,
-                        len,
-                    },
-                );
+            if !parts.is_empty() {
+                self.pending.insert(wr_id, Pending { parts });
             }
-            self.wiring
-                .nic
-                .post(qpn, WorkRequest { wr_id, op: wr_op })
-                .expect("group post");
+            posts.push((qpn, WorkRequest { wr_id, op: wr_op }));
+        }
+        if chaining {
+            // One doorbell per run of same-QP WRs.
+            let mut iter = posts.into_iter().peekable();
+            while let Some((qpn, wr)) = iter.next() {
+                let mut chain = vec![wr];
+                while iter.peek().is_some_and(|(q, _)| *q == qpn) {
+                    chain.push(iter.next().unwrap().1);
+                }
+                self.wiring.nic.post_chain(qpn, chain).expect("group post");
+            }
+        } else {
+            for (qpn, wr) in posts {
+                self.wiring.nic.post(qpn, wr).expect("group post");
+            }
         }
     }
 
@@ -355,18 +430,20 @@ impl ChannelSlot {
             let Some(p) = self.pending.remove(&c.wr_id) else {
                 continue;
             };
-            let data = if p.len == 0 {
-                Vec::new()
-            } else {
-                self.scratch
-                    .read_vec(p.scratch_off, p.len as usize)
-                    .unwrap()
-            };
-            let ops = {
-                let _scope = shard.profiler.scope(Phase::Execute);
-                self.core.on_data(p.tag, &data)
-            };
-            self.exec(ops);
+            // An SG read completes all its parts at once; scatter them
+            // back through the core in merge order.
+            for (tag, off, len) in p.parts {
+                let data = if len == 0 {
+                    Vec::new()
+                } else {
+                    self.scratch.read_vec(off, len as usize).unwrap()
+                };
+                let ops = {
+                    let _scope = shard.profiler.scope(Phase::Execute);
+                    self.core.on_data(tag, &data)
+                };
+                self.exec(ops);
+            }
         }
         work
     }
@@ -400,6 +477,8 @@ impl EngineGroup {
                     ),
                     account,
                     load: AtomicU64::new(0),
+                    backlog: AtomicU64::new(0),
+                    steal_request: AtomicUsize::new(usize::MAX),
                     channels: AtomicUsize::new(0),
                     counters: ShardCounters::default(),
                 }
@@ -474,6 +553,8 @@ impl EngineGroup {
                 wakes: s.counters.wakes.load(Ordering::Relaxed),
                 migrations_out: s.counters.migrations_out.load(Ordering::Relaxed),
                 migrations_in: s.counters.migrations_in.load(Ordering::Relaxed),
+                steals_requested: s.counters.steals_requested.load(Ordering::Relaxed),
+                steals_honored: s.counters.steals_honored.load(Ordering::Relaxed),
                 retired: s.counters.retired.load(Ordering::Relaxed),
                 arena: s.arena.stats(),
                 probe_ns: s.account.phase_ns(Phase::Probe),
@@ -512,6 +593,16 @@ impl EngineGroup {
                 "cowbird.engine.shard.migrations_in",
                 labels,
                 snap.migrations_in as f64,
+            );
+            reg.gauge_set(
+                "cowbird.engine.shard.steals_requested",
+                labels,
+                snap.steals_requested as f64,
+            );
+            reg.gauge_set(
+                "cowbird.engine.shard.steals_honored",
+                labels,
+                snap.steals_honored as f64,
             );
             reg.gauge_set("cowbird.engine.shard.retired", labels, snap.retired as f64);
             reg.gauge_set(
@@ -577,6 +668,8 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
     let mut slots: Vec<ChannelSlot> = Vec::new();
     let mut idle_streak: u32 = 0;
     let mut next_rebalance = Instant::now() + cfg.rebalance_interval;
+    let mut next_steal = Instant::now() + cfg.steal_interval;
+    let mut overload_streaks: Vec<u32> = vec![0; shared.shards.len()];
 
     while !shared.stop.load(Ordering::Acquire) {
         // Adopt new/migrated channels; rebind them to this shard's arena.
@@ -592,6 +685,32 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
             }
         }
 
+        // Honor a steal request filed by a lighter shard: hand over the
+        // hottest non-fenced channel through its inbox — the same path
+        // (and the same exclusive-ownership safety) as a donation. Fenced
+        // slots never move; the sweep below retires them.
+        let thief = me.steal_request.swap(usize::MAX, Ordering::AcqRel);
+        if thief != usize::MAX && thief != shard_idx && slots.len() >= 2 {
+            let hottest = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.core.is_fenced())
+                .max_by_key(|(_, s)| {
+                    s.core.stats.reads_executed + s.core.stats.writes_executed - s.last_executed
+                });
+            if let Some((idx, _)) = hottest {
+                let mut slot = slots.swap_remove(idx);
+                slot.interval_ops = 0;
+                me.counters.steals_honored.fetch_add(1, Ordering::Relaxed);
+                me.counters.migrations_out.fetch_add(1, Ordering::Relaxed);
+                let to = &shared.shards[thief];
+                to.counters.migrations_in.fetch_add(1, Ordering::Relaxed);
+                to.inbox.lock().unwrap().push(slot);
+                me.channels.store(slots.len(), Ordering::Release);
+                shared.doorbell.ring();
+            }
+        }
+
         // Doorbell snapshot BEFORE sweeping: a post that lands mid-sweep
         // moves the counter past the snapshot and the park below returns
         // immediately instead of losing the wakeup.
@@ -599,6 +718,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
         let now = Instant::now();
         let mut work = false;
         let mut inflight = false;
+        let mut backlog = 0u64;
         let mut next_deadline: Option<Instant> = None;
         let mut i = 0;
         while i < slots.len() {
@@ -613,6 +733,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
                 continue;
             }
             inflight |= !slots[i].pending.is_empty();
+            backlog += slots[i].pending.len() as u64 + slots[i].core.backlog() as u64;
             next_deadline = Some(match next_deadline {
                 Some(d) => d.min(slots[i].next_probe_at),
                 None => slots[i].next_probe_at,
@@ -620,11 +741,18 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
             i += 1;
         }
         me.counters.sweeps.fetch_add(1, Ordering::Relaxed);
+        // Published every sweep (unlike `load`, which needs a rebalance
+        // tick): the staleness-proof signal work stealing keys on.
+        me.backlog.store(backlog, Ordering::Release);
 
         if now >= next_rebalance {
             rebalance(&shared, shard_idx, &mut slots);
             me.channels.store(slots.len(), Ordering::Release);
             next_rebalance = now + cfg.rebalance_interval;
+        }
+        if now >= next_steal {
+            steal_check(&shared, shard_idx, &mut overload_streaks, backlog);
+            next_steal = now + cfg.steal_interval;
         }
 
         if work {
@@ -677,6 +805,48 @@ fn retire(shared: &GroupShared, me: &ShardShared, slot: ChannelSlot) {
         channel_id: slot.core.config().channel_id,
         stats: slot.core.stats,
     });
+}
+
+/// Work-stealing fallback: a neighbour whose published backlog stays
+/// above the donation hysteresis bound (twice ours plus
+/// `rebalance_min_ops`) for two consecutive checks has evidently missed
+/// its own rebalance ticks — if this shard is the lightest, it files a
+/// steal request for the neighbour's hottest channel. The owner hands the
+/// slot over at its next sweep through the inbox, so exclusive ownership
+/// (and fenced-slot retirement) work exactly as they do for donations.
+fn steal_check(shared: &GroupShared, shard_idx: usize, streaks: &mut [u32], my_backlog: u64) {
+    if shared.shards.len() < 2 {
+        return;
+    }
+    let me = &shared.shards[shard_idx];
+    let lightest = shared
+        .shards
+        .iter()
+        .enumerate()
+        .min_by_key(|(i, s)| (s.backlog.load(Ordering::Acquire), *i))
+        .map(|(i, _)| i);
+    for (i, other) in shared.shards.iter().enumerate() {
+        if i == shard_idx {
+            continue;
+        }
+        if other.backlog.load(Ordering::Acquire) <= 2 * my_backlog + shared.cfg.rebalance_min_ops {
+            streaks[i] = 0;
+            continue;
+        }
+        streaks[i] += 1;
+        if streaks[i] >= 2 && lightest == Some(shard_idx) {
+            if other
+                .steal_request
+                .compare_exchange(usize::MAX, shard_idx, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                me.counters.steals_requested.fetch_add(1, Ordering::Relaxed);
+                // Nudge the owner (it may be parked between sweeps).
+                shared.doorbell.ring();
+            }
+            streaks[i] = 0;
+        }
+    }
 }
 
 /// Publish this shard's observed load and donate the hottest channel to
@@ -889,6 +1059,50 @@ mod tests {
         }
         assert!(migrated, "a hot channel must migrate to the empty shard");
         // Traffic still completes after the move.
+        for i in 0..2usize {
+            let h = bed.channels[i].async_read(1, 0, 8).unwrap();
+            assert!(bed.channels[i].wait(h.id, 200_000_000));
+        }
+        bed.group.stop();
+    }
+
+    #[test]
+    fn stuck_shard_has_its_hottest_channel_stolen() {
+        // Donation is effectively disabled (hour-long rebalance interval):
+        // the only way a channel can move is the work-stealing fallback,
+        // where the idle shard watches shard 0's backlog stay over the
+        // hysteresis bound and files a steal request.
+        let mut gcfg = GroupConfig::with_workers(2)
+            .with_rebalance_interval(Duration::from_secs(3600))
+            .with_steal_interval(Duration::from_millis(1));
+        gcfg.rebalance_min_ops = 2;
+        // Both channels forced onto shard 0; shard 1 starts empty.
+        let mut bed = deploy(2, gcfg, |_| Some(0));
+        bed.pool_mem.write(0, b"stolen!!").unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut stolen = false;
+        while Instant::now() < deadline {
+            let handles: Vec<_> = (0..2usize)
+                .flat_map(|i| {
+                    (0..16)
+                        .map(|_| (i, bed.channels[i].async_read(1, 0, 8).unwrap()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            for (i, h) in &handles {
+                assert!(bed.channels[*i].wait(h.id, 200_000_000));
+                assert_eq!(bed.channels[*i].take_response(h).unwrap(), b"stolen!!");
+            }
+            let snaps = bed.group.shard_snapshots();
+            if snaps[0].steals_honored > 0 {
+                assert!(snaps[1].steals_requested > 0, "the thief filed the request");
+                assert!(snaps[1].migrations_in > 0, "the slot moved to the thief");
+                stolen = true;
+                break;
+            }
+        }
+        assert!(stolen, "the idle shard must steal from the stuck one");
+        // Traffic still completes after the theft.
         for i in 0..2usize {
             let h = bed.channels[i].async_read(1, 0, 8).unwrap();
             assert!(bed.channels[i].wait(h.id, 200_000_000));

@@ -62,6 +62,10 @@ struct PendingRead {
     /// This read fetched the predecessor's red block for a standby
     /// takeover; its completion feeds `adopt_from_red`, not `on_data`.
     adopt: bool,
+    /// Scatter-gather read: `(tag, scratch_off, len)` per segment, delivered
+    /// to the core in order on completion. Empty for plain single reads
+    /// (which use the scalar fields above).
+    parts: Vec<(u64, u64, u32)>,
 }
 
 /// The offload engine as a simulation node (works for both variants; the
@@ -231,7 +235,88 @@ impl EngineNode {
                     let qpn = self.instances[instance].pool_qpn;
                     self.post_write(instance, qpn, rkey, addr, data, 0, ctx);
                 }
+                FabricOp::ReadPoolSg { rkey, addr, parts } => {
+                    let qpn = self.instances[instance].pool_qpn;
+                    self.post_read_sg(instance, qpn, rkey, addr, parts, ctx);
+                }
+                FabricOp::WritePoolSg {
+                    rkey,
+                    addr,
+                    segments,
+                } => {
+                    let qpn = self.instances[instance].pool_qpn;
+                    let wr_id = self.next_wr;
+                    self.next_wr += 1;
+                    let wr = WorkRequest {
+                        wr_id,
+                        op: WrOp::WriteSg {
+                            remote_addr: addr,
+                            remote_rkey: rkey,
+                            segments,
+                        },
+                    };
+                    match self.nic.post(qpn, wr, ctx.now()) {
+                        Ok(pkts) => {
+                            for (dst, roce) in pkts {
+                                ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                            }
+                        }
+                        Err(e) => panic!("engine post_write_sg failed: {e}"),
+                    }
+                }
             }
+        }
+    }
+
+    /// Post one scatter-gather read covering a contiguous remote run; each
+    /// `(len, tag)` part lands in its own scratch segment and is delivered
+    /// to the core in order when the single CQE arrives.
+    fn post_read_sg(
+        &mut self,
+        instance: usize,
+        qpn: QpNum,
+        rkey: Rkey,
+        addr: u64,
+        parts: Vec<(u32, u64)>,
+        ctx: &mut Ctx,
+    ) {
+        let mut segments = Vec::with_capacity(parts.len());
+        let mut pending_parts = Vec::with_capacity(parts.len());
+        for (len, tag) in parts {
+            let scratch_off = self.alloc_scratch(len);
+            segments.push((scratch_off, len));
+            pending_parts.push((tag, scratch_off, len));
+        }
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        self.pending.insert(
+            wr_id,
+            PendingRead {
+                instance,
+                tag: 0,
+                scratch_off: 0,
+                len: 0,
+                probe_like: false,
+                adopt: false,
+                parts: pending_parts,
+            },
+        );
+        let wr = WorkRequest {
+            wr_id,
+            op: WrOp::ReadSg {
+                local_rkey: self.scratch_lkey,
+                segments,
+                remote_addr: addr,
+                remote_rkey: rkey,
+            },
+        };
+        match self.nic.post(qpn, wr, ctx.now()) {
+            Ok(pkts) => {
+                for (dst, roce) in pkts {
+                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                }
+            }
+            Err(e) => panic!("engine post_read_sg failed: {e}"),
         }
     }
 
@@ -259,6 +344,7 @@ impl EngineNode {
                 len,
                 probe_like,
                 adopt: false,
+                parts: Vec::new(),
             },
         );
         let wr = WorkRequest {
@@ -336,6 +422,7 @@ impl EngineNode {
                 len,
                 probe_like: false,
                 adopt: true,
+                parts: Vec::new(),
             },
         );
         let inst = &self.instances[instance];
@@ -406,6 +493,21 @@ impl EngineNode {
                     } else {
                         // Treat like a loss: Go-Back-N restart.
                         self.instances[p.instance].core.reset_to_committed();
+                    }
+                    continue;
+                }
+                if !p.parts.is_empty() {
+                    // Scatter-gather completion: deliver every part in order
+                    // under one Execute scope (one CQE, one dispatch visit).
+                    let prof = self.instances[p.instance].core.profiler().clone();
+                    let _exec_scope = prof.scope(telemetry::Phase::Execute);
+                    for (tag, off, len) in &p.parts {
+                        let data = self
+                            .scratch
+                            .read_vec(*off, *len as usize)
+                            .expect("scratch read");
+                        let ops = self.instances[p.instance].core.on_data(*tag, &data);
+                        self.exec_ops(p.instance, ops, ctx);
                     }
                     continue;
                 }

@@ -199,10 +199,12 @@ impl Drop for SpotAgent {
     }
 }
 
+/// Completion bookkeeping for one posted WR. A plain op carries one part;
+/// a coalesced SG read carries one part per merged request, delivered to
+/// the core in order when the single wire completion arrives. `len == 0`
+/// marks a tagged-write acknowledgment (no payload to read back).
 struct Pending {
-    tag: u64,
-    scratch_off: u64,
-    len: u32,
+    parts: Vec<(u64, u64, u32)>,
 }
 
 fn agent_loop(
@@ -222,14 +224,17 @@ fn agent_loop(
     let mut pending: HashMap<u64, Pending> = HashMap::new();
     let mut next_wr: u64 = 1;
 
+    let chaining = core.config().coalescing();
+
     let exec = |core: &mut EngineCore,
                 ops: Vec<FabricOp>,
                 pending: &mut HashMap<u64, Pending>,
                 scratch_cursor: &mut u64,
                 next_wr: &mut u64| {
         let _ = core;
+        let mut posts: Vec<(QpNum, WorkRequest)> = Vec::with_capacity(ops.len());
         for op in ops {
-            let (qpn, wr_op, read_info) = match op {
+            let (qpn, wr_op, parts) = match op {
                 FabricOp::ReadCompute { offset, len, tag } => {
                     let off = alloc(scratch_cursor, scratch.len() as u64, len);
                     (
@@ -241,7 +246,7 @@ fn agent_loop(
                             remote_rkey: wiring.channel_rkey,
                             len,
                         },
-                        Some((tag, off, len)),
+                        vec![(tag, off, len)],
                     )
                 }
                 FabricOp::ReadPool {
@@ -260,7 +265,29 @@ fn agent_loop(
                             remote_rkey: rkey,
                             len,
                         },
-                        Some((tag, off, len)),
+                        vec![(tag, off, len)],
+                    )
+                }
+                FabricOp::ReadPoolSg { rkey, addr, parts } => {
+                    // One SG verb for the whole contiguous remote run; each
+                    // part lands in its own scratch segment so the single
+                    // completion scatters back into per-request payloads.
+                    let mut segments = Vec::with_capacity(parts.len());
+                    let mut bookkeeping = Vec::with_capacity(parts.len());
+                    for (len, tag) in parts {
+                        let off = alloc(scratch_cursor, scratch.len() as u64, len);
+                        segments.push((off, len));
+                        bookkeeping.push((tag, off, len));
+                    }
+                    (
+                        wiring.pool_qpn,
+                        WrOp::ReadSg {
+                            local_rkey: scratch_lkey,
+                            segments,
+                            remote_addr: addr,
+                            remote_rkey: rkey,
+                        },
+                        bookkeeping,
                     )
                 }
                 FabricOp::WriteCompute { offset, data, tag } => (
@@ -272,7 +299,11 @@ fn agent_loop(
                     },
                     // Tagged writes (red publishes) want their delivery
                     // acknowledgment fed back; len 0 marks "no payload".
-                    (tag != 0).then_some((tag, 0, 0)),
+                    if tag != 0 {
+                        vec![(tag, 0, 0)]
+                    } else {
+                        Vec::new()
+                    },
                 ),
                 FabricOp::WritePool { rkey, addr, data } => (
                     wiring.pool_qpn,
@@ -281,25 +312,44 @@ fn agent_loop(
                         remote_rkey: rkey,
                         data,
                     },
-                    None,
+                    Vec::new(),
+                ),
+                FabricOp::WritePoolSg {
+                    rkey,
+                    addr,
+                    segments,
+                } => (
+                    wiring.pool_qpn,
+                    WrOp::WriteSg {
+                        remote_addr: addr,
+                        remote_rkey: rkey,
+                        segments,
+                    },
+                    Vec::new(),
                 ),
             };
             let wr_id = *next_wr;
             *next_wr += 1;
-            if let Some((tag, off, len)) = read_info {
-                pending.insert(
-                    wr_id,
-                    Pending {
-                        tag,
-                        scratch_off: off,
-                        len,
-                    },
-                );
+            if !parts.is_empty() {
+                pending.insert(wr_id, Pending { parts });
             }
-            wiring
-                .nic
-                .post(qpn, WorkRequest { wr_id, op: wr_op })
-                .expect("agent post");
+            posts.push((qpn, WorkRequest { wr_id, op: wr_op }));
+        }
+        if chaining {
+            // One doorbell per run of same-QP WRs: consecutive posts to the
+            // same destination go out as a single linked chain.
+            let mut iter = posts.into_iter().peekable();
+            while let Some((qpn, wr)) = iter.next() {
+                let mut chain = vec![wr];
+                while iter.peek().is_some_and(|(q, _)| *q == qpn) {
+                    chain.push(iter.next().unwrap().1);
+                }
+                wiring.nic.post_chain(qpn, chain).expect("agent post");
+            }
+        } else {
+            for (qpn, wr) in posts {
+                wiring.nic.post(qpn, wr).expect("agent post");
+            }
         }
     };
 
@@ -419,24 +469,28 @@ fn agent_loop(
                 let Some(p) = pending.remove(&c.wr_id) else {
                     continue;
                 };
-                let data = if p.len == 0 {
-                    // A tagged write completed: the acknowledgment carries
-                    // no payload.
-                    Vec::new()
-                } else {
-                    scratch.read_vec(p.scratch_off, p.len as usize).unwrap()
-                };
                 // Attribution: dispatching fetched data through the state
                 // machine (and issuing the follow-up verbs) is Execute.
                 let _exec_scope = prof.scope(Phase::Execute);
-                let ops = core.on_data(p.tag, &data);
-                exec(
-                    &mut core,
-                    ops,
-                    &mut pending,
-                    &mut scratch_cursor,
-                    &mut next_wr,
-                );
+                // An SG read completes all its parts at once; scatter them
+                // back through the core in merge order.
+                for (tag, off, len) in p.parts {
+                    let data = if len == 0 {
+                        // A tagged write completed: the acknowledgment
+                        // carries no payload.
+                        Vec::new()
+                    } else {
+                        scratch.read_vec(off, len as usize).unwrap()
+                    };
+                    let ops = core.on_data(tag, &data);
+                    exec(
+                        &mut core,
+                        ops,
+                        &mut pending,
+                        &mut scratch_cursor,
+                        &mut next_wr,
+                    );
+                }
             }
         }
 

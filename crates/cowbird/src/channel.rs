@@ -91,6 +91,12 @@ pub struct ChannelStats {
     pub engine_takeovers: u64,
     /// Times the client raised the fence word ([`Channel::fence_engine`]).
     pub fences: u64,
+    /// Refreshes that observed a progress counter advance. With a moderated
+    /// engine each red-block write covers a burst, so one refresh consumes
+    /// a whole run of back-to-back completions.
+    pub completion_runs: u64,
+    /// Longest single progress jump (per counter) one refresh delivered.
+    pub max_run_len: u64,
 }
 
 impl ChannelStats {
@@ -111,6 +117,16 @@ impl ChannelStats {
             self.engine_takeovers,
         );
         reg.counter_add("cowbird.client.fences", labels, self.fences);
+        reg.counter_add(
+            "cowbird.client.completion_runs",
+            labels,
+            self.completion_runs,
+        );
+        reg.gauge_set(
+            "cowbird.client.max_run_len",
+            labels,
+            self.max_run_len as f64,
+        );
     }
 }
 
@@ -541,12 +557,25 @@ impl Channel {
         self.cached_meta_head = self
             .cached_meta_head
             .max(self.region.load_u64(RED_META_HEAD, Ordering::Acquire));
+        let prev_write = self.cached_write_progress;
+        let prev_read = self.cached_read_progress;
         self.cached_write_progress = self
             .cached_write_progress
             .max(self.region.load_u64(RED_WRITE_PROGRESS, Ordering::Acquire));
         self.cached_read_progress = self
             .cached_read_progress
             .max(self.region.load_u64(RED_READ_PROGRESS, Ordering::Acquire));
+        // Run-length accounting: each counter advance in one refresh is a
+        // run of back-to-back completions delivered by one red-block write.
+        for delta in [
+            self.cached_write_progress - prev_write,
+            self.cached_read_progress - prev_read,
+        ] {
+            if delta > 0 {
+                self.stats.completion_runs += 1;
+                self.stats.max_run_len = self.stats.max_run_len.max(delta);
+            }
+        }
         // Free write payload space for completed writes.
         while let Some(front) = self.pending_writes.front() {
             if front.seq <= self.cached_write_progress {
@@ -985,6 +1014,24 @@ mod tests {
             ch.region().load_u64(GREEN_CLIENT_EPOCH, Ordering::Acquire),
             2
         );
+    }
+
+    #[test]
+    fn refresh_counts_completion_runs() {
+        let mut ch = Channel::new(0, ChannelLayout::default_sizes(), regions_1mb());
+        let mut eng = MiniEngine::new();
+        for _ in 0..4 {
+            ch.async_read(1, 0, 8).unwrap();
+        }
+        // The engine completes all four before the client polls once: the
+        // single refresh observes one run of length 4.
+        eng.run(ch.region(), &ch.layout());
+        ch.refresh();
+        assert_eq!(ch.stats.completion_runs, 1);
+        assert_eq!(ch.stats.max_run_len, 4);
+        // A refresh with no progress is not a run.
+        ch.refresh();
+        assert_eq!(ch.stats.completion_runs, 1);
     }
 
     #[test]

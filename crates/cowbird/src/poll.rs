@@ -28,6 +28,37 @@ use crate::channel::Channel;
 use crate::error::WaitError;
 use crate::reqid::{OpType, ReqId};
 
+/// A run of consecutively-numbered completions of one type, reported as a
+/// single unit: `first`, `first+1`, …, `first + count - 1` all completed.
+///
+/// Runs are what a moderated engine produces: one red-block write covers a
+/// whole burst of back-to-back completions, so the client can consume them
+/// with one progress comparison instead of one per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompletionRun {
+    /// First completed request of the run.
+    pub first: ReqId,
+    /// Number of consecutive seqs covered (≥ 1).
+    pub count: u64,
+}
+
+impl CompletionRun {
+    /// The last request id covered by the run.
+    pub fn last(&self) -> ReqId {
+        ReqId::new(
+            self.first.op(),
+            self.first.channel(),
+            self.first.seq() + self.count - 1,
+        )
+    }
+
+    /// Iterate every request id in the run, in seq order.
+    pub fn ids(&self) -> impl Iterator<Item = ReqId> + '_ {
+        let (op, ch, base) = (self.first.op(), self.first.channel(), self.first.seq());
+        (0..self.count).map(move |i| ReqId::new(op, ch, base + i))
+    }
+}
+
 /// A notification group for Cowbird requests on one channel.
 #[derive(Debug, Default)]
 pub struct PollGroup {
@@ -90,6 +121,66 @@ impl PollGroup {
             self.collect(ch, max_ret, &mut out);
         }
         out
+    }
+
+    /// Non-blocking run-length poll: like [`PollGroup::poll_try`], but
+    /// consecutive completions of one type collapse into a single
+    /// [`CompletionRun`]. `max_ids` bounds the total seqs consumed (not the
+    /// number of runs). With a coalescing engine the common case is one run
+    /// per type per poll — O(1) bookkeeping for a whole completion burst.
+    pub fn poll_runs(&mut self, ch: &mut Channel, max_ids: usize) -> Vec<CompletionRun> {
+        let mut out = Vec::new();
+        self.collect_runs(ch, max_ids, &mut out);
+        if out.is_empty() && self.pending() > 0 {
+            ch.refresh();
+            self.collect_runs(ch, max_ids, &mut out);
+        }
+        out
+    }
+
+    fn collect_runs(&mut self, ch: &Channel, max_ids: usize, out: &mut Vec<CompletionRun>) {
+        let _scope = ch.profiler().scope(telemetry::Phase::Complete);
+        let rec = ch.recorder();
+        let mut budget = max_ids;
+        let rp = ch.progress(OpType::Read);
+        let wp = ch.progress(OpType::Write);
+        for (q, progress) in [(&mut self.reads, rp), (&mut self.writes, wp)] {
+            let mut run: Option<CompletionRun> = None;
+            while budget > 0 {
+                match q.front() {
+                    Some(id) if id.completed_by(progress) => {
+                        let id = q.pop_front().unwrap();
+                        budget -= 1;
+                        match &mut run {
+                            // Consecutive seq: extend the current run.
+                            Some(r) if id.seq() == r.first.seq() + r.count => r.count += 1,
+                            _ => {
+                                if let Some(r) = run.take() {
+                                    out.push(r);
+                                }
+                                run = Some(CompletionRun {
+                                    first: id,
+                                    count: 1,
+                                });
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            if let Some(r) = run {
+                out.push(r);
+            }
+        }
+        for r in out.iter() {
+            rec.record(
+                telemetry::Component::Client,
+                telemetry::EventKind::RequestCompleted,
+                r.first.raw(),
+                r.last().seq(),
+                r.count,
+            );
+        }
     }
 
     fn collect(&mut self, ch: &Channel, max_ret: usize, out: &mut Vec<ReqId>) {
@@ -288,6 +379,78 @@ mod tests {
         complete(&ch, 1, 0);
         assert_eq!(g.poll_wait(&mut ch, 1, 10), vec![h.id]);
         assert_eq!(h.id.op(), OpType::Read);
+    }
+
+    #[test]
+    fn runs_collapse_consecutive_completions() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let reads: Vec<_> = (0..5).map(|_| ch.async_read(1, 0, 8).unwrap()).collect();
+        let writes: Vec<_> = (0..2)
+            .map(|_| ch.async_write(1, 0, &[0; 8]).unwrap())
+            .collect();
+        for h in &reads {
+            g.add(h.id);
+        }
+        for w in &writes {
+            g.add(*w);
+        }
+        assert!(g.poll_runs(&mut ch, 16).is_empty());
+        complete(&ch, 3, 2);
+        let runs = g.poll_runs(&mut ch, 16);
+        assert_eq!(
+            runs,
+            vec![
+                CompletionRun {
+                    first: reads[0].id,
+                    count: 3
+                },
+                CompletionRun {
+                    first: writes[0],
+                    count: 2
+                },
+            ]
+        );
+        assert_eq!(runs[0].last(), reads[2].id);
+        assert_eq!(runs[0].ids().collect::<Vec<_>>().len(), 3);
+        assert_eq!(g.pending(), 2);
+    }
+
+    #[test]
+    fn runs_split_at_seq_gaps_and_respect_budget() {
+        let mut ch = channel();
+        let mut g = PollGroup::new();
+        let reads: Vec<_> = (0..4).map(|_| ch.async_read(1, 0, 8).unwrap()).collect();
+        for h in &reads {
+            g.add(h.id);
+        }
+        // Remove seq 2: completions 1 and 3..4 are no longer consecutive.
+        assert!(g.remove(reads[1].id));
+        complete(&ch, 4, 0);
+        // Budget of 2 ids stops the second run after one element.
+        let runs = g.poll_runs(&mut ch, 2);
+        assert_eq!(
+            runs,
+            vec![
+                CompletionRun {
+                    first: reads[0].id,
+                    count: 1
+                },
+                CompletionRun {
+                    first: reads[2].id,
+                    count: 1
+                },
+            ]
+        );
+        let runs = g.poll_runs(&mut ch, 16);
+        assert_eq!(
+            runs,
+            vec![CompletionRun {
+                first: reads[3].id,
+                count: 1
+            }]
+        );
+        assert_eq!(g.pending(), 0);
     }
 
     #[test]

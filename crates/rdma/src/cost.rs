@@ -33,6 +33,12 @@ pub struct CostModel {
     pub poll_lock_ns: u64,
     /// RDMA poll: reading and validating the completion-queue entry.
     pub poll_cqe_ns: u64,
+    /// RDMA post: each scatter-gather element *beyond the first* in a WQE
+    /// (the first SGE's cost is part of `post_wqe_ns`). Building an extra
+    /// SGE is a couple of cache-resident descriptor writes — far cheaper
+    /// than a WQE, which in turn is far cheaper than the lock + doorbell
+    /// pair a chain amortizes.
+    pub post_sge_ns: u64,
     /// Cowbird post: a handful of local-memory writes (ring append).
     pub cowbird_post_ns: u64,
     /// Cowbird poll: reading the progress counters and comparing req-ids.
@@ -51,6 +57,7 @@ impl CostModel {
             post_wqe_ns: 100,
             poll_lock_ns: 90,
             poll_cqe_ns: 160,
+            post_sge_ns: 30,
             cowbird_post_ns: 20,
             cowbird_poll_ns: 15,
             local_access_ns: 60,
@@ -70,6 +77,42 @@ impl CostModel {
     /// Total compute-side CPU time of one asynchronous RDMA operation.
     pub fn rdma_total(&self) -> Duration {
         self.rdma_post() + self.rdma_poll()
+    }
+
+    // --- chained-verb decomposition ---------------------------------------
+    //
+    // A WR chain posts a linked list of WQEs with a single lock acquisition
+    // and a single doorbell ring, so the Figure-2 post cost splits into a
+    // per-doorbell part (lock + MMIO ring, paid once per chain), a per-WR
+    // part (the WQE build, paid per work request), and a per-SGE part (extra
+    // descriptor entries beyond each WQE's first). A chain of one plain WR
+    // reduces exactly to `rdma_post`, which keeps the Figure-2 calibration
+    // intact.
+
+    /// Post cost paid once per doorbell ring: QP lock + MMIO doorbell.
+    pub fn rdma_doorbell(&self) -> Duration {
+        Duration::from_nanos(self.post_lock_ns + self.post_doorbell_ns)
+    }
+
+    /// CPU time of posting a chain of `n_wrs` work requests carrying
+    /// `n_sges` scatter-gather elements in total (so `n_sges - n_wrs` extra
+    /// SGEs) under one doorbell. With `n_wrs = n_sges = 1` this equals
+    /// [`Self::rdma_post`].
+    pub fn rdma_post_chain(&self, n_wrs: u64, n_sges: u64) -> Duration {
+        let extra_sges = n_sges.saturating_sub(n_wrs);
+        Duration::from_nanos(
+            self.post_lock_ns
+                + self.post_doorbell_ns
+                + n_wrs * self.post_wqe_ns
+                + extra_sges * self.post_sge_ns,
+        )
+    }
+
+    /// CPU time of one moderated poll call draining `n_cqes` completions:
+    /// the CQ lock is taken once, each CQE is still read and validated.
+    /// With `n_cqes = 1` this equals [`Self::rdma_poll`].
+    pub fn rdma_poll_chain(&self, n_cqes: u64) -> Duration {
+        Duration::from_nanos(self.poll_lock_ns + n_cqes * self.poll_cqe_ns)
     }
 
     /// CPU time of a Cowbird request issue (paper §4.3: two atomic
@@ -115,6 +158,21 @@ impl CostModel {
         prof.charge(Phase::PollLock, self.poll_lock_ns);
         prof.charge(Phase::PollCqe, self.poll_cqe_ns);
         self.rdma_poll()
+    }
+
+    /// [`Self::rdma_post_chain`], attributing the single lock + doorbell and
+    /// the per-WR WQE builds into `prof`. Extra-SGE descriptor writes are
+    /// charged under `PostWqe` as well — they are part of building the WQE,
+    /// not a separate Figure-2 subtask.
+    pub fn charge_rdma_post_chain(&self, prof: &Profiler, n_wrs: u64, n_sges: u64) -> Duration {
+        prof.charge(Phase::PostLock, self.post_lock_ns);
+        prof.charge(Phase::PostDoorbell, self.post_doorbell_ns);
+        let extra_sges = n_sges.saturating_sub(n_wrs);
+        prof.charge(
+            Phase::PostWqe,
+            n_wrs * self.post_wqe_ns + extra_sges * self.post_sge_ns,
+        );
+        self.rdma_post_chain(n_wrs, n_sges)
     }
 
     /// [`Self::cowbird_post`], attributed into `prof`.
@@ -195,5 +253,62 @@ mod tests {
             m.post_lock_ns + m.post_doorbell_ns + m.post_wqe_ns + m.poll_lock_ns + m.poll_cqe_ns
         );
         assert_eq!(m.local_work(3).nanos(), 3 * m.local_access_ns);
+    }
+
+    #[test]
+    fn chain_of_one_reduces_to_figure_2() {
+        // The calibration anchor: the decomposed chain model must charge a
+        // single plain verb exactly what Figure 2 charges it.
+        let m = CostModel::paper_defaults();
+        assert_eq!(m.rdma_post_chain(1, 1), m.rdma_post());
+        assert_eq!(m.rdma_poll_chain(1), m.rdma_poll());
+        assert_eq!(
+            m.rdma_doorbell().nanos(),
+            m.post_lock_ns + m.post_doorbell_ns
+        );
+    }
+
+    #[test]
+    fn chain_amortizes_doorbell_and_sges_amortize_wqes() {
+        let m = CostModel::paper_defaults();
+        // 8 WRs, one SGE each, one doorbell.
+        let chain = m.rdma_post_chain(8, 8).nanos();
+        assert_eq!(
+            chain,
+            m.post_lock_ns + m.post_doorbell_ns + 8 * m.post_wqe_ns
+        );
+        assert!(chain < 8 * m.rdma_post().nanos());
+        // Folding the same 8 transfers into one WR of 8 SGEs is cheaper
+        // still: SGEs cost less than WQEs.
+        let sg = m.rdma_post_chain(1, 8).nanos();
+        assert!(sg < chain);
+        assert_eq!(
+            sg,
+            m.post_lock_ns + m.post_doorbell_ns + m.post_wqe_ns + 7 * m.post_sge_ns
+        );
+        // Moderated poll: one lock, 8 CQEs.
+        assert_eq!(
+            m.rdma_poll_chain(8).nanos(),
+            m.poll_lock_ns + 8 * m.poll_cqe_ns
+        );
+    }
+
+    #[test]
+    fn chain_charges_attribute_into_existing_phases() {
+        use std::sync::Arc;
+        use telemetry::{Component, CostAccount};
+
+        let m = CostModel::paper_defaults();
+        let acct = Arc::new(CostAccount::new());
+        let prof = Profiler::attached(Arc::clone(&acct), 0, Component::Engine, false);
+        let d = m.charge_rdma_post_chain(&prof, 4, 10);
+        assert_eq!(d, m.rdma_post_chain(4, 10));
+        assert_eq!(acct.phase_ns(Phase::PostLock), m.post_lock_ns);
+        assert_eq!(acct.phase_ns(Phase::PostDoorbell), m.post_doorbell_ns);
+        assert_eq!(
+            acct.phase_ns(Phase::PostWqe),
+            4 * m.post_wqe_ns + 6 * m.post_sge_ns
+        );
+        assert_eq!(acct.total_ns(), d.nanos());
     }
 }

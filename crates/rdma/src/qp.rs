@@ -327,6 +327,39 @@ impl Qp {
                 let pkts = self.segment_write(first_psn, *remote_addr, *remote_rkey, data);
                 Ok((WrKind::Write, pkts.len() as u32, pkts))
             }
+            WrOp::ReadSg {
+                segments,
+                remote_addr,
+                remote_rkey,
+                ..
+            } => {
+                // One wire READ for the whole contiguous remote range; the
+                // scatter happens on the requester as responses land.
+                let total: u32 = segments.iter().map(|(_, l)| *l).sum();
+                let npsn = self.segments(total);
+                let pkt = RocePacket::read_request(
+                    self.cfg.peer_qpn,
+                    first_psn,
+                    *remote_addr,
+                    *remote_rkey,
+                    total,
+                );
+                Ok((WrKind::Read, npsn, vec![pkt]))
+            }
+            WrOp::WriteSg {
+                remote_addr,
+                remote_rkey,
+                segments,
+            } => {
+                // Gather the segments into one contiguous wire transfer.
+                let total: usize = segments.iter().map(|s| s.len()).sum();
+                let mut data = Vec::with_capacity(total);
+                for s in segments {
+                    data.extend_from_slice(s);
+                }
+                let pkts = self.segment_write(first_psn, *remote_addr, *remote_rkey, &data);
+                Ok((WrKind::Write, pkts.len() as u32, pkts))
+            }
             WrOp::Send { payload } => {
                 let pkts = self.segment_send(first_psn, payload);
                 Ok((WrKind::Send, pkts.len() as u32, pkts))
@@ -459,21 +492,12 @@ impl Qp {
             self.counters.dropped_out_of_order += 1;
             return;
         }
-        let WrOp::Read {
-            local_rkey,
-            local_addr,
-            len,
-            ..
-        } = w.op
-        else {
+        let Some(len) = w.op.read_total_len() else {
             return;
         };
         let offset = w.read_received as u64;
         let take = pkt.payload.len().min((len - w.read_received) as usize);
-        if cat
-            .remote_write(local_rkey, local_addr + offset, &pkt.payload[..take])
-            .is_err()
-        {
+        if scatter_read_payload(cat, &w.op, offset, &pkt.payload[..take]).is_err() {
             out.completions.push(Completion::err(
                 w.wr_id,
                 WrKind::Read,
@@ -704,6 +728,47 @@ impl Qp {
             }
             _ => {}
         }
+    }
+}
+
+/// Land `payload` (a slice of a read response starting `offset` bytes into
+/// the operation's total transfer) into the op's local destination: one
+/// contiguous range for a plain read, walked across the SGE list for a
+/// scatter read.
+fn scatter_read_payload(
+    cat: &RegionCatalog,
+    op: &WrOp,
+    mut offset: u64,
+    mut payload: &[u8],
+) -> Result<(), MemError> {
+    match op {
+        WrOp::Read {
+            local_rkey,
+            local_addr,
+            ..
+        } => cat.remote_write(*local_rkey, local_addr + offset, payload),
+        WrOp::ReadSg {
+            local_rkey,
+            segments,
+            ..
+        } => {
+            for (addr, len) in segments {
+                if payload.is_empty() {
+                    break;
+                }
+                let len = *len as u64;
+                if offset >= len {
+                    offset -= len;
+                    continue;
+                }
+                let take = payload.len().min((len - offset) as usize);
+                cat.remote_write(*local_rkey, addr + offset, &payload[..take])?;
+                payload = &payload[take..];
+                offset = 0;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
     }
 }
 
@@ -1129,5 +1194,141 @@ mod tests {
         let pkts = a.segment_write(0, 0, 1, &[]);
         assert_eq!(pkts.len(), 1);
         assert_eq!(pkts[0].bth.opcode, Opcode::WriteOnly);
+    }
+
+    #[test]
+    fn scatter_read_lands_across_segments_and_mtu_boundaries() {
+        // MTU 256, total 600 bytes scattered into local segments of 100,
+        // 350 and 150 bytes: every response packet straddles at least one
+        // segment boundary.
+        let (mut a, mut a_cat, mut b, mut b_cat) = pair(256);
+        let local = Region::new(4096);
+        let remote = Region::new(4096);
+        let data: Vec<u8> = (0..600u32).map(|i| (i % 241) as u8).collect();
+        remote.write(1000, &data).unwrap();
+        let lkey = a_cat.register(local.clone());
+        let rkey = b_cat.register(remote);
+
+        let pkts = a
+            .post(
+                WorkRequest {
+                    wr_id: 11,
+                    op: WrOp::ReadSg {
+                        local_rkey: lkey,
+                        segments: vec![(0, 100), (2000, 350), (512, 150)],
+                        remote_addr: 1000,
+                        remote_rkey: rkey,
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        // Single wire READ consuming ceil(600/256) = 3 PSNs.
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(a.next_psn(), 3);
+
+        let (completions, _) = exchange(pkts, &mut b, &b_cat, &mut a, &a_cat);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].wr_id, 11);
+        assert!(completions[0].is_ok());
+        assert_eq!(local.read_vec(0, 100).unwrap(), data[..100]);
+        assert_eq!(local.read_vec(2000, 350).unwrap(), data[100..450]);
+        assert_eq!(local.read_vec(512, 150).unwrap(), data[450..600]);
+        assert_eq!(a.outstanding(), 0);
+    }
+
+    #[test]
+    fn gather_write_concatenates_segments_remotely() {
+        let (mut a, a_cat, mut b, mut b_cat) = pair(128);
+        let remote = Region::new(4096);
+        let rkey = b_cat.register(remote.clone());
+        let seg1: Vec<u8> = vec![0xAA; 100];
+        let seg2: Vec<u8> = vec![0xBB; 200];
+        let seg3: Vec<u8> = vec![0xCC; 50];
+
+        let pkts = a
+            .post(
+                WorkRequest {
+                    wr_id: 21,
+                    op: WrOp::WriteSg {
+                        remote_addr: 300,
+                        remote_rkey: rkey,
+                        segments: vec![
+                            seg1.clone().into(),
+                            seg2.clone().into(),
+                            seg3.clone().into(),
+                        ],
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        // 350 bytes at MTU 128 => 3 wire segments regardless of SGE count.
+        assert_eq!(pkts.len(), 3);
+
+        let (completions, _) = exchange(pkts, &mut b, &b_cat, &mut a, &a_cat);
+        assert_eq!(completions.len(), 1);
+        assert!(completions[0].is_ok());
+        assert_eq!(remote.read_vec(300, 100).unwrap(), seg1);
+        assert_eq!(remote.read_vec(400, 200).unwrap(), seg2);
+        assert_eq!(remote.read_vec(600, 50).unwrap(), seg3);
+    }
+
+    #[test]
+    fn go_back_n_replays_sg_chain_exactly() {
+        // Post a chain of [WriteSg, ReadSg]; lose everything; the timeout
+        // replay must regenerate identical packets and both WQEs must
+        // complete exactly once.
+        let (mut a, mut a_cat, mut b, mut b_cat) = pair(1024);
+        let local = Region::new(1024);
+        let remote = Region::new(1024);
+        remote.write(0, &[9u8; 64]).unwrap();
+        let lkey = a_cat.register(local.clone());
+        let rkey = b_cat.register(remote.clone());
+
+        let lost_w = a
+            .post(
+                WorkRequest {
+                    wr_id: 1,
+                    op: WrOp::WriteSg {
+                        remote_addr: 512,
+                        remote_rkey: rkey,
+                        segments: vec![vec![1u8; 16].into(), vec![2u8; 16].into()],
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        let lost_r = a
+            .post(
+                WorkRequest {
+                    wr_id: 2,
+                    op: WrOp::ReadSg {
+                        local_rkey: lkey,
+                        segments: vec![(0, 32), (100, 32)],
+                        remote_addr: 0,
+                        remote_rkey: rkey,
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        drop((lost_w, lost_r));
+
+        let replay = a.tick(Instant(200_000), &a_cat);
+        assert_eq!(replay.len(), 2, "one write packet + one read request");
+        let (completions, _) = exchange(replay, &mut b, &b_cat, &mut a, &a_cat);
+        let mut ids: Vec<u64> = completions.iter().map(|c| c.wr_id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(remote.read_vec(512, 16).unwrap(), vec![1u8; 16]);
+        assert_eq!(remote.read_vec(528, 16).unwrap(), vec![2u8; 16]);
+        assert_eq!(local.read_vec(0, 32).unwrap(), vec![9u8; 32]);
+        assert_eq!(local.read_vec(100, 32).unwrap(), vec![9u8; 32]);
+        assert_eq!(a.outstanding(), 0);
     }
 }

@@ -194,6 +194,33 @@ impl SimNic {
         Ok(pkts.into_iter().map(|p| (peer, p)).collect())
     }
 
+    /// Host post of a WR *chain*: every work request is packetized under a
+    /// single `PostWqe` scope — the chained analogue of one lock acquisition
+    /// and one doorbell ring covering the whole linked list. WQEs are
+    /// enqueued in order on the same QP, so completion order matches chain
+    /// order exactly as on hardware.
+    ///
+    /// Fails atomically-per-WR: if WR `i` is rejected (queue full, bad
+    /// lkey), WRs `0..i` are already posted — mirroring `ibv_post_send`'s
+    /// `bad_wr` semantics. Our drivers treat any error as fatal for the
+    /// engine instance, so partial posting never leaks.
+    pub fn post_chain(
+        &mut self,
+        qpn: QpNum,
+        wrs: Vec<WorkRequest>,
+        now: Instant,
+    ) -> Result<Vec<(NodeId, RocePacket)>, QpError> {
+        let _scope = self.prof.scope(Phase::PostWqe);
+        let peer = *self.peer_node.get(&qpn).expect("unknown qpn");
+        let qp = self.qps.get_mut(&qpn).expect("unknown qpn");
+        let mut out = Vec::new();
+        for wr in wrs {
+            let pkts = qp.post(wr, &self.catalog, now)?;
+            out.extend(pkts.into_iter().map(|p| (peer, p)));
+        }
+        Ok(out)
+    }
+
     /// Host poll (charges one poll call in the CQ accounting).
     pub fn poll(&mut self, max: usize) -> Vec<Completion> {
         let _scope = self.prof.scope(Phase::PollCqe);

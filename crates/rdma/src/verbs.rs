@@ -48,6 +48,28 @@ pub enum WrOp {
         remote_rkey: Rkey,
         data: PoolBuf,
     },
+    /// Scatter read: one contiguous remote range `[remote_addr, +Σlen)` of
+    /// `remote_rkey` scattered across several local `(addr, len)` segments of
+    /// `local_rkey`, in order. On the wire this is still a single READ
+    /// request (one PSN span); only the landing addresses differ, which is
+    /// exactly what scatter-gather elements buy on a real RNIC: one WQE, one
+    /// doorbell share, several placements.
+    ReadSg {
+        local_rkey: Rkey,
+        /// Local landing segments as `(local_addr, len)`, scattered in order.
+        segments: Vec<(u64, u32)>,
+        remote_addr: u64,
+        remote_rkey: Rkey,
+    },
+    /// Gather write: several local payload buffers written back-to-back to
+    /// the contiguous remote range starting at `remote_addr`. Each segment
+    /// keeps its own [`PoolBuf`] so arena recycling still happens per
+    /// borrowed buffer when the WQE retires.
+    WriteSg {
+        remote_addr: u64,
+        remote_rkey: Rkey,
+        segments: Vec<PoolBuf>,
+    },
     /// Two-sided send (delivered to the peer's receive path).
     Send { payload: Vec<u8> },
 }
@@ -55,9 +77,30 @@ pub enum WrOp {
 impl WrOp {
     pub fn kind(&self) -> WrKind {
         match self {
-            WrOp::Read { .. } => WrKind::Read,
-            WrOp::Write { .. } | WrOp::WriteInline { .. } => WrKind::Write,
+            WrOp::Read { .. } | WrOp::ReadSg { .. } => WrKind::Read,
+            WrOp::Write { .. } | WrOp::WriteInline { .. } | WrOp::WriteSg { .. } => WrKind::Write,
             WrOp::Send { .. } => WrKind::Send,
+        }
+    }
+
+    /// Number of scatter-gather elements this operation occupies in its WQE.
+    /// Plain operations carry one SGE; SG variants carry one per segment
+    /// (never reported as zero — an empty list still builds a WQE).
+    pub fn num_sges(&self) -> usize {
+        match self {
+            WrOp::ReadSg { segments, .. } => segments.len().max(1),
+            WrOp::WriteSg { segments, .. } => segments.len().max(1),
+            _ => 1,
+        }
+    }
+
+    /// Total payload bytes a read-class operation will deposit locally, if
+    /// this is a read.
+    pub fn read_total_len(&self) -> Option<u32> {
+        match self {
+            WrOp::Read { len, .. } => Some(*len),
+            WrOp::ReadSg { segments, .. } => Some(segments.iter().map(|(_, l)| *l).sum()),
+            _ => None,
         }
     }
 }
@@ -186,5 +229,40 @@ mod tests {
         };
         assert_eq!(wi.kind(), WrKind::Write);
         assert_eq!(WrOp::Send { payload: vec![] }.kind(), WrKind::Send);
+    }
+
+    #[test]
+    fn sg_ops_report_kind_sges_and_total_len() {
+        let rsg = WrOp::ReadSg {
+            local_rkey: 1,
+            segments: vec![(0, 16), (64, 48)],
+            remote_addr: 1024,
+            remote_rkey: 2,
+        };
+        assert_eq!(rsg.kind(), WrKind::Read);
+        assert_eq!(rsg.num_sges(), 2);
+        assert_eq!(rsg.read_total_len(), Some(64));
+
+        let wsg = WrOp::WriteSg {
+            remote_addr: 0,
+            remote_rkey: 2,
+            segments: vec![
+                vec![1u8; 8].into(),
+                vec![2u8; 8].into(),
+                vec![3u8; 8].into(),
+            ],
+        };
+        assert_eq!(wsg.kind(), WrKind::Write);
+        assert_eq!(wsg.num_sges(), 3);
+        assert_eq!(wsg.read_total_len(), None);
+
+        // Plain ops are single-SGE; empty SG lists still occupy one.
+        assert_eq!(WrOp::Send { payload: vec![] }.num_sges(), 1);
+        let empty = WrOp::WriteSg {
+            remote_addr: 0,
+            remote_rkey: 2,
+            segments: vec![],
+        };
+        assert_eq!(empty.num_sges(), 1);
     }
 }
