@@ -43,6 +43,7 @@ fn cowbird_latency(record: u32, inflight: usize, batch: usize, seed: u64) -> (f6
         drop_probability: 0.0,
         watchdog: None,
         coalesce_sge: 0,
+        ..Default::default()
     });
     sim.run_until(Some(Instant(Duration::from_secs(2).nanos())));
     // All record sizes of one figure run merge under the same label: the

@@ -13,6 +13,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod table1;
 pub mod table5;
+pub mod tail_latency;
 pub mod validate;
 pub mod verb_coalescing;
 
@@ -43,6 +44,7 @@ pub fn artifacts() -> Vec<(&'static str, ArtifactFn)> {
         ("ablation", ablation::run),
         ("engine_scaling", engine_scaling::run),
         ("verb_coalescing", verb_coalescing::run),
+        ("tail_latency", tail_latency::run),
     ]
 }
 

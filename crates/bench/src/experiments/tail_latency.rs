@@ -1,0 +1,264 @@
+//! Tail-latency watchdog + automated phase attribution, proven end to end.
+//!
+//! Three rig runs each plant one distinct degradation and nothing else; the
+//! artifact then checks that the machinery under test — the sliding-window
+//! SLO watchdog, the request-scoped flight dump it triggers, and the
+//! phase-waterfall tail report — blames the *correct* pipeline phase:
+//!
+//! | scenario          | planted fault                              | blame       |
+//! |-------------------|--------------------------------------------|-------------|
+//! | `link_jitter`     | jitter on both engine ↔ pool links         | fabric      |
+//! | `hot_shard`       | oversubscribed shard (sparse probe sweeps) | ring_wait   |
+//! | `ring_backpressure` | tiny response ring + a busy app core     | completion  |
+//!
+//! Each run wires a [`Telemetry`] hub through the rig (virtual-clock
+//! recorders on the client channel and the engine core), feeds every
+//! completion to the watchdog, and — on the first p99.9 violation — writes
+//! a flight dump scoped around the offending request's span, exactly what
+//! an operator would open. The attribution check runs on the *full* merged
+//! timeline: [`tail_report`] decomposes the slowest-K requests into the
+//! client post → ring wait → engine sweep → fabric → pool → completion
+//! waterfall and must name the planted phase as dominant.
+
+use simnet::fault::FaultScript;
+use simnet::sim::Sim;
+use simnet::time::{Duration, Instant};
+use telemetry::{tail_report, FlightDump, TailPhase, Telemetry};
+
+use cowbird::layout::ChannelLayout;
+
+use crate::harness::{
+    build_cowbird_rig_links, export_rig_metrics, CowbirdClientNode, CowbirdRig, RigLinks,
+};
+use crate::report::Table;
+
+/// Slowest requests decomposed per scenario.
+const SLOW_K: usize = 16;
+/// Context kept around the flagged request's span in the triggered dump.
+const DUMP_PAD_NS: u64 = 20_000;
+/// Watchdog: `(slo p99.9 ns, min samples, cooldown samples)`. The SLO sits
+/// well above the healthy rig's tail (~6 µs end to end) and well below
+/// every planted degradation, so a violation is a real signal in all three
+/// scenarios and the baseline never fires.
+const TAIL_SLO: (u64, u64, u64) = (15_000, 64, 128);
+
+struct Outcome {
+    name: &'static str,
+    fault: &'static str,
+    expected: TailPhase,
+    dominant: TailPhase,
+    violations: u64,
+    p999_ns: u64,
+    dominant_share: f64,
+}
+
+fn run_scenario(
+    name: &'static str,
+    fault: &'static str,
+    expected: TailPhase,
+    mut cfg: CowbirdRig,
+    plant: impl FnOnce(&mut Sim, &RigLinks),
+) -> Outcome {
+    let hub = Telemetry::new(1 << 15);
+    cfg.trace = Some(hub.clone());
+    cfg.tail_slo = Some(TAIL_SLO);
+    let target_ops = cfg.target_ops;
+    let (mut sim, client_id, engine_id, links) = build_cowbird_rig_links(cfg);
+    plant(&mut sim, &links);
+    sim.run_until(Some(Instant(Duration::from_millis(200).nanos())));
+
+    let client: &CowbirdClientNode = sim.node_ref(client_id);
+    assert_eq!(
+        client.completed(),
+        target_ops,
+        "tail_latency[{name}]: degradations slow requests down, they must not lose them"
+    );
+    assert!(
+        !client.tail_violations.is_empty(),
+        "tail_latency[{name}]: the planted degradation must trip the SLO watchdog"
+    );
+
+    // The watchdog's reflex: snapshot the flight recorder around the first
+    // flagged request (plus padding), like an operator would want on-call.
+    let first = &client.tail_violations[0];
+    if let Err(e) =
+        hub.write_req_flight_dump(&format!("tail_latency_{name}"), first.req, DUMP_PAD_NS)
+    {
+        eprintln!("[tail_latency[{name}]: flight dump write failed: {e}]");
+    }
+
+    // Attribution over the full merged timeline (the waterfall needs the
+    // non-request-scoped sweep events too, not just the flagged span).
+    let events = hub.dump().events;
+    let report = tail_report(&events, SLOW_K);
+    let dominant = report
+        .dominant()
+        .expect("tail report must decompose at least one request");
+    assert_eq!(
+        dominant,
+        expected,
+        "tail_latency[{name}]: planted {fault}, expected dominant phase {} but attribution blamed {}\n{}",
+        expected.name(),
+        dominant.name(),
+        report.to_text(),
+    );
+    let dir = FlightDump::default_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(
+            dir.join(format!("tail_latency_{name}.waterfall.txt")),
+            report.to_text(),
+        );
+    }
+
+    // Metrics: the standard rig surfaces plus the watchdog's window
+    // quantiles, all under the scenario's run label.
+    export_rig_metrics(&sim, client_id, engine_id, name);
+    let reg = telemetry::metrics::global();
+    if let Some(wd) = client.tail_watchdog() {
+        wd.export(reg, &[("run", name)]);
+    }
+
+    let total: u64 = report.phase_totals_ns.iter().sum();
+    Outcome {
+        name,
+        fault,
+        expected,
+        dominant,
+        violations: client.tail_violations.len() as u64,
+        p999_ns: client.latency.p999(),
+        dominant_share: if total == 0 {
+            0.0
+        } else {
+            report.phase_totals_ns[dominant as usize] as f64 / total as f64
+        },
+    }
+}
+
+pub fn run() -> Vec<Table> {
+    let mut outcomes = Vec::new();
+
+    // Fabric degradation: a congested engine ↔ pool path. Both directions
+    // pick up 0–40 µs of FIFO-preserving delivery jitter; everything the
+    // engine does on the compute side stays fast, so the excess latency
+    // lands squarely between ReadExecuted and ComputeWrite.
+    outcomes.push(run_scenario(
+        "link_jitter",
+        "0-40 us delivery jitter on engine<->pool",
+        TailPhase::Fabric,
+        CowbirdRig {
+            seed: 11,
+            target_ops: 600,
+            inflight: 8,
+            engine_batch: 8,
+            probe_interval: Duration::from_micros(2),
+            poll_interval: Duration::from_nanos(250),
+            ..Default::default()
+        },
+        |sim, links| {
+            let (fwd, rev) = links.engine_pool;
+            let script = FaultScript::new()
+                .link_jitter(Instant::ZERO, fwd, 40_000)
+                .link_jitter(Instant::ZERO, rev, 40_000);
+            sim.apply_fault_script(&script);
+        },
+    ));
+
+    // Hot shard: the engine core serving this channel is oversubscribed, so
+    // its probe sweep comes around only every 40 µs (modelling a shard busy
+    // with other channels). Requests sit parsed-but-unswept in the ring.
+    outcomes.push(run_scenario(
+        "hot_shard",
+        "oversubscribed shard: 40 us between probe sweeps",
+        TailPhase::RingWait,
+        CowbirdRig {
+            seed: 12,
+            target_ops: 600,
+            inflight: 8,
+            engine_batch: 8,
+            probe_interval: Duration::from_micros(40),
+            poll_interval: Duration::from_nanos(250),
+            ..Default::default()
+        },
+        |_sim, _links| {},
+    ));
+
+    // Ring backpressure: a tiny response ring (4 × 64 B records in flight)
+    // and an application core that only polls every 25 µs. Responses land
+    // fast but sit in the rdata ring until the next poll, so the tail is
+    // all completion lag — and the full ring throttles issue, which is the
+    // backpressure loop closing.
+    outcomes.push(run_scenario(
+        "ring_backpressure",
+        "tiny rdata ring + 25 us between client polls",
+        TailPhase::Completion,
+        CowbirdRig {
+            seed: 13,
+            target_ops: 400,
+            record_size: 64,
+            inflight: 16,
+            engine_batch: 8,
+            probe_interval: Duration::from_micros(1),
+            poll_interval: Duration::from_micros(25),
+            layout: ChannelLayout::tiny(),
+            ..Default::default()
+        },
+        |_sim, _links| {},
+    ));
+
+    let mut t = Table::new(
+        "Tail latency",
+        "planted degradations and the phase the tail attribution blames",
+        &[
+            "scenario",
+            "planted fault",
+            "expected",
+            "dominant",
+            "dominant share",
+            "violations",
+            "p99.9 ns",
+        ],
+    )
+    .with_paper_note(
+        "beyond the paper: Clio-style tail SLO tracking with automated phase attribution",
+    );
+    for o in &outcomes {
+        t.push_row(vec![
+            o.name.into(),
+            o.fault.into(),
+            o.expected.name().into(),
+            o.dominant.name().into(),
+            crate::report::fnum(o.dominant_share),
+            o.violations.to_string(),
+            o.p999_ns.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_degradations_are_attributed_correctly() {
+        // run() asserts per-scenario that the dominant phase matches the
+        // planted fault; here we pin the artifact's shape and that the
+        // watchdog actually fired everywhere.
+        let t = &run()[0];
+        assert_eq!(t.rows.len(), 3);
+        for row in &t.rows {
+            assert_eq!(row[2], row[3], "expected vs dominant for {}", row[0]);
+            assert!(
+                row[5].parse::<u64>().unwrap() >= 1,
+                "watchdog must fire for {}",
+                row[0]
+            );
+        }
+        // The triggered request-scoped dumps exist where CI collects them.
+        let dir = telemetry::FlightDump::default_dir();
+        for name in ["link_jitter", "hot_shard", "ring_backpressure"] {
+            let p = dir.join(format!("tail_latency_{name}.json"));
+            assert!(p.exists(), "missing triggered flight dump {}", p.display());
+        }
+    }
+}

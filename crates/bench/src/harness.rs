@@ -10,10 +10,11 @@ use cowbird_engine::sim::{EngineNode, PoolNode};
 use rdma::mem::Region;
 use rdma::qp::QpConfig;
 use rdma::sim::{to_sim_packet, SimNic};
-use simnet::link::LinkParams;
+use simnet::link::{LinkId, LinkParams};
 use simnet::sim::{Ctx, Node, NodeId, Packet, Sim};
 use simnet::stats::Histogram;
 use simnet::time::{Duration, Instant};
+use telemetry::{Component, EventKind, SloWatchdog, TailViolation, Telemetry};
 
 const TAG_POLL: u64 = 1;
 const TAG_NIC_TICK: u64 = 2;
@@ -58,6 +59,10 @@ pub struct CowbirdClientNode {
     /// single stall episode fences exactly once (the successor adopts at
     /// the fence epoch — a second bump would out-epoch it too).
     stall_fenced: bool,
+    /// Tail-latency SLO watchdog fed on every completion (`None` disables).
+    tail_slo: Option<SloWatchdog>,
+    /// Violations the SLO watchdog flagged, in firing order.
+    pub tail_violations: Vec<TailViolation>,
 }
 
 impl CowbirdClientNode {
@@ -77,6 +82,7 @@ impl CowbirdClientNode {
     }
 
     fn reap(&mut self, ctx: &mut Ctx) {
+        self.channel.recorder().set_now_ns(ctx.now().nanos());
         self.channel.refresh();
         let mut i = 0;
         while i < self.outstanding.len() {
@@ -87,6 +93,25 @@ impl CowbirdClientNode {
                 let lat = ctx.now().since(t0);
                 self.first_latency.get_or_insert(lat.nanos());
                 self.latency.record(lat.nanos());
+                self.channel.recorder().record(
+                    Component::Client,
+                    EventKind::RequestCompleted,
+                    h.id.raw(),
+                    lat.nanos(),
+                    0,
+                );
+                if let Some(wd) = self.tail_slo.as_mut() {
+                    if let Some(v) = wd.observe("read", h.id.raw(), lat.nanos()) {
+                        self.channel.recorder().record(
+                            Component::Client,
+                            EventKind::TailViolation,
+                            v.req,
+                            v.latency_ns,
+                            v.p999_ns,
+                        );
+                        self.tail_violations.push(v);
+                    }
+                }
                 let data = self.channel.take_response(&h).expect("completed read");
                 if self.verify_data {
                     let expect = (off / 64).to_le_bytes();
@@ -167,6 +192,12 @@ impl CowbirdClientNode {
     pub fn first_latency_ns(&self) -> u64 {
         self.first_latency.unwrap_or(0)
     }
+
+    /// The tail-latency SLO watchdog, when the rig enabled one (for
+    /// exporting its window quantiles after a run).
+    pub fn tail_watchdog(&self) -> Option<&SloWatchdog> {
+        self.tail_slo.as_ref()
+    }
 }
 
 impl Node for CowbirdClientNode {
@@ -224,6 +255,21 @@ pub struct CowbirdRig {
     /// keeps the variant default (16 for Spot, 1 for P4), `1` disables
     /// coalescing, larger values cap the SGE list per verb.
     pub coalesce_sge: usize,
+    /// Channel ring sizing (the tail-latency artifact shrinks it to plant
+    /// response-ring backpressure).
+    pub layout: ChannelLayout,
+    /// Flight-recorder hub to wire through the rig: the client channel and
+    /// the engine core get virtual-clock recorders on nodes 0 and 1, so a
+    /// run leaves a merged event timeline behind for span/waterfall
+    /// analysis. `None` records nothing (the default; event recording is
+    /// one branch per event but the rings are not free).
+    pub trace: Option<Telemetry>,
+    /// Tail-latency SLO watchdog parameters
+    /// `(slo_p999_ns, min_samples, cooldown_samples)`; every completion is
+    /// fed to [`SloWatchdog::observe`] and violations are collected on the
+    /// client node (and recorded as [`EventKind::TailViolation`] when a
+    /// trace hub is attached).
+    pub tail_slo: Option<(u64, u64, u64)>,
 }
 
 impl Default for CowbirdRig {
@@ -240,8 +286,21 @@ impl Default for CowbirdRig {
             drop_probability: 0.0,
             watchdog: None,
             coalesce_sge: 0,
+            layout: ChannelLayout::default_sizes(),
+            trace: None,
+            tail_slo: None,
         }
     }
+}
+
+/// Directional link ids of the standard three-node topology, in the order
+/// the rig connected them; fault scripts (outages, jitter) target these.
+#[derive(Clone, Copy, Debug)]
+pub struct RigLinks {
+    /// compute → engine, engine → compute.
+    pub compute_engine: (LinkId, LinkId),
+    /// engine → pool, pool → engine.
+    pub engine_pool: (LinkId, LinkId),
 }
 
 /// Build compute ↔ engine(switch) ↔ pool. Returns (sim, client node id,
@@ -257,9 +316,17 @@ pub fn build_cowbird_rig_with(
     client_start_after: Duration,
     adaptive_probe: Option<(Duration, u32)>,
 ) -> (Sim, NodeId, NodeId) {
-    let (sim, client, engine, _standby) =
+    let (sim, client, engine, _standby, _links) =
         build_rig_inner(cfg, client_start_after, adaptive_probe, None);
     (sim, client, engine)
+}
+
+/// [`build_cowbird_rig`] that also hands back the topology's [`RigLinks`]
+/// so the caller can aim fault scripts at a specific hop (the tail-latency
+/// artifact jitters the engine ↔ pool pair).
+pub fn build_cowbird_rig_links(cfg: CowbirdRig) -> (Sim, NodeId, NodeId, RigLinks) {
+    let (sim, client, engine, _standby, links) = build_rig_inner(cfg, Duration::ZERO, None, None);
+    (sim, client, engine, links)
 }
 
 /// The failover rig: the standard topology plus a fourth node hosting a
@@ -275,7 +342,7 @@ pub fn build_cowbird_failover_rig(
     crash_at: Duration,
     takeover_delay: Duration,
 ) -> (Sim, NodeId, NodeId, NodeId) {
-    let (sim, client, engine, standby) = build_rig_inner(
+    let (sim, client, engine, standby, _links) = build_rig_inner(
         cfg,
         Duration::ZERO,
         None,
@@ -315,7 +382,7 @@ pub fn build_cowbird_partial_partition_rig(
     if cfg.watchdog.is_none() {
         cfg.watchdog = Some(Duration::from_nanos(takeover_delay.nanos() / 4));
     }
-    let (sim, client, engine, standby) = build_rig_inner(
+    let (sim, client, engine, standby, _links) = build_rig_inner(
         cfg,
         Duration::ZERO,
         None,
@@ -333,7 +400,7 @@ fn build_rig_inner(
     client_start_after: Duration,
     adaptive_probe: Option<(Duration, u32)>,
     failover: Option<(Duration, Duration, FailoverFault)>,
-) -> (Sim, NodeId, NodeId, Option<NodeId>) {
+) -> (Sim, NodeId, NodeId, Option<NodeId>, RigLinks) {
     let mut sim = Sim::new(cfg.seed);
     let compute_id = NodeId(0);
     let engine_id = NodeId(1);
@@ -361,8 +428,11 @@ fn build_rig_inner(
 
     let standby_id = NodeId(3);
 
-    let layout = ChannelLayout::default_sizes();
-    let channel = Channel::new(0, layout, regions.clone());
+    let layout = cfg.layout;
+    let mut channel = Channel::new(0, layout, regions.clone());
+    if let Some(hub) = &cfg.trace {
+        channel.set_recorder(hub.recorder_virtual(0, "compute"));
+    }
     let mut nic = SimNic::new();
     let channel_rkey = nic.register(channel.region().clone());
     nic.create_qp(QpConfig::new(301, 101), engine_id);
@@ -394,6 +464,10 @@ fn build_rig_inner(
         watchdog: cfg.watchdog,
         last_progress_at: Instant::ZERO,
         stall_fenced: false,
+        tail_slo: cfg
+            .tail_slo
+            .map(|(slo, min_samples, cooldown)| SloWatchdog::new(slo, min_samples, cooldown)),
+        tail_violations: Vec::new(),
     };
 
     let mut engine = EngineNode::new();
@@ -407,6 +481,9 @@ fn build_rig_inner(
     }
     if cfg.coalesce_sge > 0 {
         variant = variant.with_coalesce_sge(cfg.coalesce_sge);
+    }
+    if let Some(hub) = &cfg.trace {
+        variant = variant.with_recorder(hub.recorder_virtual(1, "engine"));
     }
     let variant = variant.with_probe_interval(cfg.probe_interval);
     engine.add_instance(
@@ -422,7 +499,11 @@ fn build_rig_inner(
     sim.add_node(Box::new(pool));
     let link = cfg.link.clone().with_drop_probability(cfg.drop_probability);
     let (ce_fwd, ce_rev) = sim.connect(compute_id, engine_id, link.clone());
-    sim.connect(engine_id, pool_id, link.clone());
+    let (ep_fwd, ep_rev) = sim.connect(engine_id, pool_id, link.clone());
+    let links = RigLinks {
+        compute_engine: (ce_fwd, ce_rev),
+        engine_pool: (ep_fwd, ep_rev),
+    };
 
     let standby = failover.map(|(crash_at, takeover_delay, fault)| {
         let mut standby = EngineNode::new();
@@ -456,7 +537,7 @@ fn build_rig_inner(
         }
         id
     });
-    (sim, compute_id, engine_id, standby)
+    (sim, compute_id, engine_id, standby, links)
 }
 
 /// Export every stats surface of a finished rig run into the process-wide
@@ -469,6 +550,7 @@ pub fn export_rig_metrics(sim: &Sim, client_id: NodeId, engine_id: NodeId, run: 
     let client: &CowbirdClientNode = sim.node_ref(client_id);
     let compute_labels = [("run", run), ("node", "compute")];
     client.channel().stats.export(reg, &compute_labels);
+    client.channel().export_engine_telemetry(reg);
     client.nic().export_metrics(reg, &compute_labels);
     reg.hist_merge(
         "cowbird.client.latency_ns",

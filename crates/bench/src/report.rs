@@ -163,7 +163,7 @@ pub fn bench_tolerance() -> f64 {
 }
 
 /// Flatten one artifact's metrics diff into trajectory keys
-/// `<artifact>/<kind>/<metric>` (histograms keep count/p50/p99 only —
+/// `<artifact>/<kind>/<metric>` (histograms keep count/p50/p99/p99.9 only —
 /// the headline shape, not the full digest).
 fn flatten_run(artifact: &str, snap: &telemetry::MetricsSnapshot, out: &mut BTreeMap<String, f64>) {
     for (k, v) in &snap.counters {
@@ -178,6 +178,7 @@ fn flatten_run(artifact: &str, snap: &telemetry::MetricsSnapshot, out: &mut BTre
         out.insert(format!("{artifact}/hist/{k}/count"), h.count as f64);
         out.insert(format!("{artifact}/hist/{k}/p50"), h.p50 as f64);
         out.insert(format!("{artifact}/hist/{k}/p99"), h.p99 as f64);
+        out.insert(format!("{artifact}/hist/{k}/p999"), h.p999 as f64);
     }
 }
 

@@ -1,0 +1,78 @@
+//! Registry-wide metric units audit (the enforcement half of
+//! `telemetry::units`).
+//!
+//! Runs a small end-to-end rig with every metrics surface enabled — channel
+//! stats, engine stats, the in-band telemetry readback, and the tail
+//! watchdog — exports them all into the global registry, and asserts that
+//! every `cowbird.*` name that showed up resolves to a documented unit via
+//! the suffix convention or the frozen legacy allowlist. A new metric with
+//! no unit suffix fails here, naming the offender.
+
+use experiments::harness::{
+    build_cowbird_rig_links, export_rig_metrics, CowbirdClientNode, CowbirdRig,
+};
+use simnet::time::{Duration, Instant};
+use telemetry::Telemetry;
+
+#[test]
+fn every_exported_cowbird_metric_has_a_documented_unit() {
+    let hub = Telemetry::new(1 << 14);
+    let cfg = CowbirdRig {
+        seed: 42,
+        target_ops: 300,
+        inflight: 8,
+        engine_batch: 8,
+        probe_interval: Duration::from_micros(2),
+        poll_interval: Duration::from_nanos(250),
+        trace: Some(hub),
+        // Low SLO so the watchdog fires and its surfaces register too.
+        tail_slo: Some((2_000, 32, 64)),
+        ..Default::default()
+    };
+    let (mut sim, client_id, engine_id, _links) = build_cowbird_rig_links(cfg);
+    sim.run_until(Some(Instant(Duration::from_millis(100).nanos())));
+
+    let reg = telemetry::metrics::global();
+    let before = reg.snapshot();
+    export_rig_metrics(&sim, client_id, engine_id, "units_audit");
+    let client: &CowbirdClientNode = sim.node_ref(client_id);
+    assert_eq!(client.completed(), 300, "audit rig run incomplete");
+    if let Some(wd) = client.tail_watchdog() {
+        wd.export(reg, &[("run", "units_audit")]);
+    }
+    let diff = reg.snapshot().diff(&before);
+
+    let keys: Vec<String> = diff
+        .counters
+        .keys()
+        .chain(diff.gauges.keys())
+        .chain(diff.hists.keys())
+        .cloned()
+        .collect();
+    assert!(
+        keys.len() > 20,
+        "expected a full export surface to audit, got {} keys",
+        keys.len()
+    );
+
+    // The surfaces this PR added must actually be present in the audit set:
+    // the scraped in-band readback and the watchdog's window quantiles.
+    for needle in [
+        "cowbird.engine.readback.sweeps_count",
+        "cowbird.engine.readback.snapshot_seq",
+        "cowbird.tail.p999_ns",
+        "cowbird.tail.violations_count",
+    ] {
+        assert!(
+            keys.iter().any(|k| k.starts_with(needle)),
+            "expected {needle} in the exported set; keys: {keys:#?}"
+        );
+    }
+
+    let offenders = telemetry::units::audit(keys.iter().map(|k| k.as_str()));
+    assert!(
+        offenders.is_empty(),
+        "cowbird.* metrics without a documented unit (add a SUFFIX_UNITS \
+         suffix; the NAME_UNITS allowlist is frozen): {offenders:#?}"
+    );
+}

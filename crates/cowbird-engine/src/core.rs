@@ -49,12 +49,15 @@
 use std::collections::{HashMap, VecDeque};
 
 use cowbird::error::WaitError;
-use cowbird::layout::{ChannelLayout, RedBlock, GREEN_LEN, GREEN_OFFSET, RED_OFFSET};
+use cowbird::layout::{
+    ChannelLayout, RedBlock, TelemetrySnapshot, GREEN_LEN, GREEN_OFFSET, RED_OFFSET, TELEM_LEN,
+};
 use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
 use cowbird::region::{RegionId, RegionMap};
 use cowbird::reqid::{OpType, ReqId};
 use p4rt::pktgen::PktGenConfig;
 use rdma::buf::{ArenaStats, BufArena, PoolBuf};
+use rdma::cost::CostModel;
 use rdma::mem::Rkey;
 use simnet::time::Duration;
 use telemetry::profile::Profiler;
@@ -113,6 +116,12 @@ pub struct EngineConfig {
     /// covering a run of sequence numbers). Spot defaults to coalescing;
     /// P4 recycles per packet and cannot chain, so it defaults to 1.
     pub coalesce_sge: usize,
+    /// In-band telemetry readback cadence: every `n` probe timer firings
+    /// the core pushes a seqlock-stamped [`TelemetrySnapshot`] into the
+    /// channel's readback region as a fire-and-forget compute write (the
+    /// compute CPU issues zero verbs to observe it). `0` disables the
+    /// readback plane.
+    pub telem_every_probes: u32,
 }
 
 /// Free-list cap for a config's private arena: enough for a full read
@@ -123,6 +132,10 @@ const DEFAULT_ARENA_POOLED: usize = 64;
 /// to 30 SGEs per WQE; 16 keeps a merged verb inside one WQE cache line
 /// pair while still amortising the doorbell across a full read batch.
 const DEFAULT_COALESCE_SGE: usize = 16;
+
+/// Default readback cadence: one 128-byte snapshot write per 16 probes is
+/// well under 1% of the engine's probe traffic by bytes and verbs.
+const DEFAULT_TELEM_EVERY_PROBES: u32 = 16;
 
 impl EngineConfig {
     pub fn p4(layout: ChannelLayout, regions: RegionMap) -> EngineConfig {
@@ -138,6 +151,7 @@ impl EngineConfig {
             channel_id: 0,
             arena: BufArena::new(DEFAULT_ARENA_POOLED),
             coalesce_sge: 1,
+            telem_every_probes: DEFAULT_TELEM_EVERY_PROBES,
         }
     }
 
@@ -154,6 +168,7 @@ impl EngineConfig {
             channel_id: 0,
             arena: BufArena::new(DEFAULT_ARENA_POOLED),
             coalesce_sge: DEFAULT_COALESCE_SGE,
+            telem_every_probes: DEFAULT_TELEM_EVERY_PROBES,
         }
     }
 
@@ -203,6 +218,13 @@ impl EngineConfig {
     /// red-write moderation); values are clamped to at least 1.
     pub fn with_coalesce_sge(mut self, n: usize) -> EngineConfig {
         self.coalesce_sge = n.max(1);
+        self
+    }
+
+    /// Push an in-band telemetry snapshot every `n` probe timer firings
+    /// (`0` disables the readback plane).
+    pub fn with_telemetry_export(mut self, n: u32) -> EngineConfig {
+        self.telem_every_probes = n;
         self
     }
 
@@ -538,6 +560,15 @@ pub struct EngineCore {
     pktgen: PktGenConfig,
     /// Did the most recent probe discover new work?
     last_probe_found: bool,
+    /// Seqlock stamp of the last exported telemetry snapshot (even,
+    /// monotone; 0 = never exported).
+    telem_seq: u64,
+    /// Probe timer firings since the last telemetry export.
+    probes_since_telem: u32,
+    /// Shard placement hint published in the readback snapshot (set by the
+    /// polling group; standalone engines report shard 0, depth 0).
+    shard_id: u64,
+    shard_queue_depth: u64,
     pub stats: EngineStats,
 }
 
@@ -583,6 +614,10 @@ impl EngineCore {
             next_tag: 1,
             red_dirty: false,
             moderation_run: 0,
+            telem_seq: 0,
+            probes_since_telem: 0,
+            shard_id: 0,
+            shard_queue_depth: 0,
             stats: EngineStats::default(),
         }
     }
@@ -613,6 +648,12 @@ impl EngineCore {
     #[inline]
     fn req_raw(&self, op: OpType, seq: u64) -> u64 {
         ReqId::new(op, self.cfg.channel_id, seq).raw()
+    }
+
+    /// The channel layout this core serves (drivers use it to recognize
+    /// the in-band telemetry region among compute-bound writes).
+    pub fn layout(&self) -> &ChannelLayout {
+        &self.cfg.layout
     }
 
     /// The probe interval the driver should schedule (fixed configs).
@@ -657,22 +698,87 @@ impl EngineCore {
         t
     }
 
+    /// Record which polling-group shard owns this channel and how loaded
+    /// that shard is; both ride in the next readback snapshot so the client
+    /// can observe placement without any verbs of its own.
+    pub fn set_shard_hint(&mut self, shard: u64, queue_depth: u64) {
+        self.shard_id = shard;
+        self.shard_queue_depth = queue_depth;
+    }
+
+    /// Push an in-band telemetry snapshot into the channel's readback
+    /// region on the configured probe cadence. The write is fire-and-forget
+    /// (tag 0): no completion routing, no client verbs — the client picks
+    /// it up on its normal poll sweep. Emitted even while a probe is
+    /// outstanding (the cadence is timer firings, not completed probes),
+    /// but never once fenced.
+    fn maybe_export_telemetry(&mut self, out: &mut Vec<FabricOp>) {
+        if self.cfg.telem_every_probes == 0 {
+            return;
+        }
+        self.probes_since_telem += 1;
+        if self.probes_since_telem < self.cfg.telem_every_probes {
+            return;
+        }
+        self.probes_since_telem = 0;
+        self.telem_seq += 2;
+        let arena = self.arena_stats();
+        let snap = TelemetrySnapshot {
+            sweeps: self.stats.probes_sent,
+            backlog: self.pending.len() as u64,
+            reads_executed: self.stats.reads_executed,
+            writes_executed: self.stats.writes_executed,
+            red_updates: self.stats.red_updates,
+            chain_posts: self.stats.chain_posts,
+            chained_wrs: self.stats.chained_wrs,
+            sg_merges: self.stats.sg_merges,
+            arena_hits: arena.hits,
+            arena_misses: arena.misses,
+            arena_recycled: arena.recycled,
+            shard_id: self.shard_id,
+            shard_queue_depth: self.shard_queue_depth,
+        };
+        let data = self.cfg.arena.take_copy(&snap.encode(self.telem_seq));
+        self.stats.compute_writes += 1;
+        self.stats.bytes_to_compute += TELEM_LEN;
+        self.rec(
+            EventKind::TelemetryExported,
+            0,
+            self.telem_seq,
+            snap.backlog,
+        );
+        // The export is one single-SGE RDMA write on the compute QP;
+        // charge its post cost so Fig. 2 stays honest about the readback
+        // plane's overhead.
+        CostModel::paper_defaults().charge_rdma_post_chain(&self.cfg.profiler, 1, 1);
+        out.push(FabricOp::WriteCompute {
+            offset: self.cfg.layout.telem_offset(),
+            data,
+            tag: 0,
+        });
+    }
+
     /// Phase II trigger: a probe timer fired. Emits the green-block read
-    /// (unless one is already outstanding).
+    /// (unless one is already outstanding) and, on the readback cadence,
+    /// the in-band telemetry snapshot write.
     pub fn on_probe_due(&mut self) -> Vec<FabricOp> {
-        if self.fenced || self.probe_outstanding {
+        if self.fenced {
             return Vec::new();
         }
-        self.probe_outstanding = true;
-        self.stats.probes_sent += 1;
-        self.stats.compute_reads += 1;
-        self.rec(EventKind::ProbeSent, 0, self.fetch_cursor, 0);
-        let tag = self.tag(TagKind::Probe);
-        let out = vec![FabricOp::ReadCompute {
-            offset: GREEN_OFFSET,
-            len: GREEN_LEN as u32,
-            tag,
-        }];
+        let mut out = Vec::new();
+        self.maybe_export_telemetry(&mut out);
+        if !self.probe_outstanding {
+            self.probe_outstanding = true;
+            self.stats.probes_sent += 1;
+            self.stats.compute_reads += 1;
+            self.rec(EventKind::ProbeSent, 0, self.fetch_cursor, 0);
+            let tag = self.tag(TagKind::Probe);
+            out.push(FabricOp::ReadCompute {
+                offset: GREEN_OFFSET,
+                len: GREEN_LEN as u32,
+                tag,
+            });
+        }
         self.account_chains(&out);
         out
     }
@@ -1311,16 +1417,25 @@ impl EngineCore {
         }
         let start_addr = self.batch_start;
         let payload = std::mem::replace(&mut self.batch_buf, PoolBuf::empty());
+        let entries = self.batch_entries as u64;
         self.batch_entries = 0;
         self.stats.batches_flushed += 1;
         self.stats.compute_writes += 1;
         self.stats.bytes_to_compute += payload.len() as u64;
-        self.rec(
-            EventKind::ComputeWrite,
-            self.req_raw(OpType::Read, self.batch_last_seq),
-            start_addr,
-            payload.len() as u64,
-        );
+        if self.cfg.recorder.is_enabled() {
+            // The flush carries every response in the contiguous seq range
+            // ending at `batch_last_seq`; stamp each request so the tail
+            // waterfall sees its fabric phase end here (not just the last
+            // request of the batch).
+            for seq in (self.batch_last_seq + 1 - entries)..=self.batch_last_seq {
+                self.rec(
+                    EventKind::ComputeWrite,
+                    self.req_raw(OpType::Read, seq),
+                    start_addr,
+                    payload.len() as u64,
+                );
+            }
+        }
         out.push(FabricOp::WriteCompute {
             offset: start_addr,
             data: payload,
@@ -1654,6 +1769,49 @@ mod tests {
         assert_eq!(core.stats.probes_sent, 1);
         assert_eq!(core.stats.probes_found_work, 0);
         assert_eq!(core.stats.meta_fetches, 0);
+    }
+
+    #[test]
+    fn telemetry_readback_exports_on_cadence_without_client_verbs() {
+        use cowbird::layout::{TelemetrySnapshot, TELEM_LEN};
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        let mut core2 = EngineCore::new(core.config().clone().with_telemetry_export(4));
+        std::mem::swap(&mut core, &mut core2);
+        core.set_shard_hint(3, 11);
+        driver.pool.write(0, b"AAAAAAAA").unwrap();
+        let layout = core.config().layout;
+        let telem = |d: &LoopDriver| {
+            let raw = d
+                .compute
+                .read_vec(layout.telem_offset(), TELEM_LEN as usize)
+                .unwrap();
+            TelemetrySnapshot::decode(&raw)
+        };
+        // The readback region stays a zeroed (undecodable) image until the
+        // cadence fires.
+        for _ in 0..3 {
+            let h = ch.async_read(1, 0, 8).unwrap();
+            driver.probe(&mut core);
+            assert!(ch.is_complete(h.id));
+            ch.take_response(&h).unwrap();
+            assert_eq!(telem(&driver), None);
+        }
+        // Fourth probe tick: the snapshot lands in-band. The client issued
+        // nothing — the engine's compute-bound write carried it.
+        driver.probe(&mut core);
+        let (seq, snap) = telem(&driver).expect("snapshot after 4th probe tick");
+        assert_eq!(seq, 2);
+        assert_eq!(snap.sweeps, 3, "stats as of the export instant");
+        assert_eq!(snap.reads_executed, 3);
+        assert_eq!(snap.shard_id, 3);
+        assert_eq!(snap.shard_queue_depth, 11);
+        // Next cadence boundary: a fresh image with a higher stamp.
+        for _ in 0..4 {
+            driver.probe(&mut core);
+        }
+        let (seq2, snap2) = telem(&driver).unwrap();
+        assert_eq!(seq2, 4);
+        assert!(snap2.sweeps > snap.sweeps);
     }
 
     #[test]

@@ -722,6 +722,10 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
         let mut next_deadline: Option<Instant> = None;
         let mut i = 0;
         while i < slots.len() {
+            // Keep the in-band readback snapshot's placement view current:
+            // which shard owns the channel and how deep its queue runs.
+            let depth = slots[i].pending.len() as u64 + slots[i].core.backlog() as u64;
+            slots[i].core.set_shard_hint(shard_idx as u64, depth);
             work |= slots[i].pass(now, me);
             if slots[i].core.is_fenced() {
                 // A newer epoch owns this channel: retire it exactly like

@@ -227,13 +227,23 @@ impl EngineNode {
                 }
                 FabricOp::WriteCompute { offset, data, tag } => {
                     let inst = &self.instances[instance];
-                    let qpn = inst.compute_qpn;
+                    // The fire-and-forget telemetry readback write is
+                    // background traffic like the probe: it rides the
+                    // dedicated low-priority probe QP, so an idle engine
+                    // never touches the data priority classes.
+                    let telem = tag == 0 && offset == inst.core.layout().telem_offset();
+                    let (qpn, prio) = if telem {
+                        (inst.probe_qpn, self.probe_prio)
+                    } else {
+                        (inst.compute_qpn, self.data_prio)
+                    };
                     let rkey = inst.channel_rkey;
-                    self.post_write(instance, qpn, rkey, offset, data, tag, ctx);
+                    self.post_write(instance, qpn, rkey, offset, data, tag, prio, ctx);
                 }
                 FabricOp::WritePool { rkey, addr, data } => {
                     let qpn = self.instances[instance].pool_qpn;
-                    self.post_write(instance, qpn, rkey, addr, data, 0, ctx);
+                    let prio = self.data_prio;
+                    self.post_write(instance, qpn, rkey, addr, data, 0, prio, ctx);
                 }
                 FabricOp::ReadPoolSg { rkey, addr, parts } => {
                     let qpn = self.instances[instance].pool_qpn;
@@ -381,6 +391,7 @@ impl EngineNode {
         addr: u64,
         data: rdma::buf::PoolBuf,
         tag: u64,
+        prio: u8,
         ctx: &mut Ctx,
     ) {
         let wr_id = self.next_wr;
@@ -399,7 +410,7 @@ impl EngineNode {
         match self.nic.post(qpn, wr, ctx.now()) {
             Ok(pkts) => {
                 for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, prio));
                 }
             }
             Err(e) => panic!("engine post_write failed: {e}"),

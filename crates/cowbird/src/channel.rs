@@ -44,9 +44,9 @@ use telemetry::{Component, EventKind, Recorder};
 use crate::doorbell::Doorbell;
 use crate::error::{CowbirdError, IssueError, WaitError};
 use crate::layout::{
-    reserve_no_wrap, ChannelLayout, GREEN_CLIENT_EPOCH, GREEN_DOORBELL, GREEN_META_TAIL,
-    GREEN_RDATA_TAIL, GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD, RED_READ_PROGRESS,
-    RED_WRITE_PROGRESS,
+    reserve_no_wrap, ChannelLayout, TelemetrySnapshot, GREEN_CLIENT_EPOCH, GREEN_DOORBELL,
+    GREEN_META_TAIL, GREEN_RDATA_TAIL, GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD,
+    RED_READ_PROGRESS, RED_WRITE_PROGRESS, TELEM_LEN,
 };
 use crate::meta::{RequestMeta, RwType};
 use crate::region::{RegionId, RegionMap};
@@ -97,6 +97,9 @@ pub struct ChannelStats {
     pub completion_runs: u64,
     /// Longest single progress jump (per counter) one refresh delivered.
     pub max_run_len: u64,
+    /// Fresh in-band telemetry snapshots decoded off the readback region
+    /// (torn or unchanged images don't count).
+    pub telem_scrapes: u64,
 }
 
 impl ChannelStats {
@@ -126,6 +129,11 @@ impl ChannelStats {
             "cowbird.client.max_run_len",
             labels,
             self.max_run_len as f64,
+        );
+        reg.counter_add(
+            "cowbird.client.telem_scrapes_count",
+            labels,
+            self.telem_scrapes,
         );
     }
 }
@@ -189,6 +197,12 @@ pub struct Channel {
     meta_free_head: u64,
     /// Highest engine epoch this client has accepted (see `RED_ENGINE_EPOCH`).
     engine_epoch: u64,
+    /// Seqlock stamp of the last readback snapshot decoded (0 = none yet);
+    /// an unchanged stamp skips the full-region read on refresh.
+    telem_seen_seq: u64,
+    /// The freshest engine telemetry snapshot scraped off the readback
+    /// region, if any valid one has landed.
+    engine_telem: Option<TelemetrySnapshot>,
     pub stats: ChannelStats,
     /// Telemetry sink; disabled by default (one branch per event).
     rec: Recorder,
@@ -235,6 +249,8 @@ impl Channel {
             pending_entries: VecDeque::new(),
             meta_free_head: 0,
             engine_epoch: 0,
+            telem_seen_seq: 0,
+            engine_telem: None,
             stats: ChannelStats::default(),
             rec: Recorder::disabled(),
             prof: Profiler::disabled(),
@@ -608,6 +624,119 @@ impl Channel {
                 break;
             }
         }
+        self.scrape_telemetry();
+    }
+
+    /// In-band readback: pick up the engine's latest telemetry snapshot
+    /// from the channel's readback region, if a fresh one has landed. The
+    /// stamp word is checked first so an unchanged (or still-empty) region
+    /// costs one load; a torn image (the engine's write racing this read)
+    /// fails the seqlock check and the previous snapshot is kept — the
+    /// next refresh sees the settled image.
+    fn scrape_telemetry(&mut self) {
+        let off = self.layout.telem_offset();
+        let seq = self.region.load_u64(off, Ordering::Acquire);
+        if seq == 0 || seq == self.telem_seen_seq {
+            return;
+        }
+        let mut raw = [0u8; TELEM_LEN as usize];
+        self.region.read(off, &mut raw).expect("in-layout read");
+        let Some((seq, snap)) = TelemetrySnapshot::decode(&raw) else {
+            return;
+        };
+        if seq <= self.telem_seen_seq {
+            return;
+        }
+        self.telem_seen_seq = seq;
+        self.engine_telem = Some(snap);
+        self.stats.telem_scrapes += 1;
+        self.rec.record(
+            Component::Client,
+            EventKind::TelemetryScraped,
+            0,
+            seq,
+            snap.backlog,
+        );
+    }
+
+    /// The freshest engine telemetry snapshot scraped off the readback
+    /// region (with its seqlock stamp), or `None` if no valid snapshot has
+    /// landed yet. Scraping happens on the normal [`Channel::refresh`]
+    /// poll sweep — the client never issues a verb for it.
+    pub fn engine_telemetry(&self) -> Option<(u64, TelemetrySnapshot)> {
+        self.engine_telem.map(|s| (self.telem_seen_seq, s))
+    }
+
+    /// Export the scraped engine snapshot as `cowbird.engine.readback.*`
+    /// gauges, labelled with the owning shard. No-op until a snapshot has
+    /// landed.
+    pub fn export_engine_telemetry(&self, reg: &telemetry::MetricsRegistry) {
+        let Some((seq, snap)) = self.engine_telemetry() else {
+            return;
+        };
+        let shard = snap.shard_id.to_string();
+        let labels: &[(&str, &str)] = &[("shard", shard.as_str())];
+        reg.gauge_set("cowbird.engine.readback.snapshot_seq", labels, seq as f64);
+        reg.gauge_set(
+            "cowbird.engine.readback.sweeps_count",
+            labels,
+            snap.sweeps as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.backlog_len",
+            labels,
+            snap.backlog as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.reads_executed_count",
+            labels,
+            snap.reads_executed as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.writes_executed_count",
+            labels,
+            snap.writes_executed as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.red_updates_count",
+            labels,
+            snap.red_updates as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.chain_posts_count",
+            labels,
+            snap.chain_posts as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.chained_wrs_count",
+            labels,
+            snap.chained_wrs as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.sg_merges_count",
+            labels,
+            snap.sg_merges as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.arena_hits_count",
+            labels,
+            snap.arena_hits as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.arena_misses_count",
+            labels,
+            snap.arena_misses as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.arena_recycled_count",
+            labels,
+            snap.arena_recycled as f64,
+        );
+        reg.gauge_set(
+            "cowbird.engine.readback.shard_queue_len",
+            labels,
+            snap.shard_queue_depth as f64,
+        );
     }
 
     /// Last completed sequence number for an operation type (cached; call
@@ -1032,6 +1161,56 @@ mod tests {
         // A refresh with no progress is not a run.
         ch.refresh();
         assert_eq!(ch.stats.completion_runs, 1);
+    }
+
+    #[test]
+    fn refresh_scrapes_readback_snapshots_and_skips_torn_images() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        assert_eq!(ch.engine_telemetry(), None);
+        ch.refresh();
+        assert_eq!(ch.engine_telemetry(), None, "zeroed region yields nothing");
+        assert_eq!(ch.stats.telem_scrapes, 0);
+
+        // The engine lands a snapshot (over RDMA in production; same bytes).
+        let snap = TelemetrySnapshot {
+            sweeps: 40,
+            backlog: 3,
+            shard_id: 2,
+            shard_queue_depth: 5,
+            ..TelemetrySnapshot::default()
+        };
+        let off = ch.layout().telem_offset();
+        ch.region().write(off, &snap.encode(2)).unwrap();
+        ch.refresh();
+        assert_eq!(ch.engine_telemetry(), Some((2, snap)));
+        assert_eq!(ch.stats.telem_scrapes, 1);
+        // Unchanged stamp: no re-decode, no new scrape.
+        ch.refresh();
+        assert_eq!(ch.stats.telem_scrapes, 1);
+
+        // A torn image (stamp bumped, trailer stale) is ignored and the
+        // previous snapshot survives.
+        let mut torn = snap.encode(4);
+        torn[TELEM_LEN as usize - 8..].copy_from_slice(&2u64.to_le_bytes());
+        ch.region().write(off, &torn).unwrap();
+        ch.refresh();
+        assert_eq!(ch.engine_telemetry(), Some((2, snap)));
+        assert_eq!(ch.stats.telem_scrapes, 1);
+
+        // The settled image lands on the next poll.
+        let snap2 = TelemetrySnapshot { sweeps: 80, ..snap };
+        ch.region().write(off, &snap2.encode(4)).unwrap();
+        ch.refresh();
+        assert_eq!(ch.engine_telemetry(), Some((4, snap2)));
+        assert_eq!(ch.stats.telem_scrapes, 2);
+
+        // Exported gauges carry the shard label and suffixed names.
+        let reg = telemetry::MetricsRegistry::new();
+        ch.export_engine_telemetry(&reg);
+        let json = reg.snapshot().to_json();
+        assert!(json.contains("cowbird.engine.readback.sweeps_count"));
+        assert!(json.contains("cowbird.engine.readback.shard_queue_len"));
+        assert!(json.contains("{shard=2}"));
     }
 
     #[test]

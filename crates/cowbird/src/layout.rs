@@ -16,6 +16,9 @@
 //!             │ request data ring (raw write payloads)   │
 //!             ├──────────────────────────────────────────┤
 //!             │ response data ring (raw read results)    │
+//!             ├──────────────────────────────────────────┤
+//!             │ telemetry readback (engine → client)     │  seqlock-stamped
+//!             │   seq · version · engine counters · seq  │  snapshot, 128 B
 //!             └──────────────────────────────────────────┘
 //! ```
 //!
@@ -128,6 +131,113 @@ impl RedBlock {
 /// Start of the metadata ring.
 pub const RINGS_OFFSET: u64 = 128;
 
+/// Bytes of the in-band telemetry readback region (16 words) that trails
+/// the response data ring.
+pub const TELEM_LEN: u64 = 128;
+/// Snapshot format version; bumped when the word layout changes.
+pub const TELEM_VERSION: u64 = 1;
+
+/// In-band engine telemetry snapshot, pushed by the engine into the
+/// channel's readback region with the same fire-and-forget RDMA write
+/// machinery as any completion data — the compute CPU issues zero extra
+/// verbs to observe its remote engine.
+///
+/// Torn-read protection is a seqlock stamp carried *inside* the image: the
+/// engine writes one consistent 128-byte image per export with an even,
+/// monotonically increasing sequence number in both the first and the last
+/// word. A client that reads the region while an RDMA write is landing sees
+/// mismatched (or odd) stamps and simply keeps its previous snapshot; there
+/// is no retry loop because the next poll sweep scrapes again anyway.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Probe sweeps the engine has run.
+    pub sweeps: u64,
+    /// Requests parsed but not yet executed (sweep depth / queue backlog).
+    pub backlog: u64,
+    pub reads_executed: u64,
+    pub writes_executed: u64,
+    pub red_updates: u64,
+    /// Coalescing: doorbells actually rung.
+    pub chain_posts: u64,
+    /// Coalescing: work requests carried by those chains.
+    pub chained_wrs: u64,
+    /// Coalescing: adjacent transfers merged into one SGE.
+    pub sg_merges: u64,
+    /// Buffer arena reuse.
+    pub arena_hits: u64,
+    pub arena_misses: u64,
+    pub arena_recycled: u64,
+    /// Shard serving this channel (0 for single-core engines).
+    pub shard_id: u64,
+    /// Ops queued on that shard across all of its channels.
+    pub shard_queue_depth: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Serialize with seqlock stamp `seq` (must be even and non-zero) in
+    /// the first and last words; word 1 carries [`TELEM_VERSION`].
+    pub fn encode(&self, seq: u64) -> [u8; TELEM_LEN as usize] {
+        debug_assert!(seq != 0 && seq.is_multiple_of(2), "seqlock stamps are even");
+        let mut out = [0u8; TELEM_LEN as usize];
+        for (i, w) in [
+            seq,
+            TELEM_VERSION,
+            self.sweeps,
+            self.backlog,
+            self.reads_executed,
+            self.writes_executed,
+            self.red_updates,
+            self.chain_posts,
+            self.chained_wrs,
+            self.sg_merges,
+            self.arena_hits,
+            self.arena_misses,
+            self.arena_recycled,
+            self.shard_id,
+            self.shard_queue_depth,
+            seq,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out[i * 8..i * 8 + 8].copy_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parse a readback image. `None` for a short buffer, a torn image
+    /// (stamp mismatch or odd stamp), a never-written region (stamp 0), or
+    /// a version this client does not speak. Returns `(seq, snapshot)`.
+    pub fn decode(bytes: &[u8]) -> Option<(u64, TelemetrySnapshot)> {
+        if bytes.len() < TELEM_LEN as usize {
+            return None;
+        }
+        let word = |i: usize| u64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+        let seq = word(0);
+        if seq == 0 || seq % 2 != 0 || word(15) != seq || word(1) != TELEM_VERSION {
+            return None;
+        }
+        Some((
+            seq,
+            TelemetrySnapshot {
+                sweeps: word(2),
+                backlog: word(3),
+                reads_executed: word(4),
+                writes_executed: word(5),
+                red_updates: word(6),
+                chain_posts: word(7),
+                chained_wrs: word(8),
+                sg_merges: word(9),
+                arena_hits: word(10),
+                arena_misses: word(11),
+                arena_recycled: word(12),
+                shard_id: word(13),
+                shard_queue_depth: word(14),
+            },
+        ))
+    }
+}
+
 /// Sizing and offsets for one channel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChannelLayout {
@@ -199,9 +309,14 @@ impl ChannelLayout {
         self.rdata_offset() + (virtual_off % self.rdata_capacity)
     }
 
+    /// Offset of the in-band telemetry readback region.
+    pub fn telem_offset(&self) -> u64 {
+        self.rdata_offset() + self.rdata_capacity
+    }
+
     /// Total bytes of the channel region.
     pub fn region_size(&self) -> u64 {
-        self.rdata_offset() + self.rdata_capacity
+        self.telem_offset() + TELEM_LEN
     }
 }
 
@@ -250,7 +365,8 @@ mod tests {
         assert_eq!(l.meta_offset(), 128);
         assert_eq!(l.wdata_offset(), 128 + 1024 * 32);
         assert_eq!(l.rdata_offset(), l.wdata_offset() + (1 << 20));
-        assert_eq!(l.region_size(), l.rdata_offset() + (1 << 20));
+        assert_eq!(l.telem_offset(), l.rdata_offset() + (1 << 20));
+        assert_eq!(l.region_size(), l.telem_offset() + TELEM_LEN);
     }
 
     #[test]
@@ -316,5 +432,53 @@ mod tests {
         assert_eq!(at(RED_FLOOR_WRITES), 5);
         // Short buffers never decode.
         assert_eq!(RedBlock::decode(&bytes[..RED_LEN as usize - 1]), None);
+    }
+
+    #[test]
+    fn telemetry_snapshot_roundtrips() {
+        let snap = TelemetrySnapshot {
+            sweeps: 100,
+            backlog: 3,
+            reads_executed: 90,
+            writes_executed: 7,
+            red_updates: 42,
+            chain_posts: 12,
+            chained_wrs: 30,
+            sg_merges: 5,
+            arena_hits: 80,
+            arena_misses: 17,
+            arena_recycled: 60,
+            shard_id: 2,
+            shard_queue_depth: 9,
+        };
+        let bytes = snap.encode(44);
+        assert_eq!(bytes.len() as u64, TELEM_LEN);
+        assert_eq!(TelemetrySnapshot::decode(&bytes), Some((44, snap)));
+    }
+
+    #[test]
+    fn telemetry_snapshot_rejects_torn_and_stale_images() {
+        let snap = TelemetrySnapshot::default();
+        let good = snap.encode(2);
+
+        // Never-written region: all zeroes.
+        assert_eq!(TelemetrySnapshot::decode(&[0u8; TELEM_LEN as usize]), None);
+        // Torn image: trailing stamp from the previous export.
+        let mut torn = good;
+        torn[TELEM_LEN as usize - 8..].copy_from_slice(&4u64.to_le_bytes());
+        assert_eq!(TelemetrySnapshot::decode(&torn), None);
+        // Odd stamp (write in progress under a true shared-memory seqlock).
+        let mut odd = good;
+        odd[..8].copy_from_slice(&3u64.to_le_bytes());
+        odd[TELEM_LEN as usize - 8..].copy_from_slice(&3u64.to_le_bytes());
+        assert_eq!(TelemetrySnapshot::decode(&odd), None);
+        // Unknown format version.
+        let mut vers = good;
+        vers[8..16].copy_from_slice(&99u64.to_le_bytes());
+        assert_eq!(TelemetrySnapshot::decode(&vers), None);
+        // Short buffer.
+        assert_eq!(TelemetrySnapshot::decode(&good[..8]), None);
+        // And the good image still parses.
+        assert!(TelemetrySnapshot::decode(&good).is_some());
     }
 }

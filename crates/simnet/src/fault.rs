@@ -37,6 +37,11 @@ pub enum FaultEvent {
     LinkDown(LinkId),
     /// Bring a directional link back up.
     LinkUp(LinkId),
+    /// Set the link's delivery jitter: every delivered packet picks up an
+    /// extra delay uniform in `[0, max_extra_ns]` (deterministic per seed).
+    /// `0` clears the jitter. Models a congested or flapping path that
+    /// stays *up* — packets arrive, just late and with variance.
+    LinkJitter(LinkId, u64),
 }
 
 /// A builder for a list of timed faults.
@@ -85,6 +90,12 @@ impl FaultScript {
     /// Bring `link` up at `at`.
     pub fn link_up(self, at: Instant, link: LinkId) -> FaultScript {
         self.at(at, FaultEvent::LinkUp(link))
+    }
+
+    /// From `at`, deliver `link`'s packets with an extra delay uniform in
+    /// `[0, max_extra_ns]` (0 clears the jitter).
+    pub fn link_jitter(self, at: Instant, link: LinkId, max_extra_ns: u64) -> FaultScript {
+        self.at(at, FaultEvent::LinkJitter(link, max_extra_ns))
     }
 
     /// Convenience: a node outage over a half-open window `[from, to)`.

@@ -95,6 +95,8 @@ pub struct LinkStats {
     pub dropped_linkdown: u64,
     /// Packets with an injected corruption.
     pub corrupted: u64,
+    /// Packets delivered late by injected jitter (scheduled fault script).
+    pub jittered: u64,
     /// Serialization time spent per priority class.
     pub busy_by_prio: [Duration; PRIO_LEVELS],
 }
@@ -126,6 +128,7 @@ impl LinkStats {
             self.dropped_linkdown,
         );
         reg.counter_add("simnet.link.corrupted", labels, self.corrupted);
+        reg.counter_add("simnet.link.jittered", labels, self.jittered);
         let mut prio_labels: Vec<(&str, &str)> = labels.to_vec();
         const PRIO_NAMES: [&str; PRIO_LEVELS] = ["0", "1", "2", "3", "4", "5", "6", "7"];
         for (p, d) in self.busy_by_prio.iter().enumerate() {
@@ -166,6 +169,13 @@ pub(crate) struct Link {
     /// The in-flight packet was on the wire when the link went down; it must
     /// be discarded when its (already scheduled) tx-done event fires.
     doomed: bool,
+    /// Injected delivery jitter: extra delay uniform in `[0, jitter_ns]`
+    /// added to every delivery while nonzero (scheduled fault script).
+    jitter_ns: u64,
+    /// Latest jittered delivery time handed out, for the FIFO clamp: a
+    /// congested path delays packets but does not reorder them, and letting
+    /// jitter reorder the stream would trip RoCE Go-Back-N on every packet.
+    last_jittered_delivery: Instant,
     stats: LinkStats,
 }
 
@@ -180,6 +190,8 @@ impl Link {
             in_flight: None,
             up: true,
             doomed: false,
+            jitter_ns: 0,
+            last_jittered_delivery: Instant::ZERO,
             stats: LinkStats::default(),
         }
     }
@@ -199,6 +211,11 @@ impl Link {
             }
         }
         self.up = up;
+    }
+
+    /// (Re)configure delivery jitter; `0` restores nominal latency.
+    pub(crate) fn set_jitter(&mut self, max_extra_ns: u64) {
+        self.jitter_ns = max_extra_ns;
     }
 
     pub(crate) fn stats(&self) -> &LinkStats {
@@ -285,7 +302,15 @@ impl Link {
             pkt.meta |= CORRUPT_FLAG;
             self.stats.corrupted += 1;
         }
-        (Some((pkt, now + self.params.propagation)), next_done)
+        let mut deliver_at = now + self.params.propagation;
+        if self.jitter_ns > 0 {
+            deliver_at += Duration::from_nanos(rng.next_below(self.jitter_ns + 1));
+            // FIFO clamp: a queue delays, it never reorders.
+            deliver_at = deliver_at.max(self.last_jittered_delivery);
+            self.last_jittered_delivery = deliver_at;
+            self.stats.jittered += 1;
+        }
+        (Some((pkt, deliver_at)), next_done)
     }
 }
 
@@ -395,6 +420,51 @@ mod tests {
         let (_f, next) = link.tx_done(t, &mut rng);
         assert!(next.is_some());
         assert_eq!(link.in_flight.as_ref().unwrap().prio, 7);
+    }
+
+    #[test]
+    fn jitter_delays_delivery_within_bound_and_clears() {
+        let params = LinkParams::new(1e9, Duration::from_nanos(100));
+        let mut link = Link::new(NodeId(0), NodeId(1), params);
+        let mut rng = Rng::new(7);
+        link.set_jitter(500);
+        let done = link
+            .enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng)
+            .unwrap();
+        let (finished, _) = link.tx_done(done, &mut rng);
+        let (_pkt, at) = finished.unwrap();
+        assert!(at >= done + Duration::from_nanos(100), "never early");
+        assert!(at <= done + Duration::from_nanos(600), "bounded extra");
+        assert_eq!(link.stats().jittered, 1);
+        // Clearing restores nominal propagation exactly.
+        link.set_jitter(0);
+        let done2 = link.enqueue(at, mk_pkt(125, 0), &mut rng).unwrap();
+        let (finished, _) = link.tx_done(done2, &mut rng);
+        assert_eq!(finished.unwrap().1, done2 + Duration::from_nanos(100));
+        assert_eq!(link.stats().jittered, 1);
+    }
+
+    #[test]
+    fn jitter_never_reorders_the_stream() {
+        // Back-to-back packets with jitter far above the serialization gap:
+        // without the FIFO clamp a late packet would overtake an early one
+        // and trip the RoCE PSN check on every delivery.
+        let params = LinkParams::new(1e9, Duration::from_nanos(100));
+        let mut link = Link::new(NodeId(0), NodeId(1), params);
+        let mut rng = Rng::new(11);
+        link.set_jitter(10_000);
+        let mut done = link
+            .enqueue(Instant::ZERO, mk_pkt(125, 0), &mut rng)
+            .unwrap();
+        let mut last = Instant::ZERO;
+        for _ in 0..64 {
+            link.enqueue(done, mk_pkt(125, 0), &mut rng);
+            let (finished, next) = link.tx_done(done, &mut rng);
+            let (_pkt, at) = finished.unwrap();
+            assert!(at >= last, "jitter must not reorder deliveries");
+            last = at;
+            done = next.unwrap();
+        }
     }
 
     #[test]

@@ -296,7 +296,7 @@ impl Sim {
             FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => {
                 assert!((n.0 as usize) < self.nodes.len(), "fault on unknown node");
             }
-            FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) => {
+            FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) | FaultEvent::LinkJitter(l, _) => {
                 assert!(l.0 < self.links.len(), "fault on unknown link");
             }
         }
@@ -336,6 +336,17 @@ impl Sim {
                 self.trace
                     .event(self.now, 0, EventKind::LinkUp, 0, l.0 as u64, 0);
                 self.links[l.0].set_up(true);
+            }
+            FaultEvent::LinkJitter(l, max_extra_ns) => {
+                self.trace.event(
+                    self.now,
+                    0,
+                    EventKind::LinkJitter,
+                    0,
+                    l.0 as u64,
+                    max_extra_ns,
+                );
+                self.links[l.0].set_jitter(max_extra_ns);
             }
         }
     }

@@ -81,6 +81,13 @@ pub enum EventKind {
     StaleRedIgnored = 6,
     /// The progress-stall watchdog tripped. a = pending requests.
     EngineStalled = 7,
+    /// The tail-latency SLO watchdog flagged a request: its latency pushed
+    /// the sliding-window p99.9 past the SLO. a = latency ns, b = window
+    /// p99.9 ns at the violation.
+    TailViolation = 8,
+    /// Client scraped a fresh in-band telemetry snapshot from the channel's
+    /// readback region. a = snapshot sequence, b = engine backlog.
+    TelemetryScraped = 9,
 
     // ---- engine lifecycle ----
     /// Engine issued a green-block probe.
@@ -116,6 +123,9 @@ pub enum EventKind {
     EnginePreempted = 28,
     /// A spot engine parked (paused) its loop.
     EngineParked = 29,
+    /// Engine pushed an in-band telemetry snapshot to the readback region.
+    /// a = snapshot sequence, b = engine backlog.
+    TelemetryExported = 30,
 
     // ---- fabric / pool ----
     /// An rkey was revoked at the pool NIC (fencing). a = rkey.
@@ -138,6 +148,9 @@ pub enum EventKind {
     /// Packet delivered. node = dst; a packs `prio << 56 | src << 32 |
     /// wire_bytes`, b = packet meta.
     PktRx = 53,
+    /// Fault script: link jitter (re)configured. a = link id, b = maximum
+    /// extra delivery delay in ns (0 clears).
+    LinkJitter = 54,
 
     /// Free-form marker. a and b are caller-defined.
     Mark = 63,
@@ -153,6 +166,8 @@ impl EventKind {
             5 => EventKind::TakeoverObserved,
             6 => EventKind::StaleRedIgnored,
             7 => EventKind::EngineStalled,
+            8 => EventKind::TailViolation,
+            9 => EventKind::TelemetryScraped,
             16 => EventKind::ProbeSent,
             17 => EventKind::ProbeFoundWork,
             18 => EventKind::FenceObserved,
@@ -167,6 +182,7 @@ impl EventKind {
             27 => EventKind::GoBackN,
             28 => EventKind::EnginePreempted,
             29 => EventKind::EngineParked,
+            30 => EventKind::TelemetryExported,
             40 => EventKind::RkeyRevoked,
             41 => EventKind::PacketDropped,
             48 => EventKind::NodeDown,
@@ -175,6 +191,7 @@ impl EventKind {
             51 => EventKind::LinkUp,
             52 => EventKind::PktTx,
             53 => EventKind::PktRx,
+            54 => EventKind::LinkJitter,
             63 => EventKind::Mark,
             _ => return None,
         })
@@ -189,6 +206,8 @@ impl EventKind {
             EventKind::TakeoverObserved => "TakeoverObserved",
             EventKind::StaleRedIgnored => "StaleRedIgnored",
             EventKind::EngineStalled => "EngineStalled",
+            EventKind::TailViolation => "TailViolation",
+            EventKind::TelemetryScraped => "TelemetryScraped",
             EventKind::ProbeSent => "ProbeSent",
             EventKind::ProbeFoundWork => "ProbeFoundWork",
             EventKind::FenceObserved => "FenceObserved",
@@ -203,6 +222,7 @@ impl EventKind {
             EventKind::GoBackN => "GoBackN",
             EventKind::EnginePreempted => "EnginePreempted",
             EventKind::EngineParked => "EngineParked",
+            EventKind::TelemetryExported => "TelemetryExported",
             EventKind::RkeyRevoked => "RkeyRevoked",
             EventKind::PacketDropped => "PacketDropped",
             EventKind::NodeDown => "NodeDown",
@@ -211,6 +231,7 @@ impl EventKind {
             EventKind::LinkUp => "LinkUp",
             EventKind::PktTx => "PktTx",
             EventKind::PktRx => "PktRx",
+            EventKind::LinkJitter => "LinkJitter",
             EventKind::Mark => "Mark",
         }
     }

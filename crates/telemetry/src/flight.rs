@@ -173,6 +173,25 @@ impl Telemetry {
     pub fn write_flight_dump(&self, scenario: &str) -> io::Result<PathBuf> {
         self.dump().write_to_default_dir(scenario)
     }
+
+    /// A dump scoped around one request's span: every event of `req`, plus
+    /// every other event within `pad_ns` of the span's time range — the
+    /// surrounding traffic that explains *why* the request was slow. The
+    /// SLO watchdog uses this to snapshot a flagged request.
+    pub fn req_dump(&self, req: u64, pad_ns: u64) -> FlightDump {
+        self.dump().scoped_to_req(req, pad_ns)
+    }
+
+    /// [`Self::req_dump`] persisted as `<dir>/<scenario>.json` + `.txt`;
+    /// returns the JSON path.
+    pub fn write_req_flight_dump(
+        &self,
+        scenario: &str,
+        req: u64,
+        pad_ns: u64,
+    ) -> io::Result<PathBuf> {
+        self.req_dump(req, pad_ns).write_to_default_dir(scenario)
+    }
 }
 
 /// A merged multi-node event dump.
@@ -205,6 +224,34 @@ impl FlightDump {
         std::env::var_os("COWBIRD_FLIGHT_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("target/flight-recorder"))
+    }
+
+    /// Narrow the dump to one request's span: keeps every event with
+    /// `e.req == req`, and every other event whose timestamp falls within
+    /// `pad_ns` of the span's `[first, last]` range. An unknown `req`
+    /// yields an empty dump (same node table).
+    pub fn scoped_to_req(&self, req: u64, pad_ns: u64) -> FlightDump {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for e in self.events.iter().filter(|e| e.req == req) {
+            lo = lo.min(e.ts_ns);
+            hi = hi.max(e.ts_ns);
+        }
+        let events = if lo > hi {
+            Vec::new()
+        } else {
+            let lo = lo.saturating_sub(pad_ns);
+            let hi = hi.saturating_add(pad_ns);
+            self.events
+                .iter()
+                .filter(|e| e.req == req || (e.ts_ns >= lo && e.ts_ns <= hi))
+                .copied()
+                .collect()
+        };
+        FlightDump {
+            events,
+            nodes: self.nodes.clone(),
+        }
     }
 
     /// Write `<scenario>.json` + `<scenario>.txt` under [`Self::default_dir`];

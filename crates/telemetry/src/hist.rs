@@ -58,21 +58,6 @@ impl Histogram {
         (magnitude.min(MAGNITUDES - 1)) * SUB_BUCKETS + sub
     }
 
-    /// Representative (midpoint) value for a bucket index.
-    #[inline]
-    fn value_of(index: usize) -> u64 {
-        let magnitude = index / SUB_BUCKETS;
-        let sub = (index % SUB_BUCKETS) as u64;
-        if magnitude == 0 {
-            sub
-        } else {
-            // For magnitude >= 1 the recorded sub-index keeps its implicit
-            // high bit (it lies in [32, 64)); shifting back and adding half a
-            // bucket width gives the midpoint of the bucket's range.
-            (sub << magnitude) + (1u64 << magnitude) / 2
-        }
-    }
-
     /// Record one sample.
     #[inline]
     pub fn record(&mut self, v: u64) {
@@ -112,20 +97,40 @@ impl Histogram {
     }
 
     /// Value at quantile `q` in `[0, 1]`. Returns 0 for an empty histogram.
+    ///
+    /// The target rank's position *within* its log bucket is linearly
+    /// interpolated across the bucket's `[lo, lo + width)` value range, so a
+    /// quantile that lands early in a wide bucket answers near the bucket's
+    /// low edge instead of a fixed midpoint. The estimate is clamped into
+    /// the observed `[min, max]` range so small-count histograms (and the
+    /// sparsely-filled final bucket) stay honest.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
         let q = q.clamp(0.0, 1.0);
         let target = ((q * self.count as f64).ceil() as u64).max(1);
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                // Clamp the bucket-midpoint estimate into the observed range
-                // so small-count histograms stay honest.
-                return Self::value_of(i).clamp(self.min, self.max);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let magnitude = i / SUB_BUCKETS;
+                let sub = (i % SUB_BUCKETS) as u64;
+                if magnitude == 0 {
+                    // Exact linear bucket: the value is the index itself.
+                    return sub.clamp(self.min, self.max);
+                }
+                let lo = (sub << magnitude) as f64;
+                let width = (1u64 << magnitude) as f64;
+                // Rank offset inside the bucket, centered on the sample
+                // (the `- 0.5`), as a fraction of the bucket's population.
+                let into = (target - seen) as f64 - 0.5;
+                let v = lo + width * (into / c as f64).clamp(0.0, 1.0);
+                return (v.round() as u64).clamp(self.min, self.max);
+            }
+            seen += c;
         }
         self.max
     }
@@ -138,6 +143,11 @@ impl Histogram {
     /// 99th percentile.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the tail the SLO watchdog tracks.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Merge another histogram into this one.
@@ -235,5 +245,47 @@ mod tests {
         h.record(1_000_003);
         assert_eq!(h.median(), 1_000_003);
         assert_eq!(h.p99(), 1_000_003);
+        assert_eq!(h.p999(), 1_000_003);
+    }
+
+    #[test]
+    fn interpolated_quantiles_pin_known_distributions() {
+        // Uniform 0..1000: interpolation must land within one bucket width
+        // of the exact answer (width 4 near 250, width 16 near 750) — the
+        // old midpoint rule could be off by half a bucket systematically.
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let q25 = h.quantile(0.25) as i64;
+        let q75 = h.quantile(0.75) as i64;
+        assert!((q25 - 250).abs() <= 4, "q25 {q25}");
+        assert!((q75 - 750).abs() <= 16, "q75 {q75}");
+
+        // Two spikes: 500 samples at 100, 500 at 200. Interpolated answers
+        // must stay inside the spike's own bucket (widths 2 and 4).
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(100);
+        }
+        for _ in 0..500 {
+            h.record(200);
+        }
+        let p25 = h.quantile(0.25);
+        let p50 = h.median();
+        let p75 = h.quantile(0.75);
+        assert!((100..=102).contains(&p25), "p25 {p25}");
+        assert!((100..=102).contains(&p50), "p50 {p50}");
+        assert!((200..=204).contains(&p75), "p75 {p75}");
+    }
+
+    #[test]
+    fn p999_tracks_the_tail() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p999 = h.p999() as f64;
+        assert!((p999 - 9_990.0).abs() / 9_990.0 < 0.02, "p999 {p999}");
     }
 }

@@ -37,6 +37,9 @@ pub mod profile;
 pub mod recorder;
 pub mod ring;
 pub mod span;
+pub mod tail;
+pub mod units;
+pub mod waterfall;
 
 pub use attribution::{AttrRow, AttributionDump, Fig2Breakdown};
 pub use event::{Component, Event, EventKind};
@@ -47,3 +50,5 @@ pub use profile::{CostAccount, CycleScope, Phase, Profiler, PHASE_COUNT};
 pub use recorder::{wall_now_ns, Recorder};
 pub use ring::EventRing;
 pub use span::{req_label, spans, Span};
+pub use tail::{SlidingQuantile, SloWatchdog, TailViolation};
+pub use waterfall::{tail_report, PhaseWaterfall, TailPhase, TailReport, TAIL_PHASES};

@@ -124,6 +124,7 @@ pub struct HistSummary {
     pub min: u64,
     pub p50: u64,
     pub p99: u64,
+    pub p999: u64,
     pub max: u64,
 }
 
@@ -135,6 +136,7 @@ impl HistSummary {
             min: h.min(),
             p50: h.median(),
             p99: h.p99(),
+            p999: h.p999(),
             max: h.max(),
         }
     }
@@ -212,8 +214,8 @@ impl MetricsSnapshot {
             out.push_str(&format!(": {{\"count\": {}, \"mean\": ", h.count));
             json::write_f64(&mut out, h.mean);
             out.push_str(&format!(
-                ", \"min\": {}, \"p50\": {}, \"p99\": {}, \"max\": {}}}",
-                h.min, h.p50, h.p99, h.max
+                ", \"min\": {}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}",
+                h.min, h.p50, h.p99, h.p999, h.max
             ));
         }
         if !self.hists.is_empty() {

@@ -1,0 +1,266 @@
+//! Streaming tail-latency tracking: sliding-window quantiles per op-class
+//! and an SLO watchdog that flags the request that pushed p99.9 over the
+//! line.
+//!
+//! The window is a ring of [`Histogram`] chunks: recording rotates to the
+//! next chunk every `window / chunks` samples (clearing it first), so the
+//! tracked population is always the last `window` samples give or take one
+//! chunk, with O(1) record and constant memory. Quantile queries merge the
+//! chunks; the watchdog caches the merged p99.9 and refreshes it lazily so
+//! the per-sample cost stays flat.
+//!
+//! On a violation — the observed latency exceeds the SLO *and* the window's
+//! p99.9 is itself above the SLO — [`SloWatchdog::observe`] hands back a
+//! [`TailViolation`] naming the offending request, so the caller can record
+//! an [`crate::event::EventKind::TailViolation`] event and trigger a
+//! request-scoped flight dump ([`crate::Telemetry::write_req_flight_dump`]).
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+use crate::metrics::MetricsRegistry;
+
+/// Number of histogram chunks a sliding window rotates through.
+const CHUNKS: usize = 8;
+
+/// How many samples may pass between refreshes of the cached window p99.9.
+const REFRESH_EVERY: u64 = 32;
+
+/// Sliding-window quantile tracker over the last ~`window` samples.
+pub struct SlidingQuantile {
+    chunks: Vec<Histogram>,
+    head: usize,
+    chunk_cap: u64,
+    in_head: u64,
+}
+
+impl SlidingQuantile {
+    /// A window of (approximately) the last `window` samples; `window` is
+    /// rounded up to at least one sample per chunk.
+    pub fn new(window: usize) -> SlidingQuantile {
+        let chunk_cap = (window.max(CHUNKS) / CHUNKS) as u64;
+        SlidingQuantile {
+            chunks: (0..CHUNKS).map(|_| Histogram::new()).collect(),
+            head: 0,
+            chunk_cap,
+            in_head: 0,
+        }
+    }
+
+    /// Record one sample, expiring the oldest chunk when the head fills.
+    pub fn record(&mut self, v: u64) {
+        if self.in_head >= self.chunk_cap {
+            self.head = (self.head + 1) % CHUNKS;
+            self.chunks[self.head] = Histogram::new();
+            self.in_head = 0;
+        }
+        self.chunks[self.head].record(v);
+        self.in_head += 1;
+    }
+
+    /// Samples currently in the window.
+    pub fn count(&self) -> u64 {
+        self.chunks.iter().map(|c| c.count()).sum()
+    }
+
+    /// Merge the live chunks into one histogram (quantile queries).
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for c in &self.chunks {
+            out.merge(c);
+        }
+        out
+    }
+
+    /// Window quantile (merges chunks; not a per-sample-rate call).
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.merged().quantile(q)
+    }
+}
+
+/// One flagged request: its latency pushed the window tail past the SLO.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailViolation {
+    /// Op-class the sample belongs to (e.g. `"read"`, `"write"`).
+    pub class: String,
+    /// Raw `ReqId` word of the offending request (0 if not request-scoped).
+    pub req: u64,
+    /// The offending sample, nanoseconds.
+    pub latency_ns: u64,
+    /// The window's p99.9 at the violation, nanoseconds.
+    pub p999_ns: u64,
+    /// The SLO that was broken, nanoseconds.
+    pub slo_p999_ns: u64,
+}
+
+struct ClassState {
+    window: SlidingQuantile,
+    cached_p999: u64,
+    since_refresh: u64,
+}
+
+/// Per-op-class SLO watchdog over sliding-window p99/p99.9.
+pub struct SloWatchdog {
+    slo_p999_ns: u64,
+    min_samples: u64,
+    cooldown: u64,
+    since_trigger: u64,
+    violations: u64,
+    classes: BTreeMap<String, ClassState>,
+}
+
+impl SloWatchdog {
+    /// Watch for window p99.9 above `slo_p999_ns`. No violation fires until
+    /// a class has seen `min_samples` samples; after a trigger the watchdog
+    /// stays quiet for `cooldown` further samples so one degradation does
+    /// not produce a dump per request.
+    pub fn new(slo_p999_ns: u64, min_samples: u64, cooldown: u64) -> SloWatchdog {
+        SloWatchdog {
+            slo_p999_ns,
+            min_samples,
+            cooldown,
+            since_trigger: u64::MAX,
+            violations: 0,
+            classes: BTreeMap::new(),
+        }
+    }
+
+    /// Feed one completed request. Returns the violation, if this sample
+    /// both breaks the SLO itself and leaves the window p99.9 above it.
+    pub fn observe(&mut self, class: &str, req: u64, latency_ns: u64) -> Option<TailViolation> {
+        let state = self
+            .classes
+            .entry(class.to_string())
+            .or_insert_with(|| ClassState {
+                window: SlidingQuantile::new(1024),
+                cached_p999: 0,
+                since_refresh: u64::MAX,
+            });
+        state.window.record(latency_ns);
+        // Lazily refresh the cached tail: on cadence, or eagerly when the
+        // sample itself is suspicious (cheap in the common fast case).
+        if state.since_refresh >= REFRESH_EVERY || latency_ns > self.slo_p999_ns {
+            state.cached_p999 = state.window.quantile(0.999);
+            state.since_refresh = 0;
+        } else {
+            state.since_refresh += 1;
+        }
+        self.since_trigger = self.since_trigger.saturating_add(1);
+        if state.window.count() < self.min_samples
+            || latency_ns <= self.slo_p999_ns
+            || state.cached_p999 <= self.slo_p999_ns
+            || self.since_trigger <= self.cooldown
+        {
+            return None;
+        }
+        self.since_trigger = 0;
+        self.violations += 1;
+        Some(TailViolation {
+            class: class.to_string(),
+            req,
+            latency_ns,
+            p999_ns: state.cached_p999,
+            slo_p999_ns: self.slo_p999_ns,
+        })
+    }
+
+    /// Violations fired so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Export per-class window quantiles and the violation counter:
+    /// `cowbird.tail.p50_ns` / `.p99_ns` / `.p999_ns` gauges labelled by
+    /// class, plus `cowbird.tail.violations_count`.
+    pub fn export(&self, reg: &MetricsRegistry, labels: &[(&str, &str)]) {
+        for (class, state) in &self.classes {
+            let merged = state.window.merged();
+            let mut l = labels.to_vec();
+            l.push(("class", class.as_str()));
+            reg.gauge_set("cowbird.tail.p50_ns", &l, merged.median() as f64);
+            reg.gauge_set("cowbird.tail.p99_ns", &l, merged.p99() as f64);
+            reg.gauge_set("cowbird.tail.p999_ns", &l, merged.p999() as f64);
+        }
+        reg.counter_add("cowbird.tail.violations_count", labels, self.violations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_expires_old_samples() {
+        let mut w = SlidingQuantile::new(64);
+        for _ in 0..64 {
+            w.record(1_000_000);
+        }
+        assert!(w.quantile(0.5) >= 1_000_000);
+        // Push a full window of fast samples: the slow population ages out.
+        for _ in 0..64 {
+            w.record(100);
+        }
+        assert!(w.quantile(0.5) <= 102, "p50 {}", w.quantile(0.5));
+        assert!(w.count() <= 64 + 64 / CHUNKS as u64);
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_within_slo() {
+        let mut wd = SloWatchdog::new(10_000, 32, 0);
+        for i in 0..1000 {
+            assert_eq!(wd.observe("read", i, 1_000 + (i % 7) * 100), None);
+        }
+        assert_eq!(wd.violations(), 0);
+    }
+
+    #[test]
+    fn watchdog_flags_the_offending_request_and_cools_down() {
+        let mut wd = SloWatchdog::new(10_000, 32, 100);
+        for i in 0..64 {
+            assert_eq!(wd.observe("read", i, 1_000), None);
+        }
+        // A genuine tail excursion: enough slow samples that the window
+        // p99.9 itself crosses the SLO.
+        let mut fired = Vec::new();
+        for i in 0..8 {
+            if let Some(v) = wd.observe("read", 7_000 + i, 50_000) {
+                fired.push(v);
+            }
+        }
+        assert_eq!(fired.len(), 1, "cooldown must suppress repeats");
+        let v = &fired[0];
+        assert_eq!(v.class, "read");
+        assert!(v.req >= 7_000);
+        assert_eq!(v.latency_ns, 50_000);
+        assert!(v.p999_ns > 10_000);
+    }
+
+    #[test]
+    fn one_outlier_does_not_break_the_window_p999() {
+        // p99.9 of a 1024-sample window needs more than one slow sample to
+        // move; a single blip must not fire the watchdog.
+        let mut wd = SloWatchdog::new(10_000, 32, 0);
+        for i in 0..1023 {
+            assert_eq!(wd.observe("read", i, 500), None);
+        }
+        assert_eq!(wd.observe("read", 9_999, 50_000), None);
+    }
+
+    #[test]
+    fn classes_are_tracked_independently() {
+        let mut wd = SloWatchdog::new(10_000, 8, 0);
+        for i in 0..64 {
+            wd.observe("write", i, 50_000); // writes are slow but...
+        }
+        // ...a fast read must not be blamed for the write tail.
+        assert_eq!(wd.observe("read", 1, 500), None);
+        let reg = MetricsRegistry::new();
+        wd.export(&reg, &[]);
+        let snap = reg.snapshot();
+        assert!(snap.gauges.contains_key("cowbird.tail.p999_ns{class=read}"));
+        assert!(snap
+            .gauges
+            .contains_key("cowbird.tail.p999_ns{class=write}"));
+        assert!(snap.counters.contains_key("cowbird.tail.violations_count"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Metric naming and units convention for `cowbird.*` metrics.
+//!
+//! Every registered metric must have a *documented unit*, resolvable from
+//! its name alone. Two mechanisms, checked in order:
+//!
+//! 1. **Suffix convention** (preferred, required for new metrics): the name
+//!    ends in one of the suffixes in [`SUFFIX_UNITS`] — `_ns`, `_bytes`,
+//!    `_ops`, `_frac`, and friends. A dashboard (or a human reading a
+//!    `metrics.json`) can tell nanoseconds from ratios without a lookup.
+//! 2. **Legacy allowlist** ([`NAME_UNITS`]): dimensionless event counters
+//!    named after the event they count (`cowbird.client.polls`,
+//!    `cowbird.engine.reads_executed`, ...). This table is *frozen* — do not
+//!    add new entries; give new metrics a unit suffix instead. The registry
+//!    audit test in `cowbird-bench` fails on any `cowbird.*` name that
+//!    resolves through neither mechanism.
+//!
+//! Labels (`{k=v,...}`) are ignored when resolving a unit.
+
+/// Unit suffixes, longest-match-first. New metrics must use one of these.
+pub const SUFFIX_UNITS: &[(&str, &str)] = &[
+    ("_per_wr", "SGEs per work request"),
+    ("_bytes", "bytes"),
+    ("_cores", "CPU cores"),
+    ("_count", "events"),
+    ("_flag", "boolean (0 or 1)"),
+    ("_frac", "ratio in [0, 1]"),
+    ("_rate", "ratio in [0, 1]"),
+    ("_len", "entries"),
+    ("_ops", "operations"),
+    ("_seq", "sequence number"),
+    ("_ns", "nanoseconds"),
+];
+
+/// Frozen allowlist for pre-convention names: dimensionless occurrence
+/// counters (unit "events") plus a few sized legacy names. Do not extend —
+/// new metrics take a suffix from [`SUFFIX_UNITS`].
+pub const NAME_UNITS: &[(&str, &str)] = &[
+    // ---- client ----
+    ("cowbird.client.reads_issued", "events"),
+    ("cowbird.client.writes_issued", "events"),
+    ("cowbird.client.issue_retries", "events"),
+    ("cowbird.client.polls", "events"),
+    ("cowbird.client.stale_red_ignored", "events"),
+    ("cowbird.client.engine_takeovers", "events"),
+    ("cowbird.client.fences", "events"),
+    ("cowbird.client.completion_runs", "events"),
+    // ---- engine core ----
+    ("cowbird.engine.probes_sent", "events"),
+    ("cowbird.engine.probes_found_work", "events"),
+    ("cowbird.engine.meta_fetches", "events"),
+    ("cowbird.engine.meta_entries", "entries"),
+    ("cowbird.engine.reads_executed", "events"),
+    ("cowbird.engine.writes_executed", "events"),
+    ("cowbird.engine.pool_reads", "events"),
+    ("cowbird.engine.pool_writes", "events"),
+    ("cowbird.engine.compute_reads", "events"),
+    ("cowbird.engine.compute_writes", "events"),
+    ("cowbird.engine.red_updates", "events"),
+    ("cowbird.engine.batches_flushed", "events"),
+    ("cowbird.engine.reads_paused", "events"),
+    ("cowbird.engine.writes_held", "events"),
+    ("cowbird.engine.bytes_to_compute", "bytes"),
+    ("cowbird.engine.bytes_to_pool", "bytes"),
+    ("cowbird.engine.replay_skipped", "events"),
+    ("cowbird.engine.adoptions", "events"),
+    ("cowbird.engine.fenced", "boolean (0 or 1)"),
+    // ---- engine coalescing ----
+    ("cowbird.engine.coalesce.chain_posts", "events"),
+    ("cowbird.engine.coalesce.chained_wrs", "events"),
+    ("cowbird.engine.coalesce.sge_total", "events"),
+    ("cowbird.engine.coalesce.sg_merges", "events"),
+    ("cowbird.engine.coalesce.moderation_deferred", "events"),
+    ("cowbird.engine.coalesce.moderation_flushes", "events"),
+    // ---- engine group shards ----
+    ("cowbird.engine.shard.channels", "channels"),
+    ("cowbird.engine.shard.sweeps", "events"),
+    ("cowbird.engine.shard.spins", "events"),
+    ("cowbird.engine.shard.yields", "events"),
+    ("cowbird.engine.shard.parks", "events"),
+    ("cowbird.engine.shard.wakes", "events"),
+    ("cowbird.engine.shard.migrations_out", "events"),
+    ("cowbird.engine.shard.migrations_in", "events"),
+    ("cowbird.engine.shard.steals_requested", "events"),
+    ("cowbird.engine.shard.steals_honored", "events"),
+    ("cowbird.engine.shard.retired", "events"),
+    ("cowbird.engine.arena.hits", "events"),
+    ("cowbird.engine.arena.misses", "events"),
+    ("cowbird.engine.arena.recycled", "events"),
+];
+
+/// The documented unit for a registry key, or `None` if the name violates
+/// the convention. Labels are stripped before resolution.
+pub fn unit_of(key: &str) -> Option<&'static str> {
+    let name = key.split('{').next().unwrap_or(key);
+    if let Some(&(_, unit)) = NAME_UNITS.iter().find(|&&(n, _)| n == name) {
+        return Some(unit);
+    }
+    SUFFIX_UNITS
+        .iter()
+        .find(|&&(suffix, _)| name.ends_with(suffix))
+        .map(|&(_, unit)| unit)
+}
+
+/// Audit an iterator of registry keys: returns every `cowbird.*` key whose
+/// unit cannot be resolved. Empty result = the registry passes.
+pub fn audit<'a>(keys: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    keys.into_iter()
+        .filter(|k| k.starts_with("cowbird.") && unit_of(k).is_none())
+        .map(|k| k.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suffixes_resolve() {
+        assert_eq!(unit_of("cowbird.client.latency_ns"), Some("nanoseconds"));
+        assert_eq!(
+            unit_of("cowbird.engine.arena.hit_rate"),
+            Some("ratio in [0, 1]")
+        );
+        assert_eq!(
+            unit_of("cowbird.profile.remote_mem_frac{system=cowbird}"),
+            Some("ratio in [0, 1]")
+        );
+        assert_eq!(unit_of("cowbird.profile.freed_cores"), Some("CPU cores"));
+        assert_eq!(unit_of("cowbird.client.max_run_len"), Some("entries"));
+        assert_eq!(
+            unit_of("cowbird.engine.coalesce.sge_per_wr"),
+            Some("SGEs per work request")
+        );
+    }
+
+    #[test]
+    fn legacy_names_resolve_and_unitless_names_fail() {
+        assert_eq!(unit_of("cowbird.engine.bytes_to_pool"), Some("bytes"));
+        assert_eq!(unit_of("cowbird.client.polls{channel=0}"), Some("events"));
+        assert_eq!(unit_of("cowbird.engine.some_new_thing"), None);
+        let bad = audit(["cowbird.engine.some_new_thing", "cowbird.client.polls"]);
+        assert_eq!(bad, vec!["cowbird.engine.some_new_thing".to_string()]);
+    }
+
+    #[test]
+    fn non_cowbird_names_are_out_of_scope_for_audit() {
+        assert!(audit(["simnet.link.tx_packets"]).is_empty());
+    }
+
+    #[test]
+    fn every_legacy_entry_is_reachable() {
+        // A legacy entry shadowed by a suffix rule would be dead weight and
+        // a sign the name should be dropped from the frozen table.
+        for &(name, unit) in NAME_UNITS {
+            assert_eq!(unit_of(name), Some(unit), "{name}");
+            assert!(name.starts_with("cowbird."), "{name}");
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Phase-waterfall decomposition of request latency, and the tail
+//! attribution report built from it.
+//!
+//! A request's life is carved into the pipeline phases of the Cowbird data
+//! path using the events every layer already records:
+//!
+//! ```text
+//! client post   the issue event itself (instantaneous at event granularity)
+//! ring wait     Read/WriteIssued → the engine sweep that picked it up
+//!               (latest ProbeFoundWork on the executing node)
+//! engine sweep  that sweep → Read/WriteExecuted (includes the meta fetch)
+//! fabric        Read/WriteExecuted → ComputeWrite: the pool round trip,
+//!               wire legs included
+//! pool          pool-side service time; the passive pool in this
+//!               reproduction serves at the NIC with no queueing model of
+//!               its own, so its share folds into `fabric` and this phase
+//!               reads 0
+//! completion    last engine touch → RequestCompleted (return leg plus the
+//!               client's poll lag)
+//! ```
+//!
+//! [`tail_report`] ranks spans by duration, decomposes the slowest K, and
+//! names the dominant phase — the automated version of squinting at a
+//! flight dump.
+
+use crate::event::{Event, EventKind};
+use crate::span::{self, spans};
+
+/// Number of phases in the waterfall.
+pub const TAIL_PHASES: usize = 6;
+
+/// One phase of the request pipeline, in pipeline order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TailPhase {
+    ClientPost = 0,
+    RingWait = 1,
+    EngineSweep = 2,
+    Fabric = 3,
+    Pool = 4,
+    Completion = 5,
+}
+
+impl TailPhase {
+    pub const ALL: [TailPhase; TAIL_PHASES] = [
+        TailPhase::ClientPost,
+        TailPhase::RingWait,
+        TailPhase::EngineSweep,
+        TailPhase::Fabric,
+        TailPhase::Pool,
+        TailPhase::Completion,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            TailPhase::ClientPost => "client_post",
+            TailPhase::RingWait => "ring_wait",
+            TailPhase::EngineSweep => "engine_sweep",
+            TailPhase::Fabric => "fabric",
+            TailPhase::Pool => "pool",
+            TailPhase::Completion => "completion",
+        }
+    }
+}
+
+/// One request's latency split across the pipeline phases.
+#[derive(Clone, Debug)]
+pub struct PhaseWaterfall {
+    /// Raw `ReqId` word.
+    pub req: u64,
+    /// Issue-to-completion nanoseconds.
+    pub total_ns: u64,
+    /// Per-phase nanoseconds, indexed by `TailPhase as usize`.
+    pub phases: [u64; TAIL_PHASES],
+}
+
+impl PhaseWaterfall {
+    /// Decompose `req` against a merged event dump. Needs the *full* dump
+    /// (not just the request's span): the sweep pickup is a non-request-
+    /// scoped engine event. Returns `None` without both an issue and a
+    /// completion event for the request.
+    pub fn from_events(events: &[Event], req: u64) -> Option<PhaseWaterfall> {
+        let mut issued: Option<u64> = None;
+        let mut executed: Option<(u64, u16)> = None;
+        let mut compute_write: Option<u64> = None;
+        let mut completed: Option<u64> = None;
+        for e in events.iter().filter(|e| e.req == req) {
+            match e.kind {
+                EventKind::ReadIssued | EventKind::WriteIssued => {
+                    issued = Some(issued.map_or(e.ts_ns, |t: u64| t.min(e.ts_ns)));
+                }
+                EventKind::ReadExecuted | EventKind::WriteExecuted
+                    if executed.is_none_or(|(t, _)| e.ts_ns < t) =>
+                {
+                    executed = Some((e.ts_ns, e.node));
+                }
+                EventKind::ComputeWrite => {
+                    compute_write = Some(compute_write.map_or(e.ts_ns, |t: u64| t.min(e.ts_ns)));
+                }
+                EventKind::RequestCompleted => {
+                    completed = Some(completed.map_or(e.ts_ns, |t: u64| t.min(e.ts_ns)));
+                }
+                _ => {}
+            }
+        }
+        let issued = issued?;
+        let completed = completed?;
+        let mut phases = [0u64; TAIL_PHASES];
+        let mut last_engine = issued;
+        if let Some((exec_ts, exec_node)) = executed {
+            // The sweep that picked the request up: the engine's latest
+            // ProbeFoundWork between issue and execution.
+            let pickup = events
+                .iter()
+                .filter(|e| {
+                    e.kind == EventKind::ProbeFoundWork
+                        && e.node == exec_node
+                        && e.ts_ns >= issued
+                        && e.ts_ns <= exec_ts
+                })
+                .map(|e| e.ts_ns)
+                .next_back();
+            match pickup {
+                Some(p) => {
+                    phases[TailPhase::RingWait as usize] = p.saturating_sub(issued);
+                    phases[TailPhase::EngineSweep as usize] = exec_ts.saturating_sub(p);
+                }
+                None => {
+                    phases[TailPhase::RingWait as usize] = exec_ts.saturating_sub(issued);
+                }
+            }
+            last_engine = exec_ts;
+            if let Some(cw) = compute_write {
+                phases[TailPhase::Fabric as usize] = cw.saturating_sub(exec_ts);
+                last_engine = last_engine.max(cw);
+            }
+        }
+        phases[TailPhase::Completion as usize] = completed.saturating_sub(last_engine);
+        Some(PhaseWaterfall {
+            req,
+            total_ns: completed.saturating_sub(issued),
+            phases,
+        })
+    }
+
+    /// The phase carrying the most nanoseconds (ties go to the earlier
+    /// pipeline stage).
+    pub fn dominant(&self) -> TailPhase {
+        let mut best = TailPhase::ClientPost;
+        for p in TailPhase::ALL {
+            if self.phases[p as usize] > self.phases[best as usize] {
+                best = p;
+            }
+        }
+        best
+    }
+}
+
+/// The slowest-K requests of a dump, decomposed and summed per phase.
+#[derive(Clone, Debug, Default)]
+pub struct TailReport {
+    /// Slowest requests, longest first.
+    pub slowest: Vec<PhaseWaterfall>,
+    /// Per-phase nanoseconds summed over `slowest`.
+    pub phase_totals_ns: [u64; TAIL_PHASES],
+}
+
+impl TailReport {
+    /// The phase dominating the slow tail, or `None` for an empty report.
+    pub fn dominant(&self) -> Option<TailPhase> {
+        if self.slowest.is_empty() {
+            return None;
+        }
+        let mut best = TailPhase::ClientPost;
+        for p in TailPhase::ALL {
+            if self.phase_totals_ns[p as usize] > self.phase_totals_ns[best as usize] {
+                best = p;
+            }
+        }
+        Some(best)
+    }
+
+    /// Human-readable waterfall table for the slow tail.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "tail attribution: {} slow requests, dominant phase: {}\n",
+            self.slowest.len(),
+            self.dominant().map_or("-", TailPhase::name),
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>12}  {}\n",
+            "req",
+            "total_ns",
+            TailPhase::ALL.map(TailPhase::name).join(" ")
+        ));
+        for w in &self.slowest {
+            out.push_str(&format!(
+                "{:<14} {:>12}  {}\n",
+                span::req_label(w.req),
+                w.total_ns,
+                w.phases.map(|n| n.to_string()).join(" "),
+            ));
+        }
+        out
+    }
+}
+
+/// Rank every completed request in `events` by duration and decompose the
+/// slowest `k` into a [`TailReport`].
+pub fn tail_report(events: &[Event], k: usize) -> TailReport {
+    let mut falls: Vec<PhaseWaterfall> = spans(events)
+        .iter()
+        .filter_map(|s| PhaseWaterfall::from_events(events, s.req))
+        .collect();
+    falls.sort_by_key(|w| std::cmp::Reverse(w.total_ns));
+    falls.truncate(k);
+    let mut phase_totals_ns = [0u64; TAIL_PHASES];
+    for w in &falls {
+        for (t, p) in phase_totals_ns.iter_mut().zip(w.phases) {
+            *t += p;
+        }
+    }
+    TailReport {
+        slowest: falls,
+        phase_totals_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Component;
+
+    fn ev(ts: u64, node: u16, component: Component, kind: EventKind, req: u64) -> Event {
+        Event {
+            ts_ns: ts,
+            node,
+            component,
+            kind,
+            req,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    fn read_lifecycle(
+        issue: u64,
+        pickup: u64,
+        exec: u64,
+        cw: u64,
+        done: u64,
+        req: u64,
+    ) -> Vec<Event> {
+        vec![
+            ev(issue, 0, Component::Client, EventKind::ReadIssued, req),
+            ev(pickup, 1, Component::Engine, EventKind::ProbeFoundWork, 0),
+            ev(exec, 1, Component::Engine, EventKind::ReadExecuted, req),
+            ev(cw, 1, Component::Engine, EventKind::ComputeWrite, req),
+            ev(done, 0, Component::Client, EventKind::RequestCompleted, req),
+        ]
+    }
+
+    #[test]
+    fn waterfall_splits_a_read_lifecycle() {
+        let events = read_lifecycle(100, 400, 450, 1450, 1500, 7);
+        let w = PhaseWaterfall::from_events(&events, 7).unwrap();
+        assert_eq!(w.total_ns, 1400);
+        assert_eq!(w.phases[TailPhase::RingWait as usize], 300);
+        assert_eq!(w.phases[TailPhase::EngineSweep as usize], 50);
+        assert_eq!(w.phases[TailPhase::Fabric as usize], 1000);
+        assert_eq!(w.phases[TailPhase::Completion as usize], 50);
+        assert_eq!(w.dominant(), TailPhase::Fabric);
+    }
+
+    #[test]
+    fn missing_pickup_folds_into_ring_wait() {
+        let mut events = read_lifecycle(100, 400, 450, 1450, 1500, 7);
+        events.retain(|e| e.kind != EventKind::ProbeFoundWork);
+        let w = PhaseWaterfall::from_events(&events, 7).unwrap();
+        assert_eq!(w.phases[TailPhase::RingWait as usize], 350);
+        assert_eq!(w.phases[TailPhase::EngineSweep as usize], 0);
+    }
+
+    #[test]
+    fn incomplete_requests_are_skipped() {
+        let mut events = read_lifecycle(100, 400, 450, 1450, 1500, 7);
+        events.retain(|e| e.kind != EventKind::RequestCompleted);
+        assert!(PhaseWaterfall::from_events(&events, 7).is_none());
+    }
+
+    #[test]
+    fn report_ranks_by_duration_and_names_the_dominant_phase() {
+        let mut events = Vec::new();
+        // Fast request: completes in 200 ns.
+        events.extend(read_lifecycle(0, 50, 60, 150, 200, 1));
+        // Slow request: 10 µs stuck waiting for a sweep.
+        events.extend(read_lifecycle(1_000, 10_500, 10_550, 11_000, 11_050, 2));
+        events.sort_by_key(|e| e.ts_ns);
+        let r = tail_report(&events, 1);
+        assert_eq!(r.slowest.len(), 1);
+        assert_eq!(r.slowest[0].req, 2);
+        assert_eq!(r.dominant(), Some(TailPhase::RingWait));
+        assert!(r.to_text().contains("ring_wait"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property: a watchdog-triggered, request-scoped flight dump contains the
+//! *complete* span of the flagged request even when the bounded event ring
+//! has wrapped around.
+//!
+//! The flight recorder's ring evicts oldest-first, so the guarantee the SLO
+//! watchdog relies on is bounded, not absolute: the flagged request's span
+//! survives as long as fewer than `capacity` events land on its node
+//! between the span's first event and the dump. This proptest drives that
+//! bound hard — arbitrary pre-span noise (often many times the capacity, so
+//! the ring *has* wrapped by the time the span starts), the span's own
+//! events interleaved with in-span noise kept under the capacity bound —
+//! and asserts the scoped dump reproduces the whole span, in timestamp
+//! order, with padding-window context events around it.
+
+use proptest::prelude::*;
+use telemetry::{Component, EventKind, Telemetry};
+
+const FLAGGED: u64 = 0xF1A6;
+
+#[derive(Debug, Clone)]
+struct Schedule {
+    capacity: usize,
+    pre_noise: usize,
+    /// (gap_ns to previous event, is_span_event); span events happen in
+    /// order ReadIssued → ReadExecuted → ComputeWrite → RequestCompleted,
+    /// padded with extra executes if drawn longer.
+    in_span: Vec<(u64, bool)>,
+}
+
+fn schedule() -> impl Strategy<Value = Schedule> {
+    // Draw everything independently, then derive the dependent bounds in
+    // the map: in-span events (span + noise) must stay under `capacity` so
+    // the whole span survives eviction, so the gap vector is truncated to
+    // capacity - 1 entries; 3..=8 of its slots become span events.
+    (
+        32usize..128,
+        0usize..600,
+        3usize..=8,
+        collection::vec(1u64..500, 4..127),
+    )
+        .prop_map(|(capacity, pre_noise, span_events, mut gaps)| {
+            gaps.truncate(capacity - 1);
+            let n = gaps.len();
+            let span_events = span_events.min(n);
+            // Spread the span events across the in-span schedule: first
+            // and last slots are span events (the span boundaries), the
+            // rest land at even strides.
+            let mut in_span: Vec<(u64, bool)> = gaps.into_iter().map(|g| (g, false)).collect();
+            for i in 0..span_events {
+                let slot = i * (n - 1) / (span_events - 1).max(1);
+                in_span[slot].1 = true;
+            }
+            Schedule {
+                capacity,
+                pre_noise,
+                in_span,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scoped_dump_keeps_the_complete_flagged_span(s in schedule()) {
+        let hub = Telemetry::new(s.capacity);
+        let rec = hub.recorder_virtual(0, "node");
+        let mut now = 1_000u64;
+        // Pre-span noise: enough to wrap the ring several times over in
+        // most drawn cases.
+        for i in 0..s.pre_noise {
+            rec.set_now_ns(now);
+            rec.record(Component::Engine, EventKind::ProbeSent, 1 + i as u64, 0, 0);
+            now += 100;
+        }
+
+        // The flagged span, interleaved with in-span noise. Total in-span
+        // events stay below capacity, so eviction can only eat noise that
+        // precedes the span.
+        let span_kinds = [
+            EventKind::ReadIssued,
+            EventKind::ReadExecuted,
+            EventKind::ComputeWrite,
+            EventKind::RequestCompleted,
+        ];
+        let mut span_ts = Vec::new();
+        let mut span_seen = 0usize;
+        for (gap, is_span) in &s.in_span {
+            now += gap;
+            rec.set_now_ns(now);
+            if *is_span {
+                let kind = span_kinds[span_seen.min(span_kinds.len() - 1)];
+                rec.record(Component::Client, kind, FLAGGED, 0, 0);
+                span_ts.push(now);
+                span_seen += 1;
+            } else {
+                rec.record(Component::Engine, EventKind::ProbeSent, 7, 0, 0);
+            }
+        }
+
+        // What the watchdog would snapshot for the flagged request.
+        let pad_ns = 250;
+        let dump = hub.req_dump(FLAGGED, pad_ns);
+
+        let got: Vec<u64> = dump
+            .events
+            .iter()
+            .filter(|e| e.req == FLAGGED)
+            .map(|e| e.ts_ns)
+            .collect();
+        prop_assert_eq!(
+            &got,
+            &span_ts,
+            "flagged span must survive wraparound completely and in order \
+             (capacity {}, pre-noise {})",
+            s.capacity,
+            s.pre_noise
+        );
+
+        // Scoping keeps only events inside the padded window.
+        let lo = span_ts[0].saturating_sub(pad_ns);
+        let hi = span_ts[span_ts.len() - 1] + pad_ns;
+        for e in &dump.events {
+            prop_assert!(
+                e.req == FLAGGED || (e.ts_ns >= lo && e.ts_ns <= hi),
+                "context event at {} outside the padded span [{lo}, {hi}]",
+                e.ts_ns
+            );
+        }
+
+        // And the dump is a *dump*, not just the span: if noise fell inside
+        // the window (there is in-span noise whenever in_span has
+        // non-span slots), it is retained as context.
+        let in_span_noise = s.in_span.iter().filter(|(_, sp)| !sp).count();
+        if in_span_noise > 0 {
+            prop_assert!(
+                dump.events.iter().any(|e| e.req != FLAGGED),
+                "in-span context events must be retained"
+            );
+        }
+    }
+}

@@ -81,7 +81,30 @@ fn main() {
     let mut outstanding = Vec::new();
     let mut done = 0u64;
     let mut issued = 0u64;
+    // Live readback: the engine publishes a seqlock-stamped counter
+    // snapshot into the channel's telemetry region; the client scrapes it
+    // for free on its normal poll sweep. Print one line per quarter of the
+    // run — a `top`-style view with zero extra verbs on the wire.
+    let mut next_readback = OPS / 4;
     while done < OPS {
+        if done >= next_readback {
+            next_readback += OPS / 4;
+            if let Some((seq, t)) = ch.engine_telemetry() {
+                println!(
+                    "  readback #{seq}: sweeps {} backlog {} reads {} \
+                     chain posts {} (wrs {}) arena hit/miss {}/{} shard {} depth {}",
+                    t.sweeps,
+                    t.backlog,
+                    t.reads_executed,
+                    t.chain_posts,
+                    t.chained_wrs,
+                    t.arena_hits,
+                    t.arena_misses,
+                    t.shard_id,
+                    t.shard_queue_depth,
+                );
+            }
+        }
         while outstanding.len() < 16 && issued < OPS {
             match ch.async_read(1, (issued % 128) * RECORD as u64, 8) {
                 Ok(h) => {
@@ -105,6 +128,17 @@ fn main() {
     }
     let stats = agent.stop();
     assert_eq!(stats.reads_executed, OPS);
+
+    // Final scraped snapshot vs. the engine's own account: the in-band
+    // readback plane should agree with the stats the agent handed back.
+    if let Some((seq, t)) = ch.engine_telemetry() {
+        println!();
+        println!(
+            "final readback snapshot #{seq}: {} sweeps, {} reads executed \
+             (agent says {}), {} red updates, {} scrapes",
+            t.sweeps, t.reads_executed, stats.reads_executed, t.red_updates, ch.stats.telem_scrapes,
+        );
+    }
 
     // The top-style report: ranked (node, component, phase) rows with
     // per-op means and cumulative CPU share.
