@@ -18,6 +18,11 @@
 use experiments::experiments::artifacts;
 use experiments::report::{compare_bench_trajectory, write_bench_trajectory, write_metrics_json};
 
+/// Count allocations so `sim_throughput` can report allocs-per-event and
+/// the attribution report can show per-phase allocation rates.
+#[global_allocator]
+static ALLOC: telemetry::profile::TallyAlloc = telemetry::profile::TallyAlloc;
+
 fn main() {
     let filter: Vec<String> = std::env::args()
         .skip(1)

@@ -11,6 +11,7 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod sim_throughput;
 pub mod table1;
 pub mod table5;
 pub mod tail_latency;
@@ -45,6 +46,7 @@ pub fn artifacts() -> Vec<(&'static str, ArtifactFn)> {
         ("engine_scaling", engine_scaling::run),
         ("verb_coalescing", verb_coalescing::run),
         ("tail_latency", tail_latency::run),
+        ("sim_throughput", sim_throughput::run),
     ]
 }
 

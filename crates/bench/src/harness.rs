@@ -342,13 +342,34 @@ pub fn build_cowbird_failover_rig(
     crash_at: Duration,
     takeover_delay: Duration,
 ) -> (Sim, NodeId, NodeId, NodeId) {
-    let (sim, client, engine, standby, _links) = build_rig_inner(
+    let (sim, client, engine, standbys, _links) = build_rig_inner(
         cfg,
         Duration::ZERO,
         None,
-        Some((crash_at, takeover_delay, FailoverFault::Crash)),
+        Some((crash_at, takeover_delay, FailoverFault::Crash, 1)),
     );
-    (sim, client, engine, standby.expect("standby requested"))
+    (sim, client, engine, standbys[0])
+}
+
+/// The contested-election rig: like [`build_cowbird_failover_rig`], but with
+/// *two* standby engines, both activating at `crash_at + takeover_delay`.
+/// Each reads the red block and bids for the channel by compare-and-swapping
+/// the engine-epoch word at the compute NIC; the NIC's atomic execution
+/// arbitrates, so exactly one standby adopts and the other observes a lost
+/// election and stays dormant. Returns
+/// `(sim, client, primary engine, standby engines)`.
+pub fn build_cowbird_multi_standby_rig(
+    cfg: CowbirdRig,
+    crash_at: Duration,
+    takeover_delay: Duration,
+) -> (Sim, NodeId, NodeId, Vec<NodeId>) {
+    let (sim, client, engine, standbys, _links) = build_rig_inner(
+        cfg,
+        Duration::ZERO,
+        None,
+        Some((crash_at, takeover_delay, FailoverFault::Crash, 2)),
+    );
+    (sim, client, engine, standbys)
 }
 
 /// How the failover rig takes the primary engine out.
@@ -382,7 +403,7 @@ pub fn build_cowbird_partial_partition_rig(
     if cfg.watchdog.is_none() {
         cfg.watchdog = Some(Duration::from_nanos(takeover_delay.nanos() / 4));
     }
-    let (sim, client, engine, standby, _links) = build_rig_inner(
+    let (sim, client, engine, standbys, _links) = build_rig_inner(
         cfg,
         Duration::ZERO,
         None,
@@ -390,17 +411,18 @@ pub fn build_cowbird_partial_partition_rig(
             partition_at,
             takeover_delay,
             FailoverFault::Partition { heal_at },
+            1,
         )),
     );
-    (sim, client, engine, standby.expect("standby requested"))
+    (sim, client, engine, standbys[0])
 }
 
 fn build_rig_inner(
     cfg: CowbirdRig,
     client_start_after: Duration,
     adaptive_probe: Option<(Duration, u32)>,
-    failover: Option<(Duration, Duration, FailoverFault)>,
-) -> (Sim, NodeId, NodeId, Option<NodeId>, RigLinks) {
+    failover: Option<(Duration, Duration, FailoverFault, usize)>,
+) -> (Sim, NodeId, NodeId, Vec<NodeId>, RigLinks) {
     let mut sim = Sim::new(cfg.seed);
     let compute_id = NodeId(0);
     let engine_id = NodeId(1);
@@ -426,7 +448,7 @@ fn build_rig_inner(
         },
     );
 
-    let standby_id = NodeId(3);
+    let standby_count = failover.as_ref().map_or(0, |f| f.3);
 
     let layout = cfg.layout;
     let mut channel = Channel::new(0, layout, regions.clone());
@@ -437,10 +459,14 @@ fn build_rig_inner(
     let channel_rkey = nic.register(channel.region().clone());
     nic.create_qp(QpConfig::new(301, 101), engine_id);
     nic.create_qp(QpConfig::new(302, 103), engine_id);
-    if failover.is_some() {
-        nic.create_qp(QpConfig::new(311, 111), standby_id);
-        nic.create_qp(QpConfig::new(312, 113), standby_id);
-        pool.create_qp(211, 112, standby_id);
+    // Standby k gets node id 3+k and QP numbers offset by 10k from the
+    // first standby's (111/311, 113/312 on the client, 112/211 at the pool).
+    for k in 0..standby_count {
+        let o = 10 * k as u32;
+        let sid = NodeId(3 + k as u32);
+        nic.create_qp(QpConfig::new(311 + o, 111 + o), sid);
+        nic.create_qp(QpConfig::new(312 + o, 113 + o), sid);
+        pool.create_qp(211 + o, 112 + o, sid);
     }
 
     let client = CowbirdClientNode {
@@ -505,20 +531,25 @@ fn build_rig_inner(
         engine_pool: (ep_fwd, ep_rev),
     };
 
-    let standby = failover.map(|(crash_at, takeover_delay, fault)| {
-        let mut standby = EngineNode::new();
-        standby.add_standby_instance(
-            variant,
-            compute_id,
-            pool_id,
-            (111, 311, 112, 211, 113, 312),
-            channel_rkey,
-            crash_at + takeover_delay,
-        );
-        let id = sim.add_node(Box::new(standby));
-        debug_assert_eq!(id, standby_id);
-        sim.connect(compute_id, standby_id, link.clone());
-        sim.connect(standby_id, pool_id, link);
+    let mut standbys = Vec::new();
+    if let Some((crash_at, takeover_delay, fault, count)) = failover {
+        for k in 0..count {
+            let o = 10 * k as u32;
+            let mut standby = EngineNode::new();
+            standby.add_standby_instance(
+                variant.clone(),
+                compute_id,
+                pool_id,
+                (111 + o, 311 + o, 112 + o, 211 + o, 113 + o, 312 + o),
+                channel_rkey,
+                crash_at + takeover_delay,
+            );
+            let id = sim.add_node(Box::new(standby));
+            debug_assert_eq!(id, NodeId(3 + k as u32));
+            sim.connect(compute_id, id, link.clone());
+            sim.connect(id, pool_id, link.clone());
+            standbys.push(id);
+        }
         match fault {
             FailoverFault::Crash => sim.schedule_fault(
                 Instant::ZERO + crash_at,
@@ -535,9 +566,8 @@ fn build_rig_inner(
                 sim.apply_fault_script(&script);
             }
         }
-        id
-    });
-    (sim, compute_id, engine_id, standby, links)
+    }
+    (sim, compute_id, engine_id, standbys, links)
 }
 
 /// Export every stats surface of a finished rig run into the process-wide
@@ -651,6 +681,52 @@ mod tests {
         let crash = Instant(Duration::from_micros(50).nanos());
         assert!(client.completion_times.first().unwrap() < &crash);
         assert!(client.completion_times.last().unwrap() > &crash);
+    }
+
+    #[test]
+    fn two_standbys_elect_exactly_one_leader() {
+        // Both standbys activate at the same instant and bid for the channel
+        // with a compare-and-swap on the engine-epoch word. The compute NIC
+        // executes the atomics in arrival order, so exactly one wins, adopts,
+        // and finishes the workload; the loser observes a lost election and
+        // stays dormant at its configured epoch.
+        let (mut sim, cid, eid, sids) = build_cowbird_multi_standby_rig(
+            CowbirdRig {
+                seed: 27,
+                target_ops: 300,
+                inflight: 8,
+                engine_batch: 8,
+                ..Default::default()
+            },
+            Duration::from_micros(50),
+            Duration::from_micros(200),
+        );
+        assert_eq!(sids.len(), 2);
+        sim.run_until(Some(Instant(Duration::from_millis(50).nanos())));
+        assert!(sim.node_is_down(eid));
+        let client: &CowbirdClientNode = sim.node_ref(cid);
+        // Exactly once across the contested takeover, payloads verified.
+        assert_eq!(client.completed(), 300);
+        assert_eq!(client.issued(), 300);
+        assert_eq!(client.channel().progress(cowbird::reqid::OpType::Read), 300);
+        assert_eq!(client.channel().stats.engine_takeovers, 1);
+        let (won, lost, adoptions): (u64, u64, u64) = sids
+            .iter()
+            .map(|&sid| {
+                let s: &EngineNode = sim.node_ref(sid);
+                let st = &s.core(0).stats;
+                (st.elections_won, st.elections_lost, st.adoptions)
+            })
+            .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2 + b.2));
+        assert_eq!(won, 1, "exactly one standby may win the election");
+        assert_eq!(lost, 1, "the other standby must observe the loss");
+        assert_eq!(adoptions, 1, "only the winner adopts the channel");
+        // The loser never advanced past its configured epoch.
+        let dormant = sids.iter().any(|&sid| {
+            let s: &EngineNode = sim.node_ref(sid);
+            s.core(0).stats.adoptions == 0 && s.core(0).epoch() == 0
+        });
+        assert!(dormant, "the losing standby must stay dormant");
     }
 
     #[test]

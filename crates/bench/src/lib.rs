@@ -22,3 +22,9 @@ pub mod harness;
 pub mod report;
 
 pub use report::Table;
+
+/// The unit-test binary counts allocations so the `sim_throughput` tests
+/// can assert the kernel's allocs-per-event attribution end to end.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: telemetry::profile::TallyAlloc = telemetry::profile::TallyAlloc;

@@ -196,17 +196,25 @@ fn render_trajectory(sha: &str, metrics: &BTreeMap<String, f64>) -> String {
 
 /// Write `<dir>/BENCH_<sha>.json` from per-artifact metrics diffs. One
 /// metric per line so the comparator can read it back without a JSON
-/// parser. Returns the path written.
+/// parser. A pre-existing entry for the same sha is **merged**, not
+/// clobbered: keys for the artifacts just run are replaced, keys from
+/// artifacts outside this (possibly filtered) run are kept — so
+/// `--bench figures -- <name>` refreshes one artifact without discarding
+/// the rest of the trajectory entry. Returns the path written.
 pub fn write_bench_trajectory_to(
     dir: &Path,
     sha: &str,
     runs: &[(String, telemetry::MetricsSnapshot)],
 ) -> std::io::Result<PathBuf> {
-    let mut metrics = BTreeMap::new();
+    let path = dir.join(format!("BENCH_{sha}.json"));
+    let mut metrics = read_bench_trajectory(&path).unwrap_or_default();
+    for (artifact, _) in runs {
+        let prefix = format!("{artifact}/");
+        metrics.retain(|k, _| !k.starts_with(&prefix));
+    }
     for (artifact, snap) in runs {
         flatten_run(artifact, snap, &mut metrics);
     }
-    let path = dir.join(format!("BENCH_{sha}.json"));
     std::fs::write(&path, render_trajectory(sha, &metrics))?;
     Ok(path)
 }
@@ -284,14 +292,19 @@ impl fmt::Display for BenchDrift {
     }
 }
 
-/// Is `rel` a regression of a hard-gated headline metric? Per-op engine
-/// cost (`per_op_virtual_ns`, `per_op_model_ns`) must not rise; freed
-/// cores must not fall. Every other metric — and a hard-gated one moving
-/// in its *good* direction — is warn-only drift.
+/// Is `rel` a regression of a hard-gated headline metric? The classifier
+/// knows two directions: *lower-is-better* metrics (per-op engine cost
+/// `per_op_virtual_ns`/`per_op_model_ns`, simulator `allocs_per_event`)
+/// hard-fail when they rise, and *higher-is-better* metrics (freed cores,
+/// simulator `events_per_sec` throughput) hard-fail when they fall. Every
+/// other metric — and a hard-gated one moving in its *good* direction — is
+/// warn-only drift.
 fn critical_regression(key: &str, rel: f64) -> bool {
-    if key.contains("per_op_virtual_ns") || key.contains("per_op_model_ns") {
+    let lower_is_better = ["per_op_virtual_ns", "per_op_model_ns", "allocs_per_event"];
+    let higher_is_better = ["freed_cores", "events_per_sec"];
+    if lower_is_better.iter().any(|m| key.contains(m)) {
         rel > 0.0
-    } else if key.contains("freed_cores") {
+    } else if higher_is_better.iter().any(|m| key.contains(m)) {
         rel < 0.0
     } else {
         false
@@ -426,6 +439,33 @@ mod tests {
     }
 
     #[test]
+    fn filtered_rewrite_merges_into_the_existing_entry() {
+        let dir = temp_dir("merge");
+        write_bench_trajectory_to(
+            &dir,
+            "abc123",
+            &[
+                ("fig02".to_string(), snap_with(("frac", 0.5), ("ops", 100))),
+                ("tail".to_string(), snap_with(("p999", 80.0), ("ops", 7))),
+            ],
+        )
+        .unwrap();
+        // A filtered run refreshing only fig02 must keep tail's keys and
+        // replace (not union) fig02's: the dropped counter disappears.
+        let mut refreshed = telemetry::MetricsSnapshot::default();
+        refreshed.gauges.insert("frac".into(), 0.6);
+        let path =
+            write_bench_trajectory_to(&dir, "abc123", &[("fig02".to_string(), refreshed)]).unwrap();
+        telemetry::json::validate(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let back = read_bench_trajectory(&path).unwrap();
+        assert_eq!(back.get("fig02/gauge/frac"), Some(&0.6));
+        assert_eq!(back.get("fig02/counter/ops"), None);
+        assert_eq!(back.get("tail/gauge/p999"), Some(&80.0));
+        assert_eq!(back.get("tail/counter/ops"), Some(&7.0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn comparator_warns_only_beyond_tolerance() {
         let dir = temp_dir("compare");
         let old = write_bench_trajectory_to(
@@ -490,6 +530,51 @@ mod tests {
         let freed = rev.iter().find(|d| d.key.contains("freed")).unwrap();
         assert!(!cost.critical);
         assert!(freed.critical);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_gate_knows_higher_is_better_metrics() {
+        let dir = temp_dir("classify-dir");
+        let mut old_snap = telemetry::MetricsSnapshot::default();
+        old_snap
+            .gauges
+            .insert("cowbird.sim.events_per_sec".into(), 1_000_000.0);
+        old_snap
+            .gauges
+            .insert("cowbird.sim.allocs_per_event".into(), 2.0);
+        let mut new_snap = telemetry::MetricsSnapshot::default();
+        // Throughput fell 40% (regression); allocs/event fell 50%
+        // (improvement — lower is better).
+        new_snap
+            .gauges
+            .insert("cowbird.sim.events_per_sec".into(), 600_000.0);
+        new_snap
+            .gauges
+            .insert("cowbird.sim.allocs_per_event".into(), 1.0);
+        let old = write_bench_trajectory_to(&dir, "old", &[("sim".into(), old_snap)]).unwrap();
+        let new = write_bench_trajectory_to(&dir, "new", &[("sim".into(), new_snap)]).unwrap();
+        let drifts = classify_bench_entries(&new, &old, 0.25).unwrap();
+        let by_key = |needle: &str| {
+            drifts
+                .iter()
+                .find(|d| d.key.contains(needle))
+                .unwrap_or_else(|| panic!("no drift for {needle}: {drifts:?}"))
+        };
+        assert!(
+            by_key("events_per_sec").critical,
+            "throughput drop hard-fails"
+        );
+        assert!(
+            !by_key("allocs_per_event").critical,
+            "alloc-rate drop is an improvement"
+        );
+        // Reverse direction: throughput gain is fine, alloc-rate rise fails.
+        let rev = classify_bench_entries(&old, &new, 0.25).unwrap();
+        let eps = rev.iter().find(|d| d.key.contains("events_per")).unwrap();
+        let ape = rev.iter().find(|d| d.key.contains("allocs_per")).unwrap();
+        assert!(!eps.critical, "throughput gain warns only");
+        assert!(ape.critical, "alloc-rate rise hard-fails");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -382,6 +382,11 @@ pub struct EngineStats {
     pub replay_skipped: u64,
     /// Channels adopted from a predecessor's red block.
     pub adoptions: u64,
+    /// CAS elections won on the engine-epoch word (standby takeover races).
+    pub elections_won: u64,
+    /// CAS elections lost: another standby's epoch landed first and this
+    /// one stood down.
+    pub elections_lost: u64,
     /// Doorbells: runs of same-destination fabric ops a driver can post as
     /// one chained WR list. With coalescing off every op is its own chain.
     pub chain_posts: u64,
@@ -441,6 +446,8 @@ impl EngineStats {
         reg.counter_add("cowbird.engine.bytes_to_pool", labels, self.bytes_to_pool);
         reg.counter_add("cowbird.engine.replay_skipped", labels, self.replay_skipped);
         reg.counter_add("cowbird.engine.adoptions", labels, self.adoptions);
+        reg.counter_add("cowbird.engine.elections_won", labels, self.elections_won);
+        reg.counter_add("cowbird.engine.elections_lost", labels, self.elections_lost);
         reg.counter_add(
             "cowbird.engine.coalesce.chain_posts",
             labels,
@@ -1622,6 +1629,20 @@ impl EngineCore {
         self.stats.adoptions += 1;
         self.rec(EventKind::Adopted, 0, self.epoch, red.floor_idx);
         Some(self.epoch)
+    }
+
+    /// Record a won CAS election on the engine-epoch word: this standby's
+    /// compare-and-swap installed `installed` over `bid` and it will adopt.
+    pub fn note_election_won(&mut self, bid: u64, installed: u64) {
+        self.stats.elections_won += 1;
+        self.rec(EventKind::ElectionWon, 0, bid, installed);
+    }
+
+    /// Record a lost CAS election: the epoch word held `observed` instead of
+    /// `bid` (a peer standby adopted first); this engine stands down.
+    pub fn note_election_lost(&mut self, bid: u64, observed: u64) {
+        self.stats.elections_lost += 1;
+        self.rec(EventKind::ElectionLost, 0, bid, observed);
     }
 
     /// Force a red-block publish (used by a standby right after adoption so

@@ -213,6 +213,8 @@ pub mod recycle {
                 dma_len: fetch_len,
             }),
             aeth: None,
+            atomic: None,
+            atomic_ack: None,
             payload: Vec::new(),
         })
     }
@@ -245,6 +247,8 @@ pub mod recycle {
             bth,
             reth,
             aeth: None,
+            atomic: None,
+            atomic_ack: None,
             payload: resp.payload.clone(),
         })
     }
@@ -388,6 +392,8 @@ mod tests {
             bth: Bth::new(Opcode::ReadResponseOnly, 7, 3),
             reth: None,
             aeth: Some(Aeth::ack(1)),
+            atomic: None,
+            atomic_ack: None,
             payload: vec![0u8; 24],
         };
         let req = recycle::probe_response_to_meta_fetch(&probe_resp, 30, 11, 128, 5, 64).unwrap();
@@ -418,6 +424,8 @@ mod tests {
                 } else {
                     None
                 },
+                atomic: None,
+                atomic_ack: None,
                 payload: vec![0xAB; 256],
             };
             let w = recycle::read_response_to_write(&resp, 40, 21, 0x9000, 6, 2048).unwrap();

@@ -53,6 +53,15 @@ struct Instance {
     activate_after: Option<Duration>,
 }
 
+/// A standby's in-flight election bid: the CAS on the channel's engine-epoch
+/// word, posted after the red-block read. `bid` is the predecessor epoch the
+/// red snapshot showed; `red` is that snapshot, adopted iff the CAS wins.
+struct PendingElection {
+    instance: usize,
+    bid: u64,
+    red: Vec<u8>,
+}
+
 struct PendingRead {
     instance: usize,
     tag: u64,
@@ -77,6 +86,8 @@ pub struct EngineNode {
     scratch_cursor: u64,
     instances: Vec<Instance>,
     pending: HashMap<u64, PendingRead>,
+    /// In-flight election CAS bids: wr_id -> bid.
+    pending_elections: HashMap<u64, PendingElection>,
     /// Tagged writes (red-block publishes) whose delivery acknowledgment
     /// the core wants back: wr_id -> (instance, tag).
     pending_writes: HashMap<u64, (usize, u64)>,
@@ -106,6 +117,7 @@ impl EngineNode {
             scratch_cursor: 0,
             instances: Vec::new(),
             pending: HashMap::new(),
+            pending_elections: HashMap::new(),
             pending_writes: HashMap::new(),
             next_wr: 1,
             probe_prio: 7,
@@ -457,6 +469,66 @@ impl EngineNode {
         }
     }
 
+    /// Second leg of the takeover: bid for leadership by CASing the
+    /// channel's engine-epoch word from the predecessor's epoch to the
+    /// successor epoch. With several standbys racing, exactly one CAS
+    /// observes the predecessor value — the rest see the winner's epoch in
+    /// the atomic completion and stand down.
+    fn post_election_cas(&mut self, instance: usize, bid: u64, red: Vec<u8>, ctx: &mut Ctx) {
+        let wr_id = self.next_wr;
+        self.next_wr += 1;
+        self.pending_elections
+            .insert(wr_id, PendingElection { instance, bid, red });
+        let inst = &self.instances[instance];
+        let wr = WorkRequest {
+            wr_id,
+            op: WrOp::CompareSwap {
+                remote_addr: cowbird::layout::RED_ENGINE_EPOCH,
+                remote_rkey: inst.channel_rkey,
+                compare: bid,
+                swap: bid + 1,
+            },
+        };
+        match self.nic.post(inst.compute_qpn, wr, ctx.now()) {
+            Ok(pkts) => {
+                for (dst, roce) in pkts {
+                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                }
+            }
+            Err(e) => panic!("standby election CAS failed to post: {e}"),
+        }
+    }
+
+    /// The election CAS completed: adopt on a win, stand down on a loss.
+    fn settle_election(&mut self, c: &rdma::verbs::Completion, ctx: &mut Ctx) {
+        let Some(e) = self.pending_elections.remove(&c.wr_id) else {
+            return;
+        };
+        if !c.is_ok() {
+            // The bid itself was lost on the wire: restart the takeover.
+            self.post_adopt_read(e.instance, ctx);
+            return;
+        }
+        let orig = c
+            .atomic_orig
+            .expect("atomic completion carries the original value");
+        let inst = &mut self.instances[e.instance];
+        if orig != e.bid {
+            // Another standby's epoch landed first.
+            inst.core.note_election_lost(e.bid, orig);
+            return;
+        }
+        if inst.core.adopt_from_red(&e.red).is_some() {
+            inst.core.note_election_won(e.bid, e.bid + 1);
+            inst.active = true;
+            // Publish the bumped epoch, then start probing.
+            let ops = inst.core.red_update();
+            let d = inst.core.probe_interval();
+            self.exec_ops(e.instance, ops, ctx);
+            ctx.set_timer(d, e.instance as u64);
+        }
+    }
+
     /// Push virtual time into every instance's telemetry recorder and cycle
     /// profiler so events and attribution scopes carry simulated
     /// timestamps. One relaxed store per enabled sink; a no-op for disabled
@@ -489,6 +561,10 @@ impl EngineNode {
                         // The tracked publish was lost: Go-Back-N restart.
                         self.instances[instance].core.reset_to_committed();
                     }
+                    continue;
+                }
+                if c.kind == WrKind::Atomic {
+                    self.settle_election(&c, ctx);
                     continue;
                 }
                 if c.kind != WrKind::Read {
@@ -527,15 +603,20 @@ impl EngineNode {
                     .read_vec(p.scratch_off, p.len as usize)
                     .expect("scratch read");
                 if p.adopt {
-                    let inst = &mut self.instances[p.instance];
-                    if inst.core.adopt_from_red(&data).is_some() {
-                        inst.active = true;
-                        // Publish the bumped epoch, then start probing.
-                        let ops = inst.core.red_update();
-                        let d = inst.core.probe_interval();
-                        self.exec_ops(p.instance, ops, ctx);
-                        ctx.set_timer(d, p.instance as u64);
+                    // First leg of the takeover done: the red snapshot is
+                    // in. Bid for leadership iff the snapshot still shows
+                    // the predecessor we were configured against — a newer
+                    // epoch means a peer standby already won the race.
+                    let Some(red) = cowbird::layout::RedBlock::decode(&data) else {
+                        continue;
+                    };
+                    let bid = red.engine_epoch;
+                    let own = self.instances[p.instance].core.epoch();
+                    if bid != own {
+                        self.instances[p.instance].core.note_election_lost(own, bid);
+                        continue;
                     }
+                    self.post_election_cas(p.instance, bid, data, ctx);
                     continue;
                 }
                 // Attribution: dispatching fetched data is the Execute

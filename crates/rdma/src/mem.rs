@@ -242,6 +242,29 @@ impl RegionCatalog {
     pub fn remote_write(&self, rkey: Rkey, vaddr: u64, data: &[u8]) -> Result<(), MemError> {
         self.get(rkey)?.write(vaddr, data)
     }
+
+    /// Execute a remote compare-and-swap on the aligned u64 at `vaddr` of
+    /// region `rkey`. Returns the word's original value; the swap happened
+    /// iff it equals `compare`.
+    pub fn remote_compare_exchange(
+        &self,
+        rkey: Rkey,
+        vaddr: u64,
+        compare: u64,
+        swap: u64,
+    ) -> Result<u64, MemError> {
+        let region = self.get(rkey)?;
+        if !vaddr.is_multiple_of(8) || vaddr + 8 > region.len() as u64 {
+            return Err(MemError::OutOfBounds {
+                offset: vaddr,
+                len: 8,
+                size: region.len(),
+            });
+        }
+        Ok(match region.compare_exchange_u64(vaddr, compare, swap) {
+            Ok(orig) | Err(orig) => orig,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -202,8 +202,18 @@ pub struct Qp {
     /// makes progress — without this, a reordered burst triggers a NAK/GBN
     /// storm.
     last_nak_for: Option<u32>,
+    /// Responder-side atomic response cache: `(psn, original value)` of
+    /// recently executed atomics. Unlike reads, atomics must NOT be
+    /// re-executed on a Go-Back-N duplicate — a replayed CAS could observe
+    /// its own earlier swap and report a lost election that was won. Real
+    /// RNICs keep a small "responder resources" table for exactly this;
+    /// duplicates are answered from the cache.
+    atomic_responses: VecDeque<(u32, u64)>,
     pub counters: QpCounters,
 }
+
+/// Responder atomic-response cache depth (IBTA "responder resources").
+const ATOMIC_CACHE_DEPTH: usize = 16;
 
 impl Qp {
     pub fn new(cfg: QpConfig) -> Qp {
@@ -218,6 +228,7 @@ impl Qp {
             write_in_progress: None,
             send_in_progress: None,
             last_nak_for: None,
+            atomic_responses: VecDeque::new(),
             counters: QpCounters::default(),
             cfg,
         }
@@ -360,6 +371,22 @@ impl Qp {
                 let pkts = self.segment_write(first_psn, *remote_addr, *remote_rkey, &data);
                 Ok((WrKind::Write, pkts.len() as u32, pkts))
             }
+            WrOp::CompareSwap {
+                remote_addr,
+                remote_rkey,
+                compare,
+                swap,
+            } => {
+                let pkt = RocePacket::comp_swap(
+                    self.cfg.peer_qpn,
+                    first_psn,
+                    *remote_addr,
+                    *remote_rkey,
+                    *compare,
+                    *swap,
+                );
+                Ok((WrKind::Atomic, 1, vec![pkt]))
+            }
             WrOp::Send { payload } => {
                 let pkts = self.segment_send(first_psn, payload);
                 Ok((WrKind::Send, pkts.len() as u32, pkts))
@@ -392,6 +419,8 @@ impl Qp {
                 bth,
                 reth,
                 aeth: None,
+                atomic: None,
+                atomic_ack: None,
                 payload: chunk.to_vec(),
             });
         }
@@ -414,6 +443,8 @@ impl Qp {
                 bth,
                 reth: None,
                 aeth: None,
+                atomic: None,
+                atomic_ack: None,
                 payload: chunk.to_vec(),
             });
         }
@@ -429,6 +460,8 @@ impl Qp {
         let op = pkt.bth.opcode;
         if op == Opcode::Acknowledge {
             self.handle_ack(pkt, cat, now, &mut out);
+        } else if op == Opcode::AtomicAcknowledge {
+            self.handle_atomic_ack(pkt, now, &mut out);
         } else if op.is_read_response() {
             self.handle_read_response(pkt, cat, now, &mut out);
         } else {
@@ -451,10 +484,15 @@ impl Qp {
             Syndrome::Ack => {
                 self.counters.acks_rx += 1;
                 self.last_progress = now;
-                // Cumulative: complete every non-read WQE whose last PSN is
-                // <= acked PSN. (Reads complete via response data.)
+                // Cumulative: complete every non-read, non-atomic WQE whose
+                // last PSN is <= acked PSN. (Reads complete via response
+                // data; atomics via the atomic ACK that carries the
+                // original value.)
                 while let Some(front) = self.outstanding.front() {
-                    if front.kind != WrKind::Read && psn_le(front.last_psn(), pkt.bth.psn) {
+                    if front.kind != WrKind::Read
+                        && front.kind != WrKind::Atomic
+                        && psn_le(front.last_psn(), pkt.bth.psn)
+                    {
                         let w = self.outstanding.pop_front().unwrap();
                         out.completions.push(Completion::ok(w.wr_id, w.kind));
                     } else {
@@ -518,12 +556,50 @@ impl Qp {
             // A read response also acknowledges everything before it.
             let first = w.first_psn;
             while let Some(front) = self.outstanding.front() {
-                if front.kind != WrKind::Read && psn_le(front.last_psn(), first) {
+                if front.kind != WrKind::Read
+                    && front.kind != WrKind::Atomic
+                    && psn_le(front.last_psn(), first)
+                {
                     let fw = self.outstanding.pop_front().unwrap();
                     out.completions.push(Completion::ok(fw.wr_id, fw.kind));
                 } else {
                     break;
                 }
+            }
+        }
+    }
+
+    fn handle_atomic_ack(&mut self, pkt: &RocePacket, now: Instant, out: &mut QpOutput) {
+        // Like read responses, atomic ACKs target the oldest outstanding
+        // atomic WQE (RC responses are strictly ordered).
+        let Some(idx) = self
+            .outstanding
+            .iter()
+            .position(|w| w.kind == WrKind::Atomic)
+        else {
+            self.counters.dropped_out_of_order += 1;
+            return;
+        };
+        if pkt.bth.psn != self.outstanding[idx].first_psn {
+            self.counters.dropped_out_of_order += 1;
+            return;
+        }
+        let Some(orig) = pkt.atomic_ack else { return };
+        self.counters.acks_rx += 1;
+        self.last_progress = now;
+        let w = self.outstanding.remove(idx).unwrap();
+        out.completions.push(Completion::ok_atomic(w.wr_id, orig));
+        // The atomic ACK also acknowledges everything before it.
+        let first = w.first_psn;
+        while let Some(front) = self.outstanding.front() {
+            if front.kind != WrKind::Read
+                && front.kind != WrKind::Atomic
+                && psn_le(front.last_psn(), first)
+            {
+                let fw = self.outstanding.pop_front().unwrap();
+                out.completions.push(Completion::ok(fw.wr_id, fw.kind));
+            } else {
+                break;
             }
         }
     }
@@ -565,6 +641,31 @@ impl Qp {
         let psn = pkt.bth.psn;
         let op = pkt.bth.opcode;
 
+        if op == Opcode::CompareSwap
+            && !psn_eq(psn, self.expected_psn)
+            && psn_lt(psn, self.expected_psn)
+        {
+            // Duplicate atomic: answer from the response cache, never
+            // re-execute (a replayed CAS would observe its own swap).
+            if let Some(&(_, orig)) = self
+                .atomic_responses
+                .iter()
+                .find(|(cached_psn, _)| psn_eq(*cached_psn, psn))
+            {
+                out.emit.push(RocePacket::atomic_ack(
+                    self.cfg.peer_qpn,
+                    psn,
+                    self.msn,
+                    orig,
+                ));
+            } else {
+                // Cache evicted (can only happen ATOMIC_CACHE_DEPTH atomics
+                // later, long after the WQE completed): plain re-ACK.
+                out.emit
+                    .push(RocePacket::ack(self.cfg.peer_qpn, psn, self.msn));
+            }
+            return;
+        }
         if op == Opcode::ReadRequest
             && !psn_eq(psn, self.expected_psn)
             && psn_lt(psn, self.expected_psn)
@@ -621,9 +722,38 @@ impl Qp {
                                 bth,
                                 reth: None,
                                 aeth,
+                                atomic: None,
+                                atomic_ack: None,
                                 payload: chunk.to_vec(),
                             });
                         }
+                    }
+                    Err(_) => {
+                        self.counters.naks_tx += 1;
+                        out.emit.push(RocePacket::nak(
+                            self.cfg.peer_qpn,
+                            self.expected_psn,
+                            self.msn,
+                        ));
+                    }
+                }
+            }
+            Opcode::CompareSwap => {
+                let Some(eth) = pkt.atomic else { return };
+                match cat.remote_compare_exchange(eth.rkey, eth.vaddr, eth.compare, eth.swap) {
+                    Ok(orig) => {
+                        self.expected_psn = wrap_add(psn, 1);
+                        self.msn = (self.msn + 1) & 0x00FF_FFFF;
+                        if self.atomic_responses.len() >= ATOMIC_CACHE_DEPTH {
+                            self.atomic_responses.pop_front();
+                        }
+                        self.atomic_responses.push_back((psn, orig));
+                        out.emit.push(RocePacket::atomic_ack(
+                            self.cfg.peer_qpn,
+                            psn,
+                            self.msn,
+                            orig,
+                        ));
                     }
                     Err(_) => {
                         self.counters.naks_tx += 1;
@@ -1274,6 +1404,168 @@ mod tests {
         assert_eq!(remote.read_vec(300, 100).unwrap(), seg1);
         assert_eq!(remote.read_vec(400, 200).unwrap(), seg2);
         assert_eq!(remote.read_vec(600, 50).unwrap(), seg3);
+    }
+
+    #[test]
+    fn compare_swap_roundtrip_reports_original_value() {
+        let (mut a, a_cat, mut b, mut b_cat) = pair(1024);
+        let remote = Region::new(64);
+        remote.store_u64(8, 5, std::sync::atomic::Ordering::Release);
+        let rkey = b_cat.register(remote.clone());
+
+        let cas = |compare: u64, swap: u64| WorkRequest {
+            wr_id: compare,
+            op: WrOp::CompareSwap {
+                remote_addr: 8,
+                remote_rkey: rkey,
+                compare,
+                swap,
+            },
+        };
+        // Winning CAS: word flips 5 -> 9, completion reports orig 5.
+        let pkts = a.post(cas(5, 9), &a_cat, Instant::ZERO).unwrap();
+        assert_eq!(pkts.len(), 1);
+        assert_eq!(pkts[0].bth.opcode, Opcode::CompareSwap);
+        let (completions, _) = exchange(pkts, &mut b, &b_cat, &mut a, &a_cat);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].kind, WrKind::Atomic);
+        assert_eq!(completions[0].atomic_orig, Some(5));
+        assert_eq!(remote.load_u64(8, std::sync::atomic::Ordering::Acquire), 9);
+        // Losing CAS: word stays 9, completion reports orig 9 != compare.
+        let pkts = a.post(cas(5, 77), &a_cat, Instant::ZERO).unwrap();
+        let (completions, _) = exchange(pkts, &mut b, &b_cat, &mut a, &a_cat);
+        assert_eq!(completions[0].atomic_orig, Some(9));
+        assert_eq!(remote.load_u64(8, std::sync::atomic::Ordering::Acquire), 9);
+        assert_eq!(a.outstanding(), 0);
+    }
+
+    #[test]
+    fn duplicate_compare_swap_answers_from_cache_without_reexecution() {
+        let (mut a, a_cat, mut b, mut b_cat) = pair(1024);
+        let remote = Region::new(64);
+        let rkey = b_cat.register(remote.clone());
+        let pkts = a
+            .post(
+                WorkRequest {
+                    wr_id: 1,
+                    op: WrOp::CompareSwap {
+                        remote_addr: 0,
+                        remote_rkey: rkey,
+                        compare: 0,
+                        swap: 7,
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        let first = b.handle(&pkts[0], &b_cat, Instant::ZERO);
+        assert_eq!(first.emit.len(), 1);
+        assert_eq!(first.emit[0].bth.opcode, Opcode::AtomicAcknowledge);
+        assert_eq!(first.emit[0].atomic_ack, Some(0));
+        assert_eq!(remote.load_u64(0, std::sync::atomic::Ordering::Acquire), 7);
+
+        // Reset the word; a Go-Back-N replay of the same request must be
+        // answered from the cache — re-execution would swap it back to 7.
+        remote.store_u64(0, 0, std::sync::atomic::Ordering::Release);
+        let dup = b.handle(&pkts[0], &b_cat, Instant::ZERO);
+        assert_eq!(dup.emit.len(), 1);
+        assert_eq!(dup.emit[0].atomic_ack, Some(0), "cached original value");
+        assert_eq!(
+            remote.load_u64(0, std::sync::atomic::Ordering::Acquire),
+            0,
+            "duplicate atomic must not re-execute"
+        );
+        // The (possibly duplicated) response completes the WQE exactly once.
+        let done = a.handle(&first.emit[0], &a_cat, Instant::ZERO);
+        assert_eq!(done.completions.len(), 1);
+        assert_eq!(done.completions[0].atomic_orig, Some(0));
+        let stale = a.handle(&dup.emit[0], &a_cat, Instant::ZERO);
+        assert!(stale.completions.is_empty());
+    }
+
+    #[test]
+    fn cumulative_ack_skips_atomics() {
+        let (mut a, mut a_cat, _b, mut b_cat) = pair(1024);
+        let local = Region::new(64);
+        local.write(0, &[7; 8]).unwrap();
+        let lkey = a_cat.register(local);
+        let rkey = b_cat.register(Region::new(64));
+        let write = |id: u64| WorkRequest {
+            wr_id: id,
+            op: WrOp::Write {
+                local_rkey: lkey,
+                local_addr: 0,
+                remote_addr: 0,
+                remote_rkey: rkey,
+                len: 8,
+            },
+        };
+        a.post(write(0), &a_cat, Instant::ZERO).unwrap(); // psn 0
+        a.post(
+            WorkRequest {
+                wr_id: 1,
+                op: WrOp::CompareSwap {
+                    remote_addr: 0,
+                    remote_rkey: rkey,
+                    compare: 0,
+                    swap: 1,
+                },
+            },
+            &a_cat,
+            Instant::ZERO,
+        )
+        .unwrap(); // psn 1
+        a.post(write(2), &a_cat, Instant::ZERO).unwrap(); // psn 2
+
+        // A cumulative ACK up to PSN 2 completes only the first write: the
+        // atomic needs its original value, and the second write must not
+        // complete out of order ahead of it.
+        let out = a.handle(&RocePacket::ack(1, 2, 3), &a_cat, Instant::ZERO);
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].wr_id, 0);
+        // The atomic ACK retires the atomic; a further ACK retires the rest.
+        let out = a.handle(&RocePacket::atomic_ack(1, 1, 2, 0), &a_cat, Instant::ZERO);
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].atomic_orig, Some(0));
+        let out = a.handle(&RocePacket::ack(1, 2, 3), &a_cat, Instant::ZERO);
+        assert_eq!(out.completions.len(), 1);
+        assert_eq!(out.completions[0].wr_id, 2);
+        assert_eq!(a.outstanding(), 0);
+    }
+
+    #[test]
+    fn timeout_replays_compare_swap() {
+        let (mut a, a_cat, _b, mut b_cat) = pair(1024);
+        let rkey = b_cat.register(Region::new(64));
+        let _lost = a
+            .post(
+                WorkRequest {
+                    wr_id: 4,
+                    op: WrOp::CompareSwap {
+                        remote_addr: 8,
+                        remote_rkey: rkey,
+                        compare: 3,
+                        swap: 4,
+                    },
+                },
+                &a_cat,
+                Instant::ZERO,
+            )
+            .unwrap();
+        let replay = a.tick(Instant(200_000), &a_cat);
+        assert_eq!(replay.len(), 1);
+        assert_eq!(replay[0].bth.opcode, Opcode::CompareSwap);
+        assert_eq!(replay[0].bth.psn, 0);
+        assert_eq!(
+            replay[0].atomic.unwrap(),
+            crate::wire::AtomicEth {
+                vaddr: 8,
+                rkey,
+                swap: 4,
+                compare: 3,
+            }
+        );
     }
 
     #[test]

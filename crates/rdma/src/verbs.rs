@@ -16,6 +16,9 @@ pub enum WrKind {
     Read,
     Write,
     Send,
+    /// Remote atomic (compare-and-swap); completes via an atomic ACK
+    /// carrying the target word's original value.
+    Atomic,
 }
 
 /// A work request operation.
@@ -70,6 +73,17 @@ pub enum WrOp {
         remote_rkey: Rkey,
         segments: Vec<PoolBuf>,
     },
+    /// Atomic compare-and-swap on the 8-byte word at `remote_addr` of
+    /// `remote_rkey`: iff the word equals `compare`, it becomes `swap`. The
+    /// completion's `atomic_orig` reports the original value either way —
+    /// equality with `compare` tells the poster whether it won. Cowbird's
+    /// multi-standby election CASes the engine-epoch word with this.
+    CompareSwap {
+        remote_addr: u64,
+        remote_rkey: Rkey,
+        compare: u64,
+        swap: u64,
+    },
     /// Two-sided send (delivered to the peer's receive path).
     Send { payload: Vec<u8> },
 }
@@ -79,6 +93,7 @@ impl WrOp {
         match self {
             WrOp::Read { .. } | WrOp::ReadSg { .. } => WrKind::Read,
             WrOp::Write { .. } | WrOp::WriteInline { .. } | WrOp::WriteSg { .. } => WrKind::Write,
+            WrOp::CompareSwap { .. } => WrKind::Atomic,
             WrOp::Send { .. } => WrKind::Send,
         }
     }
@@ -126,6 +141,8 @@ pub struct Completion {
     pub wr_id: u64,
     pub kind: WrKind,
     pub status: CompletionStatus,
+    /// For [`WrKind::Atomic`]: the target word's original value.
+    pub atomic_orig: Option<u64>,
 }
 
 impl Completion {
@@ -134,6 +151,17 @@ impl Completion {
             wr_id,
             kind,
             status: CompletionStatus::Success,
+            atomic_orig: None,
+        }
+    }
+
+    /// A successful atomic completion carrying the original value.
+    pub fn ok_atomic(wr_id: u64, orig: u64) -> Completion {
+        Completion {
+            wr_id,
+            kind: WrKind::Atomic,
+            status: CompletionStatus::Success,
+            atomic_orig: Some(orig),
         }
     }
 
@@ -142,6 +170,7 @@ impl Completion {
             wr_id,
             kind,
             status,
+            atomic_orig: None,
         }
     }
 

@@ -24,6 +24,11 @@ pub const BTH_LEN: usize = 12;
 pub const RETH_LEN: usize = 16;
 /// ACK Extended Transport Header length.
 pub const AETH_LEN: usize = 4;
+/// Atomic Extended Transport Header length (vaddr 8 + rkey 4 + swap 8 +
+/// compare 8).
+pub const ATOMIC_ETH_LEN: usize = 28;
+/// Atomic ACK Extended Transport Header length (the 8-byte original value).
+pub const ATOMIC_ACK_ETH_LEN: usize = 8;
 
 /// The UDP destination port registered for RoCEv2.
 pub const ROCE_UDP_PORT: u16 = 4791;
@@ -50,6 +55,8 @@ pub enum Opcode {
     ReadResponseLast = 0x0F,
     ReadResponseOnly = 0x10,
     Acknowledge = 0x11,
+    AtomicAcknowledge = 0x12,
+    CompareSwap = 0x13,
 }
 
 impl Opcode {
@@ -70,6 +77,8 @@ impl Opcode {
             0x0F => ReadResponseLast,
             0x10 => ReadResponseOnly,
             0x11 => Acknowledge,
+            0x12 => AtomicAcknowledge,
+            0x13 => CompareSwap,
             other => return Err(WireError::UnknownOpcode(other)),
         })
     }
@@ -87,10 +96,22 @@ impl Opcode {
         matches!(
             self,
             Opcode::Acknowledge
+                | Opcode::AtomicAcknowledge
                 | Opcode::ReadResponseFirst
                 | Opcode::ReadResponseLast
                 | Opcode::ReadResponseOnly
         )
+    }
+
+    /// Does a packet with this opcode carry an AtomicETH?
+    pub fn has_atomic_eth(self) -> bool {
+        matches!(self, Opcode::CompareSwap)
+    }
+
+    /// Does a packet with this opcode carry an AtomicAckETH (the 8-byte
+    /// original value returned by an atomic)?
+    pub fn has_atomic_ack_eth(self) -> bool {
+        matches!(self, Opcode::AtomicAcknowledge)
     }
 
     /// Is this any flavour of RDMA read response?
@@ -237,6 +258,40 @@ impl Reth {
     }
 }
 
+/// Atomic Extended Transport Header: target word plus the compare-and-swap
+/// operands (IBTA AtomicETH layout: VA, R_Key, Swap/Add data, Compare data).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AtomicEth {
+    /// Remote virtual address of the 8-byte target word (must be 8-aligned).
+    pub vaddr: u64,
+    pub rkey: u32,
+    /// Value stored if the comparison succeeds.
+    pub swap: u64,
+    /// Value the target word must hold for the swap to happen.
+    pub compare: u64,
+}
+
+impl AtomicEth {
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.vaddr.to_be_bytes());
+        out.extend_from_slice(&self.rkey.to_be_bytes());
+        out.extend_from_slice(&self.swap.to_be_bytes());
+        out.extend_from_slice(&self.compare.to_be_bytes());
+    }
+
+    pub fn parse(buf: &[u8]) -> Result<AtomicEth, WireError> {
+        if buf.len() < ATOMIC_ETH_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(AtomicEth {
+            vaddr: u64::from_be_bytes(buf[0..8].try_into().unwrap()),
+            rkey: u32::from_be_bytes(buf[8..12].try_into().unwrap()),
+            swap: u64::from_be_bytes(buf[12..20].try_into().unwrap()),
+            compare: u64::from_be_bytes(buf[20..28].try_into().unwrap()),
+        })
+    }
+}
+
 /// AETH syndrome values (top 3 bits select the class).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Syndrome {
@@ -312,6 +367,11 @@ pub struct RocePacket {
     pub bth: Bth,
     pub reth: Option<Reth>,
     pub aeth: Option<Aeth>,
+    /// AtomicETH on CompareSwap requests.
+    pub atomic: Option<AtomicEth>,
+    /// AtomicAckETH on atomic acknowledgments: the original value of the
+    /// target word, from which the requester learns whether its swap won.
+    pub atomic_ack: Option<u64>,
     pub payload: Vec<u8>,
 }
 
@@ -326,6 +386,8 @@ impl RocePacket {
                 dma_len,
             }),
             aeth: None,
+            atomic: None,
+            atomic_ack: None,
             payload: Vec::new(),
         }
     }
@@ -348,6 +410,8 @@ impl RocePacket {
                 dma_len: payload.len() as u32,
             }),
             aeth: None,
+            atomic: None,
+            atomic_ack: None,
             payload,
         }
     }
@@ -358,6 +422,47 @@ impl RocePacket {
             bth: Bth::new(Opcode::Acknowledge, dst_qp, psn),
             reth: None,
             aeth: Some(Aeth::ack(msn)),
+            atomic: None,
+            atomic_ack: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// A compare-and-swap request on the 8-byte word at `vaddr`/`rkey`.
+    pub fn comp_swap(
+        dst_qp: u32,
+        psn: u32,
+        vaddr: u64,
+        rkey: u32,
+        compare: u64,
+        swap: u64,
+    ) -> RocePacket {
+        let mut bth = Bth::new(Opcode::CompareSwap, dst_qp, psn);
+        bth.ack_req = true;
+        RocePacket {
+            bth,
+            reth: None,
+            aeth: None,
+            atomic: Some(AtomicEth {
+                vaddr,
+                rkey,
+                swap,
+                compare,
+            }),
+            atomic_ack: None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// An atomic acknowledgment carrying the original value of the target
+    /// word.
+    pub fn atomic_ack(dst_qp: u32, psn: u32, msn: u32, orig: u64) -> RocePacket {
+        RocePacket {
+            bth: Bth::new(Opcode::AtomicAcknowledge, dst_qp, psn),
+            reth: None,
+            aeth: Some(Aeth::ack(msn)),
+            atomic: None,
+            atomic_ack: Some(orig),
             payload: Vec::new(),
         }
     }
@@ -369,6 +474,8 @@ impl RocePacket {
             bth: Bth::new(Opcode::Acknowledge, dst_qp, psn),
             reth: None,
             aeth: Some(Aeth::nak_sequence(msn)),
+            atomic: None,
+            atomic_ack: None,
             payload: Vec::new(),
         }
     }
@@ -389,11 +496,29 @@ impl RocePacket {
             "AETH presence must match opcode {:?}",
             self.bth.opcode
         );
+        debug_assert_eq!(
+            self.atomic.is_some(),
+            self.bth.opcode.has_atomic_eth(),
+            "AtomicETH presence must match opcode {:?}",
+            self.bth.opcode
+        );
+        debug_assert_eq!(
+            self.atomic_ack.is_some(),
+            self.bth.opcode.has_atomic_ack_eth(),
+            "AtomicAckETH presence must match opcode {:?}",
+            self.bth.opcode
+        );
         if let Some(reth) = &self.reth {
             reth.encode(&mut out);
         }
         if let Some(aeth) = &self.aeth {
             aeth.encode(&mut out);
+        }
+        if let Some(atomic) = &self.atomic {
+            atomic.encode(&mut out);
+        }
+        if let Some(orig) = self.atomic_ack {
+            out.extend_from_slice(&orig.to_be_bytes());
         }
         out.extend_from_slice(&self.payload);
         out
@@ -417,6 +542,23 @@ impl RocePacket {
         } else {
             None
         };
+        let atomic = if bth.opcode.has_atomic_eth() {
+            let a = AtomicEth::parse(&buf[off.min(buf.len())..])?;
+            off += ATOMIC_ETH_LEN;
+            Some(a)
+        } else {
+            None
+        };
+        let atomic_ack = if bth.opcode.has_atomic_ack_eth() {
+            let rest = &buf[off.min(buf.len())..];
+            if rest.len() < ATOMIC_ACK_ETH_LEN {
+                return Err(WireError::Truncated);
+            }
+            off += ATOMIC_ACK_ETH_LEN;
+            Some(u64::from_be_bytes(rest[0..8].try_into().unwrap()))
+        } else {
+            None
+        };
         if off > buf.len() {
             return Err(WireError::Truncated);
         }
@@ -424,6 +566,8 @@ impl RocePacket {
             bth,
             reth,
             aeth,
+            atomic,
+            atomic_ack,
             payload: buf[off..].to_vec(),
         })
     }
@@ -434,6 +578,16 @@ impl RocePacket {
             + BTH_LEN
             + if self.reth.is_some() { RETH_LEN } else { 0 }
             + if self.aeth.is_some() { AETH_LEN } else { 0 }
+            + if self.atomic.is_some() {
+                ATOMIC_ETH_LEN
+            } else {
+                0
+            }
+            + if self.atomic_ack.is_some() {
+                ATOMIC_ACK_ETH_LEN
+            } else {
+                0
+            }
             + self.payload.len()
     }
 }
@@ -509,14 +663,20 @@ mod tests {
                 bth: Bth::new(Opcode::ReadResponseOnly, 3, 103),
                 reth: None,
                 aeth: Some(Aeth::ack(6)),
+                atomic: None,
+                atomic_ack: None,
                 payload: vec![1, 2, 3],
             },
             RocePacket {
                 bth: Bth::new(Opcode::ReadResponseMiddle, 3, 104),
                 reth: None,
                 aeth: None,
+                atomic: None,
+                atomic_ack: None,
                 payload: vec![7u8; 1024],
             },
+            RocePacket::comp_swap(3, 105, 0x40, 42, 0, 1),
+            RocePacket::atomic_ack(3, 105, 7, 0xDEAD_BEEF_CAFE_F00D),
         ];
         for pkt in shapes {
             let bytes = pkt.encode();
@@ -549,6 +709,32 @@ mod tests {
             RocePacket::parse(&bytes),
             Err(WireError::UnknownOpcode(0x3F))
         ));
+    }
+
+    #[test]
+    fn atomic_eth_roundtrip_and_header_lengths() {
+        let eth = AtomicEth {
+            vaddr: 0x58,
+            rkey: 0x0102_0304,
+            swap: 7,
+            compare: 6,
+        };
+        let mut buf = Vec::new();
+        eth.encode(&mut buf);
+        assert_eq!(buf.len(), ATOMIC_ETH_LEN);
+        assert_eq!(AtomicEth::parse(&buf).unwrap(), eth);
+        assert_eq!(AtomicEth::parse(&buf[..27]), Err(WireError::Truncated));
+
+        // Request is BTH + AtomicETH; response is BTH + AETH + AtomicAckETH.
+        let req = RocePacket::comp_swap(1, 0, 0x58, 9, 6, 7);
+        assert_eq!(req.wire_size(), OUTER_OVERHEAD + BTH_LEN + ATOMIC_ETH_LEN);
+        let resp = RocePacket::atomic_ack(1, 0, 1, 6);
+        assert_eq!(
+            resp.wire_size(),
+            OUTER_OVERHEAD + BTH_LEN + AETH_LEN + ATOMIC_ACK_ETH_LEN
+        );
+        let bytes = resp.encode();
+        assert!(RocePacket::parse(&bytes[..bytes.len() - 1]).is_err());
     }
 
     #[test]

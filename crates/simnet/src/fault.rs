@@ -9,8 +9,8 @@
 //! Semantics (enforced by the kernel):
 //!
 //! * **NodeDown**: the node is frozen. Packets delivered to it and timers it
-//!   had set are silently discarded while it is down (counted in
-//!   [`crate::sim::Sim::faults`]). Its state is retained — tests can still
+//!   had set are silently discarded while it is down (counted in the
+//!   kernel's fault counters). Its state is retained — tests can still
 //!   inspect it with `node_ref` — mirroring a crashed process whose memory is
 //!   gone from the network's point of view.
 //! * **NodeUp**: the node thaws and its [`crate::sim::Node::on_start`] runs

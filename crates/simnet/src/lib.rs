@@ -22,6 +22,13 @@
 //!   the substrate for the engine-failover experiments.
 //! * **Accounting**: per-link busy time split by priority class, used by the
 //!   Fig. 14 TCP-contention experiment.
+//! * **Self-observability**: the kernel can watch itself — scheduler
+//!   introspection ([`introspect`]: queue depth, per-class fired/cancelled
+//!   counters, schedule→fire dwell in virtual and wall time) and event
+//!   provenance ([`provenance`]: every event carries its causal parent, so
+//!   [`sim::Sim::sim_why`] walks any event back to the client post that
+//!   caused it and [`sim::Sim::flow_spans`] exports Chrome-trace flow
+//!   arrows). Both are off by default and cost one branch when disabled.
 //!
 //! ## Determinism
 //!
@@ -31,7 +38,9 @@
 
 pub mod cpu;
 pub mod fault;
+pub mod introspect;
 pub mod link;
+pub mod provenance;
 pub mod rng;
 pub mod sim;
 pub mod stats;
@@ -41,7 +50,9 @@ pub mod trace;
 
 pub use cpu::CpuSpec;
 pub use fault::{FaultEvent, FaultScript, FaultStats};
+pub use introspect::{EventClass, SchedulerMetrics, EVENT_CLASS_COUNT};
 pub use link::{LinkId, LinkParams, LinkStats, Priority};
+pub use provenance::{EventOutcome, ProvenanceLog, ProvenanceRecord};
 pub use rng::Rng;
 pub use sim::{Ctx, Node, NodeId, Packet, Sim};
 pub use stats::{Histogram, Summary};

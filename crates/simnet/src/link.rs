@@ -155,7 +155,6 @@ impl LinkStats {
 }
 
 pub(crate) struct Link {
-    #[allow(dead_code)]
     src: NodeId,
     #[allow(dead_code)]
     dst: NodeId,
@@ -194,6 +193,11 @@ impl Link {
             last_jittered_delivery: Instant::ZERO,
             stats: LinkStats::default(),
         }
+    }
+
+    /// The node transmissions originate from (provenance attribution).
+    pub(crate) fn src(&self) -> NodeId {
+        self.src
     }
 
     /// Take the link down (losing queued and serializing packets) or bring it

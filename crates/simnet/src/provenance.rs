@@ -1,0 +1,230 @@
+//! Event provenance: why did this event fire?
+//!
+//! Every event the kernel schedules gets a unique nonzero id and carries
+//! the id of the event whose handler scheduled it (its *parent*; 0 for
+//! roots such as `on_start` sends, externally scheduled faults, or pushes
+//! made between runs). The provenance log records one fixed-size
+//! [`ProvenanceRecord`] per scheduled event in a bounded ring, so
+//! [`crate::Sim::sim_why`] can walk the causal chain from any event back
+//! to the originating client post, and the tracer can render the whole
+//! cascade as Chrome-trace flow arrows ([`telemetry::flow`]).
+//!
+//! Ids are assigned from the kernel's monotonically increasing insertion
+//! sequence, so a parent's id is always smaller than its child's — chains
+//! are acyclic by construction and every walk terminates. The ring holds
+//! the most recent `capacity` ids; walking past the ring's horizon stops
+//! at the oldest retained record (truncation, not an error).
+
+use crate::introspect::EventClass;
+
+/// What became of a scheduled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventOutcome {
+    /// Still in the queue (or beyond the run's deadline).
+    Pending,
+    /// Its handler ran.
+    Fired,
+    /// The kernel discarded it (crashed or removed node).
+    Cancelled,
+}
+
+/// One scheduled event's provenance entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvenanceRecord {
+    /// Unique nonzero event id (kernel insertion sequence + 1).
+    pub id: u64,
+    /// Id of the event whose handler scheduled this one; 0 for roots.
+    pub parent: u64,
+    pub class: EventClass,
+    /// The node the event targets (delivery destination, timer owner, a
+    /// link's source node for transmit completions, 0 for link faults).
+    pub node: u16,
+    /// Class-specific metadata: the packet `meta` word for deliveries
+    /// (protocol adapters stamp request ids here, joining the ReqId-scoped
+    /// telemetry spans), the tag for timers, the link index for link
+    /// events.
+    pub meta: u64,
+    /// Virtual time the event was scheduled (pushed), nanoseconds.
+    pub scheduled_ns: u64,
+    /// Virtual time the event left the queue; meaningful when `outcome`
+    /// is not [`EventOutcome::Pending`].
+    pub fire_ns: u64,
+    pub outcome: EventOutcome,
+}
+
+struct ProvInner {
+    /// Power-of-two ring indexed by `(id - 1) & (capacity - 1)`; a slot
+    /// whose stored id mismatches the probe has been overwritten.
+    slots: Vec<Option<ProvenanceRecord>>,
+    mask: u64,
+}
+
+/// Bounded ring of provenance records. Disabled by default (one branch per
+/// hook); enabled with a power-of-two capacity.
+#[derive(Default)]
+pub struct ProvenanceLog {
+    inner: Option<Box<ProvInner>>,
+}
+
+impl ProvenanceLog {
+    /// The no-op default.
+    pub const fn disabled() -> ProvenanceLog {
+        ProvenanceLog { inner: None }
+    }
+
+    /// An enabled log retaining the most recent `capacity` events
+    /// (`capacity` must be a power of two).
+    pub fn enabled(capacity: usize) -> ProvenanceLog {
+        assert!(
+            capacity.is_power_of_two(),
+            "provenance capacity must be a power of two"
+        );
+        ProvenanceLog {
+            inner: Some(Box::new(ProvInner {
+                slots: vec![None; capacity],
+                mask: capacity as u64 - 1,
+            })),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record a freshly scheduled event.
+    #[inline]
+    pub fn on_scheduled(&mut self, rec: ProvenanceRecord) {
+        if let Some(i) = &mut self.inner {
+            let slot = ((rec.id - 1) & i.mask) as usize;
+            i.slots[slot] = Some(rec);
+        }
+    }
+
+    /// Mark an event's departure from the queue at virtual time `fire_ns`.
+    #[inline]
+    pub fn on_popped(&mut self, id: u64, fire_ns: u64, outcome: EventOutcome) {
+        if let Some(i) = &mut self.inner {
+            let slot = ((id - 1) & i.mask) as usize;
+            if let Some(rec) = &mut i.slots[slot] {
+                if rec.id == id {
+                    rec.fire_ns = fire_ns;
+                    rec.outcome = outcome;
+                }
+            }
+        }
+    }
+
+    /// Look up one event's record (None when disabled, never scheduled, or
+    /// overwritten by ring wrap-around).
+    pub fn get(&self, id: u64) -> Option<ProvenanceRecord> {
+        let i = self.inner.as_ref()?;
+        if id == 0 {
+            return None;
+        }
+        let slot = ((id - 1) & i.mask) as usize;
+        i.slots[slot].filter(|r| r.id == id)
+    }
+
+    /// Every retained record, ordered by id.
+    pub fn records(&self) -> Vec<ProvenanceRecord> {
+        let Some(i) = &self.inner else {
+            return Vec::new();
+        };
+        let mut out: Vec<ProvenanceRecord> = i.slots.iter().filter_map(|s| *s).collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    /// Walk the causal chain from `id` toward its root: the event itself
+    /// first, then its parent, grandparent, ... The walk ends at a root
+    /// (parent 0) or at the ring's retention horizon.
+    pub fn why(&self, id: u64) -> Vec<ProvenanceRecord> {
+        let mut out = Vec::new();
+        let mut cursor = id;
+        while cursor != 0 {
+            let Some(rec) = self.get(cursor) else {
+                break;
+            };
+            // Ids strictly decrease toward the root, so this cannot cycle.
+            debug_assert!(rec.parent < rec.id, "provenance parent not older");
+            out.push(rec);
+            cursor = rec.parent;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64) -> ProvenanceRecord {
+        ProvenanceRecord {
+            id,
+            parent,
+            class: EventClass::Timer,
+            node: 1,
+            meta: 0,
+            scheduled_ns: id * 10,
+            fire_ns: 0,
+            outcome: EventOutcome::Pending,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_and_returns_nothing() {
+        let mut log = ProvenanceLog::disabled();
+        log.on_scheduled(rec(1, 0));
+        log.on_popped(1, 5, EventOutcome::Fired);
+        assert!(log.get(1).is_none());
+        assert!(log.records().is_empty());
+        assert!(log.why(1).is_empty());
+    }
+
+    #[test]
+    fn why_walks_to_the_root() {
+        let mut log = ProvenanceLog::enabled(64);
+        log.on_scheduled(rec(1, 0));
+        log.on_scheduled(rec(2, 1));
+        log.on_scheduled(rec(5, 2));
+        log.on_popped(5, 99, EventOutcome::Fired);
+        let chain = log.why(5);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].id, 5);
+        assert_eq!(chain[0].outcome, EventOutcome::Fired);
+        assert_eq!(chain[0].fire_ns, 99);
+        assert_eq!(chain[1].id, 2);
+        assert_eq!(chain[2].id, 1);
+        assert_eq!(chain[2].parent, 0);
+    }
+
+    #[test]
+    fn ring_wraparound_truncates_old_chains() {
+        let mut log = ProvenanceLog::enabled(4);
+        for id in 1..=6u64 {
+            log.on_scheduled(rec(id, id - 1));
+        }
+        // Ids 1 and 2 were overwritten by 5 and 6.
+        assert!(log.get(1).is_none());
+        assert!(log.get(2).is_none());
+        assert!(log.get(5).is_some());
+        // The walk from 6 stops at the horizon instead of looping.
+        let chain = log.why(6);
+        assert_eq!(
+            chain.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![6, 5, 4, 3]
+        );
+    }
+
+    #[test]
+    fn stale_pop_for_overwritten_id_is_ignored() {
+        let mut log = ProvenanceLog::enabled(4);
+        for id in 1..=5u64 {
+            log.on_scheduled(rec(id, 0));
+        }
+        // Id 1's slot now holds id 5; a late pop for 1 must not corrupt it.
+        log.on_popped(1, 7, EventOutcome::Fired);
+        let r5 = log.get(5).unwrap();
+        assert_eq!(r5.outcome, EventOutcome::Pending);
+    }
+}

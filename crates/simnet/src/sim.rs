@@ -10,10 +10,12 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
-use telemetry::EventKind;
+use telemetry::{EventKind, Phase};
 
 use crate::fault::{FaultEvent, FaultScript, FaultStats};
+use crate::introspect::{EventClass, SchedulerMetrics};
 use crate::link::{Link, LinkId, LinkParams, LinkStats};
+use crate::provenance::{EventOutcome, ProvenanceLog, ProvenanceRecord};
 use crate::rng::Rng;
 use crate::time::{Duration, Instant};
 use crate::trace::{pack_pkt, Trace};
@@ -139,10 +141,29 @@ enum Event {
     Fault(FaultEvent),
 }
 
+impl Event {
+    /// The dense per-class index for scheduler metrics and provenance.
+    fn class(&self) -> EventClass {
+        match self {
+            Event::Deliver(..) => EventClass::Deliver,
+            Event::Timer(..) => EventClass::Timer,
+            Event::LinkTxDone(_) => EventClass::LinkTxDone,
+            Event::Fault(_) => EventClass::Fault,
+        }
+    }
+}
+
 struct HeapEntry {
     at: Instant,
     seq: u64,
     ev: Event,
+    /// Unique nonzero event id (`seq + 1`); provenance keys on this.
+    id: u64,
+    /// Virtual time the event was pushed (schedule→fire dwell baseline).
+    scheduled_at: Instant,
+    /// Wall clock at push, stamped only while scheduler metrics are
+    /// enabled (0 otherwise — never used on the disabled path).
+    wall_pushed_ns: u64,
 }
 
 impl PartialEq for HeapEntry {
@@ -181,6 +202,16 @@ pub struct Sim {
     /// Cycle-attribution profilers stamped with virtual time before each
     /// dispatch to their node (sparse; most nodes are unprofiled).
     profilers: HashMap<NodeId, telemetry::Profiler>,
+    /// The scheduler's own vital signs (queue depth, dwell, fired/cancelled).
+    sched: SchedulerMetrics,
+    /// Per-event provenance ring (parent links, `sim_why`, flow traces).
+    prov: ProvenanceLog,
+    /// Id of the event whose handler is currently running; pushes made
+    /// inside it inherit this as their provenance parent (0 = root).
+    current_cause: u64,
+    /// Wall-clock profiler charging the kernel's own hot loop
+    /// (pop / dispatch / device phases).
+    self_prof: telemetry::Profiler,
     stopped: bool,
     events_processed: u64,
     /// Hard cap to catch runaway simulations (0 = unlimited).
@@ -203,6 +234,10 @@ impl Sim {
             rng: Rng::new(seed),
             trace: Trace::disabled(),
             profilers: HashMap::new(),
+            sched: SchedulerMetrics::disabled(),
+            prov: ProvenanceLog::disabled(),
+            current_cause: 0,
+            self_prof: telemetry::Profiler::disabled(),
             stopped: false,
             events_processed: 0,
             max_events: 0,
@@ -284,6 +319,66 @@ impl Sim {
         }
     }
 
+    /// Attach a wall-clock profiler charging the kernel's own hot loop:
+    /// heap pops ([`telemetry::Phase::SchedPop`]), node dispatch
+    /// ([`telemetry::Phase::SchedDispatch`]), and device bookkeeping
+    /// ([`telemetry::Phase::SchedDevice`]). Pass a wall-mode profiler
+    /// (`Profiler::attached(.., wall = true)`); a disabled one (the
+    /// default) costs a single branch per phase transition.
+    pub fn attach_self_profiler(&mut self, prof: telemetry::Profiler) {
+        self.self_prof = prof;
+    }
+
+    /// Turn on scheduler introspection: queue-depth sampling per dispatch
+    /// sweep, per-class fired/cancelled counters, and schedule→fire dwell
+    /// histograms in virtual and wall time.
+    pub fn enable_scheduler_metrics(&mut self) {
+        self.sched = SchedulerMetrics::enabled();
+    }
+
+    /// The scheduler's self-metrics (all-zero while disabled).
+    pub fn scheduler_metrics(&self) -> &SchedulerMetrics {
+        &self.sched
+    }
+
+    /// Turn on event provenance with a ring retaining the most recent
+    /// `capacity` events (`capacity` must be a power of two).
+    pub fn enable_provenance(&mut self, capacity: usize) {
+        self.prov = ProvenanceLog::enabled(capacity);
+    }
+
+    /// The provenance ring (empty while disabled).
+    pub fn provenance(&self) -> &ProvenanceLog {
+        &self.prov
+    }
+
+    /// Why did event `id` fire? The causal chain from the event back to
+    /// its root (an `on_start` send, an external fault, or the ring's
+    /// retention horizon), newest first.
+    pub fn sim_why(&self, id: u64) -> Vec<ProvenanceRecord> {
+        self.prov.why(id)
+    }
+
+    /// Render the provenance ring as parent-linked flow spans for
+    /// [`telemetry::flow::flow_trace_json`]: one slice per retired event
+    /// covering its queue dwell, pid = node, tid = event class.
+    pub fn flow_spans(&self) -> Vec<telemetry::FlowSpan> {
+        self.prov
+            .records()
+            .into_iter()
+            .filter(|r| r.outcome != EventOutcome::Pending)
+            .map(|r| telemetry::FlowSpan {
+                id: r.id,
+                parent: r.parent,
+                name: r.class.name().to_string(),
+                pid: r.node as u64,
+                tid: r.class as u64,
+                start_ns: r.scheduled_ns,
+                end_ns: r.fire_ns,
+            })
+            .collect()
+    }
+
     /// Whether `id` is currently crashed by a fault script.
     pub fn node_is_down(&self, id: NodeId) -> bool {
         self.down[id.0 as usize]
@@ -354,18 +449,56 @@ impl Sim {
     fn push(&mut self, at: Instant, ev: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(HeapEntry { at, seq, ev }));
+        let id = seq + 1;
+        // Wall stamp only while dwell tracking wants it: the disabled path
+        // stays free of clock reads.
+        let wall_pushed_ns = if self.sched.is_enabled() {
+            telemetry::wall_now_ns()
+        } else {
+            0
+        };
+        if self.prov.is_enabled() {
+            let (node, meta) = match &ev {
+                Event::Deliver(dst, pkt) => (dst.0 as u16, pkt.meta),
+                Event::Timer(node, tag) => (node.0 as u16, *tag),
+                Event::LinkTxDone(idx) => (self.links[*idx].src().0 as u16, *idx as u64),
+                Event::Fault(fe) => match fe {
+                    FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => (n.0 as u16, 0),
+                    FaultEvent::LinkDown(l) | FaultEvent::LinkUp(l) => (0, l.0 as u64),
+                    FaultEvent::LinkJitter(l, _) => (0, l.0 as u64),
+                },
+            };
+            self.prov.on_scheduled(ProvenanceRecord {
+                id,
+                parent: self.current_cause,
+                class: ev.class(),
+                node,
+                meta,
+                scheduled_ns: self.now.nanos(),
+                fire_ns: 0,
+                outcome: EventOutcome::Pending,
+            });
+        }
+        self.heap.push(Reverse(HeapEntry {
+            at,
+            seq,
+            ev,
+            id,
+            scheduled_at: self.now,
+            wall_pushed_ns,
+        }));
     }
 
-    /// Run a node callback and apply the resulting commands.
-    fn dispatch<F>(&mut self, node_id: NodeId, f: F)
+    /// Run a node callback and apply the resulting commands. Returns false
+    /// when the node was removed (the event is cancelled).
+    fn dispatch<F>(&mut self, node_id: NodeId, f: F) -> bool
     where
         F: FnOnce(&mut dyn Node, &mut Ctx),
     {
         let mut node = match self.nodes[node_id.0 as usize].take() {
             Some(n) => n,
             // Node removed; drop the event.
-            None => return,
+            None => return false,
         };
         if let Some(prof) = self.profilers.get(&node_id) {
             prof.set_now_ns(self.now.nanos());
@@ -390,6 +523,7 @@ impl Sim {
                 Cmd::Stop => self.stopped = true,
             }
         }
+        true
     }
 
     fn start_send(&mut self, pkt: Packet) {
@@ -425,15 +559,22 @@ impl Sim {
     /// Run until the event queue drains, a node calls [`Ctx::stop`], or
     /// `deadline` (if any) is reached. Returns the final virtual time.
     pub fn run_until(&mut self, deadline: Option<Instant>) -> Instant {
+        // Owned clone so scopes don't borrow `self` across dispatches.
+        let prof = self.self_prof.clone();
         // Fire on_start for nodes that have not started yet.
         for i in 0..self.nodes.len() {
             if !self.started[i] {
                 self.started[i] = true;
+                let _s = prof.scope(Phase::SchedDispatch);
                 self.dispatch(NodeId(i as u32), |n, ctx| n.on_start(ctx));
             }
         }
         while !self.stopped {
-            let Some(Reverse(entry)) = self.heap.pop() else {
+            let popped = {
+                let _s = prof.scope(Phase::SchedPop);
+                self.heap.pop()
+            };
+            let Some(Reverse(entry)) = popped else {
                 break;
             };
             if let Some(d) = deadline {
@@ -451,31 +592,67 @@ impl Sim {
             if self.max_events != 0 && self.events_processed > self.max_events {
                 panic!("simulation exceeded max_events = {}", self.max_events);
             }
-            match entry.ev {
+            let class = entry.ev.class();
+            // Depth the sweep observed after removing its event; sampled
+            // before dispatch so the handler's own pushes don't skew it.
+            let depth = self.heap.len() as u64;
+            self.current_cause = entry.id;
+            let fired = match entry.ev {
                 Event::Deliver(dst, pkt) => {
                     if self.down[dst.0 as usize] {
                         self.faults.deliveries_dropped += 1;
-                        continue;
+                        false
+                    } else {
+                        self.trace.event(
+                            self.now,
+                            pkt.dst.0 as u16,
+                            EventKind::PktRx,
+                            0,
+                            pack_pkt(pkt.src.0, pkt.wire_bytes, pkt.prio),
+                            pkt.meta,
+                        );
+                        let _s = prof.scope(Phase::SchedDispatch);
+                        self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx))
                     }
-                    self.trace.event(
-                        self.now,
-                        pkt.dst.0 as u16,
-                        EventKind::PktRx,
-                        0,
-                        pack_pkt(pkt.src.0, pkt.wire_bytes, pkt.prio),
-                        pkt.meta,
-                    );
-                    self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx));
                 }
                 Event::Timer(node, tag) => {
                     if self.down[node.0 as usize] {
                         self.faults.timers_dropped += 1;
-                        continue;
+                        false
+                    } else {
+                        let _s = prof.scope(Phase::SchedDispatch);
+                        self.dispatch(node, |n, ctx| n.on_timer(tag, ctx))
                     }
-                    self.dispatch(node, |n, ctx| n.on_timer(tag, ctx));
                 }
-                Event::LinkTxDone(idx) => self.link_tx_done(idx),
-                Event::Fault(ev) => self.apply_fault(ev),
+                Event::LinkTxDone(idx) => {
+                    let _s = prof.scope(Phase::SchedDevice);
+                    self.link_tx_done(idx);
+                    true
+                }
+                Event::Fault(ev) => {
+                    let _s = prof.scope(Phase::SchedDevice);
+                    self.apply_fault(ev);
+                    true
+                }
+            };
+            self.current_cause = 0;
+            if self.sched.is_enabled() {
+                let virt_dwell = self.now.nanos().saturating_sub(entry.scheduled_at.nanos());
+                let wall_dwell = if entry.wall_pushed_ns == 0 {
+                    0
+                } else {
+                    telemetry::wall_now_ns().saturating_sub(entry.wall_pushed_ns)
+                };
+                self.sched.note_depth(depth);
+                self.sched.note_popped(class, fired, virt_dwell, wall_dwell);
+            }
+            if self.prov.is_enabled() {
+                let outcome = if fired {
+                    EventOutcome::Fired
+                } else {
+                    EventOutcome::Cancelled
+                };
+                self.prov.on_popped(entry.id, self.now.nanos(), outcome);
             }
         }
         if let Some(d) = deadline {
@@ -899,6 +1076,146 @@ mod tests {
         assert_eq!(sim.link_stats(rev).dropped_linkdown, 0);
         let b: &Beacon = sim.node_ref(beacon);
         assert_eq!(b.replies, 98 - lost);
+    }
+
+    #[test]
+    fn scheduler_metrics_count_fired_and_cancelled_events() {
+        use crate::introspect::EventClass;
+
+        let mut sim = Sim::new(31);
+        sim.enable_scheduler_metrics();
+        let beacon = sim.add_node(Box::new(Beacon {
+            peer: NodeId(1),
+            period: Duration::from_micros(1),
+            sent: 0,
+            replies: 0,
+        }));
+        let echo = sim.add_node(Box::new(Echo {
+            think: Duration::ZERO,
+            pending: vec![],
+            received: 0,
+        }));
+        sim.connect(beacon, echo, params_100g());
+        let script = FaultScript::new().node_outage(
+            echo,
+            Instant::ZERO + Duration::from_micros(30),
+            Instant::ZERO + Duration::from_micros(60),
+        );
+        sim.apply_fault_script(&script);
+        sim.run_for(Duration::from_micros(100));
+
+        let m = sim.scheduler_metrics();
+        // Same scenario as node_outage_drops_traffic_then_recovers: 30
+        // deliveries land on the crashed echo and are cancelled.
+        assert_eq!(m.cancelled(EventClass::Deliver), 30);
+        assert_eq!(m.fired(EventClass::Fault), 2);
+        assert_eq!(m.cancelled(EventClass::Fault), 0);
+        assert!(m.fired(EventClass::Deliver) > 0);
+        assert!(m.fired(EventClass::Timer) > 0);
+        assert!(m.fired(EventClass::LinkTxDone) > 0);
+        // Every pop sampled the depth and recorded a dwell; the totals line
+        // up with the kernel's event counter.
+        let popped: u64 = EventClass::ALL
+            .iter()
+            .map(|&c| m.fired(c) + m.cancelled(c))
+            .sum();
+        assert_eq!(popped, sim.events_processed());
+        assert_eq!(m.queue_depth().count(), sim.events_processed());
+        // Beacon timers dwell their full 1 us period (echo's zero-think
+        // timers dwell 0, so the max captures the beacon).
+        assert_eq!(m.dwell_virtual(EventClass::Timer).max(), 1_000);
+        assert!(m.dwell_virtual_total(EventClass::Timer) >= 100 * 1_000);
+        // Wall dwell was stamped (nonzero count; values are machine-dependent).
+        assert_eq!(
+            m.dwell_wall(EventClass::Timer).count(),
+            m.fired(EventClass::Timer) + m.cancelled(EventClass::Timer)
+        );
+    }
+
+    #[test]
+    fn sim_why_walks_from_echo_delivery_back_to_the_root_send() {
+        use crate::introspect::EventClass;
+        use crate::provenance::EventOutcome;
+
+        let mut sim = Sim::new(32);
+        sim.enable_provenance(1 << 12);
+        let (pinger, _echo) = build_pair(&mut sim, 1, Duration::from_nanos(100));
+        sim.run();
+        let p: &Pinger = sim.node_ref(pinger);
+        assert_eq!(p.echoes.len(), 1);
+
+        // The last fired Deliver is the echo reply landing on the pinger.
+        let records = sim.provenance().records();
+        let reply = records
+            .iter()
+            .rev()
+            .find(|r| r.class == EventClass::Deliver && r.outcome == EventOutcome::Fired)
+            .expect("echo reply recorded");
+        assert_eq!(reply.node, pinger.0 as u16);
+        let chain = sim.sim_why(reply.id);
+        // ping tx-done -> ping deliver -> think timer -> reply tx-done ->
+        // reply deliver: five events, rooted at the on_start send.
+        assert_eq!(chain.len(), 5);
+        assert_eq!(chain[0].id, reply.id);
+        assert_eq!(chain.last().unwrap().parent, 0);
+        // Ids strictly decrease toward the root: acyclic by construction.
+        assert!(chain.windows(2).all(|w| w[1].id < w[0].id));
+        let classes: Vec<EventClass> = chain.iter().map(|r| r.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                EventClass::Deliver,
+                EventClass::LinkTxDone,
+                EventClass::Timer,
+                EventClass::Deliver,
+                EventClass::LinkTxDone,
+            ]
+        );
+    }
+
+    #[test]
+    fn flow_spans_cover_every_retired_event_and_resolve_parents() {
+        let mut sim = Sim::new(33);
+        sim.enable_provenance(1 << 12);
+        build_pair(&mut sim, 3, Duration::from_nanos(50));
+        sim.run();
+        let spans = sim.flow_spans();
+        assert_eq!(spans.len() as u64, sim.events_processed());
+        // Every non-root parent resolves inside the span set (nothing was
+        // truncated at this capacity).
+        let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+        assert!(spans
+            .iter()
+            .filter(|s| s.parent != 0)
+            .all(|s| ids.contains(&s.parent)));
+        // And the export renders as valid Chrome trace JSON.
+        let json = telemetry::flow_trace_json(&spans, &[(0, "pinger".into()), (1, "echo".into())]);
+        telemetry::json::validate(&json).unwrap_or_else(|e| panic!("{e}\n{json}"));
+        assert!(json.contains("\"ph\":\"s\""));
+    }
+
+    #[test]
+    fn self_profiler_charges_scheduler_phases() {
+        use telemetry::{Component, CostAccount, Phase, Profiler};
+
+        let account = std::sync::Arc::new(CostAccount::default());
+        let mut sim = Sim::new(34);
+        sim.attach_self_profiler(Profiler::attached(
+            account.clone(),
+            u16::MAX,
+            Component::Sim,
+            true,
+        ));
+        build_pair(&mut sim, 10, Duration::from_nanos(20));
+        sim.run();
+        // Each processed event charged exactly one pop visit, and the
+        // dispatch/device split covers all of them.
+        assert_eq!(
+            account.phase_count(Phase::SchedPop),
+            sim.events_processed() + 1 // the final empty pop that ends the run
+        );
+        assert!(account.phase_count(Phase::SchedDispatch) > 0);
+        assert!(account.phase_count(Phase::SchedDevice) > 0);
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Properties of the simulator's self-observability plane under random
+//! fault scripts:
+//!
+//! 1. **Provenance completeness** — every retired (fired or cancelled)
+//!    event's causal chain walks back to a root (parent 0), with ids
+//!    strictly decreasing along the walk (acyclic by construction). The
+//!    provenance capacity is sized above the run so truncation cannot
+//!    excuse a broken chain.
+//! 2. **Dwell conservation** — the provenance log and the scheduler
+//!    metrics measure queue-resident virtual time through two independent
+//!    code paths; summing `fire_ns - scheduled_ns` over retired records
+//!    per class must equal the metrics' exact per-class dwell totals, and
+//!    the per-class fired/cancelled counters must match the records'
+//!    outcomes one for one.
+
+use proptest::prelude::*;
+use simnet::introspect::EventClass;
+use simnet::provenance::EventOutcome;
+use simnet::{Ctx, Duration, FaultEvent, Instant, LinkId, LinkParams, Node, NodeId, Packet, Sim};
+
+/// Sends one packet to its peer every `period`, counting replies.
+struct Beacon {
+    peer: NodeId,
+    period: Duration,
+}
+
+impl Node for Beacon {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(self.period, 0);
+    }
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx) {}
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
+        let id = ctx.node_id();
+        ctx.send(Packet::new(id, self.peer, 100, vec![]));
+        ctx.set_timer(self.period, 0);
+    }
+}
+
+/// Echoes every packet back to its source after a fixed think time.
+struct Echo {
+    think: Duration,
+    pending: Vec<Packet>,
+}
+
+impl Node for Echo {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        self.pending.push(pkt);
+        ctx.set_timer(self.think, 0);
+    }
+    fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
+        if let Some(pkt) = self.pending.pop() {
+            let back = Packet::new(ctx.node_id(), pkt.src, pkt.wire_bytes, pkt.payload);
+            ctx.send(back);
+        }
+    }
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+}
+
+/// A raw fault choice from the strategy, mapped onto the two-node topology.
+#[derive(Clone, Debug)]
+struct RawFault {
+    at_ns: u64,
+    kind: u8,
+    target: u8,
+    jitter_ns: u64,
+}
+
+fn fault_event(raw: &RawFault) -> FaultEvent {
+    let node = NodeId(u32::from(raw.target % 2));
+    let link = LinkId(usize::from(raw.target % 2));
+    match raw.kind % 5 {
+        0 => FaultEvent::NodeDown(node),
+        1 => FaultEvent::NodeUp(node),
+        2 => FaultEvent::LinkDown(link),
+        3 => FaultEvent::LinkUp(link),
+        _ => FaultEvent::LinkJitter(link, raw.jitter_ns),
+    }
+}
+
+fn raw_fault_strategy() -> impl Strategy<Value = RawFault> {
+    (0u64..100_000, 0u8..5, 0u8..2, 0u64..2_000).prop_map(|(at_ns, kind, target, jitter_ns)| {
+        RawFault {
+            at_ns,
+            kind,
+            target,
+            jitter_ns,
+        }
+    })
+}
+
+/// Build the beacon/echo pair, inject `faults`, run 100 us.
+fn run_scripted(seed: u64, faults: &[RawFault]) -> Sim {
+    let mut sim = Sim::new(seed);
+    sim.enable_scheduler_metrics();
+    // Far larger than the ~1k events a 100 us run produces: no truncation.
+    sim.enable_provenance(1 << 16);
+    let beacon = sim.add_node(Box::new(Beacon {
+        peer: NodeId(1),
+        period: Duration::from_micros(1),
+    }));
+    let echo = sim.add_node(Box::new(Echo {
+        think: Duration::from_nanos(200),
+        pending: vec![],
+    }));
+    sim.connect(
+        beacon,
+        echo,
+        LinkParams::new(100e9, Duration::from_nanos(500)),
+    );
+    for raw in faults {
+        sim.schedule_fault(
+            Instant::ZERO + Duration::from_nanos(raw.at_ns),
+            fault_event(raw),
+        );
+    }
+    sim.run_for(Duration::from_micros(100));
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..Default::default() })]
+
+    #[test]
+    fn every_retired_event_walks_back_to_a_root(
+        seed in 0u64..1_000,
+        faults in proptest::collection::vec(raw_fault_strategy(), 0..12),
+    ) {
+        let sim = run_scripted(seed, &faults);
+        let records = sim.provenance().records();
+        prop_assert!(!records.is_empty());
+        for rec in records.iter().filter(|r| r.outcome != EventOutcome::Pending) {
+            let chain = sim.sim_why(rec.id);
+            prop_assert_eq!(chain[0].id, rec.id);
+            // Terminates at a root, not at a truncation horizon.
+            prop_assert_eq!(
+                chain.last().unwrap().parent, 0,
+                "chain from {} stopped early", rec.id
+            );
+            // Strictly decreasing ids: no cycles, walks always terminate.
+            prop_assert!(chain.windows(2).all(|w| w[1].id < w[0].id));
+            // Parents of retired events were themselves retired: an event
+            // can only be scheduled by a handler that ran.
+            for w in chain.windows(2) {
+                prop_assert_eq!(w[1].outcome, EventOutcome::Fired);
+            }
+        }
+    }
+
+    #[test]
+    fn dwell_totals_conserve_queue_resident_virtual_time(
+        seed in 0u64..1_000,
+        faults in proptest::collection::vec(raw_fault_strategy(), 0..12),
+    ) {
+        let sim = run_scripted(seed, &faults);
+        let m = sim.scheduler_metrics();
+        let records = sim.provenance().records();
+
+        let mut dwell = [0u64; simnet::EVENT_CLASS_COUNT];
+        let mut fired = [0u64; simnet::EVENT_CLASS_COUNT];
+        let mut cancelled = [0u64; simnet::EVENT_CLASS_COUNT];
+        for rec in &records {
+            match rec.outcome {
+                EventOutcome::Pending => continue,
+                EventOutcome::Fired => fired[rec.class as usize] += 1,
+                EventOutcome::Cancelled => cancelled[rec.class as usize] += 1,
+            }
+            dwell[rec.class as usize] += rec.fire_ns - rec.scheduled_ns;
+        }
+        let mut retired = 0u64;
+        for class in EventClass::ALL {
+            let c = class as usize;
+            prop_assert_eq!(
+                m.dwell_virtual_total(class), dwell[c],
+                "virtual dwell of {}", class.name()
+            );
+            prop_assert_eq!(m.fired(class), fired[c], "fired {}", class.name());
+            prop_assert_eq!(
+                m.cancelled(class), cancelled[c],
+                "cancelled {}", class.name()
+            );
+            prop_assert_eq!(
+                m.dwell_virtual(class).count(), fired[c] + cancelled[c]
+            );
+            retired += fired[c] + cancelled[c];
+        }
+        // Every processed event was retired in the log and sampled a depth.
+        prop_assert_eq!(retired, sim.events_processed());
+        prop_assert_eq!(m.queue_depth().count(), sim.events_processed());
+    }
+}

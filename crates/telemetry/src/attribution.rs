@@ -33,6 +33,9 @@ pub struct AttrRow {
     pub ns: u64,
     /// Number of charges (scope exits or explicit charges).
     pub count: u64,
+    /// Heap allocations attributed to the phase (0 unless a counting
+    /// allocator feeds [`crate::profile::note_alloc`]).
+    pub allocs: u64,
 }
 
 impl AttrRow {
@@ -104,6 +107,7 @@ pub fn fold_accounts(
                 phase: ph,
                 ns,
                 count,
+                allocs: acct.phase_allocs(ph),
             });
         }
     }
@@ -189,21 +193,22 @@ impl AttributionDump {
         let total = self.total_ns().max(1) as f64;
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8} {:>7} {:>7}\n",
-            "NODE", "COMP", "PHASE", "NS", "COUNT", "MEAN", "%CPU", "CUM%"
+            "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8} {:>9} {:>7} {:>7}\n",
+            "NODE", "COMP", "PHASE", "NS", "COUNT", "MEAN", "ALLOCS", "%CPU", "CUM%"
         ));
         let mut cum = 0.0f64;
         for r in self.ranked() {
             let share = r.ns as f64 / total * 100.0;
             cum += share;
             out.push_str(&format!(
-                "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8.1} {:>6.1}% {:>6.1}%\n",
+                "{:<10} {:<8} {:<14} {:>14} {:>10} {:>8.1} {:>9} {:>6.1}% {:>6.1}%\n",
                 r.node_name,
                 r.component.name(),
                 r.phase.name(),
                 r.ns,
                 r.count,
                 r.mean_ns(),
+                r.allocs,
                 share,
                 cum,
             ));

@@ -126,6 +126,12 @@ pub enum EventKind {
     /// Engine pushed an in-band telemetry snapshot to the readback region.
     /// a = snapshot sequence, b = engine backlog.
     TelemetryExported = 30,
+    /// A standby won the CAS election on the engine-epoch word and will
+    /// adopt the channel. a = epoch it bid from, b = epoch it installed.
+    ElectionWon = 31,
+    /// A standby lost the CAS election (another standby's epoch landed
+    /// first) and stood down. a = epoch it bid from, b = observed value.
+    ElectionLost = 32,
 
     // ---- fabric / pool ----
     /// An rkey was revoked at the pool NIC (fencing). a = rkey.
@@ -183,6 +189,8 @@ impl EventKind {
             28 => EventKind::EnginePreempted,
             29 => EventKind::EngineParked,
             30 => EventKind::TelemetryExported,
+            31 => EventKind::ElectionWon,
+            32 => EventKind::ElectionLost,
             40 => EventKind::RkeyRevoked,
             41 => EventKind::PacketDropped,
             48 => EventKind::NodeDown,
@@ -223,6 +231,8 @@ impl EventKind {
             EventKind::EnginePreempted => "EnginePreempted",
             EventKind::EngineParked => "EngineParked",
             EventKind::TelemetryExported => "TelemetryExported",
+            EventKind::ElectionWon => "ElectionWon",
+            EventKind::ElectionLost => "ElectionLost",
             EventKind::RkeyRevoked => "RkeyRevoked",
             EventKind::PacketDropped => "PacketDropped",
             EventKind::NodeDown => "NodeDown",

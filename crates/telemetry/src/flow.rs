@@ -1,0 +1,177 @@
+//! Causal flow-arrow export: Chrome trace-event JSON for provenance chains.
+//!
+//! The simulator's provenance log records, for every scheduled event, which
+//! event caused it to be scheduled (its parent). This module renders such a
+//! parent-linked set of spans as a Chrome trace: each span becomes a
+//! complete `"X"` slice from its schedule time to its fire time (the queue
+//! dwell), and each parent→child edge becomes a flow arrow — an `"s"`
+//! (flow start) record on the parent slice paired with an `"f"` (flow
+//! finish, binding point `"e"` = enclosing slice) record on the child.
+//! Loaded in Perfetto, the arrows draw the causal fan-out of the
+//! simulation: client post → packet transmit → link delivery → handler →
+//! next packet, and so on.
+//!
+//! The renderer is deliberately independent of the simulator: it consumes
+//! plain [`FlowSpan`] values so any producer with parent-linked intervals
+//! can use it (and unit tests can exercise it without a simulation).
+
+use crate::json;
+
+/// One parent-linked interval: the unit the flow renderer consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowSpan {
+    /// Unique nonzero id of this span.
+    pub id: u64,
+    /// Id of the span that caused this one; 0 for roots.
+    pub parent: u64,
+    /// Slice label (e.g. the event-class name).
+    pub name: String,
+    /// Chrome process id (the simulator maps node ids here).
+    pub pid: u64,
+    /// Chrome thread id (the simulator maps event classes here).
+    pub tid: u64,
+    /// When the interval opened (schedule time), nanoseconds.
+    pub start_ns: u64,
+    /// When the interval closed (fire time), nanoseconds.
+    pub end_ns: u64,
+}
+
+/// Render parent-linked spans as Chrome trace-event JSON with flow arrows.
+///
+/// `processes` supplies display names for process metadata rows. An edge is
+/// emitted only when both endpoints are present in `spans`; dangling
+/// parents (e.g. truncated out of a bounded provenance ring) degrade to
+/// arrow-less slices rather than invalid JSON.
+pub fn flow_trace_json(spans: &[FlowSpan], processes: &[(u64, String)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+        }
+    };
+
+    for (pid, name) in processes {
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        ));
+        json::write_str(&mut out, name);
+        out.push_str("}}");
+    }
+
+    for s in spans {
+        sep(&mut out);
+        let dur_ns = s.end_ns.saturating_sub(s.start_ns).max(1);
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"event\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+            {
+                let mut n = String::new();
+                json::write_str(&mut n, &s.name);
+                n
+            },
+            micros(s.start_ns),
+            micros(dur_ns),
+            s.pid,
+            s.tid,
+            s.id,
+            s.parent,
+        ));
+    }
+
+    // Flow arrows: one s/f pair per resolvable parent→child edge, keyed by
+    // the child's id (ids are unique, so flow ids are too). The start
+    // record binds to the parent slice at its end (the parent fired, which
+    // is when it scheduled the child); the finish record binds to the
+    // child slice at its start with bp:"e" (enclosing slice).
+    let by_id: std::collections::HashMap<u64, &FlowSpan> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    for child in spans {
+        if child.parent == 0 {
+            continue;
+        }
+        let Some(parent) = by_id.get(&child.parent) else {
+            continue;
+        };
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+            child.id,
+            micros(parent.end_ns.saturating_sub(1).max(parent.start_ns)),
+            parent.pid,
+            parent.tid,
+        ));
+        sep(&mut out);
+        out.push_str(&format!(
+            "{{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":{},\"tid\":{}}}",
+            child.id,
+            micros(child.start_ns),
+            child.pid,
+            child.tid,
+        ));
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Chrome trace timestamps are microseconds; keep nanosecond precision as
+/// a three-decimal fraction (mirrors the span exporter).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(id: u64, parent: u64, start: u64, end: u64) -> FlowSpan {
+        FlowSpan {
+            id,
+            parent,
+            name: format!("ev{id}"),
+            pid: 1,
+            tid: 0,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn flow_export_is_valid_json_with_arrow_pairs() {
+        let spans = vec![
+            span(1, 0, 0, 100),
+            span(2, 1, 100, 250),
+            span(3, 1, 100, 400),
+        ];
+        let s = flow_trace_json(&spans, &[(1, "node1".to_string())]);
+        crate::json::validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        // Two edges (2<-1, 3<-1), each an s/f pair.
+        assert_eq!(s.matches("\"ph\":\"s\"").count(), 2);
+        assert_eq!(s.matches("\"ph\":\"f\"").count(), 2);
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), 3);
+        assert!(s.contains("\"process_name\""));
+    }
+
+    #[test]
+    fn dangling_parents_render_without_arrows() {
+        // Parent 7 was truncated out of the log: the child still renders
+        // as a slice, just with no inbound arrow.
+        let spans = vec![span(9, 7, 50, 80)];
+        let s = flow_trace_json(&spans, &[]);
+        crate::json::validate(&s).unwrap_or_else(|e| panic!("{e}\n{s}"));
+        assert_eq!(s.matches("\"ph\":\"s\"").count(), 0);
+        assert_eq!(s.matches("\"ph\":\"X\"").count(), 1);
+    }
+
+    #[test]
+    fn zero_duration_spans_clamp_to_visible_slices() {
+        let spans = vec![span(1, 0, 42, 42)];
+        let s = flow_trace_json(&spans, &[]);
+        crate::json::validate(&s).unwrap();
+        assert!(s.contains("\"dur\":0.001"), "{s}");
+    }
+}

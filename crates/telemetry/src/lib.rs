@@ -30,6 +30,7 @@
 pub mod attribution;
 pub mod event;
 pub mod flight;
+pub mod flow;
 pub mod hist;
 pub mod json;
 pub mod metrics;
@@ -44,6 +45,7 @@ pub mod waterfall;
 pub use attribution::{AttrRow, AttributionDump, Fig2Breakdown};
 pub use event::{Component, Event, EventKind};
 pub use flight::{FlightDump, Telemetry};
+pub use flow::{flow_trace_json, FlowSpan};
 pub use hist::Histogram;
 pub use metrics::{HistSummary, MetricsRegistry, MetricsSnapshot};
 pub use profile::{CostAccount, CycleScope, Phase, Profiler, PHASE_COUNT};

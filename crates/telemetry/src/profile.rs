@@ -32,7 +32,7 @@ use crate::event::Component;
 use crate::recorder::wall_now_ns;
 
 /// Number of distinct [`Phase`] values (array sizes in [`CostAccount`]).
-pub const PHASE_COUNT: usize = 13;
+pub const PHASE_COUNT: usize = 16;
 
 /// What a slice of CPU time was spent on.
 ///
@@ -69,6 +69,14 @@ pub enum Phase {
     AppWork = 11,
     /// Anything else.
     Other = 12,
+    /// Simulator: popping the next event off the scheduler heap.
+    SchedPop = 13,
+    /// Simulator: dispatching an event into a node callback and applying
+    /// the commands it buffered.
+    SchedDispatch = 14,
+    /// Simulator: device-model bookkeeping (link transmit completion,
+    /// fault application) outside any node callback.
+    SchedDevice = 15,
 }
 
 impl Phase {
@@ -87,6 +95,9 @@ impl Phase {
         Phase::LocalAccess,
         Phase::AppWork,
         Phase::Other,
+        Phase::SchedPop,
+        Phase::SchedDispatch,
+        Phase::SchedDevice,
     ];
 
     /// Stable display name (used in reports and Chrome counter tracks).
@@ -105,6 +116,9 @@ impl Phase {
             Phase::LocalAccess => "local_access",
             Phase::AppWork => "app_work",
             Phase::Other => "other",
+            Phase::SchedPop => "sched_pop",
+            Phase::SchedDispatch => "sched_dispatch",
+            Phase::SchedDevice => "sched_device",
         }
     }
 
@@ -125,12 +139,63 @@ impl Phase {
     }
 }
 
+/// Process-wide heap-allocation counter, bumped by a harness-installed
+/// counting [`std::alloc::GlobalAlloc`] (see the bench crate and the
+/// `disabled_path` tests for the installer idiom). When no counting
+/// allocator is installed the counter stays at zero and alloc attribution
+/// degrades to "0 allocs" rather than failing — the ns/count columns are
+/// unaffected.
+static GLOBAL_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one heap allocation. Called from a `GlobalAlloc::alloc` wrapper;
+/// must not itself allocate.
+#[inline]
+pub fn note_alloc() {
+    GLOBAL_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Current value of the process-wide allocation counter.
+#[inline]
+pub fn allocs_now() -> u64 {
+    GLOBAL_ALLOCS.load(Ordering::Relaxed)
+}
+
+/// A [`std::alloc::GlobalAlloc`] that forwards to the system allocator and
+/// counts every allocation via [`note_alloc`], so [`CycleScope`]s can
+/// attribute allocations-per-phase. Install it per binary:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: telemetry::profile::TallyAlloc = telemetry::profile::TallyAlloc;
+/// ```
+///
+/// Binaries that don't install it still work — scopes then observe a
+/// counter that never moves and attribute zero allocations.
+pub struct TallyAlloc;
+
+unsafe impl std::alloc::GlobalAlloc for TallyAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        note_alloc();
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+}
+
 /// One `(node, component)`'s per-phase cycle totals: a fixed array of
 /// relaxed atomics, so charging is lock-free and allocation-free.
 #[derive(Debug, Default)]
 pub struct CostAccount {
     ns: [AtomicU64; PHASE_COUNT],
     count: [AtomicU64; PHASE_COUNT],
+    allocs: [AtomicU64; PHASE_COUNT],
 }
 
 impl CostAccount {
@@ -144,6 +209,20 @@ impl CostAccount {
         let i = phase as usize;
         self.ns[i].fetch_add(ns, Ordering::Relaxed);
         self.count[i].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Attribute `n` heap allocations to `phase` (scopes charge the delta
+    /// of the process-wide counter observed across their lifetime).
+    #[inline]
+    pub fn add_allocs(&self, phase: Phase, n: u64) {
+        if n != 0 {
+            self.allocs[phase as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Heap allocations attributed to `phase`.
+    pub fn phase_allocs(&self, phase: Phase) -> u64 {
+        self.allocs[phase as usize].load(Ordering::Relaxed)
     }
 
     /// Total nanoseconds charged to `phase`.
@@ -275,11 +354,13 @@ impl Profiler {
                 inner: Some(i),
                 phase,
                 start_ns: i.now(),
+                start_allocs: allocs_now(),
             },
             None => CycleScope {
                 inner: None,
                 phase,
                 start_ns: 0,
+                start_allocs: 0,
             },
         }
     }
@@ -292,6 +373,7 @@ pub struct CycleScope<'a> {
     inner: Option<&'a Inner>,
     phase: Phase,
     start_ns: u64,
+    start_allocs: u64,
 }
 
 impl CycleScope<'_> {
@@ -307,6 +389,8 @@ impl Drop for CycleScope<'_> {
         if let Some(i) = self.inner {
             let elapsed = i.now().saturating_sub(self.start_ns);
             i.account.add(self.phase, elapsed);
+            i.account
+                .add_allocs(self.phase, allocs_now().saturating_sub(self.start_allocs));
         }
     }
 }
@@ -372,6 +456,21 @@ mod tests {
             std::hint::black_box(42);
         }
         assert_eq!(acct.phase_count(Phase::AppWork), 1);
+    }
+
+    #[test]
+    fn scope_attributes_alloc_counter_deltas_to_its_phase() {
+        let acct = Arc::new(CostAccount::new());
+        let p = Profiler::attached(Arc::clone(&acct), 2, Component::Sim, false);
+        let s = p.scope(Phase::SchedDispatch);
+        // Simulate a counting allocator observing three heap allocations
+        // while the scope is open.
+        note_alloc();
+        note_alloc();
+        note_alloc();
+        drop(s);
+        assert_eq!(acct.phase_allocs(Phase::SchedDispatch), 3);
+        assert_eq!(acct.phase_allocs(Phase::SchedPop), 0);
     }
 
     #[test]

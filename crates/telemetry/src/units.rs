@@ -18,6 +18,8 @@
 
 /// Unit suffixes, longest-match-first. New metrics must use one of these.
 pub const SUFFIX_UNITS: &[(&str, &str)] = &[
+    ("_per_event", "per simulated event"),
+    ("_per_sec", "per wall-clock second"),
     ("_per_wr", "SGEs per work request"),
     ("_bytes", "bytes"),
     ("_cores", "CPU cores"),
@@ -130,6 +132,14 @@ mod tests {
         assert_eq!(
             unit_of("cowbird.engine.coalesce.sge_per_wr"),
             Some("SGEs per work request")
+        );
+        assert_eq!(
+            unit_of("cowbird.sim.events_per_sec"),
+            Some("per wall-clock second")
+        );
+        assert_eq!(
+            unit_of("cowbird.sim.allocs_per_event"),
+            Some("per simulated event")
         );
     }
 

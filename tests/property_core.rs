@@ -8,7 +8,7 @@ use cowbird::layout::reserve_no_wrap;
 use cowbird::meta::{RequestMeta, RwType};
 use cowbird::reqid::{OpType, ReqId};
 use rdma::mem::Region;
-use rdma::wire::{Aeth, Bth, Opcode, Reth, RocePacket};
+use rdma::wire::{Aeth, AtomicEth, Bth, Opcode, Reth, RocePacket};
 use simnet::rng::Rng;
 use simnet::stats::Histogram;
 use workloads::zipf::ZipfSampler;
@@ -26,6 +26,8 @@ fn arb_opcode() -> impl Strategy<Value = Opcode> {
         Just(Opcode::ReadResponseLast),
         Just(Opcode::ReadResponseOnly),
         Just(Opcode::Acknowledge),
+        Just(Opcode::AtomicAcknowledge),
+        Just(Opcode::CompareSwap),
     ]
 }
 
@@ -39,17 +41,24 @@ proptest! {
         rkey in any::<u32>(),
         dma_len in any::<u32>(),
         msn in 0u32..0x0100_0000,
+        swap in any::<u64>(),
+        compare in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..2048),
     ) {
+        let no_payload = (opcode.has_reth()
+            && opcode != Opcode::WriteFirst
+            && opcode != Opcode::WriteOnly)
+            || opcode.has_atomic_eth()
+            || opcode.has_atomic_ack_eth();
         let pkt = RocePacket {
             bth: Bth::new(opcode, qp, psn),
             reth: opcode.has_reth().then_some(Reth { vaddr, rkey, dma_len }),
             aeth: opcode.has_aeth().then_some(Aeth::ack(msn)),
-            payload: if opcode.has_reth() && opcode != Opcode::WriteFirst && opcode != Opcode::WriteOnly {
-                vec![]
-            } else {
-                payload
-            },
+            atomic: opcode
+                .has_atomic_eth()
+                .then_some(AtomicEth { vaddr, rkey, swap, compare }),
+            atomic_ack: opcode.has_atomic_ack_eth().then_some(swap),
+            payload: if no_payload { vec![] } else { payload },
         };
         let bytes = pkt.encode();
         let parsed = RocePacket::parse(&bytes).unwrap();
