@@ -5,8 +5,9 @@
 use std::collections::HashMap;
 
 use rdma::qp::{QpConfig, QpNum};
-use rdma::sim::{to_sim_packet, SimNic};
+use rdma::sim::{NicOutput, SimNic};
 use rdma::verbs::{WorkRequest, WrOp};
+use rdma::wire::RocePacket;
 use simnet::sim::{Ctx, Node, NodeId, Packet};
 use simnet::stats::Histogram;
 use simnet::time::{Duration, Instant};
@@ -36,6 +37,10 @@ pub enum ClientMode {
 /// latencies.
 pub struct RdmaClientNode {
     nic: SimNic,
+    /// NIC output scratch, reused across deliveries.
+    nic_out: NicOutput,
+    /// Packet-build scratch for posts.
+    tx_scratch: Vec<RocePacket>,
     qpn: QpNum,
     pool_rkey: u32,
     pool_size: u64,
@@ -76,6 +81,8 @@ impl RdmaClientNode {
         nic.create_qp(QpConfig::new(local_qpn, remote_qpn), pool_node);
         RdmaClientNode {
             nic,
+            nic_out: NicOutput::default(),
+            tx_scratch: Vec::new(),
             qpn: local_qpn,
             pool_rkey,
             pool_size,
@@ -135,10 +142,14 @@ impl RdmaClientNode {
                 len: self.record_size,
             },
         };
-        match self.nic.post(self.qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        self.tx_scratch.clear();
+        match self
+            .nic
+            .post_into(self.qpn, wr, ctx.now(), &mut self.tx_scratch)
+        {
+            Ok(dst) => {
+                for roce in self.tx_scratch.drain(..) {
+                    ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
                 }
             }
             Err(e) => panic!("client post failed: {e}"),
@@ -194,9 +205,11 @@ impl Node for RdmaClientNode {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let out = self.nic.handle_packet(&pkt, ctx.now());
-        for (dst, roce) in out.emit {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        self.nic_out.clear();
+        self.nic
+            .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+        for (dst, roce) in self.nic_out.emit.drain(..) {
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
         for c in self.nic.poll(64) {
             if let Some(t0) = self.started_at.remove(&c.wr_id) {
@@ -222,7 +235,7 @@ impl Node for RdmaClientNode {
             TAG_BATCH_POST => self.post_next_in_batch(ctx),
             TAG_NIC_TICK => {
                 for (dst, roce) in self.nic.tick(ctx.now()) {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+                    ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
                 }
                 ctx.set_timer(Duration::from_micros(100), TAG_NIC_TICK);
             }
@@ -258,6 +271,7 @@ mod cowbird_pool {
 
     pub struct SimplePool {
         nic: SimNic,
+        nic_out: NicOutput,
     }
 
     impl Node for SimplePool {
@@ -265,14 +279,16 @@ mod cowbird_pool {
             ctx.set_timer(Duration::from_micros(100), 0);
         }
         fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-            let out = self.nic.handle_packet(&pkt, ctx.now());
-            for (dst, roce) in out.emit {
-                ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+            self.nic_out.clear();
+            self.nic
+                .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+            for (dst, roce) in self.nic_out.emit.drain(..) {
+                ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
             }
         }
         fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
             for (dst, roce) in self.nic.tick(ctx.now()) {
-                ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+                ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
             }
             ctx.set_timer(Duration::from_micros(100), 0);
         }
@@ -284,7 +300,14 @@ mod cowbird_pool {
         let region = Region::new(size as usize);
         let rkey = nic.register(region);
         nic.create_qp(QpConfig::new(601, 501), client);
-        (SimplePool { nic }, rkey, size)
+        (
+            SimplePool {
+                nic,
+                nic_out: NicOutput::default(),
+            },
+            rkey,
+            size,
+        )
     }
 }
 

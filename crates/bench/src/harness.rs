@@ -9,7 +9,7 @@ use cowbird_engine::core::EngineConfig;
 use cowbird_engine::sim::{EngineNode, PoolNode};
 use rdma::mem::Region;
 use rdma::qp::QpConfig;
-use rdma::sim::{to_sim_packet, SimNic};
+use rdma::sim::{NicOutput, SimNic};
 use simnet::link::{LinkId, LinkParams};
 use simnet::sim::{Ctx, Node, NodeId, Packet, Sim};
 use simnet::stats::Histogram;
@@ -26,6 +26,8 @@ const TAG_NIC_TICK: u64 = 2;
 /// whole point).
 pub struct CowbirdClientNode {
     nic: SimNic,
+    /// NIC output scratch, reused across deliveries (zero-alloc hot path).
+    nic_out: NicOutput,
     channel: Channel,
     record_size: u32,
     inflight_target: usize,
@@ -61,6 +63,9 @@ pub struct CowbirdClientNode {
     stall_fenced: bool,
     /// Tail-latency SLO watchdog fed on every completion (`None` disables).
     tail_slo: Option<SloWatchdog>,
+    /// Response-copy scratch for [`Channel::take_response_into`], reused
+    /// across completions (zero-alloc reap path).
+    resp_scratch: Vec<u8>,
     /// Violations the SLO watchdog flagged, in firing order.
     pub tail_violations: Vec<TailViolation>,
 }
@@ -112,11 +117,13 @@ impl CowbirdClientNode {
                         self.tail_violations.push(v);
                     }
                 }
-                let data = self.channel.take_response(&h).expect("completed read");
+                self.channel
+                    .take_response_into(&h, &mut self.resp_scratch)
+                    .expect("completed read");
                 if self.verify_data {
                     let expect = (off / 64).to_le_bytes();
                     assert_eq!(
-                        &data[..8],
+                        &self.resp_scratch[..8],
                         &expect[..],
                         "read {:?} at offset {off} returned wrong bytes",
                         h.id
@@ -208,9 +215,11 @@ impl Node for CowbirdClientNode {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
         // Engine traffic against the channel region: NIC-only, no host CPU.
-        let out = self.nic.handle_packet(&pkt, ctx.now());
-        for (dst, roce) in out.emit {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        self.nic_out.clear();
+        self.nic
+            .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+        for (dst, roce) in self.nic_out.emit.drain(..) {
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
     }
 
@@ -225,7 +234,7 @@ impl Node for CowbirdClientNode {
             }
             TAG_NIC_TICK => {
                 for (dst, roce) in self.nic.tick(ctx.now()) {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+                    ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
                 }
                 ctx.set_timer(Duration::from_micros(100), TAG_NIC_TICK);
             }
@@ -471,6 +480,7 @@ fn build_rig_inner(
 
     let client = CowbirdClientNode {
         nic,
+        nic_out: NicOutput::default(),
         channel,
         record_size: cfg.record_size,
         inflight_target: cfg.inflight,
@@ -494,6 +504,7 @@ fn build_rig_inner(
             .tail_slo
             .map(|(slo, min_samples, cooldown)| SloWatchdog::new(slo, min_samples, cooldown)),
         tail_violations: Vec::new(),
+        resp_scratch: Vec::new(),
     };
 
     let mut engine = EngineNode::new();

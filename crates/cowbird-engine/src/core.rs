@@ -46,7 +46,8 @@
 //! reducing compute-NIC load and engine verb counts. The P4 variant recycles
 //! each read response into a write immediately (batch size 1).
 
-use std::collections::{HashMap, VecDeque};
+use simnet::fasthash::FastHashMap;
+use std::collections::VecDeque;
 
 use cowbird::error::WaitError;
 use cowbird::layout::{
@@ -547,6 +548,9 @@ pub struct EngineCore {
     batch_start: u64,
     batch_entries: usize,
     batch_last_seq: u64,
+    /// Warm merge buffer for [`EngineCore::coalesce_ops`], swapped with the
+    /// op list each pass (zero-alloc coalescing in steady state).
+    coalesce_scratch: Vec<FabricOp>,
     // Outstanding pool reads (for quiescent batch flush).
     pool_reads_in_flight: usize,
     /// Outstanding write-payload fetches on the compute QP. Each one is a
@@ -557,7 +561,7 @@ pub struct EngineCore {
     /// staged (coalescing only) so adjacent writes leave as one
     /// scatter-gather verb instead of a verb apiece.
     write_stage: Vec<(u64, Rkey, u64, PoolBuf)>,
-    tags: HashMap<u64, TagKind>,
+    tags: FastHashMap<u64, TagKind>,
     next_tag: u64,
     red_dirty: bool,
     /// Consecutive red publishes deferred by completion moderation since
@@ -614,10 +618,11 @@ impl EngineCore {
             batch_start: 0,
             batch_entries: 0,
             batch_last_seq: 0,
+            coalesce_scratch: Vec::new(),
             pool_reads_in_flight: 0,
             write_payloads_in_flight: 0,
             write_stage: Vec::new(),
-            tags: HashMap::new(),
+            tags: FastHashMap::default(),
             next_tag: 1,
             red_dirty: false,
             moderation_run: 0,
@@ -769,11 +774,19 @@ impl EngineCore {
     /// (unless one is already outstanding) and, on the readback cadence,
     /// the in-band telemetry snapshot write.
     pub fn on_probe_due(&mut self) -> Vec<FabricOp> {
-        if self.fenced {
-            return Vec::new();
-        }
         let mut out = Vec::new();
-        self.maybe_export_telemetry(&mut out);
+        self.on_probe_due_into(&mut out);
+        out
+    }
+
+    /// Like [`EngineCore::on_probe_due`], but appends into a caller-owned
+    /// scratch vector (cleared by the caller between calls): the probe
+    /// timer path allocates nothing in steady state.
+    pub fn on_probe_due_into(&mut self, out: &mut Vec<FabricOp>) {
+        if self.fenced {
+            return;
+        }
+        self.maybe_export_telemetry(out);
         if !self.probe_outstanding {
             self.probe_outstanding = true;
             self.stats.probes_sent += 1;
@@ -786,49 +799,58 @@ impl EngineCore {
                 tag,
             });
         }
-        self.account_chains(&out);
-        out
+        self.account_chains(out);
     }
 
     /// A fabric read completed; `data` is its payload.
     pub fn on_data(&mut self, tag: u64, data: &[u8]) -> Vec<FabricOp> {
+        let mut out = Vec::new();
+        self.on_data_into(tag, data, &mut out);
+        out
+    }
+
+    /// Like [`EngineCore::on_data`], but appends into a caller-owned
+    /// scratch vector: the hot data-completion path allocates nothing in
+    /// steady state. `out` must arrive empty (the fence path clears it —
+    /// nothing staged before the fence may reach the fabric, and the core
+    /// cannot distinguish its own staging from a caller's carry-over).
+    pub fn on_data_into(&mut self, tag: u64, data: &[u8], out: &mut Vec<FabricOp>) {
+        debug_assert!(out.is_empty(), "on_data_into scratch must arrive empty");
         let Some(kind) = self.tags.remove(&tag) else {
-            return Vec::new();
+            return;
         };
         if self.fenced {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::new();
         match kind {
-            TagKind::Probe => self.handle_probe(data, &mut out),
-            TagKind::Meta { start, count } => self.handle_meta(start, count, data, &mut out),
+            TagKind::Probe => self.handle_probe(data, out),
+            TagKind::Meta { start, count } => self.handle_meta(start, count, data, out),
             TagKind::WritePayload {
                 seq,
                 rkey,
                 addr,
                 len,
                 need_reads,
-            } => self.handle_write_payload(seq, rkey, addr, len, need_reads, data, &mut out),
+            } => self.handle_write_payload(seq, rkey, addr, len, need_reads, data, out),
             TagKind::ReadData { seq, resp_addr } => {
-                self.handle_read_data(seq, resp_addr, data, &mut out)
+                self.handle_read_data(seq, resp_addr, data, out)
             }
-            TagKind::RedCommit { reads } => self.handle_red_commit(reads, &mut out),
+            TagKind::RedCommit { reads } => self.handle_red_commit(reads, out),
         }
         if self.fenced {
             // The op we just handled observed the fence: nothing staged so
             // far may reach the fabric.
             out.clear();
-            return out;
+            return;
         }
-        self.drain_pending(&mut out);
-        self.maybe_flush_batch(&mut out, false);
-        self.maybe_flush_writes(&mut out, false);
-        self.flush_red(&mut out, false);
+        self.drain_pending(out);
+        self.maybe_flush_batch(out, false);
+        self.maybe_flush_writes(out, false);
+        self.flush_red(out, false);
         if self.cfg.coalescing() {
-            self.coalesce_ops(&mut out);
+            self.coalesce_ops(out);
         }
-        self.account_chains(&out);
-        out
+        self.account_chains(out);
     }
 
     /// Fold runs of adjacent, contiguous pool ops into single
@@ -848,7 +870,12 @@ impl EngineCore {
             WriteExtend,
         }
         let cap = self.cfg.coalesce_sge;
-        let mut merged: Vec<FabricOp> = Vec::with_capacity(out.len());
+        // The merge target is core-owned scratch swapped in for the pass:
+        // steady-state coalescing reuses one warm buffer instead of
+        // allocating per completion.
+        let mut merged = std::mem::take(&mut self.coalesce_scratch);
+        merged.clear();
+        merged.reserve(out.len());
         for op in out.drain(..) {
             let fuse = match (merged.last(), &op) {
                 (
@@ -957,7 +984,10 @@ impl EngineCore {
                 }
             }
         }
-        *out = merged;
+        std::mem::swap(out, &mut merged);
+        // `merged` is now the drained input vector; keep it (and its
+        // capacity) as the next pass's scratch.
+        self.coalesce_scratch = merged;
     }
 
     /// Account what the emission costs on the wire: WRs, SGEs, and

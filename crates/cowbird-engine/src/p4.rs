@@ -18,6 +18,7 @@
 
 use p4rt::register::{RegisterFile, SaluOp};
 use p4rt::spec::{MatchKind, PipelineSpec, RegisterSpec, StageSpec, TableSpec};
+use rdma::buf::PoolBuf;
 use rdma::wire::{Bth, Opcode, Reth, RocePacket};
 
 /// Maximum Cowbird instances the switch program is provisioned for.
@@ -215,7 +216,7 @@ pub mod recycle {
             aeth: None,
             atomic: None,
             atomic_ack: None,
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         })
     }
 
@@ -394,7 +395,7 @@ mod tests {
             aeth: Some(Aeth::ack(1)),
             atomic: None,
             atomic_ack: None,
-            payload: vec![0u8; 24],
+            payload: vec![0u8; 24].into(),
         };
         let req = recycle::probe_response_to_meta_fetch(&probe_resp, 30, 11, 128, 5, 64).unwrap();
         assert_eq!(req.bth.opcode, Opcode::ReadRequest);
@@ -426,7 +427,7 @@ mod tests {
                 },
                 atomic: None,
                 atomic_ack: None,
-                payload: vec![0xAB; 256],
+                payload: vec![0xAB; 256].into(),
             };
             let w = recycle::read_response_to_write(&resp, 40, 21, 0x9000, 6, 2048).unwrap();
             assert_eq!(w.bth.opcode, want);

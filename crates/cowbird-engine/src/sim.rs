@@ -12,12 +12,13 @@
 //! spends host CPU on Cowbird traffic — every operation against it is
 //! one-sided.
 
-use std::collections::HashMap;
+use simnet::fasthash::FastHashMap;
 
 use rdma::mem::{Region, Rkey};
 use rdma::qp::{QpConfig, QpNum};
-use rdma::sim::{to_sim_packet, SimNic};
-use rdma::verbs::{WorkRequest, WrKind, WrOp};
+use rdma::sim::{NicOutput, SimNic};
+use rdma::verbs::{Completion, WorkRequest, WrKind, WrOp};
+use rdma::wire::RocePacket;
 use simnet::sim::{Ctx, Node, NodeId, Packet};
 use simnet::time::Duration;
 
@@ -85,18 +86,31 @@ pub struct EngineNode {
     scratch_lkey: Rkey,
     scratch_cursor: u64,
     instances: Vec<Instance>,
-    pending: HashMap<u64, PendingRead>,
+    pending: FastHashMap<u64, PendingRead>,
     /// In-flight election CAS bids: wr_id -> bid.
-    pending_elections: HashMap<u64, PendingElection>,
+    pending_elections: FastHashMap<u64, PendingElection>,
     /// Tagged writes (red-block publishes) whose delivery acknowledgment
     /// the core wants back: wr_id -> (instance, tag).
-    pending_writes: HashMap<u64, (usize, u64)>,
+    pending_writes: FastHashMap<u64, (usize, u64)>,
     next_wr: u64,
     /// Priority of probe packets (lowest by default, per §5.2).
     pub probe_prio: u8,
     /// Priority of data-path RDMA packets.
     pub data_prio: u8,
     nic_tick: Duration,
+    /// Packet-build scratch for posts, reused across WRs (zero-alloc path).
+    tx_scratch: Vec<RocePacket>,
+    /// NIC output scratch, reused across deliveries.
+    nic_out: NicOutput,
+    /// Completion-batch scratch for [`SimNic::poll_into`], reused across
+    /// reaps (zero-alloc completion path).
+    cq_scratch: Vec<Completion>,
+    /// Fetched-data scratch for [`Region::read_into`], reused across
+    /// completions (zero-alloc data delivery).
+    data_scratch: Vec<u8>,
+    /// Staged-op scratch for [`EngineCore::on_data_into`], reused across
+    /// completions (zero-alloc op emission).
+    ops_scratch: Vec<FabricOp>,
 }
 
 impl Default for EngineNode {
@@ -116,13 +130,18 @@ impl EngineNode {
             scratch_lkey,
             scratch_cursor: 0,
             instances: Vec::new(),
-            pending: HashMap::new(),
-            pending_elections: HashMap::new(),
-            pending_writes: HashMap::new(),
+            pending: FastHashMap::default(),
+            pending_elections: FastHashMap::default(),
+            pending_writes: FastHashMap::default(),
             next_wr: 1,
             probe_prio: 7,
             data_prio: 1,
             nic_tick: Duration::from_micros(50),
+            tx_scratch: Vec::new(),
+            nic_out: NicOutput::default(),
+            cq_scratch: Vec::new(),
+            data_scratch: Vec::new(),
+            ops_scratch: Vec::new(),
         }
     }
 
@@ -200,6 +219,21 @@ impl EngineNode {
         &self.nic
     }
 
+    /// Post one WR and transmit its packets, both through reused scratch and
+    /// the NIC payload arena — no per-WR allocation in steady state. Post
+    /// errors are fatal for the engine (`what` names the failing caller).
+    fn post_and_send(&mut self, qpn: QpNum, wr: WorkRequest, prio: u8, ctx: &mut Ctx, what: &str) {
+        self.tx_scratch.clear();
+        match self.nic.post_into(qpn, wr, ctx.now(), &mut self.tx_scratch) {
+            Ok(dst) => {
+                for roce in self.tx_scratch.drain(..) {
+                    ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, prio));
+                }
+            }
+            Err(e) => panic!("engine {what} failed: {e}"),
+        }
+    }
+
     fn alloc_scratch(&mut self, len: u32) -> u64 {
         let cap = self.scratch.len() as u64;
         let len = len as u64;
@@ -211,8 +245,8 @@ impl EngineNode {
         off
     }
 
-    fn exec_ops(&mut self, instance: usize, ops: Vec<FabricOp>, ctx: &mut Ctx) {
-        for op in ops {
+    fn exec_ops(&mut self, instance: usize, ops: &mut Vec<FabricOp>, ctx: &mut Ctx) {
+        for op in ops.drain(..) {
             match op {
                 FabricOp::ReadCompute { offset, len, tag } => {
                     let inst = &self.instances[instance];
@@ -277,14 +311,8 @@ impl EngineNode {
                             segments,
                         },
                     };
-                    match self.nic.post(qpn, wr, ctx.now()) {
-                        Ok(pkts) => {
-                            for (dst, roce) in pkts {
-                                ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
-                            }
-                        }
-                        Err(e) => panic!("engine post_write_sg failed: {e}"),
-                    }
+                    let prio = self.data_prio;
+                    self.post_and_send(qpn, wr, prio, ctx, "post_write_sg");
                 }
             }
         }
@@ -332,14 +360,8 @@ impl EngineNode {
                 remote_rkey: rkey,
             },
         };
-        match self.nic.post(qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
-                }
-            }
-            Err(e) => panic!("engine post_read_sg failed: {e}"),
-        }
+        let prio = self.data_prio;
+        self.post_and_send(qpn, wr, prio, ctx, "post_read_sg");
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -384,14 +406,7 @@ impl EngineNode {
         } else {
             self.data_prio
         };
-        match self.nic.post(qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, prio));
-                }
-            }
-            Err(e) => panic!("engine post_read failed: {e}"),
-        }
+        self.post_and_send(qpn, wr, prio, ctx, "post_read");
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -419,14 +434,7 @@ impl EngineNode {
                 data,
             },
         };
-        match self.nic.post(qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, prio));
-                }
-            }
-            Err(e) => panic!("engine post_write failed: {e}"),
-        }
+        self.post_and_send(qpn, wr, prio, ctx, "post_write");
     }
 
     /// Kick off a standby takeover: read the predecessor's red block from
@@ -449,24 +457,19 @@ impl EngineNode {
             },
         );
         let inst = &self.instances[instance];
+        let (qpn, rkey) = (inst.compute_qpn, inst.channel_rkey);
         let wr = WorkRequest {
             wr_id,
             op: WrOp::Read {
                 local_rkey: self.scratch_lkey,
                 local_addr: scratch_off,
                 remote_addr: cowbird::layout::RED_OFFSET,
-                remote_rkey: inst.channel_rkey,
+                remote_rkey: rkey,
                 len,
             },
         };
-        match self.nic.post(inst.compute_qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
-                }
-            }
-            Err(e) => panic!("standby adopt read failed: {e}"),
-        }
+        let prio = self.data_prio;
+        self.post_and_send(qpn, wr, prio, ctx, "standby adopt read");
     }
 
     /// Second leg of the takeover: bid for leadership by CASing the
@@ -480,23 +483,18 @@ impl EngineNode {
         self.pending_elections
             .insert(wr_id, PendingElection { instance, bid, red });
         let inst = &self.instances[instance];
+        let (qpn, rkey) = (inst.compute_qpn, inst.channel_rkey);
         let wr = WorkRequest {
             wr_id,
             op: WrOp::CompareSwap {
                 remote_addr: cowbird::layout::RED_ENGINE_EPOCH,
-                remote_rkey: inst.channel_rkey,
+                remote_rkey: rkey,
                 compare: bid,
                 swap: bid + 1,
             },
         };
-        match self.nic.post(inst.compute_qpn, wr, ctx.now()) {
-            Ok(pkts) => {
-                for (dst, roce) in pkts {
-                    ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
-                }
-            }
-            Err(e) => panic!("standby election CAS failed to post: {e}"),
-        }
+        let prio = self.data_prio;
+        self.post_and_send(qpn, wr, prio, ctx, "election CAS post");
     }
 
     /// The election CAS completed: adopt on a win, stand down on a loss.
@@ -522,9 +520,9 @@ impl EngineNode {
             inst.core.note_election_won(e.bid, e.bid + 1);
             inst.active = true;
             // Publish the bumped epoch, then start probing.
-            let ops = inst.core.red_update();
+            let mut ops = inst.core.red_update();
             let d = inst.core.probe_interval();
-            self.exec_ops(e.instance, ops, ctx);
+            self.exec_ops(e.instance, &mut ops, ctx);
             ctx.set_timer(d, e.instance as u64);
         }
     }
@@ -542,12 +540,18 @@ impl EngineNode {
     }
 
     fn drain_completions(&mut self, ctx: &mut Ctx) {
+        // Completion batches and fetched-data bytes land in node-owned
+        // scratch (taken for the duration — the handlers below need `&mut
+        // self`): the steady-state reap path allocates nothing.
+        let mut comps = std::mem::take(&mut self.cq_scratch);
+        let mut data = std::mem::take(&mut self.data_scratch);
+        let mut ops = std::mem::take(&mut self.ops_scratch);
         loop {
-            let completions = self.nic.poll(64);
-            if completions.is_empty() {
+            comps.clear();
+            if self.nic.poll_into(64, &mut comps) == 0 {
                 break;
             }
-            for c in completions {
+            for c in comps.iter().copied() {
                 if c.kind == WrKind::Write {
                     let Some((instance, tag)) = self.pending_writes.remove(&c.wr_id) else {
                         continue;
@@ -555,8 +559,11 @@ impl EngineNode {
                     if c.is_ok() {
                         // Red-block delivery acknowledgment: feed it back so
                         // the core's write-after-read barrier can advance.
-                        let ops = self.instances[instance].core.on_data(tag, &[]);
-                        self.exec_ops(instance, ops, ctx);
+                        ops.clear();
+                        self.instances[instance]
+                            .core
+                            .on_data_into(tag, &[], &mut ops);
+                        self.exec_ops(instance, &mut ops, ctx);
                     } else {
                         // The tracked publish was lost: Go-Back-N restart.
                         self.instances[instance].core.reset_to_committed();
@@ -589,18 +596,19 @@ impl EngineNode {
                     let prof = self.instances[p.instance].core.profiler().clone();
                     let _exec_scope = prof.scope(telemetry::Phase::Execute);
                     for (tag, off, len) in &p.parts {
-                        let data = self
-                            .scratch
-                            .read_vec(*off, *len as usize)
+                        self.scratch
+                            .read_into(*off, *len as usize, &mut data)
                             .expect("scratch read");
-                        let ops = self.instances[p.instance].core.on_data(*tag, &data);
-                        self.exec_ops(p.instance, ops, ctx);
+                        ops.clear();
+                        self.instances[p.instance]
+                            .core
+                            .on_data_into(*tag, &data, &mut ops);
+                        self.exec_ops(p.instance, &mut ops, ctx);
                     }
                     continue;
                 }
-                let data = self
-                    .scratch
-                    .read_vec(p.scratch_off, p.len as usize)
+                self.scratch
+                    .read_into(p.scratch_off, p.len as usize, &mut data)
                     .expect("scratch read");
                 if p.adopt {
                     // First leg of the takeover done: the red snapshot is
@@ -616,7 +624,9 @@ impl EngineNode {
                         self.instances[p.instance].core.note_election_lost(own, bid);
                         continue;
                     }
-                    self.post_election_cas(p.instance, bid, data, ctx);
+                    // Cold path: the CAS keeps the snapshot, so hand the
+                    // scratch buffer over and restart with an empty one.
+                    self.post_election_cas(p.instance, bid, std::mem::take(&mut data), ctx);
                     continue;
                 }
                 // Attribution: dispatching fetched data is the Execute
@@ -625,11 +635,17 @@ impl EngineNode {
                 // cost-model charges where an experiment supplies them).
                 let prof = self.instances[p.instance].core.profiler().clone();
                 let _exec_scope = prof.scope(telemetry::Phase::Execute);
-                let ops = self.instances[p.instance].core.on_data(p.tag, &data);
+                ops.clear();
+                self.instances[p.instance]
+                    .core
+                    .on_data_into(p.tag, &data, &mut ops);
                 let _ = p.probe_like;
-                self.exec_ops(p.instance, ops, ctx);
+                self.exec_ops(p.instance, &mut ops, ctx);
             }
         }
+        self.cq_scratch = comps;
+        self.data_scratch = data;
+        self.ops_scratch = ops;
     }
 }
 
@@ -650,9 +666,14 @@ impl Node for EngineNode {
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
         self.stamp_now(ctx);
-        let out = self.nic.handle_packet(&pkt, ctx.now());
-        for (dst, roce) in out.emit {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+        self.nic_out.clear();
+        self.nic
+            .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+        for (dst, roce) in self.nic_out.emit.drain(..) {
+            ctx.send(
+                self.nic
+                    .make_packet(ctx.node_id(), dst, &roce, self.data_prio),
+            );
         }
         self.drain_completions(ctx);
     }
@@ -661,7 +682,10 @@ impl Node for EngineNode {
         self.stamp_now(ctx);
         if tag == TAG_NIC_TICK {
             for (dst, roce) in self.nic.tick(ctx.now()) {
-                ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, self.data_prio));
+                ctx.send(
+                    self.nic
+                        .make_packet(ctx.node_id(), dst, &roce, self.data_prio),
+                );
             }
             ctx.set_timer(self.nic_tick, TAG_NIC_TICK);
             return;
@@ -677,8 +701,11 @@ impl Node for EngineNode {
         if i < self.instances.len() && self.instances[i].active {
             let prof = self.instances[i].core.profiler().clone();
             let _probe_scope = prof.scope(telemetry::Phase::Probe);
-            let ops = self.instances[i].core.on_probe_due();
-            self.exec_ops(i, ops, ctx);
+            let mut ops = std::mem::take(&mut self.ops_scratch);
+            ops.clear();
+            self.instances[i].core.on_probe_due_into(&mut ops);
+            self.exec_ops(i, &mut ops, ctx);
+            self.ops_scratch = ops;
             let d = self.instances[i].core.next_probe_interval();
             ctx.set_timer(d, tag);
         }
@@ -689,6 +716,8 @@ impl Node for EngineNode {
 pub struct PoolNode {
     pub nic: SimNic,
     nic_tick: Duration,
+    /// NIC output scratch, reused across deliveries.
+    nic_out: NicOutput,
 }
 
 impl Default for PoolNode {
@@ -702,6 +731,7 @@ impl PoolNode {
         PoolNode {
             nic: SimNic::new(),
             nic_tick: Duration::from_micros(50),
+            nic_out: NicOutput::default(),
         }
     }
 
@@ -722,15 +752,17 @@ impl Node for PoolNode {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let out = self.nic.handle_packet(&pkt, ctx.now());
-        for (dst, roce) in out.emit {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        self.nic_out.clear();
+        self.nic
+            .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+        for (dst, roce) in self.nic_out.emit.drain(..) {
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
     }
 
     fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
         for (dst, roce) in self.nic.tick(ctx.now()) {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
         ctx.set_timer(self.nic_tick, TAG_NIC_TICK);
     }
@@ -743,6 +775,8 @@ impl Node for PoolNode {
 pub struct ComputeNicNode {
     pub nic: SimNic,
     nic_tick: Duration,
+    /// NIC output scratch, reused across deliveries.
+    nic_out: NicOutput,
 }
 
 impl Default for ComputeNicNode {
@@ -756,6 +790,7 @@ impl ComputeNicNode {
         ComputeNicNode {
             nic: SimNic::new(),
             nic_tick: Duration::from_micros(50),
+            nic_out: NicOutput::default(),
         }
     }
 
@@ -774,15 +809,17 @@ impl Node for ComputeNicNode {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let out = self.nic.handle_packet(&pkt, ctx.now());
-        for (dst, roce) in out.emit {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+        self.nic_out.clear();
+        self.nic
+            .handle_packet_into(&pkt, ctx.now(), &mut self.nic_out);
+        for (dst, roce) in self.nic_out.emit.drain(..) {
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
     }
 
     fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx) {
         for (dst, roce) in self.nic.tick(ctx.now()) {
-            ctx.send(to_sim_packet(ctx.node_id(), dst, &roce, 1));
+            ctx.send(self.nic.make_packet(ctx.node_id(), dst, &roce, 1));
         }
         ctx.set_timer(self.nic_tick, TAG_NIC_TICK);
     }

@@ -761,6 +761,20 @@ impl Channel {
     /// Copy a completed read's response out of the response ring and release
     /// its ring space.
     pub fn take_response(&mut self, h: &ReadHandle) -> Result<Vec<u8>, CowbirdError> {
+        let mut out = Vec::new();
+        self.take_response_into(h, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Channel::take_response`], but copies into a caller-owned
+    /// scratch vector (cleared and resized in place): a reap loop that
+    /// drains one op at a time pays zero allocations once the scratch has
+    /// grown to the record length.
+    pub fn take_response_into(
+        &mut self,
+        h: &ReadHandle,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CowbirdError> {
         if h.id.channel() != self.cid {
             return Err(CowbirdError::ForeignRequest);
         }
@@ -775,9 +789,8 @@ impl Channel {
             return Err(CowbirdError::AlreadyTaken);
         }
         p.consumed = true;
-        let data = self
-            .region
-            .read_vec(self.layout.rdata_phys(h.rdata_start), h.len as usize)
+        self.region
+            .read_into(self.layout.rdata_phys(h.rdata_start), h.len as usize, out)
             .expect("in-layout read");
         // Opportunistically reclaim the freed prefix.
         while let Some(front) = self.pending_reads.front() {
@@ -788,7 +801,7 @@ impl Channel {
                 break;
             }
         }
-        Ok(data)
+        Ok(())
     }
 
     /// Copy a completed read's response into `out` without releasing it.

@@ -1,310 +1,11 @@
 //! Recycled buffer arena — the software analogue of the paper's
 //! packet-*recycling* template (§5.3).
 //!
-//! Cowbird-P4 never allocates packets: the switch rewrites the headers of the
-//! packet that just arrived and sends it back out. The software engines had
-//! been doing the opposite — every pool write and every read-response batch
-//! allocated a fresh `Vec<u8>` and copied into it, so the per-op cost of the
-//! hot loop was dominated by allocator traffic rather than the protocol.
-//! [`BufArena`] closes that gap: payload buffers are borrowed from a
-//! free-list, travel through [`crate::verbs::WrOp`] into the NIC's
-//! outstanding-WQE table, and return to the arena when the WQE completes
-//! (their [`Drop`]), exactly like a recycled packet re-entering the RX ring.
-//!
-//! A buffer's *capacity* is sticky: the first few ops grow each buffer to the
-//! working set's payload size, after which `take` never reallocates. The
-//! arena counts hits (buffer reused), misses (free-list empty, fresh
-//! allocation) and recycles (buffer returned), so the steady-state claim
-//! "no per-op allocations on the hot path" is observable as a ≥ 99% hit
-//! rate — and enforced by the counting-allocator test in `cowbird-engine`.
+//! The implementation now lives in [`simnet::pool`]: the simulator's own
+//! event path recycles `Packet` payloads through the same arena that the
+//! verbs layer uses for WQE payloads, so one free-list discipline covers
+//! the whole journey of a buffer (posted op → wire packet → delivery →
+//! return). This module re-exports the types under their historical paths;
+//! all existing `rdma::buf::{BufArena, PoolBuf}` users are unaffected.
 
-use std::fmt;
-use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-
-#[derive(Debug, Default)]
-struct ArenaInner {
-    free: Mutex<Vec<Vec<u8>>>,
-    /// Free-list length cap; buffers returned beyond it are dropped.
-    max_pooled: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    recycled: AtomicU64,
-}
-
-/// Counters exposed by [`BufArena::stats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ArenaStats {
-    /// `take` calls served from the free-list.
-    pub hits: u64,
-    /// `take` calls that had to allocate a fresh buffer.
-    pub misses: u64,
-    /// Buffers returned to the free-list on drop.
-    pub recycled: u64,
-}
-
-impl ArenaStats {
-    /// Fraction of takes served without allocating (1.0 when nothing was
-    /// taken yet, so an idle arena does not read as cold).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            1.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-}
-
-/// A shared pool of reusable byte buffers.
-///
-/// Cloning the arena clones the handle; all clones share one free-list and
-/// one set of counters.
-#[derive(Clone, Debug, Default)]
-pub struct BufArena {
-    inner: Arc<ArenaInner>,
-}
-
-impl BufArena {
-    /// An arena keeping at most `max_pooled` idle buffers.
-    pub fn new(max_pooled: usize) -> BufArena {
-        BufArena {
-            inner: Arc::new(ArenaInner {
-                free: Mutex::new(Vec::with_capacity(max_pooled)),
-                max_pooled,
-                ..ArenaInner::default()
-            }),
-        }
-    }
-
-    /// Borrow an empty buffer (len 0, capacity whatever it last grew to).
-    /// Extend it with [`PoolBuf::extend_from_slice`]; growth beyond the
-    /// recycled capacity reallocates once and the larger capacity then
-    /// sticks for every later reuse.
-    pub fn take(&self) -> PoolBuf {
-        let popped = self.inner.free.lock().unwrap().pop();
-        let data = match popped {
-            Some(mut v) => {
-                v.clear();
-                self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                v
-            }
-            None => {
-                self.inner.misses.fetch_add(1, Ordering::Relaxed);
-                Vec::new()
-            }
-        };
-        PoolBuf {
-            data,
-            arena: Some(Arc::clone(&self.inner)),
-        }
-    }
-
-    /// Borrow a buffer pre-filled with a copy of `src`.
-    pub fn take_copy(&self, src: &[u8]) -> PoolBuf {
-        let mut b = self.take();
-        b.extend_from_slice(src);
-        b
-    }
-
-    /// Buffers currently idle on the free-list.
-    pub fn pooled(&self) -> usize {
-        self.inner.free.lock().unwrap().len()
-    }
-
-    /// Hit/miss/recycle counters since construction.
-    pub fn stats(&self) -> ArenaStats {
-        ArenaStats {
-            hits: self.inner.hits.load(Ordering::Relaxed),
-            misses: self.inner.misses.load(Ordering::Relaxed),
-            recycled: self.inner.recycled.load(Ordering::Relaxed),
-        }
-    }
-}
-
-/// A byte buffer borrowed from a [`BufArena`] (or a plain owned buffer when
-/// constructed via [`From<Vec<u8>>`] — unpooled buffers behave like the
-/// `Vec<u8>` payloads they replaced and are simply freed on drop).
-///
-/// Dropping a pooled buffer returns it to its arena, capacity intact. That
-/// drop happens wherever the payload's journey ends — for an inline write,
-/// when the NIC retires the outstanding WQE on completion — so "returned on
-/// completion" falls out of ownership rather than a callback.
-#[derive(Default)]
-pub struct PoolBuf {
-    data: Vec<u8>,
-    arena: Option<Arc<ArenaInner>>,
-}
-
-impl PoolBuf {
-    /// An empty buffer not tied to any arena.
-    pub const fn empty() -> PoolBuf {
-        PoolBuf {
-            data: Vec::new(),
-            arena: None,
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        self.data.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
-    }
-
-    /// Append bytes, growing the (sticky) capacity if needed.
-    pub fn extend_from_slice(&mut self, src: &[u8]) {
-        self.data.extend_from_slice(src);
-    }
-
-    pub fn clear(&mut self) {
-        self.data.clear();
-    }
-
-    /// True when this buffer will return to an arena on drop (tests).
-    pub fn is_pooled(&self) -> bool {
-        self.arena.is_some()
-    }
-}
-
-impl Drop for PoolBuf {
-    fn drop(&mut self) {
-        if let Some(arena) = self.arena.take() {
-            let mut free = arena.free.lock().unwrap();
-            if free.len() < arena.max_pooled {
-                free.push(std::mem::take(&mut self.data));
-                drop(free);
-                arena.recycled.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-}
-
-impl Deref for PoolBuf {
-    type Target = [u8];
-    fn deref(&self) -> &[u8] {
-        &self.data
-    }
-}
-
-impl DerefMut for PoolBuf {
-    fn deref_mut(&mut self) -> &mut [u8] {
-        &mut self.data
-    }
-}
-
-impl AsRef<[u8]> for PoolBuf {
-    fn as_ref(&self) -> &[u8] {
-        &self.data
-    }
-}
-
-/// Deep copy of the bytes, *unpooled* — clones are escape hatches (test
-/// fixtures, Go-Back-N snapshots of a `Clone`d op), not hot-path borrows,
-/// and must not inflate the recycle counters.
-impl Clone for PoolBuf {
-    fn clone(&self) -> PoolBuf {
-        PoolBuf {
-            data: self.data.clone(),
-            arena: None,
-        }
-    }
-}
-
-/// Byte equality; arena provenance is irrelevant to protocol semantics.
-impl PartialEq for PoolBuf {
-    fn eq(&self, other: &PoolBuf) -> bool {
-        self.data == other.data
-    }
-}
-
-impl Eq for PoolBuf {}
-
-impl fmt::Debug for PoolBuf {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.data.fmt(f)
-    }
-}
-
-impl From<Vec<u8>> for PoolBuf {
-    fn from(data: Vec<u8>) -> PoolBuf {
-        PoolBuf { data, arena: None }
-    }
-}
-
-impl From<&[u8]> for PoolBuf {
-    fn from(src: &[u8]) -> PoolBuf {
-        PoolBuf {
-            data: src.to_vec(),
-            arena: None,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn first_take_misses_then_reuse_hits() {
-        let arena = BufArena::new(8);
-        let mut b = arena.take();
-        b.extend_from_slice(&[1, 2, 3]);
-        assert!(b.is_pooled());
-        drop(b);
-        assert_eq!(arena.pooled(), 1);
-        let b2 = arena.take();
-        assert!(b2.is_empty(), "recycled buffer must come back cleared");
-        let s = arena.stats();
-        assert_eq!((s.hits, s.misses, s.recycled), (1, 1, 1));
-        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn capacity_is_sticky_across_reuse() {
-        let arena = BufArena::new(8);
-        let mut b = arena.take();
-        b.extend_from_slice(&vec![0u8; 4096]);
-        drop(b);
-        let b2 = arena.take();
-        assert!(b2.data.capacity() >= 4096);
-    }
-
-    #[test]
-    fn free_list_is_capped() {
-        let arena = BufArena::new(2);
-        let bufs: Vec<PoolBuf> = (0..4).map(|_| arena.take()).collect();
-        drop(bufs);
-        assert_eq!(arena.pooled(), 2);
-        assert_eq!(arena.stats().recycled, 2);
-    }
-
-    #[test]
-    fn clone_is_unpooled_deep_copy() {
-        let arena = BufArena::new(8);
-        let b = arena.take_copy(&[7, 8, 9]);
-        let c = b.clone();
-        assert_eq!(b, c);
-        assert!(!c.is_pooled());
-        drop(c);
-        assert_eq!(arena.stats().recycled, 0);
-        drop(b);
-        assert_eq!(arena.stats().recycled, 1);
-    }
-
-    #[test]
-    fn from_vec_is_unpooled_and_byte_equal() {
-        let b: PoolBuf = vec![1u8, 2].into();
-        assert!(!b.is_pooled());
-        assert_eq!(&b[..], &[1, 2]);
-        let c: PoolBuf = (&[1u8, 2][..]).into();
-        assert_eq!(b, c);
-    }
-
-    #[test]
-    fn idle_arena_reports_full_hit_rate() {
-        assert_eq!(BufArena::new(4).stats().hit_rate(), 1.0);
-    }
-}
+pub use simnet::pool::{ArenaStats, BufArena, PoolBuf};

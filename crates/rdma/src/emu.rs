@@ -253,7 +253,9 @@ fn nic_service(shared: Arc<NicShared>, rx: Receiver<EmuMsg>) {
                 if !out.receives.is_empty() {
                     let mut rec = shared.receives.lock();
                     for (qpn, payload) in out.receives {
-                        rec.entry(qpn).or_default().push(payload);
+                        // The emu path hands receive payloads across threads;
+                        // copy out so the pooled buffer recycles immediately.
+                        rec.entry(qpn).or_default().push(payload.to_vec());
                     }
                 }
                 shared.transmit(out.emit);

@@ -123,6 +123,15 @@ impl Region {
         Ok(v)
     }
 
+    /// Like [`Region::read_vec`], but reuses a caller-owned scratch vector
+    /// (cleared and resized in place): hot readers pay zero allocations
+    /// once the scratch has grown to the working length.
+    pub fn read_into(&self, offset: u64, len: usize, out: &mut Vec<u8>) -> Result<(), MemError> {
+        out.clear();
+        out.resize(len, 0);
+        self.read(offset, out)
+    }
+
     /// Write `data` starting at byte `offset`. Whole words use release
     /// stores (a later release-published control word therefore publishes
     /// the data too); partial words use a CAS loop so concurrent writers to

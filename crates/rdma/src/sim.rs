@@ -9,7 +9,7 @@
 //! operations — unless the host explicitly posts/polls, at which point the
 //! experiment charges [`crate::CostModel`] time to the calling thread.
 
-use std::collections::HashMap;
+use simnet::fasthash::FastHashMap;
 
 use simnet::link::CORRUPT_FLAG;
 use simnet::sim::{NodeId, Packet};
@@ -17,6 +17,7 @@ use simnet::time::Instant;
 use telemetry::profile::{Phase, Profiler};
 use telemetry::{Component, EventKind, Recorder};
 
+use crate::buf::{BufArena, PoolBuf};
 use crate::mem::{Region, RegionCatalog, Rkey};
 use crate::qp::{Qp, QpConfig, QpError, QpNum, QpOutput};
 use crate::verbs::{Completion, CompletionQueue, WorkRequest};
@@ -28,7 +29,16 @@ pub struct NicOutput {
     /// Packets to transmit, tagged with the destination node.
     pub emit: Vec<(NodeId, RocePacket)>,
     /// Two-sided receive payloads, tagged with the local QP they arrived on.
-    pub receives: Vec<(QpNum, Vec<u8>)>,
+    pub receives: Vec<(QpNum, PoolBuf)>,
+}
+
+impl NicOutput {
+    /// Empty both queues, keeping capacity — pair with the `*_into` entry
+    /// points so one scratch `NicOutput` serves a node's whole lifetime.
+    pub fn clear(&mut self) {
+        self.emit.clear();
+        self.receives.clear();
+    }
 }
 
 /// Per-NIC statistics.
@@ -64,15 +74,19 @@ pub const DROP_REASON_CORRUPT: u64 = 1;
 /// `PacketDropped` telemetry reason: no QP with the packet's destination qpn.
 pub const DROP_REASON_UNROUTABLE: u64 = 2;
 
+/// Idle buffers a NIC keeps pooled (inbound parse copies + outbound
+/// encodes in flight at once; generously above any driver's working set).
+const NIC_ARENA_DEPTH: usize = 128;
+
 /// A software RNIC for simulation.
 pub struct SimNic {
     /// Memory translation & protection table.
     pub catalog: RegionCatalog,
     /// Completion queue shared by all QPs (one CQ suffices for our drivers).
     pub cq: CompletionQueue,
-    qps: HashMap<QpNum, Qp>,
+    qps: FastHashMap<QpNum, Qp>,
     /// Where each local QP's peer lives.
-    peer_node: HashMap<QpNum, NodeId>,
+    peer_node: FastHashMap<QpNum, NodeId>,
     pub stats: NicStats,
     /// Verify integrity (the iCRC stand-in). On — the default — means
     /// corrupted packets are dropped silently, leaving recovery to GBN.
@@ -82,6 +96,12 @@ pub struct SimNic {
     /// Cycle-attribution sink for the verb paths (disabled by default; one
     /// branch per post/poll scope).
     prof: Profiler,
+    /// Recycled buffers for everything this NIC copies: parsed inbound
+    /// payloads and encoded outbound frames.
+    arena: BufArena,
+    /// Per-packet QP output scratch, reused across [`SimNic::handle_packet`]
+    /// calls so the steady state allocates nothing.
+    qp_scratch: QpOutput,
 }
 
 impl Default for SimNic {
@@ -95,13 +115,21 @@ impl SimNic {
         SimNic {
             catalog: RegionCatalog::new(),
             cq: CompletionQueue::new(),
-            qps: HashMap::new(),
-            peer_node: HashMap::new(),
+            qps: FastHashMap::default(),
+            peer_node: FastHashMap::default(),
             stats: NicStats::default(),
             check_integrity: true,
             rec: Recorder::disabled(),
             prof: Profiler::disabled(),
+            arena: BufArena::new(NIC_ARENA_DEPTH),
+            qp_scratch: QpOutput::default(),
         }
+    }
+
+    /// The NIC's buffer arena (hit-rate observability; see
+    /// [`crate::buf::ArenaStats`]).
+    pub fn buf_arena(&self) -> &BufArena {
+        &self.arena
     }
 
     /// Attach a telemetry recorder (flight recorder). Disabled by default.
@@ -183,6 +211,22 @@ impl SimNic {
         wr: WorkRequest,
         now: Instant,
     ) -> Result<Vec<(NodeId, RocePacket)>, QpError> {
+        let mut pkts = Vec::new();
+        let peer = self.post_into(qpn, wr, now, &mut pkts)?;
+        Ok(pkts.into_iter().map(|p| (peer, p)).collect())
+    }
+
+    /// Like [`SimNic::post`], but appends the generated packets into a
+    /// caller-owned scratch and returns the peer node they are addressed
+    /// to (every packet of one WR goes to the same peer). Error paths
+    /// append nothing.
+    pub fn post_into(
+        &mut self,
+        qpn: QpNum,
+        wr: WorkRequest,
+        now: Instant,
+        out: &mut Vec<RocePacket>,
+    ) -> Result<NodeId, QpError> {
         // Verb-cost attribution: the post path (WQE build + packetization)
         // charges `PostWqe`. On the emulated fabric the scope measures wall
         // time under the NIC lock; on the simulator it counts the verb and
@@ -190,8 +234,8 @@ impl SimNic {
         let _scope = self.prof.scope(Phase::PostWqe);
         let peer = *self.peer_node.get(&qpn).expect("unknown qpn");
         let qp = self.qps.get_mut(&qpn).expect("unknown qpn");
-        let pkts = qp.post(wr, &self.catalog, now)?;
-        Ok(pkts.into_iter().map(|p| (peer, p)).collect())
+        qp.post_into(wr, &self.catalog, now, out)?;
+        Ok(peer)
     }
 
     /// Host post of a WR *chain*: every work request is packetized under a
@@ -227,8 +271,25 @@ impl SimNic {
         self.cq.poll(max)
     }
 
+    /// Like [`SimNic::poll`], but appends into a caller-owned scratch
+    /// vector: the rig's per-packet completion reaps are allocation-free.
+    /// Returns the number of completions appended.
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<Completion>) -> usize {
+        let _scope = self.prof.scope(Phase::PollCqe);
+        self.cq.poll_into(max, out)
+    }
+
     /// Feed an inbound simnet packet (encoded RoCE payload).
     pub fn handle_packet(&mut self, pkt: &Packet, now: Instant) -> NicOutput {
+        let mut out = NicOutput::default();
+        self.handle_packet_into(pkt, now, &mut out);
+        out
+    }
+
+    /// Like [`SimNic::handle_packet`], but appends into a caller-owned
+    /// scratch `NicOutput` ([`NicOutput::clear`] between deliveries): the
+    /// driver's per-packet output vectors are allocated once, not per call.
+    pub fn handle_packet_into(&mut self, pkt: &Packet, now: Instant, out: &mut NicOutput) {
         self.stats.rx_packets += 1;
         if self.check_integrity && pkt.meta & CORRUPT_FLAG != 0 {
             // iCRC failure: drop; Go-Back-N recovers.
@@ -240,10 +301,10 @@ impl SimNic {
                 DROP_REASON_CORRUPT,
                 0,
             );
-            return NicOutput::default();
+            return;
         }
-        match RocePacket::parse(&pkt.payload) {
-            Ok(roce) => self.handle_roce(roce, now),
+        match RocePacket::parse_pooled(&pkt.payload, &self.arena) {
+            Ok(roce) => self.handle_roce_into(roce, now, out),
             Err(WireError::Truncated) | Err(WireError::UnknownOpcode(_)) => {
                 self.stats.rx_dropped_corrupt += 1;
                 self.rec.record(
@@ -253,13 +314,19 @@ impl SimNic {
                     DROP_REASON_CORRUPT,
                     0,
                 );
-                NicOutput::default()
             }
         }
     }
 
     /// Feed an already-parsed RoCE packet.
     pub fn handle_roce(&mut self, roce: RocePacket, now: Instant) -> NicOutput {
+        let mut out = NicOutput::default();
+        self.handle_roce_into(roce, now, &mut out);
+        out
+    }
+
+    /// Scratch-reuse twin of [`SimNic::handle_roce`]; appends onto `out`.
+    pub fn handle_roce_into(&mut self, roce: RocePacket, now: Instant, out: &mut NicOutput) {
         let qpn = roce.bth.dst_qp;
         let Some(qp) = self.qps.get_mut(&qpn) else {
             self.stats.rx_dropped_unroutable += 1;
@@ -270,21 +337,18 @@ impl SimNic {
                 DROP_REASON_UNROUTABLE,
                 qpn as u64,
             );
-            return NicOutput::default();
+            return;
         };
         let peer = *self.peer_node.get(&qpn).expect("qp without peer");
-        let QpOutput {
-            emit,
-            completions,
-            receives,
-        } = qp.handle(&roce, &self.catalog, now);
-        for c in completions {
+        self.qp_scratch.clear();
+        qp.handle_into(&roce, &self.catalog, now, &mut self.qp_scratch);
+        for c in self.qp_scratch.completions.drain(..) {
             self.cq.push(c);
         }
-        NicOutput {
-            emit: emit.into_iter().map(|p| (peer, p)).collect(),
-            receives: receives.into_iter().map(|r| (qpn, r)).collect(),
-        }
+        out.emit
+            .extend(self.qp_scratch.emit.drain(..).map(|p| (peer, p)));
+        out.receives
+            .extend(self.qp_scratch.receives.drain(..).map(|r| (qpn, r)));
     }
 
     /// Retransmission sweep across all QPs; call on a periodic timer.
@@ -298,9 +362,21 @@ impl SimNic {
         }
         out
     }
+
+    /// Encode `roce` into a simnet packet whose payload buffer is borrowed
+    /// from this NIC's arena: the zero-alloc twin of [`to_sim_packet`]. The
+    /// buffer recycles when the simulated delivery drops it.
+    pub fn make_packet(&self, src: NodeId, dst: NodeId, roce: &RocePacket, prio: u8) -> Packet {
+        let mut payload = self.arena.take();
+        roce.encode_into(payload.vec_mut());
+        Packet::new(src, dst, roce.wire_size(), payload).with_prio(prio)
+    }
 }
 
 /// Convert a RoCE packet into a simnet packet from `src` to `dst`.
+///
+/// Allocates a fresh payload; hot paths that own a [`SimNic`] should prefer
+/// [`SimNic::make_packet`], which recycles through the NIC arena.
 pub fn to_sim_packet(src: NodeId, dst: NodeId, roce: &RocePacket, prio: u8) -> Packet {
     let payload = roce.encode();
     Packet::new(src, dst, roce.wire_size(), payload).with_prio(prio)

@@ -204,11 +204,21 @@ impl CompletionQueue {
 
     /// Host side: drain up to `max` completions (one "poll call").
     pub fn poll(&mut self, max: usize) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.poll_into(max, &mut out);
+        out
+    }
+
+    /// Like [`CompletionQueue::poll`], but appends into a caller-owned
+    /// scratch vector (cleared between polls by the caller): hot pollers
+    /// pay zero allocations per completion batch. Returns the number of
+    /// completions appended.
+    pub fn poll_into(&mut self, max: usize, out: &mut Vec<Completion>) -> usize {
         self.polls += 1;
         let n = self.entries.len().min(max);
-        let out: Vec<Completion> = self.entries.drain(..n).collect();
-        self.completions_delivered += out.len() as u64;
-        out
+        out.extend(self.entries.drain(..n));
+        self.completions_delivered += n as u64;
+        n
     }
 
     /// Entries currently queued.

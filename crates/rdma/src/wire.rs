@@ -14,6 +14,8 @@
 
 use core::fmt;
 
+use crate::buf::{BufArena, PoolBuf};
+
 /// Outer framing bytes present on every RoCEv2 packet: Ethernet (14) +
 /// IPv4 (20) + UDP (8) + iCRC (4) + Ethernet FCS (4).
 pub const OUTER_OVERHEAD: usize = 14 + 20 + 8 + 4 + 4;
@@ -372,7 +374,10 @@ pub struct RocePacket {
     /// AtomicAckETH on atomic acknowledgments: the original value of the
     /// target word, from which the requester learns whether its swap won.
     pub atomic_ack: Option<u64>,
-    pub payload: Vec<u8>,
+    /// Payload bytes. Arena-recycled on the simulated hot path
+    /// ([`RocePacket::parse_pooled`]); plain owned bytes elsewhere — any
+    /// `Vec<u8>` converts via `.into()`.
+    pub payload: PoolBuf,
 }
 
 impl RocePacket {
@@ -388,7 +393,7 @@ impl RocePacket {
             aeth: None,
             atomic: None,
             atomic_ack: None,
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         }
     }
 
@@ -398,8 +403,9 @@ impl RocePacket {
         psn: u32,
         vaddr: u64,
         rkey: u32,
-        payload: Vec<u8>,
+        payload: impl Into<PoolBuf>,
     ) -> RocePacket {
+        let payload = payload.into();
         let mut bth = Bth::new(Opcode::WriteOnly, dst_qp, psn);
         bth.ack_req = true;
         RocePacket {
@@ -424,7 +430,7 @@ impl RocePacket {
             aeth: Some(Aeth::ack(msn)),
             atomic: None,
             atomic_ack: None,
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         }
     }
 
@@ -450,7 +456,7 @@ impl RocePacket {
                 compare,
             }),
             atomic_ack: None,
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         }
     }
 
@@ -463,7 +469,7 @@ impl RocePacket {
             aeth: Some(Aeth::ack(msn)),
             atomic: None,
             atomic_ack: Some(orig),
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         }
     }
 
@@ -476,14 +482,22 @@ impl RocePacket {
             aeth: Some(Aeth::nak_sequence(msn)),
             atomic: None,
             atomic_ack: None,
-            payload: Vec::new(),
+            payload: PoolBuf::empty(),
         }
     }
 
     /// Encode the transport PDU (BTH onward) into bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(BTH_LEN + RETH_LEN + self.payload.len());
-        self.bth.encode(&mut out);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encode the transport PDU by *appending* to `out` — the zero-alloc
+    /// variant: pass a recycled buffer whose sticky capacity already covers
+    /// the PDU and nothing touches the allocator.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.bth.encode(out);
         debug_assert_eq!(
             self.reth.is_some(),
             self.bth.opcode.has_reth(),
@@ -509,23 +523,42 @@ impl RocePacket {
             self.bth.opcode
         );
         if let Some(reth) = &self.reth {
-            reth.encode(&mut out);
+            reth.encode(out);
         }
         if let Some(aeth) = &self.aeth {
-            aeth.encode(&mut out);
+            aeth.encode(out);
         }
         if let Some(atomic) = &self.atomic {
-            atomic.encode(&mut out);
+            atomic.encode(out);
         }
         if let Some(orig) = self.atomic_ack {
             out.extend_from_slice(&orig.to_be_bytes());
         }
         out.extend_from_slice(&self.payload);
-        out
     }
 
     /// Parse a transport PDU from bytes.
     pub fn parse(buf: &[u8]) -> Result<RocePacket, WireError> {
+        Self::parse_with(buf, |rest| rest.into())
+    }
+
+    /// Parse with the payload copied into a recycled arena buffer instead of
+    /// a fresh allocation — the hot-path twin of [`RocePacket::parse`].
+    /// Empty payloads (ACKs, read requests) skip the arena entirely.
+    pub fn parse_pooled(buf: &[u8], arena: &BufArena) -> Result<RocePacket, WireError> {
+        Self::parse_with(buf, |rest| {
+            if rest.is_empty() {
+                PoolBuf::empty()
+            } else {
+                arena.take_copy(rest)
+            }
+        })
+    }
+
+    fn parse_with(
+        buf: &[u8],
+        mk_payload: impl FnOnce(&[u8]) -> PoolBuf,
+    ) -> Result<RocePacket, WireError> {
         let bth = Bth::parse(buf)?;
         let mut off = BTH_LEN;
         let reth = if bth.opcode.has_reth() {
@@ -568,7 +601,7 @@ impl RocePacket {
             aeth,
             atomic,
             atomic_ack,
-            payload: buf[off..].to_vec(),
+            payload: mk_payload(&buf[off..]),
         })
     }
 
@@ -665,7 +698,7 @@ mod tests {
                 aeth: Some(Aeth::ack(6)),
                 atomic: None,
                 atomic_ack: None,
-                payload: vec![1, 2, 3],
+                payload: vec![1, 2, 3].into(),
             },
             RocePacket {
                 bth: Bth::new(Opcode::ReadResponseMiddle, 3, 104),
@@ -673,7 +706,7 @@ mod tests {
                 aeth: None,
                 atomic: None,
                 atomic_ack: None,
-                payload: vec![7u8; 1024],
+                payload: vec![7u8; 1024].into(),
             },
             RocePacket::comp_swap(3, 105, 0x40, 42, 0, 1),
             RocePacket::atomic_ack(3, 105, 7, 0xDEAD_BEEF_CAFE_F00D),
@@ -699,6 +732,29 @@ mod tests {
         let pkt = RocePacket::read_request(1, 1, 0, 0, 0);
         let bytes = pkt.encode();
         assert!(RocePacket::parse(&bytes[..BTH_LEN + 3]).is_err());
+    }
+
+    #[test]
+    fn pooled_parse_and_encode_into_recycle() {
+        let arena = BufArena::new(8);
+        let pkt = RocePacket::write_only(3, 9, 0x2000, 42, vec![5u8; 128]);
+        let bytes = pkt.encode();
+        let parsed = RocePacket::parse_pooled(&bytes, &arena).unwrap();
+        assert_eq!(parsed, pkt);
+        assert!(parsed.payload.is_pooled());
+        drop(parsed);
+        assert_eq!(arena.stats().recycled, 1);
+        // Empty payloads never touch the arena.
+        let ack_bytes = RocePacket::ack(3, 9, 1).encode();
+        let ack = RocePacket::parse_pooled(&ack_bytes, &arena).unwrap();
+        assert!(!ack.payload.is_pooled());
+        assert_eq!(arena.stats().misses, 1, "only the payload parse takes");
+        // `encode_into` appends into a recycled buffer: byte-identical to
+        // `encode`, and the take below hits the buffer the parse recycled.
+        let mut out = arena.take();
+        pkt.encode_into(out.vec_mut());
+        assert_eq!(&out[..], &bytes[..]);
+        assert_eq!(arena.stats().hits, 1);
     }
 
     #[test]

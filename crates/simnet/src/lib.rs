@@ -34,12 +34,23 @@
 //!
 //! Every run is a pure function of the seed. The kernel breaks event-time ties
 //! with a monotone sequence number, and [`rng`] implements SplitMix64 and
-//! xoshiro256** locally so results are stable across toolchains.
+//! xoshiro256** locally so results are stable across toolchains. The event
+//! queue is a hierarchical timer wheel ([`wheel`]) whose firing order is
+//! bit-identical to the binary heap it replaced; the `ref-heap` feature keeps
+//! the old heap as an ordering oracle for the determinism proptest.
+//!
+//! ## Zero-alloc hot path
+//!
+//! Steady state allocates nothing per event: wheel entries recycle through a
+//! slab, packet payloads through a [`pool::BufArena`], the `Ctx` command
+//! buffer across dispatches, and links batch deliveries into one sweep event.
 
 pub mod cpu;
+pub mod fasthash;
 pub mod fault;
 pub mod introspect;
 pub mod link;
+pub mod pool;
 pub mod provenance;
 pub mod rng;
 pub mod sim;
@@ -47,14 +58,17 @@ pub mod stats;
 pub mod tcp;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use cpu::CpuSpec;
 pub use fault::{FaultEvent, FaultScript, FaultStats};
 pub use introspect::{EventClass, SchedulerMetrics, EVENT_CLASS_COUNT};
 pub use link::{LinkId, LinkParams, LinkStats, Priority};
+pub use pool::{ArenaStats, BufArena, PoolBuf};
 pub use provenance::{EventOutcome, ProvenanceLog, ProvenanceRecord};
 pub use rng::Rng;
 pub use sim::{Ctx, Node, NodeId, Packet, Sim};
 pub use stats::{Histogram, Summary};
 pub use tcp::{TcpFlow, TcpSink};
 pub use time::{Duration, Instant};
+pub use wheel::TimerWheel;

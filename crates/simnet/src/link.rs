@@ -156,7 +156,6 @@ impl LinkStats {
 
 pub(crate) struct Link {
     src: NodeId,
-    #[allow(dead_code)]
     dst: NodeId,
     params: LinkParams,
     queues: [VecDeque<Packet>; PRIO_LEVELS],
@@ -175,8 +174,19 @@ pub(crate) struct Link {
     /// congested path delays packets but does not reorder them, and letting
     /// jitter reorder the stream would trip RoCE Go-Back-N on every packet.
     last_jittered_delivery: Instant,
+    /// Packets off the wire awaiting delivery, ordered by delivery time.
+    /// The kernel drains everything due in one `LinkDeliver` sweep instead
+    /// of carrying each packet through the scheduler as its own event.
+    pending_deliveries: VecDeque<(Instant, Packet)>,
+    /// Earliest outstanding delivery sweep ([`NO_SWEEP`] when none). A new
+    /// head earlier than this needs its own sweep; anything at or after it
+    /// is covered by the chain of sweeps already in flight.
+    sweep_at: Instant,
     stats: LinkStats,
 }
+
+/// Sentinel for "no delivery sweep outstanding".
+const NO_SWEEP: Instant = Instant(u64::MAX);
 
 impl Link {
     pub(crate) fn new(src: NodeId, dst: NodeId, params: LinkParams) -> Link {
@@ -191,6 +201,8 @@ impl Link {
             doomed: false,
             jitter_ns: 0,
             last_jittered_delivery: Instant::ZERO,
+            pending_deliveries: VecDeque::new(),
+            sweep_at: NO_SWEEP,
             stats: LinkStats::default(),
         }
     }
@@ -198,6 +210,70 @@ impl Link {
     /// The node transmissions originate from (provenance attribution).
     pub(crate) fn src(&self) -> NodeId {
         self.src
+    }
+
+    /// The node deliveries land on.
+    pub(crate) fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Meta word of the next pending delivery (provenance attribution of a
+    /// `LinkDeliver` sweep; 0 when nothing is pending).
+    pub(crate) fn pending_head_meta(&self) -> u64 {
+        self.pending_deliveries.front().map_or(0, |(_, p)| p.meta)
+    }
+
+    /// Park a packet that left the wire for delivery at `at`. Returns `true`
+    /// when the caller must schedule a `LinkDeliver` sweep at `at` — i.e.
+    /// when no outstanding sweep covers this delivery time.
+    ///
+    /// Deliveries normally arrive in time order (the FIFO clamp guarantees
+    /// it under jitter), so the insert is an O(1) `push_back`; the sorted
+    /// fallback only runs when `set_jitter(0)` lets a nominal delivery
+    /// undercut an already-jittered one.
+    pub(crate) fn queue_delivery(&mut self, at: Instant, pkt: Packet) -> bool {
+        match self.pending_deliveries.back() {
+            Some((last, _)) if *last > at => {
+                let pos = self.pending_deliveries.partition_point(|(t, _)| *t <= at);
+                self.pending_deliveries.insert(pos, (at, pkt));
+            }
+            _ => self.pending_deliveries.push_back((at, pkt)),
+        }
+        if at < self.sweep_at {
+            self.sweep_at = at;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next pending delivery due at or before `now`.
+    pub(crate) fn pop_due(&mut self, now: Instant) -> Option<Packet> {
+        match self.pending_deliveries.front() {
+            Some((at, _)) if *at <= now => self.pending_deliveries.pop_front().map(|(_, p)| p),
+            _ => None,
+        }
+    }
+
+    /// A `LinkDeliver` sweep scheduled for `now` is starting; retire it from
+    /// the earliest-sweep tracker. Later stale sweeps (superseded by an
+    /// earlier one) leave the tracker alone and simply find nothing due.
+    pub(crate) fn begin_sweep(&mut self, now: Instant) {
+        if self.sweep_at == now {
+            self.sweep_at = NO_SWEEP;
+        }
+    }
+
+    /// A sweep finished draining. Returns `Some(at)` when the remaining
+    /// head needs a sweep no outstanding event covers.
+    pub(crate) fn end_sweep(&mut self) -> Option<Instant> {
+        match self.pending_deliveries.front() {
+            Some((at, _)) if *at < self.sweep_at => {
+                self.sweep_at = *at;
+                Some(*at)
+            }
+            _ => None,
+        }
     }
 
     /// Take the link down (losing queued and serializing packets) or bring it

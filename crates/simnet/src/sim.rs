@@ -4,21 +4,36 @@
 //! command buffer whose effects (sends, timers, stop) the kernel applies after
 //! the callback returns. This keeps the ownership story trivial and the event
 //! order fully deterministic: ties in time are broken by insertion sequence.
+//!
+//! The event queue is a hierarchical timer wheel ([`crate::wheel`]) whose
+//! firing order is bit-identical to the binary heap it replaced — deadlines
+//! ascending, ties in insertion order. A reference `BinaryHeap` scheduler is
+//! kept behind the `ref-heap` feature so the determinism proptest can replay
+//! random workloads against both and assert identical traces. The hot path
+//! is allocation-free in steady state: wheel entries live in a recycled
+//! slab, packet payloads are arena-pooled ([`crate::pool`]), the `Ctx`
+//! command buffer is reused across dispatches, and links batch their
+//! deliveries through one sweep event instead of carrying packets through
+//! the scheduler.
 
+use crate::fasthash::FastHashMap;
 use std::any::Any;
+#[cfg(feature = "ref-heap")]
 use std::cmp::Reverse;
+#[cfg(feature = "ref-heap")]
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 
 use telemetry::{EventKind, Phase};
 
 use crate::fault::{FaultEvent, FaultScript, FaultStats};
 use crate::introspect::{EventClass, SchedulerMetrics};
 use crate::link::{Link, LinkId, LinkParams, LinkStats};
+use crate::pool::PoolBuf;
 use crate::provenance::{EventOutcome, ProvenanceLog, ProvenanceRecord};
 use crate::rng::Rng;
 use crate::time::{Duration, Instant};
 use crate::trace::{pack_pkt, Trace};
+use crate::wheel::TimerWheel;
 
 /// Identifies a node within one [`Sim`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -27,6 +42,11 @@ pub struct NodeId(pub u32);
 /// A packet in flight. The payload is opaque bytes; protocol crates define
 /// the wire format (simnet moves encoded bytes, smoltcp-style, so nothing can
 /// leak between nodes except through the wire).
+///
+/// Payloads are [`PoolBuf`]s: protocol adapters borrow them from a
+/// [`crate::pool::BufArena`] and the buffer returns to its arena wherever
+/// the packet's journey ends — delivery, a link-fault drop, or a crashed
+/// receiver. Plain `Vec<u8>` payloads still work via `Into<PoolBuf>`.
 #[derive(Clone, Debug)]
 pub struct Packet {
     pub src: NodeId,
@@ -35,20 +55,20 @@ pub struct Packet {
     pub prio: u8,
     /// On-wire size in bytes (headers included). Drives serialization delay.
     pub wire_bytes: usize,
-    /// Encoded payload.
-    pub payload: Vec<u8>,
+    /// Encoded payload (arena-recycled; see [`crate::pool`]).
+    pub payload: PoolBuf,
     /// Free metadata lane for protocol adapters (not on the wire).
     pub meta: u64,
 }
 
 impl Packet {
-    pub fn new(src: NodeId, dst: NodeId, wire_bytes: usize, payload: Vec<u8>) -> Packet {
+    pub fn new(src: NodeId, dst: NodeId, wire_bytes: usize, payload: impl Into<PoolBuf>) -> Packet {
         Packet {
             src,
             dst,
             prio: 0,
             wire_bytes,
-            payload,
+            payload: payload.into(),
             meta: 0,
         }
     }
@@ -131,9 +151,14 @@ impl<'a> Ctx<'a> {
     }
 }
 
-#[derive(Debug)]
+/// Scheduled work. Packets are *not* carried through the scheduler: a link
+/// that finishes a delivery parks the packet in its own delivery queue and a
+/// `LinkDeliver` sweep drains everything due — so entries stay a few words
+/// wide and a burst of simultaneous deliveries costs one event.
+#[derive(Clone, Copy, Debug)]
 enum Event {
-    Deliver(NodeId, Packet),
+    /// Sweep the link's pending deliveries up to the current time.
+    LinkDeliver(usize),
     Timer(NodeId, u64),
     /// A transmission on a directional link has finished serializing.
     LinkTxDone(usize),
@@ -145,7 +170,7 @@ impl Event {
     /// The dense per-class index for scheduler metrics and provenance.
     fn class(&self) -> EventClass {
         match self {
-            Event::Deliver(..) => EventClass::Deliver,
+            Event::LinkDeliver(_) => EventClass::Deliver,
             Event::Timer(..) => EventClass::Timer,
             Event::LinkTxDone(_) => EventClass::LinkTxDone,
             Event::Fault(_) => EventClass::Fault,
@@ -153,9 +178,8 @@ impl Event {
     }
 }
 
-struct HeapEntry {
-    at: Instant,
-    seq: u64,
+/// Everything the kernel needs back when an event fires.
+struct Scheduled {
     ev: Event,
     /// Unique nonzero event id (`seq + 1`); provenance keys on this.
     id: u64,
@@ -166,20 +190,77 @@ struct HeapEntry {
     wall_pushed_ns: u64,
 }
 
-impl PartialEq for HeapEntry {
+#[cfg(feature = "ref-heap")]
+struct RefHeapEntry {
+    at: u64,
+    seq: u64,
+    sched: Scheduled,
+}
+
+#[cfg(feature = "ref-heap")]
+impl PartialEq for RefHeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for HeapEntry {}
-impl PartialOrd for HeapEntry {
+#[cfg(feature = "ref-heap")]
+impl Eq for RefHeapEntry {}
+#[cfg(feature = "ref-heap")]
+impl PartialOrd for RefHeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for HeapEntry {
+#[cfg(feature = "ref-heap")]
+impl Ord for RefHeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue: a timer wheel in production, with the old binary heap
+/// kept behind `ref-heap` as the ordering oracle for the determinism
+/// proptest. Both pop in `(at, seq)` order — see [`crate::wheel`].
+enum EventQueue {
+    Wheel(TimerWheel<Scheduled>),
+    #[cfg(feature = "ref-heap")]
+    RefHeap(BinaryHeap<Reverse<RefHeapEntry>>),
+}
+
+impl EventQueue {
+    fn push(&mut self, at: u64, seq: u64, sched: Scheduled) {
+        match self {
+            EventQueue::Wheel(w) => {
+                let _ = seq; // the wheel counts pushes itself
+                w.push(at, sched);
+            }
+            #[cfg(feature = "ref-heap")]
+            EventQueue::RefHeap(h) => h.push(Reverse(RefHeapEntry { at, seq, sched })),
+        }
+    }
+
+    /// Pop the earliest entry with `at <= limit`; `None` otherwise.
+    fn pop_before(&mut self, limit: u64) -> Option<(u64, Scheduled)> {
+        match self {
+            EventQueue::Wheel(w) => w.pop_before(limit),
+            #[cfg(feature = "ref-heap")]
+            EventQueue::RefHeap(h) => match h.peek() {
+                Some(Reverse(e)) if e.at <= limit => {
+                    let Reverse(e) = h.pop().unwrap();
+                    Some((e.at, e.sched))
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// O(1) occupancy — feeds the queue-depth gauge.
+    fn len(&self) -> usize {
+        match self {
+            EventQueue::Wheel(w) => w.len(),
+            #[cfg(feature = "ref-heap")]
+            EventQueue::RefHeap(h) => h.len(),
+        }
     }
 }
 
@@ -187,7 +268,7 @@ impl Ord for HeapEntry {
 pub struct Sim {
     now: Instant,
     seq: u64,
-    heap: BinaryHeap<Reverse<HeapEntry>>,
+    queue: EventQueue,
     nodes: Vec<Option<Box<dyn Node>>>,
     started: Vec<bool>,
     /// `true` while a node is crashed by a fault script.
@@ -196,12 +277,12 @@ pub struct Sim {
     faults: FaultStats,
     /// Directional links, densely indexed; `route[(src, dst)]` -> link index.
     links: Vec<Link>,
-    route: HashMap<(NodeId, NodeId), usize>,
+    route: FastHashMap<(NodeId, NodeId), usize>,
     rng: Rng,
     trace: Trace,
     /// Cycle-attribution profilers stamped with virtual time before each
     /// dispatch to their node (sparse; most nodes are unprofiled).
-    profilers: HashMap<NodeId, telemetry::Profiler>,
+    profilers: FastHashMap<NodeId, telemetry::Profiler>,
     /// The scheduler's own vital signs (queue depth, dwell, fired/cancelled).
     sched: SchedulerMetrics,
     /// Per-event provenance ring (parent links, `sim_why`, flow traces).
@@ -212,6 +293,9 @@ pub struct Sim {
     /// Wall-clock profiler charging the kernel's own hot loop
     /// (pop / dispatch / device phases).
     self_prof: telemetry::Profiler,
+    /// Recycled command buffer handed to node callbacks: one allocation for
+    /// the whole run instead of one per dispatch.
+    cmd_scratch: Vec<Cmd>,
     stopped: bool,
     events_processed: u64,
     /// Hard cap to catch runaway simulations (0 = unlimited).
@@ -224,24 +308,34 @@ impl Sim {
         Sim {
             now: Instant::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::Wheel(TimerWheel::new()),
             nodes: Vec::new(),
             started: Vec::new(),
             down: Vec::new(),
             faults: FaultStats::default(),
             links: Vec::new(),
-            route: HashMap::new(),
+            route: FastHashMap::default(),
             rng: Rng::new(seed),
             trace: Trace::disabled(),
-            profilers: HashMap::new(),
+            profilers: FastHashMap::default(),
             sched: SchedulerMetrics::disabled(),
             prov: ProvenanceLog::disabled(),
             current_cause: 0,
             self_prof: telemetry::Profiler::disabled(),
+            cmd_scratch: Vec::new(),
             stopped: false,
             events_processed: 0,
             max_events: 0,
         }
+    }
+
+    /// Swap the timer wheel for the reference `BinaryHeap` scheduler — the
+    /// ordering oracle for the determinism proptest. Only valid on a fresh
+    /// simulator (nothing scheduled yet).
+    #[cfg(feature = "ref-heap")]
+    pub fn use_reference_heap_scheduler(&mut self) {
+        assert_eq!(self.seq, 0, "scheduler swapped after events were pushed");
+        self.queue = EventQueue::RefHeap(BinaryHeap::new());
     }
 
     /// Enable event tracing (pcap-style text log of every tx/rx).
@@ -320,7 +414,7 @@ impl Sim {
     }
 
     /// Attach a wall-clock profiler charging the kernel's own hot loop:
-    /// heap pops ([`telemetry::Phase::SchedPop`]), node dispatch
+    /// queue pops ([`telemetry::Phase::SchedPop`]), node dispatch
     /// ([`telemetry::Phase::SchedDispatch`]), and device bookkeeping
     /// ([`telemetry::Phase::SchedDevice`]). Pass a wall-mode profiler
     /// (`Profiler::attached(.., wall = true)`); a disabled one (the
@@ -459,7 +553,10 @@ impl Sim {
         };
         if self.prov.is_enabled() {
             let (node, meta) = match &ev {
-                Event::Deliver(dst, pkt) => (dst.0 as u16, pkt.meta),
+                Event::LinkDeliver(idx) => {
+                    let link = &self.links[*idx];
+                    (link.dst().0 as u16, link.pending_head_meta())
+                }
                 Event::Timer(node, tag) => (node.0 as u16, *tag),
                 Event::LinkTxDone(idx) => (self.links[*idx].src().0 as u16, *idx as u64),
                 Event::Fault(fe) => match fe {
@@ -479,14 +576,16 @@ impl Sim {
                 outcome: EventOutcome::Pending,
             });
         }
-        self.heap.push(Reverse(HeapEntry {
-            at,
+        self.queue.push(
+            at.nanos(),
             seq,
-            ev,
-            id,
-            scheduled_at: self.now,
-            wall_pushed_ns,
-        }));
+            Scheduled {
+                ev,
+                id,
+                scheduled_at: self.now,
+                wall_pushed_ns,
+            },
+        );
     }
 
     /// Run a node callback and apply the resulting commands. Returns false
@@ -500,20 +599,24 @@ impl Sim {
             // Node removed; drop the event.
             None => return false,
         };
-        if let Some(prof) = self.profilers.get(&node_id) {
-            prof.set_now_ns(self.now.nanos());
+        if !self.profilers.is_empty() {
+            if let Some(prof) = self.profilers.get(&node_id) {
+                prof.set_now_ns(self.now.nanos());
+            }
         }
         let mut ctx = Ctx {
             now: self.now,
             node: node_id,
             rng: &mut self.rng,
             trace: &mut self.trace,
-            cmds: Vec::new(),
+            // Recycled: commands never nest (applying one cannot re-enter a
+            // node callback), so one scratch buffer serves every dispatch.
+            cmds: std::mem::take(&mut self.cmd_scratch),
         };
         f(node.as_mut(), &mut ctx);
-        let cmds = ctx.cmds;
+        let mut cmds = ctx.cmds;
         self.nodes[node_id.0 as usize] = Some(node);
-        for cmd in cmds {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Cmd::Send(pkt) => self.start_send(pkt),
                 Cmd::Timer(delay, tag) => {
@@ -523,6 +626,7 @@ impl Sim {
                 Cmd::Stop => self.stopped = true,
             }
         }
+        self.cmd_scratch = cmds;
         true
     }
 
@@ -552,8 +656,50 @@ impl Sim {
             self.push(done_at, Event::LinkTxDone(idx));
         }
         if let Some((pkt, deliver_at)) = finished {
-            self.push(deliver_at, Event::Deliver(pkt.dst, pkt));
+            if self.links[idx].queue_delivery(deliver_at, pkt) {
+                self.push(deliver_at, Event::LinkDeliver(idx));
+            }
         }
+    }
+
+    /// Drain every due pending delivery on the link and dispatch the
+    /// packets. Returns `fired`: the sweep landed a packet, scheduled its
+    /// successor, or had nothing to do (a benign duplicate); `false`
+    /// (cancelled) only when packets existed and every one was discarded
+    /// (crashed receiver) with no follow-up work — provenance requires that
+    /// any event with children retired as fired.
+    fn link_deliver(&mut self, idx: usize, prof: &telemetry::Profiler) -> bool {
+        self.links[idx].begin_sweep(self.now);
+        let mut delivered = 0u64;
+        let mut dropped = 0u64;
+        while let Some(pkt) = self.links[idx].pop_due(self.now) {
+            let dst = pkt.dst;
+            if self.down[dst.0 as usize] {
+                self.faults.deliveries_dropped += 1;
+                dropped += 1;
+                continue;
+            }
+            self.trace.event(
+                self.now,
+                dst.0 as u16,
+                EventKind::PktRx,
+                0,
+                pack_pkt(pkt.src.0, pkt.wire_bytes, pkt.prio),
+                pkt.meta,
+            );
+            let _s = prof.scope(Phase::SchedDispatch);
+            if self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx)) {
+                delivered += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        let mut rescheduled = false;
+        if let Some(at) = self.links[idx].end_sweep() {
+            self.push(at, Event::LinkDeliver(idx));
+            rescheduled = true;
+        }
+        delivered > 0 || dropped == 0 || rescheduled
     }
 
     /// Run until the event queue drains, a node calls [`Ctx::stop`], or
@@ -569,25 +715,19 @@ impl Sim {
                 self.dispatch(NodeId(i as u32), |n, ctx| n.on_start(ctx));
             }
         }
+        let limit = deadline.map_or(u64::MAX, |d| d.nanos());
         while !self.stopped {
             let popped = {
                 let _s = prof.scope(Phase::SchedPop);
-                self.heap.pop()
+                self.queue.pop_before(limit)
             };
-            let Some(Reverse(entry)) = popped else {
+            // Queue drained or next event past the deadline (the wheel never
+            // advances past `limit`, so later pushes stay legal either way).
+            let Some((at_ns, entry)) = popped else {
                 break;
             };
-            if let Some(d) = deadline {
-                if entry.at > d {
-                    // Put it back for a potential later run and stop the clock
-                    // at the deadline.
-                    self.heap.push(Reverse(entry));
-                    self.now = d;
-                    return self.now;
-                }
-            }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            debug_assert!(at_ns >= self.now.nanos(), "time went backwards");
+            self.now = Instant(at_ns);
             self.events_processed += 1;
             if self.max_events != 0 && self.events_processed > self.max_events {
                 panic!("simulation exceeded max_events = {}", self.max_events);
@@ -595,26 +735,10 @@ impl Sim {
             let class = entry.ev.class();
             // Depth the sweep observed after removing its event; sampled
             // before dispatch so the handler's own pushes don't skew it.
-            let depth = self.heap.len() as u64;
+            let depth = self.queue.len() as u64;
             self.current_cause = entry.id;
             let fired = match entry.ev {
-                Event::Deliver(dst, pkt) => {
-                    if self.down[dst.0 as usize] {
-                        self.faults.deliveries_dropped += 1;
-                        false
-                    } else {
-                        self.trace.event(
-                            self.now,
-                            pkt.dst.0 as u16,
-                            EventKind::PktRx,
-                            0,
-                            pack_pkt(pkt.src.0, pkt.wire_bytes, pkt.prio),
-                            pkt.meta,
-                        );
-                        let _s = prof.scope(Phase::SchedDispatch);
-                        self.dispatch(dst, |n, ctx| n.on_packet(pkt, ctx))
-                    }
-                }
+                Event::LinkDeliver(idx) => self.link_deliver(idx, &prof),
                 Event::Timer(node, tag) => {
                     if self.down[node.0 as usize] {
                         self.faults.timers_dropped += 1;
@@ -1106,7 +1230,7 @@ mod tests {
 
         let m = sim.scheduler_metrics();
         // Same scenario as node_outage_drops_traffic_then_recovers: 30
-        // deliveries land on the crashed echo and are cancelled.
+        // delivery sweeps land on the crashed echo and are cancelled.
         assert_eq!(m.cancelled(EventClass::Deliver), 30);
         assert_eq!(m.fired(EventClass::Fault), 2);
         assert_eq!(m.cancelled(EventClass::Fault), 0);

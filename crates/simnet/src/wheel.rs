@@ -1,0 +1,442 @@
+//! Hierarchical timer wheel: the scheduler under [`crate::Sim`]'s event loop.
+//!
+//! Six levels of 64 slots at 1 ns granularity cover a 2^36 ns (~68.7 s)
+//! horizon — far beyond any experiment's virtual runtime — with an overflow
+//! heap catching the rare far-future entry (long fault scripts, watchdog
+//! timeouts). Each slot holds a FIFO intrusive list over a slab, so entries
+//! are recycled without per-event allocation and nothing larger than a `u32`
+//! index ever moves when the wheel advances.
+//!
+//! ## Firing-order invariant
+//!
+//! [`TimerWheel::pop_before`] yields entries in exactly the order a binary
+//! heap keyed on `(deadline, insertion sequence)` would: deadlines ascending,
+//! ties broken by insertion order. The reproduction's every same-seed trace,
+//! provenance chain, and linearizability proptest leans on that order, so it
+//! is worth stating why the wheel preserves it bit-for-bit:
+//!
+//! * A level-0 slot only ever holds entries with *identical* deadlines (the
+//!   slot index pins bits 0..6 of the deadline and the current window pins
+//!   the rest), so the slot's FIFO list is exactly insertion order.
+//! * Pushes happen in global sequence order, and cascades from higher levels
+//!   preserve each list's relative order, so same-deadline entries reach
+//!   their level-0 slot in sequence order. A direct level-0 push for a given
+//!   deadline can only happen after any cascade feeding that slot (the wheel
+//!   must already have advanced into the slot's window), so cascaded entries
+//!   — which were pushed earlier, with smaller sequence numbers — keep their
+//!   place ahead of it.
+//! * An overflow entry is pushed while `deadline - elapsed` still exceeds
+//!   the horizon; any in-wheel entry with the same deadline was necessarily
+//!   pushed later (the wheel had advanced), so draining the overflow heap —
+//!   itself ordered by `(deadline, sequence)` — into the wheel the moment
+//!   entries come inside the horizon, and *before* any later push can occur,
+//!   keeps ties in sequence order.
+//!
+//! The `#[cfg(feature = "ref-heap")]` reference scheduler in [`crate::sim`]
+//! and the determinism proptest in `tests/determinism.rs` check this
+//! invariant against a literal `BinaryHeap` on random workloads.
+//!
+//! ## Deadline-bounded popping
+//!
+//! The only mutating read is [`TimerWheel::pop_before`]`(limit)`: it returns
+//! the earliest entry with `deadline <= limit` or `None` *without advancing
+//! past `limit`*. Cascades triggered on the way only run for slots whose
+//! base time is within the limit, so a `run_until(deadline)` that stops the
+//! clock leaves the wheel ready to accept externally scheduled events at any
+//! `at >= deadline` — there is no peek that could overshoot.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const LEVEL_BITS: u32 = 6;
+const SLOTS: usize = 1 << LEVEL_BITS;
+const LEVELS: usize = 6;
+
+/// The wheel's direct horizon in ticks (ns): `64^6`. Entries further out
+/// wait in the overflow heap until they come within range.
+pub const HORIZON: u64 = 1 << (LEVEL_BITS * LEVELS as u32);
+
+const NIL: u32 = u32::MAX;
+
+/// Head/tail of one slot's FIFO list (indices into the slab).
+#[derive(Clone, Copy)]
+struct SlotList {
+    head: u32,
+    tail: u32,
+}
+
+const EMPTY_SLOT: SlotList = SlotList {
+    head: NIL,
+    tail: NIL,
+};
+
+struct Node<T> {
+    at: u64,
+    seq: u64,
+    next: u32,
+    val: Option<T>,
+}
+
+/// A hierarchical timer wheel holding entries of type `T`, popped in
+/// `(deadline, insertion order)` — see the module docs for the invariant.
+pub struct TimerWheel<T> {
+    /// The wheel's current position: the deadline of the last pop/cascade.
+    elapsed: u64,
+    /// Per-level slot occupancy bitmaps (bit `s` = slot `s` non-empty).
+    occ: [u64; LEVELS],
+    /// `LEVELS * SLOTS` FIFO lists, indexed `level * SLOTS + slot`.
+    lists: Vec<SlotList>,
+    /// Entry storage; freed nodes chain through `next` from `free`.
+    slab: Vec<Node<T>>,
+    free: u32,
+    /// Entries beyond the horizon, ordered by `(deadline, sequence)`.
+    overflow: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    len: usize,
+    /// Monotone push counter: the tie-break sequence.
+    pushes: u64,
+}
+
+/// The level whose slot span covers the highest bit where `at` differs from
+/// `elapsed`; boundary-crossing entries clamp into the top level.
+fn level_for(elapsed: u64, at: u64) -> usize {
+    let masked = ((elapsed ^ at) | (SLOTS as u64 - 1)).min(HORIZON - 1);
+    ((63 - masked.leading_zeros()) / LEVEL_BITS) as usize
+}
+
+impl<T> TimerWheel<T> {
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            elapsed: 0,
+            occ: [0; LEVELS],
+            lists: vec![EMPTY_SLOT; LEVELS * SLOTS],
+            slab: Vec::new(),
+            free: NIL,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Entries currently scheduled (wheel + overflow) — the queue-depth
+    /// gauge reads this O(1) counter.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current position (deadline of the last pop).
+    pub fn elapsed(&self) -> u64 {
+        self.elapsed
+    }
+
+    fn alloc(&mut self, at: u64, seq: u64, val: T) -> u32 {
+        if self.free != NIL {
+            let idx = self.free;
+            let node = &mut self.slab[idx as usize];
+            self.free = node.next;
+            node.at = at;
+            node.seq = seq;
+            node.next = NIL;
+            node.val = Some(val);
+            idx
+        } else {
+            let idx = self.slab.len() as u32;
+            self.slab.push(Node {
+                at,
+                seq,
+                next: NIL,
+                val: Some(val),
+            });
+            idx
+        }
+    }
+
+    fn free_node(&mut self, idx: u32) {
+        let node = &mut self.slab[idx as usize];
+        debug_assert!(node.val.is_none());
+        node.next = self.free;
+        self.free = idx;
+    }
+
+    /// Append the slab node to its slot's FIFO list.
+    fn insert(&mut self, idx: u32) {
+        let at = self.slab[idx as usize].at;
+        debug_assert!(at >= self.elapsed);
+        let level = level_for(self.elapsed, at);
+        let slot = ((at >> (LEVEL_BITS * level as u32)) & (SLOTS as u64 - 1)) as usize;
+        let li = level * SLOTS + slot;
+        let tail = self.lists[li].tail;
+        if tail == NIL {
+            self.lists[li].head = idx;
+        } else {
+            self.slab[tail as usize].next = idx;
+        }
+        self.lists[li].tail = idx;
+        self.occ[level] |= 1 << slot;
+    }
+
+    /// Schedule `val` at absolute tick `at` (must be `>= elapsed`).
+    pub fn push(&mut self, at: u64, val: T) {
+        assert!(at >= self.elapsed, "scheduled into the wheel's past");
+        let seq = self.pushes;
+        self.pushes += 1;
+        let idx = self.alloc(at, seq, val);
+        if at - self.elapsed >= HORIZON {
+            self.overflow.push(Reverse((at, seq, idx)));
+        } else {
+            self.insert(idx);
+        }
+        self.len += 1;
+    }
+
+    /// Move overflow entries that have come within the horizon into the
+    /// wheel. Called whenever `elapsed` advances, *before* control returns
+    /// to a caller that could push — the tie-break proof in the module docs
+    /// depends on this ordering.
+    fn drain_overflow(&mut self) {
+        while let Some(&Reverse((at, _, _))) = self.overflow.peek() {
+            if at - self.elapsed >= HORIZON {
+                break;
+            }
+            let Reverse((_, _, idx)) = self.overflow.pop().unwrap();
+            self.insert(idx);
+        }
+    }
+
+    /// The earliest occupied `(level, slot, deadline)`, without mutating.
+    ///
+    /// Levels are disjoint in time — every level-`l` deadline precedes every
+    /// level-`l+1` deadline — so the first occupied level wins. Within a
+    /// level the occupancy bitmap is rotated to the cursor and scanned for
+    /// the first set bit; on the top level the scan starts one past the
+    /// cursor because its cursor slot can only hold entries that clamped in
+    /// from beyond the window boundary (deadline in the *next* window).
+    fn next_slot(&self) -> Option<(usize, usize, u64)> {
+        for level in 0..LEVELS {
+            let occ = self.occ[level];
+            if occ == 0 {
+                continue;
+            }
+            let shift = LEVEL_BITS * level as u32;
+            let cursor = ((self.elapsed >> shift) as u32) & (SLOTS as u32 - 1);
+            let start = if level == LEVELS - 1 {
+                (cursor + 1) & (SLOTS as u32 - 1)
+            } else {
+                cursor
+            };
+            let off = occ.rotate_right(start).trailing_zeros();
+            let slot = (start + off) & (SLOTS as u32 - 1);
+            let range = 1u64 << shift;
+            let window = range << LEVEL_BITS;
+            let base = self.elapsed & !(window - 1);
+            let mut deadline = base + u64::from(slot) * range;
+            if level == LEVELS - 1 && slot <= cursor {
+                deadline += window;
+            }
+            return Some((level, slot as usize, deadline));
+        }
+        None
+    }
+
+    /// Pop the earliest entry whose deadline is `<= limit`, advancing the
+    /// wheel to its deadline; `None` (without advancing past `limit`) when
+    /// the next deadline exceeds the limit or the wheel is empty. Returns
+    /// `(deadline, value)`.
+    pub fn pop_before(&mut self, limit: u64) -> Option<(u64, T)> {
+        loop {
+            self.drain_overflow();
+            let Some((level, slot, deadline)) = self.next_slot() else {
+                // Levels empty. If the overflow holds far-future entries,
+                // jump to where its head comes inside the horizon (in-wheel
+                // deadlines always precede the overflow head, so with the
+                // levels drained the jump skips no entry).
+                let &Reverse((at, _, _)) = self.overflow.peek()?;
+                let target = at - (HORIZON - 1);
+                if target > limit {
+                    return None;
+                }
+                self.elapsed = target.max(self.elapsed);
+                continue;
+            };
+            if deadline > limit {
+                return None;
+            }
+            let li = level * SLOTS + slot;
+            if level == 0 {
+                let idx = self.lists[li].head;
+                let node = &mut self.slab[idx as usize];
+                debug_assert_eq!(node.at, deadline);
+                let next = node.next;
+                let val = node.val.take().expect("occupied slot holds a value");
+                self.lists[li].head = next;
+                if next == NIL {
+                    self.lists[li].tail = NIL;
+                    self.occ[0] &= !(1 << slot);
+                }
+                self.free_node(idx);
+                self.len -= 1;
+                self.elapsed = deadline;
+                // Entries newly inside the horizon must enter the wheel
+                // before the caller can push a same-deadline event.
+                self.drain_overflow();
+                return Some((deadline, val));
+            }
+            // Cascade: advance to the slot's base time and redistribute its
+            // FIFO list into lower levels, preserving relative order.
+            let mut idx = self.lists[li].head;
+            self.lists[li] = EMPTY_SLOT;
+            self.occ[level] &= !(1 << slot);
+            self.elapsed = deadline;
+            while idx != NIL {
+                let next = self.slab[idx as usize].next;
+                self.slab[idx as usize].next = NIL;
+                self.insert(idx);
+                idx = next;
+            }
+        }
+    }
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> TimerWheel<T> {
+        TimerWheel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference model: a heap keyed on (deadline, push sequence).
+    #[derive(Default)]
+    struct Model {
+        heap: BinaryHeap<Reverse<(u64, u64)>>,
+        seq: u64,
+    }
+
+    impl Model {
+        fn push(&mut self, at: u64) -> u64 {
+            let s = self.seq;
+            self.seq += 1;
+            self.heap.push(Reverse((at, s)));
+            s
+        }
+        fn pop_before(&mut self, limit: u64) -> Option<(u64, u64)> {
+            match self.heap.peek() {
+                Some(&Reverse((at, _))) if at <= limit => {
+                    let Reverse(e) = self.heap.pop().unwrap();
+                    Some(e)
+                }
+                _ => None,
+            }
+        }
+    }
+
+    /// Tiny deterministic PRNG so the fuzz below needs no dev-dependency.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0 >> 11
+        }
+    }
+
+    #[test]
+    fn pops_in_deadline_then_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.push(50, "b");
+        w.push(10, "a");
+        w.push(50, "c");
+        w.push(10_000, "d");
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.pop_before(u64::MAX), Some((10, "a")));
+        assert_eq!(w.pop_before(u64::MAX), Some((50, "b")));
+        assert_eq!(w.pop_before(u64::MAX), Some((50, "c")));
+        assert_eq!(w.pop_before(u64::MAX), Some((10_000, "d")));
+        assert_eq!(w.pop_before(u64::MAX), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_before_respects_the_limit_and_resumes() {
+        let mut w = TimerWheel::new();
+        w.push(100, 1u32);
+        w.push(4_000, 2);
+        assert_eq!(w.pop_before(99), None);
+        assert_eq!(w.pop_before(100), Some((100, 1)));
+        assert_eq!(w.pop_before(3_999), None);
+        // The wheel never advances past the probed limit, so pushes at or
+        // after it (the kernel's deadline clamp) are legal and fire in order.
+        w.push(3_999, 3);
+        assert_eq!(w.pop_before(u64::MAX), Some((3_999, 3)));
+        assert_eq!(w.pop_before(u64::MAX), Some((4_000, 2)));
+    }
+
+    #[test]
+    fn overflow_entries_fire_in_order_with_in_horizon_ties() {
+        let mut w = TimerWheel::new();
+        // Pushed while beyond the horizon: waits in overflow.
+        w.push(HORIZON + 500, 1u32);
+        w.push(10, 2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop_before(u64::MAX), Some((10, 2)));
+        // Advancing brought the overflow entry inside the horizon; a
+        // same-deadline push made *after* that advance must fire second.
+        w.push(HORIZON + 500, 3);
+        assert_eq!(w.pop_before(u64::MAX), Some((HORIZON + 500, 1)));
+        assert_eq!(w.pop_before(u64::MAX), Some((HORIZON + 500, 3)));
+    }
+
+    #[test]
+    fn matches_reference_heap_on_random_workloads() {
+        for trial in 0..32u64 {
+            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ trial);
+            let mut w = TimerWheel::new();
+            let mut m = Model::default();
+            let mut now = 0u64;
+            for _ in 0..400 {
+                // A burst of pushes at mixed distances (same-tick ties,
+                // near, per-level far, and past-horizon).
+                for _ in 0..(rng.next() % 4) {
+                    let delta = match rng.next() % 6 {
+                        0 => 0,
+                        1 => rng.next() % 64,
+                        2 => rng.next() % 4_096,
+                        3 => rng.next() % 1_000_000,
+                        4 => rng.next() % (HORIZON / 2),
+                        _ => HORIZON + rng.next() % HORIZON,
+                    };
+                    let seq = m.push(now + delta);
+                    w.push(now + delta, seq);
+                }
+                // Pop up to a random limit; sequences must match exactly.
+                let limit = now + rng.next() % 100_000;
+                loop {
+                    let got = w.pop_before(limit);
+                    let want = m.pop_before(limit);
+                    assert_eq!(got, want, "trial {trial} diverged at now={now}");
+                    match got {
+                        Some((at, _)) => now = at,
+                        None => break,
+                    }
+                }
+                now = limit;
+            }
+            assert_eq!(w.len(), m.heap.len());
+        }
+    }
+
+    #[test]
+    fn slab_recycles_nodes_across_pushes() {
+        let mut w = TimerWheel::new();
+        for round in 0..100u64 {
+            w.push(round * 10, round);
+            assert_eq!(w.pop_before(u64::MAX), Some((round * 10, round)));
+        }
+        // One live entry at a time: the slab never grew past one node.
+        assert_eq!(w.slab.len(), 1);
+    }
+}

@@ -58,7 +58,7 @@ proptest! {
                 .has_atomic_eth()
                 .then_some(AtomicEth { vaddr, rkey, swap, compare }),
             atomic_ack: opcode.has_atomic_ack_eth().then_some(swap),
-            payload: if no_payload { vec![] } else { payload },
+            payload: if no_payload { vec![] } else { payload }.into(),
         };
         let bytes = pkt.encode();
         let parsed = RocePacket::parse(&bytes).unwrap();
