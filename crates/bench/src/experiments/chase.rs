@@ -1,0 +1,367 @@
+//! Dependent-op GET: depth × hit-rate sweep of the pointer-chase ISA.
+//!
+//! The kvstore's remote-index GET classically pays two engine round trips
+//! per storage miss — probe the mirrored hash slot, then fetch the record
+//! it points at. The `ReadIndirect` chase verb collapses both into one
+//! trip: the engine dereferences the slot pool-side and returns the record.
+//! This artifact runs the real [`FasterKv`] twice per configuration —
+//! chase on and chase off, identical Zipf workload — and prices every
+//! device round trip with the split RDMA cost model, so the headline
+//! numbers (`kv_get_per_op_ns`, `kv_get_round_trips`) are modeled cost,
+//! not wall-clock noise.
+//!
+//! Two axes:
+//!
+//! * **Chain depth** — keys per hash bucket. A cold GET for the key at
+//!   chain position `j` (1 = head) pays `j` record hops; the baseline adds
+//!   the slot probe on top. Depth 1 is the paper-style point query where
+//!   the chase win is largest.
+//! * **Hit rate** — the fraction of GETs served from the in-memory log
+//!   window, controlled by how much of the Zipf mass is re-admitted after
+//!   the eviction fill and *measured*, never assumed.
+//!
+//! Both stores must agree on every single read (`assert_eq!` per op): the
+//! chase is an execution strategy, not a semantic change.
+
+use kvstore::{FasterKv, GetStats, HashIndex, LocalMemoryDevice, RemoteIndex, StoreConfig};
+use rdma::cost::CostModel;
+
+use crate::report::{fnum, Table};
+
+/// GETs issued per configuration (per store).
+const GETS: u64 = 4_000;
+/// Distinct keys in the Zipf population.
+const POPULATION: usize = 64;
+/// Zipf skew (s = 1.0, the classic YCSB-style hot-key curve).
+const ZIPF_S: f64 = 1.0;
+/// Mirror base well above anything the 16 KiB-window log reaches.
+const MIRROR_BASE: u64 = 1 << 20;
+/// Acceptance bar: modeled per-GET cost saving of the one-trip chase over
+/// the two-trip baseline at depth 1 and ≥ 90% hit rate.
+pub const CHASE_SAVING_FLOOR: f64 = 0.30;
+
+fn store(chase: bool) -> FasterKv<LocalMemoryDevice> {
+    FasterKv::new(
+        StoreConfig {
+            memory_per_shard: 16 << 10,
+            mutable_fraction: 0.25,
+            index_slots: 1 << 12,
+            max_value_bytes: 256,
+            remote_index: Some(RemoteIndex {
+                base: MIRROR_BASE,
+                chase,
+            }),
+        },
+        vec![LocalMemoryDevice::new()],
+    )
+}
+
+/// `buckets` pairwise-distinct hash buckets of exactly `depth` keys each,
+/// plus `fillers` eviction keys from yet other buckets — so chain depth is
+/// exactly the configured one and fillers never sit in a target chain.
+fn keyset(depth: usize, buckets: usize, fillers: usize) -> (Vec<Vec<u64>>, Vec<u64>) {
+    let scratch = HashIndex::new(1 << 12);
+    let mut by_slot: std::collections::HashMap<usize, Vec<u64>> = std::collections::HashMap::new();
+    for k in 1u64..200_000 {
+        by_slot.entry(scratch.slot_of(k)).or_default().push(k);
+    }
+    let mut slots: Vec<usize> = by_slot
+        .iter()
+        .filter(|(_, v)| v.len() >= depth)
+        .map(|(&s, _)| s)
+        .collect();
+    slots.sort_unstable();
+    assert!(slots.len() >= buckets + fillers, "keyspace scan too small");
+    let target: Vec<Vec<u64>> = slots[..buckets]
+        .iter()
+        .map(|s| by_slot[s][..depth].to_vec())
+        .collect();
+    let fill: Vec<u64> = slots[buckets..buckets + fillers]
+        .iter()
+        .map(|s| by_slot[s][0])
+        .collect();
+    (target, fill)
+}
+
+/// Zipf(s) sampler over ranks `0..n` via inverse-CDF binary search.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Zipf {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, u: f64) -> usize {
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Deterministic xorshift64* — the sweep must replay bit-identically.
+struct Rng(u64);
+
+impl Rng {
+    fn next_f64(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        (self.0.wrapping_mul(0x2545F4914F6CDD1D) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+struct SweepPoint {
+    hit_rate: f64,
+    base_trips_per_get: f64,
+    chase_trips_per_get: f64,
+    base_ns: f64,
+    chase_ns: f64,
+    chase_fallbacks: u64,
+}
+
+/// Modeled device-path cost per cold GET: every round trip pays the
+/// Cowbird post/poll plus the fabric flight, every pool-side memory touch
+/// (slot dereference or record read) pays one hop charge. A chase trip
+/// touches the pool twice (slot + record), so its pool-access count is
+/// `round_trips + chase_gets`.
+fn per_cold_get_ns(m: &CostModel, d: &GetStats) -> f64 {
+    let cold = (d.gets - d.local_hits).max(1);
+    m.dependent_get(d.round_trips, d.round_trips + d.chase_gets)
+        .nanos() as f64
+        / cold as f64
+}
+
+/// Run the identical Zipf workload through a chase-on and a chase-off
+/// store and fold the measured trip counts into modeled per-GET cost.
+/// `hot_frac` is the share of the (rank-ordered) population re-admitted to
+/// the log window after the eviction fill — the hit-rate knob.
+fn sweep(depth: usize, hot_frac: f64, seed: u64) -> SweepPoint {
+    let buckets = POPULATION / depth;
+    let (target, fillers) = keyset(depth, buckets, 1500);
+    let keys: Vec<u64> = target.iter().flatten().copied().collect();
+
+    let on = store(true);
+    let off = store(false);
+    for kv in [&on, &off] {
+        // Chain order: within a bucket, later upserts chain to earlier
+        // ones, so bucket position 0 ends deepest and the last key is the
+        // head.
+        for bucket in &target {
+            for &k in bucket {
+                kv.upsert(k, &k.to_le_bytes());
+            }
+        }
+        for &f in &fillers {
+            kv.upsert(f, &[0xEE; 64]);
+        }
+        let (_, evictions) = kv.log_stats();
+        assert!(evictions > 0, "filler must evict the window");
+        // Re-admit the hottest ranks so roughly `hot_frac` of the Zipf
+        // mass resolves locally. Re-upserting makes the new version the
+        // chain head; colder versions stay on the device.
+        let hot = (hot_frac * keys.len() as f64).round() as usize;
+        for &k in &keys[..hot] {
+            kv.upsert(k, &k.to_le_bytes());
+        }
+    }
+
+    let zipf = Zipf::new(keys.len(), ZIPF_S);
+    let mut rng = Rng(seed | 1);
+    let (on0, off0) = (on.get_stats(), off.get_stats());
+    for _ in 0..GETS {
+        let k = keys[zipf.sample(rng.next_f64())];
+        let a = on.read_blocking(k);
+        let b = off.read_blocking(k);
+        assert_eq!(a, b, "chase-on and chase-off must agree on key {k}");
+        assert_eq!(a, Some(k.to_le_bytes().to_vec()));
+    }
+    let don = diff(&on.get_stats(), &on0);
+    let doff = diff(&off.get_stats(), &off0);
+    assert_eq!(don.gets, GETS);
+    assert_eq!(doff.gets, GETS);
+    assert_eq!(
+        don.local_hits, doff.local_hits,
+        "identical workloads must hit the window identically"
+    );
+
+    let m = CostModel::paper_defaults();
+    let cold = (don.gets - don.local_hits).max(1);
+    SweepPoint {
+        hit_rate: don.local_hits as f64 / don.gets as f64,
+        base_trips_per_get: doff.round_trips as f64 / cold as f64,
+        chase_trips_per_get: don.round_trips as f64 / cold as f64,
+        base_ns: per_cold_get_ns(&m, &doff),
+        chase_ns: per_cold_get_ns(&m, &don),
+        chase_fallbacks: don.chase_fallbacks,
+    }
+}
+
+fn diff(after: &GetStats, before: &GetStats) -> GetStats {
+    GetStats {
+        gets: after.gets - before.gets,
+        local_hits: after.local_hits - before.local_hits,
+        round_trips: after.round_trips - before.round_trips,
+        chase_gets: after.chase_gets - before.chase_gets,
+        chase_fallbacks: after.chase_fallbacks - before.chase_fallbacks,
+    }
+}
+
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "Chase",
+        "dependent-op GET: modeled per-GET device cost, chase vs probe-then-fetch",
+        &[
+            "depth/hot",
+            "hit rate",
+            "trips/GET base",
+            "trips/GET chase",
+            "per-GET ns base",
+            "per-GET ns chase",
+            "saving",
+        ],
+    )
+    .with_paper_note(
+        "extension: a bounded pool-side pointer chase collapses the kvstore's \
+         two-trip GET to one round trip; ≥30% modeled cost saving at depth 1",
+    );
+
+    let mut headline: Option<SweepPoint> = None;
+    for (depth, hot_frac) in [
+        (1usize, 0.5f64),
+        (1, 0.9),
+        (2, 0.5),
+        (2, 0.9),
+        (4, 0.5),
+        (4, 0.9),
+    ] {
+        let p = sweep(depth, hot_frac, 0x9E3779B97F4A7C15 ^ (depth as u64) << 8);
+        let saving = (p.base_ns - p.chase_ns) / p.base_ns;
+        if depth == 1 {
+            // The headline configuration: point GETs, chain depth 1. The
+            // chase must be *exactly* one trip per cold GET, the baseline
+            // exactly two, with zero fallbacks.
+            assert_eq!(p.chase_fallbacks, 0, "depth-1 chase must not fall back");
+            assert!(
+                (p.chase_trips_per_get - 1.0).abs() < 1e-9,
+                "depth-1 chase GET must be one round trip, got {}",
+                p.chase_trips_per_get
+            );
+            assert!(
+                (p.base_trips_per_get - 2.0).abs() < 1e-9,
+                "depth-1 baseline GET must be two round trips, got {}",
+                p.base_trips_per_get
+            );
+            assert!(
+                saving >= CHASE_SAVING_FLOOR,
+                "chase saving {saving:.3} below the {CHASE_SAVING_FLOOR} floor \
+                 (base {} ns, chase {} ns)",
+                p.base_ns,
+                p.chase_ns
+            );
+            if hot_frac >= 0.9 {
+                assert!(
+                    p.hit_rate >= 0.9,
+                    "hot_frac 0.9 must yield ≥90% hit rate, got {}",
+                    p.hit_rate
+                );
+                headline = Some(SweepPoint { ..p });
+            }
+        }
+        t.push_row(vec![
+            format!("{depth}/{hot_frac}"),
+            fnum(p.hit_rate),
+            fnum(p.base_trips_per_get),
+            fnum(p.chase_trips_per_get),
+            fnum(p.base_ns),
+            fnum(p.chase_ns),
+            format!("{:.1}%", saving * 100.0),
+        ]);
+    }
+
+    // Headline metrics join the hard-gated BENCH trajectory (the
+    // comparator treats both as lower-is-better): modeled device cost per
+    // cold GET and round trips per cold GET at the flagship configuration
+    // (depth 1, ≥90% hit rate).
+    let h = headline.expect("depth-1 hot-0.9 row ran");
+    let reg = telemetry::metrics::global();
+    reg.gauge_set(
+        "cowbird.kv.chase.kv_get_per_op_ns",
+        &[("mode", "chase")],
+        h.chase_ns,
+    );
+    reg.gauge_set(
+        "cowbird.kv.chase.kv_get_per_op_ns",
+        &[("mode", "baseline")],
+        h.base_ns,
+    );
+    reg.gauge_set(
+        "cowbird.kv.chase.kv_get_round_trips_count",
+        &[("mode", "chase")],
+        h.chase_trips_per_get,
+    );
+    reg.gauge_set(
+        "cowbird.kv.chase.kv_get_round_trips_count",
+        &[("mode", "baseline")],
+        h.base_trips_per_get,
+    );
+
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_one_chase_halves_trips_and_clears_the_saving_floor() {
+        // run() itself asserts the acceptance bars (1 vs 2 trips, ≥30%
+        // saving, zero fallbacks, per-op observational equivalence); here
+        // we pin the table shape and the sweep's monotonicity.
+        let t = &run()[0];
+        assert_eq!(t.rows.len(), 6);
+        let base = t.cell_f64("1/0.9", "per-GET ns base").unwrap();
+        let chase = t.cell_f64("1/0.9", "per-GET ns chase").unwrap();
+        assert!(chase < base);
+        let hit_lo = t.cell_f64("1/0.5", "hit rate").unwrap();
+        let hit_hi = t.cell_f64("1/0.9", "hit rate").unwrap();
+        assert!(
+            hit_hi > hit_lo,
+            "re-admitting more Zipf mass must raise the hit rate ({hit_lo} vs {hit_hi})"
+        );
+    }
+
+    #[test]
+    fn deeper_chains_still_save_but_less() {
+        let t = &run()[0];
+        let s = |row: &str| {
+            let b = t.cell_f64(row, "per-GET ns base").unwrap();
+            let c = t.cell_f64(row, "per-GET ns chase").unwrap();
+            (b - c) / b
+        };
+        let s1 = s("1/0.5");
+        let s4 = s("4/0.5");
+        assert!(s1 > s4, "depth-1 saving {s1} must exceed depth-4 {s4}");
+        assert!(s4 > 0.0, "the chase must still win at depth 4, got {s4}");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_and_in_range() {
+        let z = Zipf::new(64, 1.0);
+        let mut rng = Rng(7);
+        let mut counts = [0u64; 64];
+        for _ in 0..10_000 {
+            counts[z.sample(rng.next_f64())] += 1;
+        }
+        assert!(counts[0] > counts[63] * 4, "rank 0 must dominate rank 63");
+        assert_eq!(counts.iter().sum::<u64>(), 10_000);
+    }
+}

@@ -1,6 +1,7 @@
 //! One module per paper artifact. `all()` runs everything in order.
 
 pub mod ablation;
+pub mod chase;
 pub mod engine_scaling;
 pub mod fig01;
 pub mod fig02;
@@ -43,6 +44,7 @@ pub fn artifacts() -> Vec<(&'static str, ArtifactFn)> {
         ("table5", || vec![table5::run()]),
         ("validate", validate::run),
         ("ablation", ablation::run),
+        ("chase", chase::run),
         ("engine_scaling", engine_scaling::run),
         ("verb_coalescing", verb_coalescing::run),
         ("tail_latency", tail_latency::run),

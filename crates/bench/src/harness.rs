@@ -4,7 +4,9 @@
 
 use cowbird::channel::Channel;
 use cowbird::layout::ChannelLayout;
+use cowbird::meta::{ChaseStatus, CHASE_PTR_MASK};
 use cowbird::region::{RegionMap, RemoteRegion};
+use cowbird::reqid::{OpType, ReqId};
 use cowbird_engine::core::EngineConfig;
 use cowbird_engine::sim::{EngineNode, PoolNode};
 use rdma::mem::Region;
@@ -18,6 +20,14 @@ use telemetry::{Component, EventKind, SloWatchdog, TailViolation, Telemetry};
 
 const TAG_POLL: u64 = 1;
 const TAG_NIC_TICK: u64 = 2;
+
+/// Chase-race mode: pointer words cycle through this many slots in the
+/// pool's top page, out of the plain-read record span. Slot reuse distance
+/// (`CHASE_SLOTS * 4` ops) must exceed the inflight window so a chase's
+/// oracle — the latest preceding write to its slot — is unambiguous.
+const CHASE_SLOTS: u64 = 8;
+/// Bytes reserved at the top of the pool for the chase slot words.
+const CHASE_SLOT_PAGE: u64 = 4096;
 
 /// A compute node running the Cowbird client library: issues reads of
 /// `record_size` bytes, keeps `inflight` outstanding, and measures
@@ -68,11 +78,33 @@ pub struct CowbirdClientNode {
     resp_scratch: Vec<u8>,
     /// Violations the SLO watchdog flagged, in firing order.
     pub tail_violations: Vec<TailViolation>,
+    /// Dependent-op race mode: the issue schedule cycles
+    /// write-slot → chase-slot → read → read, so every chase dereferences
+    /// a pointer word its own channel just staged — the conflict gate must
+    /// hold the chase until the write commits.
+    chase_race: bool,
+    /// Latest pointer issued per chase slot. Ring FIFO plus the conflict
+    /// gate make this the exact oracle: a chase observes precisely the
+    /// last write to its slot that precedes it in ring order.
+    slot_ptr: Vec<u64>,
+    outstanding_chases: Vec<(cowbird::channel::ReadHandle, Instant, u64)>,
+    outstanding_writes: Vec<ReqId>,
+    /// Chase completions verified against the oracle.
+    pub chases_completed: u64,
 }
 
 impl CowbirdClientNode {
     fn issue(&mut self, ctx: &mut Ctx) {
-        while self.outstanding.len() < self.inflight_target && self.issued < self.target_ops {
+        while self.outstanding.len() + self.outstanding_chases.len() + self.outstanding_writes.len()
+            < self.inflight_target
+            && self.issued < self.target_ops
+        {
+            if self.chase_race {
+                if !self.issue_chase_race(ctx) {
+                    break; // ring full; poll will drain space
+                }
+                continue;
+            }
             let max_rec = self.pool_span / self.record_size.max(1) as u64;
             let off = ctx.rng().next_below(max_rec) * self.record_size as u64;
             match self.channel.async_read(1, off, self.record_size) {
@@ -82,6 +114,62 @@ impl CowbirdClientNode {
                 }
                 Err(e) if e.is_retryable() => break, // poll will drain space
                 Err(e) => panic!("issue failed: {e}"),
+            }
+        }
+    }
+
+    /// One op of the write → chase → read → read schedule. Returns `false`
+    /// on a retryable ring-full error (the next poll retries; `issued` is
+    /// unchanged, so the schedule position is preserved).
+    fn issue_chase_race(&mut self, ctx: &mut Ctx) -> bool {
+        // Plain reads and chase targets stay below the slot page so the
+        // racing slot writes never corrupt a verified record payload.
+        let span = self.pool_span - CHASE_SLOT_PAGE;
+        let max_rec = span / self.record_size.max(1) as u64;
+        let slot = (self.issued / 4) % CHASE_SLOTS;
+        let slot_addr = self.pool_span - CHASE_SLOT_PAGE + slot * 8;
+        match self.issued % 4 {
+            0 => {
+                // Record 0 excluded: its stamp is 0, which the dereference
+                // would read as a null pointer (no payload to verify).
+                let ptr = (1 + ctx.rng().next_below(max_rec - 1)) * self.record_size as u64;
+                match self.channel.async_write(1, slot_addr, &ptr.to_le_bytes()) {
+                    Ok(id) => {
+                        self.outstanding_writes.push(id);
+                        self.slot_ptr[slot as usize] = ptr;
+                        self.issued += 1;
+                        true
+                    }
+                    Err(e) if e.is_retryable() => false,
+                    Err(e) => panic!("chase-race write failed: {e}"),
+                }
+            }
+            1 => {
+                let expect = self.slot_ptr[slot as usize];
+                match self
+                    .channel
+                    .async_read_indirect(1, slot_addr, 0, 0, self.record_size)
+                {
+                    Ok(h) => {
+                        self.outstanding_chases.push((h, ctx.now(), expect));
+                        self.issued += 1;
+                        true
+                    }
+                    Err(e) if e.is_retryable() => false,
+                    Err(e) => panic!("chase-race chase failed: {e}"),
+                }
+            }
+            _ => {
+                let off = ctx.rng().next_below(max_rec) * self.record_size as u64;
+                match self.channel.async_read(1, off, self.record_size) {
+                    Ok(h) => {
+                        self.outstanding.push((h, ctx.now(), off));
+                        self.issued += 1;
+                        true
+                    }
+                    Err(e) if e.is_retryable() => false,
+                    Err(e) => panic!("chase-race read failed: {e}"),
+                }
             }
         }
     }
@@ -138,11 +226,84 @@ impl CowbirdClientNode {
                 i += 1;
             }
         }
+        self.reap_chases(ctx);
+        self.reap_writes(ctx);
         self.watchdog_check(ctx);
         if self.completed >= self.target_ops && self.done_at.is_none() {
             self.done_at = Some(ctx.now());
             if self.stop_when_done {
                 ctx.stop();
+            }
+        }
+    }
+
+    /// Reap completed dependent reads and check each against the chase
+    /// oracle: status Ok, exactly one hop, and the final block fetched from
+    /// *precisely* the pointer the latest preceding slot write installed —
+    /// a torn or stale pointer (the conflict gate letting a chase overtake
+    /// a staged write, or observe a half-flushed word) fails here.
+    fn reap_chases(&mut self, ctx: &mut Ctx) {
+        let mut i = 0;
+        while i < self.outstanding_chases.len() {
+            let (h, t0, expect) = self.outstanding_chases[i];
+            if !h.id.completed_by(self.channel.progress(OpType::Read)) {
+                i += 1;
+                continue;
+            }
+            let lat = ctx.now().since(t0);
+            self.latency.record(lat.nanos());
+            let out = self
+                .channel
+                .take_chase_response(&h)
+                .expect("completed chase");
+            // Every record stamp is non-zero, so the block fetched by the
+            // single hop always embeds a non-null "next" word: the status
+            // is the chain-continues signal, payload attached.
+            assert_eq!(
+                out.status.status,
+                ChaseStatus::BudgetExhausted,
+                "chase {:?} expecting pointer {expect:#x} must resolve its one hop",
+                h.id
+            );
+            assert_eq!(out.status.hops, 1, "ReadIndirect is exactly one hop");
+            assert_eq!(
+                out.status.final_addr,
+                expect & CHASE_PTR_MASK,
+                "chase {:?} must observe the latest preceding pointer write",
+                h.id
+            );
+            if self.verify_data {
+                let stamp = (expect / 64).to_le_bytes();
+                assert_eq!(
+                    &out.data[..8],
+                    &stamp[..],
+                    "chase {:?} fetched wrong bytes at {expect:#x}",
+                    h.id
+                );
+            }
+            self.outstanding_chases.swap_remove(i);
+            self.completed += 1;
+            self.chases_completed += 1;
+            self.completion_times.push(ctx.now());
+            self.last_progress_at = ctx.now();
+            self.stall_fenced = false;
+        }
+    }
+
+    /// Reap completed slot writes (exactly-once via the write progress
+    /// counter, like reads).
+    fn reap_writes(&mut self, ctx: &mut Ctx) {
+        let wp = self.channel.progress(OpType::Write);
+        let mut i = 0;
+        while i < self.outstanding_writes.len() {
+            if self.outstanding_writes[i].completed_by(wp) {
+                self.outstanding_writes.swap_remove(i);
+                self.completed += 1;
+                self.completion_times.push(ctx.now());
+                self.last_progress_at = ctx.now();
+                self.stall_fenced = false;
+            } else {
+                i += 1;
             }
         }
     }
@@ -279,6 +440,12 @@ pub struct CowbirdRig {
     /// client node (and recorded as [`EventKind::TailViolation`] when a
     /// trace hub is attached).
     pub tail_slo: Option<(u64, u64, u64)>,
+    /// Replace the pure-read workload with the write → chase → read → read
+    /// schedule: every 4th op rewrites a pool-side pointer word and the op
+    /// right behind it dereferences that word with `ReadIndirect`, so the
+    /// chase state machine races the staged-write conflict gate on every
+    /// group. Implies per-op oracle checks on the chase responses.
+    pub chase_race: bool,
 }
 
 impl Default for CowbirdRig {
@@ -298,6 +465,7 @@ impl Default for CowbirdRig {
             layout: ChannelLayout::default_sizes(),
             trace: None,
             tail_slo: None,
+            chase_race: false,
         }
     }
 }
@@ -505,6 +673,11 @@ fn build_rig_inner(
             .map(|(slo, min_samples, cooldown)| SloWatchdog::new(slo, min_samples, cooldown)),
         tail_violations: Vec::new(),
         resp_scratch: Vec::new(),
+        chase_race: cfg.chase_race,
+        slot_ptr: vec![0; CHASE_SLOTS as usize],
+        outstanding_chases: Vec::new(),
+        outstanding_writes: Vec::new(),
+        chases_completed: 0,
     };
 
     let mut engine = EngineNode::new();

@@ -294,13 +294,20 @@ impl fmt::Display for BenchDrift {
 
 /// Is `rel` a regression of a hard-gated headline metric? The classifier
 /// knows two directions: *lower-is-better* metrics (per-op engine cost
-/// `per_op_virtual_ns`/`per_op_model_ns`, simulator `allocs_per_event`)
-/// hard-fail when they rise, and *higher-is-better* metrics (freed cores,
-/// simulator `events_per_sec` throughput) hard-fail when they fall. Every
-/// other metric — and a hard-gated one moving in its *good* direction — is
-/// warn-only drift.
+/// `per_op_virtual_ns`/`per_op_model_ns`, simulator `allocs_per_event`,
+/// kvstore GET cost `kv_get_per_op_ns` and its `kv_get_round_trips`
+/// round-trip count) hard-fail when they rise, and *higher-is-better*
+/// metrics (freed cores, simulator `events_per_sec` throughput) hard-fail
+/// when they fall. Every other metric — and a hard-gated one moving in its
+/// *good* direction — is warn-only drift.
 fn critical_regression(key: &str, rel: f64) -> bool {
-    let lower_is_better = ["per_op_virtual_ns", "per_op_model_ns", "allocs_per_event"];
+    let lower_is_better = [
+        "per_op_virtual_ns",
+        "per_op_model_ns",
+        "allocs_per_event",
+        "kv_get_per_op_ns",
+        "kv_get_round_trips",
+    ];
     let higher_is_better = ["freed_cores", "events_per_sec"];
     if lower_is_better.iter().any(|m| key.contains(m)) {
         rel > 0.0
@@ -575,6 +582,47 @@ mod tests {
         let ape = rev.iter().find(|d| d.key.contains("allocs_per")).unwrap();
         assert!(!eps.critical, "throughput gain warns only");
         assert!(ape.critical, "alloc-rate rise hard-fails");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hard_gate_treats_kv_get_metrics_as_lower_is_better() {
+        let dir = temp_dir("classify-kv");
+        let mut old_snap = telemetry::MetricsSnapshot::default();
+        old_snap
+            .gauges
+            .insert("cowbird.kv.get.kv_get_per_op_ns".into(), 2600.0);
+        old_snap
+            .gauges
+            .insert("cowbird.kv.get.kv_get_round_trips".into(), 1.0);
+        let mut new_snap = telemetry::MetricsSnapshot::default();
+        // GET cost up 50% and round trips back to 2 — both regressions.
+        new_snap
+            .gauges
+            .insert("cowbird.kv.get.kv_get_per_op_ns".into(), 3900.0);
+        new_snap
+            .gauges
+            .insert("cowbird.kv.get.kv_get_round_trips".into(), 2.0);
+        let old = write_bench_trajectory_to(&dir, "old", &[("chase".into(), old_snap)]).unwrap();
+        let new = write_bench_trajectory_to(&dir, "new", &[("chase".into(), new_snap)]).unwrap();
+        let drifts = classify_bench_entries(&new, &old, 0.25).unwrap();
+        let by_key = |needle: &str| {
+            drifts
+                .iter()
+                .find(|d| d.key.contains(needle))
+                .unwrap_or_else(|| panic!("no drift for {needle}: {drifts:?}"))
+        };
+        assert!(
+            by_key("kv_get_per_op_ns").critical,
+            "per-GET cost rise hard-fails"
+        );
+        assert!(
+            by_key("kv_get_round_trips").critical,
+            "round-trip count rise hard-fails"
+        );
+        // Reverse direction — the chase landing — is an improvement.
+        let rev = classify_bench_entries(&old, &new, 0.25).unwrap();
+        assert!(rev.iter().all(|d| !d.critical), "{rev:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

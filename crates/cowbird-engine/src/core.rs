@@ -53,7 +53,9 @@ use cowbird::error::WaitError;
 use cowbird::layout::{
     ChannelLayout, RedBlock, TelemetrySnapshot, GREEN_LEN, GREEN_OFFSET, RED_OFFSET, TELEM_LEN,
 };
-use cowbird::meta::{RequestMeta, RwType, META_ENTRY_BYTES};
+use cowbird::meta::{
+    ChaseStatus, ChaseStatusWord, RequestMeta, RwType, CHASE_PTR_MASK, META_ENTRY_BYTES,
+};
 use cowbird::region::{RegionId, RegionMap};
 use cowbird::reqid::{OpType, ReqId};
 use p4rt::pktgen::PktGenConfig;
@@ -327,6 +329,45 @@ enum TagKind {
     RedCommit {
         reads: u64,
     },
+    /// One pool access of the active chase (the base pointer-word read or a
+    /// dependent block fetch). All per-hop state lives in
+    /// [`EngineCore::active_chase`] — at most one hop is ever outstanding.
+    ChaseHop,
+}
+
+/// Where the active chase is in its hop sequence.
+#[derive(Clone, Copy, Debug)]
+enum ChasePhase {
+    /// Awaiting the 8-byte base pointer word at `req_addr + offset_of_ptr`.
+    AwaitPtr,
+    /// Awaiting the `len`-byte block at region offset `target`.
+    AwaitBlock { target: u64 },
+    /// The next block fetch at `target` is deferred: the conflict gate holds
+    /// a racing write overlapping it. Retried after writes flush.
+    Parked { target: u64 },
+}
+
+/// The chase state machine: one dependent-op request being executed hop by
+/// hop. While a chase is active nothing behind it in ring order is issued —
+/// per-type ordering would otherwise let a later write overtake a hop and
+/// the chase could observe a torn pointer→block pair.
+#[derive(Clone, Debug)]
+struct ActiveChase {
+    seq: u64,
+    region_id: RegionId,
+    rkey: Rkey,
+    region_base: u64,
+    region_size: u64,
+    resp_addr: u64,
+    len: u32,
+    offset_of_ptr: u8,
+    stride: u16,
+    /// Effective hop budget (P4 pins this to 1 — table 5 prices exactly one
+    /// recirculation per dependent op).
+    budget: u8,
+    /// Dependent block fetches completed so far.
+    hops: u8,
+    phase: ChasePhase,
 }
 
 /// A parsed request waiting on the consistency gate.
@@ -404,9 +445,35 @@ pub struct EngineStats {
     /// Red-block publishes that actually went to the wire — each covers
     /// the whole contiguous run of seqs completed since the previous one.
     pub moderation_flushes: u64,
+    /// In-band telemetry snapshots written to the readback region. Also
+    /// counted in `compute_writes`; kept separately because they are a
+    /// *cadence* (per probes issued), not a per-op cost — experiments that
+    /// attribute verbs to operations subtract them.
+    pub telem_exports: u64,
     /// Did this engine observe a client fence above its epoch and stand
     /// down? (Terminal: a fenced core emits no further fabric ops.)
     pub fenced: bool,
+    /// Dependent-op requests (`ReadIndirect` / `Chase`) started.
+    pub chases_executed: u64,
+    /// Pool accesses made by the chase machine (pointer-word reads plus
+    /// dependent block fetches). Also counted in `pool_reads`.
+    pub chase_hops: u64,
+    /// Chases that ended at a null pointer *after* fetching at least one
+    /// block (a complete chain walk).
+    pub chase_ok: u64,
+    /// Chases whose very first dereference was null (index miss).
+    pub chase_null: u64,
+    /// Chases that ran out of budget with the chain still going.
+    pub chase_budget_exhausted: u64,
+    /// Chases aborted because a dereferenced hop target fell outside the
+    /// region (status to the client, never a fault).
+    pub chase_aborts: u64,
+    /// Hop fetches deferred by the conflict gate (a racing write to the
+    /// hop's target had to flush first).
+    pub chase_parked: u64,
+    /// Completed-chase depth histogram: bucket `d` counts chases that
+    /// fetched exactly `d` blocks (`d` saturates at 15, the wire budget).
+    pub chase_depth_hist: [u64; 16],
 }
 
 impl EngineStats {
@@ -485,11 +552,69 @@ impl EngineStats {
                 self.sge_total as f64 / self.chained_wrs as f64,
             );
         }
+        reg.counter_add(
+            "cowbird.engine.telem_exports_count",
+            labels,
+            self.telem_exports,
+        );
         reg.gauge_set(
             "cowbird.engine.fenced",
             labels,
             if self.fenced { 1.0 } else { 0.0 },
         );
+        reg.counter_add(
+            "cowbird.engine.chase.executed_count",
+            labels,
+            self.chases_executed,
+        );
+        reg.counter_add("cowbird.engine.chase.hops_count", labels, self.chase_hops);
+        reg.counter_add(
+            "cowbird.engine.chase.null_ptr_count",
+            labels,
+            self.chase_null,
+        );
+        reg.counter_add(
+            "cowbird.engine.chase.budget_exhausted_count",
+            labels,
+            self.chase_budget_exhausted,
+        );
+        reg.counter_add(
+            "cowbird.engine.chase.aborts_count",
+            labels,
+            self.chase_aborts,
+        );
+        reg.counter_add(
+            "cowbird.engine.chase.parked_count",
+            labels,
+            self.chase_parked,
+        );
+        if self.chases_executed > 0 {
+            reg.gauge_set(
+                "cowbird.engine.chase.hit_rate",
+                labels,
+                self.chase_ok as f64 / self.chases_executed as f64,
+            );
+            let blocks: u64 = self
+                .chase_depth_hist
+                .iter()
+                .enumerate()
+                .map(|(d, n)| d as u64 * n)
+                .sum();
+            reg.gauge_set(
+                "cowbird.engine.chase.depth_len",
+                labels,
+                blocks as f64 / self.chases_executed as f64,
+            );
+        }
+        for (d, n) in self.chase_depth_hist.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let depth = d.to_string();
+            let mut with_depth: Vec<(&str, &str)> = labels.to_vec();
+            with_depth.push(("depth", depth.as_str()));
+            reg.counter_add("cowbird.engine.chase.depth_count", &with_depth, *n);
+        }
     }
 }
 
@@ -561,6 +686,9 @@ pub struct EngineCore {
     /// staged (coalescing only) so adjacent writes leave as one
     /// scatter-gather verb instead of a verb apiece.
     write_stage: Vec<(u64, Rkey, u64, PoolBuf)>,
+    /// The chase state machine: at most one dependent-op request executes at
+    /// a time, and nothing behind it in ring order issues until it retires.
+    active_chase: Option<ActiveChase>,
     tags: FastHashMap<u64, TagKind>,
     next_tag: u64,
     red_dirty: bool,
@@ -622,6 +750,7 @@ impl EngineCore {
             pool_reads_in_flight: 0,
             write_payloads_in_flight: 0,
             write_stage: Vec::new(),
+            active_chase: None,
             tags: FastHashMap::default(),
             next_tag: 1,
             red_dirty: false,
@@ -721,9 +850,13 @@ impl EngineCore {
     /// Push an in-band telemetry snapshot into the channel's readback
     /// region on the configured probe cadence. The write is fire-and-forget
     /// (tag 0): no completion routing, no client verbs — the client picks
-    /// it up on its normal poll sweep. Emitted even while a probe is
-    /// outstanding (the cadence is timer firings, not completed probes),
-    /// but never once fenced.
+    /// it up on its normal poll sweep. The cadence counts probes actually
+    /// *issued*, not timer firings: while a probe is stuck outstanding the
+    /// engine's progress counters are frozen, so republishing an identical
+    /// snapshot carries no information — and under fabric congestion each
+    /// redundant write deepens the very stall that froze the probe (timer
+    /// firings outrun completions, telemetry floods the compute QP, probe
+    /// latency grows, more firings...). Never emitted once fenced.
     fn maybe_export_telemetry(&mut self, out: &mut Vec<FabricOp>) {
         if self.cfg.telem_every_probes == 0 {
             return;
@@ -752,6 +885,7 @@ impl EngineCore {
         };
         let data = self.cfg.arena.take_copy(&snap.encode(self.telem_seq));
         self.stats.compute_writes += 1;
+        self.stats.telem_exports += 1;
         self.stats.bytes_to_compute += TELEM_LEN;
         self.rec(
             EventKind::TelemetryExported,
@@ -786,8 +920,8 @@ impl EngineCore {
         if self.fenced {
             return;
         }
-        self.maybe_export_telemetry(out);
         if !self.probe_outstanding {
+            self.maybe_export_telemetry(out);
             self.probe_outstanding = true;
             self.stats.probes_sent += 1;
             self.stats.compute_reads += 1;
@@ -836,6 +970,7 @@ impl EngineCore {
                 self.handle_read_data(seq, resp_addr, data, out)
             }
             TagKind::RedCommit { reads } => self.handle_red_commit(reads, out),
+            TagKind::ChaseHop => self.handle_chase_hop(data, out),
         }
         if self.fenced {
             // The op we just handled observed the fence: nothing staged so
@@ -846,6 +981,9 @@ impl EngineCore {
         self.drain_pending(out);
         self.maybe_flush_batch(out, false);
         self.maybe_flush_writes(out, false);
+        // A parked chase retries after the write path above had its chance
+        // to flush the conflicting write out of the gate.
+        self.advance_chase(out);
         self.flush_red(out, false);
         if self.cfg.coalescing() {
             self.coalesce_ops(out);
@@ -1099,6 +1237,23 @@ impl EngineCore {
                     }
                     self.next_read_seq
                 }
+                RwType::ReadIndirect | RwType::Chase => {
+                    // A chase consumes a read seq. Its hop targets are
+                    // unknown at parse time, so the write-after-read barrier
+                    // tracks a whole-region span: any write parsed behind it
+                    // waits for the chase's red commit — which also keeps
+                    // those writes out of the gate while the chase hops.
+                    self.next_read_seq += 1;
+                    if self.next_read_seq > self.committed_reads {
+                        self.uncommitted_reads.push_back((
+                            self.next_read_seq,
+                            meta.region_id,
+                            0,
+                            u64::MAX,
+                        ));
+                    }
+                    self.next_read_seq
+                }
                 RwType::Write => {
                     self.next_write_seq += 1;
                     self.next_write_seq
@@ -1128,13 +1283,21 @@ impl EngineCore {
     /// Execute pending requests in order, subject to the consistency gate.
     fn drain_pending(&mut self, out: &mut Vec<FabricOp>) {
         while let Some(front) = self.pending.front() {
+            // Nothing may overtake an active chase: a later write could
+            // race a hop (torn pointer→block pair) and a later read's
+            // response would land out of seq order.
+            if self.active_chase.is_some() {
+                break;
+            }
             // Replay after a rewind (Go-Back-N or takeover): a re-parsed
             // request the progress counters already cover completed before
             // the crash — re-executing it would double-apply. Completions
             // are in order per type, so skipped requests are always a
             // prefix and the pipeline debug-asserts below stay valid.
             let already_done = match front.meta.rw_type {
-                RwType::Read => front.seq <= self.read_progress,
+                RwType::Read | RwType::ReadIndirect | RwType::Chase => {
+                    front.seq <= self.read_progress
+                }
                 RwType::Write => front.seq <= self.write_progress,
                 RwType::Invalid => false,
             };
@@ -1167,6 +1330,24 @@ impl EngineCore {
                     }
                     let req = self.pending.pop_front().unwrap();
                     self.issue_read(req, out);
+                }
+                RwType::ReadIndirect | RwType::Chase => {
+                    // Gate the base pointer word like a plain read of those
+                    // 8 bytes; each dependent hop re-checks its own target.
+                    let blocked = match self.cfg.variant {
+                        EngineVariant::P4 => !self.gate.is_empty(),
+                        EngineVariant::Spot => {
+                            let r = front.meta.region_id;
+                            let lo = front.meta.req_addr + front.meta.chase.offset_of_ptr as u64;
+                            self.gate.overlaps(r, lo, lo + 8)
+                        }
+                    };
+                    if blocked {
+                        self.stats.reads_paused += 1;
+                        break;
+                    }
+                    let req = self.pending.pop_front().unwrap();
+                    self.issue_chase(req, out);
                 }
                 RwType::Invalid => {
                     self.pending.pop_front();
@@ -1270,6 +1451,220 @@ impl EngineCore {
             len: req.meta.length,
             tag,
         });
+    }
+
+    /// Start a dependent-op request: install the chase state machine and
+    /// emit hop 0, the 8-byte pointer-word read at `req_addr +
+    /// offset_of_ptr`. P4 pins the budget to 1 (table 5 prices exactly one
+    /// recirculation per dependent op); Spot takes the encoded budget.
+    fn issue_chase(&mut self, req: ParsedReq, out: &mut Vec<FabricOp>) {
+        let Some(region) = self.cfg.regions.get(req.meta.region_id).copied() else {
+            // Unknown region: no-op completion, same as a plain read.
+            self.read_progress = req.seq;
+            self.red_dirty = true;
+            return;
+        };
+        let budget = match self.cfg.variant {
+            EngineVariant::P4 => crate::p4::P4_CHASE_BUDGET,
+            EngineVariant::Spot => req.meta.effective_budget(),
+        };
+        let ptr_off = req.meta.req_addr + req.meta.chase.offset_of_ptr as u64;
+        self.stats.chases_executed += 1;
+        self.rec(
+            EventKind::ReadExecuted,
+            self.req_raw(OpType::Read, req.seq),
+            region.base + ptr_off,
+            req.meta.length as u64,
+        );
+        let ac = ActiveChase {
+            seq: req.seq,
+            region_id: req.meta.region_id,
+            rkey: region.rkey,
+            region_base: region.base,
+            region_size: region.size,
+            resp_addr: req.meta.resp_addr,
+            len: req.meta.length,
+            offset_of_ptr: req.meta.chase.offset_of_ptr,
+            stride: req.meta.chase.stride,
+            budget,
+            hops: 0,
+            phase: ChasePhase::AwaitPtr,
+        };
+        if ptr_off + 8 > region.size {
+            // The client validates this, so only a Setup mismatch gets
+            // here; abort with a status rather than faulting the driver.
+            self.stats.chase_aborts += 1;
+            self.complete_chase(ac, ChaseStatus::OutOfBounds, 0, &[], out);
+            return;
+        }
+        self.active_chase = Some(ac);
+        self.emit_chase_read(ptr_off, 8, out);
+    }
+
+    /// One pool access of the active chase. Counts toward
+    /// `pool_reads_in_flight` so batching quiescence and red-write
+    /// moderation see it as the guaranteed future `on_data` it is.
+    fn emit_chase_read(&mut self, off: u64, len: u32, out: &mut Vec<FabricOp>) {
+        let ac = self.active_chase.as_ref().expect("chase active");
+        let (rkey, addr) = (ac.rkey, ac.region_base + off);
+        let tag = self.tag(TagKind::ChaseHop);
+        self.pool_reads_in_flight += 1;
+        self.stats.pool_reads += 1;
+        self.stats.chase_hops += 1;
+        out.push(FabricOp::ReadPool {
+            rkey,
+            addr,
+            len,
+            tag,
+        });
+    }
+
+    /// A chase pool access completed: dereference, bound-check, gate-check,
+    /// and either hop again, park, or retire the chase.
+    fn handle_chase_hop(&mut self, data: &[u8], out: &mut Vec<FabricOp>) {
+        self.pool_reads_in_flight = self.pool_reads_in_flight.saturating_sub(1);
+        let Some(mut ac) = self.active_chase.take() else {
+            debug_assert!(false, "chase hop completion with no active chase");
+            return;
+        };
+        match ac.phase {
+            ChasePhase::AwaitPtr => {
+                debug_assert!(data.len() >= 8);
+                let word = u64::from_le_bytes(data[..8].try_into().unwrap());
+                let ptr = word & CHASE_PTR_MASK;
+                if ptr == 0 {
+                    self.stats.chase_null += 1;
+                    self.complete_chase(ac, ChaseStatus::NullPointer, 0, &[], out);
+                    return;
+                }
+                let target = ptr + ac.stride as u64;
+                self.start_hop(ac, target, out);
+            }
+            ChasePhase::AwaitBlock { target } => {
+                debug_assert_eq!(data.len(), ac.len as usize);
+                ac.hops += 1;
+                // The next pointer rides inside the block just fetched —
+                // re-dereferencing it costs no extra pool access. A block
+                // too short to hold one terminates the chain.
+                let ptr_end = ac.offset_of_ptr as usize + 8;
+                let next = if ptr_end <= data.len() {
+                    u64::from_le_bytes(data[ac.offset_of_ptr as usize..ptr_end].try_into().unwrap())
+                        & CHASE_PTR_MASK
+                } else {
+                    0
+                };
+                if next == 0 {
+                    self.stats.chase_ok += 1;
+                    self.complete_chase(ac, ChaseStatus::Ok, target, data, out);
+                } else if ac.hops >= ac.budget {
+                    self.stats.chase_budget_exhausted += 1;
+                    self.complete_chase(ac, ChaseStatus::BudgetExhausted, target, data, out);
+                } else {
+                    let target = next + ac.stride as u64;
+                    self.start_hop(ac, target, out);
+                }
+            }
+            ChasePhase::Parked { .. } => {
+                debug_assert!(false, "no hop is outstanding while parked");
+                self.active_chase = Some(ac);
+            }
+        }
+    }
+
+    /// Fetch the next dependent block at region offset `target`, parking if
+    /// the conflict gate holds a racing write overlapping it (the chase must
+    /// observe either the pre-write or post-flush block, never a torn one).
+    fn start_hop(&mut self, mut ac: ActiveChase, target: u64, out: &mut Vec<FabricOp>) {
+        if target.saturating_add(ac.len as u64) > ac.region_size {
+            self.stats.chase_aborts += 1;
+            self.complete_chase(ac, ChaseStatus::OutOfBounds, target, &[], out);
+            return;
+        }
+        let blocked = match self.cfg.variant {
+            EngineVariant::P4 => !self.gate.is_empty(),
+            EngineVariant::Spot => self
+                .gate
+                .overlaps(ac.region_id, target, target + ac.len as u64),
+        };
+        if blocked {
+            self.stats.chase_parked += 1;
+            ac.phase = ChasePhase::Parked { target };
+            self.active_chase = Some(ac);
+            return;
+        }
+        ac.phase = ChasePhase::AwaitBlock { target };
+        self.active_chase = Some(ac);
+        let len = self.active_chase.as_ref().unwrap().len;
+        self.emit_chase_read(target, len, out);
+    }
+
+    /// Retry a parked chase. Runs after the write path of every `on_data`
+    /// pass: gate entries only leave via `emit_pool_write` (or the red
+    /// commit releasing a held write), both of which precede this in the
+    /// post-handling sequence — so the park can never strand.
+    fn advance_chase(&mut self, out: &mut Vec<FabricOp>) {
+        let Some(ac) = self.active_chase.as_ref() else {
+            return;
+        };
+        let ChasePhase::Parked { target } = ac.phase else {
+            return;
+        };
+        let blocked = match self.cfg.variant {
+            EngineVariant::P4 => !self.gate.is_empty(),
+            EngineVariant::Spot => self
+                .gate
+                .overlaps(ac.region_id, target, target + ac.len as u64),
+        };
+        if blocked {
+            return;
+        }
+        let ac = self.active_chase.take().unwrap();
+        self.start_hop(ac, target, out);
+    }
+
+    /// Retire the active chase: flush the read batch so earlier reads'
+    /// responses are ordered first, then deliver `[status word | payload]`
+    /// to the response ring and advance read progress past the chase's seq.
+    fn complete_chase(
+        &mut self,
+        ac: ActiveChase,
+        status: ChaseStatus,
+        final_addr: u64,
+        payload: &[u8],
+        out: &mut Vec<FabricOp>,
+    ) {
+        // Earlier reads all landed before this hop on the FIFO pool QP;
+        // force their batch out so completion order matches seq order.
+        self.maybe_flush_batch(out, true);
+        debug_assert_eq!(self.read_progress + 1, ac.seq);
+        let word = ChaseStatusWord {
+            status,
+            hops: ac.hops,
+            final_addr,
+        }
+        .encode();
+        let mut buf = self.cfg.arena.take();
+        buf.extend_from_slice(&word.to_le_bytes());
+        buf.extend_from_slice(payload);
+        self.stats.compute_writes += 1;
+        self.stats.bytes_to_compute += buf.len() as u64;
+        self.rec(
+            EventKind::ComputeWrite,
+            self.req_raw(OpType::Read, ac.seq),
+            ac.resp_addr,
+            buf.len() as u64,
+        );
+        out.push(FabricOp::WriteCompute {
+            offset: ac.resp_addr,
+            data: buf,
+            tag: 0,
+        });
+        self.stats.chase_depth_hist[(ac.hops as usize).min(15)] += 1;
+        self.stats.reads_executed = ac.seq;
+        self.read_progress = ac.seq;
+        self.batch_last_seq = ac.seq;
+        self.red_dirty = true;
+        debug_assert!(self.active_chase.is_none());
     }
 
     /// Phase III step 2b: the write payload arrived; write it to the pool —
@@ -1563,7 +1958,7 @@ impl EngineCore {
     fn advance_floor(&mut self) {
         while let Some(&(rw, seq)) = self.inflight_entries.front() {
             let done = match rw {
-                RwType::Read => seq <= self.read_progress,
+                RwType::Read | RwType::ReadIndirect | RwType::Chase => seq <= self.read_progress,
                 RwType::Write => seq <= self.write_progress,
                 RwType::Invalid => true,
             };
@@ -1571,7 +1966,7 @@ impl EngineCore {
                 break;
             }
             match rw {
-                RwType::Read => self.floor_reads = seq,
+                RwType::Read | RwType::ReadIndirect | RwType::Chase => self.floor_reads = seq,
                 RwType::Write => self.floor_writes = seq,
                 RwType::Invalid => {}
             }
@@ -1599,6 +1994,9 @@ impl EngineCore {
         self.write_stage.clear();
         self.probe_outstanding = false;
         self.moderation_run = 0;
+        // A mid-flight chase dies with its hop completions; the replay
+        // re-parses the chase request and re-executes it from hop 0.
+        self.active_chase = None;
         self.advance_floor();
         self.inflight_entries.clear();
         self.rewind_to_floor();
@@ -1655,6 +2053,7 @@ impl EngineCore {
         self.write_payloads_in_flight = 0;
         self.write_stage.clear();
         self.probe_outstanding = false;
+        self.active_chase = None;
         self.rewind_to_floor();
         self.stats.adoptions += 1;
         self.rec(EventKind::Adopted, 0, self.epoch, red.floor_idx);
@@ -2407,5 +2806,175 @@ mod tests {
         let ops2 = core.on_probe_due();
         assert!(ops2.is_empty(), "second probe suppressed while outstanding");
         assert_eq!(core.stats.probes_sent, 1);
+    }
+
+    use cowbird::meta::ChaseStatus;
+
+    /// Write a pointer word (48-bit address, upper 16 bits are app tag
+    /// bits the engine must mask off) at `at` in the pool.
+    fn plant_ptr(driver: &LoopDriver, at: u64, addr: u64, tag: u16) {
+        let word = ((tag as u64) << 48) | addr;
+        driver.pool.write(at, &word.to_le_bytes()).unwrap();
+    }
+
+    /// Write a 16-byte chase block at `at`: an 8-byte next pointer followed
+    /// by 8 payload bytes.
+    fn plant_block(driver: &LoopDriver, at: u64, next: u64, payload: &[u8; 8]) {
+        plant_ptr(driver, at, next, 0);
+        driver.pool.write(at + 8, payload).unwrap();
+    }
+
+    #[test]
+    fn read_indirect_round_trips_in_one_request() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        // Slot word at 64 points (with tag bits set, which must be masked)
+        // at a terminal record at 4096.
+        plant_ptr(&driver, 64, 4096, 0xBEEF);
+        plant_block(&driver, 4096, 0, b"recordAA");
+        let h = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(h.id));
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::Ok);
+        assert_eq!(outcome.status.hops, 1);
+        assert_eq!(outcome.status.final_addr, 4096);
+        assert_eq!(&outcome.data[8..], b"recordAA");
+        assert_eq!(core.stats.chases_executed, 1);
+        assert_eq!(core.stats.chase_ok, 1);
+        // One pointer-word access plus one block fetch, zero extra ring
+        // entries: the whole GET was a single client round trip.
+        assert_eq!(core.stats.chase_hops, 2);
+        assert_eq!(core.stats.chase_depth_hist[1], 1);
+        assert_eq!(core.progress(), (1, 0));
+    }
+
+    #[test]
+    fn chase_walks_chain_until_null_or_budget() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        plant_ptr(&driver, 64, 1024, 0);
+        plant_block(&driver, 1024, 2048, b"node-one");
+        plant_block(&driver, 2048, 4096, b"node-two");
+        plant_block(&driver, 4096, 0, b"node-end");
+
+        // Generous budget: walks to the terminal node.
+        let h = ch.async_chase(1, 64, 0, 0, 16, 8).unwrap();
+        driver.probe(&mut core);
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::Ok);
+        assert_eq!(outcome.status.hops, 3);
+        assert_eq!(outcome.status.final_addr, 4096);
+        assert_eq!(&outcome.data[8..], b"node-end");
+
+        // Budget 2: stops at node two and says so.
+        let h = ch.async_chase(1, 64, 0, 0, 16, 2).unwrap();
+        driver.probe(&mut core);
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::BudgetExhausted);
+        assert_eq!(outcome.status.hops, 2);
+        assert_eq!(outcome.status.final_addr, 2048);
+        assert_eq!(&outcome.data[8..], b"node-two");
+        assert_eq!(core.stats.chase_budget_exhausted, 1);
+        assert_eq!(core.stats.chase_ok, 1);
+    }
+
+    #[test]
+    fn chase_null_pointer_and_out_of_bounds_abort_with_status() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        // Empty slot: null pointer, no block fetched.
+        let h = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        driver.probe(&mut core);
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::NullPointer);
+        assert_eq!(outcome.status.hops, 0);
+        assert!(outcome.data.is_empty());
+        assert_eq!(core.stats.chase_null, 1);
+
+        // Pointer past the region: the hop aborts pool-side instead of
+        // faulting the driver.
+        plant_ptr(&driver, 64, (1 << 16) - 4, 0);
+        let h = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        driver.probe(&mut core);
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::OutOfBounds);
+        assert!(outcome.data.is_empty());
+        assert_eq!(core.stats.chase_aborts, 1);
+        assert_eq!(core.progress(), (2, 0));
+    }
+
+    #[test]
+    fn chase_parks_behind_racing_write_and_observes_flushed_data() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 1);
+        plant_ptr(&driver, 64, 1024, 0);
+        plant_block(&driver, 1024, 0, b"OLDOLDOL");
+        // An uncommitted read of the record holds the overlapping write in
+        // the staged gate; the chase dereferences the slot, lands on the
+        // gated range, and must park rather than race the flush.
+        let r = ch.async_read(1, 1024, 16).unwrap();
+        let mut new_block = [0u8; 16];
+        new_block[8..].copy_from_slice(b"NEWNEWNE");
+        let w = ch.async_write(1, 1024, &new_block).unwrap();
+        let c = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(r.id));
+        assert!(ch.is_complete(w));
+        assert!(ch.is_complete(c.id));
+        assert_eq!(&ch.take_response(&r).unwrap()[8..], b"OLDOLDOL");
+        let outcome = ch.take_chase_response(&c).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::Ok);
+        // The chase parked while the write was staged, then resumed and saw
+        // the *flushed* block — never a torn pointer→block pair.
+        assert!(core.stats.chase_parked >= 1, "chase must have parked");
+        assert_eq!(core.stats.writes_held, 1);
+        assert_eq!(&outcome.data[8..], b"NEWNEWNE");
+        assert_eq!(core.progress(), (2, 1));
+    }
+
+    #[test]
+    fn p4_pins_chase_budget_to_one_hop() {
+        // Table 5 prices exactly one dependent recirculation: a deep chain
+        // comes back after one hop with BudgetExhausted so the client can
+        // continue, rather than consuming unbounded switch passes.
+        let (mut ch, mut core, driver) = setup(EngineVariant::P4, 1);
+        plant_ptr(&driver, 64, 1024, 0);
+        plant_block(&driver, 1024, 2048, b"node-one");
+        plant_block(&driver, 2048, 0, b"node-two");
+        let h = ch.async_chase(1, 64, 0, 0, 16, 8).unwrap();
+        driver.probe(&mut core);
+        let outcome = ch.take_chase_response(&h).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::BudgetExhausted);
+        assert_eq!(outcome.status.hops, 1);
+        assert_eq!(outcome.status.final_addr, 1024);
+        assert_eq!(&outcome.data[8..], b"node-one");
+    }
+
+    #[test]
+    fn chase_orders_with_plain_reads_and_replays_after_reset() {
+        let (mut ch, mut core, driver) = setup(EngineVariant::Spot, 8);
+        driver.pool.write(100, b"before").unwrap();
+        plant_ptr(&driver, 64, 1024, 0);
+        plant_block(&driver, 1024, 0, b"chase-ok");
+        driver.pool.write(200, b"after!").unwrap();
+        let a = ch.async_read(1, 100, 6).unwrap();
+        let c = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        let b = ch.async_read(1, 200, 6).unwrap();
+        driver.probe(&mut core);
+        assert_eq!(ch.take_response(&a).unwrap(), b"before");
+        assert_eq!(&ch.take_chase_response(&c).unwrap().data[8..], b"chase-ok");
+        assert_eq!(ch.take_response(&b).unwrap(), b"after!");
+        assert_eq!(core.progress(), (3, 0));
+
+        // Go-Back-N mid-chase: the reset clears the chase state machine and
+        // the replay re-executes from hop 0 without double counting.
+        let d = ch.async_read_indirect(1, 64, 0, 0, 16).unwrap();
+        let ops = core.on_probe_due();
+        // Drop the in-flight ops on the floor (simulated loss), rewind.
+        drop(ops);
+        core.reset_to_committed();
+        driver.probe(&mut core);
+        assert!(ch.is_complete(d.id));
+        let outcome = ch.take_chase_response(&d).unwrap();
+        assert_eq!(outcome.status.status, ChaseStatus::Ok);
+        assert_eq!(&outcome.data[8..], b"chase-ok");
+        assert_eq!(core.progress(), (4, 0));
     }
 }

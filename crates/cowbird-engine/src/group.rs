@@ -81,7 +81,12 @@ pub struct GroupConfig {
     /// steals its hottest channel instead of waiting for a donation that
     /// is not coming.
     pub steal_interval: Duration,
-    /// Free-list cap of each shard's buffer arena.
+    /// Free-list budget of each shard's buffer arena, *per attached
+    /// channel*. The shard re-caps its arena to `arena_pooled × channels`
+    /// whenever its channel count changes (adoption, donation, steal,
+    /// retirement), so a shard driving eight channels pools eight channels'
+    /// worth of in-flight payload buffers instead of thrashing a
+    /// single-channel-sized free list.
     pub arena_pooled: usize,
 }
 
@@ -661,6 +666,14 @@ impl Drop for EngineGroup {
     }
 }
 
+/// Publish the shard's channel count and re-cap its arena to the
+/// per-channel budget times the channels it now drives (min one channel's
+/// worth, so an emptied shard still recycles its next adoption's traffic).
+fn publish_channels(me: &ShardShared, cfg: &GroupConfig, channels: usize) {
+    me.channels.store(channels, Ordering::Release);
+    me.arena.set_max_pooled(cfg.arena_pooled * channels.max(1));
+}
+
 fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
     let me = &shared.shards[shard_idx];
     let cfg = &shared.cfg;
@@ -680,7 +693,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
                     slot.core.set_arena(me.arena.clone());
                     slots.push(slot);
                 }
-                me.channels.store(slots.len(), Ordering::Release);
+                publish_channels(me, cfg, slots.len());
                 idle_streak = 0;
             }
         }
@@ -706,7 +719,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
                 let to = &shared.shards[thief];
                 to.counters.migrations_in.fetch_add(1, Ordering::Relaxed);
                 to.inbox.lock().unwrap().push(slot);
-                me.channels.store(slots.len(), Ordering::Release);
+                publish_channels(me, cfg, slots.len());
                 shared.doorbell.ring();
             }
         }
@@ -732,7 +745,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
                 // an agent exiting, never to touch the fabric again.
                 let slot = slots.swap_remove(i);
                 retire(&shared, me, slot);
-                me.channels.store(slots.len(), Ordering::Release);
+                publish_channels(me, cfg, slots.len());
                 work = true;
                 continue;
             }
@@ -751,7 +764,7 @@ fn worker_loop(shared: Arc<GroupShared>, shard_idx: usize) {
 
         if now >= next_rebalance {
             rebalance(&shared, shard_idx, &mut slots);
-            me.channels.store(slots.len(), Ordering::Release);
+            publish_channels(me, cfg, slots.len());
             next_rebalance = now + cfg.rebalance_interval;
         }
         if now >= next_steal {

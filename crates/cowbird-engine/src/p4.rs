@@ -16,6 +16,7 @@
 //!   `p4rt::RegisterFile`, demonstrating that each stateful step fits the
 //!   one-sALU-op-per-packet discipline at its assigned stage.
 
+use cowbird::meta::CHASE_PTR_MASK;
 use p4rt::register::{RegisterFile, SaluOp};
 use p4rt::spec::{MatchKind, PipelineSpec, RegisterSpec, StageSpec, TableSpec};
 use rdma::buf::PoolBuf;
@@ -23,6 +24,39 @@ use rdma::wire::{Bth, Opcode, Reth, RocePacket};
 
 /// Maximum Cowbird instances the switch program is provisioned for.
 pub const MAX_INSTANCES: u32 = 4096;
+
+/// Dependent-hop budget of the switch realization. One hop is free under
+/// the Table 5 provisioning: the pointer-word read response is *recycled*
+/// into the block read request by the stage-11 rewrite — the same
+/// no-packet-generation discipline as every other protocol step, preserving
+/// S2's "no recirculation" property. Every hop beyond the first would need
+/// the block response re-submitted through the ingress pipeline (one
+/// recirculation per hop) plus a per-instance hop counter register with its
+/// own sALU — resources Table 5 does not provision — so the engine pins a
+/// P4 chase to exactly one dependent dereference and returns
+/// `BudgetExhausted` for deeper chains, letting the client continue from
+/// the returned block.
+pub const P4_CHASE_BUDGET: u8 = 1;
+
+/// What a bounded chase budget would cost the switch beyond Table 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaseBudgetCost {
+    /// Ingress re-submissions per chase (each hop past the first burns a
+    /// recirculation-port pass, halving its effective line rate).
+    pub recirculations: u32,
+    /// Extra stateful ALUs: a hop counter array appears only when the
+    /// budget exceeds one.
+    pub extra_salus: u32,
+}
+
+/// Price a chase budget on the switch. `chase_budget_cost(P4_CHASE_BUDGET)`
+/// is free — the justification for pinning.
+pub fn chase_budget_cost(budget: u8) -> ChaseBudgetCost {
+    ChaseBudgetCost {
+        recirculations: u32::from(budget.saturating_sub(1)),
+        extra_salus: u32::from(budget > 1),
+    }
+}
 
 /// Packet-header-vector budget, bits. Breakdown: Ethernet (112) + IPv4
 /// (160) + UDP (64) + BTH (96) + RETH (128) + AETH (32) plus ~493 bits of
@@ -254,6 +288,43 @@ pub mod recycle {
         })
     }
 
+    /// Dependent hop (the chase ISA on the switch): the read response
+    /// carrying the 8-byte pointer word is recycled into the block read
+    /// request — mask the 48-bit address out of the word, add the stride,
+    /// rewrite opcode/QPN/PSN/RETH. A null pointer is not recyclable (the
+    /// switch answers with the status word instead). This single rewrite is
+    /// why [`P4_CHASE_BUDGET`] hops cost no extra Table 5 resources.
+    pub fn pointer_response_to_block_read(
+        resp: &RocePacket,
+        dst_qp: u32,
+        psn: u32,
+        pool_rkey: u32,
+        region_base: u64,
+        stride: u16,
+        len: u32,
+    ) -> Option<RocePacket> {
+        if !resp.bth.opcode.is_read_response() || resp.payload.len() < 8 {
+            return None;
+        }
+        let word = u64::from_le_bytes(resp.payload[..8].try_into().unwrap());
+        let ptr = word & CHASE_PTR_MASK;
+        if ptr == 0 {
+            return None;
+        }
+        Some(RocePacket {
+            bth: Bth::new(Opcode::ReadRequest, dst_qp, psn),
+            reth: Some(Reth {
+                vaddr: region_base + ptr + stride as u64,
+                rkey: pool_rkey,
+                dma_len: len,
+            }),
+            aeth: None,
+            atomic: None,
+            atomic_ack: None,
+            payload: PoolBuf::empty(),
+        })
+    }
+
     /// Phase IV: an RDMA ACK is recycled into the bookkeeping write (red
     /// block) toward the compute node — "sending an RDMA write request to
     /// the compute node (again, recycling the previous RDMA
@@ -434,6 +505,48 @@ mod tests {
             assert_eq!(w.payload, resp.payload, "payload carried unmodified");
             assert_eq!(w.reth.is_some(), want.has_reth());
         }
+    }
+
+    #[test]
+    fn chase_hop_recycles_and_budget_pin_is_free() {
+        // Pinning to one hop costs the switch nothing; any deeper budget
+        // would burn recirculations and an unprovisioned sALU.
+        assert_eq!(
+            chase_budget_cost(P4_CHASE_BUDGET),
+            ChaseBudgetCost {
+                recirculations: 0,
+                extra_salus: 0
+            }
+        );
+        let deep = chase_budget_cost(4);
+        assert_eq!(deep.recirculations, 3);
+        assert_eq!(deep.extra_salus, 1);
+
+        // The one priced hop is a pure rewrite: pointer-word response in,
+        // block read request out, tag bits masked off the 48-bit address.
+        let word = (0xBEEFu64 << 48) | 0x4000;
+        let resp = RocePacket {
+            bth: Bth::new(Opcode::ReadResponseOnly, 7, 3),
+            reth: None,
+            aeth: Some(Aeth::ack(1)),
+            atomic: None,
+            atomic_ack: None,
+            payload: word.to_le_bytes().to_vec().into(),
+        };
+        let req =
+            recycle::pointer_response_to_block_read(&resp, 30, 11, 6, 0x100000, 8, 64).unwrap();
+        assert_eq!(req.bth.opcode, Opcode::ReadRequest);
+        let reth = req.reth.unwrap();
+        assert_eq!(reth.vaddr, 0x100000 + 0x4000 + 8);
+        assert_eq!(reth.rkey, 6);
+        assert_eq!(reth.dma_len, 64);
+
+        // A null pointer never recycles — the switch must answer instead.
+        let null_resp = RocePacket {
+            payload: 0u64.to_le_bytes().to_vec().into(),
+            ..resp
+        };
+        assert!(recycle::pointer_response_to_block_read(&null_resp, 30, 11, 6, 0, 0, 64).is_none());
     }
 
     #[test]

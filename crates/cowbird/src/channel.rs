@@ -48,7 +48,10 @@ use crate::layout::{
     GREEN_META_TAIL, GREEN_RDATA_TAIL, GREEN_WDATA_TAIL, RED_ENGINE_EPOCH, RED_META_HEAD,
     RED_READ_PROGRESS, RED_WRITE_PROGRESS, TELEM_LEN,
 };
-use crate::meta::{RequestMeta, RwType};
+use crate::meta::{
+    ChaseParams, ChaseStatusWord, RequestMeta, RwType, CHASE_BUDGET_MAX, CHASE_RESP_OVERHEAD,
+    CHASE_STRIDE_MAX,
+};
 use crate::region::{RegionId, RegionMap};
 use crate::reqid::{OpType, ReqId};
 
@@ -61,6 +64,14 @@ pub struct ReadHandle {
     rdata_start: u64,
     /// Length of the response.
     pub len: u32,
+}
+
+/// A decoded chase response: the engine's status word plus the last block
+/// fetched (empty when the chase ended before fetching any block).
+#[derive(Clone, Debug)]
+pub struct ChaseOutcome {
+    pub status: ChaseStatusWord,
+    pub data: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -81,6 +92,9 @@ struct PendingWrite {
 pub struct ChannelStats {
     pub reads_issued: u64,
     pub writes_issued: u64,
+    /// Dependent-op entries issued (`ReadIndirect` / `Chase`); these also
+    /// count in `reads_issued` — a chase is a read for sequencing purposes.
+    pub chases_issued: u64,
     pub issue_retries: u64,
     pub polls: u64,
     /// Red-block updates discarded because they carried an epoch older than
@@ -107,6 +121,11 @@ impl ChannelStats {
     pub fn export(&self, reg: &telemetry::MetricsRegistry, labels: &[(&str, &str)]) {
         reg.counter_add("cowbird.client.reads_issued", labels, self.reads_issued);
         reg.counter_add("cowbird.client.writes_issued", labels, self.writes_issued);
+        reg.counter_add(
+            "cowbird.client.chases_issued_count",
+            labels,
+            self.chases_issued,
+        );
         reg.counter_add("cowbird.client.issue_retries", labels, self.issue_retries);
         reg.counter_add("cowbird.client.polls", labels, self.polls);
         reg.counter_add(
@@ -372,6 +391,7 @@ impl Channel {
             resp_addr: self.layout.rdata_phys(start),
             length: len,
             region_id,
+            chase: ChaseParams::default(),
         };
         self.publish_entry(&meta);
         self.rdata_tail = end;
@@ -448,6 +468,7 @@ impl Channel {
             resp_addr: dst,
             length: len,
             region_id,
+            chase: ChaseParams::default(),
         };
         self.publish_entry(&meta);
         self.wdata_tail = end;
@@ -469,6 +490,141 @@ impl Channel {
             len as u64,
         );
         Ok(id)
+    }
+
+    /// Dependent read, one ring entry and one round trip: the engine
+    /// dereferences the 8-byte pointer word at `base + offset_of_ptr`
+    /// (48-bit mask), then fetches `len` bytes at `ptr + stride`. The
+    /// response is a [`ChaseStatusWord`] followed by the fetched block —
+    /// decode it with [`Channel::take_chase_response`].
+    pub fn async_read_indirect(
+        &mut self,
+        region_id: RegionId,
+        base: u64,
+        offset_of_ptr: u8,
+        stride: u16,
+        len: u32,
+    ) -> Result<ReadHandle, IssueError> {
+        self.async_dependent(
+            RwType::ReadIndirect,
+            region_id,
+            base,
+            offset_of_ptr,
+            stride,
+            len,
+            1,
+        )
+    }
+
+    /// Bounded pointer chase: like [`Channel::async_read_indirect`], but the
+    /// engine re-dereferences the pointer word at `offset_of_ptr` inside
+    /// each fetched block and hops again, up to `budget` hops (clamped to
+    /// [`CHASE_BUDGET_MAX`]) or until the pointer is null. The response
+    /// carries the *last* block fetched.
+    pub fn async_chase(
+        &mut self,
+        region_id: RegionId,
+        base: u64,
+        offset_of_ptr: u8,
+        stride: u16,
+        len: u32,
+        budget: u8,
+    ) -> Result<ReadHandle, IssueError> {
+        self.async_dependent(
+            RwType::Chase,
+            region_id,
+            base,
+            offset_of_ptr,
+            stride,
+            len,
+            budget,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn async_dependent(
+        &mut self,
+        rw_type: RwType,
+        region_id: RegionId,
+        base: u64,
+        offset_of_ptr: u8,
+        stride: u16,
+        len: u32,
+        budget: u8,
+    ) -> Result<ReadHandle, IssueError> {
+        let prof = self.prof.clone();
+        let _scope = prof.scope(Phase::CowbirdPost);
+        // Only the base pointer word is statically checkable; dereferenced
+        // hop targets are bounds-checked pool-side (an out-of-bounds hop
+        // aborts with a status code, it never faults).
+        self.validate_remote(region_id, base.saturating_add(offset_of_ptr as u64), 8)?;
+        self.ensure_meta_slot()?;
+        // The response is the status word plus the payload block.
+        let total = len as u64 + CHASE_RESP_OVERHEAD;
+        let (start, end) = match reserve_no_wrap(
+            self.rdata_tail,
+            self.rdata_head,
+            self.layout.rdata_capacity,
+            total,
+        ) {
+            Some(r) => r,
+            None => {
+                if total > self.layout.rdata_capacity {
+                    return Err(IssueError::RequestTooLarge {
+                        len: total as u32,
+                        capacity: self.layout.rdata_capacity,
+                    });
+                }
+                self.refresh();
+                self.stats.issue_retries += 1;
+                reserve_no_wrap(
+                    self.rdata_tail,
+                    self.rdata_head,
+                    self.layout.rdata_capacity,
+                    total,
+                )
+                .ok_or(IssueError::ResponseDataRingFull)?
+            }
+        };
+        let seq = self.read_seq + 1;
+        let meta = RequestMeta {
+            rw_type,
+            req_addr: base,
+            resp_addr: self.layout.rdata_phys(start),
+            length: len,
+            region_id,
+            chase: ChaseParams {
+                offset_of_ptr,
+                stride: stride.min(CHASE_STRIDE_MAX),
+                budget: budget.min(CHASE_BUDGET_MAX),
+            },
+        };
+        self.publish_entry(&meta);
+        self.rdata_tail = end;
+        self.region
+            .store_u64(GREEN_RDATA_TAIL, self.rdata_tail, Ordering::Release);
+        self.read_seq = seq;
+        self.pending_reads.push_back(PendingRead {
+            seq,
+            rdata_end: end,
+            consumed: false,
+        });
+        self.pending_entries.push_back((OpType::Read, seq));
+        self.stats.reads_issued += 1;
+        self.stats.chases_issued += 1;
+        let id = ReqId::new(OpType::Read, self.cid, seq);
+        self.rec.record(
+            Component::Client,
+            EventKind::ReadIssued,
+            id.raw(),
+            base,
+            total,
+        );
+        Ok(ReadHandle {
+            id,
+            rdata_start: start,
+            len: total as u32,
+        })
     }
 
     fn validate_remote(&self, region_id: RegionId, off: u64, len: u32) -> Result<(), IssueError> {
@@ -804,6 +960,23 @@ impl Channel {
         Ok(())
     }
 
+    /// Decode a completed chase response: the leading status word plus the
+    /// payload block (empty when no block was fetched). Releases the ring
+    /// space like [`Channel::take_response`].
+    pub fn take_chase_response(&mut self, h: &ReadHandle) -> Result<ChaseOutcome, CowbirdError> {
+        let raw = self.take_response(h)?;
+        debug_assert!(raw.len() >= CHASE_RESP_OVERHEAD as usize);
+        let word = u64::from_le_bytes(raw[..8].try_into().expect("status word"));
+        let status = ChaseStatusWord::decode(word).ok_or(CowbirdError::MalformedResponse)?;
+        let data = match status.status {
+            crate::meta::ChaseStatus::Ok | crate::meta::ChaseStatus::BudgetExhausted => {
+                raw[8..].to_vec()
+            }
+            _ => Vec::new(),
+        };
+        Ok(ChaseOutcome { status, data })
+    }
+
     /// Copy a completed read's response into `out` without releasing it.
     pub fn peek_response(&self, h: &ReadHandle, out: &mut [u8]) -> Result<(), CowbirdError> {
         if h.id.channel() != self.cid {
@@ -954,6 +1127,20 @@ mod tests {
                         self.read_done += 1;
                         region.store_u64(RED_READ_PROGRESS, self.read_done, Ordering::Release);
                     }
+                    RwType::ReadIndirect | RwType::Chase => {
+                        // No pool behind this mini engine: answer every chase
+                        // with a one-hop Ok so the client decode path runs.
+                        let status = crate::meta::ChaseStatusWord {
+                            status: crate::meta::ChaseStatus::Ok,
+                            hops: 1,
+                            final_addr: meta.req_addr + meta.chase.stride as u64,
+                        };
+                        region.store_u64(meta.resp_addr, status.encode(), Ordering::Release);
+                        let fill: Vec<u8> = (0..meta.length).map(|i| (i % 251) as u8).collect();
+                        region.write(meta.resp_addr + 8, &fill).unwrap();
+                        self.read_done += 1;
+                        region.store_u64(RED_READ_PROGRESS, self.read_done, Ordering::Release);
+                    }
                     RwType::Write => {
                         self.write_done += 1;
                         region.store_u64(RED_WRITE_PROGRESS, self.write_done, Ordering::Release);
@@ -979,6 +1166,57 @@ mod tests {
         assert_eq!(data[3], 3);
         // Double-take is rejected.
         assert_eq!(ch.take_response(&h), Err(CowbirdError::AlreadyTaken));
+    }
+
+    #[test]
+    fn chase_issues_one_entry_and_decodes_status() {
+        use crate::meta::ChaseStatus;
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        let mut eng = MiniEngine::new();
+        let h = ch.async_read_indirect(1, 4096, 0, 24, 64).unwrap();
+        // One ring entry, sequenced as a read.
+        assert_eq!(ch.stats.reads_issued, 1);
+        assert_eq!(ch.stats.chases_issued, 1);
+        assert_eq!(h.len, 64 + 8, "handle spans status word + payload");
+        eng.run(ch.region(), &ch.layout());
+        assert!(ch.is_complete(h.id));
+        let out = ch.take_chase_response(&h).unwrap();
+        assert_eq!(out.status.status, ChaseStatus::Ok);
+        assert_eq!(out.status.hops, 1);
+        assert_eq!(out.status.final_addr, 4096 + 24);
+        assert_eq!(out.data.len(), 64);
+        assert_eq!(out.data[3], 3);
+        // Ring space is released like a plain read's.
+        assert!(matches!(
+            ch.take_chase_response(&h),
+            Err(CowbirdError::AlreadyTaken)
+        ));
+    }
+
+    #[test]
+    fn chase_validates_base_pointer_word_and_budget_clamps() {
+        let mut ch = Channel::new(0, ChannelLayout::tiny(), regions_1mb());
+        // Base pointer word outside the region is rejected at issue time.
+        let err = ch
+            .async_read_indirect(1, (1 << 20) - 4, 0, 0, 8)
+            .unwrap_err();
+        assert!(matches!(err, IssueError::OutOfRegionBounds { .. }));
+        // Oversized budget / stride are clamped, not rejected.
+        let h = ch.async_chase(1, 0, 0, u16::MAX, 8, 200).unwrap();
+        let layout = ch.layout();
+        let region = ch.region().clone();
+        let base = layout.meta_entry_offset(0);
+        let words = [
+            region.load_u64(base, Ordering::Acquire),
+            region.load_u64(base + 8, Ordering::Acquire),
+            region.load_u64(base + 16, Ordering::Acquire),
+            region.load_u64(base + 24, Ordering::Acquire),
+        ];
+        let meta = RequestMeta::decode(words, 0).unwrap();
+        assert_eq!(meta.rw_type, RwType::Chase);
+        assert_eq!(meta.chase.budget, CHASE_BUDGET_MAX);
+        assert_eq!(meta.chase.stride, CHASE_STRIDE_MAX);
+        let _ = h;
     }
 
     #[test]

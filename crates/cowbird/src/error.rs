@@ -72,6 +72,9 @@ pub enum CowbirdError {
     NotComplete,
     /// The response was already taken.
     AlreadyTaken,
+    /// A chase response whose status word does not decode (engine/client
+    /// version skew or a corrupted response ring).
+    MalformedResponse,
 }
 
 impl fmt::Display for CowbirdError {
@@ -80,6 +83,7 @@ impl fmt::Display for CowbirdError {
             CowbirdError::ForeignRequest => write!(f, "request id from a different channel"),
             CowbirdError::NotComplete => write!(f, "request not complete"),
             CowbirdError::AlreadyTaken => write!(f, "response already taken"),
+            CowbirdError::MalformedResponse => write!(f, "chase status word does not decode"),
         }
     }
 }

@@ -12,10 +12,10 @@
 //! and trivially parseable by packet-centric hardware — requirement R1):
 //!
 //! ```text
-//! word 0: [ publication token (48 bits) | reserved | rw_type (2 bits) ]
+//! word 0: [ publication token (48 bits) | stride (13 bits) | rw_type (3 bits) ]
 //! word 1: req_addr
 //! word 2: resp_addr
-//! word 3: [ region_id (16 bits) | length (32 bits) ]
+//! word 3: [ budget (4 bits) | offset_of_ptr (8 bits) | region_id (16 bits) | length (32 bits) ]
 //! ```
 //!
 //! Word 0 is written **last** (paper §4.3: "The rw_type cache line is
@@ -24,6 +24,13 @@
 //! ring index plus one — into the same word. The token lets an offload
 //! engine that fetched `[head, tail)` verify it did not race a ring lap:
 //! a stale entry's token cannot match its expected virtual index.
+//!
+//! The dependent-op verbs ([`RwType::ReadIndirect`], [`RwType::Chase`])
+//! reuse the reserved bits of words 0 and 3 for their [`ChaseParams`]:
+//! `stride` (added to each dereferenced pointer), `offset_of_ptr` (byte
+//! offset of the 8-byte pointer word inside each fetched block) and
+//! `budget` (maximum dependent hops, 1..=15). Plain reads and writes
+//! encode all three as zero, so the Table-3 layout is unchanged for them.
 
 use crate::error::IssueError;
 
@@ -35,15 +42,121 @@ pub enum RwType {
     Invalid = 0,
     Read = 1,
     Write = 2,
+    /// Dependent read: dereference the pointer word at
+    /// `req_addr + offset_of_ptr`, then fetch `length` bytes at
+    /// `(ptr & PTR_MASK) + stride`. One ring entry, one client round trip,
+    /// two pool-side memory accesses.
+    ReadIndirect = 3,
+    /// Bounded pointer chase: like [`RwType::ReadIndirect`], but after each
+    /// fetched block the engine re-dereferences the pointer word at
+    /// `offset_of_ptr` *inside the block* and hops again, up to `budget`
+    /// hops or until the pointer is null. Returns the last block fetched.
+    Chase = 4,
 }
 
 impl RwType {
     pub fn from_bits(bits: u64) -> RwType {
-        match bits & 0b11 {
+        match bits & 0b111 {
             1 => RwType::Read,
             2 => RwType::Write,
+            3 => RwType::ReadIndirect,
+            4 => RwType::Chase,
             _ => RwType::Invalid,
         }
+    }
+
+    /// True for the dependent-op verbs executed by the chase state machine.
+    pub fn is_chase(self) -> bool {
+        matches!(self, RwType::ReadIndirect | RwType::Chase)
+    }
+}
+
+/// Pointers dereferenced by the chase verbs are 48 bits; the upper 16 bits
+/// of a pointer word are application tag bits (e.g. the kvstore's hash-index
+/// tag) that the engine masks off before hopping. A null (all-zero masked)
+/// pointer terminates the chase.
+pub const CHASE_PTR_BITS: u32 = 48;
+
+/// Mask extracting the address from a dereferenced pointer word.
+pub const CHASE_PTR_MASK: u64 = (1 << CHASE_PTR_BITS) - 1;
+
+/// Parameters of a dependent-op entry, packed into the reserved bits of
+/// words 0 and 3 (all zero for plain reads and writes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChaseParams {
+    /// Byte offset of the 8-byte pointer word inside the base slot (first
+    /// dereference) and inside each subsequently fetched block.
+    pub offset_of_ptr: u8,
+    /// Added to every dereferenced (masked) pointer before the next fetch.
+    /// 13 bits on the wire.
+    pub stride: u16,
+    /// Maximum dependent hops (4 bits on the wire, so 1..=15). Zero is
+    /// normalised to 1 by [`RequestMeta::effective_budget`].
+    pub budget: u8,
+}
+
+/// Widest stride encodable in word 0 (13 bits).
+pub const CHASE_STRIDE_MAX: u16 = (1 << 13) - 1;
+
+/// Widest hop budget encodable in word 3 (4 bits).
+pub const CHASE_BUDGET_MAX: u8 = 15;
+
+/// A chase response is `[status word (8 bytes) | payload (length bytes)]`,
+/// so the client reserves `length + CHASE_RESP_OVERHEAD` response-ring bytes.
+pub const CHASE_RESP_OVERHEAD: u64 = 8;
+
+/// Terminal outcome of a chase, encoded in the low byte of the status word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum ChaseStatus {
+    /// The chain terminated (null pointer) within budget; the payload is the
+    /// last block fetched.
+    Ok = 0,
+    /// The very first dereference read a null pointer; no payload.
+    NullPointer = 1,
+    /// `budget` hops were taken and the chain continues; the payload is the
+    /// last block fetched, the status word carries its address.
+    BudgetExhausted = 2,
+    /// A dereferenced hop target fell outside the region; the chase aborted
+    /// without faulting. No payload beyond any earlier hop's bytes.
+    OutOfBounds = 3,
+}
+
+impl ChaseStatus {
+    pub fn from_code(code: u8) -> Option<ChaseStatus> {
+        match code {
+            0 => Some(ChaseStatus::Ok),
+            1 => Some(ChaseStatus::NullPointer),
+            2 => Some(ChaseStatus::BudgetExhausted),
+            3 => Some(ChaseStatus::OutOfBounds),
+            _ => None,
+        }
+    }
+}
+
+/// The 8-byte status word heading every chase response:
+/// `[final_addr (48 bits) | hops (8 bits) | status code (8 bits)]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ChaseStatusWord {
+    pub status: ChaseStatus,
+    /// Dependent block fetches completed (0 for a null first pointer).
+    pub hops: u8,
+    /// Region offset the final payload block was fetched from (48 bits);
+    /// zero when no block was fetched.
+    pub final_addr: u64,
+}
+
+impl ChaseStatusWord {
+    pub fn encode(&self) -> u64 {
+        ((self.final_addr & CHASE_PTR_MASK) << 16) | ((self.hops as u64) << 8) | self.status as u64
+    }
+
+    pub fn decode(word: u64) -> Option<ChaseStatusWord> {
+        Some(ChaseStatusWord {
+            status: ChaseStatus::from_code((word & 0xFF) as u8)?,
+            hops: ((word >> 8) & 0xFF) as u8,
+            final_addr: word >> 16,
+        })
     }
 }
 
@@ -64,21 +177,28 @@ pub struct RequestMeta {
     pub length: u32,
     /// Target remote memory region.
     pub region_id: u16,
+    /// Dependent-op parameters (all zero for plain reads and writes).
+    pub chase: ChaseParams,
 }
 
 impl RequestMeta {
     /// Encode words 1..4 (everything except the publication word).
     pub fn body_words(&self) -> [u64; 3] {
+        debug_assert!(self.chase.budget <= CHASE_BUDGET_MAX);
         [
             self.req_addr,
             self.resp_addr,
-            ((self.region_id as u64) << 32) | self.length as u64,
+            ((self.chase.budget as u64 & 0xF) << 56)
+                | ((self.chase.offset_of_ptr as u64) << 48)
+                | ((self.region_id as u64) << 32)
+                | self.length as u64,
         ]
     }
 
     /// Encode word 0 for an entry at virtual ring index `virtual_idx`.
     pub fn publication_word(&self, virtual_idx: u64) -> u64 {
-        ((virtual_idx + 1) << 16) | self.rw_type as u64
+        debug_assert!(self.chase.stride <= CHASE_STRIDE_MAX);
+        ((virtual_idx + 1) << 16) | ((self.chase.stride as u64 & 0x1FFF) << 3) | self.rw_type as u64
     }
 
     /// Decode an entry from its four words. Returns `None` when the
@@ -97,8 +217,23 @@ impl RequestMeta {
             req_addr: words[1],
             resp_addr: words[2],
             length: (words[3] & 0xFFFF_FFFF) as u32,
-            region_id: (words[3] >> 32) as u16,
+            region_id: ((words[3] >> 32) & 0xFFFF) as u16,
+            chase: ChaseParams {
+                offset_of_ptr: ((words[3] >> 48) & 0xFF) as u8,
+                stride: ((words[0] >> 3) & 0x1FFF) as u16,
+                budget: ((words[3] >> 56) & 0xF) as u8,
+            },
         })
+    }
+
+    /// Hop budget for the chase state machine: `ReadIndirect` is a chase of
+    /// exactly one dependent hop; `Chase` takes its encoded budget (zero
+    /// normalised to one). Meaningless for plain reads and writes.
+    pub fn effective_budget(&self) -> u8 {
+        match self.rw_type {
+            RwType::Chase => self.chase.budget.max(1),
+            _ => 1,
+        }
     }
 
     /// Decode from raw little-endian bytes (the offload engine's view after
@@ -111,17 +246,24 @@ impl RequestMeta {
         Self::decode([w(0), w(1), w(2), w(3)], virtual_idx)
     }
 
-    /// Validate a request against the target region size.
+    /// Validate a request against the target region size. For the chase
+    /// verbs only the base pointer word is statically checkable; the
+    /// dereferenced hop targets are validated at execution time by the
+    /// engine (an out-of-bounds hop aborts the chase with a status code
+    /// rather than faulting).
     pub fn validate_against(&self, region_size: u64) -> Result<(), IssueError> {
-        let remote_off = match self.rw_type {
-            RwType::Read => self.req_addr,
-            RwType::Write => self.resp_addr,
+        let (remote_off, len) = match self.rw_type {
+            RwType::Read => (self.req_addr, self.length as u64),
+            RwType::Write => (self.resp_addr, self.length as u64),
+            RwType::ReadIndirect | RwType::Chase => {
+                (self.req_addr + self.chase.offset_of_ptr as u64, 8)
+            }
             RwType::Invalid => return Ok(()),
         };
-        if remote_off + self.length as u64 > region_size {
+        if remote_off + len > region_size {
             return Err(IssueError::OutOfRegionBounds {
                 offset: remote_off,
-                len: self.length,
+                len: len as u32,
                 size: region_size,
             });
         }
@@ -140,6 +282,7 @@ mod tests {
             resp_addr: 0x1111_2222,
             length: 4096,
             region_id: 42,
+            chase: ChaseParams::default(),
         }
     }
 
@@ -203,10 +346,86 @@ mod tests {
             resp_addr: u64::MAX,
             length: u32::MAX,
             region_id: u16::MAX,
+            chase: ChaseParams::default(),
         };
         let body = m.body_words();
         let decoded =
             RequestMeta::decode([m.publication_word(0), body[0], body[1], body[2]], 0).unwrap();
         assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn chase_params_roundtrip_at_field_widths() {
+        // stride 13 bits, offset_of_ptr 8 bits, budget 4 bits — all must
+        // pack losslessly alongside the Table-3 fields.
+        for rw in [RwType::ReadIndirect, RwType::Chase] {
+            let m = RequestMeta {
+                rw_type: rw,
+                req_addr: 0xDEAD_BEEF,
+                resp_addr: 0x1234,
+                length: u32::MAX,
+                region_id: u16::MAX,
+                chase: ChaseParams {
+                    offset_of_ptr: u8::MAX,
+                    stride: CHASE_STRIDE_MAX,
+                    budget: CHASE_BUDGET_MAX,
+                },
+            };
+            let body = m.body_words();
+            let w0 = m.publication_word(9);
+            let decoded = RequestMeta::decode([w0, body[0], body[1], body[2]], 9).unwrap();
+            assert_eq!(decoded, m);
+            // The publication token is undisturbed by the stride bits.
+            assert_eq!(w0 >> 16, 10);
+        }
+    }
+
+    #[test]
+    fn plain_reads_and_writes_encode_zero_chase_bits() {
+        for rw in [RwType::Read, RwType::Write] {
+            let m = sample(rw);
+            assert_eq!(m.publication_word(3) & (0x1FFF << 3), 0);
+            assert_eq!(m.body_words()[2] >> 48, 0);
+        }
+    }
+
+    #[test]
+    fn effective_budget_normalises() {
+        let mut m = sample(RwType::ReadIndirect);
+        m.chase.budget = 7; // ignored: ReadIndirect is exactly one hop
+        assert_eq!(m.effective_budget(), 1);
+        m.rw_type = RwType::Chase;
+        assert_eq!(m.effective_budget(), 7);
+        m.chase.budget = 0;
+        assert_eq!(m.effective_budget(), 1);
+    }
+
+    #[test]
+    fn chase_status_word_roundtrip() {
+        for (status, hops, addr) in [
+            (ChaseStatus::Ok, 3u8, 0xFFFF_FFFF_FFFFu64),
+            (ChaseStatus::NullPointer, 0, 0),
+            (ChaseStatus::BudgetExhausted, 15, 0x40),
+            (ChaseStatus::OutOfBounds, 2, 0x1000),
+        ] {
+            let w = ChaseStatusWord {
+                status,
+                hops,
+                final_addr: addr,
+            };
+            assert_eq!(ChaseStatusWord::decode(w.encode()), Some(w));
+        }
+        // Unknown status codes are rejected, not misdecoded.
+        assert_eq!(ChaseStatusWord::decode(0xFF), None);
+    }
+
+    #[test]
+    fn chase_validation_checks_base_pointer_word() {
+        let mut m = sample(RwType::ReadIndirect);
+        m.req_addr = 100;
+        m.chase.offset_of_ptr = 16;
+        m.length = 1 << 20; // irrelevant: hop targets are runtime-checked
+        assert!(m.validate_against(124).is_ok());
+        assert!(m.validate_against(123).is_err());
     }
 }

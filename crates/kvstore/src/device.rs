@@ -30,6 +30,17 @@ pub trait Device: Send {
     /// Begin reading `len` bytes at log address `addr`.
     fn read_async(&mut self, addr: u64, len: u32) -> Token;
 
+    /// Begin a dependent read: dereference the 8-byte pointer word at
+    /// `slot_addr` (48-bit address, high tag bits masked off) and fetch
+    /// `len` bytes at the resulting address — one round trip where
+    /// probe-then-fetch pays two. The completion's data is the wire format
+    /// `[ChaseStatusWord: 8 B][block]` (see `cowbird::meta`). Backends
+    /// without dependent-op support return `None` and the store falls back
+    /// to the two-trip path.
+    fn read_indirect_async(&mut self, _slot_addr: u64, _len: u32) -> Option<Token> {
+        None
+    }
+
     /// Collect finished operations.
     fn poll(&mut self) -> Vec<Completion>;
 

@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 use std::time::{Duration as StdDuration, Instant as StdInstant};
 
 use cowbird::channel::{Channel, ReadHandle};
+use cowbird::meta::{ChaseStatus, ChaseStatusWord, CHASE_PTR_MASK};
 use cowbird::poll::PollGroup;
 use cowbird::region::RegionId;
 use cowbird::reqid::ReqId;
@@ -94,6 +95,52 @@ impl Device for LocalMemoryDevice {
             ok: true,
         });
         token
+    }
+
+    fn read_indirect_async(&mut self, slot_addr: u64, len: u32) -> Option<Token> {
+        // Local execution of the engine's single-hop semantics, including
+        // the wire-format response, so store logic is backend-agnostic.
+        let word = u64::from_le_bytes(self.peek(slot_addr, 8).try_into().unwrap());
+        let ptr = word & CHASE_PTR_MASK;
+        let token = self.next_token;
+        self.next_token += 1;
+        let (status, payload) = if ptr == 0 {
+            (
+                ChaseStatusWord {
+                    status: ChaseStatus::NullPointer,
+                    hops: 0,
+                    final_addr: 0,
+                },
+                Vec::new(),
+            )
+        } else {
+            let block = self.peek(ptr, len as usize);
+            let next = if block.len() >= 8 {
+                u64::from_le_bytes(block[..8].try_into().unwrap()) & CHASE_PTR_MASK
+            } else {
+                0
+            };
+            (
+                ChaseStatusWord {
+                    status: if next == 0 {
+                        ChaseStatus::Ok
+                    } else {
+                        ChaseStatus::BudgetExhausted
+                    },
+                    hops: 1,
+                    final_addr: ptr,
+                },
+                block,
+            )
+        };
+        let mut data = status.encode().to_le_bytes().to_vec();
+        data.extend_from_slice(&payload);
+        self.ready.push_back(Completion {
+            token,
+            data: Some(data),
+            ok: true,
+        });
+        Some(token)
     }
 
     fn poll(&mut self) -> Vec<Completion> {
@@ -439,6 +486,32 @@ impl Device for CowbirdDevice {
                     std::hint::spin_loop();
                 }
                 Err(e) => panic!("cowbird read failed: {e}"),
+            }
+        }
+    }
+
+    fn read_indirect_async(&mut self, slot_addr: u64, len: u32) -> Option<Token> {
+        let token = self.next_token;
+        self.next_token += 1;
+        loop {
+            // The raw response bytes are already the wire format the store
+            // expects (`[status word][block]`), so the completion path is
+            // shared with plain reads — `take_response` delivers both.
+            match self
+                .channel
+                .async_read_indirect(self.region, slot_addr, 0, 0, len)
+            {
+                Ok(handle) => {
+                    self.group.add(handle.id);
+                    self.reads.insert(handle.id, (token, handle));
+                    return Some(token);
+                }
+                Err(e) if e.is_retryable() => {
+                    self.ring_full_retries += 1;
+                    self.reap();
+                    std::hint::spin_loop();
+                }
+                Err(e) => panic!("cowbird read_indirect failed: {e}"),
             }
         }
     }

@@ -100,6 +100,24 @@ impl HashIndex {
         }
     }
 
+    /// The bucket index `key` hashes to (used to address a pool-side slot
+    /// mirror: slot `i` lives at `mirror_base + i * 8`).
+    pub fn slot_of(&self, key: u64) -> usize {
+        self.slot_and_tag(key).0
+    }
+
+    /// The raw packed word of `slot` — `[tag:16 | address:48]`, 0 when
+    /// empty. This is exactly the 8-byte pointer word a dependent-op chase
+    /// dereferences: the engine masks off the tag bits.
+    pub fn raw_slot(&self, slot: usize) -> u64 {
+        self.slots[slot].load(Ordering::Acquire)
+    }
+
+    /// Extract the 48-bit address from a raw slot word.
+    pub fn addr_of_raw(word: u64) -> u64 {
+        word & ADDR_MASK
+    }
+
     /// Occupied slot count (diagnostics).
     pub fn occupied(&self) -> usize {
         self.slots

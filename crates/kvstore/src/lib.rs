@@ -41,4 +41,4 @@ pub use device::{Completion, Device, Token};
 pub use devices::{CowbirdDevice, LocalMemoryDevice, RdmaDevice, RdmaMode, SsdSimDevice};
 pub use hlog::HybridLog;
 pub use index::HashIndex;
-pub use store::{FasterKv, ReadResult, StoreConfig};
+pub use store::{FasterKv, GetStats, ReadResult, RemoteIndex, StoreConfig};

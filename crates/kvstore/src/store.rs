@@ -10,12 +10,29 @@
 
 use std::collections::HashMap;
 
+use cowbird::meta::{ChaseStatus, ChaseStatusWord};
 use parking_lot::Mutex;
 
 use crate::device::{Device, Token};
 use crate::hlog::HybridLog;
 use crate::index::{hash_key, HashIndex};
 use crate::record::{Record, HEADER_BYTES, NULL_ADDR};
+
+/// A pool-side mirror of the hash-index slots, making the index probe a
+/// *remote* access — the disaggregated deployment where the index outgrows
+/// compute memory. Every publish also writes the packed slot word
+/// (`[tag:16 | address:48]`) at `base + slot * 8` on the device, so a GET
+/// whose record was evicted can resolve entirely pool-side.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteIndex {
+    /// Device address of slot 0's mirror. Must sit above any address the
+    /// log will ever reach — enforced by an assert on each mirror write.
+    pub base: u64,
+    /// Issue one dependent-op `ReadIndirect` per GET (slot dereference +
+    /// record fetch in a single round trip) instead of probe-then-fetch.
+    /// Falls back to two trips when the device lacks dependent-op support.
+    pub chase: bool,
+}
 
 /// Store configuration.
 #[derive(Clone, Copy, Debug)]
@@ -29,6 +46,8 @@ pub struct StoreConfig {
     /// Largest value the store will ever hold (sizes device reads — FASTER
     /// likewise reads a fixed upper bound per miss).
     pub max_value_bytes: u32,
+    /// Mirror the hash index to the device and serve cold GETs through it.
+    pub remote_index: Option<RemoteIndex>,
 }
 
 impl Default for StoreConfig {
@@ -38,8 +57,27 @@ impl Default for StoreConfig {
             mutable_fraction: 0.25,
             index_slots: 1 << 16,
             max_value_bytes: 512,
+            remote_index: None,
         }
     }
+}
+
+/// Aggregate GET-path counters (summed over shards). The chase acceptance
+/// bar reads as: with `chase` on, `round_trips == gets - local_hits` —
+/// exactly one device round trip per cold GET.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GetStats {
+    /// GETs served (reads + RMW current-value fetches).
+    pub gets: u64,
+    /// GETs resolved from the in-memory log, zero device trips.
+    pub local_hits: u64,
+    /// Device round trips issued on behalf of GETs.
+    pub round_trips: u64,
+    /// GETs that went out as a one-trip dependent read.
+    pub chase_gets: u64,
+    /// Chase responses that could not resolve the GET (abort status or an
+    /// undecodable block) and fell back to the two-trip path.
+    pub chase_fallbacks: u64,
 }
 
 /// Outcome of a read.
@@ -61,16 +99,34 @@ pub struct PendingId {
 enum Resolution {
     Found(Vec<u8>),
     NotFound,
-    NeedDevice(Token),
+    NeedDevice(Token, PendingKind),
+}
+
+/// What a pending device completion means to the GET that issued it.
+enum PendingKind {
+    /// A record read at a known address (chain walk step).
+    Record,
+    /// Trip 1 of probe-then-fetch: the 8-byte mirrored slot word.
+    SlotProbe,
+    /// A one-trip dependent read: `[status word][record block]`.
+    Chase,
+}
+
+struct PendingOp {
+    pid: u64,
+    key: u64,
+    kind: PendingKind,
 }
 
 struct Shard<D: Device> {
     index: HashIndex,
     log: HybridLog<D>,
-    /// device token -> (pending id, key being resolved)
-    pending: HashMap<Token, (u64, u64)>,
+    /// device token -> the GET continuation it resolves
+    pending: HashMap<Token, PendingOp>,
     next_pending: u64,
     max_read_span: u64,
+    remote_index: Option<RemoteIndex>,
+    stats: GetStats,
 }
 
 impl<D: Device> Shard<D> {
@@ -81,7 +137,31 @@ impl<D: Device> Shard<D> {
             pending: HashMap::new(),
             next_pending: 1,
             max_read_span: Record::footprint(cfg.max_value_bytes as usize),
+            remote_index: cfg.remote_index,
+            stats: GetStats::default(),
         }
+    }
+
+    /// Mirror `key`'s (possibly shared) slot to the device after a publish.
+    /// Single-writer per shard, so a plain overwrite of the packed word is
+    /// enough; channel FIFO ordering makes it visible to any later chase.
+    fn mirror_slot(&mut self, key: u64) {
+        let Some(ri) = self.remote_index else {
+            return;
+        };
+        let slot = self.index.slot_of(key);
+        let word = self.index.raw_slot(slot);
+        assert!(
+            self.log.tail() <= ri.base,
+            "log tail {} grew into the slot mirror at {}",
+            self.log.tail(),
+            ri.base
+        );
+        // The completion surfaces in poll() without a pending entry and is
+        // discarded there, like a flush ack.
+        self.log
+            .device
+            .write_async(ri.base + slot as u64 * 8, &word.to_le_bytes());
     }
 
     fn upsert(&mut self, key: u64, value: &[u8]) {
@@ -119,6 +199,7 @@ impl<D: Device> Shard<D> {
                 }
             }
         }
+        self.mirror_slot(key);
     }
 
     /// Walk the chain from `addr`; stop at a key match, the chain end, or
@@ -151,16 +232,57 @@ impl<D: Device> Shard<D> {
                     .max_read_span
                     .min(self.log.flushed_boundary().saturating_sub(addr));
                 debug_assert!(span >= HEADER_BYTES);
+                self.stats.round_trips += 1;
                 let token = self.log.device.read_async(addr, span as u32);
-                return Resolution::NeedDevice(token);
+                return Resolution::NeedDevice(token, PendingKind::Record);
             }
         }
     }
 
+    /// Kick off a cold GET through the remote index mirror: one dependent
+    /// read when chase is on and the device supports it, otherwise trip 1
+    /// of probe-then-fetch (the slot word).
+    fn remote_get(&mut self, key: u64) -> (Token, PendingKind) {
+        let ri = self.remote_index.expect("remote path needs a mirror");
+        let slot_addr = ri.base + self.index.slot_of(key) as u64 * 8;
+        if ri.chase {
+            if let Some(token) = self
+                .log
+                .device
+                .read_indirect_async(slot_addr, self.max_read_span as u32)
+            {
+                self.stats.round_trips += 1;
+                self.stats.chase_gets += 1;
+                return (token, PendingKind::Chase);
+            }
+        }
+        self.stats.round_trips += 1;
+        (
+            self.log.device.read_async(slot_addr, 8),
+            PendingKind::SlotProbe,
+        )
+    }
+
     fn read(&mut self, key: u64) -> Result<Resolution, ()> {
+        self.stats.gets += 1;
         match self.index.lookup(key) {
-            None => Ok(Resolution::NotFound),
-            Some(addr) => Ok(self.resolve(key, addr)),
+            None => {
+                // Mirror parity: an empty local slot means an empty (or
+                // foreign-tag) mirrored slot — no trip needed either way.
+                self.stats.local_hits += 1;
+                Ok(Resolution::NotFound)
+            }
+            Some(addr) if self.remote_index.is_some() && !self.log.in_memory(addr) => {
+                let (token, kind) = self.remote_get(key);
+                Ok(Resolution::NeedDevice(token, kind))
+            }
+            Some(addr) => {
+                let r = self.resolve(key, addr);
+                if !matches!(r, Resolution::NeedDevice(..)) {
+                    self.stats.local_hits += 1;
+                }
+                Ok(r)
+            }
         }
     }
 
@@ -170,33 +292,106 @@ impl<D: Device> Shard<D> {
         completions.extend(self.log.device.poll());
         let mut out = Vec::new();
         for c in completions {
-            let Some((pid, key)) = self.pending.remove(&c.token) else {
-                continue; // a flush ack that raced; harmless
+            let Some(op) = self.pending.remove(&c.token) else {
+                continue; // a flush or slot-mirror ack that raced; harmless
             };
+            let (pid, key) = (op.pid, op.key);
             if !c.ok {
                 out.push((pid, None));
                 continue;
             }
             let bytes = c.data.expect("read completion carries data");
-            let Some(rec) = Record::decode(&bytes) else {
-                out.push((pid, None));
-                continue;
-            };
-            if rec.key == key {
-                out.push((pid, (!rec.tombstone).then_some(rec.value)));
-                continue;
-            }
-            // Collision: continue along the chain (may hop back into
-            // memory or need another device read).
-            match self.resolve(key, rec.prev) {
-                Resolution::Found(v) => out.push((pid, Some(v))),
-                Resolution::NotFound => out.push((pid, None)),
-                Resolution::NeedDevice(token) => {
-                    self.pending.insert(token, (pid, key));
+            match op.kind {
+                PendingKind::Record => self.continue_with_record(pid, key, &bytes, &mut out),
+                PendingKind::SlotProbe => {
+                    // Trip 2 of probe-then-fetch: dereference the mirrored
+                    // slot word and go after the record.
+                    let word = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slot"));
+                    let addr = HashIndex::addr_of_raw(word);
+                    if addr == NULL_ADDR {
+                        out.push((pid, None));
+                    } else {
+                        self.continue_resolve(pid, key, addr, &mut out);
+                    }
+                }
+                PendingKind::Chase => {
+                    let outcome = bytes
+                        .get(..8)
+                        .map(|w| u64::from_le_bytes(w.try_into().unwrap()))
+                        .and_then(ChaseStatusWord::decode);
+                    match outcome {
+                        Some(s)
+                            if matches!(
+                                s.status,
+                                ChaseStatus::Ok | ChaseStatus::BudgetExhausted
+                            ) =>
+                        {
+                            self.continue_with_record(pid, key, &bytes[8..], &mut out)
+                        }
+                        Some(s) if s.status == ChaseStatus::NullPointer => {
+                            out.push((pid, None));
+                        }
+                        _ => {
+                            // Abort status or undecodable response: retry
+                            // the GET on the two-trip path rather than
+                            // guessing.
+                            self.stats.chase_fallbacks += 1;
+                            let ri = self.remote_index.expect("chase implies a mirror");
+                            let slot_addr = ri.base + self.index.slot_of(key) as u64 * 8;
+                            self.stats.round_trips += 1;
+                            let token = self.log.device.read_async(slot_addr, 8);
+                            self.pending.insert(
+                                token,
+                                PendingOp {
+                                    pid,
+                                    key,
+                                    kind: PendingKind::SlotProbe,
+                                },
+                            );
+                        }
+                    }
                 }
             }
         }
         out
+    }
+
+    /// A record block arrived for `pid`: finish on a key match, otherwise
+    /// keep walking the chain.
+    fn continue_with_record(
+        &mut self,
+        pid: u64,
+        key: u64,
+        bytes: &[u8],
+        out: &mut Vec<(u64, Option<Vec<u8>>)>,
+    ) {
+        let Some(rec) = Record::decode(bytes) else {
+            out.push((pid, None));
+            return;
+        };
+        if rec.key == key {
+            out.push((pid, (!rec.tombstone).then_some(rec.value)));
+            return;
+        }
+        // Collision: continue along the chain (may hop back into memory or
+        // need another device read).
+        self.continue_resolve(pid, key, rec.prev, out);
+    }
+
+    fn continue_resolve(
+        &mut self,
+        pid: u64,
+        key: u64,
+        addr: u64,
+        out: &mut Vec<(u64, Option<Vec<u8>>)>,
+    ) {
+        match self.resolve(key, addr) {
+            Resolution::Found(v) => out.push((pid, Some(v))),
+            Resolution::NotFound => out.push((pid, None)),
+            Resolution::NeedDevice(token, kind) => {
+                self.pending.insert(token, PendingOp { pid, key, kind });
+            }
+        }
     }
 }
 
@@ -249,11 +444,11 @@ impl<D: Device> FasterKv<D> {
         let current = match guard.read(key) {
             Ok(Resolution::Found(v)) => Some(v),
             Ok(Resolution::NotFound) | Err(()) => None,
-            Ok(Resolution::NeedDevice(token)) => {
+            Ok(Resolution::NeedDevice(token, kind)) => {
                 // Resolve inline, still holding the shard.
                 let pid = guard.next_pending;
                 guard.next_pending += 1;
-                guard.pending.insert(token, (pid, key));
+                guard.pending.insert(token, PendingOp { pid, key, kind });
                 let mut got = None;
                 let mut spins: u64 = 0;
                 while got.is_none() {
@@ -285,10 +480,12 @@ impl<D: Device> FasterKv<D> {
         match guard.read(key) {
             Ok(Resolution::Found(v)) => ReadResult::Found(v),
             Ok(Resolution::NotFound) => ReadResult::NotFound,
-            Ok(Resolution::NeedDevice(token)) => {
+            Ok(Resolution::NeedDevice(token, kind)) => {
                 let id = guard.next_pending;
                 guard.next_pending += 1;
-                guard.pending.insert(token, (id, key));
+                guard
+                    .pending
+                    .insert(token, PendingOp { pid: id, key, kind });
                 ReadResult::Pending(PendingId { shard, id })
             }
             Err(()) => ReadResult::NotFound,
@@ -336,6 +533,20 @@ impl<D: Device> FasterKv<D> {
         }
     }
 
+    /// Aggregate GET-path counters across shards.
+    pub fn get_stats(&self) -> GetStats {
+        let mut agg = GetStats::default();
+        for s in &self.shards {
+            let g = s.lock();
+            agg.gets += g.stats.gets;
+            agg.local_hits += g.stats.local_hits;
+            agg.round_trips += g.stats.round_trips;
+            agg.chase_gets += g.stats.chase_gets;
+            agg.chase_fallbacks += g.stats.chase_fallbacks;
+        }
+        agg
+    }
+
     /// Aggregate log statistics: (bytes flushed, evictions).
     pub fn log_stats(&self) -> (u64, u64) {
         let mut bytes = 0;
@@ -360,6 +571,7 @@ mod tests {
             mutable_fraction: 0.25,
             index_slots: 1 << 12,
             max_value_bytes: 256,
+            remote_index: None,
         };
         FasterKv::new(cfg, (0..shards).map(|_| LocalMemoryDevice::new()).collect())
     }
@@ -476,6 +688,186 @@ mod tests {
 }
 
 #[cfg(test)]
+mod remote_index_tests {
+    use super::*;
+    use crate::devices::LocalMemoryDevice;
+
+    /// Mirror base well above anything a 16 KiB-window test log reaches.
+    const MIRROR_BASE: u64 = 1 << 20;
+
+    fn remote_store(chase: bool) -> FasterKv<LocalMemoryDevice> {
+        FasterKv::new(
+            StoreConfig {
+                memory_per_shard: 16 << 10,
+                mutable_fraction: 0.25,
+                index_slots: 1 << 12,
+                max_value_bytes: 256,
+                remote_index: Some(RemoteIndex {
+                    base: MIRROR_BASE,
+                    chase,
+                }),
+            },
+            vec![LocalMemoryDevice::new()],
+        )
+    }
+
+    /// Keys whose hash buckets are pairwise distinct, so every cold GET is
+    /// a head hit (no cross-key chain walks to muddy the trip counts).
+    fn collision_free_keys(n: usize) -> Vec<u64> {
+        let scratch = HashIndex::new(1 << 12);
+        let mut used = std::collections::HashSet::new();
+        let mut keys = Vec::new();
+        let mut k = 1u64;
+        while keys.len() < n {
+            if used.insert(scratch.slot_of(k)) {
+                keys.push(k);
+            }
+            k += 1;
+        }
+        keys
+    }
+
+    /// A pair of distinct keys sharing one hash bucket.
+    fn colliding_pair() -> (u64, u64) {
+        let scratch = HashIndex::new(1 << 12);
+        let mut seen: HashMap<usize, u64> = HashMap::new();
+        for k in 1u64..100_000 {
+            if let Some(&other) = seen.get(&scratch.slot_of(k)) {
+                return (other, k);
+            }
+            seen.insert(scratch.slot_of(k), k);
+        }
+        unreachable!("4096 buckets must collide within 100k keys");
+    }
+
+    fn evict_everything(kv: &FasterKv<LocalMemoryDevice>, fillers: &[u64]) {
+        for &k in fillers {
+            kv.upsert(k, &[0xEE; 64]);
+        }
+        let (_, evictions) = kv.log_stats();
+        assert!(evictions > 0, "filler must evict the window");
+    }
+
+    #[test]
+    fn baseline_remote_get_pays_two_trips() {
+        let kv = remote_store(false);
+        // Targets and fillers from disjoint buckets: a filler sharing a
+        // target's bucket would sit at the chain head and add record trips.
+        let all = collision_free_keys(32 + 1500);
+        let (keys, fillers) = all.split_at(32);
+        for &k in keys {
+            kv.upsert(k, &k.to_le_bytes());
+        }
+        evict_everything(&kv, fillers);
+        let before = kv.get_stats();
+        for &k in keys {
+            assert_eq!(kv.read_blocking(k), Some(k.to_le_bytes().to_vec()));
+        }
+        let after = kv.get_stats();
+        let gets = after.gets - before.gets;
+        let cold = gets - (after.local_hits - before.local_hits);
+        assert!(cold >= keys.len() as u64 / 2, "most GETs must go remote");
+        // Probe-then-fetch: every cold GET pays the slot trip plus the
+        // record trip.
+        assert_eq!(after.round_trips - before.round_trips, 2 * cold);
+        assert_eq!(after.chase_gets, 0);
+    }
+
+    #[test]
+    fn chase_get_is_exactly_one_round_trip() {
+        let kv = remote_store(true);
+        let all = collision_free_keys(32 + 1500);
+        let (keys, fillers) = all.split_at(32);
+        for &k in keys {
+            kv.upsert(k, &k.to_le_bytes());
+        }
+        evict_everything(&kv, fillers);
+        let before = kv.get_stats();
+        for &k in keys {
+            assert_eq!(kv.read_blocking(k), Some(k.to_le_bytes().to_vec()));
+        }
+        let after = kv.get_stats();
+        let gets = after.gets - before.gets;
+        let cold = gets - (after.local_hits - before.local_hits);
+        assert!(cold >= keys.len() as u64 / 2, "most GETs must go remote");
+        // The acceptance bar: one round trip per cold GET, all of them
+        // dependent reads, none falling back.
+        assert_eq!(after.round_trips - before.round_trips, cold);
+        assert_eq!(after.chase_gets - before.chase_gets, cold);
+        assert_eq!(after.chase_fallbacks, 0);
+    }
+
+    #[test]
+    fn chase_walks_bucket_collisions_and_serves_tombstones() {
+        let kv = remote_store(true);
+        let (older, newer) = colliding_pair();
+        kv.upsert(older, b"older-value");
+        kv.upsert(newer, b"newer-value");
+        let dead = collision_free_keys(1)[0];
+        kv.upsert(dead, b"soon-gone");
+        kv.delete(dead);
+        evict_everything(&kv, &(2_000_000..2_001_500).collect::<Vec<_>>());
+        // The chase lands on the bucket head (`newer`); reading `older`
+        // walks the chain with an extra record trip — correctness over
+        // trip-count purity.
+        assert_eq!(kv.read_blocking(older), Some(b"older-value".to_vec()));
+        assert_eq!(kv.read_blocking(newer), Some(b"newer-value".to_vec()));
+        // A tombstone fetched through the chase reads as absent.
+        assert_eq!(kv.read_blocking(dead), None);
+        let stats = kv.get_stats();
+        assert!(stats.chase_gets >= 3);
+        assert_eq!(stats.chase_fallbacks, 0);
+    }
+
+    #[test]
+    fn chase_on_and_off_are_observationally_equivalent() {
+        let on = remote_store(true);
+        let off = remote_store(false);
+        let plain = FasterKv::new(
+            StoreConfig {
+                memory_per_shard: 16 << 10,
+                mutable_fraction: 0.25,
+                index_slots: 1 << 12,
+                max_value_bytes: 256,
+                remote_index: None,
+            },
+            vec![LocalMemoryDevice::new()],
+        );
+        let stores = [&on, &off, &plain];
+        // Mixed workload: upserts, overwrites, deletes, interleaved with
+        // enough volume to spill the window.
+        let mut x = 0x243F_6A88_85A3_08D3u64; // deterministic xorshift
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..4000u64 {
+            let key = step() % 512;
+            match step() % 10 {
+                0 => stores.iter().for_each(|s| s.delete(key)),
+                _ => {
+                    let val = vec![(i % 251) as u8; 16 + (key % 48) as usize];
+                    stores.iter().for_each(|s| s.upsert(key, &val));
+                }
+            }
+        }
+        let (_, ev) = on.log_stats();
+        assert!(ev > 0, "workload must spill");
+        for key in 0..512u64 {
+            let want = plain.read_blocking(key);
+            assert_eq!(on.read_blocking(key), want, "chase-on diverges at {key}");
+            assert_eq!(off.read_blocking(key), want, "chase-off diverges at {key}");
+        }
+        assert!(
+            on.get_stats().chase_gets > 0,
+            "chase path must be exercised"
+        );
+    }
+}
+
+#[cfg(test)]
 mod delete_rmw_tests {
     use super::*;
     use crate::devices::LocalMemoryDevice;
@@ -487,6 +879,7 @@ mod delete_rmw_tests {
                 mutable_fraction: 0.25,
                 index_slots: 1 << 12,
                 max_value_bytes: 256,
+                remote_index: None,
             },
             vec![LocalMemoryDevice::new()],
         )

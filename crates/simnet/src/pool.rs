@@ -18,14 +18,16 @@
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Default)]
 struct ArenaInner {
     free: Mutex<Vec<Vec<u8>>>,
     /// Free-list length cap; buffers returned beyond it are dropped.
-    max_pooled: usize,
+    /// Atomic so a shared arena can be re-capped while buffers are in
+    /// flight (a polling-group shard grows its arena with channel fan-in).
+    max_pooled: AtomicUsize,
     hits: AtomicU64,
     misses: AtomicU64,
     recycled: AtomicU64,
@@ -70,10 +72,23 @@ impl BufArena {
         BufArena {
             inner: Arc::new(ArenaInner {
                 free: Mutex::new(Vec::with_capacity(max_pooled)),
-                max_pooled,
+                max_pooled: AtomicUsize::new(max_pooled),
                 ..ArenaInner::default()
             }),
         }
+    }
+
+    /// Current free-list cap.
+    pub fn max_pooled(&self) -> usize {
+        self.inner.max_pooled.load(Ordering::Relaxed)
+    }
+
+    /// Re-cap the free-list. Growing takes effect immediately (returning
+    /// buffers start pooling up to the new cap); shrinking lets the excess
+    /// drain naturally — buffers already idle stay until taken, returns
+    /// beyond the new cap are dropped.
+    pub fn set_max_pooled(&self, max_pooled: usize) {
+        self.inner.max_pooled.store(max_pooled, Ordering::Relaxed);
     }
 
     /// Borrow an empty buffer (len 0, capacity whatever it last grew to).
@@ -179,7 +194,7 @@ impl Drop for PoolBuf {
     fn drop(&mut self) {
         if let Some(arena) = self.arena.take() {
             let mut free = arena.free.lock().unwrap();
-            if free.len() < arena.max_pooled {
+            if free.len() < arena.max_pooled.load(Ordering::Relaxed) {
                 free.push(std::mem::take(&mut self.data));
                 drop(free);
                 arena.recycled.fetch_add(1, Ordering::Relaxed);
@@ -337,5 +352,23 @@ mod tests {
     #[test]
     fn idle_arena_reports_full_hit_rate() {
         assert_eq!(BufArena::new(4).stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn recapping_grows_the_free_list_for_in_flight_buffers() {
+        let arena = BufArena::new(1);
+        let bufs: Vec<PoolBuf> = (0..4).map(|_| arena.take()).collect();
+        // The cap grows while the buffers are still out.
+        arena.set_max_pooled(3);
+        assert_eq!(arena.max_pooled(), 3);
+        drop(bufs);
+        assert_eq!(arena.pooled(), 3, "returns honor the new cap");
+        // Shrinking drops later returns but leaves idle buffers alone.
+        arena.set_max_pooled(2);
+        let b = arena.take();
+        let c = arena.take();
+        drop(b);
+        drop(c);
+        assert_eq!(arena.pooled(), 2);
     }
 }

@@ -68,6 +68,7 @@ fn main() {
             mutable_fraction: 0.25,
             index_slots: 1 << 17,
             max_value_bytes: VALUE_SIZE as u32,
+            remote_index: None,
         },
         vec![device],
     );

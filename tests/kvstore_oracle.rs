@@ -13,6 +13,7 @@ fn tiny_cfg() -> StoreConfig {
         mutable_fraction: 0.25,
         index_slots: 1 << 10,
         max_value_bytes: 64,
+        remote_index: None,
     }
 }
 

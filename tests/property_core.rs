@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use cowbird::layout::reserve_no_wrap;
-use cowbird::meta::{RequestMeta, RwType};
+use cowbird::meta::{ChaseParams, RequestMeta, RwType, CHASE_BUDGET_MAX, CHASE_STRIDE_MAX};
 use cowbird::reqid::{OpType, ReqId};
 use rdma::mem::Region;
 use rdma::wire::{Aeth, AtomicEth, Bth, Opcode, Reth, RocePacket};
@@ -85,19 +85,36 @@ proptest! {
 
     #[test]
     fn request_meta_roundtrips(
-        write in any::<bool>(),
+        kind in 0u8..4,
         req_addr in any::<u64>(),
         resp_addr in any::<u64>(),
         length in any::<u32>(),
         region_id in any::<u16>(),
+        offset_of_ptr in any::<u8>(),
+        stride in 0u16..=CHASE_STRIDE_MAX,
+        budget in 0u8..=CHASE_BUDGET_MAX,
         idx in 0u64..(1 << 40),
     ) {
+        let rw_type = match kind {
+            0 => RwType::Read,
+            1 => RwType::Write,
+            2 => RwType::ReadIndirect,
+            _ => RwType::Chase,
+        };
+        // The chase bits live in words 0 and 3 alongside every other
+        // field; plain reads/writes must leave them zero on the wire.
+        let chase = if rw_type.is_chase() {
+            ChaseParams { offset_of_ptr, stride, budget }
+        } else {
+            ChaseParams::default()
+        };
         let m = RequestMeta {
-            rw_type: if write { RwType::Write } else { RwType::Read },
+            rw_type,
             req_addr,
             resp_addr,
             length,
             region_id,
+            chase,
         };
         let body = m.body_words();
         let words = [m.publication_word(idx), body[0], body[1], body[2]];
